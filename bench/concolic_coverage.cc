@@ -1,0 +1,70 @@
+// Concolic exploration throughput: rounds and solver queries needed to
+// cover programs with growing branch counts (the generational-search
+// behaviour underlying every Table II run).
+#include <cstdio>
+#include <string>
+
+#include "src/core/engine.h"
+#include "src/isa/assembler.h"
+#include "src/report/table.h"
+#include "src/tools/profiles.h"
+#include "src/vm/machine.h"
+
+namespace {
+
+using namespace sbce;
+
+// A chain of `n` byte-equality guards: the bomb triggers only when all
+// match, so full coverage requires solving each guard in sequence.
+std::string ChainProgram(int n) {
+  std::string src = R"(
+    .entry main
+    main:
+      ld8 r9, [r2+8]
+  )";
+  for (int i = 0; i < n; ++i) {
+    src += "  ld1 r4, [r9+" + std::to_string(i) + "]\n";
+    src += "  cmpeqi r5, r4, " + std::to_string('A' + i) + "\n";
+    src += "  bz r5, exit\n";
+  }
+  src += R"(
+    bomb:
+      sys 16
+    exit:
+      movi r1, 0
+      sys 0
+  )";
+  return src;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Concolic coverage: guard chains of growing depth ===\n\n");
+  report::AsciiTable table;
+  table.SetHeader({"guards", "solved", "rounds", "solver queries",
+                   "trace events"});
+  for (int n : {1, 2, 4, 8, 12, 16}) {
+    auto img = isa::Assemble(ChainProgram(n));
+    SBCE_CHECK(img.ok());
+    const auto image = std::move(img).value();
+    auto tool = tools::Ideal();
+    core::ConcolicEngine engine(
+        image,
+        [&image](const std::vector<std::string>& argv) {
+          return std::make_unique<vm::Machine>(image, argv);
+        },
+        tool.engine);
+    std::string seed(static_cast<size_t>(n), 'x');
+    auto result = engine.Explore({"prog", seed},
+                                 *image.FindSymbol("bomb"));
+    table.AddRow({std::to_string(n), result.validated ? "yes" : "no",
+                  std::to_string(result.rounds),
+                  std::to_string(result.solver_queries),
+                  std::to_string(result.total_events)});
+  }
+  std::printf("%s", table.Render().c_str());
+  std::printf("\nRounds grow linearly with guard depth: each round flips "
+              "the next\nunexplored branch (generational search).\n");
+  return 0;
+}

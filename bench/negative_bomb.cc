@@ -1,0 +1,28 @@
+// Reproduces the paper's §V.C false-positive probe: a negative bomb
+// guarded by pow(x, 2) == -1 (constant false). Angr with unloaded
+// libraries invents an unconstrained return value for pow and claims the
+// bomb reachable; a sound engine does not.
+#include <cstdio>
+
+#include "src/tools/runner.h"
+
+int main() {
+  using namespace sbce;
+  std::printf("=== Negative bomb: pow(x,2) == -1 (infeasible path) ===\n\n");
+  const auto* bomb = bombs::FindBomb("neg_pow");
+
+  for (const auto& tool : {tools::AngrNoLib(), tools::Ideal()}) {
+    auto cell = tools::RunCell(*bomb, tool);
+    const auto& r = cell.engine;
+    std::printf("%-11s claimed reachable: %-3s  validated: %-3s  ->  %s\n",
+                tool.name.c_str(), r.claimed ? "yes" : "no",
+                r.validated ? "yes" : "no",
+                r.claimed && !r.validated
+                    ? "FALSE POSITIVE (the paper's Angr behaviour)"
+                    : (!r.claimed ? "correctly not reported reachable"
+                                  : "unexpected"));
+  }
+  std::printf("\npaper: 'Angr aggressively assigns return values to the pow"
+              "\nfunction, and thinks the bomb path can be triggered.'\n");
+  return 0;
+}

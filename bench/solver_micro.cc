@@ -1,0 +1,114 @@
+// Solver substrate microbenchmarks (google-benchmark): CDCL on structured
+// instances, bit-blasting throughput, end-to-end CheckSat latency for the
+// constraint shapes the bombs produce.
+#include <benchmark/benchmark.h>
+
+#include "src/solver/bitblast.h"
+#include "src/solver/sat.h"
+#include "src/solver/solver.h"
+#include "src/support/rng.h"
+
+namespace {
+
+using namespace sbce::solver;
+
+void BM_SatPigeonhole(benchmark::State& state) {
+  const int holes = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    SatSolver s;
+    std::vector<std::vector<int>> p(holes + 1, std::vector<int>(holes));
+    for (auto& row : p) {
+      for (auto& v : row) v = s.NewVar();
+    }
+    for (int i = 0; i <= holes; ++i) {
+      std::vector<Lit> clause;
+      for (int h = 0; h < holes; ++h) clause.push_back(MkLit(p[i][h]));
+      s.AddClause(clause);
+    }
+    for (int h = 0; h < holes; ++h) {
+      for (int i = 0; i <= holes; ++i) {
+        for (int j = i + 1; j <= holes; ++j) {
+          s.AddClause({MkLit(p[i][h], true), MkLit(p[j][h], true)});
+        }
+      }
+    }
+    benchmark::DoNotOptimize(s.Solve());
+  }
+}
+BENCHMARK(BM_SatPigeonhole)->Arg(5)->Arg(6)->Arg(7);
+
+void BM_BlastMul(benchmark::State& state) {
+  const unsigned width = static_cast<unsigned>(state.range(0));
+  for (auto _ : state) {
+    ExprPool pool;
+    SatSolver sat;
+    BitBlaster bb(&sat);
+    ExprRef x = pool.Var("x", width);
+    ExprRef y = pool.Var("y", width);
+    auto status = bb.AssertTrue(
+        pool.Eq(pool.Mul(x, y), pool.Const(12345, width)));
+    benchmark::DoNotOptimize(status.ok());
+    state.counters["sat_vars"] =
+        static_cast<double>(sat.NumVars());
+  }
+}
+BENCHMARK(BM_BlastMul)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_CheckSatLinear(benchmark::State& state) {
+  // The shape most bombs produce: byte equalities over argv.
+  for (auto _ : state) {
+    ExprPool pool;
+    std::vector<ExprRef> as;
+    for (int i = 0; i < 8; ++i) {
+      ExprRef b = pool.Var("b" + std::to_string(i), 8);
+      as.push_back(pool.Eq(pool.Add(b, pool.Const(i, 8)),
+                           pool.Const(0x41 + 2 * i, 8)));
+    }
+    benchmark::DoNotOptimize(CheckSat(as).status);
+  }
+}
+BENCHMARK(BM_CheckSatLinear);
+
+void BM_CheckSatQuadratic(benchmark::State& state) {
+  // One round of the rand mixing step: the hard-constraint shape.
+  const unsigned rounds = static_cast<unsigned>(state.range(0));
+  for (auto _ : state) {
+    ExprPool pool;
+    ExprRef x = pool.Var("x", 64);
+    ExprRef v = x;
+    for (unsigned r = 0; r < rounds; ++r) {
+      v = pool.Xor(v, pool.Binary(Kind::kLShr, v, pool.Const(13, 64)));
+      ExprRef odd = pool.Or(pool.Binary(Kind::kLShr, v, pool.Const(7, 64)),
+                            pool.Const(1, 64));
+      v = pool.And(pool.Add(pool.Mul(v, odd), pool.Const(12345, 64)),
+                   pool.Const(0x7fffffff, 64));
+    }
+    std::vector<ExprRef> as = {pool.Eq(v, pool.Const(987654321, 64))};
+    SolverOptions opts;
+    opts.max_conflicts = 200;  // bounded probe, not a full solve
+    benchmark::DoNotOptimize(CheckSat(as, opts).status);
+  }
+}
+BENCHMARK(BM_CheckSatQuadratic)->Arg(1)->Arg(2)->Arg(4);
+
+void BM_FpSearchRounding(benchmark::State& state) {
+  // The fp_round bomb's condition: find a tiny positive double absorbed
+  // by 1024.0 + x.
+  for (auto _ : state) {
+    ExprPool pool;
+    ExprRef x = pool.Var("x", 64);
+    const uint64_t k1024 = 0x4090000000000000ull;
+    std::vector<ExprRef> as = {
+        pool.Binary(Kind::kFEq,
+                    pool.Binary(Kind::kFAdd, pool.Const(k1024, 64), x),
+                    pool.Const(k1024, 64)),
+        pool.Binary(Kind::kFLt, pool.Const(0, 64), x),
+    };
+    benchmark::DoNotOptimize(CheckSat(as).status);
+  }
+}
+BENCHMARK(BM_FpSearchRounding);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,115 @@
+// VM substrate microbenchmarks: interpreter throughput with and without
+// tracing, assembler throughput, guest crypto runtime.
+#include <benchmark/benchmark.h>
+
+#include "src/guestlib/guestlib.h"
+#include "src/isa/assembler.h"
+#include "src/vm/machine.h"
+
+namespace {
+
+using namespace sbce;
+
+const isa::BinaryImage& LoopImage() {
+  static const auto* kImage = [] {
+    auto img = isa::Assemble(R"(
+      .entry main
+      main:
+        movi r1, 0
+        movi r2, 200000
+      loop:
+        addi r1, r1, 3
+        xori r1, r1, 0x55
+        subi r2, r2, 1
+        bnz r2, loop
+        movi r1, 0
+        sys 0
+    )");
+    SBCE_CHECK(img.ok());
+    return new isa::BinaryImage(std::move(img).value());
+  }();
+  return *kImage;
+}
+
+void BM_VmInterpreterLoop(benchmark::State& state) {
+  for (auto _ : state) {
+    vm::Machine m(LoopImage(), {"prog"});
+    auto r = m.Run();
+    benchmark::DoNotOptimize(r.instructions);
+    state.SetItemsProcessed(state.items_processed() +
+                            static_cast<int64_t>(r.instructions));
+  }
+}
+BENCHMARK(BM_VmInterpreterLoop);
+
+void BM_VmInterpreterLoopTraced(benchmark::State& state) {
+  for (auto _ : state) {
+    vm::Machine m(LoopImage(), {"prog"});
+    uint64_t count = 0;
+    m.set_trace_hook([&](const vm::TraceEvent&) { ++count; });
+    auto r = m.Run();
+    benchmark::DoNotOptimize(count);
+    state.SetItemsProcessed(state.items_processed() +
+                            static_cast<int64_t>(r.instructions));
+  }
+}
+BENCHMARK(BM_VmInterpreterLoopTraced);
+
+void BM_AssembleGuestLib(benchmark::State& state) {
+  const std::string src = ".entry main\nmain:\n  halt\n" +
+                          guestlib::EmitGuestLib();
+  for (auto _ : state) {
+    auto img = isa::Assemble(src);
+    benchmark::DoNotOptimize(img.ok());
+  }
+}
+BENCHMARK(BM_AssembleGuestLib);
+
+void BM_GuestSha1(benchmark::State& state) {
+  auto img = isa::Assemble(R"(
+    .entry main
+    main:
+      lea r1, msg
+      movi r2, 16
+      lea r3, out
+      call gl_sha1
+      movi r1, 0
+      sys 0
+    .data
+    msg: .asciz "benchmark input!"
+    out: .space 20
+  )" + guestlib::EmitGuestLib());
+  SBCE_CHECK(img.ok());
+  for (auto _ : state) {
+    vm::Machine m(img.value(), {"prog"});
+    benchmark::DoNotOptimize(m.Run().instructions);
+  }
+}
+BENCHMARK(BM_GuestSha1);
+
+void BM_GuestAes128(benchmark::State& state) {
+  auto img = isa::Assemble(R"(
+    .entry main
+    main:
+      lea r1, key
+      lea r2, pt
+      lea r3, ct
+      call gl_aes128
+      movi r1, 0
+      sys 0
+    .data
+    key: .asciz "0123456789abcde"
+    pt:  .asciz "fedcba987654321"
+    ct:  .space 16
+  )" + guestlib::EmitGuestLib());
+  SBCE_CHECK(img.ok());
+  for (auto _ : state) {
+    vm::Machine m(img.value(), {"prog"});
+    benchmark::DoNotOptimize(m.Run().instructions);
+  }
+}
+BENCHMARK(BM_GuestAes128);
+
+}  // namespace
+
+BENCHMARK_MAIN();

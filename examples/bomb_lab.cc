@@ -1,0 +1,86 @@
+// Bomb lab: inspect and attack any bomb from the dataset with any tool
+// profile — the workflow a user of this library actually runs.
+//
+//   example_bomb_lab                 # list bombs and tools
+//   example_bomb_lab arr_one         # disassemble + attack with Ideal
+//   example_bomb_lab arr_one Angr    # attack with a specific tool model
+#include <cstdio>
+#include <cstring>
+
+#include "src/isa/objdump.h"
+#include "src/tools/runner.h"
+
+namespace {
+
+sbce::tools::ToolProfile ProfileByName(const std::string& name) {
+  using namespace sbce::tools;
+  if (name == "BAP") return Bap();
+  if (name == "Triton") return Triton();
+  if (name == "Angr") return Angr();
+  if (name == "Angr-NoLib") return AngrNoLib();
+  return Ideal();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace sbce;
+  if (argc < 2) {
+    std::printf("usage: %s <bomb-id> [tool]\n\nbombs:\n", argv[0]);
+    for (const auto& bomb : bombs::AllBombs()) {
+      std::printf("  %-16s %s\n", bomb.id.c_str(), bomb.challenge.c_str());
+    }
+    std::printf("\ntools: BAP Triton Angr Angr-NoLib Ideal (default)\n");
+    return 0;
+  }
+  const auto* bomb = bombs::FindBomb(argv[1]);
+  if (bomb == nullptr) {
+    std::printf("unknown bomb '%s'\n", argv[1]);
+    return 1;
+  }
+  const auto tool = ProfileByName(argc > 2 ? argv[2] : "Ideal");
+
+  const auto image = bombs::BuildBomb(*bomb);
+  std::printf("=== %s — %s ===\n\n", bomb->id.c_str(),
+              bomb->challenge.c_str());
+
+  // Show the interesting part of the binary: the main text section.
+  for (const auto& section : image.sections()) {
+    if (section.name == ".text") {
+      std::printf("%s\n",
+                  isa::DisassembleSection(section, image).c_str());
+    }
+  }
+  std::printf("bomb block at 0x%llx; seed input: \"%s\"\n\n",
+              static_cast<unsigned long long>(bombs::BombAddress(image)),
+              bomb->seed_argv.size() > 1 ? bomb->seed_argv[1].c_str() : "");
+
+  std::printf("attacking with the %s profile...\n", tool.name.c_str());
+  auto cell = tools::RunCell(*bomb, tool);
+  std::printf("outcome: %s",
+              std::string(tools::OutcomeLabel(cell.outcome)).c_str());
+  if (cell.expected != "-") {
+    std::printf("   (paper reports %s for %s)", cell.expected.c_str(),
+                tool.name.c_str());
+  }
+  std::printf("\n");
+  if (cell.engine.validated) {
+    std::printf("triggering input: \"%s\" in %llu rounds\n",
+                cell.engine.claimed_argv[1].c_str(),
+                static_cast<unsigned long long>(cell.engine.rounds));
+  } else if (cell.engine.claimed) {
+    std::printf("claimed (unvalidated) input: \"%s\"\n",
+                cell.engine.claimed_argv.size() > 1
+                    ? cell.engine.claimed_argv[1].c_str()
+                    : "");
+  }
+  if (cell.engine.aborted) {
+    std::printf("engine aborted: %s\n", cell.engine.abort_reason.c_str());
+  }
+  for (const auto& d : cell.engine.diag.entries) {
+    std::printf("diag Es%d at 0x%llx: %s\n", static_cast<int>(d.stage),
+                static_cast<unsigned long long>(d.pc), d.detail.c_str());
+    break;  // first diagnostic is the root cause
+  }
+  return 0;
+}

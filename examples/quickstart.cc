@@ -1,0 +1,76 @@
+// Quickstart: assemble a tiny guarded binary, explore it concolically,
+// and print the recovered triggering input.
+//
+//   $ example_quickstart
+//
+// Walks the whole pipeline: assembler -> VM -> trace -> symbolic executor
+// -> solver -> validated input.
+#include <cstdio>
+
+#include "src/core/engine.h"
+#include "src/isa/assembler.h"
+#include "src/tools/profiles.h"
+#include "src/vm/machine.h"
+
+int main() {
+  using namespace sbce;
+
+  // A three-character "password check": argv[1] must be "42!".
+  constexpr std::string_view kSource = R"(
+    .entry main
+    main:
+      ld8 r3, [r2+8]      ; argv[1]
+      ld1 r4, [r3+0]
+      cmpeqi r5, r4, '4'
+      bz r5, reject
+      ld1 r4, [r3+1]
+      cmpeqi r5, r4, '2'
+      bz r5, reject
+      ld1 r4, [r3+2]
+      cmpeqi r5, r4, '!'
+      bz r5, reject
+    bomb:                  ; the guarded block we want to reach
+      sys 16
+    reject:
+      movi r1, 0
+      sys 0
+  )";
+
+  auto image_or = isa::Assemble(kSource);
+  if (!image_or.ok()) {
+    std::printf("assembly failed: %s\n",
+                image_or.status().ToString().c_str());
+    return 1;
+  }
+  const isa::BinaryImage image = std::move(image_or).value();
+  std::printf("assembled %zu bytes; target block at 0x%llx\n",
+              image.TotalBytes(),
+              static_cast<unsigned long long>(*image.FindSymbol("bomb")));
+
+  // First, run it concretely with a wrong guess.
+  vm::Machine machine(image, {"prog", "???"});
+  auto concrete = machine.Run();
+  std::printf("concrete run with \"???\": bomb %s\n",
+              concrete.bomb_triggered ? "TRIGGERED" : "not triggered");
+
+  // Then let the reference engine find the real input.
+  core::ConcolicEngine engine(
+      image,
+      [&image](const std::vector<std::string>& argv) {
+        return std::make_unique<vm::Machine>(image, argv);
+      },
+      tools::Ideal().engine);
+  auto result = engine.Explore({"prog", "???"}, *image.FindSymbol("bomb"));
+
+  if (result.validated) {
+    std::printf("concolic engine recovered the input: \"%s\" "
+                "(%llu rounds, %llu solver queries)\n",
+                result.claimed_argv[1].c_str(),
+                static_cast<unsigned long long>(result.rounds),
+                static_cast<unsigned long long>(result.solver_queries));
+  } else {
+    std::printf("engine failed to reach the block\n");
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,956 @@
+#include "src/bombs/bombs.h"
+
+#include <bit>
+
+#include "src/crypto/aes.h"
+#include "src/crypto/sha1.h"
+#include "src/guestlib/guestlib.h"
+#include "src/isa/assembler.h"
+#include "src/support/status.h"
+#include "src/support/str.h"
+
+namespace sbce::bombs {
+
+namespace {
+
+// Every bomb program ends with this suffix: the bomb block and the clean
+// exit. `bomb:` is the label the engines target.
+constexpr std::string_view kBombTail = R"(
+  bomb:
+    sys 16
+  exit:
+    movi r1, 0
+    sys 0
+)";
+
+std::string WithLib(std::string main_text) {
+  return main_text + guestlib::EmitGuestLib();
+}
+
+std::string FpBits(double d) {
+  return StrFormat("0x%016llx",
+                   static_cast<unsigned long long>(std::bit_cast<uint64_t>(d)));
+}
+
+std::string ByteList(std::span<const uint8_t> bytes) {
+  std::string out;
+  for (size_t i = 0; i < bytes.size(); ++i) {
+    out += StrFormat("%s0x%02x", i == 0 ? "" : ",", bytes[i]);
+  }
+  return out;
+}
+
+uint64_t HostRand(uint64_t seed) {
+  uint64_t state = seed;
+  for (int i = 0; i < guestlib::kRandRounds; ++i) {
+    state ^= state >> 13;
+    state = (state * ((state >> 7) | 1) + 12345u) & 0x7fffffffu;
+  }
+  return state;
+}
+
+std::vector<BombSpec> BuildAll() {
+  std::vector<BombSpec> bombs;
+
+  // =====================================================================
+  // Symbolic variable declaration
+  // =====================================================================
+  {
+    BombSpec b;
+    b.id = "svd_time";
+    b.category = Category::kSymbolicDeclaration;
+    b.challenge = "Employ time info in conditions for triggering a bomb";
+    b.source = WithLib(R"(
+      .entry main
+      main:
+        sys 5                      ; time()
+        cmpeqi r5, r0, 1700000777
+        bz r5, exit
+    )" + std::string(kBombTail));
+    b.seed_argv = {"prog", "seed"};
+    b.argv_can_trigger = false;
+    b.trigger_devices.time_seconds = 1'700'000'777;
+    b.expected = {"Es0", "Es0", "Es0", "Es0"};
+    b.expected_ideal = "Es0";  // nobody declares the clock symbolic
+    bombs.push_back(std::move(b));
+  }
+  {
+    BombSpec b;
+    b.id = "svd_web";
+    b.category = Category::kSymbolicDeclaration;
+    b.challenge = "Employ web contents in conditions for triggering a bomb";
+    b.source = WithLib(R"(
+      .entry main
+      main:
+        lea r1, webbuf
+        movi r2, 64
+        sys 15                     ; webget
+        lea r4, webbuf
+        ld1 r5, [r4+0]
+        cmpeqi r6, r5, 'P'
+        bz r6, exit
+        ld1 r5, [r4+1]
+        cmpeqi r6, r5, 'W'
+        bz r6, exit
+        ld1 r5, [r4+2]
+        cmpeqi r6, r5, 'N'
+        bz r6, exit
+    )" + std::string(kBombTail) + R"(
+      .data
+      webbuf: .space 64
+    )");
+    b.seed_argv = {"prog", "seed"};
+    b.argv_can_trigger = false;
+    b.trigger_devices.web_document = "PWN! - detonation document";
+    b.expected = {"Es0", "Es0", "E", "E"};
+    b.expected_ideal = "Es0";
+    bombs.push_back(std::move(b));
+  }
+  {
+    BombSpec b;
+    b.id = "svd_syscall";
+    b.category = Category::kSymbolicDeclaration;
+    b.challenge = "Employ the return values of system calls in conditions";
+    b.source = WithLib(R"(
+      .entry main
+      main:
+        sys 8                      ; getpid()
+        movi r4, 7
+        urem r5, r0, r4
+        cmpeqi r6, r5, 3
+        bz r6, exit
+    )" + std::string(kBombTail));
+    b.seed_argv = {"prog", "seed"};
+    b.argv_can_trigger = false;
+    b.trigger_devices.first_pid = 4245;  // 4245 % 7 == 3
+    b.expected = {"Es0", "Es0", "P", "P"};
+    b.expected_ideal = "Es0";
+    bombs.push_back(std::move(b));
+  }
+  {
+    BombSpec b;
+    b.id = "svd_argvlen";
+    b.category = Category::kSymbolicDeclaration;
+    b.challenge = "Employ the length of argv[1] in conditions";
+    b.source = WithLib(R"(
+      .entry main
+      main:
+        ld8 r9, [r2+8]
+        movi r10, 0                ; n = strlen(argv[1]) inline
+      len_loop:
+        ldx1 r4, [r9+r10]
+        bz r4, len_done
+        addi r10, r10, 1
+        jmp len_loop
+      len_done:
+        cmpeqi r5, r10, 9
+        bz r5, exit
+    )" + std::string(kBombTail));
+    b.seed_argv = {"prog", "a"};
+    b.witness_argv = {"prog", "AAAAAAAAA"};
+    b.argv_can_trigger = true;
+    b.expected = {"Es2", "Es0", "OK", "OK"};
+    b.expected_ideal = "OK";
+    bombs.push_back(std::move(b));
+  }
+
+  // =====================================================================
+  // Covert symbolic propagation
+  // =====================================================================
+  {
+    BombSpec b;
+    b.id = "csp_stack";
+    b.category = Category::kCovertPropagation;
+    b.challenge = "Push symbolic values into the stack and pop out";
+    b.source = WithLib(R"(
+      .entry main
+      main:
+        ld8 r9, [r2+8]
+        ld1 r10, [r9+0]
+        push r10
+        pop r11
+        cmpeqi r5, r11, 'Q'
+        bz r5, exit
+    )" + std::string(kBombTail));
+    b.seed_argv = {"prog", "A"};
+    b.witness_argv = {"prog", "Q"};
+    b.argv_can_trigger = true;
+    b.expected = {"Es1", "OK", "OK", "OK"};
+    b.expected_ideal = "OK";
+    bombs.push_back(std::move(b));
+  }
+  {
+    BombSpec b;
+    b.id = "csp_file";
+    b.category = Category::kCovertPropagation;
+    b.challenge = "Save symbolic values to a file and then read back";
+    b.source = WithLib(R"(
+      .entry main
+      main:
+        ld8 r9, [r2+8]
+        ld1 r10, [r9+0]
+        lea r4, iobuf
+        st1 r10, [r4+0]
+        lea r1, path               ; fd = open("tmp.dat", write)
+        movi r2, 1
+        sys 3
+        mov r8, r0
+        mov r1, r8                 ; write(fd, iobuf, 1)
+        lea r2, iobuf
+        movi r3, 1
+        sys 1
+        mov r1, r8                 ; close(fd)
+        sys 4
+        lea r1, path               ; fd = open("tmp.dat", read)
+        movi r2, 0
+        sys 3
+        mov r8, r0
+        mov r1, r8                 ; read(fd, iobuf2, 1)
+        lea r2, iobuf2
+        movi r3, 1
+        sys 2
+        lea r4, iobuf2
+        ld1 r5, [r4+0]
+        cmpeqi r6, r5, '7'
+        bz r6, exit
+    )" + std::string(kBombTail) + R"(
+      .data
+      path:   .asciz "tmp.dat"
+      iobuf:  .space 8
+      iobuf2: .space 8
+    )");
+    b.seed_argv = {"prog", "A"};
+    b.witness_argv = {"prog", "7"};
+    b.argv_can_trigger = true;
+    b.expected = {"Es2", "Es2", "E", "Es2"};
+    b.expected_ideal = "OK";
+    bombs.push_back(std::move(b));
+  }
+  {
+    BombSpec b;
+    b.id = "csp_syscall";
+    b.category = Category::kCovertPropagation;
+    b.challenge = "Save symbolic values via system call and then read back";
+    b.source = WithLib(R"(
+      .entry main
+      main:
+        ld8 r9, [r2+8]
+        ld1 r10, [r9+0]
+        lea r1, key                ; echo_store("stash", byte)
+        mov r2, r10
+        sys 18
+        lea r1, key                ; echo_load("stash")
+        sys 19
+        cmpeqi r5, r0, '5'
+        bz r5, exit
+    )" + std::string(kBombTail) + R"(
+      .data
+      key: .asciz "stash"
+    )");
+    b.seed_argv = {"prog", "A"};
+    b.witness_argv = {"prog", "5"};
+    b.argv_can_trigger = true;
+    b.expected = {"Es2", "Es2", "P", "P"};
+    b.expected_ideal = "OK";
+    bombs.push_back(std::move(b));
+  }
+  {
+    BombSpec b;
+    b.id = "csp_exception";
+    b.category = Category::kCovertPropagation;
+    b.challenge = "Change symbolic values in an exception (argv[1] = 0)";
+    b.source = WithLib(R"(
+      .entry main
+      main:
+        movi r1, handler
+        sys 14                     ; settrap
+        ld8 r9, [r2+8]
+        ld1 r10, [r9+0]
+        subi r10, r10, '0'
+        movi r5, 100
+        udiv r6, r5, r10           ; traps iff argv digit == 0
+        movi r1, 0
+        sys 0
+      handler:
+    )" + std::string(kBombTail));
+    b.seed_argv = {"prog", "5"};
+    b.witness_argv = {"prog", "0"};
+    b.argv_can_trigger = true;
+    b.expected = {"OK", "Es1", "E", "Es2"};
+    b.expected_ideal = "OK";
+    bombs.push_back(std::move(b));
+  }
+  {
+    BombSpec b;
+    b.id = "csp_fileexcept";
+    b.category = Category::kCovertPropagation;
+    b.challenge = "Change symbolic values in an file operation exception";
+    b.source = WithLib(R"(
+      .entry main
+      main:
+        movi r1, handler
+        sys 14
+        ld8 r9, [r2+8]
+        ld1 r10, [r9+0]
+        subi r10, r10, '0'
+        lea r1, path               ; open("missing.cfg") fails -> trap
+        movi r2, 0
+        sys 3
+        trapneg r0
+        movi r1, 0
+        sys 0
+      handler:
+        mov r1, r10                ; the "exception object" carries the value
+        call gl_unwind_deliver
+        muli r0, r0, 2
+        cmpeqi r5, r0, 14
+        bz r5, exit
+    )" + std::string(kBombTail) + R"(
+      .data
+      path: .asciz "missing.cfg"
+    )");
+    b.seed_argv = {"prog", "1"};
+    b.witness_argv = {"prog", "7"};
+    b.argv_can_trigger = true;
+    b.expected = {"Es2", "Es2", "Es2", "Es2"};
+    b.expected_ideal = "OK";
+    bombs.push_back(std::move(b));
+  }
+
+  // =====================================================================
+  // Parallel programs
+  // =====================================================================
+  {
+    BombSpec b;
+    b.id = "par_pthread";
+    b.category = Category::kParallel;
+    b.challenge = "Change symbolic values in multi-threads via pthread";
+    b.source = WithLib(R"(
+      .entry main
+      main:
+        ld8 r9, [r2+8]
+        ld1 r10, [r9+0]
+        subi r10, r10, '0'
+        lea r4, cell
+        st8 r10, [r4+0]
+        movi r1, worker            ; tid = thread_create(worker, 0)
+        movi r2, 0
+        sys 11
+        mov r1, r0
+        sys 12                     ; join
+        lea r4, cell
+        ld8 r5, [r4+0]
+        cmpeqi r6, r5, 8
+        bz r6, exit
+    )" + std::string(kBombTail) + R"(
+      worker:
+        lea r4, cell
+        ld8 r5, [r4+0]
+        addi r5, r5, 1
+        st8 r5, [r4+0]
+        halt
+      .data
+      cell: .quad 0
+    )");
+    b.seed_argv = {"prog", "1"};
+    b.witness_argv = {"prog", "7"};
+    b.argv_can_trigger = true;
+    b.expected = {"OK", "Es2", "Es2", "Es2"};
+    b.expected_ideal = "OK";
+    bombs.push_back(std::move(b));
+  }
+  {
+    BombSpec b;
+    b.id = "par_forkpipe";
+    b.category = Category::kParallel;
+    b.challenge = "Change symbolic values in multi-processes via fork/pipe";
+    b.source = WithLib(R"(
+      .entry main
+      main:
+        ld8 r9, [r2+8]
+        ld1 r10, [r9+0]
+        lea r1, fdbuf
+        sys 10                     ; pipe
+        sys 9                      ; fork
+        bnz r0, parent
+        xori r10, r10, 0x5A        ; child transforms the value
+        lea r4, cell
+        st8 r10, [r4+0]
+        lea r4, fdbuf
+        ld8 r1, [r4+8]
+        lea r2, cell
+        movi r3, 8
+        sys 1                      ; write through the pipe
+        movi r1, 0
+        sys 0
+      parent:
+        lea r4, fdbuf
+        ld8 r1, [r4+0]
+        lea r2, cell2
+        movi r3, 8
+        sys 2                      ; read (blocks for the child)
+        lea r4, cell2
+        ld8 r5, [r4+0]
+        cmpeqi r6, r5, 0x69
+        bz r6, exit
+    )" + std::string(kBombTail) + R"(
+      .data
+      fdbuf: .space 16
+      cell:  .space 8
+      cell2: .space 8
+    )");
+    b.seed_argv = {"prog", "A"};
+    b.witness_argv = {"prog", "3"};  // '3' ^ 0x5A == 0x69
+    b.argv_can_trigger = true;
+    b.expected = {"Es2", "Es2", "Es2", "OK"};
+    b.expected_ideal = "OK";
+    bombs.push_back(std::move(b));
+  }
+
+  // =====================================================================
+  // Symbolic arrays
+  // =====================================================================
+  {
+    BombSpec b;
+    b.id = "arr_one";
+    b.category = Category::kSymbolicArray;
+    b.challenge = "Employ symbolic values as offsets for a level-one array";
+    b.source = WithLib(R"(
+      .entry main
+      main:
+        ld8 r9, [r2+8]
+        ld1 r10, [r9+0]
+        subi r10, r10, '0'
+        lea r6, table
+        ldx1 r5, [r6+r10]
+        cmpeqi r7, r5, 77
+        bz r7, exit
+    )" + std::string(kBombTail) + R"(
+      .data
+      table: .byte 11, 22, 33, 44, 55, 66, 77, 88, 99, 12
+    )");
+    b.seed_argv = {"prog", "0"};
+    b.witness_argv = {"prog", "6"};
+    b.argv_can_trigger = true;
+    b.expected = {"Es3", "Es3", "OK", "OK"};
+    b.expected_ideal = "OK";
+    bombs.push_back(std::move(b));
+  }
+  {
+    BombSpec b;
+    b.id = "arr_two";
+    b.category = Category::kSymbolicArray;
+    b.challenge = "Employ symbolic values as offsets for a level-two array";
+    b.source = WithLib(R"(
+      .entry main
+      main:
+        ld8 r9, [r2+8]
+        ld1 r10, [r9+0]
+        subi r10, r10, '0'
+        lea r6, t1
+        ldx1 r5, [r6+r10]          ; j = t1[digit]
+        lea r6, t2
+        ldx1 r5, [r6+r5]           ; v = t2[j]
+        cmpeqi r7, r5, 0x5C
+        bz r7, exit
+    )" + std::string(kBombTail) + R"(
+      .data
+      t1: .byte 3, 9, 14, 2, 7, 11, 5, 1, 12, 6
+      t2: .byte 0,0,0,0,0,0,0,0x5C,0,0,0,0,0,0,0,0
+    )");
+    b.seed_argv = {"prog", "0"};
+    b.witness_argv = {"prog", "4"};  // t1[4]=7, t2[7]=0x5C
+    b.argv_can_trigger = true;
+    b.expected = {"Es3", "Es3", "Es3", "Es3"};
+    b.expected_ideal = "OK";
+    bombs.push_back(std::move(b));
+  }
+
+  // =====================================================================
+  // Contextual symbolic values
+  // =====================================================================
+  {
+    BombSpec b;
+    b.id = "ctx_filename";
+    b.category = Category::kContextual;
+    b.challenge = "Employ symbolic values as the name of a file";
+    b.source = WithLib(R"(
+      .entry main
+      main:
+        ld8 r9, [r2+8]
+        ld1 r10, [r9+0]
+        lea r4, namebuf
+        st1 r10, [r4+4]            ; "file_.txt" <- argv[1][0]
+        lea r1, namebuf
+        movi r2, 0
+        sys 3                      ; open succeeds only for the right name
+        cmpltsi r5, r0, 0
+        bnz r5, exit
+    )" + std::string(kBombTail) + R"(
+      .data
+      namebuf: .asciz "file_.txt"
+    )");
+    b.seed_argv = {"prog", "A"};
+    b.witness_argv = {"prog", "Z"};
+    b.argv_can_trigger = true;
+    b.files = {{"fileZ.txt", "present"}};
+    b.expected = {"Es2", "Es3", "Es2", "Es2"};
+    b.expected_ideal = "Es2";  // environment lookup is not invertible
+    bombs.push_back(std::move(b));
+  }
+  {
+    BombSpec b;
+    b.id = "ctx_syscallname";
+    b.category = Category::kContextual;
+    b.challenge = "Employ symbolic values as the name of a system call";
+    b.source = WithLib(R"(
+      .entry main
+      main:
+        ld8 r9, [r2+8]
+        ld1 r10, [r9+0]
+        lea r4, namebuf
+        st1 r10, [r4+3]            ; "key_" <- argv[1][0]
+        lea r1, namebuf
+        sys 19                     ; echo_load(selector)
+        cmpeqi r5, r0, 1
+        bz r5, exit
+    )" + std::string(kBombTail) + R"(
+      .data
+      namebuf: .asciz "key_"
+    )");
+    b.seed_argv = {"prog", "A"};
+    b.witness_argv = {"prog", "Z"};
+    b.argv_can_trigger = true;
+    b.experiment_devices.echo_store = {{"keyZ", 1}};
+    b.trigger_devices.echo_store = {{"keyZ", 1}};
+    b.expected = {"Es2", "Es3", "Es2", "Es2"};
+    b.expected_ideal = "Es2";
+    bombs.push_back(std::move(b));
+  }
+
+  // =====================================================================
+  // Symbolic jumps
+  // =====================================================================
+  {
+    BombSpec b;
+    b.id = "jmp_direct";
+    b.category = Category::kSymbolicJump;
+    b.challenge = "Employ symbolic values as unconditional jump addresses";
+    b.source = WithLib(R"(
+      .entry main
+      main:
+        ld8 r9, [r2+8]
+        ld1 r10, [r9+0]
+        subi r10, r10, '0'
+        muli r10, r10, 8
+        movi r5, slots
+        add r5, r5, r10
+        jmpr r5
+      slots:
+      exit:
+        movi r1, 0
+        sys 0
+        nop
+      bomb:
+        sys 16
+        movi r1, 0
+        sys 0
+    )");
+    b.seed_argv = {"prog", "0"};
+    b.witness_argv = {"prog", "3"};  // slots + 3*8 lands on the bomb
+    b.argv_can_trigger = true;
+    b.expected = {"Es3", "Es3", "Es2", "Es2"};
+    b.expected_ideal = "OK";
+    bombs.push_back(std::move(b));
+  }
+  {
+    BombSpec b;
+    b.id = "jmp_table";
+    b.category = Category::kSymbolicJump;
+    b.challenge = "Employ symbolic values as offsets to an address array";
+    b.source = WithLib(R"(
+      .entry main
+      main:
+        ld8 r9, [r2+8]
+        ld1 r10, [r9+0]
+        subi r10, r10, '0'
+        muli r10, r10, 8
+        lea r6, jumptable
+        ldx8 r5, [r6+r10]
+        jmpr r5
+    )" + std::string(kBombTail) + R"(
+      .data
+      jumptable: .quad exit, exit, bomb, exit, exit, exit, exit, exit, exit, exit
+    )");
+    b.seed_argv = {"prog", "0"};
+    b.witness_argv = {"prog", "2"};
+    b.argv_can_trigger = true;
+    b.expected = {"Es3", "Es3", "Es3", "Es3"};
+    b.expected_ideal = "OK";
+    bombs.push_back(std::move(b));
+  }
+
+  // =====================================================================
+  // Floating point
+  // =====================================================================
+  {
+    BombSpec b;
+    b.id = "fp_round";
+    b.category = Category::kFloatingPoint;
+    b.challenge = "Employ floating-point numbers in symbolic conditions";
+    const std::string fp_round_fmt = R"(
+      .entry main
+      main:
+        ld8 r9, [r2+8]
+        ld1 r10, [r9+0]
+        subi r10, r10, '0'
+        cvtif f0, r10
+        lea r4, fpc
+        fld f1, [r4+0]             ; 1e-20
+        fmul f2, f0, f1            ; tiny = digit * 1e-20
+        fld f3, [r4+8]             ; 1024.0
+        fadd f4, f3, f2
+        fcmpeq r5, f4, f3          ; absorbed by rounding?
+        bz r5, exit
+        fld f5, [r4+16]            ; 0.0
+        fcmplt r6, f5, f2          ; and still positive?
+        bz r6, exit
+    )" + std::string(kBombTail) + R"(
+      .data
+      fpc: .quad %s, %s, %s
+    )";
+    b.source = WithLib(StrFormat(fp_round_fmt.c_str(), FpBits(1e-20).c_str(),
+                                 FpBits(1024.0).c_str(), FpBits(0.0).c_str()));
+    b.seed_argv = {"prog", "0"};
+    b.witness_argv = {"prog", "1"};
+    b.argv_can_trigger = true;
+    b.expected = {"Es1", "Es1", "E", "Es3"};
+    b.expected_ideal = "OK";
+    bombs.push_back(std::move(b));
+  }
+
+  // =====================================================================
+  // External function calls (scalability)
+  // =====================================================================
+  {
+    BombSpec b;
+    b.id = "ext_sin";
+    b.category = Category::kExternalCall;
+    b.challenge = "Employ symbolic values as the parameter of sin";
+    const std::string ext_sin_fmt = R"(
+      .entry main
+      main:
+        ld8 r9, [r2+8]
+        ld1 r10, [r9+0]
+        subi r10, r10, '0'
+        cvtif f0, r10
+        lea r4, fpc
+        fld f1, [r4+0]             ; 0.25
+        fmul f0, f0, f1
+        call gl_sin
+        lea r4, fpc
+        fld f2, [r4+8]             ; 0.247
+        fcmplt r5, f2, f0
+        bz r5, exit
+        fld f3, [r4+16]            ; 0.248
+        fcmplt r6, f0, f3
+        bz r6, exit
+    )" + std::string(kBombTail) + R"(
+      .data
+      fpc: .quad %s, %s, %s
+    )";
+    b.source = WithLib(StrFormat(ext_sin_fmt.c_str(), FpBits(0.25).c_str(),
+                                 FpBits(0.247).c_str(), FpBits(0.248).c_str()));
+    b.seed_argv = {"prog", "0"};
+    b.witness_argv = {"prog", "1"};  // sin(0.25) ~ 0.2474
+    b.argv_can_trigger = true;
+    b.expected = {"Es1", "Es1", "E", "Es2"};
+    b.expected_ideal = "OK";
+    bombs.push_back(std::move(b));
+  }
+  {
+    BombSpec b;
+    b.id = "ext_srand";
+    b.category = Category::kExternalCall;
+    b.challenge = "Employ symbolic values as the parameter of srand";
+    // Two consecutive outputs pin the 64-bit seed (near-)uniquely, so
+    // seed recovery is a genuine search problem rather than a lookup.
+    const std::string srand_key = "magicKey";
+    uint64_t seed_val = 0;
+    for (int i = 7; i >= 0; --i) {
+      seed_val = (seed_val << 8) | static_cast<uint8_t>(srand_key[i]);
+    }
+    const uint64_t t1 = HostRand(seed_val);
+    const uint64_t t2 = HostRand(t1);
+    b.source = WithLib(StrFormat(R"(
+      .entry main
+      main:
+        ld8 r9, [r2+8]
+        ld8 r10, [r9+0]            ; seed = first 8 raw bytes of argv[1]
+        mov r1, r10
+        call gl_srand
+        call gl_rand
+        mov r10, r0
+        call gl_rand
+        mov r11, r0
+        cmpeqi r5, r10, %llu
+        bz r5, exit
+        cmpeqi r5, r11, %llu
+        bz r5, exit
+    )",
+                                 static_cast<unsigned long long>(t1),
+                                 static_cast<unsigned long long>(t2)) +
+                       std::string(kBombTail));
+    b.seed_argv = {"prog", "12345678"};
+    b.witness_argv = {"prog", srand_key};
+    b.argv_can_trigger = true;
+    b.expected = {"Es2", "E", "E", "Es2"};
+    b.expected_ideal = "E";  // seed recovery exceeds any sane budget
+    bombs.push_back(std::move(b));
+  }
+
+  // =====================================================================
+  // Crypto functions (scalability)
+  // =====================================================================
+  {
+    BombSpec b;
+    b.id = "cry_sha1";
+    b.category = Category::kCrypto;
+    b.challenge = "Infer the plain text from an SHA1 result";
+    const std::string preimage = "Dsn2017!";
+    const auto digest = crypto::Sha1(std::span<const uint8_t>(
+        reinterpret_cast<const uint8_t*>(preimage.data()), preimage.size()));
+    const std::string sha1_fmt = R"(
+      .entry main
+      main:
+        ld8 r9, [r2+8]
+        movi r11, 0                ; inline strlen
+      len_loop:
+        ldx1 r4, [r9+r11]
+        bz r4, len_done
+        addi r11, r11, 1
+        jmp len_loop
+      len_done:
+        mov r1, r9
+        mov r2, r11
+        lea r3, digestbuf
+        call gl_sha1
+        movi r11, 0
+      cmp_loop:
+        lea r4, digestbuf
+        ldx1 r5, [r4+r11]
+        lea r4, target
+        ldx1 r6, [r4+r11]
+        cmpeq r7, r5, r6
+        bz r7, exit
+        addi r11, r11, 1
+        cmpltui r7, r11, 20
+        bnz r7, cmp_loop
+    )" + std::string(kBombTail) + R"(
+      .data
+      digestbuf: .space 20
+      target: .byte %s
+    )";
+    b.source = WithLib(StrFormat(sha1_fmt.c_str(), ByteList(digest).c_str()));
+    b.seed_argv = {"prog", "aaaaaaaa"};
+    b.witness_argv = {"prog", preimage};
+    b.argv_can_trigger = true;
+    b.expected = {"E", "E", "E", "Es2"};
+    b.expected_ideal = "E";
+    bombs.push_back(std::move(b));
+  }
+  {
+    BombSpec b;
+    b.id = "cry_aes";
+    b.category = Category::kCrypto;
+    b.challenge = "Infer the key from an AES encryption result";
+    const std::string key_str = "k3y-0f-l0gicbomb";  // 16 bytes
+    crypto::AesKey key;
+    crypto::AesBlock pt;
+    const std::string pt_str = "SBCE-PLAINTEXT-0";
+    for (int i = 0; i < 16; ++i) {
+      key[i] = static_cast<uint8_t>(key_str[i]);
+      pt[i] = static_cast<uint8_t>(pt_str[i]);
+    }
+    const auto ct = crypto::Aes128Encrypt(key, pt);
+    const std::string aes_fmt = R"(
+      .entry main
+      main:
+        ld8 r9, [r2+8]
+        movi r11, 0                ; copy up to 16 key bytes
+      key_loop:
+        ldx1 r4, [r9+r11]
+        bz r4, key_done
+        lea r5, keybuf
+        stx1 r4, [r5+r11]
+        addi r11, r11, 1
+        cmpltui r4, r11, 16
+        bnz r4, key_loop
+      key_done:
+        lea r1, keybuf
+        lea r2, pt
+        lea r3, ct
+        call gl_aes128
+        movi r11, 0
+      cmp_loop:
+        lea r4, ct
+        ldx1 r5, [r4+r11]
+        lea r4, target
+        ldx1 r6, [r4+r11]
+        cmpeq r7, r5, r6
+        bz r7, exit
+        addi r11, r11, 1
+        cmpltui r7, r11, 16
+        bnz r7, cmp_loop
+    )" + std::string(kBombTail) + R"(
+      .data
+      keybuf: .space 16
+      pt:     .byte %s
+      ct:     .space 16
+      target: .byte %s
+    )";
+    b.source = WithLib(StrFormat(aes_fmt.c_str(), ByteList(pt).c_str(),
+                                 ByteList(ct).c_str()));
+    b.seed_argv = {"prog", "x"};
+    b.witness_argv = {"prog", key_str};
+    b.argv_can_trigger = true;
+    b.expected = {"Es2", "Es2", "Es2", "Es2"};
+    b.expected_ideal = "E";
+    bombs.push_back(std::move(b));
+  }
+
+  // =====================================================================
+  // Negative bomb (§V.C): infeasible path used to expose false positives.
+  // =====================================================================
+  {
+    BombSpec b;
+    b.id = "neg_pow";
+    b.category = Category::kNegative;
+    b.challenge = "Negative bomb: pow(x, 2) == -1 (constant false)";
+    const std::string neg_fmt = R"(
+      .entry main
+      main:
+        ld8 r9, [r2+8]
+        ld1 r10, [r9+0]
+        subi r10, r10, '0'
+        cvtif f0, r10
+        call gl_pow2
+        lea r4, fpc
+        fld f1, [r4+0]             ; -1.0
+        fcmpeq r5, f0, f1
+        bz r5, exit
+    )" + std::string(kBombTail) + R"(
+      .data
+      fpc: .quad %s
+    )";
+    b.source = WithLib(StrFormat(neg_fmt.c_str(), FpBits(-1.0).c_str()));
+    b.seed_argv = {"prog", "1"};
+    b.argv_can_trigger = false;  // x^2 == -1 has no real solution
+    b.expected = {"-", "-", "-", "-"};
+    b.expected_ideal = "unreachable";
+    bombs.push_back(std::move(b));
+  }
+
+  // =====================================================================
+  // Figure 3 programs: external-call constraint blowup demo.
+  // =====================================================================
+  for (const bool with_print : {false, true}) {
+    BombSpec b;
+    b.id = with_print ? "fig3_print" : "fig3_noprint";
+    b.category = Category::kDemo;
+    b.challenge = with_print
+                      ? "Figure 3 guard with printf enabled"
+                      : "Figure 3 guard with printf commented out";
+    std::string body = R"(
+      .entry main
+      main:
+        ld8 r9, [r2+8]
+        movi r10, 0                ; inline atoi
+        movi r11, 0
+      atoi_loop:
+        ldx1 r4, [r9+r11]
+        bz r4, atoi_done
+        subi r4, r4, '0'
+        muli r10, r10, 10
+        add r10, r10, r4
+        addi r11, r11, 1
+        jmp atoi_loop
+      atoi_done:
+    )";
+    if (with_print) {
+      body += R"(
+        mov r1, r10
+        call gl_print_u64
+      )";
+    }
+    body += R"(
+        cmpltui r5, r10, 0x32
+        bnz r5, exit
+    )";
+    b.source = WithLib(body + std::string(kBombTail));
+    b.seed_argv = {"prog", "7"};
+    b.witness_argv = {"prog", "99"};
+    b.argv_can_trigger = true;
+    b.expected = {"-", "-", "-", "-"};
+    b.expected_ideal = "OK";
+    bombs.push_back(std::move(b));
+  }
+
+  return bombs;
+}
+
+}  // namespace
+
+std::string_view CategoryName(Category c) {
+  switch (c) {
+    case Category::kSymbolicDeclaration: return "Symbolic Variable Declaration";
+    case Category::kCovertPropagation: return "Covert Symbolic Propagation";
+    case Category::kParallel: return "Parallel Program";
+    case Category::kSymbolicArray: return "Symbolic Array";
+    case Category::kContextual: return "Contextual Symbolic Value";
+    case Category::kSymbolicJump: return "Symbolic Jump";
+    case Category::kFloatingPoint: return "Floating-point Number";
+    case Category::kExternalCall: return "External Function Call";
+    case Category::kCrypto: return "Crypto Function";
+    case Category::kNegative: return "Negative Bomb";
+    case Category::kDemo: return "Demo Program";
+  }
+  return "?";
+}
+
+const std::vector<BombSpec>& AllBombs() {
+  static const auto* kBombs = new std::vector<BombSpec>(BuildAll());
+  return *kBombs;
+}
+
+const BombSpec* FindBomb(std::string_view id) {
+  for (const auto& b : AllBombs()) {
+    if (b.id == id) return &b;
+  }
+  return nullptr;
+}
+
+std::vector<const BombSpec*> TableTwoBombs() {
+  std::vector<const BombSpec*> out;
+  for (const auto& b : AllBombs()) {
+    if (b.category != Category::kNegative && b.category != Category::kDemo) {
+      out.push_back(&b);
+    }
+  }
+  return out;
+}
+
+isa::BinaryImage BuildBomb(const BombSpec& spec) {
+  auto img = isa::Assemble(spec.source);
+  SBCE_CHECK_MSG(img.ok(),
+                 spec.id + ": " + img.status().ToString());
+  return std::move(img).value();
+}
+
+uint64_t BombAddress(const isa::BinaryImage& image) {
+  auto addr = image.FindSymbol("bomb");
+  SBCE_CHECK_MSG(addr.has_value(), "image lacks a bomb label");
+  return *addr;
+}
+
+}  // namespace sbce::bombs

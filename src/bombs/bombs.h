@@ -1,0 +1,77 @@
+// The logic-bomb dataset (the paper's open-source benchmark, §V.A).
+//
+// Each bomb is a small SBVM binary whose SYS_BOMB block is guarded by one
+// challenge. Specs carry: the program source, the seed input the engines
+// start from, the ground-truth witness (input and/or environment that
+// detonates it), any filesystem/device preconditions, and the outcome the
+// paper's Table II reports for each of the four studied tools.
+#pragma once
+
+#include <array>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/isa/image.h"
+#include "src/vm/devices.h"
+
+namespace sbce::bombs {
+
+enum class Category : uint8_t {
+  kSymbolicDeclaration,
+  kCovertPropagation,
+  kParallel,
+  kSymbolicArray,
+  kContextual,
+  kSymbolicJump,
+  kFloatingPoint,
+  kExternalCall,
+  kCrypto,
+  kNegative,   // infeasible path (false-positive probe, §V.C)
+  kDemo,       // Figure 3 programs
+};
+
+std::string_view CategoryName(Category c);
+
+/// Index into BombSpec::expected.
+enum ToolIndex { kBap = 0, kTriton = 1, kAngr = 2, kAngrNoLib = 3 };
+
+struct BombSpec {
+  std::string id;
+  Category category = Category::kDemo;
+  std::string challenge;  // Table II row description
+
+  std::string source;     // complete assembly (guest library included)
+
+  std::vector<std::string> seed_argv;     // engines start here
+  std::vector<std::string> witness_argv;  // detonating argv ("" row: none)
+  bool argv_can_trigger = false;  // under experiment devices/filesystem
+
+  vm::Devices experiment_devices;  // environment the tools run in
+  vm::Devices trigger_devices;     // environment where the witness works
+  std::map<std::string, std::string> files;  // pre-created files
+
+  /// Paper Table II outcomes: "OK", "Es0".."Es3", "E", "P"; "-" for rows
+  /// the paper does not contain (negative bomb, Figure 3 programs).
+  std::array<std::string, 4> expected = {"-", "-", "-", "-"};
+  /// What our reference (ideal) engine is expected to achieve.
+  std::string expected_ideal;
+};
+
+/// All 22 Table II bombs, in paper order, followed by the negative bomb
+/// and the two Figure 3 programs.
+const std::vector<BombSpec>& AllBombs();
+
+/// nullptr if not found.
+const BombSpec* FindBomb(std::string_view id);
+
+/// Bombs belonging to the 22-row Table II grid (excludes negative/demo).
+std::vector<const BombSpec*> TableTwoBombs();
+
+/// Assembles a bomb (aborts on assembler errors — specs are tested).
+isa::BinaryImage BuildBomb(const BombSpec& spec);
+
+/// Address of the bomb label in a built image.
+uint64_t BombAddress(const isa::BinaryImage& image);
+
+}  // namespace sbce::bombs

@@ -1,0 +1,100 @@
+#include "src/core/cfg.h"
+
+#include <map>
+#include <vector>
+
+#include "src/isa/instruction.h"
+#include "src/isa/opcode.h"
+
+namespace sbce::core {
+
+using isa::Opcode;
+
+CfgReachability::CfgReachability(const isa::BinaryImage& image,
+                                 uint64_t target) {
+  // Decode every executable section into predecessor edges.
+  std::map<uint64_t, std::vector<uint64_t>> preds;  // addr → predecessors
+  for (const auto& section : image.sections()) {
+    if ((section.flags & isa::kSectionExec) == 0) continue;
+    for (size_t off = 0; off + isa::kInstrBytes <= section.data.size();
+         off += isa::kInstrBytes) {
+      const uint64_t pc = section.vaddr + off;
+      auto decoded = isa::Decode(
+          std::span<const uint8_t>(section.data.data() + off,
+                                   isa::kInstrBytes));
+      if (!decoded) continue;  // data in text: no edges
+      const auto& in = decoded.value();
+      instrs_.emplace(pc, in);
+      const uint64_t next = pc + isa::kInstrBytes;
+      const auto imm = static_cast<int64_t>(in.imm);
+      switch (in.op) {
+        case Opcode::kJmp:
+          preds[next + imm].push_back(pc);
+          break;
+        case Opcode::kBz:
+        case Opcode::kBnz:
+          preds[next + imm].push_back(pc);
+          preds[next].push_back(pc);
+          break;
+        case Opcode::kCall:
+          preds[next + imm].push_back(pc);
+          preds[next].push_back(pc);  // returns eventually fall through
+          break;
+        case Opcode::kJmpR:
+        case Opcode::kCallR:
+          // Unknown target: conservatively, such a site may reach anything.
+          indirect_anywhere_ = true;
+          preds[next].push_back(pc);
+          break;
+        case Opcode::kHalt:
+        case Opcode::kRet:
+          break;  // no static successor
+        default:
+          preds[next].push_back(pc);
+          break;
+      }
+    }
+  }
+
+  // Backward BFS from the target.
+  std::vector<uint64_t> work = {target};
+  reaches_.insert(target);
+  while (!work.empty()) {
+    const uint64_t cur = work.back();
+    work.pop_back();
+    auto it = preds.find(cur);
+    if (it == preds.end()) continue;
+    for (uint64_t p : it->second) {
+      if (reaches_.insert(p).second) work.push_back(p);
+    }
+  }
+}
+
+bool CfgReachability::StraightLineReaches(uint64_t pc,
+                                          uint64_t target) const {
+  for (int steps = 0; steps < 64; ++steps) {
+    if (pc == target) return true;
+    auto it = instrs_.find(pc);
+    if (it == instrs_.end()) return false;
+    const auto& in = it->second;
+    const uint64_t next = pc + isa::kInstrBytes;
+    switch (in.op) {
+      case Opcode::kJmp:
+        pc = next + static_cast<int64_t>(in.imm);
+        break;
+      case Opcode::kBz:
+      case Opcode::kBnz:
+      case Opcode::kJmpR:
+      case Opcode::kCallR:
+      case Opcode::kRet:
+      case Opcode::kHalt:
+        return false;  // further control-flow choice or end
+      default:
+        pc = next;
+        break;
+    }
+  }
+  return false;
+}
+
+}  // namespace sbce::core

@@ -1,0 +1,49 @@
+// Static control-flow reachability over a binary image.
+//
+// The directed-exploration mode of the engine (mirroring the Angr script in
+// the paper, which checks "whether a bomb path is reachable") needs to know
+// which negated branch directions can still reach the target address. This
+// module decodes all executable sections, builds conservative successor
+// edges and answers backward reachability queries.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "src/isa/image.h"
+#include "src/isa/instruction.h"
+
+namespace sbce::core {
+
+class CfgReachability {
+ public:
+  /// Decodes `image`'s executable sections and computes the set of
+  /// instruction addresses from which `target` is reachable. Conservative
+  /// approximations: indirect jumps/calls are assumed able to reach the
+  /// target; call instructions fall through (returns are not matched).
+  CfgReachability(const isa::BinaryImage& image, uint64_t target);
+
+  /// True if starting at `pc` the target may be reached.
+  bool Reaches(uint64_t pc) const {
+    return reaches_.count(pc) != 0 || indirect_anywhere_;
+  }
+
+  /// True if control starting at `pc` falls into the target without
+  /// passing any further conditional branch or indirect transfer — i.e. a
+  /// satisfiable state at `pc` IS a state at the target. This is the claim
+  /// criterion: real engines report a bomb reachable when a constraint-
+  /// satisfiable state sits on it, not merely somewhere that might still
+  /// branch away.
+  bool StraightLineReaches(uint64_t pc, uint64_t target) const;
+
+  size_t ReachingCount() const { return reaches_.size(); }
+  bool has_indirect_jumps() const { return indirect_anywhere_; }
+
+ private:
+  std::unordered_set<uint64_t> reaches_;
+  std::unordered_map<uint64_t, isa::Instruction> instrs_;
+  bool indirect_anywhere_ = false;
+};
+
+}  // namespace sbce::core

@@ -1,0 +1,309 @@
+#include "src/core/engine.h"
+
+#include <algorithm>
+#include <map>
+#include <tuple>
+
+#include "src/support/str.h"
+
+namespace sbce::core {
+
+using solver::ExprRef;
+using symex::ErrorStage;
+
+ConcolicEngine::ConcolicEngine(const isa::BinaryImage& image,
+                               MachineFactory factory, EngineConfig config)
+    : image_(image), factory_(std::move(factory)), config_(std::move(config)) {}
+
+ConcolicEngine::RoundData ConcolicEngine::RunConcrete(
+    const std::vector<std::string>& argv) {
+  RoundData round;
+  auto machine = factory_(argv);
+  machine->set_trace_hook([&](const vm::TraceEvent& ev) {
+    if (round.events.size() < config_.budgets.max_trace_events) {
+      round.events.push_back(ev);
+    } else {
+      round.trace_overflow = true;
+    }
+  });
+  const vm::RunResult rr = machine->Run();
+  round.bomb_hit = rr.bomb_triggered;
+  round.vm_fault = rr.faulted;
+  if (rr.budget_exhausted) round.trace_overflow = true;
+  return round;
+}
+
+void ConcolicEngine::DeclareSymbolicInputs(
+    symex::TraceExecutor& exec, const vm::Machine& machine,
+    const std::vector<std::string>& argv) {
+  if (!config_.sources.argv) return;
+  const unsigned window = config_.sources.argv_max_len;
+  for (size_t i = 1; i < argv.size(); ++i) {
+    const uint64_t addr = machine.ArgvStringAddr(i);
+    const size_t nbytes = window > 0 ? window : argv[i].size();
+    std::vector<ExprRef> bytes;
+    bytes.reserve(nbytes);
+    for (size_t k = 0; k < nbytes; ++k) {
+      bytes.push_back(
+          pool_.Var(StrFormat("argv%zu_b%zu", i, k), 8));
+    }
+    exec.AddSymbolicBytes(addr, bytes);
+  }
+}
+
+std::vector<std::string> ConcolicEngine::DecodeModel(
+    const solver::Assignment& model,
+    const std::vector<std::string>& current_argv, bool distort) const {
+  std::vector<std::string> out = current_argv;
+  const unsigned window = config_.sources.argv_max_len;
+  for (size_t i = 1; i < out.size(); ++i) {
+    const size_t nbytes = window > 0 ? window : out[i].size();
+    std::vector<uint8_t> bytes(nbytes, 0);
+    size_t last_assigned_nonzero = 0;
+    bool any_assigned_nonzero = false;
+    for (size_t k = 0; k < nbytes; ++k) {
+      const std::string name = StrFormat("argv%zu_b%zu", i, k);
+      if (auto it = model.find(name); it != model.end()) {
+        uint8_t byte = static_cast<uint8_t>(it->second);
+        // The modeled Angr symbolic-jump bug: model bytes are mis-decoded
+        // by one (a data-propagation error on the recovered input).
+        if (distort) byte = static_cast<uint8_t>(byte + 1);
+        bytes[k] = byte;
+        if (byte != 0) {
+          last_assigned_nonzero = k;
+          any_assigned_nonzero = true;
+        }
+      } else {
+        bytes[k] = k < out[i].size() ? static_cast<uint8_t>(out[i][k]) : 0;
+      }
+    }
+    // argv strings cannot contain NUL: fill unconstrained holes before the
+    // last byte the model insists on, so the solution survives decoding.
+    if (any_assigned_nonzero) {
+      for (size_t k = 0; k < last_assigned_nonzero; ++k) {
+        if (bytes[k] == 0) bytes[k] = 'A';
+      }
+    }
+    std::string s;
+    for (uint8_t byte : bytes) {
+      if (byte == 0) break;
+      s.push_back(static_cast<char>(byte));
+    }
+    out[i] = s;
+  }
+  return out;
+}
+
+EngineResult ConcolicEngine::Explore(
+    const std::vector<std::string>& seed_argv, uint64_t target_pc) {
+  EngineResult result;
+  CfgReachability cfg(image_, target_pc);
+
+  std::deque<std::vector<std::string>> worklist = {seed_argv};
+  std::set<std::vector<std::string>> enqueued = {seed_argv};
+  // Negations already attempted: (pc, occurrence, direction-of-cond id).
+  std::set<std::tuple<uint64_t, uint32_t, uint32_t>> flipped;
+
+  bool first_round = true;
+  while (!worklist.empty() && result.rounds < config_.budgets.max_rounds) {
+    if (result.aborted) break;
+    const std::vector<std::string> argv = worklist.front();
+    worklist.pop_front();
+    ++result.rounds;
+    result.explored_inputs.push_back(argv);
+
+    RoundData round = RunConcrete(argv);
+    result.total_events += round.events.size();
+    if (round.bomb_hit) {
+      result.claimed = true;
+      result.validated = true;
+      result.claimed_argv = argv;
+      return result;
+    }
+    if (round.trace_overflow) {
+      result.aborted = true;
+      result.abort_reason = "trace budget exceeded (path/instruction blowup)";
+      return result;
+    }
+
+    // Symbolic walk of this round's trace.
+    auto machine_for_layout = factory_(argv);  // addresses of argv strings
+    symex::TraceExecutor exec(&pool_, config_.symex);
+    exec.SetInitialByteReader(
+        [this, &machine_for_layout](uint64_t addr) -> std::optional<uint8_t> {
+          for (const auto& s : image_.sections()) {
+            if (addr >= s.vaddr && addr < s.vaddr + s.data.size()) {
+              return s.data[addr - s.vaddr];
+            }
+          }
+          // argv block of the root process (written before execution).
+          return machine_for_layout->root().mem.ReadU8(addr);
+        });
+    DeclareSymbolicInputs(exec, *machine_for_layout, argv);
+    symex::SymTraceResult sym = exec.Execute(round.events);
+
+    // Merge diagnostics and stats.
+    auto& diag_entries = exec.state().diag().entries;
+    result.diag.entries.insert(result.diag.entries.end(),
+                               diag_entries.begin(), diag_entries.end());
+    if (exec.state().AnySymbolicSeen()) result.any_symbolic_seen = true;
+    if (first_round) {
+      result.seed_symbolic_instrs = sym.symbolic_instr_count;
+      result.seed_constraints = exec.state().path().size();
+      result.seed_lib_constraints = sym.lib_constraint_count;
+      first_round = false;
+    }
+    if (sym.aborted) {
+      result.aborted = true;
+      result.abort_reason = sym.abort_reason;
+      return result;
+    }
+
+    const auto& path = exec.state().path();
+    if (!path.empty()) result.any_symbolic_branch = true;
+
+    // Candidate negations: directed first, then a bounded breadth slice.
+    std::vector<size_t> candidates;
+    std::vector<size_t> undirected;
+    for (size_t i = 0; i < path.size(); ++i) {
+      const auto key = std::make_tuple(path[i].pc, path[i].occurrence,
+                                       path[i].cond->id);
+      if (flipped.count(key) != 0) continue;
+      const bool directed = path[i].negated_successor != 0 &&
+                            cfg.Reaches(path[i].negated_successor);
+      (directed ? candidates : undirected).push_back(i);
+    }
+    constexpr size_t kUndirectedPerRound = 12;
+    for (size_t k = 0; k < undirected.size() && k < kUndirectedPerRound;
+         ++k) {
+      candidates.push_back(undirected[k]);
+    }
+
+    const size_t num_directed =
+        candidates.size() -
+        std::min(undirected.size(), kUndirectedPerRound);
+
+    for (size_t ci = 0; ci < candidates.size(); ++ci) {
+      if (result.solver_queries >= config_.budgets.max_solver_queries) break;
+      const size_t i = candidates[ci];
+      const bool directed = ci < num_directed;
+      flipped.insert(std::make_tuple(path[i].pc, path[i].occurrence,
+                                     path[i].cond->id));
+      // Prefix constraints + negated condition.
+      std::vector<ExprRef> assertions;
+      for (size_t k = 0; k < i; ++k) assertions.push_back(path[k].cond);
+      assertions.push_back(pool_.Not(path[i].cond));
+
+      if (!config_.solver_supports_fp && solver::ContainsHardFp(assertions)) {
+        result.diag.entries.push_back(
+            {ErrorStage::kEs3,
+             "constraint requires an unsupported floating-point theory",
+             path[i].pc});
+        continue;
+      }
+
+      ++result.solver_queries;
+      auto res = solver::CheckSat(assertions, config_.budgets.solver);
+      result.solver_conflicts += res.conflicts;
+      if (res.status == solver::SolveStatus::kUnknown) {
+        const bool circuit =
+            res.note.find("circuit") != std::string::npos ||
+            res.note.find("bit-blast") != std::string::npos;
+        const BudgetOutcome outcome = circuit ? config_.on_circuit_budget
+                                              : config_.on_conflict_budget;
+        if (outcome == BudgetOutcome::kAbort) {
+          result.aborted = true;
+          result.abort_reason = "solver budget exceeded: " + res.note;
+          return result;
+        }
+        // kClaimBest: emit a wrong best-effort test case for this path.
+        result.claimed = true;
+        result.claimed_argv = argv;
+        continue;
+      }
+      if (res.status != solver::SolveStatus::kSat) continue;
+
+      // Does the satisfying path rely on environment symbols?
+      bool sys_env = false;
+      bool lib_env = false;
+      for (ExprRef v : solver::CollectVars(assertions)) {
+        if (StartsWith(v->name, "sysenv")) sys_env = true;
+        if (StartsWith(v->name, "extenv")) lib_env = true;
+      }
+      std::vector<std::string> next_argv =
+          DecodeModel(res.model, argv, /*distort=*/false);
+      // A claim requires a satisfiable state that *is* at the target: the
+      // negated direction must fall straight-line into it. Exception:
+      // when the satisfying path leans on unconstrained environment
+      // symbols, the simulation can satisfy the remaining env-dependent
+      // branches too, so mere CFG reachability suffices (this is how
+      // simulation-based engines over-approximate).
+      const bool env_backed = (sys_env || lib_env) &&
+                              cfg.Reaches(path[i].negated_successor);
+      if (cfg.StraightLineReaches(path[i].negated_successor, target_pc) ||
+          env_backed) {
+        result.claimed = true;
+        result.claimed_argv = next_argv;
+        result.used_sys_env |= sys_env;
+        result.used_lib_env |= lib_env;
+      }
+      if (enqueued.insert(next_argv).second) {
+        if (directed) {
+          worklist.push_front(next_argv);
+        } else {
+          worklist.push_back(next_argv);
+        }
+      }
+    }
+
+    // Symbolic indirect jumps: attempt target resolution.
+    for (const auto& jump : exec.state().jumps()) {
+      if (result.solver_queries >= config_.budgets.max_solver_queries) break;
+      std::vector<ExprRef> assertions;
+      for (size_t k = 0; k < path.size() &&
+                         path[k].event_index < jump.event_index;
+           ++k) {
+        assertions.push_back(path[k].cond);
+      }
+      assertions.push_back(
+          pool_.Eq(jump.target, pool_.Const(target_pc, 64)));
+      if (!config_.solver_supports_fp && solver::ContainsHardFp(assertions)) {
+        result.diag.entries.push_back(
+            {ErrorStage::kEs3,
+             "jump constraint requires unsupported theory", jump.pc});
+        continue;
+      }
+      ++result.solver_queries;
+      auto res = solver::CheckSat(assertions, config_.budgets.solver);
+      result.solver_conflicts += res.conflicts;
+      if (res.status == solver::SolveStatus::kSat) {
+        const bool buggy =
+            config_.symex.jump_policy == symex::SymJumpPolicy::kBuggyResolve;
+        std::vector<std::string> next_argv =
+            DecodeModel(res.model, argv, /*distort=*/buggy);
+        result.claimed = true;
+        result.claimed_argv = next_argv;
+        if (enqueued.insert(next_argv).second) {
+          worklist.push_front(next_argv);
+        }
+      } else {
+        result.diag.entries.push_back(
+            {ErrorStage::kEs3,
+             "cannot model symbolic jump targets (no satisfiable "
+             "resolution)",
+             jump.pc});
+      }
+    }
+  }
+
+  if (!result.validated && !result.claimed &&
+      config_.claims_on_exhausted_exploration && result.any_symbolic_branch &&
+      !result.diag.Has(ErrorStage::kEs1) && !result.diag.Has(ErrorStage::kEs3)) {
+    // BAP-style: report the inputs of the last explored flow as an answer.
+    result.claimed = true;
+    result.claimed_argv = seed_argv;
+  }
+  return result;
+}
+
+}  // namespace sbce::core

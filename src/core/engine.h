@@ -1,0 +1,123 @@
+// The concolic execution engine: alternating concrete runs and symbolic
+// reasoning (the conceptual framework of §III.B).
+//
+// Each round: run the program in the VM with tracing → walk the trace
+// symbolically → pick path constraints to negate (directed-first, using
+// static CFG reachability toward the target) → solve → derive new inputs →
+// schedule. The engine claims the target reachable when a directed query
+// is satisfiable; every claim is then validated by concrete re-execution,
+// which is what separates real successes (✓) from the paper's Es2/P
+// outcomes.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/core/cfg.h"
+#include "src/isa/image.h"
+#include "src/solver/solver.h"
+#include "src/symex/config.h"
+#include "src/symex/executor.h"
+#include "src/vm/machine.h"
+
+namespace sbce::core {
+
+struct EngineBudgets {
+  uint64_t max_rounds = 48;
+  uint64_t max_trace_events = 400'000;   // per round (exceeding aborts: E)
+  uint64_t max_vm_instructions = 4'000'000;
+  uint64_t max_solver_queries = 192;
+  solver::SolverOptions solver;          // per-query conflict/circuit budget
+};
+
+/// What happens when a per-query solver budget is exceeded.
+enum class BudgetOutcome : uint8_t {
+  kAbort,      // engine dies: paper outcome E
+  kClaimBest,  // tool emits a best-effort (wrong) test case: Es2 via
+               // failed validation (BAP's behaviour in the study)
+};
+
+struct EngineConfig {
+  symex::SymexConfig symex;
+  symex::SymbolicSources sources;
+  EngineBudgets budgets;
+  BudgetOutcome on_conflict_budget = BudgetOutcome::kAbort;
+  BudgetOutcome on_circuit_budget = BudgetOutcome::kAbort;
+  /// BAP: when exploration exhausts without reaching the target but
+  /// symbolic branches existed, claim the current inputs as an answer.
+  bool claims_on_exhausted_exploration = false;
+  /// Whether the solver backend has a floating-point theory. When false,
+  /// FP constraints raise Es3 instead of being solved.
+  bool solver_supports_fp = true;
+};
+
+struct EngineResult {
+  bool claimed = false;                 // engine believes target reachable
+  std::vector<std::string> claimed_argv;
+  bool validated = false;               // a concrete run hit the target
+  bool used_sys_env = false;            // claim relied on simulated syscalls
+  bool used_lib_env = false;            // claim relied on skipped lib calls
+  bool aborted = false;                 // paper outcome E
+  std::string abort_reason;
+  symex::Diagnostics diag;              // merged diagnostics
+  bool any_symbolic_branch = false;
+  bool any_symbolic_seen = false;
+
+  uint64_t rounds = 0;
+  uint64_t total_events = 0;
+  uint64_t solver_queries = 0;
+  uint64_t solver_conflicts = 0;
+
+  /// Every input the engine executed, in order (seed first). Useful for
+  /// replaying the exploration, e.g. to measure coverage.
+  std::vector<std::vector<std::string>> explored_inputs;
+
+  // Figure 3 metrics, from the seed round.
+  size_t seed_symbolic_instrs = 0;
+  size_t seed_constraints = 0;
+  size_t seed_lib_constraints = 0;
+};
+
+class ConcolicEngine {
+ public:
+  /// Builds the concrete machine for a given argv (tracing and validation
+  /// runs use the same factory, so the environment is identical).
+  using MachineFactory =
+      std::function<std::unique_ptr<vm::Machine>(
+          const std::vector<std::string>& argv)>;
+
+  ConcolicEngine(const isa::BinaryImage& image, MachineFactory factory,
+                 EngineConfig config);
+
+  /// Directed exploration toward `target_pc` starting from `seed_argv`.
+  EngineResult Explore(const std::vector<std::string>& seed_argv,
+                       uint64_t target_pc);
+
+ private:
+  struct RoundData {
+    std::vector<vm::TraceEvent> events;
+    bool bomb_hit = false;
+    bool trace_overflow = false;
+    bool vm_fault = false;
+  };
+
+  RoundData RunConcrete(const std::vector<std::string>& argv);
+  /// Installs argv symbolic bytes; returns the var names used.
+  void DeclareSymbolicInputs(symex::TraceExecutor& exec,
+                             const vm::Machine& machine,
+                             const std::vector<std::string>& argv);
+  std::vector<std::string> DecodeModel(
+      const solver::Assignment& model,
+      const std::vector<std::string>& current_argv, bool distort) const;
+
+  const isa::BinaryImage& image_;
+  MachineFactory factory_;
+  EngineConfig config_;
+  solver::ExprPool pool_;
+};
+
+}  // namespace sbce::core

@@ -1,0 +1,92 @@
+#include "src/crypto/aes.h"
+
+namespace sbce::crypto {
+
+uint8_t GfMul(uint8_t a, uint8_t b) {
+  uint16_t aa = a;
+  uint8_t p = 0;
+  for (int i = 0; i < 8; ++i) {
+    if (b & 1) p ^= static_cast<uint8_t>(aa);
+    aa <<= 1;
+    if (aa & 0x100) aa ^= 0x11b;
+    b >>= 1;
+  }
+  return p;
+}
+
+namespace {
+
+uint8_t GfInv(uint8_t x) {
+  // x^254 by square-and-multiply (exponent bits 1111 1110).
+  uint8_t res = x;
+  for (int bit = 6; bit >= 0; --bit) {
+    res = GfMul(res, res);
+    if (bit > 0) res = GfMul(res, x);
+  }
+  return res;
+}
+
+uint8_t Rotl8(uint8_t v, int n) {
+  return static_cast<uint8_t>((v << n) | (v >> (8 - n)));
+}
+
+}  // namespace
+
+uint8_t AesSbox(uint8_t x) {
+  const uint8_t inv = GfInv(x);
+  return static_cast<uint8_t>(inv ^ Rotl8(inv, 1) ^ Rotl8(inv, 2) ^
+                              Rotl8(inv, 3) ^ Rotl8(inv, 4) ^ 0x63);
+}
+
+AesBlock Aes128Encrypt(const AesKey& key, const AesBlock& plaintext) {
+  static const uint8_t kRcon[10] = {0x01, 0x02, 0x04, 0x08, 0x10,
+                                    0x20, 0x40, 0x80, 0x1b, 0x36};
+  // Key schedule.
+  uint8_t rk[176];
+  for (int i = 0; i < 16; ++i) rk[i] = key[i];
+  for (int i = 4; i < 44; ++i) {
+    uint8_t t[4] = {rk[4 * i - 4], rk[4 * i - 3], rk[4 * i - 2],
+                    rk[4 * i - 1]};
+    if (i % 4 == 0) {
+      const uint8_t first = t[0];
+      t[0] = AesSbox(t[1]);
+      t[1] = AesSbox(t[2]);
+      t[2] = AesSbox(t[3]);
+      t[3] = AesSbox(first);
+      t[0] ^= kRcon[i / 4 - 1];
+    }
+    for (int j = 0; j < 4; ++j) rk[4 * i + j] = rk[4 * (i - 4) + j] ^ t[j];
+  }
+
+  AesBlock s;
+  for (int i = 0; i < 16; ++i) s[i] = plaintext[i] ^ rk[i];
+
+  for (int round = 1; round <= 10; ++round) {
+    // SubBytes.
+    for (auto& b : s) b = AesSbox(b);
+    // ShiftRows (column-major state: s[4c + r]).
+    AesBlock t;
+    for (int c = 0; c < 4; ++c) {
+      for (int r = 0; r < 4; ++r) {
+        t[4 * c + r] = s[4 * ((c + r) % 4) + r];
+      }
+    }
+    s = t;
+    // MixColumns except the last round.
+    if (round != 10) {
+      for (int c = 0; c < 4; ++c) {
+        const uint8_t a0 = s[4 * c], a1 = s[4 * c + 1], a2 = s[4 * c + 2],
+                      a3 = s[4 * c + 3];
+        s[4 * c] = GfMul(a0, 2) ^ GfMul(a1, 3) ^ a2 ^ a3;
+        s[4 * c + 1] = a0 ^ GfMul(a1, 2) ^ GfMul(a2, 3) ^ a3;
+        s[4 * c + 2] = a0 ^ a1 ^ GfMul(a2, 2) ^ GfMul(a3, 3);
+        s[4 * c + 3] = GfMul(a0, 3) ^ a1 ^ a2 ^ GfMul(a3, 2);
+      }
+    }
+    // AddRoundKey.
+    for (int i = 0; i < 16; ++i) s[i] ^= rk[16 * round + i];
+  }
+  return s;
+}
+
+}  // namespace sbce::crypto

@@ -1,0 +1,21 @@
+// Host reference AES-128 block encryption (FIPS 197), used as ground truth
+// for the guest library implementation and bomb ciphertexts.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+namespace sbce::crypto {
+
+using AesBlock = std::array<uint8_t, 16>;
+using AesKey = std::array<uint8_t, 16>;
+
+AesBlock Aes128Encrypt(const AesKey& key, const AesBlock& plaintext);
+
+/// The AES S-box computed from GF(2^8) arithmetic (no lookup table), the
+/// same construction the guest library uses; exposed for tests.
+uint8_t AesSbox(uint8_t x);
+uint8_t GfMul(uint8_t a, uint8_t b);
+
+}  // namespace sbce::crypto

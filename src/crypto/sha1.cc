@@ -1,0 +1,77 @@
+#include "src/crypto/sha1.h"
+
+#include <cstring>
+#include <vector>
+
+namespace sbce::crypto {
+
+namespace {
+inline uint32_t Rotl(uint32_t v, int n) {
+  return (v << n) | (v >> (32 - n));
+}
+}  // namespace
+
+Sha1Digest Sha1(std::span<const uint8_t> message) {
+  uint32_t h[5] = {0x67452301, 0xEFCDAB89, 0x98BADCFE, 0x10325476,
+                   0xC3D2E1F0};
+  // Padding.
+  std::vector<uint8_t> data(message.begin(), message.end());
+  const uint64_t bit_len = static_cast<uint64_t>(data.size()) * 8;
+  data.push_back(0x80);
+  while (data.size() % 64 != 56) data.push_back(0);
+  for (int i = 7; i >= 0; --i) {
+    data.push_back(static_cast<uint8_t>(bit_len >> (8 * i)));
+  }
+
+  for (size_t block = 0; block < data.size(); block += 64) {
+    uint32_t w[80];
+    for (int t = 0; t < 16; ++t) {
+      w[t] = (static_cast<uint32_t>(data[block + 4 * t]) << 24) |
+             (static_cast<uint32_t>(data[block + 4 * t + 1]) << 16) |
+             (static_cast<uint32_t>(data[block + 4 * t + 2]) << 8) |
+             static_cast<uint32_t>(data[block + 4 * t + 3]);
+    }
+    for (int t = 16; t < 80; ++t) {
+      w[t] = Rotl(w[t - 3] ^ w[t - 8] ^ w[t - 14] ^ w[t - 16], 1);
+    }
+    uint32_t a = h[0], b = h[1], c = h[2], d = h[3], e = h[4];
+    for (int t = 0; t < 80; ++t) {
+      uint32_t f, k;
+      if (t < 20) {
+        f = (b & c) | (~b & d);
+        k = 0x5A827999;
+      } else if (t < 40) {
+        f = b ^ c ^ d;
+        k = 0x6ED9EBA1;
+      } else if (t < 60) {
+        f = (b & c) | (b & d) | (c & d);
+        k = 0x8F1BBCDC;
+      } else {
+        f = b ^ c ^ d;
+        k = 0xCA62C1D6;
+      }
+      const uint32_t temp = Rotl(a, 5) + f + e + k + w[t];
+      e = d;
+      d = c;
+      c = Rotl(b, 30);
+      b = a;
+      a = temp;
+    }
+    h[0] += a;
+    h[1] += b;
+    h[2] += c;
+    h[3] += d;
+    h[4] += e;
+  }
+
+  Sha1Digest out;
+  for (int i = 0; i < 5; ++i) {
+    out[4 * i] = static_cast<uint8_t>(h[i] >> 24);
+    out[4 * i + 1] = static_cast<uint8_t>(h[i] >> 16);
+    out[4 * i + 2] = static_cast<uint8_t>(h[i] >> 8);
+    out[4 * i + 3] = static_cast<uint8_t>(h[i]);
+  }
+  return out;
+}
+
+}  // namespace sbce::crypto

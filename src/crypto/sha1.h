@@ -1,0 +1,15 @@
+// Host reference SHA-1 (FIPS 180-1), used as ground truth for the guest
+// library implementation and for constructing bomb target digests.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+namespace sbce::crypto {
+
+using Sha1Digest = std::array<uint8_t, 20>;
+
+Sha1Digest Sha1(std::span<const uint8_t> message);
+
+}  // namespace sbce::crypto

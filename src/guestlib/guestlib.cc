@@ -1,0 +1,693 @@
+#include "src/guestlib/guestlib.h"
+
+#include "src/support/str.h"
+
+namespace sbce::guestlib {
+
+std::string EmitStringRoutines() {
+  // printf-style width computation: a branchless ladder of nineteen
+  // comparisons against powers of ten. This is what makes gl_print_u64
+  // involve dozens of instructions that touch the printed (symbolic)
+  // value — the Figure 3 effect.
+  std::string ladder;
+  uint64_t power = 10;
+  for (int k = 1; k <= 19; ++k) {
+    ladder += StrFormat(
+        "  movi r8, 0x%08x\n"
+        "  movhi r8, 0x%08x\n"
+        "  cmpleu r4, r8, r1\n"
+        "  add r7, r7, r4\n",
+        static_cast<uint32_t>(power), static_cast<uint32_t>(power >> 32));
+    if (k < 19) power *= 10;
+  }
+  return R"(
+; ---- guest libc: strings and printing --------------------------------
+.ltext
+gl_strlen:                 ; r1=ptr -> r0=len   (clobbers r4)
+  movi r0, 0
+gls_loop:
+  ldx1 r4, [r1+r0]
+  bz r4, gls_done
+  addi r0, r0, 1
+  jmp gls_loop
+gls_done:
+  ret
+
+gl_atoi:                   ; r1=ptr -> r0 (unsigned decimal; clobbers r4,r5)
+  movi r0, 0
+  movi r5, 0
+gla_loop:
+  ldx1 r4, [r1+r5]
+  bz r4, gla_done
+  subi r4, r4, '0'
+  muli r0, r0, 10
+  add r0, r0, r4
+  addi r5, r5, 1
+  jmp gla_loop
+gla_done:
+  ret
+
+gl_print_u64:              ; r1=value (clobbers r1..r8)
+  movi r7, 1               ; width = 1 + [v>=10] + [v>=100] + ...
+)" + ladder + R"(
+  lea r6, glp_buf_end
+  movi r8, 10
+glp_loop:
+  urem r4, r1, r8
+  addi r4, r4, '0'
+  subi r6, r6, 1
+  st1 r4, [r6+0]
+  udiv r1, r1, r8
+  bnz r1, glp_loop
+  movi r1, 1               ; write(1, buf_end - width, width)
+  mov r2, r6
+  mov r3, r7
+  sys 1
+  ret
+
+gl_print_str:              ; r1=ptr (clobbers r1..r4)
+  mov r4, r1
+  call gl_strlen
+  mov r3, r0               ; len
+  mov r2, r4
+  movi r1, 1
+  sys 1
+  ret
+
+.ldata
+glp_buf:     .space 24
+glp_buf_end: .byte 0
+)";
+}
+
+std::string EmitMathRoutines() {
+  return R"(
+; ---- guest libm: sin via degree-7 Taylor polynomial --------------------
+.ltext
+gl_sin:                    ; f0=x -> f0~sin(x)  (clobbers f1..f5, r4)
+  fmul f1, f0, f0          ; x^2
+  fmov f2, f0              ; power = x
+  fmov f3, f0              ; acc = x
+  lea r4, gsin_c
+  fmul f2, f2, f1          ; x^3
+  fld f4, [r4+0]
+  fmul f5, f2, f4
+  fadd f3, f3, f5
+  fmul f2, f2, f1          ; x^5
+  fld f4, [r4+8]
+  fmul f5, f2, f4
+  fadd f3, f3, f5
+  fmul f2, f2, f1          ; x^7
+  fld f4, [r4+16]
+  fmul f5, f2, f4
+  fadd f3, f3, f5
+  fmov f0, f3
+  ret
+
+gl_pow2:                   ; f0 -> f0 * f0 (the pow(x, 2) analogue)
+  fmul f0, f0, f0
+  ret
+
+.ldata
+gsin_c: .quad 0xbfc5555555555555, 0x3f81111111111111, 0xbf2a01a01a01a01a
+)";
+}
+
+std::string EmitRandRoutines() {
+  return StrFormat(R"(
+; ---- guest libc: srand/rand (glibc TYPE_0 constants, %d smearing steps) -
+.ltext
+gl_srand:                  ; r1=seed
+  lea r4, grand_state
+  st8 r1, [r4+0]
+  ret
+
+gl_rand:                   ; -> r0 in [0, 2^31)  (clobbers r4..r7)
+  lea r4, grand_state
+  ld8 r0, [r4+0]
+  movi r6, %d
+  movi r5, 1
+  shli r5, r5, 31
+  subi r5, r5, 1           ; 0x7fffffff
+grand_loop:
+  shri r7, r0, 13          ; xorshift diffusion
+  xor r0, r0, r7
+  shri r7, r0, 7           ; quadratic step: x *= (x >> 7) | 1
+  ori r7, r7, 1
+  mul r0, r0, r7
+  addi r0, r0, 12345
+  and r0, r0, r5
+  subi r6, r6, 1
+  bnz r6, grand_loop
+  st8 r0, [r4+0]
+  ret
+
+.ldata
+grand_state: .quad 1
+)",
+                   kRandRounds, kRandRounds);
+}
+
+std::string EmitUnwindRoutine() {
+  return R"(
+; ---- guest runtime: exception-object delivery --------------------------
+; Models C++ unwinding: the thrown value travels through runtime state
+; (here: the echo-store syscall channel) rather than the traced register
+; flow, which is why every studied tool loses taint across it.
+.ltext
+gl_unwind_deliver:         ; r1=value -> r0=value
+  mov r2, r1
+  lea r1, gunw_key
+  sys 21                   ; tls_store(key, value)
+  lea r1, gunw_key
+  sys 22                   ; r0 = tls_load(key)
+  ret
+
+.ldata
+gunw_key: .asciz "__unwind_obj"
+)";
+}
+
+std::string EmitSha1() {
+  return R"(
+; ---- guest crypto: single-block SHA-1 ----------------------------------
+; gl_sha1(r1=msg, r2=len<=55, r3=out20). Branchless in the data: all loop
+; counters are concrete, so the only symbolic branches a caller sees are
+; its own digest comparisons.
+.ltext
+gl_sha1:
+  movi r9, 1
+  shli r9, r9, 32
+  subi r9, r9, 1           ; r9 = 0xffffffff
+  ; zero the block
+  lea r4, gsha_block
+  movi r5, 0
+gsha_zero:
+  movi r0, 0
+  stx1 r0, [r4+r5]
+  addi r5, r5, 1
+  cmpltui r6, r5, 64
+  bnz r6, gsha_zero
+  ; copy message
+  movi r5, 0
+gsha_copy:
+  cmpltu r6, r5, r2
+  bz r6, gsha_pad
+  ldx1 r0, [r1+r5]
+  stx1 r0, [r4+r5]
+  addi r5, r5, 1
+  jmp gsha_copy
+gsha_pad:
+  movi r0, 0x80
+  stx1 r0, [r4+r2]
+  muli r6, r2, 8           ; bit length (<= 440, fits two bytes)
+  andi r0, r6, 0xff
+  st1 r0, [r4+63]
+  shri r0, r6, 8
+  st1 r0, [r4+62]
+  ; W[0..15] from big-endian words
+  lea r7, gsha_w
+  movi r5, 0
+gsha_w16:
+  muli r6, r5, 4
+  ldx1 r0, [r4+r6]
+  shli r0, r0, 8
+  addi r6, r6, 1
+  ldx1 r8, [r4+r6]
+  or r0, r0, r8
+  shli r0, r0, 8
+  addi r6, r6, 1
+  ldx1 r8, [r4+r6]
+  or r0, r0, r8
+  shli r0, r0, 8
+  addi r6, r6, 1
+  ldx1 r8, [r4+r6]
+  or r0, r0, r8
+  muli r6, r5, 8
+  stx8 r0, [r7+r6]
+  addi r5, r5, 1
+  cmpltui r6, r5, 16
+  bnz r6, gsha_w16
+  ; W[16..79]: rotl1(W[t-3]^W[t-8]^W[t-14]^W[t-16])
+gsha_wx:
+  subi r6, r5, 3
+  muli r6, r6, 8
+  ldx8 r0, [r7+r6]
+  subi r6, r5, 8
+  muli r6, r6, 8
+  ldx8 r8, [r7+r6]
+  xor r0, r0, r8
+  subi r6, r5, 14
+  muli r6, r6, 8
+  ldx8 r8, [r7+r6]
+  xor r0, r0, r8
+  subi r6, r5, 16
+  muli r6, r6, 8
+  ldx8 r8, [r7+r6]
+  xor r0, r0, r8
+  shli r8, r0, 1
+  shri r0, r0, 31
+  andi r0, r0, 1
+  or r0, r0, r8
+  and r0, r0, r9
+  muli r6, r5, 8
+  stx8 r0, [r7+r6]
+  addi r5, r5, 1
+  cmpltui r6, r5, 80
+  bnz r6, gsha_wx
+  ; a..e = r10..r14
+  movi r10, 0x67452301
+  movi r11, 0xEFCDAB89
+  and r11, r11, r9
+  movi r12, 0x98BADCFE
+  and r12, r12, r9
+  movi r13, 0x10325476
+  movi r14, 0xC3D2E1F0
+  and r14, r14, r9
+  movi r5, 0
+gsha_round:
+  cmpltui r6, r5, 20
+  bnz r6, gsha_f1
+  cmpltui r6, r5, 40
+  bnz r6, gsha_f2
+  cmpltui r6, r5, 60
+  bnz r6, gsha_f3
+  xor r6, r11, r12         ; f4: b^c^d
+  xor r6, r6, r13
+  movi r8, 0xCA62C1D6
+  jmp gsha_fdone
+gsha_f1:                   ; (b&c) | (~b&d)
+  and r6, r11, r12
+  not r8, r11
+  and r8, r8, r13
+  or r6, r6, r8
+  movi r8, 0x5A827999
+  jmp gsha_fdone
+gsha_f2:                   ; b^c^d
+  xor r6, r11, r12
+  xor r6, r6, r13
+  movi r8, 0x6ED9EBA1
+  jmp gsha_fdone
+gsha_f3:                   ; (b&c) | (b&d) | (c&d)
+  and r6, r11, r12
+  and r0, r11, r13
+  or r6, r6, r0
+  and r0, r12, r13
+  or r6, r6, r0
+  movi r8, 0x8F1BBCDC
+gsha_fdone:
+  shli r0, r10, 5          ; temp = rotl5(a)+f+e+k+W[t]
+  shri r2, r10, 27
+  or r0, r0, r2
+  and r0, r0, r9
+  add r0, r0, r6
+  add r0, r0, r14
+  add r0, r0, r8
+  muli r2, r5, 8
+  ldx8 r2, [r7+r2]
+  add r0, r0, r2
+  and r0, r0, r9
+  mov r14, r13             ; e=d
+  mov r13, r12             ; d=c
+  shli r2, r11, 30         ; c=rotl30(b)
+  shri r12, r11, 2
+  or r12, r12, r2
+  and r12, r12, r9
+  mov r11, r10             ; b=a
+  mov r10, r0              ; a=temp
+  addi r5, r5, 1
+  cmpltui r6, r5, 80
+  bnz r6, gsha_round
+  ; digest = state + initial constants, stored big-endian
+  movi r8, 0x67452301
+  add r10, r10, r8
+  and r10, r10, r9
+  movi r8, 0xEFCDAB89
+  and r8, r8, r9
+  add r11, r11, r8
+  and r11, r11, r9
+  movi r8, 0x98BADCFE
+  and r8, r8, r9
+  add r12, r12, r8
+  and r12, r12, r9
+  movi r8, 0x10325476
+  add r13, r13, r8
+  and r13, r13, r9
+  movi r8, 0xC3D2E1F0
+  and r8, r8, r9
+  add r14, r14, r8
+  and r14, r14, r9
+  ; store the five words
+  shri r0, r10, 24
+  st1 r0, [r3+0]
+  shri r0, r10, 16
+  st1 r0, [r3+1]
+  shri r0, r10, 8
+  st1 r0, [r3+2]
+  st1 r10, [r3+3]
+  shri r0, r11, 24
+  st1 r0, [r3+4]
+  shri r0, r11, 16
+  st1 r0, [r3+5]
+  shri r0, r11, 8
+  st1 r0, [r3+6]
+  st1 r11, [r3+7]
+  shri r0, r12, 24
+  st1 r0, [r3+8]
+  shri r0, r12, 16
+  st1 r0, [r3+9]
+  shri r0, r12, 8
+  st1 r0, [r3+10]
+  st1 r12, [r3+11]
+  shri r0, r13, 24
+  st1 r0, [r3+12]
+  shri r0, r13, 16
+  st1 r0, [r3+13]
+  shri r0, r13, 8
+  st1 r0, [r3+14]
+  st1 r13, [r3+15]
+  shri r0, r14, 24
+  st1 r0, [r3+16]
+  shri r0, r14, 16
+  st1 r0, [r3+17]
+  shri r0, r14, 8
+  st1 r0, [r3+18]
+  st1 r14, [r3+19]
+  ret
+
+.ldata
+gsha_block: .space 64
+gsha_w:     .space 640
+)";
+}
+
+std::string EmitAes128() {
+  // GF(2^8) inverse via square-and-multiply for x^254, unrolled here.
+  std::string gfinv = R"(
+gl_gfinv:                  ; r1=x -> r0 = x^254 in GF(2^8) (clobbers r0..r8)
+  mov r7, r1               ; x
+  mov r8, r1               ; res = x (covers the leading exponent bit)
+)";
+  // Exponent 254 = 0b11111110; after consuming the MSB with res=x, process
+  // the remaining 7 bits: for bits 6..1 (all ones): res=res^2 * x; for
+  // bit 0 (zero): res=res^2.
+  for (int bit = 6; bit >= 0; --bit) {
+    gfinv +=
+        "  mov r1, r8\n"
+        "  mov r2, r8\n"
+        "  call gl_gfmul\n"
+        "  mov r8, r0\n";
+    if (bit > 0) {
+      gfinv +=
+          "  mov r1, r8\n"
+          "  mov r2, r7\n"
+          "  call gl_gfmul\n"
+          "  mov r8, r0\n";
+    }
+  }
+  gfinv +=
+      "  mov r0, r8\n"
+      "  ret\n";
+
+  return R"(
+; ---- guest crypto: AES-128 block encryption ----------------------------
+; Branchless GF(2^8) arithmetic S-box (inverse + affine), so no symbolic
+; branches occur inside the cipher: the cost shows up purely as constraint
+; complexity, which is the paper's point about crypto functions.
+.ltext
+gl_gfmul:                  ; r1=a, r2=b -> r0   (clobbers r0..r6)
+  movi r0, 0
+  movi r6, 8
+gfm_loop:
+  andi r5, r2, 1
+  neg r5, r5
+  and r5, r5, r1
+  xor r0, r0, r5
+  shli r1, r1, 1
+  shri r5, r1, 8
+  andi r5, r5, 1
+  neg r5, r5
+  movi r4, 0x11b
+  and r5, r5, r4
+  xor r1, r1, r5
+  andi r1, r1, 0xff
+  shri r2, r2, 1
+  subi r6, r6, 1
+  bnz r6, gfm_loop
+  ret
+
+)" + gfinv + R"(
+gl_sbox:                   ; r1=x -> r0 = SubBytes(x) (clobbers r0..r8)
+  call gl_gfinv
+  ; affine: y = inv ^ rotl1 ^ rotl2 ^ rotl3 ^ rotl4 ^ 0x63  (8-bit rotls)
+  mov r4, r0               ; inv
+  mov r5, r0
+  shli r6, r5, 1
+  shri r5, r5, 7
+  or r5, r5, r6
+  andi r5, r5, 0xff
+  xor r4, r4, r5           ; ^ rotl1
+  mov r5, r0
+  shli r6, r5, 2
+  shri r5, r5, 6
+  or r5, r5, r6
+  andi r5, r5, 0xff
+  xor r4, r4, r5           ; ^ rotl2
+  mov r5, r0
+  shli r6, r5, 3
+  shri r5, r5, 5
+  or r5, r5, r6
+  andi r5, r5, 0xff
+  xor r4, r4, r5           ; ^ rotl3
+  mov r5, r0
+  shli r6, r5, 4
+  shri r5, r5, 4
+  or r5, r5, r6
+  andi r5, r5, 0xff
+  xor r4, r4, r5           ; ^ rotl4
+  xori r4, r4, 0x63
+  mov r0, r4
+  ret
+
+gl_aes128:                 ; r1=key16, r2=in16, r3=out16
+  ; stash the pointers: helper calls clobber low registers
+  lea r4, aes_args
+  st8 r1, [r4+0]
+  st8 r2, [r4+8]
+  st8 r3, [r4+16]
+  ; ---- key schedule: rk[0..175] ----
+  lea r10, aes_rk
+  movi r11, 0              ; i: byte index
+aks_copy:                  ; rk[0..15] = key
+  lea r4, aes_args
+  ld8 r1, [r4+0]
+  ldx1 r0, [r1+r11]
+  stx1 r0, [r10+r11]
+  addi r11, r11, 1
+  cmpltui r5, r11, 16
+  bnz r5, aks_copy
+  movi r11, 4              ; word index i in 4..43
+aks_words:
+  ; temp = rk bytes [4i-4 .. 4i-1] into aes_tmp[0..3]
+  lea r12, aes_tmp
+  muli r13, r11, 4
+  subi r13, r13, 4
+  movi r14, 0
+aks_ldtemp:
+  add r5, r13, r14
+  ldx1 r0, [r10+r5]
+  stx1 r0, [r12+r14]
+  addi r14, r14, 1
+  cmpltui r5, r14, 4
+  bnz r5, aks_ldtemp
+  ; if i % 4 == 0: rotword + subword + rcon
+  andi r5, r11, 3
+  bnz r5, aks_xor
+  ; rotword: t0..t3 = t1,t2,t3,t0
+  ld1 r0, [r12+0]
+  ld1 r5, [r12+1]
+  st1 r5, [r12+0]
+  ld1 r5, [r12+2]
+  st1 r5, [r12+1]
+  ld1 r5, [r12+3]
+  st1 r5, [r12+2]
+  st1 r0, [r12+3]
+  ; subword
+  movi r14, 0
+aks_sub:
+  ldx1 r1, [r12+r14]
+  call gl_sbox
+  stx1 r0, [r12+r14]
+  addi r14, r14, 1
+  cmpltui r5, r14, 4
+  bnz r5, aks_sub
+  ; rcon: tmp[0] ^= rcon[i/4 - 1]
+  shri r5, r11, 2
+  subi r5, r5, 1
+  lea r4, aes_rcon
+  ldx1 r5, [r4+r5]
+  ld1 r0, [r12+0]
+  xor r0, r0, r5
+  st1 r0, [r12+0]
+aks_xor:                   ; rk[4i+j] = rk[4(i-4)+j] ^ tmp[j]
+  movi r14, 0
+aks_xorloop:
+  muli r5, r11, 4
+  subi r5, r5, 16
+  add r5, r5, r14
+  ldx1 r0, [r10+r5]
+  ldx1 r5, [r12+r14]
+  xor r0, r0, r5
+  muli r5, r11, 4
+  add r5, r5, r14
+  stx1 r0, [r10+r5]
+  addi r14, r14, 1
+  cmpltui r5, r14, 4
+  bnz r5, aks_xorloop
+  addi r11, r11, 1
+  cmpltui r5, r11, 44
+  bnz r5, aks_words
+  ; ---- state = in ^ rk[0..15] ----
+  lea r12, aes_state
+  lea r4, aes_args
+  ld8 r1, [r4+8]
+  movi r11, 0
+ar_init:
+  ldx1 r0, [r1+r11]
+  ldx1 r5, [r10+r11]
+  xor r0, r0, r5
+  stx1 r0, [r12+r11]
+  addi r11, r11, 1
+  cmpltui r5, r11, 16
+  bnz r5, ar_init
+  ; ---- rounds 1..10 ----
+  movi r13, 1              ; round counter
+ar_round:
+  ; SubBytes
+  movi r11, 0
+ar_sub:
+  ldx1 r1, [r12+r11]
+  call gl_sbox
+  stx1 r0, [r12+r11]
+  addi r11, r11, 1
+  cmpltui r5, r11, 16
+  bnz r5, ar_sub
+  ; ShiftRows: tmp[4c+r] = state[4*((c+r)%4)+r]
+  lea r14, aes_tmp
+  movi r11, 0              ; c*4+r linear index
+ar_shift:
+  andi r5, r11, 3          ; r
+  shri r6, r11, 2          ; c
+  add r6, r6, r5           ; c + r
+  andi r6, r6, 3
+  muli r6, r6, 4
+  add r6, r6, r5
+  ldx1 r0, [r12+r6]
+  stx1 r0, [r14+r11]
+  addi r11, r11, 1
+  cmpltui r5, r11, 16
+  bnz r5, ar_shift
+  ; copy tmp back to state
+  movi r11, 0
+ar_copyback:
+  ldx1 r0, [r14+r11]
+  stx1 r0, [r12+r11]
+  addi r11, r11, 1
+  cmpltui r5, r11, 16
+  bnz r5, ar_copyback
+  ; MixColumns (skipped in the final round)
+  cmpeqi r5, r13, 10
+  bnz r5, ar_addkey
+  movi r11, 0              ; column base 0,4,8,12
+ar_mix:
+  ; load column a0..a3 into tmp[0..3] then write mixed back
+  ldx1 r0, [r12+r11]
+  st1 r0, [r14+0]
+  addi r5, r11, 1
+  ldx1 r0, [r12+r5]
+  st1 r0, [r14+1]
+  addi r5, r11, 2
+  ldx1 r0, [r12+r5]
+  st1 r0, [r14+2]
+  addi r5, r11, 3
+  ldx1 r0, [r12+r5]
+  st1 r0, [r14+3]
+  ; b_i = 2*a_i ^ 3*a_{i+1} ^ a_{i+2} ^ a_{i+3}
+  movi r14, 0              ; NOTE r14 reused as row counter; reload tmp via lea
+ar_mixrow:
+  lea r4, aes_tmp
+  ; 2*a_i  (accumulate in r8: gl_gfmul clobbers r0..r6)
+  andi r5, r14, 3
+  ldx1 r1, [r4+r5]
+  movi r2, 2
+  call gl_gfmul
+  mov r8, r0
+  ; 3*a_{i+1}
+  lea r4, aes_tmp
+  addi r5, r14, 1
+  andi r5, r5, 3
+  ldx1 r1, [r4+r5]
+  movi r2, 3
+  call gl_gfmul
+  xor r8, r8, r0
+  lea r4, aes_tmp
+  addi r5, r14, 2
+  andi r5, r5, 3
+  ldx1 r0, [r4+r5]
+  xor r8, r8, r0
+  addi r5, r14, 3
+  andi r5, r5, 3
+  ldx1 r0, [r4+r5]
+  xor r8, r8, r0
+  ; state[col + i] = r8
+  add r5, r11, r14
+  stx1 r8, [r12+r5]
+  addi r14, r14, 1
+  cmpltui r5, r14, 4
+  bnz r5, ar_mixrow
+  lea r14, aes_tmp         ; restore tmp pointer for the next column
+  addi r11, r11, 4
+  cmpltui r5, r11, 16
+  bnz r5, ar_mix
+ar_addkey:                 ; state ^= rk[16*round ..]
+  muli r6, r13, 16
+  movi r11, 0
+ar_ak:
+  add r5, r6, r11
+  ldx1 r0, [r10+r5]
+  ldx1 r5, [r12+r11]
+  xor r0, r0, r5
+  stx1 r0, [r12+r11]
+  addi r11, r11, 1
+  cmpltui r5, r11, 16
+  bnz r5, ar_ak
+  addi r13, r13, 1
+  cmpltui r5, r13, 11
+  bnz r5, ar_round
+  ; ---- write out ----
+  lea r4, aes_args
+  ld8 r3, [r4+16]
+  movi r11, 0
+ar_out:
+  ldx1 r0, [r12+r11]
+  stx1 r0, [r3+r11]
+  addi r11, r11, 1
+  cmpltui r5, r11, 16
+  bnz r5, ar_out
+  ret
+
+.ldata
+aes_args:  .space 24
+aes_state: .space 16
+aes_tmp:   .space 16
+aes_rk:    .space 176
+aes_rcon:  .byte 0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1b, 0x36
+)";
+}
+
+std::string EmitGuestLib() {
+  return EmitStringRoutines() + EmitMathRoutines() + EmitRandRoutines() +
+         EmitUnwindRoutine() + EmitSha1() + EmitAes128();
+}
+
+}  // namespace sbce::guestlib

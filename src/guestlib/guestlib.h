@@ -1,0 +1,57 @@
+// Guest runtime library: SBVM assembly for the "shared library" functions
+// the bombs call — the libc/libm/OpenSSL analogues of the paper's external
+// function and crypto challenges.
+//
+// The emitted code lives in the .ltext/.ldata sections (addresses >=
+// lib_text_base), which is what the tool profiles key their
+// dynamic-library behaviours on: BAP/Triton trace into it, Angr lifts it,
+// Angr-NoLib skips it and invents unconstrained return values.
+//
+// Calling convention: arguments in r1..r5 (f0 for FP), result in r0 (f0);
+// r4..r9 are caller-saved scratch the library may clobber; functions use
+// CALL/RET (concrete return addresses on the stack) and never push
+// symbolic data, so lifter gaps around push/pop are not accidentally
+// triggered by library plumbing.
+//
+// Functions:
+//   gl_strlen(r1=ptr) -> r0
+//   gl_atoi(r1=ptr) -> r0          unsigned decimal parse
+//   gl_print_u64(r1=value)         decimal to stdout (the printf analogue)
+//   gl_print_str(r1=ptr)           NUL-terminated string to stdout
+//   gl_sin(f0=x) -> f0             degree-7 Taylor polynomial
+//   gl_srand(r1=seed)              seeds the library PRNG state
+//   gl_rand() -> r0                glibc-constant LCG, kRandRounds steps
+//   gl_unwind_deliver(r1=v) -> r0  exception-object pass-through: round-
+//                                  trips v through the echo-store runtime
+//                                  channel (models C++ unwinding carrying
+//                                  data outside the traced register flow)
+//   gl_sha1(r1=msg, r2=len<=55, r3=out20)   single-block SHA-1
+//   gl_aes128(r1=key16, r2=in16, r3=out16)  AES-128 block encryption
+//                                  (branchless GF(2^8) arithmetic S-box)
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace sbce::guestlib {
+
+/// Number of mixing steps one gl_rand() call performs. Each step is an
+/// xorshift followed by a *quadratic* update (x *= (x>>7)|1), so unit
+/// propagation cannot invert the chain; round count is chosen so the
+/// seed-recovery circuit lands between the tool profiles' budgets (see
+/// DESIGN.md, scalability challenges).
+inline constexpr int kRandRounds = 16;
+
+/// Assembly text for the whole library (.ltext/.ldata sections). Append to
+/// a program's main source before assembling.
+std::string EmitGuestLib();
+
+/// Individual pieces, for tests and size accounting.
+std::string EmitStringRoutines();  // strlen, atoi, print_*
+std::string EmitMathRoutines();    // sin
+std::string EmitRandRoutines();    // srand/rand
+std::string EmitUnwindRoutine();   // unwind_deliver
+std::string EmitSha1();
+std::string EmitAes128();
+
+}  // namespace sbce::guestlib

@@ -1,0 +1,606 @@
+#include "src/isa/assembler.h"
+
+#include <cctype>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/isa/instruction.h"
+#include "src/support/str.h"
+
+namespace sbce::isa {
+
+namespace {
+
+enum class SectionKind : uint8_t { kText = 0, kData = 1, kLibText = 2, kLibData = 3 };
+
+constexpr bool IsTextKind(SectionKind k) {
+  return k == SectionKind::kText || k == SectionKind::kLibText;
+}
+
+struct PendingInstr {
+  Instruction instr;
+  std::string imm_label;   // unresolved label used as immediate (may be "")
+  bool label_relative = false;  // pc-relative (branch/jmp/call/lea)
+  uint64_t vaddr = 0;
+  SectionKind section = SectionKind::kText;
+  int line = 0;
+};
+
+struct PendingQuad {
+  size_t offset;         // into data buffer of its section
+  SectionKind section;
+  std::string label;
+  int line = 0;
+};
+
+struct Ctx {
+  AssembleOptions options;
+  std::array<std::vector<uint8_t>, 4> bufs;  // indexed by SectionKind
+  std::map<std::string, uint64_t, std::less<>> labels;
+  std::map<std::string, int64_t, std::less<>> equs;
+  std::vector<PendingInstr> instrs;
+  std::vector<PendingQuad> quad_fixups;
+  SectionKind current = SectionKind::kText;
+  std::string entry_label;
+  int line = 0;
+
+  std::vector<uint8_t>& buf() { return BufOf(current); }
+  std::vector<uint8_t>& BufOf(SectionKind k) {
+    return bufs[static_cast<size_t>(k)];
+  }
+  uint64_t base() const { return BaseOf(current); }
+  uint64_t BaseOf(SectionKind k) const {
+    switch (k) {
+      case SectionKind::kText: return options.text_base;
+      case SectionKind::kData: return options.data_base;
+      case SectionKind::kLibText: return options.lib_text_base;
+      case SectionKind::kLibData: return options.lib_data_base;
+    }
+    return 0;
+  }
+  uint64_t* BasePtrOf(SectionKind k) {
+    switch (k) {
+      case SectionKind::kText: return &options.text_base;
+      case SectionKind::kData: return &options.data_base;
+      case SectionKind::kLibText: return &options.lib_text_base;
+      case SectionKind::kLibData: return &options.lib_data_base;
+    }
+    return nullptr;
+  }
+  uint64_t here() {
+    return base() + buf().size();
+  }
+  Status Err(const std::string& msg) const {
+    return Status::Invalid(StrFormat("line %d: %s", line, msg.c_str()));
+  }
+};
+
+/// Parses a register token like "r4" or "f2"; `fp` selects the bank.
+Result<uint8_t> ParseReg(Ctx& ctx, std::string_view tok, bool fp) {
+  tok = Trim(tok);
+  const char want = fp ? 'f' : 'r';
+  // Accept the ABI aliases sp/bp for GPRs.
+  if (!fp && tok == "sp") return static_cast<uint8_t>(kRegSp);
+  if (!fp && tok == "bp") return static_cast<uint8_t>(kRegBp);
+  if (tok.size() < 2 || (tok[0] != want)) {
+    return ctx.Err(StrFormat("expected %c-register, got '%.*s'", want,
+                             static_cast<int>(tok.size()), tok.data()));
+  }
+  auto n = ParseIntLiteral(tok.substr(1));
+  const int limit = fp ? kNumFpr : kNumGpr;
+  if (!n || n.value() < 0 || n.value() >= limit) {
+    return ctx.Err("bad register index");
+  }
+  return static_cast<uint8_t>(n.value());
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '.';
+}
+
+bool IsLabelToken(std::string_view tok) {
+  if (tok.empty()) return false;
+  if (std::isdigit(static_cast<unsigned char>(tok[0])) || tok[0] == '-' ||
+      tok[0] == '\'') {
+    return false;
+  }
+  for (char c : tok) {
+    if (!IsIdentChar(c)) return false;
+  }
+  return true;
+}
+
+/// Parses an immediate token: int literal or .equ constant. Labels are
+/// handled by the caller (they need fixups).
+Result<int64_t> ParseImm(Ctx& ctx, std::string_view tok) {
+  tok = Trim(tok);
+  if (auto it = ctx.equs.find(tok); it != ctx.equs.end()) return it->second;
+  auto v = ParseIntLiteral(tok);
+  if (!v) return ctx.Err(StrFormat("bad immediate '%.*s'",
+                                   static_cast<int>(tok.size()), tok.data()));
+  return v.value();
+}
+
+/// Splits "ld8 r3, [r15+16]" style memory operands: returns base reg token
+/// and offset token (offset may itself be a register for indexed forms).
+Result<std::pair<std::string_view, std::string_view>> SplitMemOperand(
+    Ctx& ctx, std::string_view tok) {
+  tok = Trim(tok);
+  if (tok.size() < 4 || tok.front() != '[' || tok.back() != ']') {
+    return ctx.Err("expected memory operand like [r1+8]");
+  }
+  std::string_view body = tok.substr(1, tok.size() - 2);
+  // Find the +/- splitting base from offset; '-' may start the offset.
+  size_t split = std::string_view::npos;
+  for (size_t i = 1; i < body.size(); ++i) {
+    if (body[i] == '+' || body[i] == '-') {
+      split = i;
+      break;
+    }
+  }
+  if (split == std::string_view::npos) {
+    return std::pair<std::string_view, std::string_view>{Trim(body), "0"};
+  }
+  std::string_view base = Trim(body.substr(0, split));
+  std::string_view off = body[split] == '+' ? Trim(body.substr(split + 1))
+                                            : Trim(body.substr(split));
+  return std::pair<std::string_view, std::string_view>{base, off};
+}
+
+Status EmitInstr(Ctx& ctx, Opcode op, std::string_view rest) {
+  if (!IsTextKind(ctx.current)) {
+    return ctx.Err("instruction outside a text section");
+  }
+  const OpcodeInfo& info = GetOpcodeInfo(op);
+  Instruction in;
+  in.op = op;
+  std::string imm_label;
+  bool label_relative = false;
+
+  // Comma-split operands (memory brackets contain no commas by syntax).
+  std::vector<std::string_view> ops;
+  {
+    size_t start = 0;
+    for (size_t i = 0; i <= rest.size(); ++i) {
+      if (i == rest.size() || rest[i] == ',') {
+        auto piece = Trim(rest.substr(start, i - start));
+        if (!piece.empty()) ops.push_back(piece);
+        start = i + 1;
+      }
+    }
+  }
+
+  auto need = [&](size_t n) -> Status {
+    if (ops.size() != n) {
+      return ctx.Err(StrFormat("%s expects %zu operand(s), got %zu",
+                               std::string(info.mnemonic).c_str(), n,
+                               ops.size()));
+    }
+    return Status::Ok();
+  };
+
+  const bool fp = info.is_fp;
+  switch (info.form) {
+    case OperandForm::kNone: {
+      if (auto s = need(0); !s.ok()) return s;
+      break;
+    }
+    case OperandForm::kRd: {
+      if (auto s = need(1); !s.ok()) return s;
+      auto r = ParseReg(ctx, ops[0], fp);
+      if (!r) return r.status();
+      in.rd = r.value();
+      break;
+    }
+    case OperandForm::kRs: {
+      if (auto s = need(1); !s.ok()) return s;
+      // jmpr/callr/push/trap* take GPRs even though mnemonics are not FP.
+      auto r = ParseReg(ctx, ops[0], /*fp=*/false);
+      if (!r) return r.status();
+      in.rs1 = r.value();
+      break;
+    }
+    case OperandForm::kRdRs: {
+      if (auto s = need(2); !s.ok()) return s;
+      bool rd_fp = fp;
+      bool rs_fp = fp;
+      if (op == Opcode::kCvtIF || op == Opcode::kMovGF) {
+        rd_fp = true;
+        rs_fp = false;
+      } else if (op == Opcode::kCvtFI || op == Opcode::kMovFG) {
+        rd_fp = false;
+        rs_fp = true;
+      }
+      auto rd = ParseReg(ctx, ops[0], rd_fp);
+      auto rs = ParseReg(ctx, ops[1], rs_fp);
+      if (!rd) return rd.status();
+      if (!rs) return rs.status();
+      in.rd = rd.value();
+      in.rs1 = rs.value();
+      break;
+    }
+    case OperandForm::kRdImm: {
+      if (auto s = need(2); !s.ok()) return s;
+      auto rd = ParseReg(ctx, ops[0], op == Opcode::kLea ? false : fp);
+      if (!rd) return rd.status();
+      in.rd = rd.value();
+      if (IsLabelToken(ops[1]) && !ctx.equs.count(std::string(ops[1]))) {
+        imm_label = std::string(ops[1]);
+        label_relative = (op == Opcode::kLea);
+      } else {
+        auto v = ParseImm(ctx, ops[1]);
+        if (!v) return v.status();
+        if (v.value() < INT32_MIN || v.value() > static_cast<int64_t>(UINT32_MAX)) {
+          return ctx.Err("immediate out of 32-bit range");
+        }
+        in.imm = static_cast<int32_t>(v.value());
+      }
+      break;
+    }
+    case OperandForm::kRdRsRs: {
+      if (auto s = need(3); !s.ok()) return s;
+      const bool rd_fp = fp && op != Opcode::kFCmpEq &&
+                         op != Opcode::kFCmpLt && op != Opcode::kFCmpLe;
+      auto rd = ParseReg(ctx, ops[0], rd_fp);
+      auto r1 = ParseReg(ctx, ops[1], fp);
+      auto r2 = ParseReg(ctx, ops[2], fp);
+      if (!rd) return rd.status();
+      if (!r1) return r1.status();
+      if (!r2) return r2.status();
+      in.rd = rd.value();
+      in.rs1 = r1.value();
+      in.rs2 = r2.value();
+      break;
+    }
+    case OperandForm::kRdRsImm: {
+      if (auto s = need(3); !s.ok()) return s;
+      auto rd = ParseReg(ctx, ops[0], fp);
+      auto r1 = ParseReg(ctx, ops[1], fp);
+      if (!rd) return rd.status();
+      if (!r1) return r1.status();
+      auto v = ParseImm(ctx, ops[2]);
+      if (!v) return v.status();
+      in.rd = rd.value();
+      in.rs1 = r1.value();
+      in.imm = static_cast<int32_t>(v.value());
+      break;
+    }
+    case OperandForm::kRsImm: {  // branches: reg, label-or-imm
+      if (auto s = need(2); !s.ok()) return s;
+      auto r1 = ParseReg(ctx, ops[0], false);
+      if (!r1) return r1.status();
+      in.rs1 = r1.value();
+      if (IsLabelToken(ops[1])) {
+        imm_label = std::string(ops[1]);
+        label_relative = true;
+      } else {
+        auto v = ParseImm(ctx, ops[1]);
+        if (!v) return v.status();
+        in.imm = static_cast<int32_t>(v.value());
+      }
+      break;
+    }
+    case OperandForm::kImm: {
+      if (auto s = need(1); !s.ok()) return s;
+      if ((op == Opcode::kJmp || op == Opcode::kCall) &&
+          IsLabelToken(ops[0])) {
+        imm_label = std::string(ops[0]);
+        label_relative = true;
+      } else {
+        auto v = ParseImm(ctx, ops[0]);
+        if (!v) return v.status();
+        in.imm = static_cast<int32_t>(v.value());
+      }
+      break;
+    }
+    case OperandForm::kMem: {
+      if (auto s = need(2); !s.ok()) return s;
+      auto rd = ParseReg(ctx, ops[0], fp);
+      if (!rd) return rd.status();
+      in.rd = rd.value();
+      auto mem = SplitMemOperand(ctx, ops[1]);
+      if (!mem) return mem.status();
+      auto base = ParseReg(ctx, mem.value().first, false);
+      if (!base) return base.status();
+      in.rs1 = base.value();
+      auto off = ParseImm(ctx, mem.value().second);
+      if (!off) return off.status();
+      in.imm = static_cast<int32_t>(off.value());
+      break;
+    }
+    case OperandForm::kMemX: {
+      if (auto s = need(2); !s.ok()) return s;
+      auto rd = ParseReg(ctx, ops[0], fp);
+      if (!rd) return rd.status();
+      in.rd = rd.value();
+      auto mem = SplitMemOperand(ctx, ops[1]);
+      if (!mem) return mem.status();
+      auto base = ParseReg(ctx, mem.value().first, false);
+      auto idx = ParseReg(ctx, mem.value().second, false);
+      if (!base) return base.status();
+      if (!idx) return idx.status();
+      in.rs1 = base.value();
+      in.rs2 = idx.value();
+      break;
+    }
+  }
+
+  PendingInstr pi;
+  pi.instr = in;
+  pi.imm_label = std::move(imm_label);
+  pi.label_relative = label_relative;
+  pi.vaddr = ctx.here();
+  pi.section = ctx.current;
+  pi.line = ctx.line;
+  ctx.instrs.push_back(std::move(pi));
+  ctx.buf().insert(ctx.buf().end(), kInstrBytes, 0);  // patched in pass 2
+  return Status::Ok();
+}
+
+Status EmitData(Ctx& ctx, unsigned width, std::string_view rest) {
+  std::vector<std::string_view> vals;
+  size_t start = 0;
+  for (size_t i = 0; i <= rest.size(); ++i) {
+    if (i == rest.size() || rest[i] == ',') {
+      auto piece = Trim(rest.substr(start, i - start));
+      if (!piece.empty()) vals.push_back(piece);
+      start = i + 1;
+    }
+  }
+  if (vals.empty()) return ctx.Err("data directive needs values");
+  for (auto tok : vals) {
+    if (width == 8 && IsLabelToken(tok) && !ctx.equs.count(std::string(tok))) {
+      ctx.quad_fixups.push_back(
+          {ctx.buf().size(), ctx.current, std::string(tok), ctx.line});
+      ctx.buf().insert(ctx.buf().end(), 8, 0);
+      continue;
+    }
+    auto v = ParseImm(ctx, tok);
+    if (!v) return v.status();
+    uint64_t u = static_cast<uint64_t>(v.value());
+    for (unsigned i = 0; i < width; ++i) {
+      ctx.buf().push_back(static_cast<uint8_t>(u >> (8 * i)));
+    }
+  }
+  return Status::Ok();
+}
+
+Status EmitAsciz(Ctx& ctx, std::string_view rest) {
+  rest = Trim(rest);
+  if (rest.size() < 2 || rest.front() != '"' || rest.back() != '"') {
+    return ctx.Err(".asciz needs a quoted string");
+  }
+  std::string_view body = rest.substr(1, rest.size() - 2);
+  for (size_t i = 0; i < body.size(); ++i) {
+    char c = body[i];
+    if (c == '\\' && i + 1 < body.size()) {
+      ++i;
+      switch (body[i]) {
+        case 'n': c = '\n'; break;
+        case 't': c = '\t'; break;
+        case '0': c = '\0'; break;
+        case '\\': c = '\\'; break;
+        case '"': c = '"'; break;
+        default:
+          return ctx.Err("bad escape in .asciz");
+      }
+    }
+    ctx.buf().push_back(static_cast<uint8_t>(c));
+  }
+  ctx.buf().push_back(0);
+  return Status::Ok();
+}
+
+Status HandleDirective(Ctx& ctx, std::string_view word,
+                       std::string_view rest) {
+  if (word == ".text" || word == ".data" || word == ".ltext" ||
+      word == ".ldata") {
+    ctx.current = word == ".text"    ? SectionKind::kText
+                  : word == ".data"  ? SectionKind::kData
+                  : word == ".ltext" ? SectionKind::kLibText
+                                     : SectionKind::kLibData;
+    rest = Trim(rest);
+    if (!rest.empty()) {
+      auto v = ParseImm(ctx, rest);
+      if (!v) return v.status();
+      if (!ctx.buf().empty()) {
+        return ctx.Err("cannot rebase a non-empty section");
+      }
+      *ctx.BasePtrOf(ctx.current) = static_cast<uint64_t>(v.value());
+    }
+    return Status::Ok();
+  }
+  if (word == ".entry") {
+    ctx.entry_label = std::string(Trim(rest));
+    if (ctx.entry_label.empty()) return ctx.Err(".entry needs a label");
+    return Status::Ok();
+  }
+  if (word == ".equ") {
+    auto comma = rest.find(',');
+    if (comma == std::string_view::npos) {
+      return ctx.Err(".equ NAME, value");
+    }
+    std::string name(Trim(rest.substr(0, comma)));
+    auto v = ParseImm(ctx, rest.substr(comma + 1));
+    if (!v) return v.status();
+    ctx.equs[name] = v.value();
+    return Status::Ok();
+  }
+  if (word == ".byte") return EmitData(ctx, 1, rest);
+  if (word == ".half") return EmitData(ctx, 2, rest);
+  if (word == ".word") return EmitData(ctx, 4, rest);
+  if (word == ".quad") return EmitData(ctx, 8, rest);
+  if (word == ".asciz") return EmitAsciz(ctx, rest);
+  if (word == ".space") {
+    auto v = ParseImm(ctx, rest);
+    if (!v) return v.status();
+    if (v.value() < 0 || v.value() > (1 << 24)) {
+      return ctx.Err("bad .space size");
+    }
+    ctx.buf().insert(ctx.buf().end(), static_cast<size_t>(v.value()), 0);
+    return Status::Ok();
+  }
+  if (word == ".align") {
+    auto v = ParseImm(ctx, rest);
+    if (!v) return v.status();
+    const auto align = static_cast<uint64_t>(v.value());
+    if (align == 0 || (align & (align - 1)) != 0) {
+      return ctx.Err(".align must be a power of two");
+    }
+    while (ctx.here() % align != 0) ctx.buf().push_back(0);
+    return Status::Ok();
+  }
+  return ctx.Err(StrFormat("unknown directive '%.*s'",
+                           static_cast<int>(word.size()), word.data()));
+}
+
+}  // namespace
+
+Result<BinaryImage> Assemble(std::string_view source,
+                             const AssembleOptions& options) {
+  Ctx ctx;
+  ctx.options = options;
+
+  // Single structural pass: emit bytes, record label addresses as we reach
+  // them, and remember instructions whose immediates reference labels.
+  size_t pos = 0;
+  int line_no = 0;
+  while (pos <= source.size()) {
+    size_t eol = source.find('\n', pos);
+    if (eol == std::string_view::npos) eol = source.size();
+    std::string_view line = source.substr(pos, eol - pos);
+    pos = eol + 1;
+    ++line_no;
+    ctx.line = line_no;
+
+    // Strip comments ( ; or # ) — but not inside quotes.
+    bool in_quote = false;
+    size_t cut = line.size();
+    for (size_t i = 0; i < line.size(); ++i) {
+      if (line[i] == '"' && (i == 0 || line[i - 1] != '\\')) {
+        in_quote = !in_quote;
+      } else if (!in_quote && (line[i] == ';' || line[i] == '#')) {
+        cut = i;
+        break;
+      }
+    }
+    line = Trim(line.substr(0, cut));
+    if (line.empty()) {
+      if (pos > source.size()) break;
+      continue;
+    }
+
+    // Labels (possibly several on a line, e.g. "a: b: movi r0, 1").
+    while (true) {
+      size_t colon = line.find(':');
+      if (colon == std::string_view::npos) break;
+      std::string_view head = Trim(line.substr(0, colon));
+      if (!IsLabelToken(head)) break;  // e.g. mem operand has no ':'
+      if (ctx.labels.count(std::string(head))) {
+        return ctx.Err(StrFormat("duplicate label '%.*s'",
+                                 static_cast<int>(head.size()), head.data()));
+      }
+      ctx.labels[std::string(head)] = ctx.here();
+      line = Trim(line.substr(colon + 1));
+      if (line.empty()) break;
+    }
+    if (line.empty()) {
+      if (pos > source.size()) break;
+      continue;
+    }
+
+    // Directive or instruction.
+    size_t sp = 0;
+    while (sp < line.size() &&
+           !std::isspace(static_cast<unsigned char>(line[sp]))) {
+      ++sp;
+    }
+    std::string_view word = line.substr(0, sp);
+    std::string_view rest = sp < line.size() ? line.substr(sp + 1) : "";
+    if (word.front() == '.') {
+      if (auto s = HandleDirective(ctx, word, rest); !s.ok()) return s;
+    } else {
+      Opcode op = OpcodeFromMnemonic(word);
+      if (op == Opcode::kOpcodeCount) {
+        return ctx.Err(StrFormat("unknown mnemonic '%.*s'",
+                                 static_cast<int>(word.size()), word.data()));
+      }
+      if (auto s = EmitInstr(ctx, op, rest); !s.ok()) return s;
+    }
+    if (pos > source.size()) break;
+  }
+
+  // Pass 2: resolve label immediates and patch the text buffer.
+  for (auto& pi : ctx.instrs) {
+    if (!pi.imm_label.empty()) {
+      auto it = ctx.labels.find(pi.imm_label);
+      if (it == ctx.labels.end()) {
+        return Status::Invalid(StrFormat("line %d: undefined label '%s'",
+                                         pi.line, pi.imm_label.c_str()));
+      }
+      int64_t value;
+      if (pi.label_relative) {
+        value = static_cast<int64_t>(it->second) -
+                static_cast<int64_t>(pi.vaddr + kInstrBytes);
+      } else {
+        value = static_cast<int64_t>(it->second);
+      }
+      if (value < INT32_MIN || value > INT32_MAX) {
+        return Status::Invalid(
+            StrFormat("line %d: label immediate out of range", pi.line));
+      }
+      pi.instr.imm = static_cast<int32_t>(value);
+    }
+    const size_t off = pi.vaddr - ctx.BaseOf(pi.section);
+    Encode(pi.instr,
+           std::span<uint8_t, kInstrBytes>(
+               ctx.BufOf(pi.section).data() + off, kInstrBytes));
+  }
+  for (const auto& fix : ctx.quad_fixups) {
+    auto it = ctx.labels.find(fix.label);
+    if (it == ctx.labels.end()) {
+      return Status::Invalid(StrFormat("line %d: undefined label '%s'",
+                                       fix.line, fix.label.c_str()));
+    }
+    auto& buf = ctx.BufOf(fix.section);
+    uint64_t v = it->second;
+    for (unsigned i = 0; i < 8; ++i) {
+      buf[fix.offset + i] = static_cast<uint8_t>(v >> (8 * i));
+    }
+  }
+
+  BinaryImage img;
+  const struct {
+    SectionKind kind;
+    const char* name;
+    uint32_t flags;
+  } kSections[] = {
+      {SectionKind::kText, ".text", kSectionExec},
+      {SectionKind::kLibText, ".ltext", kSectionExec},
+      {SectionKind::kData, ".data", kSectionWrite},
+      {SectionKind::kLibData, ".ldata", kSectionWrite},
+  };
+  for (const auto& sec : kSections) {
+    auto& buf = ctx.BufOf(sec.kind);
+    if (buf.empty()) continue;
+    img.AddSection({sec.name, ctx.BaseOf(sec.kind), sec.flags,
+                    std::move(buf)});
+  }
+  for (const auto& [name, addr] : ctx.labels) img.AddSymbol(name, addr);
+
+  if (!ctx.entry_label.empty()) {
+    auto it = ctx.labels.find(ctx.entry_label);
+    if (it == ctx.labels.end()) {
+      return Status::Invalid(
+          StrFormat("undefined .entry label '%s'", ctx.entry_label.c_str()));
+    }
+    img.set_entry(it->second);
+  } else {
+    img.set_entry(options.text_base);
+  }
+  return img;
+}
+
+}  // namespace sbce::isa

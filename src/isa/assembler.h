@@ -1,0 +1,50 @@
+// Two-pass assembler for SBVM assembly.
+//
+// Syntax overview (one statement per line, ';' or '#' starts a comment):
+//
+//   .text [vaddr]        switch to the text section (default vaddr 0x1000)
+//   .data [vaddr]        switch to the data section (default vaddr 0x100000)
+//   .ltext [vaddr]       library text section (default 0x40000)
+//   .ldata [vaddr]       library data section (default 0x60000)
+//   .entry <label>       program entry point
+//   .equ NAME, <int>     define an assembly-time constant
+//   .byte / .half / .word / .quad  v1, v2, ...   (ints or labels for .quad)
+//   .asciz "text"        NUL-terminated string (supports \n \t \0 \\ \")
+//   .space N             N zero bytes
+//   .align N             pad with zeros to an N-byte boundary
+//   label:               define a label at the current location
+//
+//   mnemonic operands    e.g.  addi r1, r2, 10
+//                              ld8 r3, [r15+16]
+//                              ldx8 r3, [r1+r2]
+//                              bz r1, else_branch
+//                              movi r1, some_label   (absolute address)
+//
+// Branch/call/lea label operands are encoded pc-relative; movi/.quad label
+// operands are absolute. All text vaddrs must fit in 31 bits so absolute
+// addresses survive the sign-extended 32-bit immediate.
+#pragma once
+
+#include <string_view>
+
+#include "src/isa/image.h"
+#include "src/support/status.h"
+
+namespace sbce::isa {
+
+struct AssembleOptions {
+  uint64_t text_base = 0x1000;
+  uint64_t data_base = 0x100000;
+  /// "Shared library" sections (.ltext / .ldata directives). Addresses at
+  /// or above lib_text_base are treated as library code by the tool
+  /// profiles (dynamic-library loading / skipping behaviours).
+  uint64_t lib_text_base = 0x40000;
+  uint64_t lib_data_base = 0x60000;
+};
+
+/// Assembles `source` into a loadable image. On error, the Status message
+/// contains the 1-based line number.
+Result<BinaryImage> Assemble(std::string_view source,
+                             const AssembleOptions& options = {});
+
+}  // namespace sbce::isa

@@ -1,0 +1,118 @@
+#include "src/isa/image.h"
+
+#include <cstring>
+#include <span>
+
+namespace sbce::isa {
+
+namespace {
+
+constexpr char kMagic[4] = {'S', 'B', 'X', '1'};
+
+void PutU32(std::vector<uint8_t>& out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+void PutU64(std::vector<uint8_t>& out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+class Reader {
+ public:
+  explicit Reader(std::span<const uint8_t> bytes) : bytes_(bytes) {}
+
+  bool Take(void* out, size_t n) {
+    if (pos_ + n > bytes_.size()) return false;
+    std::memcpy(out, bytes_.data() + pos_, n);
+    pos_ += n;
+    return true;
+  }
+
+  bool TakeU32(uint32_t* v) {
+    uint8_t b[4];
+    if (!Take(b, 4)) return false;
+    *v = static_cast<uint32_t>(b[0]) | (static_cast<uint32_t>(b[1]) << 8) |
+         (static_cast<uint32_t>(b[2]) << 16) |
+         (static_cast<uint32_t>(b[3]) << 24);
+    return true;
+  }
+
+  bool TakeU64(uint64_t* v) {
+    uint32_t lo, hi;
+    if (!TakeU32(&lo) || !TakeU32(&hi)) return false;
+    *v = static_cast<uint64_t>(lo) | (static_cast<uint64_t>(hi) << 32);
+    return true;
+  }
+
+ private:
+  std::span<const uint8_t> bytes_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+size_t BinaryImage::TotalBytes() const {
+  size_t n = 0;
+  for (const auto& s : sections_) n += s.data.size();
+  return n;
+}
+
+std::optional<uint64_t> BinaryImage::FindSymbol(std::string_view name) const {
+  for (const auto& [sym, addr] : symbols_) {
+    if (sym == name) return addr;
+  }
+  return std::nullopt;
+}
+
+std::vector<uint8_t> BinaryImage::Serialize() const {
+  std::vector<uint8_t> out;
+  out.insert(out.end(), kMagic, kMagic + 4);
+  PutU64(out, entry_);
+  PutU32(out, static_cast<uint32_t>(sections_.size()));
+  for (const auto& s : sections_) {
+    PutU32(out, static_cast<uint32_t>(s.name.size()));
+    out.insert(out.end(), s.name.begin(), s.name.end());
+    PutU64(out, s.vaddr);
+    PutU32(out, s.flags);
+    PutU32(out, static_cast<uint32_t>(s.data.size()));
+    out.insert(out.end(), s.data.begin(), s.data.end());
+  }
+  return out;
+}
+
+Result<BinaryImage> BinaryImage::Deserialize(std::span<const uint8_t> bytes) {
+  Reader r(bytes);
+  char magic[4];
+  if (!r.Take(magic, 4) || std::memcmp(magic, kMagic, 4) != 0) {
+    return Status::Invalid("bad SBX magic");
+  }
+  BinaryImage img;
+  uint64_t entry;
+  uint32_t nsec;
+  if (!r.TakeU64(&entry) || !r.TakeU32(&nsec)) {
+    return Status::Invalid("truncated SBX header");
+  }
+  if (nsec > 1024) return Status::Invalid("unreasonable section count");
+  img.set_entry(entry);
+  for (uint32_t i = 0; i < nsec; ++i) {
+    uint32_t name_len;
+    if (!r.TakeU32(&name_len) || name_len > 4096) {
+      return Status::Invalid("bad section name length");
+    }
+    Section s;
+    s.name.resize(name_len);
+    uint32_t size;
+    if (!r.Take(s.name.data(), name_len) || !r.TakeU64(&s.vaddr) ||
+        !r.TakeU32(&s.flags) || !r.TakeU32(&size)) {
+      return Status::Invalid("truncated section header");
+    }
+    s.data.resize(size);
+    if (!r.Take(s.data.data(), size)) {
+      return Status::Invalid("truncated section payload");
+    }
+    img.AddSection(std::move(s));
+  }
+  return img;
+}
+
+}  // namespace sbce::isa

@@ -1,0 +1,66 @@
+// SBX binary image: the on-disk/in-memory "binary" format the tools analyze.
+//
+// Layout of the serialized form:
+//   magic "SBX1" | u64 entry | u32 nsections |
+//   per section: u32 name_len | name bytes | u64 vaddr | u32 flags |
+//                u32 size | data bytes
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "src/support/status.h"
+
+namespace sbce::isa {
+
+enum SectionFlags : uint32_t {
+  kSectionExec = 1u << 0,
+  kSectionWrite = 1u << 1,
+};
+
+struct Section {
+  std::string name;
+  uint64_t vaddr = 0;
+  uint32_t flags = 0;
+  std::vector<uint8_t> data;
+};
+
+/// A loadable binary. Also carries the symbol table the assembler produced;
+/// symbols are *not* serialized (stripped binary), mirroring the paper's
+/// setting, but are kept in-memory for tests and ground-truth bookkeeping.
+class BinaryImage {
+ public:
+  uint64_t entry() const { return entry_; }
+  void set_entry(uint64_t e) { entry_ = e; }
+
+  const std::vector<Section>& sections() const { return sections_; }
+  void AddSection(Section s) { sections_.push_back(std::move(s)); }
+
+  /// Total bytes across all section payloads ("binary size" for §V.A).
+  size_t TotalBytes() const;
+
+  /// In-memory symbol table (label → vaddr). Not serialized.
+  void AddSymbol(const std::string& name, uint64_t vaddr) {
+    symbols_.emplace_back(name, vaddr);
+  }
+  std::optional<uint64_t> FindSymbol(std::string_view name) const;
+  const std::vector<std::pair<std::string, uint64_t>>& symbols() const {
+    return symbols_;
+  }
+
+  /// Serializes to the SBX wire format (symbols stripped).
+  std::vector<uint8_t> Serialize() const;
+  static Result<BinaryImage> Deserialize(std::span<const uint8_t> bytes);
+
+ private:
+  uint64_t entry_ = 0;
+  std::vector<Section> sections_;
+  std::vector<std::pair<std::string, uint64_t>> symbols_;
+};
+
+}  // namespace sbce::isa

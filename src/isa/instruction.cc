@@ -1,0 +1,164 @@
+#include "src/isa/instruction.h"
+
+#include "src/support/str.h"
+
+namespace sbce::isa {
+
+namespace {
+
+bool RegOk(uint8_t r, bool fp) {
+  return r < (fp ? kNumFpr : kNumGpr);
+}
+
+/// True if the register fields used by `form` are in range.
+bool ValidateRegs(const Instruction& in, const OpcodeInfo& info) {
+  const bool fp = info.is_fp;
+  switch (info.form) {
+    case OperandForm::kNone:
+    case OperandForm::kImm:
+      return true;
+    case OperandForm::kRd:
+      return RegOk(in.rd, fp);
+    case OperandForm::kRs:
+      return RegOk(in.rs1, fp);
+    case OperandForm::kRdRs: {
+      // Cross-bank moves: cvtif/movgf write FP and read GPR; cvtfi/movfg
+      // do the opposite.
+      if (in.op == Opcode::kCvtIF || in.op == Opcode::kMovGF) {
+        return RegOk(in.rd, /*fp=*/true) && RegOk(in.rs1, /*fp=*/false);
+      }
+      if (in.op == Opcode::kCvtFI || in.op == Opcode::kMovFG) {
+        return RegOk(in.rd, /*fp=*/false) && RegOk(in.rs1, /*fp=*/true);
+      }
+      return RegOk(in.rd, fp) && RegOk(in.rs1, fp);
+    }
+    case OperandForm::kRdImm:
+      return RegOk(in.rd, fp);
+    case OperandForm::kRdRsRs: {
+      // FP compares write a GPR.
+      const bool rd_fp = fp && in.op != Opcode::kFCmpEq &&
+                         in.op != Opcode::kFCmpLt && in.op != Opcode::kFCmpLe;
+      return RegOk(in.rd, rd_fp) && RegOk(in.rs1, fp) && RegOk(in.rs2, fp);
+    }
+    case OperandForm::kRdRsImm:
+    case OperandForm::kRsImm:
+      return RegOk(in.rd, fp) && RegOk(in.rs1, fp);
+    case OperandForm::kMem:
+      // rd may be FP (fld/fst) but the base rs1 is always a GPR.
+      return RegOk(in.rd, fp) && RegOk(in.rs1, /*fp=*/false);
+    case OperandForm::kMemX:
+      return RegOk(in.rd, fp) && RegOk(in.rs1, false) && RegOk(in.rs2, false);
+  }
+  return false;
+}
+
+}  // namespace
+
+void Encode(const Instruction& instr, std::span<uint8_t, kInstrBytes> out) {
+  out[0] = static_cast<uint8_t>(instr.op);
+  out[1] = instr.rd;
+  out[2] = instr.rs1;
+  out[3] = instr.rs2;
+  const auto u = static_cast<uint32_t>(instr.imm);
+  out[4] = static_cast<uint8_t>(u);
+  out[5] = static_cast<uint8_t>(u >> 8);
+  out[6] = static_cast<uint8_t>(u >> 16);
+  out[7] = static_cast<uint8_t>(u >> 24);
+}
+
+Result<Instruction> Decode(std::span<const uint8_t> bytes) {
+  if (bytes.size() < kInstrBytes) {
+    return Status::OutOfRange("truncated instruction");
+  }
+  if (bytes[0] >= static_cast<uint8_t>(Opcode::kOpcodeCount)) {
+    return Status::Invalid(
+        StrFormat("unknown opcode byte 0x%02x", bytes[0]));
+  }
+  Instruction in;
+  in.op = static_cast<Opcode>(bytes[0]);
+  in.rd = bytes[1];
+  in.rs1 = bytes[2];
+  in.rs2 = bytes[3];
+  const uint32_t u = static_cast<uint32_t>(bytes[4]) |
+                     (static_cast<uint32_t>(bytes[5]) << 8) |
+                     (static_cast<uint32_t>(bytes[6]) << 16) |
+                     (static_cast<uint32_t>(bytes[7]) << 24);
+  in.imm = static_cast<int32_t>(u);
+  if (!ValidateRegs(in, GetOpcodeInfo(in.op))) {
+    return Status::Invalid(StrFormat(
+        "register index out of range in %s",
+        std::string(GetOpcodeInfo(in.op).mnemonic).c_str()));
+  }
+  return in;
+}
+
+std::string Disassemble(const Instruction& in, uint64_t pc) {
+  const OpcodeInfo& info = GetOpcodeInfo(in.op);
+  const std::string m(info.mnemonic);
+  const char* rp = info.is_fp ? "f" : "r";
+  const uint64_t next = pc + kInstrBytes;
+  switch (info.form) {
+    case OperandForm::kNone:
+      return m;
+    case OperandForm::kRd:
+      return StrFormat("%s %s%u", m.c_str(), rp, in.rd);
+    case OperandForm::kRs:
+      return StrFormat("%s %s%u", m.c_str(),
+                       in.op == Opcode::kJmpR || in.op == Opcode::kCallR ||
+                               in.op == Opcode::kPush ||
+                               in.op == Opcode::kTrapZ ||
+                               in.op == Opcode::kTrapNeg
+                           ? "r"
+                           : rp,
+                       in.rs1);
+    case OperandForm::kRdRs: {
+      const char* dp = rp;
+      const char* sp = rp;
+      if (in.op == Opcode::kCvtIF || in.op == Opcode::kMovGF) {
+        dp = "f"; sp = "r";
+      } else if (in.op == Opcode::kCvtFI || in.op == Opcode::kMovFG) {
+        dp = "r"; sp = "f";
+      }
+      return StrFormat("%s %s%u, %s%u", m.c_str(), dp, in.rd, sp, in.rs1);
+    }
+    case OperandForm::kRdImm:
+      if (in.op == Opcode::kLea) {
+        return StrFormat("%s r%u, 0x%llx", m.c_str(), in.rd,
+                         static_cast<unsigned long long>(
+                             next + static_cast<int64_t>(in.imm)));
+      }
+      return StrFormat("%s %s%u, %d", m.c_str(), rp, in.rd, in.imm);
+    case OperandForm::kRdRsRs: {
+      const char* dp =
+          (in.op == Opcode::kFCmpEq || in.op == Opcode::kFCmpLt ||
+           in.op == Opcode::kFCmpLe)
+              ? "r"
+              : rp;
+      return StrFormat("%s %s%u, %s%u, %s%u", m.c_str(), dp, in.rd, rp,
+                       in.rs1, rp, in.rs2);
+    }
+    case OperandForm::kRdRsImm:
+      return StrFormat("%s %s%u, %s%u, %d", m.c_str(), rp, in.rd, rp, in.rs1,
+                       in.imm);
+    case OperandForm::kRsImm:
+      return StrFormat("%s r%u, 0x%llx", m.c_str(), in.rs1,
+                       static_cast<unsigned long long>(
+                           next + static_cast<int64_t>(in.imm)));
+    case OperandForm::kImm:
+      if (in.op == Opcode::kJmp || in.op == Opcode::kCall) {
+        return StrFormat("%s 0x%llx", m.c_str(),
+                         static_cast<unsigned long long>(
+                             next + static_cast<int64_t>(in.imm)));
+      }
+      return StrFormat("%s %d", m.c_str(), in.imm);
+    case OperandForm::kMem:
+      return StrFormat("%s %s%u, [r%u%+d]", m.c_str(), rp, in.rd, in.rs1,
+                       in.imm);
+    case OperandForm::kMemX:
+      return StrFormat("%s %s%u, [r%u+r%u]", m.c_str(), rp, in.rd, in.rs1,
+                       in.rs2);
+  }
+  return m;
+}
+
+}  // namespace sbce::isa

@@ -1,0 +1,33 @@
+// Decoded instruction representation plus the 8-byte codec.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "src/isa/opcode.h"
+#include "src/support/status.h"
+
+namespace sbce::isa {
+
+struct Instruction {
+  Opcode op = Opcode::kNop;
+  uint8_t rd = 0;
+  uint8_t rs1 = 0;
+  uint8_t rs2 = 0;
+  int32_t imm = 0;
+
+  friend bool operator==(const Instruction&, const Instruction&) = default;
+};
+
+/// Encodes `instr` into exactly kInstrBytes bytes at `out`.
+void Encode(const Instruction& instr, std::span<uint8_t, kInstrBytes> out);
+
+/// Decodes one instruction. Fails on unknown opcodes or register indexes
+/// out of range for the operand form.
+Result<Instruction> Decode(std::span<const uint8_t> bytes);
+
+/// Renders `instr` at `pc` (pc is needed to print absolute branch targets).
+std::string Disassemble(const Instruction& instr, uint64_t pc);
+
+}  // namespace sbce::isa

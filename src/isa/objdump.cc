@@ -1,0 +1,95 @@
+#include "src/isa/objdump.h"
+
+#include <map>
+
+#include "src/isa/instruction.h"
+#include "src/support/str.h"
+
+namespace sbce::isa {
+
+namespace {
+
+std::map<uint64_t, std::string> SymbolsByAddress(const BinaryImage& image) {
+  std::map<uint64_t, std::string> out;
+  for (const auto& [name, addr] : image.symbols()) {
+    auto [it, inserted] = out.emplace(addr, name);
+    if (!inserted) it->second += "," + name;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string DisassembleSection(const Section& section,
+                               const BinaryImage& image, bool use_symbols) {
+  const auto symbols =
+      use_symbols ? SymbolsByAddress(image)
+                  : std::map<uint64_t, std::string>{};
+  std::string out;
+  for (size_t off = 0; off + kInstrBytes <= section.data.size();
+       off += kInstrBytes) {
+    const uint64_t pc = section.vaddr + off;
+    if (auto it = symbols.find(pc); it != symbols.end()) {
+      out += StrFormat("\n%s:\n", it->second.c_str());
+    }
+    auto decoded = Decode(
+        std::span<const uint8_t>(section.data.data() + off, kInstrBytes));
+    if (decoded.ok()) {
+      out += StrFormat("  0x%06llx:  %s\n",
+                       static_cast<unsigned long long>(pc),
+                       Disassemble(decoded.value(), pc).c_str());
+    } else {
+      out += StrFormat("  0x%06llx:  .byte", static_cast<unsigned long long>(pc));
+      for (unsigned i = 0; i < kInstrBytes; ++i) {
+        out += StrFormat(" %02x", section.data[off + i]);
+      }
+      out += "   ; (not an instruction)\n";
+    }
+  }
+  return out;
+}
+
+std::string Objdump(const BinaryImage& image, const ObjdumpOptions& options) {
+  std::string out = StrFormat(
+      "SBX image: entry 0x%llx, %zu section(s), %zu byte(s) total\n\n",
+      static_cast<unsigned long long>(image.entry()),
+      image.sections().size(), image.TotalBytes());
+  for (const auto& section : image.sections()) {
+    out += StrFormat("section %-8s vaddr 0x%06llx  size %6zu  [%s%s]\n",
+                     section.name.c_str(),
+                     static_cast<unsigned long long>(section.vaddr),
+                     section.data.size(),
+                     (section.flags & kSectionExec) ? "X" : "-",
+                     (section.flags & kSectionWrite) ? "W" : "-");
+  }
+  for (const auto& section : image.sections()) {
+    if ((section.flags & kSectionExec) != 0 && options.disassemble_text) {
+      out += StrFormat("\nDisassembly of %s:\n", section.name.c_str());
+      out += DisassembleSection(section, image, options.use_symbols);
+    } else if (options.dump_data) {
+      out += StrFormat("\nContents of %s:\n", section.name.c_str());
+      const size_t limit =
+          options.max_data_bytes == 0
+              ? section.data.size()
+              : std::min(section.data.size(), options.max_data_bytes);
+      for (size_t off = 0; off < limit; off += 16) {
+        out += StrFormat("  0x%06llx: ",
+                         static_cast<unsigned long long>(section.vaddr + off));
+        std::string ascii;
+        for (size_t i = off; i < off + 16 && i < limit; ++i) {
+          out += StrFormat("%02x ", section.data[i]);
+          const char c = static_cast<char>(section.data[i]);
+          ascii += (c >= 0x20 && c < 0x7f) ? c : '.';
+        }
+        out += " |" + ascii + "|\n";
+      }
+      if (limit < section.data.size()) {
+        out += StrFormat("  ... %zu more byte(s)\n",
+                         section.data.size() - limit);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace sbce::isa

@@ -1,0 +1,29 @@
+// objdump-style rendering of SBX images: section listing, disassembly of
+// executable sections, hex dumps of data sections.
+#pragma once
+
+#include <string>
+
+#include "src/isa/image.h"
+
+namespace sbce::isa {
+
+struct ObjdumpOptions {
+  bool disassemble_text = true;
+  bool dump_data = true;
+  size_t max_data_bytes = 256;  // per section, 0 = unlimited
+  /// Annotate addresses with symbol names when the image carries symbols.
+  bool use_symbols = true;
+};
+
+/// Renders the whole image (headers, sections, disassembly).
+std::string Objdump(const BinaryImage& image,
+                    const ObjdumpOptions& options = ObjdumpOptions());
+
+/// Disassembles one executable section, one instruction per line:
+///   "0x1008:  addi r1, r1, 1".
+std::string DisassembleSection(const Section& section,
+                               const BinaryImage& image,
+                               bool use_symbols = true);
+
+}  // namespace sbce::isa

@@ -1,0 +1,165 @@
+#include "src/isa/opcode.h"
+
+#include <array>
+#include <unordered_map>
+
+#include "src/support/status.h"
+
+namespace sbce::isa {
+
+namespace {
+
+constexpr OpcodeInfo Info(std::string_view mnem, OperandForm form,
+                          bool branch = false, bool jump = false,
+                          bool load = false, bool store = false,
+                          bool fp = false, bool trap = false,
+                          uint8_t width = 0) {
+  return OpcodeInfo{mnem, form, branch, jump, load, store, fp, trap, width};
+}
+
+const std::array<OpcodeInfo, static_cast<size_t>(Opcode::kOpcodeCount)>
+    kInfoTable = {{
+        /* kNop    */ Info("nop", OperandForm::kNone),
+        /* kHalt   */ Info("halt", OperandForm::kNone),
+        /* kMov    */ Info("mov", OperandForm::kRdRs),
+        /* kMovI   */ Info("movi", OperandForm::kRdImm),
+        /* kMovHi  */ Info("movhi", OperandForm::kRdImm),
+        /* kAdd    */ Info("add", OperandForm::kRdRsRs),
+        /* kAddI   */ Info("addi", OperandForm::kRdRsImm),
+        /* kSub    */ Info("sub", OperandForm::kRdRsRs),
+        /* kSubI   */ Info("subi", OperandForm::kRdRsImm),
+        /* kMul    */ Info("mul", OperandForm::kRdRsRs),
+        /* kMulI   */ Info("muli", OperandForm::kRdRsImm),
+        /* kUDiv   */ Info("udiv", OperandForm::kRdRsRs, false, false, false,
+                           false, false, /*trap=*/true),
+        /* kSDiv   */ Info("sdiv", OperandForm::kRdRsRs, false, false, false,
+                           false, false, /*trap=*/true),
+        /* kURem   */ Info("urem", OperandForm::kRdRsRs, false, false, false,
+                           false, false, /*trap=*/true),
+        /* kSRem   */ Info("srem", OperandForm::kRdRsRs, false, false, false,
+                           false, false, /*trap=*/true),
+        /* kAnd    */ Info("and", OperandForm::kRdRsRs),
+        /* kAndI   */ Info("andi", OperandForm::kRdRsImm),
+        /* kOr     */ Info("or", OperandForm::kRdRsRs),
+        /* kOrI    */ Info("ori", OperandForm::kRdRsImm),
+        /* kXor    */ Info("xor", OperandForm::kRdRsRs),
+        /* kXorI   */ Info("xori", OperandForm::kRdRsImm),
+        /* kShl    */ Info("shl", OperandForm::kRdRsRs),
+        /* kShlI   */ Info("shli", OperandForm::kRdRsImm),
+        /* kShr    */ Info("shr", OperandForm::kRdRsRs),
+        /* kShrI   */ Info("shri", OperandForm::kRdRsImm),
+        /* kSar    */ Info("sar", OperandForm::kRdRsRs),
+        /* kSarI   */ Info("sari", OperandForm::kRdRsImm),
+        /* kNot    */ Info("not", OperandForm::kRdRs),
+        /* kNeg    */ Info("neg", OperandForm::kRdRs),
+        /* kCmpEq  */ Info("cmpeq", OperandForm::kRdRsRs),
+        /* kCmpEqI */ Info("cmpeqi", OperandForm::kRdRsImm),
+        /* kCmpNe  */ Info("cmpne", OperandForm::kRdRsRs),
+        /* kCmpNeI */ Info("cmpnei", OperandForm::kRdRsImm),
+        /* kCmpLtU */ Info("cmpltu", OperandForm::kRdRsRs),
+        /* kCmpLtUI*/ Info("cmpltui", OperandForm::kRdRsImm),
+        /* kCmpLtS */ Info("cmplts", OperandForm::kRdRsRs),
+        /* kCmpLtSI*/ Info("cmpltsi", OperandForm::kRdRsImm),
+        /* kCmpLeU */ Info("cmpleu", OperandForm::kRdRsRs),
+        /* kCmpLeS */ Info("cmples", OperandForm::kRdRsRs),
+        /* kBz     */ Info("bz", OperandForm::kRsImm, /*branch=*/true),
+        /* kBnz    */ Info("bnz", OperandForm::kRsImm, /*branch=*/true),
+        /* kJmp    */ Info("jmp", OperandForm::kImm, false, /*jump=*/true),
+        /* kJmpR   */ Info("jmpr", OperandForm::kRs, false, /*jump=*/true),
+        /* kCall   */ Info("call", OperandForm::kImm, false, /*jump=*/true,
+                           false, /*store=*/true, false, false, 8),
+        /* kCallR  */ Info("callr", OperandForm::kRs, false, /*jump=*/true,
+                           false, /*store=*/true, false, false, 8),
+        /* kRet    */ Info("ret", OperandForm::kNone, false, /*jump=*/true,
+                           /*load=*/true, false, false, false, 8),
+        /* kLd1    */ Info("ld1", OperandForm::kMem, false, false,
+                           /*load=*/true, false, false, false, 1),
+        /* kLd2    */ Info("ld2", OperandForm::kMem, false, false, true,
+                           false, false, false, 2),
+        /* kLd4    */ Info("ld4", OperandForm::kMem, false, false, true,
+                           false, false, false, 4),
+        /* kLd8    */ Info("ld8", OperandForm::kMem, false, false, true,
+                           false, false, false, 8),
+        /* kLdS1   */ Info("lds1", OperandForm::kMem, false, false, true,
+                           false, false, false, 1),
+        /* kLdS2   */ Info("lds2", OperandForm::kMem, false, false, true,
+                           false, false, false, 2),
+        /* kLdS4   */ Info("lds4", OperandForm::kMem, false, false, true,
+                           false, false, false, 4),
+        /* kSt1    */ Info("st1", OperandForm::kMem, false, false, false,
+                           /*store=*/true, false, false, 1),
+        /* kSt2    */ Info("st2", OperandForm::kMem, false, false, false,
+                           true, false, false, 2),
+        /* kSt4    */ Info("st4", OperandForm::kMem, false, false, false,
+                           true, false, false, 4),
+        /* kSt8    */ Info("st8", OperandForm::kMem, false, false, false,
+                           true, false, false, 8),
+        /* kLdX1   */ Info("ldx1", OperandForm::kMemX, false, false, true,
+                           false, false, false, 1),
+        /* kLdX8   */ Info("ldx8", OperandForm::kMemX, false, false, true,
+                           false, false, false, 8),
+        /* kStX1   */ Info("stx1", OperandForm::kMemX, false, false, false,
+                           true, false, false, 1),
+        /* kStX8   */ Info("stx8", OperandForm::kMemX, false, false, false,
+                           true, false, false, 8),
+        /* kPush   */ Info("push", OperandForm::kRs, false, false, false,
+                           /*store=*/true, false, false, 8),
+        /* kPop    */ Info("pop", OperandForm::kRd, false, false,
+                           /*load=*/true, false, false, false, 8),
+        /* kLea    */ Info("lea", OperandForm::kRdImm),
+        /* kTrapZ  */ Info("trapz", OperandForm::kRs, false, false, false,
+                           false, false, /*trap=*/true),
+        /* kTrapNeg*/ Info("trapneg", OperandForm::kRs, false, false, false,
+                           false, false, /*trap=*/true),
+        /* kSys    */ Info("sys", OperandForm::kImm),
+        /* kFAdd   */ Info("fadd", OperandForm::kRdRsRs, false, false, false,
+                           false, /*fp=*/true),
+        /* kFSub   */ Info("fsub", OperandForm::kRdRsRs, false, false, false,
+                           false, true),
+        /* kFMul   */ Info("fmul", OperandForm::kRdRsRs, false, false, false,
+                           false, true),
+        /* kFDiv   */ Info("fdiv", OperandForm::kRdRsRs, false, false, false,
+                           false, true),
+        /* kFCmpEq */ Info("fcmpeq", OperandForm::kRdRsRs, false, false,
+                           false, false, true),
+        /* kFCmpLt */ Info("fcmplt", OperandForm::kRdRsRs, false, false,
+                           false, false, true),
+        /* kFCmpLe */ Info("fcmple", OperandForm::kRdRsRs, false, false,
+                           false, false, true),
+        /* kCvtIF  */ Info("cvtif", OperandForm::kRdRs, false, false, false,
+                           false, true),
+        /* kCvtFI  */ Info("cvtfi", OperandForm::kRdRs, false, false, false,
+                           false, true),
+        /* kFMov   */ Info("fmov", OperandForm::kRdRs, false, false, false,
+                           false, true),
+        /* kFLd    */ Info("fld", OperandForm::kMem, false, false,
+                           /*load=*/true, false, /*fp=*/true, false, 8),
+        /* kFSt    */ Info("fst", OperandForm::kMem, false, false, false,
+                           /*store=*/true, /*fp=*/true, false, 8),
+        /* kMovGF  */ Info("movgf", OperandForm::kRdRs, false, false, false,
+                           false, true),
+        /* kMovFG  */ Info("movfg", OperandForm::kRdRs, false, false, false,
+                           false, true),
+    }};
+
+}  // namespace
+
+const OpcodeInfo& GetOpcodeInfo(Opcode op) {
+  const auto idx = static_cast<size_t>(op);
+  SBCE_CHECK_MSG(idx < kInfoTable.size(), "opcode out of range");
+  return kInfoTable[idx];
+}
+
+Opcode OpcodeFromMnemonic(std::string_view mnemonic) {
+  static const auto* kMap = [] {
+    auto* m = new std::unordered_map<std::string_view, Opcode>();
+    for (size_t i = 0; i < kInfoTable.size(); ++i) {
+      (*m)[kInfoTable[i].mnemonic] = static_cast<Opcode>(i);
+    }
+    return m;
+  }();
+  auto it = kMap->find(mnemonic);
+  return it == kMap->end() ? Opcode::kOpcodeCount : it->second;
+}
+
+}  // namespace sbce::isa

@@ -1,0 +1,146 @@
+// SBVM instruction set.
+//
+// SBVM is a 64-bit RISC-style virtual ISA designed to preserve the
+// binary-level properties the paper's challenges depend on: byte-encoded
+// images without type info, flat memory, indirect jumps, traps and syscalls.
+//
+// Encoding: fixed 8 bytes per instruction:
+//   byte 0: opcode
+//   byte 1: rd   (destination register, or value register for stores)
+//   byte 2: rs1
+//   byte 3: rs2
+//   bytes 4..7: imm32 (little-endian, sign semantics per opcode)
+//
+// Registers: 16 GPRs r0..r15. ABI: r0 = return value, r1..r5 = arguments,
+// r11 = trap cause, r13 = lr alias unused (CALL pushes pc), r14 = bp,
+// r15 = sp. 8 FP registers f0..f7 hold IEEE-754 doubles.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace sbce::isa {
+
+inline constexpr int kNumGpr = 16;
+inline constexpr int kNumFpr = 8;
+inline constexpr int kRegRet = 0;
+inline constexpr int kRegArg1 = 1;
+inline constexpr int kRegTrapCause = 11;
+inline constexpr int kRegBp = 14;
+inline constexpr int kRegSp = 15;
+inline constexpr unsigned kInstrBytes = 8;
+
+enum class Opcode : uint8_t {
+  kNop = 0,
+  kHalt,
+
+  // Data movement.
+  kMov,     // rd = rs1
+  kMovI,    // rd = sext(imm32)
+  kMovHi,   // rd = (rd & 0xffffffff) | (imm32 << 32)
+
+  // Integer arithmetic (register forms use rs1, rs2; imm forms rs1, imm).
+  kAdd, kAddI,
+  kSub, kSubI,
+  kMul, kMulI,
+  kUDiv, kSDiv,   // trap on divide-by-zero
+  kURem, kSRem,   // trap on divide-by-zero
+
+  // Bitwise / shifts.
+  kAnd, kAndI,
+  kOr, kOrI,
+  kXor, kXorI,
+  kShl, kShlI,
+  kShr, kShrI,   // logical right
+  kSar, kSarI,   // arithmetic right
+  kNot,          // rd = ~rs1
+  kNeg,          // rd = -rs1
+
+  // Comparisons: rd = (rs1 OP rs2) ? 1 : 0.
+  kCmpEq, kCmpEqI,
+  kCmpNe, kCmpNeI,
+  kCmpLtU, kCmpLtUI,
+  kCmpLtS, kCmpLtSI,
+  kCmpLeU,
+  kCmpLeS,
+
+  // Control flow. Branch targets: imm32 = signed byte offset from the
+  // *next* instruction. kJmpR/kCallR take an absolute address in rs1.
+  kBz,      // if rs1 == 0 jump
+  kBnz,     // if rs1 != 0 jump
+  kJmp,
+  kJmpR,    // indirect jump — the symbolic-jump challenge lives here
+  kCall,    // push return address, jump
+  kCallR,
+  kRet,     // pop return address, jump
+
+  // Memory. Address = rs1 + sext(imm32); loads zero-extend unless kLdS*.
+  kLd1, kLd2, kLd4, kLd8,
+  kLdS1, kLdS2, kLdS4,
+  kSt1, kSt2, kSt4, kSt8,   // mem[rs1+imm] = rd (rd is the VALUE register)
+  kLdX1, kLdX8,             // rd = mem[rs1 + rs2]
+  kStX1, kStX8,             // mem[rs1 + rs2] = rd
+
+  kPush,    // sp -= 8; mem[sp] = rs1
+  kPop,     // rd = mem[sp]; sp += 8
+  kLea,     // rd = pc_next + sext(imm32)   (pc-relative address formation)
+
+  // Traps: jump to the handler registered via SYS_SETTRAP with the cause
+  // in r11; halt with a fault if no handler is installed.
+  kTrapZ,    // trap if rs1 == 0   (cause kTrapExplicitZero)
+  kTrapNeg,  // trap if rs1 < 0    (cause kTrapExplicitNeg)
+
+  kSys,      // syscall; number = imm32, args r1..r5, result r0
+
+  // Floating point (doubles). rd/rs1/rs2 index f-registers except where a
+  // GPR is noted.
+  kFAdd, kFSub, kFMul, kFDiv,
+  kFCmpEq,   // GPR rd = (f[rs1] == f[rs2])
+  kFCmpLt,   // GPR rd = (f[rs1] <  f[rs2])
+  kFCmpLe,   // GPR rd = (f[rs1] <= f[rs2])
+  kCvtIF,    // f[rd] = double(int64(r[rs1]))   — cvtsi2sd analogue
+  kCvtFI,    // r[rd] = int64(trunc(f[rs1]))
+  kFMov,     // f[rd] = f[rs1]
+  kFLd,      // f[rd] = bits(mem64[r[rs1] + imm])
+  kFSt,      // mem64[r[rs1] + imm] = bits(f[rd])
+  kMovGF,    // f[rd] = bits(r[rs1])
+  kMovFG,    // r[rd] = bits(f[rs1])
+
+  kOpcodeCount,
+};
+
+/// Operand shape of an instruction, used by the assembler, disassembler and
+/// the trace/taint machinery.
+enum class OperandForm : uint8_t {
+  kNone,        // op
+  kRd,          // op rd
+  kRs,          // op rs1
+  kRdRs,        // op rd, rs1
+  kRdImm,       // op rd, imm
+  kRdRsRs,      // op rd, rs1, rs2
+  kRdRsImm,     // op rd, rs1, imm
+  kRsImm,       // op rs1, imm (branches: reg + label)
+  kImm,         // op imm (jmp/call label, sys)
+  kMem,         // op rd, [rs1 + imm]  (loads/stores/fld/fst)
+  kMemX,        // op rd, [rs1 + rs2]
+};
+
+struct OpcodeInfo {
+  std::string_view mnemonic;
+  OperandForm form;
+  bool is_branch;     // conditional branch
+  bool is_jump;       // unconditional control transfer
+  bool is_load;
+  bool is_store;
+  bool is_fp;
+  bool can_trap;
+  uint8_t mem_width;  // bytes accessed, 0 if none
+};
+
+/// Metadata for `op`; aborts on out-of-range values.
+const OpcodeInfo& GetOpcodeInfo(Opcode op);
+
+/// Mnemonic → opcode lookup; returns kOpcodeCount when unknown.
+Opcode OpcodeFromMnemonic(std::string_view mnemonic);
+
+}  // namespace sbce::isa

@@ -1,0 +1,67 @@
+#include "src/lift/lifter.h"
+
+#include "src/support/str.h"
+
+namespace sbce::lift {
+
+using isa::Opcode;
+
+const std::set<Opcode>& FloatingPointOpcodes() {
+  static const auto* kSet = new std::set<Opcode>{
+      Opcode::kFAdd,   Opcode::kFSub, Opcode::kFMul, Opcode::kFDiv,
+      Opcode::kFCmpEq, Opcode::kFCmpLt, Opcode::kFCmpLe,
+      Opcode::kCvtIF,  Opcode::kCvtFI, Opcode::kFMov, Opcode::kFLd,
+      Opcode::kFSt,    Opcode::kMovGF, Opcode::kMovFG,
+  };
+  return *kSet;
+}
+
+bool RequiresLifting(Opcode op) {
+  switch (op) {
+    case Opcode::kNop:
+    case Opcode::kHalt:
+    case Opcode::kJmp:
+      return false;
+    default:
+      return true;
+  }
+}
+
+std::string RenderIl(const vm::TraceEvent& ev) {
+  const auto& info = isa::GetOpcodeInfo(ev.instr.op);
+  const std::string mnem(info.mnemonic);
+  const auto pc = static_cast<unsigned long long>(ev.pc);
+  if (info.is_branch) {
+    return StrFormat("0x%llx: if %s(r%u=0x%llx) goto 0x%llx  [%s]", pc,
+                     ev.instr.op == Opcode::kBz ? "zero" : "nonzero",
+                     ev.instr.rs1, static_cast<unsigned long long>(ev.rs1_val),
+                     static_cast<unsigned long long>(ev.next_pc),
+                     ev.branch_taken ? "taken" : "fallthrough");
+  }
+  if (ev.instr.op == Opcode::kJmpR || ev.instr.op == Opcode::kCallR) {
+    return StrFormat("0x%llx: %s -> r%u=0x%llx", pc, mnem.c_str(),
+                     ev.instr.rs1,
+                     static_cast<unsigned long long>(ev.rs1_val));
+  }
+  if (ev.instr.op == Opcode::kSys) {
+    return StrFormat("0x%llx: sys %d -> 0x%llx", pc, ev.sys_num,
+                     static_cast<unsigned long long>(ev.sys_ret));
+  }
+  if (info.is_load) {
+    return StrFormat("0x%llx: %c%u := %s [0x%llx] = 0x%llx", pc,
+                     info.is_fp ? 'f' : 'r', ev.instr.rd, mnem.c_str(),
+                     static_cast<unsigned long long>(ev.mem_addr),
+                     static_cast<unsigned long long>(ev.mem_value));
+  }
+  if (info.is_store) {
+    return StrFormat("0x%llx: %s [0x%llx] := 0x%llx", pc, mnem.c_str(),
+                     static_cast<unsigned long long>(ev.mem_addr),
+                     static_cast<unsigned long long>(ev.mem_value));
+  }
+  return StrFormat("0x%llx: %c%u := %s(rs1=0x%llx, rs2=0x%llx)", pc,
+                   info.is_fp ? 'f' : 'r', ev.instr.rd, mnem.c_str(),
+                   static_cast<unsigned long long>(ev.rs1_val),
+                   static_cast<unsigned long long>(ev.rs2_val));
+}
+
+}  // namespace sbce::lift

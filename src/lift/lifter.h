@@ -1,0 +1,37 @@
+// Instruction lifting surface.
+//
+// The conceptual framework in the paper lifts traced instructions into an
+// intermediate language before symbolic reasoning. Here the lifter is the
+// opcode-semantics surface of the trace executor: this module defines
+// which opcodes a lifter must express, the canonical groupings real tools
+// fail on (floating point!), and a printable IL rendering used by
+// diagnostics, tests and docs. The actual expression-building transfer
+// functions live in symex::TraceExecutor, parameterized by the
+// supported-opcode set from SymexConfig — reaching an unsupported opcode
+// with symbolic operands is the paper's Es1.
+#pragma once
+
+#include <set>
+#include <string>
+
+#include "src/isa/opcode.h"
+#include "src/vm/trace_event.h"
+
+namespace sbce::lift {
+
+/// Opcodes whose semantics involve IEEE-754 floating point. Triton (as
+/// studied) could not lift cvtsi2sd / ucomisd and friends; removing this
+/// set from a profile's supported opcodes reproduces that gap.
+const std::set<isa::Opcode>& FloatingPointOpcodes();
+
+/// True if `op` manipulates data (needs lifting for symbolic reasoning);
+/// false for pure control/no-ops (nop, halt, jmp, call, ret).
+bool RequiresLifting(isa::Opcode op);
+
+/// Renders the traced instruction as a one-line IL statement, e.g.
+///   "r3 := bvadd(r1=0x5, r2=0x2)"
+///   "if (r1=0x0 == 0) goto 0x1040  [taken]"
+/// Used for Es1 diagnostics and trace dumps.
+std::string RenderIl(const vm::TraceEvent& event);
+
+}  // namespace sbce::lift

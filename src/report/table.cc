@@ -1,0 +1,49 @@
+#include "src/report/table.h"
+
+#include <algorithm>
+
+#include "src/support/str.h"
+
+namespace sbce::report {
+
+std::string AsciiTable::Render() const {
+  std::vector<size_t> widths;
+  auto account = [&](const std::vector<std::string>& row) {
+    if (row.size() > widths.size()) widths.resize(row.size(), 0);
+    for (size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  };
+  account(header_);
+  for (const auto& row : rows_) account(row);
+
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string out = "|";
+    for (size_t i = 0; i < widths.size(); ++i) {
+      out += ' ';
+      out += PadRight(i < row.size() ? row[i] : "", widths[i]);
+      out += " |";
+    }
+    out += '\n';
+    return out;
+  };
+  auto rule = [&] {
+    std::string out = "+";
+    for (size_t w : widths) out += std::string(w + 2, '-') + "+";
+    out += '\n';
+    return out;
+  };
+
+  std::string out = rule();
+  if (!header_.empty()) {
+    out += render_row(header_);
+    out += rule();
+  }
+  for (const auto& row : rows_) {
+    out += row.empty() ? rule() : render_row(row);
+  }
+  out += rule();
+  return out;
+}
+
+}  // namespace sbce::report

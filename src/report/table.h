@@ -1,0 +1,26 @@
+// Minimal ASCII table renderer for the bench binaries (Table I/II output).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace sbce::report {
+
+class AsciiTable {
+ public:
+  void SetHeader(std::vector<std::string> cells) {
+    header_ = std::move(cells);
+  }
+  void AddRow(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+  }
+  void AddSeparator() { rows_.push_back({}); }
+
+  std::string Render() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace sbce::report

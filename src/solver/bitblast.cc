@@ -1,0 +1,416 @@
+#include "src/solver/bitblast.h"
+
+#include <algorithm>
+
+#include "src/support/bits.h"
+
+namespace sbce::solver {
+
+namespace {
+
+/// Cache key for commutative binary gates.
+uint64_t GateKey(Lit a, Lit b) {
+  if (a > b) std::swap(a, b);
+  return (static_cast<uint64_t>(static_cast<uint32_t>(a)) << 32) |
+         static_cast<uint32_t>(b);
+}
+
+}  // namespace
+
+Lit BitBlaster::TrueLit() {
+  if (true_lit_ == -1) {
+    true_lit_ = FreshVar();
+    sat_.AddClause({true_lit_});
+  }
+  return true_lit_;
+}
+
+Lit BitBlaster::MkAnd(Lit a, Lit b) {
+  if (IsFalse(a) || IsFalse(b)) return FalseLit();
+  if (IsTrue(a)) return b;
+  if (IsTrue(b)) return a;
+  if (a == b) return a;
+  if (a == Negate(b)) return FalseLit();
+  const uint64_t key = GateKey(a, b);
+  if (auto it = and_cache_.find(key); it != and_cache_.end()) {
+    return it->second;
+  }
+  const Lit o = FreshVar();
+  ++gates_;
+  sat_.AddClause({Negate(o), a});
+  sat_.AddClause({Negate(o), b});
+  sat_.AddClause({Negate(a), Negate(b), o});
+  and_cache_.emplace(key, o);
+  return o;
+}
+
+Lit BitBlaster::MkXor(Lit a, Lit b) {
+  if (IsFalse(a)) return b;
+  if (IsFalse(b)) return a;
+  if (IsTrue(a)) return Negate(b);
+  if (IsTrue(b)) return Negate(a);
+  if (a == b) return FalseLit();
+  if (a == Negate(b)) return TrueLit();
+  // Normalize polarity into the cache key: xor(a,b) = ¬xor(¬a,b).
+  const uint64_t key = GateKey(a, b);
+  if (auto it = xor_cache_.find(key); it != xor_cache_.end()) {
+    return it->second;
+  }
+  const Lit o = FreshVar();
+  ++gates_;
+  sat_.AddClause({Negate(o), a, b});
+  sat_.AddClause({Negate(o), Negate(a), Negate(b)});
+  sat_.AddClause({o, Negate(a), b});
+  sat_.AddClause({o, a, Negate(b)});
+  xor_cache_.emplace(key, o);
+  return o;
+}
+
+Lit BitBlaster::MkMux(Lit sel, Lit then_l, Lit else_l) {
+  if (IsTrue(sel)) return then_l;
+  if (IsFalse(sel)) return else_l;
+  if (then_l == else_l) return then_l;
+  // sel ? t : e  ==  (sel ∧ t) ∨ (¬sel ∧ e)
+  return MkOr(MkAnd(sel, then_l), MkAnd(Negate(sel), else_l));
+}
+
+Lit BitBlaster::MkOrReduce(const Bits& bits) {
+  Lit acc = FalseLit();
+  for (Lit b : bits) acc = MkOr(acc, b);
+  return acc;
+}
+
+std::pair<Lit, Lit> BitBlaster::FullAdder(Lit a, Lit b, Lit c) {
+  const Lit ab = MkXor(a, b);
+  const Lit sum = MkXor(ab, c);
+  const Lit carry = MkOr(MkAnd(a, b), MkAnd(c, ab));
+  return {sum, carry};
+}
+
+std::pair<BitBlaster::Bits, Lit> BitBlaster::AddVec(const Bits& a,
+                                                    const Bits& b, Lit cin) {
+  SBCE_CHECK(a.size() == b.size());
+  Bits out(a.size());
+  Lit carry = cin;
+  for (size_t i = 0; i < a.size(); ++i) {
+    auto [sum, cout] = FullAdder(a[i], b[i], carry);
+    out[i] = sum;
+    carry = cout;
+  }
+  return {out, carry};
+}
+
+BitBlaster::Bits BitBlaster::NegVec(const Bits& a) {
+  Bits na(a.size());
+  for (size_t i = 0; i < a.size(); ++i) na[i] = Negate(a[i]);
+  Bits zero(a.size(), FalseLit());
+  return AddVec(na, zero, TrueLit()).first;
+}
+
+BitBlaster::Bits BitBlaster::MuxVec(Lit sel, const Bits& then_v,
+                                    const Bits& else_v) {
+  SBCE_CHECK(then_v.size() == else_v.size());
+  Bits out(then_v.size());
+  for (size_t i = 0; i < then_v.size(); ++i) {
+    out[i] = MkMux(sel, then_v[i], else_v[i]);
+  }
+  return out;
+}
+
+Lit BitBlaster::UltGate(const Bits& a, const Bits& b) {
+  // a < b  ⇔  no carry out of a + ~b + 1.
+  Bits nb(b.size());
+  for (size_t i = 0; i < b.size(); ++i) nb[i] = Negate(b[i]);
+  return Negate(AddVec(a, nb, TrueLit()).second);
+}
+
+Lit BitBlaster::SltGate(const Bits& a, const Bits& b) {
+  const Lit sa = a.back();
+  const Lit sb = b.back();
+  const Lit diff_sign = MkXor(sa, sb);
+  // Different signs: a < b iff a is negative. Same sign: unsigned compare.
+  return MkMux(diff_sign, sa, UltGate(a, b));
+}
+
+Lit BitBlaster::EqGate(const Bits& a, const Bits& b) {
+  SBCE_CHECK(a.size() == b.size());
+  Lit acc = TrueLit();
+  for (size_t i = 0; i < a.size(); ++i) {
+    acc = MkAnd(acc, Negate(MkXor(a[i], b[i])));
+  }
+  return acc;
+}
+
+BitBlaster::Bits BitBlaster::MulVec(const Bits& a, const Bits& b) {
+  const size_t w = a.size();
+  Bits acc(w, FalseLit());
+  for (size_t i = 0; i < w; ++i) {
+    // Partial product: (a << i) masked by b[i], truncated to w bits.
+    if (IsFalse(b[i])) continue;
+    Bits partial(w, FalseLit());
+    for (size_t k = i; k < w; ++k) {
+      partial[k] = MkAnd(a[k - i], b[i]);
+    }
+    acc = AddVec(acc, partial, FalseLit()).first;
+  }
+  return acc;
+}
+
+std::pair<BitBlaster::Bits, BitBlaster::Bits> BitBlaster::UDivVec(
+    const Bits& a, const Bits& b) {
+  const size_t w = a.size();
+  // Restoring division over a (w+1)-bit remainder.
+  Bits rem(w + 1, FalseLit());
+  Bits bw(b);
+  bw.push_back(FalseLit());  // b zero-extended to w+1
+  Bits q(w, FalseLit());
+  for (size_t step = 0; step < w; ++step) {
+    const size_t i = w - 1 - step;
+    // rem = (rem << 1) | a[i]
+    for (size_t k = w; k > 0; --k) rem[k] = rem[k - 1];
+    rem[0] = a[i];
+    // ge = rem >= b  ⇔ ¬(rem < b)
+    const Lit ge = Negate(UltGate(rem, bw));
+    // rem = ge ? rem - b : rem
+    Bits nb(w + 1);
+    for (size_t k = 0; k <= w; ++k) nb[k] = Negate(bw[k]);
+    Bits diff = AddVec(rem, nb, TrueLit()).first;
+    rem = MuxVec(ge, diff, rem);
+    q[i] = ge;
+  }
+  rem.resize(w);
+  // SMT-LIB semantics for b == 0: quotient all-ones, remainder a.
+  Bits bzero_bits(b);
+  const Lit b_is_zero = Negate(MkOrReduce(bzero_bits));
+  Bits all_ones(w, TrueLit());
+  Bits q_final = MuxVec(b_is_zero, all_ones, q);
+  Bits r_final = MuxVec(b_is_zero, a, rem);
+  return {q_final, r_final};
+}
+
+BitBlaster::Bits BitBlaster::ShiftVec(const Bits& a, const Bits& amount,
+                                      ShiftKind kind) {
+  const size_t w = a.size();
+  const Lit fill_base = kind == ShiftKind::kAShr ? a.back() : FalseLit();
+  Bits cur(a);
+  // Barrel stages for amount bits 0..ceil(log2(w)).
+  size_t stage = 0;
+  for (; (size_t{1} << stage) < w && stage < amount.size(); ++stage) {
+    const size_t dist = size_t{1} << stage;
+    const Lit sel = amount[stage];
+    Bits shifted(w);
+    for (size_t i = 0; i < w; ++i) {
+      if (kind == ShiftKind::kShl) {
+        shifted[i] = i >= dist ? cur[i - dist] : FalseLit();
+      } else {
+        shifted[i] = i + dist < w ? cur[i + dist] : fill_base;
+      }
+    }
+    cur = MuxVec(sel, shifted, cur);
+  }
+  // Any higher amount bit set ⇒ shift of at least w: all fill.
+  Bits high_bits(amount.begin() + std::min(amount.size(), stage),
+                 amount.end());
+  // Also handle non-power-of-two widths: amounts in [w, 2^stage) with only
+  // low bits set. Compute amount >= w directly for exactness.
+  Bits wconst(amount.size());
+  for (size_t i = 0; i < amount.size(); ++i) {
+    wconst[i] = ((w >> i) & 1) != 0 ? TrueLit() : FalseLit();
+  }
+  const Lit oversized = Negate(UltGate(amount, wconst));
+  Bits fill(w, fill_base);
+  return MuxVec(oversized, fill, cur);
+}
+
+Result<BitBlaster::Bits> BitBlaster::Blast(ExprRef e) {
+  if (auto it = cache_.find(e); it != cache_.end()) return it->second;
+  if (sat_.NumVars() > static_cast<int>(options_.max_sat_vars)) {
+    return Status::Exhausted("bit-blasting circuit budget exceeded");
+  }
+  if (IsFpKind(e->kind)) {
+    return Status::Unsupported("cannot bit-blast floating point");
+  }
+
+  Bits out;
+  const unsigned w = e->width;
+  switch (e->kind) {
+    case Kind::kConst: {
+      out.resize(w);
+      for (unsigned i = 0; i < w; ++i) {
+        out[i] = GetBit(e->cval, i) ? TrueLit() : FalseLit();
+      }
+      break;
+    }
+    case Kind::kVar: {
+      out.resize(w);
+      for (unsigned i = 0; i < w; ++i) out[i] = FreshVar();
+      var_bits_.emplace_back(e, out);
+      break;
+    }
+    case Kind::kNot: {
+      auto a = Blast(e->args[0]);
+      if (!a) return a.status();
+      out = a.value();
+      for (auto& l : out) l = Negate(l);
+      break;
+    }
+    case Kind::kNeg: {
+      auto a = Blast(e->args[0]);
+      if (!a) return a.status();
+      out = NegVec(a.value());
+      break;
+    }
+    case Kind::kIte: {
+      auto c = Blast(e->args[0]);
+      auto t = Blast(e->args[1]);
+      auto f = Blast(e->args[2]);
+      if (!c) return c.status();
+      if (!t) return t.status();
+      if (!f) return f.status();
+      out = MuxVec(c.value()[0], t.value(), f.value());
+      break;
+    }
+    case Kind::kConcat: {
+      auto hi = Blast(e->args[0]);
+      auto lo = Blast(e->args[1]);
+      if (!hi) return hi.status();
+      if (!lo) return lo.status();
+      out = lo.value();
+      out.insert(out.end(), hi.value().begin(), hi.value().end());
+      break;
+    }
+    case Kind::kExtract: {
+      auto a = Blast(e->args[0]);
+      if (!a) return a.status();
+      out.assign(a.value().begin() + e->p1, a.value().begin() + e->p0 + 1);
+      break;
+    }
+    case Kind::kZExt: {
+      auto a = Blast(e->args[0]);
+      if (!a) return a.status();
+      out = a.value();
+      out.resize(w, FalseLit());
+      break;
+    }
+    case Kind::kSExt: {
+      auto a = Blast(e->args[0]);
+      if (!a) return a.status();
+      out = a.value();
+      out.resize(w, out.back());
+      break;
+    }
+    default: {
+      auto ar = Blast(e->args[0]);
+      auto br = Blast(e->args[1]);
+      if (!ar) return ar.status();
+      if (!br) return br.status();
+      const Bits& a = ar.value();
+      const Bits& b = br.value();
+      switch (e->kind) {
+        case Kind::kAdd:
+          out = AddVec(a, b, FalseLit()).first;
+          break;
+        case Kind::kSub: {
+          Bits nb(b.size());
+          for (size_t i = 0; i < b.size(); ++i) nb[i] = Negate(b[i]);
+          out = AddVec(a, nb, TrueLit()).first;
+          break;
+        }
+        case Kind::kMul:
+          out = MulVec(a, b);
+          break;
+        case Kind::kUDiv:
+          out = UDivVec(a, b).first;
+          break;
+        case Kind::kURem:
+          out = UDivVec(a, b).second;
+          break;
+        case Kind::kSDiv: {
+          const Lit sa = a.back();
+          const Lit sb = b.back();
+          Bits abs_a = MuxVec(sa, NegVec(a), a);
+          Bits abs_b = MuxVec(sb, NegVec(b), b);
+          Bits q = UDivVec(abs_a, abs_b).first;
+          out = MuxVec(MkXor(sa, sb), NegVec(q), q);
+          break;
+        }
+        case Kind::kSRem: {
+          const Lit sa = a.back();
+          const Lit sb = b.back();
+          Bits abs_a = MuxVec(sa, NegVec(a), a);
+          Bits abs_b = MuxVec(sb, NegVec(b), b);
+          Bits r = UDivVec(abs_a, abs_b).second;
+          out = MuxVec(sa, NegVec(r), r);
+          break;
+        }
+        case Kind::kAnd:
+          out.resize(w);
+          for (unsigned i = 0; i < w; ++i) out[i] = MkAnd(a[i], b[i]);
+          break;
+        case Kind::kOr:
+          out.resize(w);
+          for (unsigned i = 0; i < w; ++i) out[i] = MkOr(a[i], b[i]);
+          break;
+        case Kind::kXor:
+          out.resize(w);
+          for (unsigned i = 0; i < w; ++i) out[i] = MkXor(a[i], b[i]);
+          break;
+        case Kind::kShl:
+          out = ShiftVec(a, b, ShiftKind::kShl);
+          break;
+        case Kind::kLShr:
+          out = ShiftVec(a, b, ShiftKind::kLShr);
+          break;
+        case Kind::kAShr:
+          out = ShiftVec(a, b, ShiftKind::kAShr);
+          break;
+        case Kind::kEq:
+          out = {EqGate(a, b)};
+          break;
+        case Kind::kUlt:
+          out = {UltGate(a, b)};
+          break;
+        case Kind::kSlt:
+          out = {SltGate(a, b)};
+          break;
+        case Kind::kUle:
+          out = {Negate(UltGate(b, a))};
+          break;
+        case Kind::kSle:
+          out = {Negate(SltGate(b, a))};
+          break;
+        default:
+          return Status::Unsupported("bit-blast: unhandled kind");
+      }
+    }
+  }
+  SBCE_CHECK_MSG(out.size() == e->width, "blast width mismatch");
+  cache_.emplace(e, out);
+  return out;
+}
+
+Status BitBlaster::AssertTrue(ExprRef e) {
+  SBCE_CHECK_MSG(e->width == 1, "assertions must be 1-bit");
+  auto bits = Blast(e);
+  if (!bits) return bits.status();
+  sat_.AddClause({bits.value()[0]});
+  return Status::Ok();
+}
+
+Assignment BitBlaster::ExtractAssignment() const {
+  Assignment out;
+  for (const auto& [var, bits] : var_bits_) {
+    uint64_t v = 0;
+    for (size_t i = 0; i < bits.size(); ++i) {
+      const bool bit_true = IsConstLit(bits[i])
+                                ? IsTrue(bits[i])
+                                : (sat_.ValueOf(LitVar(bits[i])) !=
+                                   LitNegated(bits[i]));
+      if (bit_true) v |= uint64_t{1} << i;
+    }
+    out[var->name] = v;
+  }
+  return out;
+}
+
+}  // namespace sbce::solver

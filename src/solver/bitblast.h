@@ -1,0 +1,82 @@
+// Bit-blaster: lowers bitvector expressions to CNF over a SatSolver.
+//
+// Every expression becomes a vector of literals (LSB first). Gates are
+// Tseitin-encoded with structural caching, so shared DAG nodes share
+// circuitry. Floating-point kinds are rejected — those route to the
+// search-based FP solver instead (see fpsolver.h).
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "src/solver/eval.h"
+#include "src/solver/expr.h"
+#include "src/solver/sat.h"
+
+namespace sbce::solver {
+
+class BitBlaster {
+ public:
+  struct Options {
+    /// Hard cap on allocated SAT variables (circuit-size budget); blasting
+    /// past it returns kResourceExhausted.
+    size_t max_sat_vars = 2'000'000;
+  };
+
+  BitBlaster(SatSolver* sat, Options options) : sat_(*sat), options_(options) {}
+  explicit BitBlaster(SatSolver* sat) : BitBlaster(sat, Options{}) {}
+
+  /// Asserts that 1-bit expression `e` is true.
+  Status AssertTrue(ExprRef e);
+
+  /// After a kSat Solve(), reads back the values of all blasted variables.
+  Assignment ExtractAssignment() const;
+
+  size_t gate_count() const { return gates_; }
+
+ private:
+  using Bits = std::vector<Lit>;
+
+  Lit TrueLit();
+  Lit FalseLit() { return Negate(TrueLit()); }
+  Lit FreshVar() { return MkLit(sat_.NewVar()); }
+
+  bool IsTrue(Lit l) const { return l == true_lit_; }
+  bool IsFalse(Lit l) const { return l == Negate(true_lit_); }
+  bool IsConstLit(Lit l) const { return IsTrue(l) || IsFalse(l); }
+
+  Lit MkAnd(Lit a, Lit b);
+  Lit MkOr(Lit a, Lit b) { return Negate(MkAnd(Negate(a), Negate(b))); }
+  Lit MkXor(Lit a, Lit b);
+  Lit MkMux(Lit sel, Lit then_l, Lit else_l);
+  Lit MkOrReduce(const Bits& bits);
+
+  /// sum/carry of a full adder.
+  std::pair<Lit, Lit> FullAdder(Lit a, Lit b, Lit c);
+  /// Returns a+b (+cin) truncated to a.size(), and the carry out.
+  std::pair<Bits, Lit> AddVec(const Bits& a, const Bits& b, Lit cin);
+  Bits NegVec(const Bits& a);
+  Bits MuxVec(Lit sel, const Bits& then_v, const Bits& else_v);
+  Lit UltGate(const Bits& a, const Bits& b);   // a < b unsigned
+  Lit SltGate(const Bits& a, const Bits& b);   // a < b signed
+  Lit EqGate(const Bits& a, const Bits& b);
+  Bits MulVec(const Bits& a, const Bits& b);
+  /// Unsigned restoring division; returns {quotient, remainder} with
+  /// SMT-LIB divide-by-zero semantics already applied.
+  std::pair<Bits, Bits> UDivVec(const Bits& a, const Bits& b);
+  enum class ShiftKind { kShl, kLShr, kAShr };
+  Bits ShiftVec(const Bits& a, const Bits& amount, ShiftKind kind);
+
+  Result<Bits> Blast(ExprRef e);
+
+  SatSolver& sat_;
+  Options options_;
+  Lit true_lit_ = -1;
+  size_t gates_ = 0;
+  std::unordered_map<ExprRef, Bits> cache_;
+  std::unordered_map<uint64_t, Lit> and_cache_;
+  std::unordered_map<uint64_t, Lit> xor_cache_;
+  std::vector<std::pair<ExprRef, Bits>> var_bits_;  // for model extraction
+};
+
+}  // namespace sbce::solver

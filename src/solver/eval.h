@@ -1,0 +1,26 @@
+// Concrete evaluation of expressions under a variable assignment.
+//
+// Used three ways: (1) model validation after a SAT result, (2) the
+// objective function of the search-based FP solver, (3) sanity oracles in
+// property tests (random assignments cross-check the bit-blaster).
+#pragma once
+
+#include <span>
+#include <unordered_map>
+
+#include "src/solver/expr.h"
+
+namespace sbce::solver {
+
+/// Variable assignment: name → 64-bit value (truncated to the var's width).
+using Assignment = std::unordered_map<std::string, uint64_t>;
+
+/// Evaluates `e` under `assignment`. Unassigned variables evaluate to 0.
+/// The result carries the expression's width in its low bits.
+uint64_t Evaluate(ExprRef e, const Assignment& assignment);
+
+/// Evaluates all of `assertions`; true iff every one is satisfied (nonzero).
+bool AllSatisfied(std::span<const ExprRef> assertions,
+                  const Assignment& assignment);
+
+}  // namespace sbce::solver

@@ -1,0 +1,441 @@
+#include "src/solver/expr.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "src/support/bits.h"
+#include "src/support/str.h"
+
+namespace sbce::solver {
+
+bool IsFpKind(Kind kind) {
+  switch (kind) {
+    case Kind::kFAdd:
+    case Kind::kFSub:
+    case Kind::kFMul:
+    case Kind::kFDiv:
+    case Kind::kFEq:
+    case Kind::kFLt:
+    case Kind::kFLe:
+    case Kind::kFFromSInt:
+    case Kind::kFToSInt:
+      return true;
+    default:
+      return false;
+  }
+}
+
+std::string_view KindName(Kind kind) {
+  switch (kind) {
+    case Kind::kConst: return "const";
+    case Kind::kVar: return "var";
+    case Kind::kNot: return "bvnot";
+    case Kind::kNeg: return "bvneg";
+    case Kind::kAdd: return "bvadd";
+    case Kind::kSub: return "bvsub";
+    case Kind::kMul: return "bvmul";
+    case Kind::kUDiv: return "bvudiv";
+    case Kind::kURem: return "bvurem";
+    case Kind::kSDiv: return "bvsdiv";
+    case Kind::kSRem: return "bvsrem";
+    case Kind::kAnd: return "bvand";
+    case Kind::kOr: return "bvor";
+    case Kind::kXor: return "bvxor";
+    case Kind::kShl: return "bvshl";
+    case Kind::kLShr: return "bvlshr";
+    case Kind::kAShr: return "bvashr";
+    case Kind::kEq: return "=";
+    case Kind::kUlt: return "bvult";
+    case Kind::kSlt: return "bvslt";
+    case Kind::kUle: return "bvule";
+    case Kind::kSle: return "bvsle";
+    case Kind::kIte: return "ite";
+    case Kind::kConcat: return "concat";
+    case Kind::kExtract: return "extract";
+    case Kind::kZExt: return "zero_extend";
+    case Kind::kSExt: return "sign_extend";
+    case Kind::kFAdd: return "fp.add";
+    case Kind::kFSub: return "fp.sub";
+    case Kind::kFMul: return "fp.mul";
+    case Kind::kFDiv: return "fp.div";
+    case Kind::kFEq: return "fp.eq";
+    case Kind::kFLt: return "fp.lt";
+    case Kind::kFLe: return "fp.leq";
+    case Kind::kFFromSInt: return "fp.from_sint";
+    case Kind::kFToSInt: return "fp.to_sint";
+  }
+  return "?";
+}
+
+namespace {
+
+uint64_t HashNode(const Expr& n) {
+  uint64_t h = HashCombine(static_cast<uint64_t>(n.kind), n.width);
+  h = HashCombine(h, n.p0);
+  h = HashCombine(h, n.p1);
+  h = HashCombine(h, n.cval);
+  for (int i = 0; i < n.nargs; ++i) {
+    h = HashCombine(h, n.args[i]->id);
+  }
+  if (n.kind == Kind::kVar) {
+    h = HashCombine(h, Fnv1a(n.name.data(), n.name.size()));
+  }
+  return h;
+}
+
+bool SameNode(const Expr& a, const Expr& b) {
+  if (a.kind != b.kind || a.width != b.width || a.nargs != b.nargs ||
+      a.p0 != b.p0 || a.p1 != b.p1 || a.cval != b.cval) {
+    return false;
+  }
+  for (int i = 0; i < a.nargs; ++i) {
+    if (a.args[i] != b.args[i]) return false;
+  }
+  return a.kind != Kind::kVar || a.name == b.name;
+}
+
+}  // namespace
+
+ExprRef ExprPool::Intern(Expr&& node) {
+  node.hash = HashNode(node);
+  auto& bucket = buckets_[node.hash];
+  for (uint32_t id : bucket) {
+    if (SameNode(*nodes_[id], node)) return nodes_[id].get();
+  }
+  node.id = static_cast<uint32_t>(nodes_.size());
+  nodes_.push_back(std::make_unique<Expr>(std::move(node)));
+  bucket.push_back(nodes_.back()->id);
+  return nodes_.back().get();
+}
+
+ExprRef ExprPool::Const(uint64_t value, unsigned width) {
+  SBCE_CHECK_MSG(width >= 1 && width <= 64, "bad const width");
+  Expr n;
+  n.kind = Kind::kConst;
+  n.width = static_cast<uint8_t>(width);
+  n.cval = TruncToWidth(value, width);
+  return Intern(std::move(n));
+}
+
+ExprRef ExprPool::Var(std::string_view name, unsigned width) {
+  SBCE_CHECK_MSG(width >= 1 && width <= 64, "bad var width");
+  Expr n;
+  n.kind = Kind::kVar;
+  n.width = static_cast<uint8_t>(width);
+  n.name = std::string(name);
+  return Intern(std::move(n));
+}
+
+ExprRef ExprPool::Unary(Kind kind, ExprRef a) {
+  SBCE_CHECK(kind == Kind::kNot || kind == Kind::kNeg ||
+             kind == Kind::kFFromSInt || kind == Kind::kFToSInt);
+  if (a->IsConst() && (kind == Kind::kNot || kind == Kind::kNeg)) {
+    const uint64_t v = kind == Kind::kNot ? ~a->cval : (~a->cval + 1);
+    return Const(v, a->width);
+  }
+  // not(not(x)) = x ; neg(neg(x)) = x
+  if ((kind == Kind::kNot || kind == Kind::kNeg) && a->kind == kind) {
+    return a->args[0];
+  }
+  Expr n;
+  n.kind = kind;
+  n.width = a->width;
+  n.nargs = 1;
+  n.args[0] = a;
+  return Intern(std::move(n));
+}
+
+ExprRef ExprPool::NonZero(ExprRef a) {
+  if (a->width == 1) return a;
+  return Ne(a, Const(0, a->width));
+}
+
+namespace {
+
+/// Constant-folds a binary op; `w` is the operand width.
+uint64_t FoldBinary(Kind kind, uint64_t a, uint64_t b, unsigned w) {
+  const uint64_t mask = w >= 64 ? ~uint64_t{0} : ((uint64_t{1} << w) - 1);
+  const int64_t sa = AsSigned(a, w);
+  const int64_t sb = AsSigned(b, w);
+  switch (kind) {
+    case Kind::kAdd: return (a + b) & mask;
+    case Kind::kSub: return (a - b) & mask;
+    case Kind::kMul: return (a * b) & mask;
+    case Kind::kUDiv: return b == 0 ? mask : (a / b);
+    case Kind::kURem: return b == 0 ? a : (a % b);
+    case Kind::kSDiv: {
+      if (b == 0) return sa < 0 ? 1 & mask : mask;  // SMT-LIB bvsdiv by 0
+      if (sa == INT64_MIN && sb == -1) return a;    // overflow wraps
+      return static_cast<uint64_t>(sa / sb) & mask;
+    }
+    case Kind::kSRem: {
+      if (b == 0) return a;
+      if (sa == INT64_MIN && sb == -1) return 0;
+      return static_cast<uint64_t>(sa % sb) & mask;
+    }
+    case Kind::kAnd: return a & b;
+    case Kind::kOr: return a | b;
+    case Kind::kXor: return a ^ b;
+    case Kind::kShl: return b >= w ? 0 : (a << b) & mask;
+    case Kind::kLShr: return b >= w ? 0 : (a >> b);
+    case Kind::kAShr:
+      return b >= w ? (sa < 0 ? mask : 0)
+                    : static_cast<uint64_t>(sa >> b) & mask;
+    case Kind::kEq: return a == b;
+    case Kind::kUlt: return a < b;
+    case Kind::kSlt: return sa < sb;
+    case Kind::kUle: return a <= b;
+    case Kind::kSle: return sa <= sb;
+    default:
+      SBCE_CHECK_MSG(false, "FoldBinary: unsupported kind");
+      return 0;
+  }
+}
+
+bool IsCompare(Kind kind) {
+  return kind == Kind::kEq || kind == Kind::kUlt || kind == Kind::kSlt ||
+         kind == Kind::kUle || kind == Kind::kSle;
+}
+
+}  // namespace
+
+ExprRef ExprPool::Binary(Kind kind, ExprRef a, ExprRef b) {
+  SBCE_CHECK_MSG(a->width == b->width, "binary width mismatch");
+  const unsigned w = a->width;
+  const bool fp = IsFpKind(kind);
+  if (!fp && a->IsConst() && b->IsConst()) {
+    const uint64_t folded = FoldBinary(kind, a->cval, b->cval, w);
+    return Const(folded, IsCompare(kind) ? 1 : w);
+  }
+  // Cheap identities (keep the list small; the simplifier does the rest).
+  if (!fp) {
+    switch (kind) {
+      case Kind::kAdd:
+        if (a->IsConst(0)) return b;
+        if (b->IsConst(0)) return a;
+        break;
+      case Kind::kSub:
+        if (b->IsConst(0)) return a;
+        if (a == b) return Const(0, w);
+        break;
+      case Kind::kMul:
+        if (a->IsConst(1)) return b;
+        if (b->IsConst(1)) return a;
+        if (a->IsConst(0) || b->IsConst(0)) return Const(0, w);
+        break;
+      case Kind::kAnd:
+        if (a == b) return a;
+        if (a->IsConst(0) || b->IsConst(0)) return Const(0, w);
+        if (a->IsConst(TruncToWidth(~uint64_t{0}, w))) return b;
+        if (b->IsConst(TruncToWidth(~uint64_t{0}, w))) return a;
+        break;
+      case Kind::kOr:
+        if (a == b) return a;
+        if (a->IsConst(0)) return b;
+        if (b->IsConst(0)) return a;
+        break;
+      case Kind::kXor:
+        if (a == b) return Const(0, w);
+        if (a->IsConst(0)) return b;
+        if (b->IsConst(0)) return a;
+        break;
+      case Kind::kEq:
+        if (a == b) return True();
+        break;
+      case Kind::kUlt:
+        if (a == b) return False();
+        break;
+      case Kind::kShl:
+      case Kind::kLShr:
+      case Kind::kAShr:
+        if (b->IsConst(0)) return a;
+        break;
+      default:
+        break;
+    }
+  }
+  Expr n;
+  n.kind = kind;
+  n.width = static_cast<uint8_t>(
+      fp ? (kind == Kind::kFEq || kind == Kind::kFLt || kind == Kind::kFLe
+                ? 1
+                : 64)
+         : (IsCompare(kind) ? 1 : w));
+  n.nargs = 2;
+  n.args[0] = a;
+  n.args[1] = b;
+  return Intern(std::move(n));
+}
+
+ExprRef ExprPool::Ite(ExprRef cond, ExprRef then_e, ExprRef else_e) {
+  SBCE_CHECK_MSG(cond->width == 1, "ite condition must be 1-bit");
+  SBCE_CHECK_MSG(then_e->width == else_e->width, "ite arm width mismatch");
+  if (cond->IsConst()) return cond->cval ? then_e : else_e;
+  if (then_e == else_e) return then_e;
+  Expr n;
+  n.kind = Kind::kIte;
+  n.width = then_e->width;
+  n.nargs = 3;
+  n.args[0] = cond;
+  n.args[1] = then_e;
+  n.args[2] = else_e;
+  return Intern(std::move(n));
+}
+
+ExprRef ExprPool::Concat(ExprRef hi, ExprRef lo) {
+  const unsigned w = hi->width + lo->width;
+  SBCE_CHECK_MSG(w <= 64, "concat exceeds 64 bits");
+  if (hi->IsConst() && lo->IsConst()) {
+    return Const((hi->cval << lo->width) | lo->cval, w);
+  }
+  Expr n;
+  n.kind = Kind::kConcat;
+  n.width = static_cast<uint8_t>(w);
+  n.nargs = 2;
+  n.args[0] = hi;
+  n.args[1] = lo;
+  return Intern(std::move(n));
+}
+
+ExprRef ExprPool::Extract(ExprRef a, unsigned hi, unsigned lo) {
+  SBCE_CHECK_MSG(hi >= lo && hi < a->width, "bad extract bounds");
+  const unsigned w = hi - lo + 1;
+  if (w == a->width) return a;
+  if (a->IsConst()) return Const(a->cval >> lo, w);
+  // extract of zext/sext below the original width is the original bits.
+  if ((a->kind == Kind::kZExt || a->kind == Kind::kSExt) &&
+      hi < a->args[0]->width) {
+    return Extract(a->args[0], hi, lo);
+  }
+  if (a->kind == Kind::kExtract) {
+    return Extract(a->args[0], a->p1 + hi, a->p1 + lo);
+  }
+  Expr n;
+  n.kind = Kind::kExtract;
+  n.width = static_cast<uint8_t>(w);
+  n.nargs = 1;
+  n.args[0] = a;
+  n.p0 = hi;
+  n.p1 = lo;
+  return Intern(std::move(n));
+}
+
+ExprRef ExprPool::ZExt(ExprRef a, unsigned width) {
+  SBCE_CHECK_MSG(width >= a->width && width <= 64, "bad zext width");
+  if (width == a->width) return a;
+  if (a->IsConst()) return Const(a->cval, width);
+  Expr n;
+  n.kind = Kind::kZExt;
+  n.width = static_cast<uint8_t>(width);
+  n.nargs = 1;
+  n.args[0] = a;
+  return Intern(std::move(n));
+}
+
+ExprRef ExprPool::SExt(ExprRef a, unsigned width) {
+  SBCE_CHECK_MSG(width >= a->width && width <= 64, "bad sext width");
+  if (width == a->width) return a;
+  if (a->IsConst()) return Const(SignExtend(a->cval, a->width), width);
+  Expr n;
+  n.kind = Kind::kSExt;
+  n.width = static_cast<uint8_t>(width);
+  n.nargs = 1;
+  n.args[0] = a;
+  return Intern(std::move(n));
+}
+
+std::string ToString(ExprRef e) {
+  switch (e->kind) {
+    case Kind::kConst:
+      return StrFormat("#x%llx[%u]", static_cast<unsigned long long>(e->cval),
+                       e->width);
+    case Kind::kVar:
+      return e->name;
+    case Kind::kExtract:
+      return StrFormat("((_ extract %u %u) %s)", e->p0, e->p1,
+                       ToString(e->args[0]).c_str());
+    case Kind::kZExt:
+    case Kind::kSExt:
+      return StrFormat("((_ %s %u) %s)", std::string(KindName(e->kind)).c_str(),
+                       e->width, ToString(e->args[0]).c_str());
+    default: {
+      std::string out = "(";
+      out += KindName(e->kind);
+      for (int i = 0; i < e->nargs; ++i) {
+        out += ' ';
+        out += ToString(e->args[i]);
+      }
+      out += ')';
+      return out;
+    }
+  }
+}
+
+namespace {
+
+template <typename Fn>
+void Visit(std::span<const ExprRef> roots, Fn&& fn) {
+  std::unordered_set<ExprRef> seen;
+  std::vector<ExprRef> stack(roots.begin(), roots.end());
+  while (!stack.empty()) {
+    ExprRef e = stack.back();
+    stack.pop_back();
+    if (!seen.insert(e).second) continue;
+    fn(e);
+    for (int i = 0; i < e->nargs; ++i) stack.push_back(e->args[i]);
+  }
+}
+
+}  // namespace
+
+std::vector<ExprRef> CollectVars(std::span<const ExprRef> roots) {
+  std::vector<ExprRef> vars;
+  Visit(roots, [&](ExprRef e) {
+    if (e->IsVar()) vars.push_back(e);
+  });
+  std::sort(vars.begin(), vars.end(),
+            [](ExprRef a, ExprRef b) { return a->id < b->id; });
+  return vars;
+}
+
+bool ContainsFp(std::span<const ExprRef> roots) {
+  bool found = false;
+  Visit(roots, [&](ExprRef e) {
+    if (IsFpKind(e->kind)) found = true;
+  });
+  return found;
+}
+
+bool ContainsHardFp(std::span<const ExprRef> roots) {
+  bool found = false;
+  Visit(roots, [&](ExprRef e) {
+    switch (e->kind) {
+      case Kind::kFAdd:
+      case Kind::kFSub:
+      case Kind::kFMul:
+      case Kind::kFDiv:
+      case Kind::kFFromSInt:
+      case Kind::kFToSInt:
+        found = true;
+        break;
+      case Kind::kFEq:
+      case Kind::kFLt:
+      case Kind::kFLe:
+        for (int i = 0; i < e->nargs; ++i) {
+          if (!e->args[i]->IsVar() && !e->args[i]->IsConst()) found = true;
+        }
+        break;
+      default:
+        break;
+    }
+  });
+  return found;
+}
+
+size_t DagSize(std::span<const ExprRef> roots) {
+  size_t n = 0;
+  Visit(roots, [&](ExprRef) { ++n; });
+  return n;
+}
+
+}  // namespace sbce::solver

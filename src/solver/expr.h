@@ -1,0 +1,153 @@
+// Symbolic expression DAG over fixed-width bitvectors (1..64 bits).
+//
+// This is the solver's AST (the Z3-analogue substrate). Nodes are immutable
+// and hash-consed in an ExprPool, so structural equality is pointer
+// equality and DAG sharing is automatic. Booleans are 1-bit bitvectors.
+//
+// Floating point: FP operations work on 64-bit vectors holding IEEE-754
+// double bits. They are evaluated concretely by the evaluator and solved by
+// the search-based FP solver (see fpsolver.h); the bit-blaster rejects
+// them. This mirrors how practical engines (and the paper's subjects)
+// special-case FP rather than bit-blasting IEEE circuits.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/support/status.h"
+
+namespace sbce::solver {
+
+enum class Kind : uint8_t {
+  kConst,
+  kVar,
+
+  // Unary.
+  kNot,   // bitwise complement
+  kNeg,   // two's complement negation
+
+  // Binary arithmetic / bitwise (operands same width).
+  kAdd, kSub, kMul,
+  kUDiv, kURem,   // SMT-LIB semantics: x/0 = all-ones, x%0 = x
+  kSDiv, kSRem,
+  kAnd, kOr, kXor,
+  kShl, kLShr, kAShr,  // amount is the full-width second operand
+
+  // Comparisons (1-bit result).
+  kEq, kUlt, kSlt, kUle, kSle,
+
+  // Structure.
+  kIte,       // args: cond (1-bit), then, else
+  kConcat,    // args: hi, lo; width = sum
+  kExtract,   // p0 = hi bit, p1 = lo bit
+  kZExt,      // width extended with zeros
+  kSExt,      // width extended with sign
+
+  // Floating point over 64-bit IEEE double payloads.
+  kFAdd, kFSub, kFMul, kFDiv,   // 64-bit results
+  kFEq, kFLt, kFLe,             // 1-bit results
+  kFFromSInt,  // signed 64-bit int -> double bits
+  kFToSInt,    // double bits -> truncated signed 64-bit int
+};
+
+struct Expr;
+using ExprRef = const Expr*;
+
+struct Expr {
+  Kind kind;
+  uint8_t width;        // result width in bits (1..64)
+  uint8_t nargs = 0;
+  uint32_t id = 0;      // dense id within the pool
+  uint32_t p0 = 0;      // kExtract: hi bit
+  uint32_t p1 = 0;      // kExtract: lo bit
+  uint64_t cval = 0;    // kConst payload
+  std::array<ExprRef, 3> args{};
+  std::string name;     // kVar only
+  uint64_t hash = 0;
+
+  bool IsConst() const { return kind == Kind::kConst; }
+  bool IsConst(uint64_t v) const { return IsConst() && cval == v; }
+  bool IsVar() const { return kind == Kind::kVar; }
+};
+
+/// True for kFAdd..kFToSInt.
+bool IsFpKind(Kind kind);
+
+/// Human-readable kind name ("add", "ult", ...).
+std::string_view KindName(Kind kind);
+
+/// Hash-consing arena. All ExprRefs are owned by (and valid for the life
+/// of) the pool that created them.
+class ExprPool {
+ public:
+  ExprPool() = default;
+  ExprPool(const ExprPool&) = delete;
+  ExprPool& operator=(const ExprPool&) = delete;
+
+  // --- Leaves -----------------------------------------------------------
+  ExprRef Const(uint64_t value, unsigned width);
+  ExprRef True() { return Const(1, 1); }
+  ExprRef False() { return Const(0, 1); }
+  ExprRef Var(std::string_view name, unsigned width);
+
+  // --- Combinators (light constant folding happens here) ----------------
+  ExprRef Unary(Kind kind, ExprRef a);
+  ExprRef Binary(Kind kind, ExprRef a, ExprRef b);
+  ExprRef Ite(ExprRef cond, ExprRef then_e, ExprRef else_e);
+  ExprRef Concat(ExprRef hi, ExprRef lo);
+  ExprRef Extract(ExprRef a, unsigned hi, unsigned lo);
+  ExprRef ZExt(ExprRef a, unsigned width);
+  ExprRef SExt(ExprRef a, unsigned width);
+
+  // Convenience wrappers.
+  ExprRef Add(ExprRef a, ExprRef b) { return Binary(Kind::kAdd, a, b); }
+  ExprRef Sub(ExprRef a, ExprRef b) { return Binary(Kind::kSub, a, b); }
+  ExprRef Mul(ExprRef a, ExprRef b) { return Binary(Kind::kMul, a, b); }
+  ExprRef And(ExprRef a, ExprRef b) { return Binary(Kind::kAnd, a, b); }
+  ExprRef Or(ExprRef a, ExprRef b) { return Binary(Kind::kOr, a, b); }
+  ExprRef Xor(ExprRef a, ExprRef b) { return Binary(Kind::kXor, a, b); }
+  ExprRef Eq(ExprRef a, ExprRef b) { return Binary(Kind::kEq, a, b); }
+  ExprRef Ne(ExprRef a, ExprRef b) { return Not(Eq(a, b)); }
+  ExprRef Ult(ExprRef a, ExprRef b) { return Binary(Kind::kUlt, a, b); }
+  ExprRef Not(ExprRef a) { return Unary(Kind::kNot, a); }
+  ExprRef Neg(ExprRef a) { return Unary(Kind::kNeg, a); }
+  /// Boolean AND/OR for 1-bit expressions (same as bitwise at width 1).
+  ExprRef BoolAnd(ExprRef a, ExprRef b) { return Binary(Kind::kAnd, a, b); }
+  ExprRef BoolOr(ExprRef a, ExprRef b) { return Binary(Kind::kOr, a, b); }
+
+  /// 1-bit → is-nonzero stays itself; wider → (a != 0).
+  ExprRef NonZero(ExprRef a);
+
+  size_t size() const { return nodes_.size(); }
+
+ private:
+  ExprRef Intern(Expr&& node);
+
+  std::vector<std::unique_ptr<Expr>> nodes_;
+  std::unordered_map<uint64_t, std::vector<uint32_t>> buckets_;
+};
+
+/// Renders `e` as an SMT-LIB-flavoured s-expression (for logs and tests).
+std::string ToString(ExprRef e);
+
+/// Collects the distinct variables reachable from `roots` in id order.
+std::vector<ExprRef> CollectVars(std::span<const ExprRef> roots);
+
+/// True if any node reachable from `roots` is a floating-point operation.
+bool ContainsFp(std::span<const ExprRef> roots);
+
+/// True if `roots` contain floating-point *arithmetic* (add/mul/div,
+/// conversions) or FP comparisons over computed operands. FP comparisons
+/// whose operands are plain variables/constants do not count: engines
+/// without an FP theory still decide those by concretization.
+bool ContainsHardFp(std::span<const ExprRef> roots);
+
+/// Number of distinct nodes reachable from `roots`.
+size_t DagSize(std::span<const ExprRef> roots);
+
+}  // namespace sbce::solver

@@ -1,0 +1,170 @@
+#include "src/solver/fpsolver.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <unordered_set>
+#include <vector>
+
+#include "src/support/bits.h"
+#include "src/support/rng.h"
+
+namespace sbce::solver {
+
+namespace {
+
+/// Harvests interesting concrete values from the constraint DAG: every
+/// constant, its arithmetic neighbours, and (for 64-bit constants) the
+/// ULP-neighbourhood of its double interpretation.
+std::vector<uint64_t> HarvestCandidates(std::span<const ExprRef> roots) {
+  std::vector<uint64_t> out = {
+      0,
+      1,
+      static_cast<uint64_t>(-1),
+      std::bit_cast<uint64_t>(0.0),
+      std::bit_cast<uint64_t>(-0.0),
+      std::bit_cast<uint64_t>(1.0),
+      std::bit_cast<uint64_t>(-1.0),
+      std::bit_cast<uint64_t>(0.5),
+      std::bit_cast<uint64_t>(1e-20),
+      std::bit_cast<uint64_t>(-1e-20),
+      std::bit_cast<uint64_t>(5e-324),   // smallest denormal
+      std::bit_cast<uint64_t>(1e308),
+      std::bit_cast<uint64_t>(std::numeric_limits<double>::infinity()),
+  };
+  std::unordered_set<ExprRef> seen;
+  std::vector<ExprRef> stack(roots.begin(), roots.end());
+  while (!stack.empty()) {
+    ExprRef e = stack.back();
+    stack.pop_back();
+    if (!seen.insert(e).second) continue;
+    for (int i = 0; i < e->nargs; ++i) stack.push_back(e->args[i]);
+    if (!e->IsConst()) continue;
+    const uint64_t c = e->cval;
+    out.push_back(c);
+    out.push_back(c + 1);
+    out.push_back(c - 1);
+    out.push_back(~c + 1);
+    if (e->width == 64) {
+      const double d = std::bit_cast<double>(c);
+      if (std::isfinite(d)) {
+        out.push_back(std::bit_cast<uint64_t>(std::nextafter(d, 1e308)));
+        out.push_back(std::bit_cast<uint64_t>(std::nextafter(d, -1e308)));
+        out.push_back(std::bit_cast<uint64_t>(-d));
+        out.push_back(std::bit_cast<uint64_t>(d / 2));
+        out.push_back(std::bit_cast<uint64_t>(d * 2));
+      }
+      // The constant may also be an *integer* that flows into fp.from_sint.
+      const auto as_int = static_cast<double>(static_cast<int64_t>(c));
+      out.push_back(std::bit_cast<uint64_t>(as_int));
+    }
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+size_t CountSatisfied(std::span<const ExprRef> assertions,
+                      const Assignment& a) {
+  size_t n = 0;
+  for (ExprRef e : assertions) {
+    if (Evaluate(e, a) != 0) ++n;
+  }
+  return n;
+}
+
+}  // namespace
+
+FpSearchResult FpSearch(std::span<const ExprRef> assertions,
+                        const FpSearchOptions& options) {
+  FpSearchResult result;
+  std::vector<ExprRef> vars = CollectVars(assertions);
+  Assignment current;
+  for (ExprRef v : vars) current[v->name] = 0;
+  if (AllSatisfied(assertions, current)) {
+    result.found = true;
+    result.model = current;
+    return result;
+  }
+  if (vars.empty()) return result;  // unsatisfied with no vars: hopeless
+
+  const std::vector<uint64_t> candidates = HarvestCandidates(assertions);
+  SplitMix64 rng(options.seed);
+
+  // Phase 1: per-variable candidate sweep (other vars hold their current
+  // values), repeated round-robin so assignments can co-adapt.
+  size_t best_score = CountSatisfied(assertions, current);
+  for (int round = 0; round < 3 && !result.found; ++round) {
+    for (ExprRef v : vars) {
+      uint64_t best_val = current[v->name];
+      for (uint64_t cand : candidates) {
+        if (++result.iterations > options.max_iterations) return result;
+        current[v->name] = TruncToWidth(cand, v->width);
+        const size_t score = CountSatisfied(assertions, current);
+        if (score > best_score) {
+          best_score = score;
+          best_val = current[v->name];
+          if (score == assertions.size()) {
+            result.found = true;
+            result.model = current;
+            return result;
+          }
+        }
+      }
+      current[v->name] = best_val;
+    }
+  }
+
+  // Phase 2: stochastic bit-level moves with hill climbing and random
+  // restarts from harvested candidates.
+  Assignment best = current;
+  while (result.iterations < options.max_iterations) {
+    ++result.iterations;
+    ExprRef v = vars[rng.NextBelow(vars.size())];
+    const uint64_t old = current[v->name];
+    uint64_t next = old;
+    switch (rng.NextBelow(6)) {
+      case 0:  // flip a random bit
+        next = old ^ (uint64_t{1} << rng.NextBelow(v->width));
+        break;
+      case 1:  // ULP step on the double interpretation
+        if (v->width == 64) {
+          const double d = std::bit_cast<double>(old);
+          next = std::bit_cast<uint64_t>(
+              std::nextafter(d, rng.NextBelow(2) ? 1e308 : -1e308));
+        } else {
+          next = old + 1;
+        }
+        break;
+      case 2:  // small additive jitter
+        next = old + rng.NextBelow(17) - 8;
+        break;
+      case 3:  // restart from a harvested candidate
+        next = candidates[rng.NextBelow(candidates.size())];
+        break;
+      case 4:  // random full-width value
+        next = rng.Next();
+        break;
+      case 5:  // negate (both integer and sign-bit senses covered over time)
+        next = rng.NextBelow(2) ? (~old + 1) : (old ^ (uint64_t{1} << 63));
+        break;
+    }
+    current[v->name] = TruncToWidth(next, v->width);
+    const size_t score = CountSatisfied(assertions, current);
+    if (score == assertions.size()) {
+      result.found = true;
+      result.model = current;
+      return result;
+    }
+    if (score >= best_score) {
+      best_score = score;
+      best = current;
+    } else if (rng.NextBelow(4) != 0) {
+      // Mostly greedy: revert worsening moves 75% of the time.
+      current[v->name] = old;
+    }
+  }
+  return result;
+}
+
+}  // namespace sbce::solver

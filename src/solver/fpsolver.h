@@ -1,0 +1,35 @@
+// Search-based floating-point constraint solving.
+//
+// Substitution note (see DESIGN.md): instead of bit-blasting IEEE-754
+// circuits, FP constraints are solved by guided search over candidate bit
+// patterns — constant harvesting from the constraint DAG, a special-values
+// battery (±0, denormals, ULP neighbourhoods of harvested constants), and
+// stochastic hill-climbing on the number of satisfied assertions. This is
+// the approach of practical FP solvers like JFS, and it exercises the same
+// engine code path the paper's fp_round bomb targets: the solver must find
+// a *tiny positive* double absorbed by rounding. The search is incomplete:
+// it can return kSat with a verified model or kUnknown, never kUnsat.
+#pragma once
+
+#include <span>
+
+#include "src/solver/eval.h"
+#include "src/solver/expr.h"
+
+namespace sbce::solver {
+
+struct FpSearchOptions {
+  uint64_t max_iterations = 200'000;
+  uint64_t seed = 0x5bce;
+};
+
+struct FpSearchResult {
+  bool found = false;
+  Assignment model;
+  uint64_t iterations = 0;
+};
+
+FpSearchResult FpSearch(std::span<const ExprRef> assertions,
+                        const FpSearchOptions& options = FpSearchOptions());
+
+}  // namespace sbce::solver

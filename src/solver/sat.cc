@@ -1,0 +1,267 @@
+#include "src/solver/sat.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/support/status.h"
+
+namespace sbce::solver {
+
+int SatSolver::NewVar() {
+  const int v = static_cast<int>(assigns_.size());
+  assigns_.push_back(0);
+  reason_.push_back(kUndef);
+  level_.push_back(0);
+  activity_.push_back(0);
+  phase_.push_back(0);
+  seen_.push_back(0);
+  watches_.emplace_back();
+  watches_.emplace_back();
+  return v;
+}
+
+void SatSolver::AddClause(std::vector<Lit> lits) {
+  if (unsat_) return;
+  // Normalize: drop duplicate literals and clauses satisfied at level 0;
+  // drop literals false at level 0.
+  std::sort(lits.begin(), lits.end());
+  lits.erase(std::unique(lits.begin(), lits.end()), lits.end());
+  std::vector<Lit> out;
+  for (Lit l : lits) {
+    SBCE_CHECK_MSG(LitVar(l) < NumVars(), "literal for unknown var");
+    // Tautology p ∨ ¬p (sorted adjacency).
+    if (!out.empty() && out.back() == Negate(l)) return;
+    const int v = LitValue(l);
+    if (v == 1) return;          // already satisfied at level 0
+    if (v == 2) continue;        // falsified at level 0: drop literal
+    out.push_back(l);
+  }
+  if (out.empty()) {
+    unsat_ = true;
+    return;
+  }
+  if (out.size() == 1) {
+    Enqueue(out[0], kUndef);
+    if (Propagate() != -1) unsat_ = true;
+    return;
+  }
+  Clause c;
+  c.lits = std::move(out);
+  clauses_.push_back(std::move(c));
+  AttachClause(static_cast<int>(clauses_.size()) - 1);
+}
+
+void SatSolver::AttachClause(int ci) {
+  const auto& lits = clauses_[ci].lits;
+  watches_[Negate(lits[0])].push_back(ci);
+  watches_[Negate(lits[1])].push_back(ci);
+}
+
+void SatSolver::Enqueue(Lit l, int reason) {
+  const int var = LitVar(l);
+  SBCE_CHECK(assigns_[var] == 0);
+  assigns_[var] = LitNegated(l) ? 2 : 1;
+  reason_[var] = reason;
+  level_[var] = static_cast<int>(trail_lim_.size());
+  phase_[var] = LitNegated(l) ? 0 : 1;
+  trail_.push_back(l);
+}
+
+int SatSolver::Propagate() {
+  while (qhead_ < trail_.size()) {
+    const Lit p = trail_[qhead_++];
+    ++propagations_;
+    auto& watch_list = watches_[p];
+    size_t keep = 0;
+    for (size_t wi = 0; wi < watch_list.size(); ++wi) {
+      const int ci = watch_list[wi];
+      auto& lits = clauses_[ci].lits;
+      // Ensure the falsified literal is lits[1].
+      const Lit false_lit = Negate(p);
+      if (lits[0] == false_lit) std::swap(lits[0], lits[1]);
+      // If the first watch is true, the clause is satisfied.
+      if (LitValue(lits[0]) == 1) {
+        watch_list[keep++] = ci;
+        continue;
+      }
+      // Look for a new literal to watch.
+      bool moved = false;
+      for (size_t k = 2; k < lits.size(); ++k) {
+        if (LitValue(lits[k]) != 2) {
+          std::swap(lits[1], lits[k]);
+          watches_[Negate(lits[1])].push_back(ci);
+          moved = true;
+          break;
+        }
+      }
+      if (moved) continue;  // removed from this watch list
+      // Clause is unit or conflicting.
+      watch_list[keep++] = ci;
+      if (LitValue(lits[0]) == 2) {
+        // Conflict: restore untouched suffix of the watch list.
+        for (size_t rest = wi + 1; rest < watch_list.size(); ++rest) {
+          watch_list[keep++] = watch_list[rest];
+        }
+        watch_list.resize(keep);
+        qhead_ = trail_.size();
+        return ci;
+      }
+      Enqueue(lits[0], ci);
+    }
+    watch_list.resize(keep);
+  }
+  return -1;
+}
+
+void SatSolver::BumpVar(int var) {
+  activity_[var] += var_inc_;
+  if (activity_[var] > 1e100) {
+    for (auto& a : activity_) a *= 1e-100;
+    var_inc_ *= 1e-100;
+  }
+}
+
+void SatSolver::DecayActivities() { var_inc_ /= options_.var_decay; }
+
+void SatSolver::Analyze(int conflict, std::vector<Lit>* learnt,
+                        int* backtrack_level) {
+  learnt->clear();
+  learnt->push_back(0);  // placeholder for the asserting literal
+  const int current_level = static_cast<int>(trail_lim_.size());
+  int counter = 0;
+  Lit p = -1;
+  size_t index = trail_.size();
+  int ci = conflict;
+
+  do {
+    SBCE_CHECK(ci != kUndef);
+    const auto& lits = clauses_[ci].lits;
+    for (size_t k = (p == -1 ? 0 : 1); k < lits.size(); ++k) {
+      const Lit q = lits[k];
+      const int v = LitVar(q);
+      if (!seen_[v] && level_[v] > 0) {
+        seen_[v] = 1;
+        BumpVar(v);
+        if (level_[v] >= current_level) {
+          ++counter;
+        } else {
+          learnt->push_back(q);
+        }
+      }
+    }
+    // Select next literal to look at.
+    while (!seen_[LitVar(trail_[index - 1])]) --index;
+    --index;
+    p = trail_[index];
+    ci = reason_[LitVar(p)];
+    seen_[LitVar(p)] = 0;
+    --counter;
+  } while (counter > 0);
+  (*learnt)[0] = Negate(p);
+
+  // Find backtrack level: max level among the other literals.
+  *backtrack_level = 0;
+  size_t max_i = 1;
+  for (size_t i = 1; i < learnt->size(); ++i) {
+    const int lv = level_[LitVar((*learnt)[i])];
+    if (lv > *backtrack_level) {
+      *backtrack_level = lv;
+      max_i = i;
+    }
+  }
+  if (learnt->size() > 1) std::swap((*learnt)[1], (*learnt)[max_i]);
+  for (size_t i = 1; i < learnt->size(); ++i) {
+    seen_[LitVar((*learnt)[i])] = 0;
+  }
+}
+
+void SatSolver::Backtrack(int target_level) {
+  if (static_cast<int>(trail_lim_.size()) <= target_level) return;
+  const size_t bound = trail_lim_[target_level];
+  for (size_t i = trail_.size(); i > bound; --i) {
+    const int var = LitVar(trail_[i - 1]);
+    assigns_[var] = 0;
+    reason_[var] = kUndef;
+  }
+  trail_.resize(bound);
+  trail_lim_.resize(target_level);
+  qhead_ = trail_.size();
+}
+
+Lit SatSolver::PickBranchLit() {
+  int best = kUndef;
+  double best_act = -1;
+  for (int v = 0; v < NumVars(); ++v) {
+    if (assigns_[v] == 0 && activity_[v] > best_act) {
+      best = v;
+      best_act = activity_[v];
+    }
+  }
+  if (best == kUndef) return -1;
+  return MkLit(best, phase_[best] == 0);
+}
+
+uint64_t SatSolver::Luby(uint64_t x) {
+  // Luby sequence 1 1 2 1 1 2 4 1 1 2 1 1 2 4 8 ... (MiniSat's recurrence).
+  uint64_t size = 1;
+  uint64_t seq = 0;
+  while (size < x + 1) {
+    ++seq;
+    size = 2 * size + 1;
+  }
+  while (size - 1 != x) {
+    size = (size - 1) >> 1;
+    --seq;
+    x %= size;
+  }
+  return uint64_t{1} << seq;
+}
+
+SatStatus SatSolver::Solve() {
+  if (unsat_) return SatStatus::kUnsat;
+  if (Propagate() != -1) return SatStatus::kUnsat;
+
+  uint64_t restart_round = 0;
+  uint64_t conflicts_until_restart = 100 * Luby(restart_round);
+  uint64_t conflicts_this_round = 0;
+  std::vector<Lit> learnt;
+
+  while (true) {
+    const int conflict = Propagate();
+    if (conflict != -1) {
+      ++conflicts_;
+      ++conflicts_this_round;
+      if (trail_lim_.empty()) return SatStatus::kUnsat;
+      if (conflicts_ >= options_.max_conflicts) return SatStatus::kUnknown;
+      int back_level = 0;
+      Analyze(conflict, &learnt, &back_level);
+      Backtrack(back_level);
+      if (learnt.size() == 1) {
+        Enqueue(learnt[0], kUndef);
+      } else {
+        Clause c;
+        c.lits = learnt;
+        c.learnt = true;
+        clauses_.push_back(std::move(c));
+        const int ci = static_cast<int>(clauses_.size()) - 1;
+        AttachClause(ci);
+        Enqueue(learnt[0], ci);
+      }
+      DecayActivities();
+      continue;
+    }
+    if (conflicts_this_round >= conflicts_until_restart) {
+      conflicts_this_round = 0;
+      conflicts_until_restart = 100 * Luby(++restart_round);
+      Backtrack(0);
+      continue;
+    }
+    const Lit next = PickBranchLit();
+    if (next == -1) return SatStatus::kSat;
+    ++decisions_;
+    trail_lim_.push_back(static_cast<int>(trail_.size()));
+    Enqueue(next, kUndef);
+  }
+}
+
+}  // namespace sbce::solver

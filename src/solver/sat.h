@@ -1,0 +1,102 @@
+// CDCL SAT solver (the MiniSat-style substrate under the bit-blaster).
+//
+// Features: two-watched-literal propagation, VSIDS decision heuristic with
+// activity decay, first-UIP conflict clause learning with backjumping,
+// phase saving, and Luby restarts. Budgeted by conflict count so the tool
+// profiles can emulate solver timeouts (the paper's E outcomes).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace sbce::solver {
+
+/// Literal encoding: var*2 + sign (sign 1 = negated). Vars are 0-based.
+using Lit = int32_t;
+
+inline Lit MkLit(int var, bool negated = false) {
+  return static_cast<Lit>(var) * 2 + (negated ? 1 : 0);
+}
+inline int LitVar(Lit l) { return l >> 1; }
+inline bool LitNegated(Lit l) { return (l & 1) != 0; }
+inline Lit Negate(Lit l) { return l ^ 1; }
+
+enum class SatStatus { kSat, kUnsat, kUnknown };
+
+class SatSolver {
+ public:
+  struct Options {
+    uint64_t max_conflicts = 1'000'000;
+    double var_decay = 0.95;
+  };
+
+  SatSolver() : SatSolver(Options{}) {}
+  explicit SatSolver(const Options& options) : options_(options) {}
+
+  /// Allocates a fresh variable; returns its index.
+  int NewVar();
+  int NumVars() const { return static_cast<int>(assigns_.size()); }
+
+  /// Adds a clause. An empty clause (or one falsified at level 0) makes the
+  /// instance trivially UNSAT.
+  void AddClause(std::vector<Lit> lits);
+
+  SatStatus Solve();
+
+  /// Model access after kSat.
+  bool ValueOf(int var) const { return assigns_[var] == 1; }
+
+  uint64_t conflicts() const { return conflicts_; }
+  uint64_t decisions() const { return decisions_; }
+  uint64_t propagations() const { return propagations_; }
+  size_t clause_count() const { return clauses_.size(); }
+
+ private:
+  struct Clause {
+    std::vector<Lit> lits;
+    bool learnt = false;
+    double activity = 0;
+  };
+
+  static constexpr int kUndef = -1;
+
+  // lbool encoding in assigns_: 0 = unassigned, 1 = true, 2 = false.
+  int LitValue(Lit l) const {
+    const uint8_t a = assigns_[LitVar(l)];
+    if (a == 0) return 0;
+    return (a == 1) != LitNegated(l) ? 1 : 2;
+  }
+
+  void Enqueue(Lit l, int reason);
+  int Propagate();              // returns conflicting clause index or -1
+  void Analyze(int conflict, std::vector<Lit>* learnt, int* backtrack_level);
+  void Backtrack(int level);
+  Lit PickBranchLit();
+  void BumpVar(int var);
+  void DecayActivities();
+  void AttachClause(int ci);
+  static uint64_t Luby(uint64_t i);
+
+  Options options_;
+  std::vector<Clause> clauses_;
+  std::vector<std::vector<int>> watches_;  // per literal: clause indexes
+  std::vector<uint8_t> assigns_;           // per var lbool
+  std::vector<int> reason_;                // per var: clause index or kUndef
+  std::vector<int> level_;                 // per var
+  std::vector<double> activity_;
+  std::vector<uint8_t> phase_;             // saved phase per var
+  std::vector<Lit> trail_;
+  std::vector<int> trail_lim_;             // decision level boundaries
+  size_t qhead_ = 0;
+  double var_inc_ = 1.0;
+  bool unsat_ = false;
+
+  uint64_t conflicts_ = 0;
+  uint64_t decisions_ = 0;
+  uint64_t propagations_ = 0;
+
+  std::vector<uint8_t> seen_;              // scratch for Analyze
+};
+
+}  // namespace sbce::solver

@@ -1,0 +1,225 @@
+#include "src/solver/simplify.h"
+
+#include <unordered_map>
+
+#include "src/support/bits.h"
+
+namespace sbce::solver {
+
+namespace {
+
+class Simplifier {
+ public:
+  explicit Simplifier(ExprPool& pool) : pool_(pool) {}
+
+  ExprRef Walk(ExprRef e) {
+    if (auto it = cache_.find(e); it != cache_.end()) return it->second;
+    // Rebuild children first (bottom-up).
+    ExprRef out = Rebuild(e);
+    // Then apply local rules until a fixpoint at this node.
+    for (int guard = 0; guard < 8; ++guard) {
+      ExprRef next = Rules(out);
+      if (next == out) break;
+      out = next;
+    }
+    cache_.emplace(e, out);
+    return out;
+  }
+
+ private:
+  ExprRef Rebuild(ExprRef e) {
+    switch (e->nargs) {
+      case 0:
+        return e;
+      case 1: {
+        ExprRef a = Walk(e->args[0]);
+        if (e->kind == Kind::kExtract) return pool_.Extract(a, e->p0, e->p1);
+        if (e->kind == Kind::kZExt) return pool_.ZExt(a, e->width);
+        if (e->kind == Kind::kSExt) return pool_.SExt(a, e->width);
+        return pool_.Unary(e->kind, a);
+      }
+      case 2: {
+        ExprRef a = Walk(e->args[0]);
+        ExprRef b = Walk(e->args[1]);
+        if (e->kind == Kind::kConcat) return pool_.Concat(a, b);
+        return pool_.Binary(e->kind, a, b);
+      }
+      default:
+        return pool_.Ite(Walk(e->args[0]), Walk(e->args[1]),
+                         Walk(e->args[2]));
+    }
+  }
+
+  /// One round of local rewrite rules; returns `e` when nothing applies.
+  ExprRef Rules(ExprRef e) {
+    const unsigned w = e->width;
+    switch (e->kind) {
+      case Kind::kEq: {
+        ExprRef a = e->args[0];
+        ExprRef b = e->args[1];
+        if (!b->IsConst()) break;
+        // (a op c1) == c2  →  a == c2 ⊙ c1 for invertible ops.
+        if (a->kind == Kind::kAdd && a->args[1]->IsConst()) {
+          return pool_.Eq(a->args[0],
+                          pool_.Const(b->cval - a->args[1]->cval,
+                                      a->width));
+        }
+        if (a->kind == Kind::kSub && a->args[1]->IsConst()) {
+          return pool_.Eq(a->args[0],
+                          pool_.Const(b->cval + a->args[1]->cval,
+                                      a->width));
+        }
+        if (a->kind == Kind::kXor && a->args[1]->IsConst()) {
+          return pool_.Eq(a->args[0],
+                          pool_.Const(b->cval ^ a->args[1]->cval,
+                                      a->width));
+        }
+        if (a->kind == Kind::kNot) {
+          return pool_.Eq(a->args[0],
+                          pool_.Const(~b->cval, a->width));
+        }
+        if (a->kind == Kind::kNeg) {
+          return pool_.Eq(a->args[0],
+                          pool_.Const(~b->cval + 1, a->width));
+        }
+        // zext(x) == c: either the high bits of c are zero (reduce to the
+        // narrow compare) or the equality is impossible.
+        if (a->kind == Kind::kZExt) {
+          ExprRef inner = a->args[0];
+          if (TruncToWidth(b->cval, inner->width) != b->cval) {
+            return pool_.False();
+          }
+          return pool_.Eq(inner, pool_.Const(b->cval, inner->width));
+        }
+        // 1-bit equalities: x == 1 → x; x == 0 → ¬x.
+        if (a->width == 1) {
+          return b->cval ? a : pool_.Not(a);
+        }
+        // ite(c, t, f) == k where t/f are constants: pick the arm.
+        if (a->kind == Kind::kIte && a->args[1]->IsConst() &&
+            a->args[2]->IsConst()) {
+          const bool then_hits = a->args[1]->cval == b->cval;
+          const bool else_hits = a->args[2]->cval == b->cval;
+          if (then_hits && else_hits) return pool_.True();
+          if (then_hits) return a->args[0];
+          if (else_hits) return pool_.Not(a->args[0]);
+          return pool_.False();
+        }
+        break;
+      }
+
+      case Kind::kNot: {
+        ExprRef a = e->args[0];
+        // ¬(a == b) over 1-bit operands where b is const: flip.
+        if (a->kind == Kind::kEq && a->args[1]->IsConst() &&
+            a->args[0]->width == 1) {
+          return pool_.Eq(a->args[0],
+                          pool_.Const(a->args[1]->cval ^ 1, 1));
+        }
+        break;
+      }
+
+      case Kind::kAdd: {
+        // (x + c1) + c2 → x + (c1+c2); normalize const to the right.
+        ExprRef a = e->args[0];
+        ExprRef b = e->args[1];
+        if (a->IsConst() && !b->IsConst()) return pool_.Add(b, a);
+        if (b->IsConst() && a->kind == Kind::kAdd &&
+            a->args[1]->IsConst()) {
+          return pool_.Add(a->args[0],
+                           pool_.Const(a->args[1]->cval + b->cval, w));
+        }
+        break;
+      }
+
+      case Kind::kXor: {
+        ExprRef a = e->args[0];
+        ExprRef b = e->args[1];
+        if (a->IsConst() && !b->IsConst()) return pool_.Xor(b, a);
+        if (b->IsConst() && a->kind == Kind::kXor &&
+            a->args[1]->IsConst()) {
+          return pool_.Xor(a->args[0],
+                           pool_.Const(a->args[1]->cval ^ b->cval, w));
+        }
+        break;
+      }
+
+      case Kind::kIte: {
+        ExprRef c = e->args[0];
+        ExprRef t = e->args[1];
+        ExprRef f = e->args[2];
+        if (w == 1 && t->IsConst() && f->IsConst()) {
+          if (t->cval == 1 && f->cval == 0) return c;
+          if (t->cval == 0 && f->cval == 1) return pool_.Not(c);
+        }
+        // ite(¬c, t, f) → ite(c, f, t)
+        if (c->kind == Kind::kNot) return pool_.Ite(c->args[0], f, t);
+        break;
+      }
+
+      case Kind::kZExt: {
+        ExprRef a = e->args[0];
+        if (a->kind == Kind::kZExt) return pool_.ZExt(a->args[0], w);
+        break;
+      }
+
+      case Kind::kExtract: {
+        ExprRef a = e->args[0];
+        // extract from concat: land entirely in one side.
+        if (a->kind == Kind::kConcat) {
+          ExprRef lo = a->args[1];
+          if (e->p0 < lo->width) return pool_.Extract(lo, e->p0, e->p1);
+          if (e->p1 >= lo->width) {
+            return pool_.Extract(a->args[0], e->p0 - lo->width,
+                                 e->p1 - lo->width);
+          }
+        }
+        break;
+      }
+
+      case Kind::kUlt:
+      case Kind::kUle: {
+        // zext(x) < c with c beyond x's range is trivially true; same-width
+        // reductions.
+        ExprRef a = e->args[0];
+        ExprRef b = e->args[1];
+        if (a->kind == Kind::kZExt && b->IsConst()) {
+          ExprRef inner = a->args[0];
+          const uint64_t max_inner =
+              TruncToWidth(~uint64_t{0}, inner->width);
+          if (b->cval > max_inner) return pool_.True();
+          return pool_.Binary(e->kind, inner,
+                              pool_.Const(b->cval, inner->width));
+        }
+        break;
+      }
+
+      default:
+        break;
+    }
+    return e;
+  }
+
+  ExprPool& pool_;
+  std::unordered_map<ExprRef, ExprRef> cache_;
+};
+
+}  // namespace
+
+ExprRef Simplify(ExprPool* pool, ExprRef e) {
+  return Simplifier(*pool).Walk(e);
+}
+
+std::vector<ExprRef> SimplifyAll(ExprPool* pool,
+                                 std::span<const ExprRef> assertions) {
+  std::vector<ExprRef> out;
+  Simplifier simp(*pool);
+  for (ExprRef a : assertions) {
+    ExprRef s = simp.Walk(a);
+    if (s->IsConst(1)) continue;  // trivially true
+    out.push_back(s);
+  }
+  return out;
+}
+
+}  // namespace sbce::solver

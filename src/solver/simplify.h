@@ -1,0 +1,28 @@
+// Expression simplification beyond the builders' constant folding.
+//
+// A bottom-up rewriting pass over the DAG. The builders in ExprPool already
+// fold constants and trivial identities at construction time; this pass
+// adds the rules that only pay off on *composed* expressions — solving
+// equalities against constants, collapsing cast chains, boolean ITE
+// patterns, and the ZExt-compare plumbing the trace executor generates for
+// every branch condition. Simplification happens before bit-blasting, so
+// smaller circuits reach the SAT core.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "src/solver/expr.h"
+
+namespace sbce::solver {
+
+/// Returns a semantically equivalent (often smaller) expression built in
+/// the same pool. Idempotent.
+ExprRef Simplify(ExprPool* pool, ExprRef e);
+
+/// Simplifies each assertion; drops literal-true entries. A literal-false
+/// input is preserved (callers detect unsatisfiability from it).
+std::vector<ExprRef> SimplifyAll(ExprPool* pool,
+                                 std::span<const ExprRef> assertions);
+
+}  // namespace sbce::solver

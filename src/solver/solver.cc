@@ -1,0 +1,91 @@
+#include "src/solver/solver.h"
+
+#include "src/solver/bitblast.h"
+#include "src/solver/fpsolver.h"
+#include "src/solver/sat.h"
+#include "src/solver/simplify.h"
+
+namespace sbce::solver {
+
+SolveResult CheckSat(std::span<const ExprRef> raw_assertions,
+                     const SolverOptions& options) {
+  SolveResult result;
+
+  for (ExprRef a : raw_assertions) {
+    SBCE_CHECK_MSG(a->width == 1, "assertion must be 1-bit");
+  }
+  // Simplify before dispatch: smaller circuits, and trivial outcomes are
+  // decided without touching the SAT core. The rewrite builds into a
+  // call-local pool (expressions are immutable values, so rebuilding in a
+  // different arena is sound); everything below only lives for this call,
+  // and the returned model is plain name→value data.
+  ExprPool local_pool;
+  std::vector<ExprRef> assertions = SimplifyAll(&local_pool, raw_assertions);
+  bool any_false = false;
+  for (ExprRef a : assertions) {
+    if (a->IsConst(0)) any_false = true;
+  }
+  if (any_false) {
+    result.status = SolveStatus::kUnsat;
+    result.note = "constant-false assertion";
+    return result;
+  }
+  if (assertions.empty()) {
+    result.status = SolveStatus::kSat;
+    return result;
+  }
+
+  if (ContainsFp(assertions)) {
+    FpSearchOptions fp_opts;
+    fp_opts.max_iterations = options.fp_iterations;
+    fp_opts.seed = options.seed;
+    const FpSearchResult fp = FpSearch(assertions, fp_opts);
+    if (fp.found) {
+      SBCE_CHECK_MSG(AllSatisfied(assertions, fp.model),
+                     "FP search returned an invalid model");
+      result.status = SolveStatus::kSat;
+      result.model = fp.model;
+    } else {
+      result.status = SolveStatus::kUnknown;
+      result.note = "fp search budget exhausted";
+    }
+    return result;
+  }
+
+  SatSolver::Options sat_opts;
+  sat_opts.max_conflicts = options.max_conflicts;
+  SatSolver sat(sat_opts);
+  BitBlaster::Options bb_opts;
+  bb_opts.max_sat_vars = options.max_sat_vars;
+  BitBlaster blaster(&sat, bb_opts);
+  for (ExprRef a : assertions) {
+    const Status s = blaster.AssertTrue(a);
+    if (!s.ok()) {
+      result.status = SolveStatus::kUnknown;
+      result.note = s.ToString();
+      return result;
+    }
+  }
+  const SatStatus st = sat.Solve();
+  result.conflicts = sat.conflicts();
+  result.sat_vars = static_cast<size_t>(sat.NumVars());
+  switch (st) {
+    case SatStatus::kSat: {
+      result.status = SolveStatus::kSat;
+      result.model = blaster.ExtractAssignment();
+      SBCE_CHECK_MSG(AllSatisfied(assertions, result.model),
+                     "bit-blaster returned an invalid model");
+      break;
+    }
+    case SatStatus::kUnsat:
+      result.status = SolveStatus::kUnsat;
+      break;
+    case SatStatus::kUnknown:
+      result.status = SolveStatus::kUnknown;
+      result.note = "conflict budget exhausted";
+      break;
+  }
+  return result;
+}
+
+}  // namespace sbce::solver

@@ -1,0 +1,40 @@
+// SmtSolver: the facade the symbolic executor talks to.
+//
+// Dispatch: pure-bitvector problems are bit-blasted to CNF and decided by
+// the CDCL core (sound SAT/UNSAT within the conflict budget); problems
+// containing floating-point nodes go to the incomplete search solver
+// (SAT-with-model or UNKNOWN). Every SAT model is re-validated with the
+// concrete evaluator before being returned — a model that does not
+// evaluate true is an internal error, never returned to callers.
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "src/solver/eval.h"
+#include "src/solver/expr.h"
+
+namespace sbce::solver {
+
+enum class SolveStatus { kSat, kUnsat, kUnknown };
+
+struct SolverOptions {
+  uint64_t max_conflicts = 1'000'000;  // CDCL budget
+  size_t max_sat_vars = 2'000'000;     // circuit budget
+  uint64_t fp_iterations = 200'000;    // FP search budget
+  uint64_t seed = 0x5bce;
+};
+
+struct SolveResult {
+  SolveStatus status = SolveStatus::kUnknown;
+  Assignment model;       // populated when status == kSat
+  uint64_t conflicts = 0; // CDCL conflicts spent
+  size_t sat_vars = 0;    // circuit size (0 for FP search)
+  std::string note;       // budget / dispatch diagnostics
+};
+
+/// Decides the conjunction of `assertions` (each must be 1-bit wide).
+SolveResult CheckSat(std::span<const ExprRef> assertions,
+                     const SolverOptions& options = SolverOptions());
+
+}  // namespace sbce::solver

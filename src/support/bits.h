@@ -1,0 +1,45 @@
+// Small bit-manipulation helpers shared by the VM, lifter and solver.
+#pragma once
+
+#include <cstdint>
+
+namespace sbce {
+
+/// Truncates `v` to the low `width` bits (width in [1,64]).
+inline uint64_t TruncToWidth(uint64_t v, unsigned width) {
+  return width >= 64 ? v : (v & ((uint64_t{1} << width) - 1));
+}
+
+/// Sign-extends the low `width` bits of `v` to 64 bits.
+inline uint64_t SignExtend(uint64_t v, unsigned width) {
+  if (width >= 64) return v;
+  const uint64_t m = uint64_t{1} << (width - 1);
+  v = TruncToWidth(v, width);
+  return (v ^ m) - m;
+}
+
+/// Interprets the low `width` bits of `v` as signed.
+inline int64_t AsSigned(uint64_t v, unsigned width) {
+  return static_cast<int64_t>(SignExtend(v, width));
+}
+
+/// Returns bit `i` of `v`.
+inline bool GetBit(uint64_t v, unsigned i) { return (v >> i) & 1u; }
+
+/// 64-bit FNV-1a over a byte range; used for hash-consing keys.
+inline uint64_t Fnv1a(const void* data, size_t n, uint64_t seed = 1469598103934665603ull) {
+  const auto* p = static_cast<const uint8_t*>(data);
+  uint64_t h = seed;
+  for (size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+/// Boost-style hash combiner.
+inline uint64_t HashCombine(uint64_t seed, uint64_t v) {
+  return seed ^ (v + 0x9e3779b97f4a7c15ull + (seed << 6) + (seed >> 2));
+}
+
+}  // namespace sbce

@@ -1,0 +1,35 @@
+// Deterministic RNG (SplitMix64) used by the FP search solver, the guest
+// rand() device and test data generators. std::mt19937 is avoided so that
+// sequences are identical across standard libraries.
+#pragma once
+
+#include <cstdint>
+
+namespace sbce {
+
+class SplitMix64 {
+ public:
+  explicit SplitMix64(uint64_t seed) : state_(seed) {}
+
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform in [0, bound). bound must be nonzero.
+  uint64_t NextBelow(uint64_t bound) { return Next() % bound; }
+
+  /// Uniform double in [0, 1).
+  double NextUnit() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  void Reseed(uint64_t seed) { state_ = seed; }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace sbce

@@ -1,0 +1,111 @@
+// Result/Status types for expected, recoverable failures.
+//
+// Convention (per Core Guidelines E.*): functions that can fail for reasons
+// the caller is expected to handle (parse errors, missing files, solver
+// budget exhaustion) return sbce::Result<T>; programmer errors are asserted
+// via SBCE_CHECK and abort.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace sbce {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kOutOfRange,
+  kUnsupported,
+  kResourceExhausted,
+  kFailedPrecondition,
+  kInternal,
+};
+
+/// A status: either OK or an error code plus a human-readable message.
+class Status {
+ public:
+  Status() = default;
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status Invalid(std::string m) {
+    return Status(StatusCode::kInvalidArgument, std::move(m));
+  }
+  static Status NotFound(std::string m) {
+    return Status(StatusCode::kNotFound, std::move(m));
+  }
+  static Status OutOfRange(std::string m) {
+    return Status(StatusCode::kOutOfRange, std::move(m));
+  }
+  static Status Unsupported(std::string m) {
+    return Status(StatusCode::kUnsupported, std::move(m));
+  }
+  static Status Exhausted(std::string m) {
+    return Status(StatusCode::kResourceExhausted, std::move(m));
+  }
+  static Status Precondition(std::string m) {
+    return Status(StatusCode::kFailedPrecondition, std::move(m));
+  }
+  static Status Internal(std::string m) {
+    return Status(StatusCode::kInternal, std::move(m));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  std::string ToString() const;
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// Result<T>: a value or an error Status. Move-friendly, no exceptions.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}  // NOLINT: implicit by design
+  Result(Status status) : status_(std::move(status)) {}  // NOLINT
+
+  bool ok() const { return value_.has_value(); }
+  explicit operator bool() const { return ok(); }
+
+  const Status& status() const { return status_; }
+
+  T& value() & { return *value_; }
+  const T& value() const& { return *value_; }
+  T&& value() && { return std::move(*value_); }
+
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_ = Status::Internal("empty result");
+};
+
+[[noreturn]] void CheckFailed(const char* file, int line, const char* expr,
+                              const std::string& extra);
+
+}  // namespace sbce
+
+#define SBCE_CHECK(expr)                                      \
+  do {                                                        \
+    if (!(expr)) {                                            \
+      ::sbce::CheckFailed(__FILE__, __LINE__, #expr, "");     \
+    }                                                         \
+  } while (0)
+
+#define SBCE_CHECK_MSG(expr, msg)                             \
+  do {                                                        \
+    if (!(expr)) {                                            \
+      ::sbce::CheckFailed(__FILE__, __LINE__, #expr, (msg));  \
+    }                                                         \
+  } while (0)

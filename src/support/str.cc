@@ -1,0 +1,118 @@
+#include "src/support/str.h"
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstring>
+
+namespace sbce {
+
+std::vector<std::string_view> SplitAny(std::string_view s,
+                                       std::string_view seps) {
+  std::vector<std::string_view> out;
+  size_t start = 0;
+  for (size_t i = 0; i <= s.size(); ++i) {
+    if (i == s.size() || seps.find(s[i]) != std::string_view::npos) {
+      if (i > start) out.push_back(s.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+std::string_view Trim(std::string_view s) {
+  size_t b = 0;
+  size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+Result<int64_t> ParseIntLiteral(std::string_view s) {
+  s = Trim(s);
+  if (s.empty()) return Status::Invalid("empty integer literal");
+  bool neg = false;
+  if (s[0] == '-') {
+    neg = true;
+    s.remove_prefix(1);
+    if (s.empty()) return Status::Invalid("lone '-'");
+  }
+  // Character literal.
+  if (s.size() >= 3 && s.front() == '\'' && s.back() == '\'') {
+    std::string_view body = s.substr(1, s.size() - 2);
+    char c = 0;
+    if (body.size() == 1) {
+      c = body[0];
+    } else if (body.size() == 2 && body[0] == '\\') {
+      switch (body[1]) {
+        case 'n': c = '\n'; break;
+        case 't': c = '\t'; break;
+        case '0': c = '\0'; break;
+        case '\\': c = '\\'; break;
+        case '\'': c = '\''; break;
+        default:
+          return Status::Invalid("bad escape in char literal");
+      }
+    } else {
+      return Status::Invalid("bad char literal");
+    }
+    int64_t v = static_cast<unsigned char>(c);
+    return neg ? -v : v;
+  }
+  int base = 10;
+  if (s.size() > 2 && s[0] == '0' && (s[1] == 'x' || s[1] == 'X')) {
+    base = 16;
+    s.remove_prefix(2);
+  } else if (s.size() > 2 && s[0] == '0' && (s[1] == 'b' || s[1] == 'B')) {
+    base = 2;
+    s.remove_prefix(2);
+  }
+  if (s.empty()) return Status::Invalid("empty digits");
+  uint64_t acc = 0;
+  for (char ch : s) {
+    int digit;
+    if (ch >= '0' && ch <= '9') {
+      digit = ch - '0';
+    } else if (ch >= 'a' && ch <= 'f') {
+      digit = ch - 'a' + 10;
+    } else if (ch >= 'A' && ch <= 'F') {
+      digit = ch - 'A' + 10;
+    } else if (ch == '_') {
+      continue;  // digit separators allowed
+    } else {
+      return Status::Invalid("bad digit in integer literal");
+    }
+    if (digit >= base) return Status::Invalid("digit out of range for base");
+    acc = acc * static_cast<uint64_t>(base) + static_cast<uint64_t>(digit);
+  }
+  int64_t v = static_cast<int64_t>(acc);
+  return neg ? -v : v;
+}
+
+std::string StrFormat(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list copy;
+  va_copy(copy, args);
+  const int n = std::vsnprintf(nullptr, 0, fmt, copy);
+  va_end(copy);
+  std::string out(static_cast<size_t>(n > 0 ? n : 0), '\0');
+  if (n > 0) std::vsnprintf(out.data(), out.size() + 1, fmt, args);
+  va_end(args);
+  return out;
+}
+
+bool StartsWith(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+std::string PadRight(std::string s, size_t width) {
+  if (s.size() < width) s.append(width - s.size(), ' ');
+  return s;
+}
+
+std::string PadLeft(std::string s, size_t width) {
+  if (s.size() < width) s.insert(0, width - s.size(), ' ');
+  return s;
+}
+
+}  // namespace sbce

@@ -1,0 +1,35 @@
+// String helpers for the assembler and report renderers.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/support/status.h"
+
+namespace sbce {
+
+/// Splits on any character in `seps`, dropping empty pieces.
+std::vector<std::string_view> SplitAny(std::string_view s,
+                                       std::string_view seps);
+
+/// Strips leading/trailing whitespace.
+std::string_view Trim(std::string_view s);
+
+/// Parses a signed integer literal: decimal, 0x-hex, 0b-binary, or a
+/// character literal like 'a'. Accepts a leading '-'.
+Result<int64_t> ParseIntLiteral(std::string_view s);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// True if `s` starts with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// Left/right pads `s` with spaces to `width` columns.
+std::string PadRight(std::string s, size_t width);
+std::string PadLeft(std::string s, size_t width);
+
+}  // namespace sbce

@@ -1,0 +1,133 @@
+// Mechanism configuration for the symbolic executor.
+//
+// Every knob here is a *mechanism* a real concolic engine either has or
+// lacks; the tool profiles in src/tools assemble combinations of them to
+// model BAP, Triton, Angr and Angr-NoLib. Failures in the paper's grid
+// emerge from running the pipeline under these configurations.
+#pragma once
+
+#include <cstdint>
+#include <set>
+
+#include "src/isa/opcode.h"
+
+namespace sbce::symex {
+
+/// Mirror of symex::ErrorStage usable before state.h is included.
+enum class ErrorStageHint : uint8_t { kEs2, kEs3 };
+
+/// What to do when a load's address expression is symbolic.
+enum class SymAddrPolicy : uint8_t {
+  /// Use the concretely observed address; flag Es3 if the value feeds a
+  /// branch (BAP/Triton have no symbolic-memory model).
+  kConcretize,
+  /// Angr-style memory map: expand to an ITE chain over a window around
+  /// the observed address, up to max_deref_depth nested derefs.
+  kExpandWindow,
+};
+
+/// What to do with an indirect jump whose target is symbolic.
+enum class SymJumpPolicy : uint8_t {
+  kUnmodeled,     // no mechanism: flag Es3, follow the concrete target
+  kBuggyResolve,  // attempts to solve for targets but mis-applies the
+                  // instruction base (modeled Angr data-propagation bug →
+                  // generates a wrong input, Es2 at validation)
+  kSolveTargets,  // sound: constrain target == desired address (ideal)
+};
+
+/// How syscall return values enter the symbolic state.
+enum class SyscallModel : uint8_t {
+  /// Returns are the concrete traced values (pure concolic: BAP/Triton).
+  kConcreteTrace,
+  /// Simulation: selected syscalls return fresh unconstrained symbols
+  /// (Angr's SimProcedures) — enables P/false-positive outcomes.
+  kSimulateUnconstrained,
+};
+
+/// How code in the library text region is handled.
+enum class LibMode : uint8_t {
+  kTrace,              // lift/execute library instructions like any other
+  kSkipUnconstrained,  // skip them; calls into the region return a fresh
+                       // unconstrained symbol (Angr-NoLib)
+};
+
+/// How hardware traps (divide-by-zero, trapz/trapneg) are modeled.
+enum class TrapModel : uint8_t {
+  kFollowTrace,   // handler instructions are in the trace; just follow them
+                  // and add the trap-guard constraint (BAP-style, sound)
+  kLiftFailure,   // the lifter cannot express the trap: Es1 (Triton)
+  kEmulationAbort,// emulator cannot vector the trap: engine exception → E
+  kMisModeled,    // continues past the trap without the guard constraint:
+                  // propagation silently wrong → Es2 at validation
+};
+
+struct SymexConfig {
+  SymAddrPolicy addr_policy = SymAddrPolicy::kConcretize;
+  /// ± window (bytes) for kExpandWindow ITE expansion.
+  unsigned addr_window = 96;
+  /// Max nested symbolic-deref chain depth for kExpandWindow (Angr solves
+  /// one-level symbolic arrays, not two-level).
+  unsigned max_deref_depth = 1;
+
+  SymJumpPolicy jump_policy = SymJumpPolicy::kUnmodeled;
+  SyscallModel syscall_model = SyscallModel::kConcreteTrace;
+  LibMode lib_mode = LibMode::kTrace;
+  TrapModel trap_model = TrapModel::kFollowTrace;
+
+  /// Track symbolic data across covert channels (files, pipes, the echo
+  /// store). No real tool in the study does; the ideal engine can.
+  bool track_channels = false;
+  /// Propagate symbolic data through events of non-root threads/processes.
+  bool cross_thread = true;
+  bool cross_process = false;
+
+  /// Opcodes this tool's lifter cannot express. Reaching one with symbolic
+  /// operands raises Es1 (e.g., Triton lacks cvtsi2sd/ucomisd analogues).
+  std::set<isa::Opcode> unsupported_opcodes;
+
+  /// Opcodes whose symbolic execution aborts the engine outright (Angr's
+  /// emulator dying on FP paths with loaded libraries → outcome E).
+  std::set<isa::Opcode> aborting_opcodes;
+
+  /// Error stage reported when a symbolic value names an environment
+  /// object (file name, syscall selector). BAP/Angr report this as lost
+  /// propagation (Es2); Triton's SSA modeling surfaces it as a constraint
+  /// gap (Es3).
+  ErrorStageHint contextual_error_stage = ErrorStageHint::kEs2;
+
+  /// Track symbolic data through pipes specifically (Angr-NoLib's pipe
+  /// SimProcedure works without loaded libraries; nobody tracks files).
+  bool track_pipe_channels = false;
+
+  /// Abort (outcome E) when the program creates a file — Angr's simulated
+  /// filesystem in the studied version choked on write-mode opens.
+  bool abort_on_file_write = false;
+
+  /// Syscalls whose mere occurrence aborts the engine (unsupported
+  /// environment modeling → the paper's E outcomes), e.g. the web fetch
+  /// under Angr's loader.
+  std::set<int32_t> aborting_syscalls;
+
+  /// Under kSimulateUnconstrained: syscalls whose return value becomes a
+  /// fresh unconstrained symbol.
+  std::set<int32_t> unconstrained_syscalls;
+
+  /// First address of the guest library text region ("shared library").
+  uint64_t lib_text_base = 0x40000;
+};
+
+/// Which program inputs are declared symbolic before execution (the
+/// paper's "symbolic variable declaration" stage, Es0 when wrong).
+struct SymbolicSources {
+  bool argv = true;
+  /// 0: each argv[i] contributes exactly strlen(seed) symbolic bytes with
+  /// a concrete NUL terminator (fixed length — BAP/Triton).
+  /// N>0: a window of N symbolic bytes per argument; the guest-visible
+  /// length is free up to N (Angr's fixed-bit-width trick).
+  unsigned argv_max_len = 0;
+  bool time = false;
+  bool web = false;
+  bool stdin_bytes = false;
+};
+
+}  // namespace sbce::symex

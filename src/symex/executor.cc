@@ -1,0 +1,867 @@
+#include "src/symex/executor.h"
+
+#include "src/lift/lifter.h"
+#include "src/support/str.h"
+#include "src/vm/syscalls.h"
+
+namespace sbce::symex {
+
+using isa::Opcode;
+using solver::ExprRef;
+using solver::Kind;
+using vm::TraceEvent;
+
+namespace {
+
+uint64_t ThreadKey(const TraceEvent& ev) {
+  return (static_cast<uint64_t>(ev.pid) << 32) | ev.tid;
+}
+
+uint64_t MemKey(uint32_t pid, uint64_t addr) {
+  // Address spaces are per process; qualify byte addresses by pid.
+  return (static_cast<uint64_t>(pid) << 48) ^ addr;
+}
+
+}  // namespace
+
+void TraceExecutor::AddSymbolicBytes(uint64_t addr,
+                                     std::span<const ExprRef> bytes) {
+  for (size_t i = 0; i < bytes.size(); ++i) {
+    // Initial regions belong to the root process; pid qualification happens
+    // lazily in Execute once the root pid is known (prefix 0 here, fixed up
+    // by using pid 0 as "root alias" — see RootMemKey).
+    state_.SetMemByte(addr + i, bytes[i]);
+  }
+  state_.NoteSymbolicSeen();
+}
+
+ExprRef TraceExecutor::GprOrNull(const TraceEvent& ev, uint8_t reg) {
+  return state_.Regs(ev.pid, ev.tid).gpr[reg];
+}
+
+ExprRef TraceExecutor::Materialize(ExprRef e, uint64_t concrete,
+                                   unsigned width) {
+  return e != nullptr ? e : state_.pool().Const(concrete, width);
+}
+
+std::optional<uint8_t> TraceExecutor::ConcreteByteAt(uint64_t addr) const {
+  if (auto it = store_overlay_.find(addr); it != store_overlay_.end()) {
+    return it->second;
+  }
+  if (initial_byte_) return initial_byte_(addr);
+  return std::nullopt;
+}
+
+ExprRef TraceExecutor::LoadBytes(uint64_t addr, unsigned width,
+                                 uint64_t concrete) {
+  bool any_symbolic = false;
+  for (unsigned i = 0; i < width; ++i) {
+    if (state_.MemByte(addr + i) != nullptr) {
+      any_symbolic = true;
+      break;
+    }
+  }
+  if (!any_symbolic) return nullptr;
+  auto& pool = state_.pool();
+  ExprRef out = nullptr;  // assembled high→low via Concat
+  for (unsigned i = width; i > 0; --i) {
+    ExprRef byte = state_.MemByte(addr + i - 1);
+    if (byte == nullptr) {
+      byte = pool.Const((concrete >> (8 * (i - 1))) & 0xff, 8);
+    }
+    out = out == nullptr ? byte : pool.Concat(out, byte);
+  }
+  return out;
+}
+
+void TraceExecutor::StoreBytes(uint64_t addr, unsigned width, ExprRef value,
+                               uint64_t concrete) {
+  auto& pool = state_.pool();
+  for (unsigned i = 0; i < width; ++i) {
+    store_overlay_[addr + i] =
+        static_cast<uint8_t>((concrete >> (8 * i)) & 0xff);
+    if (value == nullptr) {
+      state_.SetMemByte(addr + i, nullptr);
+    } else {
+      state_.SetMemByte(addr + i,
+                        pool.Extract(value, 8 * i + 7, 8 * i));
+    }
+  }
+}
+
+void TraceExecutor::NoteSymbolicInstr(const TraceEvent& ev) {
+  ++result_.symbolic_instr_count;
+  if (InLib(ev.pc)) ++result_.lib_symbolic_instr_count;
+  state_.NoteSymbolicSeen();
+}
+
+void TraceExecutor::DropSymbolic(ExprRef dropped, const TraceEvent& ev,
+                                 const char* why) {
+  if (dropped == nullptr) return;
+  state_.diag().Raise(ErrorStage::kEs2, why, ev.pc);
+}
+
+ExprRef TraceExecutor::ExpandWindowLoad(const TraceEvent& ev,
+                                        ExprRef addr_expr, unsigned width) {
+  auto& pool = state_.pool();
+  const uint64_t obs = ev.mem_addr;
+  const uint64_t lo = obs >= config_.addr_window ? obs - config_.addr_window
+                                                 : 0;
+  const uint64_t hi = obs + config_.addr_window;
+  // Default arm: the concretely observed value.
+  ExprRef out = pool.Const(ev.mem_value, width * 8);
+  for (uint64_t a = lo; a <= hi; a += 1) {
+    if (a == obs) continue;
+    // Assemble the candidate value at address a (symbolic bytes win over
+    // the concrete overlay/image; unknown bytes disqualify the candidate).
+    ExprRef cand = nullptr;
+    bool known = true;
+    for (unsigned i = width; i > 0; --i) {
+      ExprRef byte = state_.MemByte(a + i - 1);
+      if (byte == nullptr) {
+        auto cv = ConcreteByteAt(a + i - 1);
+        if (!cv.has_value()) {
+          known = false;
+          break;
+        }
+        byte = pool.Const(*cv, 8);
+      }
+      cand = cand == nullptr ? byte : pool.Concat(cand, byte);
+    }
+    if (!known) continue;
+    out = pool.Ite(pool.Eq(addr_expr, pool.Const(a, 64)), cand, out);
+  }
+  return out;
+}
+
+void TraceExecutor::HandleAlu(const TraceEvent& ev, SymRegs& regs) {
+  auto& pool = state_.pool();
+  const auto& in = ev.instr;
+  ExprRef a = regs.gpr[in.rs1];
+  ExprRef b = regs.gpr[in.rs2];
+  const int64_t imm = static_cast<int64_t>(in.imm);
+
+  auto bin = [&](Kind kind, bool use_imm) -> ExprRef {
+    if (a == nullptr && (use_imm || b == nullptr)) return nullptr;
+    ExprRef lhs = Materialize(a, ev.rs1_val);
+    ExprRef rhs = use_imm
+                      ? pool.Const(static_cast<uint64_t>(imm), 64)
+                      : Materialize(b, ev.rs2_val);
+    // The VM masks shift amounts to 6 bits; mirror that in expressions.
+    if (kind == Kind::kShl || kind == Kind::kLShr || kind == Kind::kAShr) {
+      rhs = pool.And(rhs, pool.Const(63, 64));
+    }
+    return pool.Binary(kind, lhs, rhs);
+  };
+  auto cmp = [&](Kind kind, bool use_imm) -> ExprRef {
+    ExprRef c = bin(kind, use_imm);
+    return c == nullptr ? nullptr : pool.ZExt(c, 64);
+  };
+
+  ExprRef out = nullptr;
+  bool writes_rd = true;
+  switch (in.op) {
+    case Opcode::kMov: out = a; break;
+    case Opcode::kMovI:
+    case Opcode::kLea:
+      out = nullptr;
+      break;
+    case Opcode::kMovHi: {
+      ExprRef old = regs.gpr[in.rd];
+      if (old == nullptr) {
+        out = nullptr;
+      } else {
+        // Keep the (symbolic) low 32 bits, overwrite the high 32.
+        out = pool.Concat(
+            pool.Const(static_cast<uint32_t>(in.imm), 32),
+            pool.Extract(old, 31, 0));
+      }
+      break;
+    }
+    case Opcode::kAdd: out = bin(Kind::kAdd, false); break;
+    case Opcode::kAddI: out = bin(Kind::kAdd, true); break;
+    case Opcode::kSub: out = bin(Kind::kSub, false); break;
+    case Opcode::kSubI: out = bin(Kind::kSub, true); break;
+    case Opcode::kMul: out = bin(Kind::kMul, false); break;
+    case Opcode::kMulI: out = bin(Kind::kMul, true); break;
+    case Opcode::kAnd: out = bin(Kind::kAnd, false); break;
+    case Opcode::kAndI: out = bin(Kind::kAnd, true); break;
+    case Opcode::kOr: out = bin(Kind::kOr, false); break;
+    case Opcode::kOrI: out = bin(Kind::kOr, true); break;
+    case Opcode::kXor: out = bin(Kind::kXor, false); break;
+    case Opcode::kXorI: out = bin(Kind::kXor, true); break;
+    case Opcode::kShl: out = bin(Kind::kShl, false); break;
+    case Opcode::kShlI: out = bin(Kind::kShl, true); break;
+    case Opcode::kShr: out = bin(Kind::kLShr, false); break;
+    case Opcode::kShrI: out = bin(Kind::kLShr, true); break;
+    case Opcode::kSar: out = bin(Kind::kAShr, false); break;
+    case Opcode::kSarI: out = bin(Kind::kAShr, true); break;
+    case Opcode::kNot:
+      out = a == nullptr ? nullptr : pool.Not(a);
+      break;
+    case Opcode::kNeg:
+      out = a == nullptr ? nullptr : pool.Neg(a);
+      break;
+    case Opcode::kCmpEq: out = cmp(Kind::kEq, false); break;
+    case Opcode::kCmpEqI: out = cmp(Kind::kEq, true); break;
+    case Opcode::kCmpNe:
+    case Opcode::kCmpNeI: {
+      ExprRef c = bin(Kind::kEq, in.op == Opcode::kCmpNeI);
+      out = c == nullptr ? nullptr : pool.ZExt(pool.Not(c), 64);
+      break;
+    }
+    case Opcode::kCmpLtU: out = cmp(Kind::kUlt, false); break;
+    case Opcode::kCmpLtUI: out = cmp(Kind::kUlt, true); break;
+    case Opcode::kCmpLtS: out = cmp(Kind::kSlt, false); break;
+    case Opcode::kCmpLtSI: out = cmp(Kind::kSlt, true); break;
+    case Opcode::kCmpLeU: out = cmp(Kind::kUle, false); break;
+    case Opcode::kCmpLeS: out = cmp(Kind::kSle, false); break;
+    case Opcode::kUDiv: out = bin(Kind::kUDiv, false); break;
+    case Opcode::kSDiv: out = bin(Kind::kSDiv, false); break;
+    case Opcode::kURem: out = bin(Kind::kURem, false); break;
+    case Opcode::kSRem: out = bin(Kind::kSRem, false); break;
+    default:
+      writes_rd = false;
+      break;
+  }
+  if (writes_rd) {
+    if (out != nullptr) NoteSymbolicInstr(ev);
+    regs.gpr[in.rd] = out;
+  }
+}
+
+void TraceExecutor::HandleMemory(const TraceEvent& ev, SymRegs& regs) {
+  auto& pool = state_.pool();
+  const auto& in = ev.instr;
+  const auto& info = isa::GetOpcodeInfo(in.op);
+  const unsigned width = info.mem_width;
+
+  switch (in.op) {
+    case Opcode::kLd1:
+    case Opcode::kLd2:
+    case Opcode::kLd4:
+    case Opcode::kLd8:
+    case Opcode::kLdS1:
+    case Opcode::kLdS2:
+    case Opcode::kLdS4:
+    case Opcode::kLdX1:
+    case Opcode::kLdX8: {
+      const bool indexed = in.op == Opcode::kLdX1 || in.op == Opcode::kLdX8;
+      ExprRef base = regs.gpr[in.rs1];
+      ExprRef index = indexed ? regs.gpr[in.rs2] : nullptr;
+      const bool addr_symbolic = base != nullptr || index != nullptr;
+      ExprRef value = nullptr;
+      if (addr_symbolic) {
+        NoteSymbolicInstr(ev);
+        ExprRef addr_expr =
+            indexed ? pool.Add(Materialize(base, ev.rs1_val),
+                               Materialize(index, ev.rs2_val))
+                    : pool.Add(Materialize(base, ev.rs1_val),
+                               pool.Const(static_cast<uint64_t>(
+                                              static_cast<int64_t>(in.imm)),
+                                          64));
+        if (config_.addr_policy == SymAddrPolicy::kConcretize) {
+          state_.diag().Raise(
+              ErrorStage::kEs3,
+              "symbolic memory address concretized (no array model)",
+              ev.pc);
+          value = LoadBytes(ev.mem_addr, width, ev.mem_value);
+        } else {
+          // Two-level check: does the address depend on a prior deref?
+          if (state_.ContainsDerefResult(addr_expr)) {
+            state_.diag().Raise(
+                ErrorStage::kEs3,
+                "nested symbolic deref exceeds memory-model depth", ev.pc);
+            value = LoadBytes(ev.mem_addr, width, ev.mem_value);
+          } else {
+            value = ExpandWindowLoad(ev, addr_expr, width);
+            state_.MarkDerefResult(value);
+          }
+        }
+      } else {
+        value = LoadBytes(ev.mem_addr, width, ev.mem_value);
+      }
+      if (value != nullptr) {
+        NoteSymbolicInstr(ev);
+        if (value->width < 64) {
+          const bool sign = in.op == Opcode::kLdS1 ||
+                            in.op == Opcode::kLdS2 || in.op == Opcode::kLdS4;
+          value = sign ? pool.SExt(value, 64) : pool.ZExt(value, 64);
+        }
+      }
+      regs.gpr[in.rd] = value;
+      break;
+    }
+
+    case Opcode::kSt1:
+    case Opcode::kSt2:
+    case Opcode::kSt4:
+    case Opcode::kSt8:
+    case Opcode::kStX1:
+    case Opcode::kStX8: {
+      const bool indexed = in.op == Opcode::kStX1 || in.op == Opcode::kStX8;
+      ExprRef base = regs.gpr[in.rs1];
+      ExprRef index = indexed ? regs.gpr[in.rs2] : nullptr;
+      if (base != nullptr || index != nullptr) {
+        // All studied tools concretize store addresses; note it and go on.
+        NoteSymbolicInstr(ev);
+      }
+      ExprRef value = regs.gpr[in.rd];
+      if (value != nullptr) {
+        NoteSymbolicInstr(ev);
+        if (width < 8) value = pool.Extract(value, width * 8 - 1, 0);
+      }
+      StoreBytes(ev.mem_addr, width, value, ev.mem_value);
+      break;
+    }
+
+    case Opcode::kPush: {
+      ExprRef v = regs.gpr[in.rs1];
+      if (v != nullptr) NoteSymbolicInstr(ev);
+      StoreBytes(ev.mem_addr, 8, v, ev.mem_value);
+      break;
+    }
+    case Opcode::kPop: {
+      ExprRef v = LoadBytes(ev.mem_addr, 8, ev.mem_value);
+      if (v != nullptr) NoteSymbolicInstr(ev);
+      regs.gpr[in.rd] = v;
+      break;
+    }
+    case Opcode::kCall:
+    case Opcode::kCallR:
+      // Return address pushed is concrete.
+      StoreBytes(ev.mem_addr, 8, nullptr, ev.mem_value);
+      break;
+    case Opcode::kRet:
+      break;
+
+    case Opcode::kFLd: {
+      ExprRef v = LoadBytes(ev.mem_addr, 8, ev.mem_value);
+      if (v != nullptr) NoteSymbolicInstr(ev);
+      regs.fpr[in.rd] = v;
+      break;
+    }
+    case Opcode::kFSt: {
+      ExprRef v = regs.fpr[in.rd];
+      if (v != nullptr) NoteSymbolicInstr(ev);
+      StoreBytes(ev.mem_addr, 8, v, ev.mem_value);
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+void TraceExecutor::HandleBranch(const TraceEvent& ev, SymRegs& regs) {
+  auto& pool = state_.pool();
+  const auto& in = ev.instr;
+  if (in.op == Opcode::kBz || in.op == Opcode::kBnz) {
+    ExprRef reg = regs.gpr[in.rs1];
+    if (reg == nullptr) return;
+    NoteSymbolicInstr(ev);
+    ExprRef zero = pool.Eq(reg, pool.Const(0, 64));
+    const bool went_zero_side = (in.op == Opcode::kBz) == ev.branch_taken;
+    ExprRef cond = went_zero_side ? zero : pool.Not(zero);
+    const bool in_lib = InLib(ev.pc);
+    if (in_lib) ++result_.lib_constraint_count;
+    const uint64_t fallthrough = ev.pc + isa::kInstrBytes;
+    const uint64_t target =
+        fallthrough + static_cast<uint64_t>(static_cast<int64_t>(in.imm));
+    const uint64_t negated_successor =
+        ev.branch_taken ? fallthrough : target;
+    PathConstraint pc_rec;
+    pc_rec.cond = cond;
+    pc_rec.pc = ev.pc;
+    pc_rec.event_index = result_.events_processed;
+    pc_rec.in_lib = in_lib;
+    pc_rec.negated_successor = negated_successor;
+    pc_rec.occurrence = NextOccurrence(ev.pc);
+    state_.path().push_back(pc_rec);
+    return;
+  }
+  if (in.op == Opcode::kJmpR || in.op == Opcode::kCallR) {
+    ExprRef target = regs.gpr[in.rs1];
+    if (target == nullptr) return;
+    NoteSymbolicInstr(ev);
+    switch (config_.jump_policy) {
+      case SymJumpPolicy::kUnmodeled:
+        state_.diag().Raise(ErrorStage::kEs3,
+                            "symbolic jump target not modeled", ev.pc);
+        break;
+      case SymJumpPolicy::kBuggyResolve:
+        // Angr's resolver gives up when the target came through its
+        // symbolic-memory map (jump tables indexed by symbolic offsets).
+        if (state_.ContainsDerefResult(target)) {
+          state_.diag().Raise(
+              ErrorStage::kEs3,
+              "cannot model jump targets drawn from symbolic memory",
+              ev.pc);
+          break;
+        }
+        state_.jumps().push_back(
+            {target, ev.next_pc, ev.pc, result_.events_processed});
+        break;
+      case SymJumpPolicy::kSolveTargets:
+        state_.jumps().push_back(
+            {target, ev.next_pc, ev.pc, result_.events_processed});
+        break;
+    }
+  }
+}
+
+void TraceExecutor::HandleTrap(const TraceEvent& ev, SymRegs& regs) {
+  auto& pool = state_.pool();
+  const auto& in = ev.instr;
+  // The guarding expression whose value decided trap vs no-trap.
+  ExprRef guard = nullptr;
+  Kind cmp = Kind::kEq;
+  uint64_t concrete = 0;
+  switch (in.op) {
+    case Opcode::kUDiv:
+    case Opcode::kSDiv:
+    case Opcode::kURem:
+    case Opcode::kSRem:
+      guard = regs.gpr[in.rs2];
+      concrete = ev.rs2_val;
+      cmp = Kind::kEq;  // trap iff divisor == 0
+      break;
+    case Opcode::kTrapZ:
+      guard = regs.gpr[in.rs1];
+      concrete = ev.rs1_val;
+      cmp = Kind::kEq;  // trap iff value == 0
+      break;
+    case Opcode::kTrapNeg:
+      guard = regs.gpr[in.rs1];
+      concrete = ev.rs1_val;
+      cmp = Kind::kSlt;  // trap iff value < 0
+      break;
+    default:
+      return;
+  }
+  if (guard == nullptr) return;  // concrete guard: nothing symbolic here
+  NoteSymbolicInstr(ev);
+  switch (config_.trap_model) {
+    case TrapModel::kFollowTrace: {
+      ExprRef trap_cond =
+          cmp == Kind::kEq
+              ? pool.Eq(guard, pool.Const(0, 64))
+              : pool.Binary(Kind::kSlt, guard, pool.Const(0, 64));
+      ExprRef cond = ev.trapped ? trap_cond : pool.Not(trap_cond);
+      (void)concrete;
+      PathConstraint pc_rec;
+      pc_rec.cond = cond;
+      pc_rec.pc = ev.pc;
+      pc_rec.event_index = result_.events_processed;
+      pc_rec.in_lib = InLib(ev.pc);
+      // Negating a no-trap path enters the handler; negating a trapping
+      // path resumes at the next instruction.
+      pc_rec.negated_successor =
+          ev.trapped ? ev.pc + isa::kInstrBytes : trap_handler_[ev.pid];
+      pc_rec.occurrence = NextOccurrence(ev.pc);
+      state_.path().push_back(pc_rec);
+      break;
+    }
+    case TrapModel::kLiftFailure:
+      state_.diag().Raise(ErrorStage::kEs1,
+                          "trap semantics not liftable: " +
+                              lift::RenderIl(ev),
+                          ev.pc);
+      break;
+    case TrapModel::kEmulationAbort:
+      result_.aborted = true;
+      result_.abort_reason =
+          "emulator cannot vector trap state with symbolic guard";
+      break;
+    case TrapModel::kMisModeled:
+      state_.diag().Raise(ErrorStage::kEs2,
+                          "trap successor state dropped (mis-modeled)",
+                          ev.pc);
+      break;
+  }
+}
+
+void TraceExecutor::HandleFp(const TraceEvent& ev, SymRegs& regs) {
+  auto& pool = state_.pool();
+  const auto& in = ev.instr;
+  auto fsrc = [&](uint8_t reg, uint64_t bits) {
+    return Materialize(regs.fpr[reg], bits);
+  };
+  const bool any_symbolic =
+      (in.op == Opcode::kCvtIF || in.op == Opcode::kMovGF
+           ? regs.gpr[in.rs1] != nullptr
+           : regs.fpr[in.rs1] != nullptr) ||
+      (isa::GetOpcodeInfo(in.op).form == isa::OperandForm::kRdRsRs &&
+       regs.fpr[in.rs2] != nullptr);
+  if (!any_symbolic) {
+    // Concrete FP: clear destination.
+    switch (in.op) {
+      case Opcode::kFCmpEq:
+      case Opcode::kFCmpLt:
+      case Opcode::kFCmpLe:
+      case Opcode::kCvtFI:
+      case Opcode::kMovFG:
+        regs.gpr[in.rd] = nullptr;
+        break;
+      default:
+        regs.fpr[in.rd] = nullptr;
+        break;
+    }
+    return;
+  }
+  NoteSymbolicInstr(ev);
+  switch (in.op) {
+    case Opcode::kFAdd:
+      regs.fpr[in.rd] = pool.Binary(Kind::kFAdd, fsrc(in.rs1, ev.rs1_val),
+                                    fsrc(in.rs2, ev.rs2_val));
+      break;
+    case Opcode::kFSub:
+      regs.fpr[in.rd] = pool.Binary(Kind::kFSub, fsrc(in.rs1, ev.rs1_val),
+                                    fsrc(in.rs2, ev.rs2_val));
+      break;
+    case Opcode::kFMul:
+      regs.fpr[in.rd] = pool.Binary(Kind::kFMul, fsrc(in.rs1, ev.rs1_val),
+                                    fsrc(in.rs2, ev.rs2_val));
+      break;
+    case Opcode::kFDiv:
+      regs.fpr[in.rd] = pool.Binary(Kind::kFDiv, fsrc(in.rs1, ev.rs1_val),
+                                    fsrc(in.rs2, ev.rs2_val));
+      break;
+    case Opcode::kFCmpEq:
+    case Opcode::kFCmpLt:
+    case Opcode::kFCmpLe: {
+      const Kind k = in.op == Opcode::kFCmpEq
+                         ? Kind::kFEq
+                         : in.op == Opcode::kFCmpLt ? Kind::kFLt : Kind::kFLe;
+      regs.gpr[in.rd] = pool.ZExt(
+          pool.Binary(k, fsrc(in.rs1, ev.rs1_val), fsrc(in.rs2, ev.rs2_val)),
+          64);
+      break;
+    }
+    case Opcode::kCvtIF:
+      regs.fpr[in.rd] = pool.Unary(
+          Kind::kFFromSInt, Materialize(regs.gpr[in.rs1], ev.rs1_val));
+      break;
+    case Opcode::kCvtFI:
+      regs.gpr[in.rd] =
+          pool.Unary(Kind::kFToSInt, fsrc(in.rs1, ev.rs1_val));
+      break;
+    case Opcode::kFMov:
+      regs.fpr[in.rd] = regs.fpr[in.rs1];
+      break;
+    case Opcode::kMovGF:
+      regs.fpr[in.rd] = regs.gpr[in.rs1];
+      break;
+    case Opcode::kMovFG:
+      regs.gpr[in.rd] = regs.fpr[in.rs1];
+      break;
+    default:
+      break;
+  }
+}
+
+void TraceExecutor::HandleSyscall(const TraceEvent& ev, SymRegs& regs) {
+  auto& pool = state_.pool();
+  const int32_t num = ev.sys_num;
+
+  if (num == vm::kSysSetTrap) trap_handler_[ev.pid] = ev.sys_args[0];
+
+  if (config_.abort_on_file_write && num == vm::kSysOpen &&
+      (ev.sys_args[1] & 1) != 0) {
+    result_.aborted = true;
+    result_.abort_reason = "file creation unsupported in environment model";
+    return;
+  }
+
+  if (config_.aborting_syscalls.count(num) != 0) {
+    result_.aborted = true;
+    result_.abort_reason =
+        StrFormat("unsupported syscall %d in environment model", num);
+    return;
+  }
+
+  // Bytes leaving the process.
+  bool name_symbolic = false;  // a symbolic *selector* (file name, key)
+  if (ev.sys_in_len > 0 && ev.channel != vm::kChannelNone) {
+    bool any_symbolic = false;
+    std::vector<ExprRef> bytes(ev.sys_in_len);
+    for (uint32_t i = 0; i < ev.sys_in_len; ++i) {
+      bytes[i] = state_.MemByte(ev.sys_in_addr + i);
+      if (bytes[i] != nullptr) any_symbolic = true;
+    }
+    const bool pipe_chan = (ev.channel >> 60) == 0x9;
+    const bool tracked =
+        config_.track_channels || (pipe_chan && config_.track_pipe_channels);
+    if (num == vm::kSysOpen || num == vm::kSysEchoLoad ||
+        num == vm::kSysUnlink) {
+      // The symbolic bytes *name* an environment object rather than flow
+      // through it — the contextual-symbolic-value challenge.
+      if (any_symbolic) {
+        name_symbolic = true;
+        NoteSymbolicInstr(ev);
+        state_.diag().Raise(
+            config_.contextual_error_stage == ErrorStageHint::kEs3
+                ? ErrorStage::kEs3
+                : ErrorStage::kEs2,
+            "symbolic value names an environment object", ev.pc);
+      }
+    } else if (any_symbolic) {
+      NoteSymbolicInstr(ev);
+      if (tracked) {
+        state_.Channel(ev.channel) = bytes;
+      } else {
+        state_.diag().Raise(ErrorStage::kEs2,
+                            "symbolic data escaped through an untracked "
+                            "channel",
+                            ev.pc);
+      }
+    }
+  }
+
+  // Special case: the echo/TLS stores carry their value in a register.
+  if (num == vm::kSysEchoStore || num == vm::kSysTlsStore) {
+    ExprRef value = regs.gpr[2];
+    if (value != nullptr) {
+      NoteSymbolicInstr(ev);
+      if (config_.track_channels) {
+        std::vector<ExprRef> bytes(8);
+        for (unsigned i = 0; i < 8; ++i) {
+          bytes[i] = pool.Extract(value, 8 * i + 7, 8 * i);
+        }
+        state_.Channel(ev.channel) = bytes;
+      } else {
+        state_.diag().Raise(ErrorStage::kEs2,
+                            "symbolic data escaped through an untracked "
+                            "channel",
+                            ev.pc);
+      }
+    }
+  }
+
+  // Bytes entering the process.
+  if (ev.sys_out_len > 0) {
+    const bool pipe_chan = (ev.channel >> 60) == 0x9;
+    const bool tracked =
+        config_.track_channels || (pipe_chan && config_.track_pipe_channels);
+    const bool have = state_.ChannelKnown(ev.channel);
+    for (uint32_t i = 0; i < ev.sys_out_len; ++i) {
+      ExprRef byte = nullptr;
+      if (tracked && have) {
+        const auto& chan = state_.Channel(ev.channel);
+        if (i < chan.size()) byte = chan[i];
+      }
+      state_.SetMemByte(ev.sys_out_addr + i, byte);
+      store_overlay_.erase(ev.sys_out_addr + i);  // content unknown
+      if (byte != nullptr) NoteSymbolicInstr(ev);
+    }
+  }
+
+  // Return value. A simulated syscall with a *symbolic selector* is beyond
+  // the SimProcedure: it concretizes the name and the propagation is lost
+  // (no unconstrained return, contextual diag already raised above).
+  ExprRef ret = nullptr;
+  if (config_.syscall_model == SyscallModel::kSimulateUnconstrained &&
+      config_.unconstrained_syscalls.count(num) != 0 && !name_symbolic) {
+    ret = state_.FreshSymbol(StrFormat("sysenv%d", num), 64);
+    result_.env_symbols.insert(ret->name);
+    NoteSymbolicInstr(ev);
+  } else if ((num == vm::kSysEchoLoad || num == vm::kSysTlsLoad) &&
+             config_.track_channels &&
+             state_.ChannelKnown(ev.channel)) {
+    const auto& chan = state_.Channel(ev.channel);
+    ExprRef v = nullptr;
+    for (unsigned i = 8; i > 0; --i) {
+      ExprRef byte = i - 1 < chan.size() ? chan[i - 1] : nullptr;
+      if (byte == nullptr) {
+        byte = pool.Const((ev.sys_ret >> (8 * (i - 1))) & 0xff, 8);
+      }
+      v = v == nullptr ? byte : pool.Concat(v, byte);
+    }
+    ret = v;
+    if (ret != nullptr) NoteSymbolicInstr(ev);
+  }
+  regs.gpr[0] = ret;
+
+  // Fork: the child inherits the parent's symbolic registers and memory.
+  if (num == vm::kSysFork && ev.sys_ret != 0) {
+    const auto child_pid = static_cast<uint32_t>(ev.sys_ret);
+    SymRegs child = regs;
+    child.gpr[0] = nullptr;  // child sees concrete 0
+    state_.Regs(child_pid, 1) = child;
+    // Memory is pid-qualified lazily; both share this map in our model —
+    // sound here because fork in the bombs happens before address reuse
+    // diverges. (Documented simplification.)
+  }
+}
+
+SymTraceResult TraceExecutor::Execute(std::span<const TraceEvent> events) {
+  if (!events.empty()) {
+    root_pid_ = events.front().pid;
+    root_tid_ = events.front().tid;
+  }
+
+  for (const TraceEvent& ev : events) {
+    if (result_.aborted) break;
+    ++result_.events_processed;
+    const auto& info = isa::GetOpcodeInfo(ev.instr.op);
+    SymRegs& regs = state_.Regs(ev.pid, ev.tid);
+
+    // Library skipping (Angr-NoLib).
+    if (config_.lib_mode == LibMode::kSkipUnconstrained) {
+      const uint64_t tk = ThreadKey(ev);
+      auto it = skip_until_.find(tk);
+      if (it != skip_until_.end()) {
+        if (ev.pc == it->second && !InLib(ev.pc)) {
+          skip_until_.erase(it);
+          // The skipped external call returns unconstrained symbols in
+          // both return registers (integer r0 and floating-point f0).
+          ExprRef sym = state_.FreshSymbol("extenv", 64);
+          regs.gpr[0] = sym;
+          result_.env_symbols.insert(sym->name);
+          ExprRef fsym = state_.FreshSymbol("extenvf", 64);
+          regs.fpr[0] = fsym;
+          result_.env_symbols.insert(fsym->name);
+        } else {
+          // Still inside the library. Memory the skipped code writes is
+          // unconstrained from the engine's point of view (the library
+          // never "ran" in its model).
+          if (isa::GetOpcodeInfo(ev.instr.op).is_store &&
+              ev.instr.op != Opcode::kCall && ev.instr.op != Opcode::kCallR) {
+            const unsigned width = isa::GetOpcodeInfo(ev.instr.op).mem_width;
+            ExprRef sym =
+                state_.FreshSymbol("extenvm", width * 8);
+            result_.env_symbols.insert(sym->name);
+            StoreBytes(ev.mem_addr, width, sym, ev.mem_value);
+          }
+          continue;
+        }
+      }
+      if ((ev.instr.op == Opcode::kCall || ev.instr.op == Opcode::kCallR) &&
+          !InLib(ev.pc) && InLib(ev.next_pc)) {
+        skip_until_[tk] = ev.pc + isa::kInstrBytes;
+        continue;
+      }
+      if (InLib(ev.pc)) continue;  // stray library instruction
+    }
+
+    // Cross-thread / cross-process isolation failures.
+    const bool foreign_process = ev.pid != root_pid_;
+    const bool foreign_thread = !foreign_process && ev.tid != root_tid_;
+    if ((foreign_process && !config_.cross_process) ||
+        (foreign_thread && !config_.cross_thread)) {
+      // The engine does not model this execution context: any symbolic
+      // data it would propagate is silently lost. Detect loss for the
+      // diagnostic, then clear destinations.
+      bool had_symbolic = false;
+      SymRegs& fregs = state_.Regs(ev.pid, ev.tid);
+      if (fregs.gpr[ev.instr.rs1] != nullptr ||
+          fregs.gpr[ev.instr.rs2] != nullptr ||
+          fregs.gpr[ev.instr.rd] != nullptr) {
+        had_symbolic = true;
+      }
+      if (info.is_load || info.is_store) {
+        for (unsigned i = 0; i < info.mem_width; ++i) {
+          if (state_.MemByte(ev.mem_addr + i) != nullptr) {
+            had_symbolic = true;
+          }
+        }
+      }
+      if (had_symbolic) {
+        state_.diag().Raise(
+            ErrorStage::kEs2,
+            foreign_process
+                ? "symbolic data crossed an unmodeled process boundary"
+                : "symbolic data crossed an unmodeled thread boundary",
+            ev.pc);
+      }
+      // Clear whatever this event wrote.
+      if (info.is_store) {
+        StoreBytes(ev.mem_addr, info.mem_width, nullptr, ev.mem_value);
+      }
+      fregs.gpr[ev.instr.rd] = nullptr;
+      continue;
+    }
+
+    // Aborting opcodes (Angr's emulator dying on FP under loaded libs).
+    if (config_.aborting_opcodes.count(ev.instr.op) != 0) {
+      bool symbolic_involved =
+          regs.gpr[ev.instr.rs1] != nullptr ||
+          regs.gpr[ev.instr.rs2] != nullptr ||
+          regs.fpr[ev.instr.rs1 % isa::kNumFpr] != nullptr ||
+          regs.fpr[ev.instr.rs2 % isa::kNumFpr] != nullptr;
+      if (symbolic_involved) {
+        result_.aborted = true;
+        result_.abort_reason =
+            "emulation failure on " +
+            std::string(isa::GetOpcodeInfo(ev.instr.op).mnemonic);
+        break;
+      }
+    }
+
+    // Unsupported lifting (Es1).
+    if (config_.unsupported_opcodes.count(ev.instr.op) != 0) {
+      bool symbolic_involved = regs.gpr[ev.instr.rs1] != nullptr ||
+                               regs.gpr[ev.instr.rs2] != nullptr ||
+                               regs.gpr[ev.instr.rd] != nullptr ||
+                               regs.fpr[ev.instr.rs1 % isa::kNumFpr] !=
+                                   nullptr ||
+                               regs.fpr[ev.instr.rs2 % isa::kNumFpr] !=
+                                   nullptr;
+      if (info.is_load) {
+        for (unsigned i = 0; i < info.mem_width; ++i) {
+          if (state_.MemByte(ev.mem_addr + i) != nullptr) {
+            symbolic_involved = true;
+          }
+        }
+      }
+      if (symbolic_involved) {
+        state_.diag().Raise(ErrorStage::kEs1,
+                            "unsupported instruction: " + lift::RenderIl(ev),
+                            ev.pc);
+        // The tool loses the data here: clear destinations.
+        if (info.is_fp) {
+          regs.fpr[ev.instr.rd % isa::kNumFpr] = nullptr;
+        }
+        regs.gpr[ev.instr.rd] = nullptr;
+        continue;
+      }
+    }
+
+    // Traps first (they may abort); then dispatch by family.
+    if (info.can_trap) {
+      HandleTrap(ev, regs);
+      if (result_.aborted) break;
+      if (ev.trapped) continue;  // rd not written on the trapping path
+      if (ev.instr.op == Opcode::kTrapZ || ev.instr.op == Opcode::kTrapNeg) {
+        continue;
+      }
+    }
+
+    if (ev.instr.op == Opcode::kSys) {
+      HandleSyscall(ev, regs);
+      continue;
+    }
+    if (info.is_fp) {
+      HandleMemory(ev, regs);  // fld/fst
+      if (ev.instr.op != Opcode::kFLd && ev.instr.op != Opcode::kFSt) {
+        HandleFp(ev, regs);
+      }
+      continue;
+    }
+    if (info.is_branch || ev.instr.op == Opcode::kJmpR ||
+        ev.instr.op == Opcode::kCallR) {
+      HandleBranch(ev, regs);
+      if (ev.instr.op == Opcode::kCallR || ev.instr.op == Opcode::kCall) {
+        HandleMemory(ev, regs);  // return-address push
+      }
+      continue;
+    }
+    if (info.is_load || info.is_store) {
+      HandleMemory(ev, regs);
+      continue;
+    }
+    HandleAlu(ev, regs);
+  }
+  return result_;
+}
+
+}  // namespace sbce::symex

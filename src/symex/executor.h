@@ -1,0 +1,113 @@
+// Trace-based symbolic executor.
+//
+// Walks a concrete instruction trace (the VM's TraceEvent stream) and
+// rebuilds, in expression form, how input-derived data flowed through it:
+// register/memory expressions, path constraints at symbolic branches,
+// symbolic indirect-jump sites, and the diagnostics (Es0..Es3) raised when
+// the configured mechanisms cannot express something. The paper's
+// "instruction lifting" and "constraint extraction" stages both live here;
+// "constraint solving" is src/solver.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <set>
+#include <span>
+#include <string>
+
+#include "src/symex/config.h"
+#include "src/symex/state.h"
+#include "src/vm/trace_event.h"
+
+namespace sbce::symex {
+
+struct SymTraceResult {
+  bool aborted = false;          // engine exception (paper outcome E)
+  std::string abort_reason;
+  size_t events_processed = 0;
+  /// Instructions that touched symbolic data (Figure 3's metric).
+  size_t symbolic_instr_count = 0;
+  /// ...of which inside the library text region.
+  size_t lib_symbolic_instr_count = 0;
+  /// Path constraints raised inside the library region (Figure 3).
+  size_t lib_constraint_count = 0;
+  /// Names of fresh symbols invented for simulated syscalls / skipped
+  /// library calls. A model that assigns these is only a Partial success.
+  std::set<std::string> env_symbols;
+};
+
+class TraceExecutor {
+ public:
+  TraceExecutor(solver::ExprPool* pool, SymexConfig config)
+      : state_(pool), config_(std::move(config)) {}
+
+  /// Provides read access to the program's initial memory (binary image +
+  /// argv block); used by the symbolic-array window expansion.
+  void SetInitialByteReader(
+      std::function<std::optional<uint8_t>(uint64_t)> reader) {
+    initial_byte_ = std::move(reader);
+  }
+
+  /// Declares `bytes.size()` symbolic bytes starting at `addr`.
+  void AddSymbolicBytes(uint64_t addr,
+                        std::span<const solver::ExprRef> bytes);
+
+  /// Walks the trace. Uses (and mutates) the internal SymState; call once.
+  SymTraceResult Execute(std::span<const vm::TraceEvent> events);
+
+  SymState& state() { return state_; }
+  const SymexConfig& config() const { return config_; }
+
+ private:
+  using ExprRef = solver::ExprRef;
+
+  bool InLib(uint64_t pc) const { return pc >= config_.lib_text_base; }
+
+  ExprRef GprOrNull(const vm::TraceEvent& ev, uint8_t reg) ;
+  /// Materializes a possibly-null operand as an expression.
+  ExprRef Materialize(ExprRef e, uint64_t concrete, unsigned width = 64);
+
+  /// Reads `width` bytes at `addr` as an expression; null if all concrete.
+  ExprRef LoadBytes(uint64_t addr, unsigned width, uint64_t concrete);
+  void StoreBytes(uint64_t addr, unsigned width, ExprRef value,
+                  uint64_t concrete);
+  /// Best-effort concrete byte at `addr` during this walk (store overlay,
+  /// then initial image). nullopt if unknown (e.g. syscall-written).
+  std::optional<uint8_t> ConcreteByteAt(uint64_t addr) const;
+
+  /// Symbolic-address load expansion (the symbolic-array mechanism).
+  ExprRef ExpandWindowLoad(const vm::TraceEvent& ev, ExprRef addr_expr,
+                           unsigned width);
+
+  void HandleAlu(const vm::TraceEvent& ev, SymRegs& regs);
+  void HandleMemory(const vm::TraceEvent& ev, SymRegs& regs);
+  void HandleBranch(const vm::TraceEvent& ev, SymRegs& regs);
+  void HandleTrap(const vm::TraceEvent& ev, SymRegs& regs);
+  void HandleSyscall(const vm::TraceEvent& ev, SymRegs& regs);
+  void HandleFp(const vm::TraceEvent& ev, SymRegs& regs);
+
+  void NoteSymbolicInstr(const vm::TraceEvent& ev);
+  void DropSymbolic(ExprRef dropped, const vm::TraceEvent& ev,
+                    const char* why);
+
+  SymState state_;
+  SymexConfig config_;
+  std::function<std::optional<uint8_t>(uint64_t)> initial_byte_;
+  std::unordered_map<uint64_t, uint8_t> store_overlay_;
+  SymTraceResult result_;
+
+  // Library-skip bookkeeping (LibMode::kSkipUnconstrained), per thread key.
+  std::unordered_map<uint64_t, uint64_t> skip_until_;  // thread → return pc
+
+  uint32_t root_pid_ = 0;
+  uint32_t root_tid_ = 1;
+
+  /// Registered trap handler per pid (observed from settrap syscalls).
+  std::unordered_map<uint32_t, uint64_t> trap_handler_;
+  /// Constraint-occurrence counter per pc (loop-iteration disambiguation).
+  std::unordered_map<uint64_t, uint32_t> occurrence_;
+
+  uint32_t NextOccurrence(uint64_t pc) { return occurrence_[pc]++; }
+};
+
+}  // namespace sbce::symex

@@ -1,0 +1,30 @@
+#include "src/symex/state.h"
+
+#include "src/support/str.h"
+
+namespace sbce::symex {
+
+bool SymState::ContainsDerefResult(solver::ExprRef e) const {
+  if (deref_results_.empty()) return false;
+  std::vector<solver::ExprRef> stack = {e};
+  std::unordered_set<solver::ExprRef> seen;
+  while (!stack.empty()) {
+    solver::ExprRef cur = stack.back();
+    stack.pop_back();
+    if (!seen.insert(cur).second) continue;
+    if (deref_results_.count(cur) != 0) return true;
+    for (int i = 0; i < cur->nargs; ++i) stack.push_back(cur->args[i]);
+  }
+  return false;
+}
+
+solver::ExprRef SymState::FreshSymbol(std::string_view prefix,
+                                      unsigned width) {
+  NoteSymbolicSeen();
+  return pool_.Var(
+      StrFormat("%.*s_%llu", static_cast<int>(prefix.size()), prefix.data(),
+                static_cast<unsigned long long>(fresh_counter_++)),
+      width);
+}
+
+}  // namespace sbce::symex

@@ -1,0 +1,138 @@
+// Symbolic machine state threaded through a trace walk.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "src/solver/expr.h"
+
+namespace sbce::symex {
+
+/// The paper's four symbolic-reasoning error stages plus engine aborts.
+enum class ErrorStage : uint8_t {
+  kEs0 = 0,  // symbolic variable declaration
+  kEs1,      // instruction tracing / lifting
+  kEs2,      // data propagation
+  kEs3,      // constraint modeling
+};
+
+struct Diagnostic {
+  ErrorStage stage;
+  std::string detail;
+  uint64_t pc = 0;
+};
+
+struct Diagnostics {
+  std::vector<Diagnostic> entries;
+  void Raise(ErrorStage stage, std::string detail, uint64_t pc = 0) {
+    entries.push_back({stage, std::move(detail), pc});
+  }
+  bool Has(ErrorStage stage) const {
+    for (const auto& d : entries) {
+      if (d.stage == stage) return true;
+    }
+    return false;
+  }
+};
+
+/// One recorded conditional along the walked path.
+struct PathConstraint {
+  solver::ExprRef cond = nullptr;  // 1-bit, true along the observed path
+  uint64_t pc = 0;
+  size_t event_index = 0;
+  bool in_lib = false;             // raised inside the library text region
+  /// Where control would go if the condition were negated (fallthrough /
+  /// branch target / trap handler); 0 when unknown. Drives directed search.
+  uint64_t negated_successor = 0;
+  /// How many times this pc had produced constraints before this one
+  /// (distinguishes loop iterations when deduplicating negations).
+  uint32_t occurrence = 0;
+};
+
+/// A symbolic indirect-jump site (the symbolic-jump challenge).
+struct SymbolicJump {
+  solver::ExprRef target = nullptr;  // 64-bit target expression
+  uint64_t observed_target = 0;
+  uint64_t pc = 0;
+  size_t event_index = 0;
+};
+
+/// Per-(pid,tid) register file of expressions; null slot = concrete (take
+/// the traced value).
+struct SymRegs {
+  std::array<solver::ExprRef, 16> gpr{};
+  std::array<solver::ExprRef, 8> fpr{};
+};
+
+class SymState {
+ public:
+  explicit SymState(solver::ExprPool* pool) : pool_(*pool) {}
+
+  solver::ExprPool& pool() { return pool_; }
+
+  SymRegs& Regs(uint32_t pid, uint32_t tid) {
+    return regs_[(static_cast<uint64_t>(pid) << 32) | tid];
+  }
+
+  /// Symbolic byte at `addr`, or null if memory there is concrete.
+  solver::ExprRef MemByte(uint64_t addr) const {
+    auto it = mem_.find(addr);
+    return it == mem_.end() ? nullptr : it->second;
+  }
+  void SetMemByte(uint64_t addr, solver::ExprRef e) {
+    if (e == nullptr) {
+      mem_.erase(addr);
+    } else {
+      mem_[addr] = e;
+    }
+  }
+  size_t SymbolicByteCount() const { return mem_.size(); }
+
+  // --- Deref-depth tracking for the symbolic-array policy ---------------
+  /// Marks `e` as (or containing) the result of a symbolic-address load.
+  void MarkDerefResult(solver::ExprRef e) { deref_results_.insert(e); }
+  /// True if any node reachable from `e` was produced by a symbolic-
+  /// address load (used to detect two-level symbolic arrays).
+  bool ContainsDerefResult(solver::ExprRef e) const;
+
+  // --- Covert channels ---------------------------------------------------
+  /// Bytes most recently written into a channel (file/pipe/echo), as
+  /// expressions; nullptr entries are concrete bytes.
+  std::vector<solver::ExprRef>& Channel(uint64_t id) { return channels_[id]; }
+  bool ChannelKnown(uint64_t id) const { return channels_.count(id) != 0; }
+
+  std::vector<PathConstraint>& path() { return path_; }
+  const std::vector<PathConstraint>& path() const { return path_; }
+
+  std::vector<SymbolicJump>& jumps() { return jumps_; }
+
+  Diagnostics& diag() { return diag_; }
+  const Diagnostics& diag() const { return diag_; }
+
+  /// Allocates a fresh unconstrained symbol (for simulated syscalls and
+  /// skipped library calls).
+  solver::ExprRef FreshSymbol(std::string_view prefix, unsigned width);
+
+  /// True once any input-derived expression exists anywhere in the state.
+  bool AnySymbolicSeen() const { return any_symbolic_seen_; }
+  void NoteSymbolicSeen() { any_symbolic_seen_ = true; }
+
+ private:
+  solver::ExprPool& pool_;
+  std::unordered_map<uint64_t, SymRegs> regs_;
+  std::unordered_map<uint64_t, solver::ExprRef> mem_;
+  std::unordered_set<solver::ExprRef> deref_results_;
+  std::unordered_map<uint64_t, std::vector<solver::ExprRef>> channels_;
+  std::vector<PathConstraint> path_;
+  std::vector<SymbolicJump> jumps_;
+  Diagnostics diag_;
+  uint64_t fresh_counter_ = 0;
+  bool any_symbolic_seen_ = false;
+};
+
+}  // namespace sbce::symex

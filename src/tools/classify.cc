@@ -1,0 +1,33 @@
+#include "src/tools/classify.h"
+
+namespace sbce::tools {
+
+using symex::ErrorStage;
+
+std::string_view OutcomeLabel(Outcome outcome) {
+  switch (outcome) {
+    case Outcome::kOk: return "OK";
+    case Outcome::kEs0: return "Es0";
+    case Outcome::kEs1: return "Es1";
+    case Outcome::kEs2: return "Es2";
+    case Outcome::kEs3: return "Es3";
+    case Outcome::kE: return "E";
+    case Outcome::kP: return "P";
+  }
+  return "?";
+}
+
+Outcome Classify(const core::EngineResult& r) {
+  if (r.aborted) return Outcome::kE;
+  if (r.validated) return Outcome::kOk;
+  if (r.claimed) {
+    return r.used_sys_env ? Outcome::kP : Outcome::kEs2;
+  }
+  if (!r.any_symbolic_seen) return Outcome::kEs0;
+  if (r.diag.Has(ErrorStage::kEs1)) return Outcome::kEs1;
+  if (r.diag.Has(ErrorStage::kEs3)) return Outcome::kEs3;
+  if (r.diag.Has(ErrorStage::kEs2)) return Outcome::kEs2;
+  return Outcome::kEs0;
+}
+
+}  // namespace sbce::tools

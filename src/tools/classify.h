@@ -1,0 +1,35 @@
+// Maps an EngineResult onto the paper's outcome taxonomy.
+#pragma once
+
+#include <string_view>
+
+#include "src/core/engine.h"
+
+namespace sbce::tools {
+
+/// Paper Table II cell values.
+enum class Outcome : uint8_t {
+  kOk,   // correct triggering input generated and validated
+  kEs0,  // symbolic variable declaration failure
+  kEs1,  // instruction tracing / lifting failure
+  kEs2,  // data propagation failure (includes wrong generated inputs)
+  kEs3,  // constraint modeling failure
+  kE,    // abnormal exit (resource exhaustion / engine exception)
+  kP,    // partial success: reachable only under simulated syscalls
+};
+
+std::string_view OutcomeLabel(Outcome outcome);
+
+/// Classification precedence mirrors how the paper labels results:
+///   1. Engine aborts are E regardless of anything else.
+///   2. A validated triggering input is a success.
+///   3. A claim that fails validation is P when it leaned on simulated
+///      syscall environments, otherwise Es2 (a wrong test case).
+///   4. Otherwise the earliest failing pipeline stage wins: nothing
+///      symbolic observed at all -> Es0; lifting gaps -> Es1; constraint
+///      modeling gaps -> Es3; propagation losses -> Es2; and an exhausted
+///      exploration with only well-modeled constraints means the inputs
+///      were insufficiently declared -> Es0.
+Outcome Classify(const core::EngineResult& result);
+
+}  // namespace sbce::tools

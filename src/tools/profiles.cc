@@ -1,0 +1,166 @@
+#include "src/tools/profiles.h"
+
+#include "src/lift/lifter.h"
+#include "src/vm/syscalls.h"
+
+namespace sbce::tools {
+
+using core::BudgetOutcome;
+using symex::ErrorStageHint;
+using symex::LibMode;
+using symex::SymAddrPolicy;
+using symex::SymJumpPolicy;
+using symex::SyscallModel;
+using symex::TrapModel;
+
+namespace {
+
+core::EngineConfig BaseEngine() {
+  core::EngineConfig cfg;
+  cfg.sources.argv = true;
+  cfg.budgets.max_rounds = 48;
+  cfg.budgets.max_trace_events = 800'000;
+  cfg.budgets.max_vm_instructions = 6'000'000;
+  cfg.budgets.max_solver_queries = 160;
+  return cfg;
+}
+
+}  // namespace
+
+ToolProfile Bap() {
+  ToolProfile t;
+  t.name = "BAP";
+  t.engine = BaseEngine();
+  auto& e = t.engine;
+  e.sources.argv_max_len = 0;  // fixed-length argv model
+  e.symex.addr_policy = SymAddrPolicy::kConcretize;
+  e.symex.jump_policy = SymJumpPolicy::kUnmodeled;
+  e.symex.syscall_model = SyscallModel::kConcreteTrace;
+  e.symex.lib_mode = LibMode::kTrace;
+  e.symex.trap_model = TrapModel::kFollowTrace;  // Pin traces trap handlers
+  e.symex.cross_thread = true;   // Pin's linear multi-thread trace
+  e.symex.cross_process = false;
+  e.symex.contextual_error_stage = ErrorStageHint::kEs2;
+  // Lifter gaps: symbolic data through push/pop, and all FP.
+  e.symex.unsupported_opcodes = lift::FloatingPointOpcodes();
+  e.symex.unsupported_opcodes.insert(isa::Opcode::kPush);
+  e.symex.unsupported_opcodes.insert(isa::Opcode::kPop);
+  e.claims_on_exhausted_exploration = true;  // "outputs values that trigger
+                                             // the current control flow"
+  e.on_conflict_budget = BudgetOutcome::kAbort;
+  e.on_circuit_budget = BudgetOutcome::kClaimBest;
+  e.budgets.solver.max_conflicts = 2'000;
+  e.budgets.solver.max_sat_vars = 60'000;
+  e.solver_supports_fp = false;
+  return t;
+}
+
+ToolProfile Triton() {
+  ToolProfile t;
+  t.name = "Triton";
+  t.engine = BaseEngine();
+  auto& e = t.engine;
+  e.sources.argv_max_len = 0;
+  e.symex.addr_policy = SymAddrPolicy::kConcretize;
+  e.symex.jump_policy = SymJumpPolicy::kUnmodeled;
+  e.symex.syscall_model = SyscallModel::kConcreteTrace;
+  e.symex.lib_mode = LibMode::kTrace;
+  e.symex.trap_model = TrapModel::kLiftFailure;  // cannot lift trap states
+  e.symex.cross_thread = false;  // per-thread taint contexts not modeled
+  e.symex.cross_process = false;
+  e.symex.contextual_error_stage = ErrorStageHint::kEs3;
+  e.symex.unsupported_opcodes = lift::FloatingPointOpcodes();
+  e.on_conflict_budget = BudgetOutcome::kAbort;
+  e.on_circuit_budget = BudgetOutcome::kClaimBest;
+  e.budgets.solver.max_conflicts = 2'000;
+  e.budgets.solver.max_sat_vars = 150'000;
+  e.solver_supports_fp = false;
+  return t;
+}
+
+ToolProfile Angr() {
+  ToolProfile t;
+  t.name = "Angr";
+  t.engine = BaseEngine();
+  auto& e = t.engine;
+  e.sources.argv_max_len = 16;  // fixed-bit-width symbolic argv
+  e.symex.addr_policy = SymAddrPolicy::kExpandWindow;
+  e.symex.addr_window = 96;
+  e.symex.max_deref_depth = 1;  // one-level symbolic arrays only
+  e.symex.jump_policy = SymJumpPolicy::kBuggyResolve;
+  e.symex.syscall_model = SyscallModel::kSimulateUnconstrained;
+  e.symex.unconstrained_syscalls = {vm::kSysGetPid, vm::kSysEchoLoad};
+  e.symex.aborting_syscalls = {vm::kSysWebGet};
+  e.symex.abort_on_file_write = true;
+  e.symex.lib_mode = LibMode::kTrace;  // libraries loaded and lifted
+  e.symex.trap_model = TrapModel::kEmulationAbort;
+  e.symex.aborting_opcodes = lift::FloatingPointOpcodes();
+  e.symex.cross_thread = false;
+  e.symex.cross_process = false;
+  e.symex.contextual_error_stage = ErrorStageHint::kEs2;
+  e.on_conflict_budget = BudgetOutcome::kAbort;
+  e.on_circuit_budget = BudgetOutcome::kClaimBest;
+  e.budgets.solver.max_conflicts = 2'000;
+  e.budgets.solver.max_sat_vars = 150'000;
+  e.solver_supports_fp = true;  // unreachable: FP paths abort earlier
+  return t;
+}
+
+ToolProfile AngrNoLib() {
+  ToolProfile t;
+  t.name = "Angr-NoLib";
+  t.engine = BaseEngine();
+  auto& e = t.engine;
+  e.sources.argv_max_len = 16;
+  e.symex.addr_policy = SymAddrPolicy::kExpandWindow;
+  e.symex.addr_window = 96;
+  e.symex.max_deref_depth = 1;
+  e.symex.jump_policy = SymJumpPolicy::kBuggyResolve;
+  e.symex.syscall_model = SyscallModel::kSimulateUnconstrained;
+  e.symex.unconstrained_syscalls = {vm::kSysGetPid, vm::kSysEchoLoad};
+  e.symex.aborting_syscalls = {vm::kSysWebGet};
+  e.symex.abort_on_file_write = false;  // no simulated fs to choke on
+  e.symex.lib_mode = LibMode::kSkipUnconstrained;
+  e.symex.trap_model = TrapModel::kMisModeled;
+  e.symex.cross_thread = false;
+  e.symex.cross_process = true;        // fork SimProcedure works
+  e.symex.track_pipe_channels = true;  // pipe SimProcedure works
+  e.symex.contextual_error_stage = ErrorStageHint::kEs2;
+  e.on_conflict_budget = BudgetOutcome::kAbort;
+  e.on_circuit_budget = BudgetOutcome::kClaimBest;
+  e.budgets.solver.max_conflicts = 2'000;
+  e.budgets.solver.max_sat_vars = 150'000;
+  e.solver_supports_fp = false;  // no FP theory configured
+  return t;
+}
+
+ToolProfile Ideal() {
+  ToolProfile t;
+  t.name = "Ideal";
+  t.engine = BaseEngine();
+  auto& e = t.engine;
+  e.sources.argv_max_len = 20;
+  e.symex.addr_policy = SymAddrPolicy::kExpandWindow;
+  e.symex.addr_window = 300;
+  e.symex.max_deref_depth = 8;
+  e.symex.jump_policy = SymJumpPolicy::kSolveTargets;
+  e.symex.syscall_model = SyscallModel::kConcreteTrace;
+  e.symex.lib_mode = LibMode::kTrace;
+  e.symex.trap_model = TrapModel::kFollowTrace;
+  e.symex.track_channels = true;
+  e.symex.track_pipe_channels = true;
+  e.symex.cross_thread = true;
+  e.symex.cross_process = true;
+  e.on_conflict_budget = BudgetOutcome::kAbort;
+  e.on_circuit_budget = BudgetOutcome::kAbort;
+  e.budgets.solver.max_conflicts = 100'000;
+  e.budgets.solver.max_sat_vars = 2'000'000;
+  e.solver_supports_fp = true;
+  return t;
+}
+
+std::vector<ToolProfile> PaperTools() {
+  return {Bap(), Triton(), Angr(), AngrNoLib()};
+}
+
+}  // namespace sbce::tools

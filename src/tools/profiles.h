@@ -1,0 +1,51 @@
+// Tool capability profiles: BAP, Triton, Angr, Angr-NoLib — plus the
+// reference ("ideal") engine.
+//
+// Each profile is a configuration of genuine engine mechanisms (symbolic-
+// memory policy, jump policy, lifter gaps, syscall/environment modeling,
+// budgets and what exceeding them does). Running the same pipeline under
+// these configurations reproduces the failure modes the paper observed;
+// see DESIGN.md for the mechanism-to-cell mapping.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/core/engine.h"
+
+namespace sbce::tools {
+
+struct ToolProfile {
+  std::string name;
+  core::EngineConfig engine;
+};
+
+/// BAP: pure trace-based concolic executor. Traces through libraries and
+/// traps; no symbolic memory or jump model; cannot lift push/pop of
+/// symbolic data; emits best-effort (wrong) answers when exploration or
+/// the circuit budget runs out.
+ToolProfile Bap();
+
+/// Triton: Pin-based SSA tracer. No FP lifting, no trap lifting, taint
+/// lost across threads/processes, no symbolic memory or jump model; dies
+/// when the solver budget blows.
+ToolProfile Triton();
+
+/// Angr (libraries loaded): VEX-style lifting of everything, one-level
+/// symbolic memory map, buggy jump resolution, simulated syscalls
+/// (unconstrained returns -> P outcomes), emulator aborts on trapping
+/// states, FP paths and unsupported environment syscalls.
+ToolProfile Angr();
+
+/// Angr with dynamic libraries unloaded: library calls return fresh
+/// unconstrained symbols; pipes work (SimProcedures); no FP theory in the
+/// solver configuration.
+ToolProfile AngrNoLib();
+
+/// The reference engine this library provides: every mechanism enabled.
+ToolProfile Ideal();
+
+/// The four studied tools in Table II column order.
+std::vector<ToolProfile> PaperTools();
+
+}  // namespace sbce::tools

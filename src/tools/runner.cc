@@ -1,0 +1,104 @@
+#include "src/tools/runner.h"
+
+#include <memory>
+
+#include "src/report/table.h"
+#include "src/support/str.h"
+#include "src/vm/machine.h"
+
+namespace sbce::tools {
+
+CellResult RunCell(const bombs::BombSpec& bomb, const ToolProfile& tool) {
+  CellResult cell;
+  cell.bomb_id = bomb.id;
+  cell.tool = tool.name;
+
+  const isa::BinaryImage image = bombs::BuildBomb(bomb);
+  const uint64_t target = bombs::BombAddress(image);
+
+  core::ConcolicEngine engine(
+      image,
+      [&bomb, &image](const std::vector<std::string>& argv) {
+        auto machine = std::make_unique<vm::Machine>(
+            image, argv, bomb.experiment_devices);
+        for (const auto& [path, contents] : bomb.files) {
+          machine->fs().PutString(path, contents);
+        }
+        return machine;
+      },
+      tool.engine);
+  cell.engine = engine.Explore(bomb.seed_argv, target);
+  cell.outcome = Classify(cell.engine);
+
+  int tool_index = -1;
+  if (tool.name == "BAP") tool_index = bombs::kBap;
+  if (tool.name == "Triton") tool_index = bombs::kTriton;
+  if (tool.name == "Angr") tool_index = bombs::kAngr;
+  if (tool.name == "Angr-NoLib") tool_index = bombs::kAngrNoLib;
+  cell.expected =
+      tool_index >= 0 ? bomb.expected[tool_index] : bomb.expected_ideal;
+  cell.matches_paper =
+      cell.expected == std::string(OutcomeLabel(cell.outcome));
+  return cell;
+}
+
+GridResult RunTableTwo(const std::vector<ToolProfile>& tools) {
+  GridResult grid;
+  for (const bombs::BombSpec* bomb : bombs::TableTwoBombs()) {
+    for (const ToolProfile& tool : tools) {
+      CellResult cell = RunCell(*bomb, tool);
+      if (cell.expected != "-") {
+        ++grid.total;
+        if (cell.matches_paper) ++grid.matches;
+      }
+      grid.cells.push_back(std::move(cell));
+    }
+  }
+  return grid;
+}
+
+std::string RenderTableTwo(const GridResult& grid,
+                           const std::vector<ToolProfile>& tools) {
+  report::AsciiTable table;
+  std::vector<std::string> header = {"Category", "Sample Case"};
+  for (const auto& tool : tools) {
+    header.push_back(tool.name);
+    header.push_back("paper");
+  }
+  table.SetHeader(header);
+
+  const auto bombs_list = bombs::TableTwoBombs();
+  bombs::Category last_category = bombs::Category::kDemo;
+  size_t cell_index = 0;
+  for (const bombs::BombSpec* bomb : bombs_list) {
+    if (bomb->category != last_category) {
+      table.AddSeparator();
+      last_category = bomb->category;
+    }
+    std::vector<std::string> row = {std::string(CategoryName(bomb->category)),
+                                    bomb->challenge};
+    for (size_t t = 0; t < tools.size(); ++t) {
+      const CellResult& cell = grid.cells[cell_index++];
+      std::string label(OutcomeLabel(cell.outcome));
+      if (!cell.matches_paper) label += " *";
+      row.push_back(label);
+      row.push_back(cell.expected);
+    }
+    table.AddRow(std::move(row));
+  }
+
+  std::string out = table.Render();
+  out += StrFormat("cells matching the paper: %d / %d\n", grid.matches,
+                   grid.total);
+  // Success counts per tool (paper: Angr 4, BAP 2, Triton 1).
+  for (size_t t = 0; t < tools.size(); ++t) {
+    int solved = 0;
+    for (size_t i = t; i < grid.cells.size(); i += tools.size()) {
+      if (grid.cells[i].outcome == Outcome::kOk) ++solved;
+    }
+    out += StrFormat("%s solved: %d\n", tools[t].name.c_str(), solved);
+  }
+  return out;
+}
+
+}  // namespace sbce::tools

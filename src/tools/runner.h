@@ -1,0 +1,38 @@
+// Experiment runner: bombs × tool profiles → outcome grid (Table II).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/bombs/bombs.h"
+#include "src/tools/classify.h"
+#include "src/tools/profiles.h"
+
+namespace sbce::tools {
+
+struct CellResult {
+  std::string bomb_id;
+  std::string tool;
+  Outcome outcome = Outcome::kE;
+  std::string expected;  // paper label ("-" when not part of Table II)
+  bool matches_paper = false;
+  core::EngineResult engine;
+};
+
+/// Runs one tool on one bomb (exploration, claims, validation).
+CellResult RunCell(const bombs::BombSpec& bomb, const ToolProfile& tool);
+
+struct GridResult {
+  std::vector<CellResult> cells;  // bomb-major, tool-minor order
+  int matches = 0;
+  int total = 0;
+};
+
+/// The full Table II experiment: 22 bombs × 4 tools.
+GridResult RunTableTwo(const std::vector<ToolProfile>& tools);
+
+/// Renders the grid in the paper's layout.
+std::string RenderTableTwo(const GridResult& grid,
+                           const std::vector<ToolProfile>& tools);
+
+}  // namespace sbce::tools

@@ -1,0 +1,275 @@
+#include "src/trace/taint.h"
+
+#include "src/isa/opcode.h"
+#include "src/vm/syscalls.h"
+
+namespace sbce::trace {
+
+using isa::Opcode;
+using isa::OperandForm;
+
+void TaintEngine::MarkMemory(uint64_t addr, size_t len) {
+  for (size_t i = 0; i < len; ++i) mem_.insert(addr + i);
+}
+
+bool TaintEngine::RegTainted(uint32_t pid, uint32_t tid, uint8_t reg) const {
+  auto it = regs_.find(ThreadKey(pid, tid));
+  return it != regs_.end() && (it->second.gpr >> reg) & 1u;
+}
+
+bool TaintEngine::FprTainted(uint32_t pid, uint32_t tid, uint8_t reg) const {
+  auto it = regs_.find(ThreadKey(pid, tid));
+  return it != regs_.end() && (it->second.fpr >> reg) & 1u;
+}
+
+void TaintEngine::SetMem(uint64_t addr, unsigned width, bool tainted) {
+  for (unsigned i = 0; i < width; ++i) {
+    if (tainted) {
+      mem_.insert(addr + i);
+    } else {
+      mem_.erase(addr + i);
+    }
+  }
+}
+
+bool TaintEngine::AnyMem(uint64_t addr, unsigned width) const {
+  for (unsigned i = 0; i < width; ++i) {
+    if (mem_.count(addr + i) != 0) return true;
+  }
+  return false;
+}
+
+void TaintEngine::HandleSyscall(const vm::TraceEvent& ev, RegFile& regs) {
+  bool touched = false;
+  // Bytes leaving the process.
+  if (ev.sys_in_len > 0 && AnyMem(ev.sys_in_addr, ev.sys_in_len)) {
+    touched = true;
+    if (config_.track_channels && ev.channel != vm::kChannelNone) {
+      report_.tainted_channels.insert(ev.channel);
+    }
+  }
+  // Register-carried channel value (echo/tls store).
+  if ((ev.sys_num == vm::kSysEchoStore || ev.sys_num == vm::kSysTlsStore) &&
+      ((regs.gpr >> 2) & 1u)) {
+    touched = true;
+    if (config_.track_channels) report_.tainted_channels.insert(ev.channel);
+  }
+  // Bytes entering the process.
+  const bool channel_tainted =
+      config_.track_channels &&
+      report_.tainted_channels.count(ev.channel) != 0;
+  if (ev.sys_out_len > 0) {
+    SetMem(ev.sys_out_addr, ev.sys_out_len, channel_tainted);
+    if (channel_tainted) touched = true;
+  }
+  // Return value: tainted only for loads from tainted channels.
+  const bool ret_tainted =
+      (ev.sys_num == vm::kSysEchoLoad || ev.sys_num == vm::kSysTlsLoad) &&
+      channel_tainted;
+  regs.gpr = (regs.gpr & ~1u) | (ret_tainted ? 1u : 0u);
+  if (ret_tainted) touched = true;
+  if (touched) ++report_.tainted_instructions;
+}
+
+void TaintEngine::ProcessEvent(const vm::TraceEvent& ev) {
+  ++report_.events_processed;
+  if (!root_known_) {
+    root_pid_ = ev.pid;
+    root_tid_ = ev.tid;
+    root_known_ = true;
+  }
+  const bool foreign_process = ev.pid != root_pid_;
+  const bool foreign_thread = !foreign_process && ev.tid != root_tid_;
+  const bool dropped = (foreign_process && !config_.cross_process) ||
+                       (foreign_thread && !config_.cross_thread);
+
+  RegFile& regs = Regs(ev.pid, ev.tid);
+  const auto& in = ev.instr;
+  const auto& info = isa::GetOpcodeInfo(in.op);
+
+  auto gpr = [&](uint8_t r) { return ((regs.gpr >> r) & 1u) != 0; };
+  auto fpr = [&](uint8_t r) { return ((regs.fpr >> r) & 1u) != 0; };
+  auto set_gpr = [&](uint8_t r, bool t) {
+    regs.gpr = t ? (regs.gpr | (1u << r)) : (regs.gpr & ~(1u << r));
+  };
+  auto set_fpr = [&](uint8_t r, bool t) {
+    regs.fpr = static_cast<uint8_t>(t ? (regs.fpr | (1u << r))
+                                      : (regs.fpr & ~(1u << r)));
+  };
+
+  if (in.op == Opcode::kSys) {
+    if (dropped) {
+      // The analysis does not model this context: whatever it moved is
+      // untracked; clear the return register.
+      set_gpr(0, false);
+      return;
+    }
+    // Fork: the child's register taint mirrors the parent's.
+    if (ev.sys_num == vm::kSysFork && ev.sys_ret != 0) {
+      RegFile child = regs;
+      child.gpr &= ~1u;  // r0 becomes the concrete 0
+      regs_[ThreadKey(static_cast<uint32_t>(ev.sys_ret), 1)] = child;
+    }
+    HandleSyscall(ev, regs);
+    return;
+  }
+
+  // Gather source taint for this instruction.
+  bool src = false;
+  switch (info.form) {
+    case OperandForm::kRdRsRs:
+      src = info.is_fp ? (fpr(in.rs1) || fpr(in.rs2))
+                       : (gpr(in.rs1) || gpr(in.rs2));
+      break;
+    case OperandForm::kRdRs:
+      if (in.op == Opcode::kCvtIF || in.op == Opcode::kMovGF) {
+        src = gpr(in.rs1);
+      } else if (in.op == Opcode::kCvtFI || in.op == Opcode::kMovFG) {
+        src = fpr(in.rs1);
+      } else {
+        src = info.is_fp ? fpr(in.rs1) : gpr(in.rs1);
+      }
+      break;
+    case OperandForm::kRdRsImm:
+    case OperandForm::kRsImm:
+    case OperandForm::kRs:
+      src = gpr(in.rs1);
+      break;
+    case OperandForm::kMem:
+    case OperandForm::kMemX:
+      src = gpr(in.rs1) || (info.form == OperandForm::kMemX && gpr(in.rs2));
+      break;
+    default:
+      break;
+  }
+
+  bool touched = false;
+
+  // Tainted addresses (the symbolic-array signal).
+  if ((info.is_load || info.is_store) && src &&
+      info.form != OperandForm::kNone) {
+    report_.tainted_addresses.push_back(ev.seq);
+    touched = true;
+  }
+
+  switch (in.op) {
+    // Branches and jumps on tainted data.
+    case Opcode::kBz:
+    case Opcode::kBnz:
+      if (gpr(in.rs1)) {
+        report_.tainted_branches.push_back(ev.seq);
+        touched = true;
+      }
+      break;
+    case Opcode::kJmpR:
+      if (gpr(in.rs1)) {
+        report_.tainted_jumps.push_back(ev.seq);
+        touched = true;
+      }
+      break;
+    case Opcode::kCallR:
+      if (gpr(in.rs1)) {
+        report_.tainted_jumps.push_back(ev.seq);
+        touched = true;
+      }
+      SetMem(ev.mem_addr, 8, false);  // pushed return address is clean
+      break;
+
+    // Loads: destination taint = loaded bytes ∪ address taint.
+    case Opcode::kLd1:
+    case Opcode::kLd2:
+    case Opcode::kLd4:
+    case Opcode::kLd8:
+    case Opcode::kLdS1:
+    case Opcode::kLdS2:
+    case Opcode::kLdS4:
+    case Opcode::kLdX1:
+    case Opcode::kLdX8:
+    case Opcode::kPop: {
+      const bool t = AnyMem(ev.mem_addr, info.mem_width) || src;
+      if (dropped) {
+        set_gpr(in.rd, false);
+      } else {
+        set_gpr(in.rd, t);
+        touched |= t;
+      }
+      break;
+    }
+    case Opcode::kFLd: {
+      const bool t = AnyMem(ev.mem_addr, info.mem_width);
+      set_fpr(in.rd, !dropped && t);
+      touched |= t && !dropped;
+      break;
+    }
+
+    // Stores: memory taint = value register taint.
+    case Opcode::kSt1:
+    case Opcode::kSt2:
+    case Opcode::kSt4:
+    case Opcode::kSt8:
+    case Opcode::kStX1:
+    case Opcode::kStX8: {
+      const bool t = !dropped && gpr(in.rd);
+      SetMem(ev.mem_addr, info.mem_width, t);
+      touched |= t;
+      break;
+    }
+    case Opcode::kPush: {
+      const bool t = !dropped && gpr(in.rs1);
+      SetMem(ev.mem_addr, 8, t);
+      touched |= t;
+      break;
+    }
+    case Opcode::kFSt: {
+      const bool t = !dropped && fpr(in.rd);
+      SetMem(ev.mem_addr, 8, t);
+      touched |= t;
+      break;
+    }
+    case Opcode::kCall:
+      SetMem(ev.mem_addr, 8, false);  // return address is clean
+      break;
+
+    // FP compares and cross-bank moves write GPRs.
+    case Opcode::kFCmpEq:
+    case Opcode::kFCmpLt:
+    case Opcode::kFCmpLe:
+    case Opcode::kCvtFI:
+    case Opcode::kMovFG:
+      set_gpr(in.rd, !dropped && src);
+      touched |= src && !dropped;
+      break;
+    case Opcode::kCvtIF:
+    case Opcode::kMovGF:
+    case Opcode::kFMov:
+    case Opcode::kFAdd:
+    case Opcode::kFSub:
+    case Opcode::kFMul:
+    case Opcode::kFDiv:
+      set_fpr(in.rd, !dropped && src);
+      touched |= src && !dropped;
+      break;
+
+    // Plain ALU writes.
+    default: {
+      const bool writes_rd =
+          info.form == OperandForm::kRd || info.form == OperandForm::kRdRs ||
+          info.form == OperandForm::kRdImm ||
+          info.form == OperandForm::kRdRsRs ||
+          info.form == OperandForm::kRdRsImm;
+      if (writes_rd) {
+        const bool immediate_only = info.form == OperandForm::kRdImm &&
+                                    in.op != Opcode::kMovHi;
+        bool t = src && !immediate_only;
+        if (in.op == Opcode::kMovHi) t = gpr(in.rd);
+        set_gpr(in.rd, !dropped && t);
+        touched |= t && !dropped;
+      }
+      break;
+    }
+  }
+
+  if (touched) ++report_.tainted_instructions;
+}
+
+}  // namespace sbce::trace

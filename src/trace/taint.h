@@ -1,0 +1,92 @@
+// Forward dynamic taint analysis over a trace.
+//
+// The paper's conceptual framework (§III.B) filters the instruction trace
+// with taint analysis before lifting: only instructions whose operands
+// depend on symbolic sources matter for constraint extraction. This module
+// is that filter as a standalone, boolean-precision engine — it answers
+// "which instructions, branches and jumps touched input-derived data"
+// without building expressions. The symbolic executor re-derives the same
+// propagation at expression precision; tests cross-check the two.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "src/vm/trace_event.h"
+
+namespace sbce::trace {
+
+struct TaintConfig {
+  /// Propagate through file/pipe/echo channels (write tainted → channel
+  /// tainted → reads from it tainted).
+  bool track_channels = true;
+  /// Propagate through events of non-root threads / processes.
+  bool cross_thread = true;
+  bool cross_process = true;
+};
+
+struct TaintReport {
+  /// Events whose executed instruction consumed or produced tainted data.
+  size_t tainted_instructions = 0;
+  /// Event sequence numbers of conditional branches on tainted registers.
+  std::vector<uint64_t> tainted_branches;
+  /// ...and of indirect jumps through tainted registers.
+  std::vector<uint64_t> tainted_jumps;
+  /// ...and of memory accesses whose *address* was tainted.
+  std::vector<uint64_t> tainted_addresses;
+  /// Channels that received tainted bytes.
+  std::unordered_set<vm::ChannelId> tainted_channels;
+  size_t events_processed = 0;
+};
+
+class TaintEngine {
+ public:
+  explicit TaintEngine(TaintConfig config = TaintConfig())
+      : config_(config) {}
+
+  /// Declares `len` bytes at `addr` as a taint source (e.g. argv bytes).
+  void MarkMemory(uint64_t addr, size_t len);
+
+  void ProcessEvent(const vm::TraceEvent& event);
+
+  /// Convenience: processes a whole trace.
+  void ProcessTrace(const std::vector<vm::TraceEvent>& events) {
+    for (const auto& ev : events) ProcessEvent(ev);
+  }
+
+  const TaintReport& report() const { return report_; }
+
+  bool RegTainted(uint32_t pid, uint32_t tid, uint8_t reg) const;
+  bool FprTainted(uint32_t pid, uint32_t tid, uint8_t reg) const;
+  bool MemTainted(uint64_t addr) const { return mem_.count(addr) != 0; }
+
+ private:
+  struct RegFile {
+    uint32_t gpr = 0;  // bitmask over 16 registers
+    uint8_t fpr = 0;   // bitmask over 8 registers
+  };
+
+  static uint64_t ThreadKey(uint32_t pid, uint32_t tid) {
+    return (static_cast<uint64_t>(pid) << 32) | tid;
+  }
+
+  RegFile& Regs(uint32_t pid, uint32_t tid) {
+    return regs_[ThreadKey(pid, tid)];
+  }
+
+  void SetMem(uint64_t addr, unsigned width, bool tainted);
+  bool AnyMem(uint64_t addr, unsigned width) const;
+  void HandleSyscall(const vm::TraceEvent& ev, RegFile& regs);
+
+  TaintConfig config_;
+  std::unordered_map<uint64_t, RegFile> regs_;
+  std::unordered_set<uint64_t> mem_;
+  TaintReport report_;
+  uint32_t root_pid_ = 0;
+  uint32_t root_tid_ = 0;
+  bool root_known_ = false;
+};
+
+}  // namespace sbce::trace

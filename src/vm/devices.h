@@ -1,0 +1,39 @@
+// Injectable environment devices.
+//
+// Everything a guest can observe besides argv and the filesystem comes from
+// here, so experiments are reproducible and ground-truth environments can
+// be constructed for validation runs (e.g. "run at the magic time").
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace sbce::vm {
+
+struct Devices {
+  /// Virtual wall clock (seconds). SYS_TIME returns time_seconds;
+  /// SYS_SLEEP advances it.
+  uint64_t time_seconds = 1'700'000'000;
+
+  /// Pid of the root process; children get consecutive pids.
+  uint64_t first_pid = 4242;
+
+  /// Document returned by SYS_WEBGET ("remote server" contents).
+  std::string web_document = "HTTP/1.0 200 OK\n\nhello world\n";
+
+  /// Seed for the guest-visible rand() LCG before any SYS_SRAND.
+  uint64_t initial_rand_seed = 1;
+
+  /// Key/value store backing the SYS_ECHO_* covert syscall channel.
+  std::map<std::string, uint64_t> echo_store;
+};
+
+/// The libc-style LCG used by SYS_RAND (glibc TYPE_0 constants), so that
+/// seed→sequence relationships are well-defined and checkable.
+inline uint64_t LcgNext(uint64_t* state) {
+  *state = (*state * 1103515245u + 12345u) & 0x7fffffffu;
+  return *state;
+}
+
+}  // namespace sbce::vm

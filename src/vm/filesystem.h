@@ -1,0 +1,53 @@
+// In-memory filesystem shared by all processes of a Machine.
+//
+// Stands in for the host disk in the covert-propagation and contextual
+// bombs: programs write argv-derived bytes into files and read them back,
+// and bombs test for the existence of specific paths.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/support/status.h"
+
+namespace sbce::vm {
+
+class SimFilesystem {
+ public:
+  bool Exists(const std::string& path) const {
+    return files_.count(path) != 0;
+  }
+
+  /// Creates or replaces a file.
+  void Put(const std::string& path, std::vector<uint8_t> bytes) {
+    files_[path] = std::move(bytes);
+  }
+  void PutString(const std::string& path, const std::string& text) {
+    files_[path] = std::vector<uint8_t>(text.begin(), text.end());
+  }
+
+  Result<std::vector<uint8_t>> Get(const std::string& path) const {
+    auto it = files_.find(path);
+    if (it == files_.end()) return Status::NotFound(path);
+    return it->second;
+  }
+
+  /// Appends to (creating if needed) a file; used by write fds.
+  void Append(const std::string& path, const uint8_t* data, size_t n) {
+    auto& f = files_[path];
+    f.insert(f.end(), data, data + n);
+  }
+
+  void Truncate(const std::string& path) { files_[path].clear(); }
+
+  bool Remove(const std::string& path) { return files_.erase(path) > 0; }
+
+  size_t FileCount() const { return files_.size(); }
+
+ private:
+  std::map<std::string, std::vector<uint8_t>> files_;
+};
+
+}  // namespace sbce::vm

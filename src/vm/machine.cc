@@ -1,0 +1,1029 @@
+#include "src/vm/machine.h"
+
+#include <bit>
+#include <cmath>
+#include <cstring>
+
+#include "src/support/bits.h"
+#include "src/support/str.h"
+#include "src/vm/syscalls.h"
+
+namespace sbce::vm {
+
+using isa::Instruction;
+using isa::Opcode;
+using isa::OpcodeInfo;
+
+Machine::Machine(const isa::BinaryImage& image, std::vector<std::string> argv,
+                 Devices devices)
+    : Machine(image, std::move(argv), devices, Options()) {}
+
+Machine::Machine(const isa::BinaryImage& image, std::vector<std::string> argv)
+    : Machine(image, std::move(argv), Devices(), Options()) {}
+
+Machine::Machine(const isa::BinaryImage& image, std::vector<std::string> argv,
+                 Devices devices, Options options)
+    : argv_(std::move(argv)), devices_(devices), options_(options) {
+  auto proc = std::make_unique<Process>();
+  proc->pid = static_cast<uint32_t>(devices_.first_pid);
+  proc->rand_state = devices_.initial_rand_seed & 0x7fffffffu;
+  processes_.push_back(std::move(proc));
+  LoadImage(image);
+  SetupRootProcess(image.entry());
+}
+
+void Machine::LoadImage(const isa::BinaryImage& image) {
+  Process& proc = *processes_.front();
+  for (const auto& section : image.sections()) {
+    proc.mem.WriteBytes(section.vaddr, section.data);
+  }
+}
+
+uint64_t Machine::ArgvStringAddr(size_t i) const {
+  SBCE_CHECK(i < argv_.size());
+  // Pointer array first, then the string bytes packed one after another.
+  uint64_t addr = options_.argv_base + 8 * argv_.size();
+  for (size_t k = 0; k < i; ++k) addr += argv_[k].size() + 1;
+  return addr;
+}
+
+void Machine::SetupRootProcess(uint64_t entry) {
+  Process& proc = *processes_.front();
+  // Write argv strings + pointer array.
+  for (size_t i = 0; i < argv_.size(); ++i) {
+    const uint64_t str_addr = ArgvStringAddr(i);
+    proc.mem.WriteBytes(
+        str_addr,
+        std::span<const uint8_t>(
+            reinterpret_cast<const uint8_t*>(argv_[i].data()),
+            argv_[i].size()));
+    proc.mem.WriteU8(str_addr + argv_[i].size(), 0);
+    proc.mem.WriteU64(options_.argv_base + 8 * i, str_addr);
+  }
+  auto thread = std::make_unique<Thread>();
+  thread->tid = proc.next_tid++;
+  thread->cpu.pc = entry;
+  thread->cpu.r[isa::kRegSp] = options_.stack_top;
+  thread->cpu.r[isa::kRegArg1] = argv_.size();
+  thread->cpu.r[isa::kRegArg1 + 1] = options_.argv_base;
+  proc.threads.push_back(std::move(thread));
+}
+
+Process* Machine::FindProcess(uint32_t pid) {
+  for (auto& p : processes_) {
+    if (p->pid == pid) return p.get();
+  }
+  return nullptr;
+}
+
+bool Machine::AnyRunnable() const {
+  for (const auto& p : processes_) {
+    if (!p->alive) continue;
+    for (const auto& t : p->threads) {
+      if (t->state == ThreadState::kRunnable) return true;
+    }
+  }
+  return false;
+}
+
+void Machine::UnblockJoinWaiters(Process& proc, uint32_t tid) {
+  for (auto& t : proc.threads) {
+    if (t->state == ThreadState::kBlockedJoin && t->wait_arg == tid) {
+      t->state = ThreadState::kRunnable;
+    }
+  }
+}
+
+void Machine::WakePipeReaders(int pipe_id) {
+  for (auto& p : processes_) {
+    if (!p->alive) continue;
+    for (auto& t : p->threads) {
+      if (t->state != ThreadState::kBlockedRead) continue;
+      auto it = p->fds.find(static_cast<int>(t->wait_arg));
+      if (it != p->fds.end() && it->second.kind == OpenFile::Kind::kPipe &&
+          it->second.pipe_id == pipe_id) {
+        t->state = ThreadState::kRunnable;
+      }
+    }
+  }
+}
+
+void Machine::Fault(std::string reason) {
+  result_.faulted = true;
+  result_.fault_reason = std::move(reason);
+  stop_ = true;
+}
+
+RunResult Machine::Run() {
+  // Deterministic round-robin over (process, thread) pairs.
+  while (!stop_) {
+    if (result_.instructions >= options_.max_instructions) {
+      result_.budget_exhausted = true;
+      break;
+    }
+    if (!AnyRunnable()) {
+      // Either everything exited or we deadlocked.
+      bool pending = false;
+      for (const auto& p : processes_) {
+        if (!p->alive) continue;
+        for (const auto& t : p->threads) {
+          if (t->state != ThreadState::kDone) pending = true;
+        }
+      }
+      if (pending) Fault("deadlock: no runnable threads");
+      break;
+    }
+    // Snapshot the schedulable set; fork/thread-create during the sweep
+    // will be picked up next sweep, keeping the interleave deterministic.
+    std::vector<std::pair<uint32_t, uint32_t>> slots;
+    for (const auto& p : processes_) {
+      if (!p->alive) continue;
+      for (const auto& t : p->threads) {
+        if (t->state == ThreadState::kRunnable) slots.emplace_back(p->pid, t->tid);
+      }
+    }
+    for (const auto& [pid, tid] : slots) {
+      if (stop_) break;
+      Process* proc = FindProcess(pid);
+      if (proc == nullptr || !proc->alive) continue;
+      Thread* thread = nullptr;
+      for (auto& t : proc->threads) {
+        if (t->tid == tid) thread = t.get();
+      }
+      if (thread == nullptr || thread->state != ThreadState::kRunnable) {
+        continue;
+      }
+      for (uint32_t q = 0; q < options_.quantum; ++q) {
+        if (result_.instructions >= options_.max_instructions) {
+          result_.budget_exhausted = true;
+          stop_ = true;
+          break;
+        }
+        StepOutcome out = Step(*proc, *thread);
+        if (out.advanced) ++result_.instructions;
+        if (out.reschedule || stop_) break;
+      }
+    }
+  }
+  return result_;
+}
+
+Machine::StepOutcome Machine::Step(Process& proc, Thread& thread) {
+  uint8_t raw[isa::kInstrBytes];
+  proc.mem.ReadBytes(thread.cpu.pc, raw);
+  auto decoded = isa::Decode(raw);
+  if (!decoded) {
+    Fault(StrFormat("invalid instruction at 0x%llx: %s",
+                    static_cast<unsigned long long>(thread.cpu.pc),
+                    decoded.status().message().c_str()));
+    return {};
+  }
+  const Instruction in = decoded.value();
+  const OpcodeInfo& info = isa::GetOpcodeInfo(in.op);
+  auto& r = thread.cpu.r;
+  auto& f = thread.cpu.f;
+  const uint64_t pc = thread.cpu.pc;
+  const uint64_t next = pc + isa::kInstrBytes;
+  const int64_t imm = static_cast<int64_t>(in.imm);
+
+  TraceEvent ev;
+  ev.pid = proc.pid;
+  ev.tid = thread.tid;
+  ev.seq = seq_++;
+  ev.pc = pc;
+  ev.instr = in;
+  ev.next_pc = next;
+
+  StepOutcome out;
+  out.advanced = true;
+
+  auto set_rd = [&](uint64_t v) {
+    ev.rd_old = r[in.rd];
+    r[in.rd] = v;
+    ev.rd_new = v;
+  };
+  auto set_fd = [&](double v) {
+    ev.rd_old = std::bit_cast<uint64_t>(f[in.rd]);
+    f[in.rd] = v;
+    ev.rd_new = std::bit_cast<uint64_t>(v);
+  };
+  auto finish = [&] {
+    thread.cpu.pc = ev.next_pc;
+    if (trace_hook_) trace_hook_(ev);
+  };
+
+  switch (in.op) {
+    case Opcode::kNop:
+      break;
+    case Opcode::kHalt:
+      thread.state = ThreadState::kDone;
+      UnblockJoinWaiters(proc, thread.tid);
+      out.reschedule = true;
+      break;
+
+    case Opcode::kMov:
+      ev.rs1_val = r[in.rs1];
+      set_rd(r[in.rs1]);
+      break;
+    case Opcode::kMovI:
+      set_rd(static_cast<uint64_t>(imm));
+      break;
+    case Opcode::kMovHi:
+      set_rd((r[in.rd] & 0xffffffffull) |
+             (static_cast<uint64_t>(static_cast<uint32_t>(in.imm)) << 32));
+      break;
+
+    case Opcode::kAdd:
+      ev.rs1_val = r[in.rs1];
+      ev.rs2_val = r[in.rs2];
+      set_rd(r[in.rs1] + r[in.rs2]);
+      break;
+    case Opcode::kAddI:
+      ev.rs1_val = r[in.rs1];
+      set_rd(r[in.rs1] + static_cast<uint64_t>(imm));
+      break;
+    case Opcode::kSub:
+      ev.rs1_val = r[in.rs1];
+      ev.rs2_val = r[in.rs2];
+      set_rd(r[in.rs1] - r[in.rs2]);
+      break;
+    case Opcode::kSubI:
+      ev.rs1_val = r[in.rs1];
+      set_rd(r[in.rs1] - static_cast<uint64_t>(imm));
+      break;
+    case Opcode::kMul:
+      ev.rs1_val = r[in.rs1];
+      ev.rs2_val = r[in.rs2];
+      set_rd(r[in.rs1] * r[in.rs2]);
+      break;
+    case Opcode::kMulI:
+      ev.rs1_val = r[in.rs1];
+      set_rd(r[in.rs1] * static_cast<uint64_t>(imm));
+      break;
+
+    case Opcode::kUDiv:
+    case Opcode::kSDiv:
+    case Opcode::kURem:
+    case Opcode::kSRem: {
+      ev.rs1_val = r[in.rs1];
+      ev.rs2_val = r[in.rs2];
+      if (r[in.rs2] == 0) {
+        RaiseTrap(proc, thread, kTrapDivZero, ev);
+        if (!stop_) finish();
+        return out;
+      }
+      uint64_t v = 0;
+      const uint64_t a = r[in.rs1];
+      const uint64_t b = r[in.rs2];
+      const auto sa = static_cast<int64_t>(a);
+      const auto sb = static_cast<int64_t>(b);
+      const bool overflow = sa == INT64_MIN && sb == -1;
+      switch (in.op) {
+        case Opcode::kUDiv: v = a / b; break;
+        case Opcode::kSDiv:
+          v = overflow ? static_cast<uint64_t>(INT64_MIN)
+                       : static_cast<uint64_t>(sa / sb);
+          break;
+        case Opcode::kURem: v = a % b; break;
+        case Opcode::kSRem:
+          v = overflow ? 0 : static_cast<uint64_t>(sa % sb);
+          break;
+        default: break;
+      }
+      set_rd(v);
+      break;
+    }
+
+    case Opcode::kAnd:
+      ev.rs1_val = r[in.rs1]; ev.rs2_val = r[in.rs2];
+      set_rd(r[in.rs1] & r[in.rs2]);
+      break;
+    case Opcode::kAndI:
+      ev.rs1_val = r[in.rs1];
+      set_rd(r[in.rs1] & static_cast<uint64_t>(imm));
+      break;
+    case Opcode::kOr:
+      ev.rs1_val = r[in.rs1]; ev.rs2_val = r[in.rs2];
+      set_rd(r[in.rs1] | r[in.rs2]);
+      break;
+    case Opcode::kOrI:
+      ev.rs1_val = r[in.rs1];
+      set_rd(r[in.rs1] | static_cast<uint64_t>(imm));
+      break;
+    case Opcode::kXor:
+      ev.rs1_val = r[in.rs1]; ev.rs2_val = r[in.rs2];
+      set_rd(r[in.rs1] ^ r[in.rs2]);
+      break;
+    case Opcode::kXorI:
+      ev.rs1_val = r[in.rs1];
+      set_rd(r[in.rs1] ^ static_cast<uint64_t>(imm));
+      break;
+    case Opcode::kShl:
+      ev.rs1_val = r[in.rs1]; ev.rs2_val = r[in.rs2];
+      set_rd(r[in.rs1] << (r[in.rs2] & 63));
+      break;
+    case Opcode::kShlI:
+      ev.rs1_val = r[in.rs1];
+      set_rd(r[in.rs1] << (imm & 63));
+      break;
+    case Opcode::kShr:
+      ev.rs1_val = r[in.rs1]; ev.rs2_val = r[in.rs2];
+      set_rd(r[in.rs1] >> (r[in.rs2] & 63));
+      break;
+    case Opcode::kShrI:
+      ev.rs1_val = r[in.rs1];
+      set_rd(r[in.rs1] >> (imm & 63));
+      break;
+    case Opcode::kSar:
+      ev.rs1_val = r[in.rs1]; ev.rs2_val = r[in.rs2];
+      set_rd(static_cast<uint64_t>(static_cast<int64_t>(r[in.rs1]) >>
+                                   (r[in.rs2] & 63)));
+      break;
+    case Opcode::kSarI:
+      ev.rs1_val = r[in.rs1];
+      set_rd(static_cast<uint64_t>(static_cast<int64_t>(r[in.rs1]) >>
+                                   (imm & 63)));
+      break;
+    case Opcode::kNot:
+      ev.rs1_val = r[in.rs1];
+      set_rd(~r[in.rs1]);
+      break;
+    case Opcode::kNeg:
+      ev.rs1_val = r[in.rs1];
+      set_rd(~r[in.rs1] + 1);
+      break;
+
+    case Opcode::kCmpEq:
+      ev.rs1_val = r[in.rs1]; ev.rs2_val = r[in.rs2];
+      set_rd(r[in.rs1] == r[in.rs2] ? 1 : 0);
+      break;
+    case Opcode::kCmpEqI:
+      ev.rs1_val = r[in.rs1];
+      set_rd(r[in.rs1] == static_cast<uint64_t>(imm) ? 1 : 0);
+      break;
+    case Opcode::kCmpNe:
+      ev.rs1_val = r[in.rs1]; ev.rs2_val = r[in.rs2];
+      set_rd(r[in.rs1] != r[in.rs2] ? 1 : 0);
+      break;
+    case Opcode::kCmpNeI:
+      ev.rs1_val = r[in.rs1];
+      set_rd(r[in.rs1] != static_cast<uint64_t>(imm) ? 1 : 0);
+      break;
+    case Opcode::kCmpLtU:
+      ev.rs1_val = r[in.rs1]; ev.rs2_val = r[in.rs2];
+      set_rd(r[in.rs1] < r[in.rs2] ? 1 : 0);
+      break;
+    case Opcode::kCmpLtUI:
+      ev.rs1_val = r[in.rs1];
+      set_rd(r[in.rs1] < static_cast<uint64_t>(imm) ? 1 : 0);
+      break;
+    case Opcode::kCmpLtS:
+      ev.rs1_val = r[in.rs1]; ev.rs2_val = r[in.rs2];
+      set_rd(static_cast<int64_t>(r[in.rs1]) < static_cast<int64_t>(r[in.rs2])
+                 ? 1 : 0);
+      break;
+    case Opcode::kCmpLtSI:
+      ev.rs1_val = r[in.rs1];
+      set_rd(static_cast<int64_t>(r[in.rs1]) < imm ? 1 : 0);
+      break;
+    case Opcode::kCmpLeU:
+      ev.rs1_val = r[in.rs1]; ev.rs2_val = r[in.rs2];
+      set_rd(r[in.rs1] <= r[in.rs2] ? 1 : 0);
+      break;
+    case Opcode::kCmpLeS:
+      ev.rs1_val = r[in.rs1]; ev.rs2_val = r[in.rs2];
+      set_rd(static_cast<int64_t>(r[in.rs1]) <=
+                     static_cast<int64_t>(r[in.rs2])
+                 ? 1 : 0);
+      break;
+
+    case Opcode::kBz:
+    case Opcode::kBnz: {
+      ev.rs1_val = r[in.rs1];
+      const bool taken = (in.op == Opcode::kBz) == (r[in.rs1] == 0);
+      ev.branch_taken = taken;
+      if (taken) ev.next_pc = next + imm;
+      break;
+    }
+    case Opcode::kJmp:
+      ev.next_pc = next + imm;
+      break;
+    case Opcode::kJmpR:
+      ev.rs1_val = r[in.rs1];
+      ev.next_pc = r[in.rs1];
+      break;
+    case Opcode::kCall:
+    case Opcode::kCallR: {
+      r[isa::kRegSp] -= 8;
+      proc.mem.WriteU64(r[isa::kRegSp], next);
+      ev.mem_addr = r[isa::kRegSp];
+      ev.mem_value = next;
+      if (in.op == Opcode::kCall) {
+        ev.next_pc = next + imm;
+      } else {
+        ev.rs1_val = r[in.rs1];
+        ev.next_pc = r[in.rs1];
+      }
+      break;
+    }
+    case Opcode::kRet: {
+      const uint64_t ret_addr = proc.mem.ReadU64(r[isa::kRegSp]);
+      ev.mem_addr = r[isa::kRegSp];
+      ev.mem_value = ret_addr;
+      r[isa::kRegSp] += 8;
+      ev.next_pc = ret_addr;
+      break;
+    }
+
+    case Opcode::kLd1:
+    case Opcode::kLd2:
+    case Opcode::kLd4:
+    case Opcode::kLd8:
+    case Opcode::kLdS1:
+    case Opcode::kLdS2:
+    case Opcode::kLdS4: {
+      ev.rs1_val = r[in.rs1];
+      const uint64_t addr = r[in.rs1] + static_cast<uint64_t>(imm);
+      uint64_t v = proc.mem.ReadUnit(addr, info.mem_width);
+      if (in.op == Opcode::kLdS1 || in.op == Opcode::kLdS2 ||
+          in.op == Opcode::kLdS4) {
+        v = SignExtend(v, info.mem_width * 8);
+      }
+      ev.mem_addr = addr;
+      ev.mem_value = v;
+      set_rd(v);
+      break;
+    }
+    case Opcode::kSt1:
+    case Opcode::kSt2:
+    case Opcode::kSt4:
+    case Opcode::kSt8: {
+      ev.rs1_val = r[in.rs1];
+      const uint64_t addr = r[in.rs1] + static_cast<uint64_t>(imm);
+      const uint64_t v = TruncToWidth(r[in.rd], info.mem_width * 8);
+      proc.mem.WriteUnit(addr, info.mem_width, v);
+      ev.mem_addr = addr;
+      ev.mem_value = v;
+      ev.rd_new = r[in.rd];  // value register (unchanged)
+      break;
+    }
+    case Opcode::kLdX1:
+    case Opcode::kLdX8: {
+      ev.rs1_val = r[in.rs1];
+      ev.rs2_val = r[in.rs2];
+      const uint64_t addr = r[in.rs1] + r[in.rs2];
+      const uint64_t v = proc.mem.ReadUnit(addr, info.mem_width);
+      ev.mem_addr = addr;
+      ev.mem_value = v;
+      set_rd(v);
+      break;
+    }
+    case Opcode::kStX1:
+    case Opcode::kStX8: {
+      ev.rs1_val = r[in.rs1];
+      ev.rs2_val = r[in.rs2];
+      const uint64_t addr = r[in.rs1] + r[in.rs2];
+      const uint64_t v = TruncToWidth(r[in.rd], info.mem_width * 8);
+      proc.mem.WriteUnit(addr, info.mem_width, v);
+      ev.mem_addr = addr;
+      ev.mem_value = v;
+      ev.rd_new = r[in.rd];
+      break;
+    }
+
+    case Opcode::kPush:
+      ev.rs1_val = r[in.rs1];
+      r[isa::kRegSp] -= 8;
+      proc.mem.WriteU64(r[isa::kRegSp], r[in.rs1]);
+      ev.mem_addr = r[isa::kRegSp];
+      ev.mem_value = r[in.rs1];
+      break;
+    case Opcode::kPop: {
+      const uint64_t v = proc.mem.ReadU64(r[isa::kRegSp]);
+      ev.mem_addr = r[isa::kRegSp];
+      ev.mem_value = v;
+      r[isa::kRegSp] += 8;
+      set_rd(v);
+      break;
+    }
+    case Opcode::kLea:
+      set_rd(next + static_cast<uint64_t>(imm));
+      break;
+
+    case Opcode::kTrapZ:
+      ev.rs1_val = r[in.rs1];
+      if (r[in.rs1] == 0) {
+        RaiseTrap(proc, thread, kTrapExplicitZero, ev);
+      }
+      break;
+    case Opcode::kTrapNeg:
+      ev.rs1_val = r[in.rs1];
+      if (static_cast<int64_t>(r[in.rs1]) < 0) {
+        RaiseTrap(proc, thread, kTrapExplicitNeg, ev);
+      }
+      break;
+
+    case Opcode::kSys:
+      DoSyscall(proc, thread, in.imm, ev);
+      if (thread.state == ThreadState::kBlockedRead ||
+          thread.state == ThreadState::kBlockedJoin) {
+        // The attempt blocked: rewind (retry when woken), don't count the
+        // instruction, and don't emit a trace event for the failed try.
+        out.reschedule = true;
+        out.advanced = false;
+        if (!stop_) thread.cpu.pc = ev.next_pc;
+        return out;
+      }
+      if (thread.state != ThreadState::kRunnable || in.imm == kSysYield) {
+        out.reschedule = true;
+      }
+      break;
+
+    case Opcode::kFAdd:
+      ev.rs1_val = std::bit_cast<uint64_t>(f[in.rs1]);
+      ev.rs2_val = std::bit_cast<uint64_t>(f[in.rs2]);
+      set_fd(f[in.rs1] + f[in.rs2]);
+      break;
+    case Opcode::kFSub:
+      ev.rs1_val = std::bit_cast<uint64_t>(f[in.rs1]);
+      ev.rs2_val = std::bit_cast<uint64_t>(f[in.rs2]);
+      set_fd(f[in.rs1] - f[in.rs2]);
+      break;
+    case Opcode::kFMul:
+      ev.rs1_val = std::bit_cast<uint64_t>(f[in.rs1]);
+      ev.rs2_val = std::bit_cast<uint64_t>(f[in.rs2]);
+      set_fd(f[in.rs1] * f[in.rs2]);
+      break;
+    case Opcode::kFDiv:
+      ev.rs1_val = std::bit_cast<uint64_t>(f[in.rs1]);
+      ev.rs2_val = std::bit_cast<uint64_t>(f[in.rs2]);
+      set_fd(f[in.rs1] / f[in.rs2]);
+      break;
+    case Opcode::kFCmpEq:
+      ev.rs1_val = std::bit_cast<uint64_t>(f[in.rs1]);
+      ev.rs2_val = std::bit_cast<uint64_t>(f[in.rs2]);
+      set_rd(f[in.rs1] == f[in.rs2] ? 1 : 0);
+      break;
+    case Opcode::kFCmpLt:
+      ev.rs1_val = std::bit_cast<uint64_t>(f[in.rs1]);
+      ev.rs2_val = std::bit_cast<uint64_t>(f[in.rs2]);
+      set_rd(f[in.rs1] < f[in.rs2] ? 1 : 0);
+      break;
+    case Opcode::kFCmpLe:
+      ev.rs1_val = std::bit_cast<uint64_t>(f[in.rs1]);
+      ev.rs2_val = std::bit_cast<uint64_t>(f[in.rs2]);
+      set_rd(f[in.rs1] <= f[in.rs2] ? 1 : 0);
+      break;
+    case Opcode::kCvtIF:
+      ev.rs1_val = r[in.rs1];
+      set_fd(static_cast<double>(static_cast<int64_t>(r[in.rs1])));
+      break;
+    case Opcode::kCvtFI: {
+      ev.rs1_val = std::bit_cast<uint64_t>(f[in.rs1]);
+      const double d = f[in.rs1];
+      int64_t v = 0;
+      if (std::isfinite(d) && d >= -9.2233720368547758e18 &&
+          d <= 9.2233720368547758e18) {
+        v = static_cast<int64_t>(d);
+      }
+      set_rd(static_cast<uint64_t>(v));
+      break;
+    }
+    case Opcode::kFMov:
+      ev.rs1_val = std::bit_cast<uint64_t>(f[in.rs1]);
+      set_fd(f[in.rs1]);
+      break;
+    case Opcode::kFLd: {
+      ev.rs1_val = r[in.rs1];
+      const uint64_t addr = r[in.rs1] + static_cast<uint64_t>(imm);
+      const uint64_t bits = proc.mem.ReadU64(addr);
+      ev.mem_addr = addr;
+      ev.mem_value = bits;
+      set_fd(std::bit_cast<double>(bits));
+      break;
+    }
+    case Opcode::kFSt: {
+      ev.rs1_val = r[in.rs1];
+      const uint64_t addr = r[in.rs1] + static_cast<uint64_t>(imm);
+      const uint64_t bits = std::bit_cast<uint64_t>(f[in.rd]);
+      proc.mem.WriteU64(addr, bits);
+      ev.mem_addr = addr;
+      ev.mem_value = bits;
+      break;
+    }
+    case Opcode::kMovGF:
+      ev.rs1_val = r[in.rs1];
+      set_fd(std::bit_cast<double>(r[in.rs1]));
+      break;
+    case Opcode::kMovFG:
+      ev.rs1_val = std::bit_cast<uint64_t>(f[in.rs1]);
+      set_rd(std::bit_cast<uint64_t>(f[in.rs1]));
+      break;
+
+    case Opcode::kOpcodeCount:
+      Fault("decoded kOpcodeCount");
+      return out;
+  }
+
+  if (result_.faulted) return out;
+  finish();
+  return out;
+}
+
+void Machine::RaiseTrap(Process& proc, Thread& thread, uint64_t cause,
+                        TraceEvent& ev) {
+  ev.trapped = true;
+  ev.trap_cause = cause;
+  if (proc.trap_handler == 0) {
+    Fault(StrFormat("unhandled trap %llu at pc 0x%llx",
+                    static_cast<unsigned long long>(cause),
+                    static_cast<unsigned long long>(ev.pc)));
+    return;
+  }
+  // Push the pc of the *next* instruction so a handler can resume, place
+  // the cause in r11 and vector to the handler.
+  auto& r = thread.cpu.r;
+  r[isa::kRegSp] -= 8;
+  proc.mem.WriteU64(r[isa::kRegSp], ev.pc + isa::kInstrBytes);
+  r[isa::kRegTrapCause] = cause;
+  ev.next_pc = proc.trap_handler;
+}
+
+void Machine::DoSyscall(Process& proc, Thread& thread, int32_t num,
+                        TraceEvent& ev) {
+  auto& r = thread.cpu.r;
+  ev.sys_num = num;
+  for (int i = 0; i < 5; ++i) ev.sys_args[i] = r[1 + i];
+  auto ret = [&](uint64_t v) {
+    ev.rd_old = r[0];
+    r[0] = v;
+    ev.sys_ret = v;
+    ev.rd_new = v;
+  };
+
+  switch (num) {
+    case kSysExit: {
+      proc.exit_code = static_cast<int>(r[1]);
+      proc.alive = false;
+      for (auto& t : proc.threads) t->state = ThreadState::kDone;
+      // Closing this process's pipe ends may unblock readers elsewhere.
+      for (auto& [fd, of] : proc.fds) {
+        if (of.kind == OpenFile::Kind::kPipe) {
+          auto it = pipes_.find(of.pipe_id);
+          if (it != pipes_.end()) {
+            if (of.pipe_write_end) {
+              if (--it->second.writers <= 0) WakePipeReaders(of.pipe_id);
+            } else {
+              --it->second.readers;
+            }
+          }
+        }
+      }
+      if (&proc == processes_.front().get()) {
+        result_.exited = true;
+        result_.exit_code = proc.exit_code;
+        stop_ = true;
+      }
+      break;
+    }
+    case kSysWrite: {
+      const int fd = static_cast<int>(r[1]);
+      const uint64_t buf = r[2];
+      const uint64_t len = r[3] > (1 << 20) ? (1 << 20) : r[3];
+      std::vector<uint8_t> bytes(len);
+      proc.mem.ReadBytes(buf, bytes);
+      ev.sys_in_addr = buf;
+      ev.sys_in_len = static_cast<uint32_t>(len);
+      if (fd == kFdStdout || fd == kFdStderr) {
+        result_.stdout_text.append(bytes.begin(), bytes.end());
+        ret(len);
+        break;
+      }
+      auto it = proc.fds.find(fd);
+      if (it == proc.fds.end()) {
+        ret(static_cast<uint64_t>(-1));
+        break;
+      }
+      if (it->second.kind == OpenFile::Kind::kPipe) {
+        auto pit = pipes_.find(it->second.pipe_id);
+        if (pit == pipes_.end() || !it->second.pipe_write_end) {
+          ret(static_cast<uint64_t>(-1));
+          break;
+        }
+        pit->second.buf.insert(pit->second.buf.end(), bytes.begin(),
+                               bytes.end());
+        ev.channel = 0x9000000000000000ull |
+                     static_cast<uint64_t>(it->second.pipe_id);
+        WakePipeReaders(it->second.pipe_id);
+        ret(len);
+        break;
+      }
+      if (!it->second.writable) {
+        ret(static_cast<uint64_t>(-1));
+        break;
+      }
+      fs_.Append(it->second.path, bytes.data(), bytes.size());
+      ev.channel = Fnv1a(it->second.path.data(), it->second.path.size());
+      ret(len);
+      break;
+    }
+    case kSysRead: {
+      const int fd = static_cast<int>(r[1]);
+      const uint64_t buf = r[2];
+      const uint64_t len = r[3] > (1 << 20) ? (1 << 20) : r[3];
+      if (fd == kFdStdin) {
+        const size_t avail = stdin_data_.size() - stdin_pos_;
+        const size_t n = std::min<size_t>(len, avail);
+        proc.mem.WriteBytes(
+            buf, std::span<const uint8_t>(
+                     reinterpret_cast<const uint8_t*>(stdin_data_.data()) +
+                         stdin_pos_,
+                     n));
+        stdin_pos_ += n;
+        ev.sys_out_addr = buf;
+        ev.sys_out_len = static_cast<uint32_t>(n);
+        ev.channel = kChannelStdin;
+        ret(n);
+        break;
+      }
+      auto it = proc.fds.find(fd);
+      if (it == proc.fds.end()) {
+        ret(static_cast<uint64_t>(-1));
+        break;
+      }
+      if (it->second.kind == OpenFile::Kind::kPipe) {
+        auto pit = pipes_.find(it->second.pipe_id);
+        if (pit == pipes_.end() || it->second.pipe_write_end) {
+          ret(static_cast<uint64_t>(-1));
+          break;
+        }
+        Pipe& pipe = pit->second;
+        if (pipe.buf.empty()) {
+          if (pipe.writers > 0) {
+            // Block and retry this instruction when data arrives.
+            thread.state = ThreadState::kBlockedRead;
+            thread.wait_arg = static_cast<uint64_t>(fd);
+            ev.next_pc = ev.pc;  // re-execute
+            return;
+          }
+          ret(0);  // EOF
+          break;
+        }
+        const size_t n = std::min<size_t>(len, pipe.buf.size());
+        for (size_t i = 0; i < n; ++i) {
+          proc.mem.WriteU8(buf + i, pipe.buf.front());
+          pipe.buf.pop_front();
+        }
+        ev.sys_out_addr = buf;
+        ev.sys_out_len = static_cast<uint32_t>(n);
+        ev.channel = 0x9000000000000000ull |
+                     static_cast<uint64_t>(it->second.pipe_id);
+        ret(n);
+        break;
+      }
+      auto contents = fs_.Get(it->second.path);
+      if (!contents) {
+        ret(static_cast<uint64_t>(-1));
+        break;
+      }
+      const auto& data = contents.value();
+      const size_t avail =
+          it->second.pos >= data.size() ? 0 : data.size() - it->second.pos;
+      const size_t n = std::min<size_t>(len, avail);
+      proc.mem.WriteBytes(
+          buf, std::span<const uint8_t>(data.data() + it->second.pos, n));
+      it->second.pos += n;
+      ev.sys_out_addr = buf;
+      ev.sys_out_len = static_cast<uint32_t>(n);
+      ev.channel = Fnv1a(it->second.path.data(), it->second.path.size());
+      ret(n);
+      break;
+    }
+    case kSysOpen: {
+      auto path = proc.mem.ReadCString(r[1]);
+      if (!path) {
+        ret(static_cast<uint64_t>(-1));
+        break;
+      }
+      ev.sys_in_addr = r[1];
+      ev.sys_in_len = static_cast<uint32_t>(path.value().size() + 1);
+      ev.channel = Fnv1a(path.value().data(), path.value().size());
+      const bool write = (r[2] & 1) != 0;
+      if (!write && !fs_.Exists(path.value())) {
+        ret(static_cast<uint64_t>(-1));
+        break;
+      }
+      if (write) fs_.Truncate(path.value());
+      OpenFile of;
+      of.kind = OpenFile::Kind::kFile;
+      of.path = path.value();
+      of.writable = write;
+      const int fd = proc.next_fd++;
+      proc.fds[fd] = of;
+      ret(static_cast<uint64_t>(fd));
+      break;
+    }
+    case kSysClose: {
+      const int fd = static_cast<int>(r[1]);
+      auto it = proc.fds.find(fd);
+      if (it == proc.fds.end()) {
+        ret(static_cast<uint64_t>(-1));
+        break;
+      }
+      if (it->second.kind == OpenFile::Kind::kPipe) {
+        auto pit = pipes_.find(it->second.pipe_id);
+        if (pit != pipes_.end()) {
+          if (it->second.pipe_write_end) {
+            if (--pit->second.writers <= 0) {
+              WakePipeReaders(it->second.pipe_id);
+            }
+          } else {
+            --pit->second.readers;
+          }
+        }
+      }
+      proc.fds.erase(it);
+      ret(0);
+      break;
+    }
+    case kSysTime:
+      ret(devices_.time_seconds);
+      break;
+    case kSysSrand:
+      proc.rand_state = r[1] & 0x7fffffffu;
+      ret(0);
+      break;
+    case kSysRand:
+      ret(LcgNext(&proc.rand_state));
+      break;
+    case kSysGetPid:
+      ret(proc.pid);
+      break;
+    case kSysFork: {
+      auto child = std::make_unique<Process>();
+      child->pid = static_cast<uint32_t>(devices_.first_pid) +
+                   next_pid_offset_++;
+      child->mem = proc.mem.Clone();
+      child->fds = proc.fds;
+      child->next_fd = proc.next_fd;
+      child->trap_handler = proc.trap_handler;
+      child->rand_state = proc.rand_state;
+      for (auto& [fd, of] : child->fds) {
+        if (of.kind == OpenFile::Kind::kPipe) {
+          auto pit = pipes_.find(of.pipe_id);
+          if (pit != pipes_.end()) {
+            if (of.pipe_write_end) ++pit->second.writers;
+            else ++pit->second.readers;
+          }
+        }
+      }
+      auto t = std::make_unique<Thread>();
+      t->tid = child->next_tid++;
+      t->cpu = thread.cpu;
+      t->cpu.pc = ev.pc + isa::kInstrBytes;
+      t->cpu.r[0] = 0;  // child sees 0
+      child->threads.push_back(std::move(t));
+      const uint32_t child_pid = child->pid;
+      processes_.push_back(std::move(child));
+      ret(child_pid);
+      break;
+    }
+    case kSysPipe: {
+      Pipe pipe;
+      pipe.readers = 1;
+      pipe.writers = 1;
+      const int id = next_pipe_id_++;
+      pipes_[id] = pipe;
+      OpenFile rd;
+      rd.kind = OpenFile::Kind::kPipe;
+      rd.pipe_id = id;
+      rd.pipe_write_end = false;
+      OpenFile wr = rd;
+      wr.pipe_write_end = true;
+      const int rfd = proc.next_fd++;
+      const int wfd = proc.next_fd++;
+      proc.fds[rfd] = rd;
+      proc.fds[wfd] = wr;
+      proc.mem.WriteU64(r[1], static_cast<uint64_t>(rfd));
+      proc.mem.WriteU64(r[1] + 8, static_cast<uint64_t>(wfd));
+      ev.sys_out_addr = r[1];
+      ev.sys_out_len = 16;
+      ret(0);
+      break;
+    }
+    case kSysThreadCreate: {
+      auto t = std::make_unique<Thread>();
+      t->tid = proc.next_tid++;
+      t->cpu.pc = r[1];
+      t->cpu.r[isa::kRegArg1] = r[2];
+      t->cpu.r[isa::kRegSp] =
+          options_.stack_top - options_.stack_size * t->tid;
+      const uint32_t tid = t->tid;
+      proc.threads.push_back(std::move(t));
+      ret(tid);
+      break;
+    }
+    case kSysThreadJoin: {
+      const uint32_t tid = static_cast<uint32_t>(r[1]);
+      bool done = true;
+      bool found = false;
+      for (const auto& t : proc.threads) {
+        if (t->tid == tid) {
+          found = true;
+          done = t->state == ThreadState::kDone;
+        }
+      }
+      if (!found) {
+        ret(static_cast<uint64_t>(-1));
+        break;
+      }
+      if (!done) {
+        thread.state = ThreadState::kBlockedJoin;
+        thread.wait_arg = tid;
+        ev.next_pc = ev.pc;  // retry join when woken
+        return;
+      }
+      ret(0);
+      break;
+    }
+    case kSysYield:
+      thread.state = ThreadState::kRunnable;  // slice ends via reschedule
+      ret(0);
+      break;
+    case kSysSetTrap:
+      proc.trap_handler = r[1];
+      ret(0);
+      break;
+    case kSysWebGet: {
+      const uint64_t buf = r[1];
+      const uint64_t len = r[2];
+      const size_t n = std::min<size_t>(len, devices_.web_document.size());
+      proc.mem.WriteBytes(
+          buf, std::span<const uint8_t>(
+                   reinterpret_cast<const uint8_t*>(
+                       devices_.web_document.data()),
+                   n));
+      ev.sys_out_addr = buf;
+      ev.sys_out_len = static_cast<uint32_t>(n);
+      ev.channel = kChannelWeb;
+      ret(n);
+      break;
+    }
+    case kSysBomb:
+      result_.bomb_triggered = true;
+      ret(0);
+      break;
+    case kSysUnlink: {
+      auto path = proc.mem.ReadCString(r[1]);
+      if (!path || !fs_.Remove(path.value())) {
+        ret(static_cast<uint64_t>(-1));
+        break;
+      }
+      ev.sys_in_addr = r[1];
+      ev.sys_in_len = static_cast<uint32_t>(path.value().size() + 1);
+      ret(0);
+      break;
+    }
+    case kSysEchoStore:
+    case kSysTlsStore: {
+      auto key = proc.mem.ReadCString(r[1]);
+      if (!key) {
+        ret(static_cast<uint64_t>(-1));
+        break;
+      }
+      const uint64_t salt = num == kSysEchoStore ? 0xec40 : 0x7150;
+      devices_.echo_store[key.value()] = r[2];
+      ev.sys_in_addr = r[1];
+      ev.sys_in_len = static_cast<uint32_t>(key.value().size() + 1);
+      ev.channel = Fnv1a(key.value().data(), key.value().size(), salt);
+      ret(0);
+      break;
+    }
+    case kSysEchoLoad:
+    case kSysTlsLoad: {
+      auto key = proc.mem.ReadCString(r[1]);
+      if (!key) {
+        ret(static_cast<uint64_t>(-1));
+        break;
+      }
+      const uint64_t salt = num == kSysEchoLoad ? 0xec40 : 0x7150;
+      auto it = devices_.echo_store.find(key.value());
+      ev.sys_in_addr = r[1];
+      ev.sys_in_len = static_cast<uint32_t>(key.value().size() + 1);
+      ev.channel = Fnv1a(key.value().data(), key.value().size(), salt);
+      ret(it == devices_.echo_store.end() ? 0 : it->second);
+      break;
+    }
+    case kSysSleep:
+      devices_.time_seconds += r[1];
+      ret(0);
+      break;
+    default:
+      Fault(StrFormat("unknown syscall %d at pc 0x%llx", num,
+                      static_cast<unsigned long long>(ev.pc)));
+      break;
+  }
+
+}
+
+}  // namespace sbce::vm

@@ -1,0 +1,169 @@
+// The SBVM machine: processes, threads, deterministic scheduler, syscalls.
+//
+// A Machine owns everything a run needs — guest memory per process, an
+// in-memory filesystem, injectable devices — so constructing two machines
+// with the same inputs yields byte-identical traces. This determinism is
+// what makes the paper's experiments reproducible here without real
+// hardware.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/isa/image.h"
+#include "src/vm/devices.h"
+#include "src/vm/filesystem.h"
+#include "src/vm/memory.h"
+#include "src/vm/trace_event.h"
+
+namespace sbce::vm {
+
+struct CpuState {
+  std::array<uint64_t, 16> r{};
+  std::array<double, 8> f{};
+  uint64_t pc = 0;
+};
+
+enum class ThreadState : uint8_t {
+  kRunnable,
+  kBlockedJoin,   // waiting for thread `wait_arg` to finish
+  kBlockedRead,   // waiting for data on fd `wait_arg`
+  kDone,
+};
+
+struct Thread {
+  uint32_t tid = 0;
+  CpuState cpu;
+  ThreadState state = ThreadState::kRunnable;
+  uint64_t wait_arg = 0;
+};
+
+struct OpenFile {
+  enum class Kind : uint8_t { kFile, kPipe, kStdio };
+  Kind kind = Kind::kFile;
+  std::string path;     // kFile
+  bool writable = false;
+  size_t pos = 0;       // kFile read cursor
+  int pipe_id = -1;     // kPipe
+  bool pipe_write_end = false;
+  int stdio_fd = -1;    // kStdio
+};
+
+struct Process {
+  uint32_t pid = 0;
+  Memory mem;
+  std::vector<std::unique_ptr<Thread>> threads;
+  std::map<int, OpenFile> fds;
+  int next_fd = 3;
+  uint32_t next_tid = 1;
+  uint64_t trap_handler = 0;
+  uint64_t rand_state = 1;
+  bool alive = true;
+  int exit_code = 0;
+};
+
+struct RunResult {
+  bool exited = false;          // root process called exit
+  int exit_code = 0;
+  bool bomb_triggered = false;  // SYS_BOMB observed anywhere
+  bool faulted = false;
+  std::string fault_reason;
+  bool budget_exhausted = false;
+  uint64_t instructions = 0;
+  std::string stdout_text;
+};
+
+class Machine {
+ public:
+  struct Options {
+    uint64_t max_instructions = 20'000'000;
+    uint32_t quantum = 48;              // instructions per scheduling slice
+    uint64_t stack_top = 0x7ff0'0000;   // stacks grow down from here
+    uint64_t stack_size = 0x1'0000;     // per-thread stack reservation
+    uint64_t argv_base = 0x7fe0'0000;   // argv block location
+  };
+
+  /// Loads `image`, sets up argv (r1 = argc, r2 = argv pointer array) and a
+  /// single root thread at the image entry point.
+  Machine(const isa::BinaryImage& image, std::vector<std::string> argv,
+          Devices devices, Options options);
+  Machine(const isa::BinaryImage& image, std::vector<std::string> argv,
+          Devices devices);
+  Machine(const isa::BinaryImage& image, std::vector<std::string> argv);
+
+  Machine(const Machine&) = delete;
+  Machine& operator=(const Machine&) = delete;
+
+  SimFilesystem& fs() { return fs_; }
+  const SimFilesystem& fs() const { return fs_; }
+  Devices& devices() { return devices_; }
+
+  void SetStdin(std::string data) { stdin_data_ = std::move(data); }
+
+  /// Hook invoked after every executed instruction. Must not mutate the
+  /// machine.
+  void set_trace_hook(std::function<void(const TraceEvent&)> hook) {
+    trace_hook_ = std::move(hook);
+  }
+
+  /// Runs to completion (root exit), fault, deadlock, or budget exhaustion.
+  RunResult Run();
+
+  /// Guest address where the bytes of argv[i] were placed.
+  uint64_t ArgvStringAddr(size_t i) const;
+
+  const Process& root() const { return *processes_.front(); }
+  const std::vector<std::string>& argv() const { return argv_; }
+
+ private:
+  struct Pipe {
+    std::deque<uint8_t> buf;
+    int readers = 0;
+    int writers = 0;
+  };
+
+  struct StepOutcome {
+    bool advanced = false;      // an instruction retired
+    bool reschedule = false;    // blocked / exited / yielded
+  };
+
+  void LoadImage(const isa::BinaryImage& image);
+  void SetupRootProcess(uint64_t entry);
+
+  Process* FindProcess(uint32_t pid);
+  bool AnyRunnable() const;
+  void UnblockJoinWaiters(Process& proc, uint32_t tid);
+  void WakePipeReaders(int pipe_id);
+
+  StepOutcome Step(Process& proc, Thread& thread);
+  void DoSyscall(Process& proc, Thread& thread, int32_t num,
+                 TraceEvent& ev);
+  /// Raises a trap: vectors to the registered handler or faults.
+  void RaiseTrap(Process& proc, Thread& thread, uint64_t cause,
+                 TraceEvent& ev);
+  void Fault(std::string reason);
+
+  std::vector<std::string> argv_;
+  Devices devices_;
+  Options options_;
+  SimFilesystem fs_;
+  std::vector<std::unique_ptr<Process>> processes_;
+  std::map<int, Pipe> pipes_;
+  int next_pipe_id_ = 1;
+  uint32_t next_pid_offset_ = 1;
+
+  std::function<void(const TraceEvent&)> trace_hook_;
+  std::string stdin_data_;
+  size_t stdin_pos_ = 0;
+
+  RunResult result_;
+  bool stop_ = false;
+  uint64_t seq_ = 0;
+};
+
+}  // namespace sbce::vm

@@ -1,0 +1,79 @@
+#include "src/vm/memory.h"
+
+#include <cstring>
+
+namespace sbce::vm {
+
+Memory Memory::Clone() const {
+  Memory copy;
+  for (const auto& [page_no, page] : pages_) {
+    copy.pages_.emplace(page_no, std::make_unique<Page>(*page));
+  }
+  return copy;
+}
+
+const Memory::Page* Memory::FindPage(uint64_t addr) const {
+  auto it = pages_.find(addr >> kPageBits);
+  return it == pages_.end() ? nullptr : it->second.get();
+}
+
+Memory::Page& Memory::EnsurePage(uint64_t addr) {
+  auto& slot = pages_[addr >> kPageBits];
+  if (!slot) slot = std::make_unique<Page>(Page{});
+  return *slot;
+}
+
+uint8_t Memory::ReadU8(uint64_t addr) const {
+  const Page* p = FindPage(addr);
+  return p ? (*p)[addr & (kPageSize - 1)] : 0;
+}
+
+void Memory::WriteU8(uint64_t addr, uint8_t v) {
+  EnsurePage(addr)[addr & (kPageSize - 1)] = v;
+}
+
+uint64_t Memory::ReadUnit(uint64_t addr, unsigned width) const {
+  uint64_t v = 0;
+  for (unsigned i = 0; i < width; ++i) {
+    v |= static_cast<uint64_t>(ReadU8(addr + i)) << (8 * i);
+  }
+  return v;
+}
+
+void Memory::WriteUnit(uint64_t addr, unsigned width, uint64_t v) {
+  for (unsigned i = 0; i < width; ++i) {
+    WriteU8(addr + i, static_cast<uint8_t>(v >> (8 * i)));
+  }
+}
+
+uint16_t Memory::ReadU16(uint64_t addr) const {
+  return static_cast<uint16_t>(ReadUnit(addr, 2));
+}
+uint32_t Memory::ReadU32(uint64_t addr) const {
+  return static_cast<uint32_t>(ReadUnit(addr, 4));
+}
+uint64_t Memory::ReadU64(uint64_t addr) const { return ReadUnit(addr, 8); }
+
+void Memory::WriteU16(uint64_t addr, uint16_t v) { WriteUnit(addr, 2, v); }
+void Memory::WriteU32(uint64_t addr, uint32_t v) { WriteUnit(addr, 4, v); }
+void Memory::WriteU64(uint64_t addr, uint64_t v) { WriteUnit(addr, 8, v); }
+
+void Memory::ReadBytes(uint64_t addr, std::span<uint8_t> out) const {
+  for (size_t i = 0; i < out.size(); ++i) out[i] = ReadU8(addr + i);
+}
+
+void Memory::WriteBytes(uint64_t addr, std::span<const uint8_t> in) {
+  for (size_t i = 0; i < in.size(); ++i) WriteU8(addr + i, in[i]);
+}
+
+Result<std::string> Memory::ReadCString(uint64_t addr, size_t max_len) const {
+  std::string out;
+  for (size_t i = 0; i < max_len; ++i) {
+    const uint8_t c = ReadU8(addr + i);
+    if (c == 0) return out;
+    out.push_back(static_cast<char>(c));
+  }
+  return Status::OutOfRange("unterminated guest string");
+}
+
+}  // namespace sbce::vm

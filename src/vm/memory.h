@@ -1,0 +1,64 @@
+// Sparse paged guest memory.
+//
+// Reads of never-written pages return zeroes; writes allocate pages on
+// demand. SBVM does not model page permissions — the challenges in the
+// study do not depend on segfaults, and keeping loads total simplifies the
+// symbolic memory model.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <unordered_map>
+
+#include "src/support/status.h"
+
+namespace sbce::vm {
+
+class Memory {
+ public:
+  static constexpr unsigned kPageBits = 12;
+  static constexpr uint64_t kPageSize = uint64_t{1} << kPageBits;
+
+  Memory() = default;
+  Memory(const Memory&) = delete;
+  Memory& operator=(const Memory&) = delete;
+  Memory(Memory&&) = default;
+  Memory& operator=(Memory&&) = default;
+
+  /// Deep copy for fork().
+  Memory Clone() const;
+
+  uint8_t ReadU8(uint64_t addr) const;
+  uint16_t ReadU16(uint64_t addr) const;
+  uint32_t ReadU32(uint64_t addr) const;
+  uint64_t ReadU64(uint64_t addr) const;
+  /// Reads `width` bytes (1/2/4/8) little-endian, zero-extended.
+  uint64_t ReadUnit(uint64_t addr, unsigned width) const;
+
+  void WriteU8(uint64_t addr, uint8_t v);
+  void WriteU16(uint64_t addr, uint16_t v);
+  void WriteU32(uint64_t addr, uint32_t v);
+  void WriteU64(uint64_t addr, uint64_t v);
+  void WriteUnit(uint64_t addr, unsigned width, uint64_t v);
+
+  void ReadBytes(uint64_t addr, std::span<uint8_t> out) const;
+  void WriteBytes(uint64_t addr, std::span<const uint8_t> in);
+
+  /// Reads a NUL-terminated string of at most `max_len` bytes.
+  Result<std::string> ReadCString(uint64_t addr, size_t max_len = 4096) const;
+
+  size_t PageCount() const { return pages_.size(); }
+
+ private:
+  using Page = std::array<uint8_t, kPageSize>;
+
+  const Page* FindPage(uint64_t addr) const;
+  Page& EnsurePage(uint64_t addr);
+
+  std::unordered_map<uint64_t, std::unique_ptr<Page>> pages_;
+};
+
+}  // namespace sbce::vm

@@ -1,0 +1,47 @@
+// SBVM syscall ABI.
+//
+// Number in the SYS instruction immediate; arguments in r1..r5; result in
+// r0. Negative results signal errors (returned as two's complement).
+#pragma once
+
+#include <cstdint>
+
+namespace sbce::vm {
+
+enum Syscall : int32_t {
+  kSysExit = 0,          // exit(code)
+  kSysWrite = 1,         // write(fd, buf, len) -> written
+  kSysRead = 2,          // read(fd, buf, len) -> nread (0 = EOF)
+  kSysOpen = 3,          // open(path, flags) -> fd | -1; flags 0=r, 1=w
+  kSysClose = 4,         // close(fd)
+  kSysTime = 5,          // time() -> seconds
+  kSysSrand = 6,         // srand(seed)
+  kSysRand = 7,          // rand() -> [0, 2^31)
+  kSysGetPid = 8,        // getpid()
+  kSysFork = 9,          // fork() -> 0 in child, child pid in parent
+  kSysPipe = 10,         // pipe(ptr) -> 0; mem[ptr]=read fd, mem[ptr+8]=write fd
+  kSysThreadCreate = 11, // thread_create(entry, arg) -> tid
+  kSysThreadJoin = 12,   // thread_join(tid)
+  kSysYield = 13,        // yield()
+  kSysSetTrap = 14,      // settrap(handler_addr)
+  kSysWebGet = 15,       // webget(buf, len) -> bytes copied
+  kSysBomb = 16,         // BOMB — marks the logic bomb as triggered
+  kSysUnlink = 17,       // unlink(path) -> 0 | -1
+  kSysEchoStore = 18,    // echo_store(key_ptr, value)
+  kSysEchoLoad = 19,     // echo_load(key_ptr) -> value
+  kSysSleep = 20,        // sleep(seconds): advances virtual time
+  kSysTlsStore = 21,     // tls_store(key_ptr, value) — runtime TLS slot
+  kSysTlsLoad = 22,      // tls_load(key_ptr) -> value
+};
+
+enum TrapCause : uint64_t {
+  kTrapDivZero = 1,
+  kTrapExplicitZero = 2,  // trapz fired
+  kTrapExplicitNeg = 3,   // trapneg fired
+};
+
+inline constexpr int kFdStdin = 0;
+inline constexpr int kFdStdout = 1;
+inline constexpr int kFdStderr = 2;
+
+}  // namespace sbce::vm

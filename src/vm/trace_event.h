@@ -1,0 +1,61 @@
+// Per-instruction trace record emitted by the VM's trace hook.
+//
+// This is the SBVM analogue of an Intel Pin instruction stream: decoded
+// instruction plus the concrete operand values observed at execution time.
+// The taint engine and the trace lifter consume these records.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "src/isa/instruction.h"
+
+namespace sbce::vm {
+
+/// Identifies a covert data channel a syscall touched (file contents, pipe,
+/// echo store, stdin, web). 0 means none.
+using ChannelId = uint64_t;
+
+inline constexpr ChannelId kChannelNone = 0;
+inline constexpr ChannelId kChannelStdin = 0xfeed0001;
+inline constexpr ChannelId kChannelWeb = 0xfeed0002;
+
+struct TraceEvent {
+  uint32_t pid = 0;
+  uint32_t tid = 0;
+  uint64_t seq = 0;  // global sequence number across all threads
+  uint64_t pc = 0;
+  isa::Instruction instr;
+
+  // Concrete source operand values (FP operands as raw IEEE-754 bits).
+  uint64_t rs1_val = 0;
+  uint64_t rs2_val = 0;
+  uint64_t rd_old = 0;
+  // Value produced into rd (if the instruction writes a register).
+  uint64_t rd_new = 0;
+
+  // Effective address and value for memory-touching instructions
+  // (ld/st/ldx/stx/push/pop/call/ret/fld/fst).
+  uint64_t mem_addr = 0;
+  uint64_t mem_value = 0;
+
+  bool branch_taken = false;
+  uint64_t next_pc = 0;
+
+  bool trapped = false;
+  uint64_t trap_cause = 0;
+
+  // Syscall details (instr.op == kSys).
+  int32_t sys_num = -1;
+  std::array<uint64_t, 5> sys_args{};
+  uint64_t sys_ret = 0;
+  // Guest buffer the syscall consumed (bytes leaving the process) and
+  // produced (bytes entering the process); used for covert-flow taint.
+  uint64_t sys_in_addr = 0;
+  uint32_t sys_in_len = 0;
+  uint64_t sys_out_addr = 0;
+  uint32_t sys_out_len = 0;
+  ChannelId channel = kChannelNone;
+};
+
+}  // namespace sbce::vm

@@ -1,0 +1,139 @@
+// CFG reachability tests: the directed-search substrate.
+#include <gtest/gtest.h>
+
+#include "src/core/cfg.h"
+#include "src/isa/assembler.h"
+
+namespace sbce::core {
+namespace {
+
+isa::BinaryImage Build(std::string_view src) {
+  auto img = isa::Assemble(src);
+  SBCE_CHECK_MSG(img.ok(), img.status().ToString());
+  return std::move(img).value();
+}
+
+TEST(Cfg, FallthroughReaches) {
+  auto img = Build(R"(
+    .entry main
+    main:
+      movi r1, 1
+      addi r1, r1, 1
+    target:
+      halt
+  )");
+  CfgReachability cfg(img, *img.FindSymbol("target"));
+  EXPECT_TRUE(cfg.Reaches(*img.FindSymbol("main")));
+}
+
+TEST(Cfg, HaltBlocksReachability) {
+  auto img = Build(R"(
+    .entry main
+    main:
+      halt
+    after:
+      nop
+    target:
+      halt
+  )");
+  CfgReachability cfg(img, *img.FindSymbol("target"));
+  // `after` falls through to target; `main` halts before it.
+  EXPECT_TRUE(cfg.Reaches(*img.FindSymbol("after")));
+  EXPECT_FALSE(cfg.Reaches(*img.FindSymbol("main")));
+}
+
+TEST(Cfg, BothBranchDirectionsAreEdges) {
+  auto img = Build(R"(
+    .entry main
+    main:
+      bz r1, target
+      halt
+    unreachable_block:
+      halt
+    target:
+      halt
+  )");
+  CfgReachability cfg(img, *img.FindSymbol("target"));
+  EXPECT_TRUE(cfg.Reaches(*img.FindSymbol("main")));
+  EXPECT_FALSE(cfg.Reaches(*img.FindSymbol("unreachable_block")));
+}
+
+TEST(Cfg, BackwardJumpLoops) {
+  auto img = Build(R"(
+    .entry main
+    main:
+      addi r1, r1, 1
+      bnz r2, main
+    target:
+      halt
+  )");
+  CfgReachability cfg(img, *img.FindSymbol("target"));
+  EXPECT_TRUE(cfg.Reaches(*img.FindSymbol("main")));
+}
+
+TEST(Cfg, IndirectJumpIsConservative) {
+  auto img = Build(R"(
+    .entry main
+    main:
+      jmpr r3
+    isolated:
+      halt
+    target:
+      halt
+  )");
+  CfgReachability cfg(img, *img.FindSymbol("target"));
+  EXPECT_TRUE(cfg.has_indirect_jumps());
+  // With an indirect jump anywhere, everything conservatively reaches.
+  EXPECT_TRUE(cfg.Reaches(*img.FindSymbol("isolated")));
+}
+
+TEST(Cfg, StraightLineStopsAtConditionals) {
+  auto img = Build(R"(
+    .entry main
+    main:
+      movi r1, 1
+      addi r1, r1, 1
+    mid:
+      bz r1, target
+      nop
+    target:
+      halt
+  )");
+  CfgReachability cfg(img, *img.FindSymbol("target"));
+  const uint64_t main_pc = *img.FindSymbol("main");
+  const uint64_t mid = *img.FindSymbol("mid");
+  const uint64_t target = *img.FindSymbol("target");
+  // Anything before the conditional is not straight-line (a further
+  // choice intervenes)...
+  EXPECT_FALSE(cfg.StraightLineReaches(main_pc, target));
+  EXPECT_FALSE(cfg.StraightLineReaches(mid, target));
+  // ...but the fallthrough after it is.
+  EXPECT_TRUE(cfg.StraightLineReaches(mid + isa::kInstrBytes, target));
+  EXPECT_TRUE(cfg.StraightLineReaches(target, target));
+}
+
+TEST(Cfg, StraightLineFollowsUnconditionalJumps) {
+  auto img = Build(R"(
+    .entry main
+    main:
+      jmp hop
+    filler:
+      halt
+    hop:
+      jmp target
+    filler2:
+      halt
+    target:
+      halt
+  )");
+  CfgReachability cfg(img, *img.FindSymbol("target"));
+  EXPECT_TRUE(
+      cfg.StraightLineReaches(*img.FindSymbol("main"),
+                              *img.FindSymbol("target")));
+  EXPECT_FALSE(
+      cfg.StraightLineReaches(*img.FindSymbol("filler"),
+                              *img.FindSymbol("target")));
+}
+
+}  // namespace
+}  // namespace sbce::core

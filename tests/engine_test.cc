@@ -1,0 +1,371 @@
+// End-to-end concolic engine tests: assemble a guarded program, explore
+// from a wrong seed, check the engine recovers a triggering input and that
+// the result is validated by concrete re-execution.
+#include <gtest/gtest.h>
+
+#include "src/core/engine.h"
+#include "src/isa/assembler.h"
+
+namespace sbce::core {
+namespace {
+
+EngineConfig IdealConfig() {
+  EngineConfig cfg;
+  cfg.symex.addr_policy = symex::SymAddrPolicy::kExpandWindow;
+  cfg.symex.max_deref_depth = 8;
+  cfg.symex.jump_policy = symex::SymJumpPolicy::kSolveTargets;
+  cfg.symex.trap_model = symex::TrapModel::kFollowTrace;
+  cfg.symex.track_channels = true;
+  cfg.symex.track_pipe_channels = true;
+  cfg.symex.cross_thread = true;
+  cfg.symex.cross_process = true;
+  cfg.sources.argv_max_len = 12;
+  cfg.solver_supports_fp = true;
+  return cfg;
+}
+
+struct Setup {
+  isa::BinaryImage image;
+  uint64_t bomb_pc = 0;
+};
+
+Setup Build(std::string_view src) {
+  auto img = isa::Assemble(src);
+  SBCE_CHECK_MSG(img.ok(), img.status().ToString());
+  auto bomb = img.value().FindSymbol("bomb");
+  SBCE_CHECK_MSG(bomb.has_value(), "program must define a 'bomb' label");
+  return {std::move(img).value(), *bomb};
+}
+
+EngineResult RunEngine(const Setup& setup, std::vector<std::string> seed,
+                 EngineConfig cfg = IdealConfig()) {
+  ConcolicEngine engine(
+      setup.image,
+      [&](const std::vector<std::string>& argv) {
+        vm::Machine::Options opts;
+        // Reserve window-sized argv slots so symbolic layouts are stable.
+        return std::make_unique<vm::Machine>(setup.image, argv,
+                                             vm::Devices(), opts);
+      },
+      cfg);
+  return engine.Explore(seed, setup.bomb_pc);
+}
+
+// Triggers when argv[1][0] == 'K' and argv[1][1] == 'E'.
+constexpr std::string_view kTwoByteGuard = R"(
+  .entry main
+  main:
+    ld8 r3, [r2+8]      ; argv[1]
+    ld1 r4, [r3+0]
+    cmpeqi r5, r4, 'K'
+    bz r5, exit
+    ld1 r4, [r3+1]
+    cmpeqi r5, r4, 'E'
+    bz r5, exit
+  bomb:
+    sys 16
+  exit:
+    movi r1, 0
+    sys 0
+)";
+
+TEST(ConcolicEngine, SolvesByteEqualityGuard) {
+  auto setup = Build(kTwoByteGuard);
+  auto result = RunEngine(setup, {"prog", "AA"});
+  EXPECT_TRUE(result.claimed);
+  ASSERT_TRUE(result.validated);
+  ASSERT_EQ(result.claimed_argv.size(), 2u);
+  EXPECT_EQ(result.claimed_argv[1].substr(0, 2), "KE");
+}
+
+TEST(ConcolicEngine, SolvesArithmeticGuard) {
+  // x = argv[1][0] - '0'; bomb iff x * x == 49.
+  auto setup = Build(R"(
+    .entry main
+    main:
+      ld8 r3, [r2+8]
+      ld1 r4, [r3+0]
+      subi r4, r4, '0'
+      mul r5, r4, r4
+      cmpeqi r6, r5, 49
+      bz r6, exit
+    bomb:
+      sys 16
+    exit:
+      movi r1, 0
+      sys 0
+  )");
+  auto result = RunEngine(setup, {"prog", "1"});
+  ASSERT_TRUE(result.validated);
+  // Both 7 and -7 (byte ')') square to 49; either is a valid trigger.
+  EXPECT_TRUE(result.claimed_argv[1][0] == '7' ||
+              result.claimed_argv[1][0] == ')')
+      << result.claimed_argv[1];
+}
+
+TEST(ConcolicEngine, SolvesLoopLengthGuard) {
+  // strlen(argv[1]) == 5 triggers; seed has length 1; needs the window.
+  auto setup = Build(R"(
+    .entry main
+    main:
+      ld8 r3, [r2+8]
+      movi r4, 0        ; n
+    loop:
+      ldx1 r5, [r3+r4]
+      bz r5, done
+      addi r4, r4, 1
+      jmp loop
+    done:
+      cmpeqi r6, r4, 5
+      bz r6, exit
+    bomb:
+      sys 16
+    exit:
+      movi r1, 0
+      sys 0
+  )");
+  auto result = RunEngine(setup, {"prog", "a"});
+  ASSERT_TRUE(result.validated) << "rounds=" << result.rounds;
+  EXPECT_EQ(result.claimed_argv[1].size(), 5u);
+}
+
+TEST(ConcolicEngine, NoSymbolicBranchMeansNoClaim) {
+  // Guarded by the (concrete) clock only: Es0 territory.
+  auto setup = Build(R"(
+    .entry main
+    main:
+      sys 5             ; time()
+      cmpeqi r5, r0, 12345
+      bz r5, exit
+    bomb:
+      sys 16
+    exit:
+      movi r1, 0
+      sys 0
+  )");
+  auto result = RunEngine(setup, {"prog", "x"});
+  EXPECT_FALSE(result.claimed);
+  EXPECT_FALSE(result.any_symbolic_branch);
+}
+
+TEST(ConcolicEngine, SolvesOneLevelSymbolicArray) {
+  // bomb iff table[argv_digit] == 77 (only index 6 holds 77).
+  auto setup = Build(R"(
+    .entry main
+    main:
+      ld8 r3, [r2+8]
+      ld1 r4, [r3+0]
+      subi r4, r4, '0'
+      lea r6, table
+      ldx1 r5, [r6+r4]
+      cmpeqi r7, r5, 77
+      bz r7, exit
+    bomb:
+      sys 16
+    exit:
+      movi r1, 0
+      sys 0
+    .data
+    table: .byte 1, 2, 3, 4, 5, 6, 77, 8, 9, 10
+  )");
+  auto result = RunEngine(setup, {"prog", "0"});
+  ASSERT_TRUE(result.validated) << "rounds=" << result.rounds;
+  EXPECT_EQ(result.claimed_argv[1][0], '6');
+}
+
+TEST(ConcolicEngine, ConcretizePolicyFailsArrayWithEs3) {
+  auto setup = Build(R"(
+    .entry main
+    main:
+      ld8 r3, [r2+8]
+      ld1 r4, [r3+0]
+      subi r4, r4, '0'
+      lea r6, table
+      ldx1 r5, [r6+r4]
+      cmpeqi r7, r5, 77
+      bz r7, exit
+    bomb:
+      sys 16
+    exit:
+      movi r1, 0
+      sys 0
+    .data
+    table: .byte 1, 2, 3, 4, 5, 6, 77, 8, 9, 10
+  )");
+  EngineConfig cfg = IdealConfig();
+  cfg.symex.addr_policy = symex::SymAddrPolicy::kConcretize;
+  auto result = RunEngine(setup, {"prog", "0"}, cfg);
+  EXPECT_FALSE(result.validated);
+  EXPECT_TRUE(result.diag.Has(symex::ErrorStage::kEs3));
+}
+
+TEST(ConcolicEngine, SolvesTrapGuardedBomb) {
+  // Division by zero vectors to a handler that detonates: input "0".
+  auto setup = Build(R"(
+    .entry main
+    main:
+      movi r1, handler
+      sys 14
+      ld8 r3, [r2+8]
+      ld1 r4, [r3+0]
+      subi r4, r4, '0'
+      movi r5, 100
+      udiv r6, r5, r4
+      movi r1, 0
+      sys 0
+    handler:
+    bomb:
+      sys 16
+      movi r1, 0
+      sys 0
+  )");
+  auto result = RunEngine(setup, {"prog", "5"});
+  ASSERT_TRUE(result.validated) << "rounds=" << result.rounds;
+  EXPECT_EQ(result.claimed_argv[1][0], '0');
+}
+
+constexpr std::string_view kSymbolicJumpProgram = R"(
+  .entry main
+  main:
+    ld8 r3, [r2+8]
+    ld1 r4, [r3+0]
+    subi r4, r4, '0'
+    muli r4, r4, 8
+    movi r5, slots
+    add r5, r5, r4
+    jmpr r5
+  slots:
+  exit:
+    movi r1, 0
+    sys 0
+    nop
+  bomb:
+    sys 16
+    movi r1, 0
+    sys 0
+)";
+
+TEST(ConcolicEngine, SolvesSymbolicJumpWithSoundPolicy) {
+  // jmpr to slots+8*digit: digit 0 exits cleanly, digit 3 hits the bomb.
+  auto setup = Build(kSymbolicJumpProgram);
+  auto result = RunEngine(setup, {"prog", "0"});
+  ASSERT_TRUE(result.validated) << "rounds=" << result.rounds;
+  EXPECT_EQ(result.claimed_argv[1][0], '3');
+}
+
+TEST(ConcolicEngine, BuggyJumpPolicyClaimsButFailsValidation) {
+  auto setup = Build(kSymbolicJumpProgram);
+  EngineConfig cfg = IdealConfig();
+  cfg.symex.jump_policy = symex::SymJumpPolicy::kBuggyResolve;
+  auto result = RunEngine(setup, {"prog", "0"}, cfg);
+  EXPECT_TRUE(result.claimed);
+  EXPECT_FALSE(result.validated);
+}
+
+TEST(ConcolicEngine, TraceBudgetAborts) {
+  auto setup = Build(R"(
+    .entry main
+    main:
+      movi r4, 0
+    loop:
+      addi r4, r4, 1
+      cmpltui r5, r4, 100000
+      bnz r5, loop
+      movi r1, 0
+      sys 0
+    bomb:
+      sys 16
+  )");
+  EngineConfig cfg = IdealConfig();
+  cfg.budgets.max_trace_events = 1000;
+  auto result = RunEngine(setup, {"prog", "x"}, cfg);
+  EXPECT_TRUE(result.aborted);
+}
+
+TEST(ConcolicEngine, UnsupportedOpcodeRaisesEs1) {
+  // Symbolic value pushed through the stack with push/pop unsupported.
+  auto setup = Build(R"(
+    .entry main
+    main:
+      ld8 r3, [r2+8]
+      ld1 r4, [r3+0]
+      push r4
+      pop r5
+      cmpeqi r6, r5, 'Z'
+      bz r6, exit
+    bomb:
+      sys 16
+    exit:
+      movi r1, 0
+      sys 0
+  )");
+  EngineConfig cfg = IdealConfig();
+  cfg.symex.unsupported_opcodes = {isa::Opcode::kPush, isa::Opcode::kPop};
+  auto result = RunEngine(setup, {"prog", "A"}, cfg);
+  EXPECT_FALSE(result.validated);
+  EXPECT_TRUE(result.diag.Has(symex::ErrorStage::kEs1));
+  // With full support the same bomb is solved.
+  auto ok = RunEngine(setup, {"prog", "A"});
+  EXPECT_TRUE(ok.validated);
+  EXPECT_EQ(ok.claimed_argv[1][0], 'Z');
+}
+
+TEST(ConcolicEngine, FpGuardSolvedBySearch) {
+  // bomb iff 1024.0 + tiny(argv) == 1024.0 && tiny > 0, where tiny is
+  // built as argv_digit scaled down hard: digit d → d * 2^-1074-ish.
+  // Simpler: bomb iff double(x) * 0.5 == 3.5 → x == 7.
+  auto setup = Build(R"(
+    .entry main
+    main:
+      ld8 r3, [r2+8]
+      ld1 r4, [r3+0]
+      subi r4, r4, '0'
+      cvtif f0, r4
+      lea r6, half
+      fld f1, [r6+0]
+      fmul f2, f0, f1
+      fld f3, [r6+8]
+      fcmpeq r7, f2, f3
+      bz r7, exit
+    bomb:
+      sys 16
+    exit:
+      movi r1, 0
+      sys 0
+    .data
+    half: .quad 0x3FE0000000000000, 0x400C000000000000
+  )");
+  auto result = RunEngine(setup, {"prog", "1"});
+  ASSERT_TRUE(result.validated) << "rounds=" << result.rounds;
+  EXPECT_EQ(result.claimed_argv[1][0], '7');
+}
+
+TEST(ConcolicEngine, FpWithoutTheoryRaisesEs3) {
+  auto setup = Build(R"(
+    .entry main
+    main:
+      ld8 r3, [r2+8]
+      ld1 r4, [r3+0]
+      subi r4, r4, '0'
+      cvtif f0, r4
+      lea r6, half
+      fld f1, [r6+0]
+      fcmpeq r7, f0, f1
+      bz r7, exit
+    bomb:
+      sys 16
+    exit:
+      movi r1, 0
+      sys 0
+    .data
+    half: .quad 0x401C000000000000
+  )");
+  EngineConfig cfg = IdealConfig();
+  cfg.solver_supports_fp = false;
+  auto result = RunEngine(setup, {"prog", "1"}, cfg);
+  EXPECT_FALSE(result.validated);
+  EXPECT_TRUE(result.diag.Has(symex::ErrorStage::kEs3));
+}
+
+}  // namespace
+}  // namespace sbce::core

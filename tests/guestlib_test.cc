@@ -1,0 +1,253 @@
+// Guest library validation: run the .ltext routines in the VM and compare
+// against host references (including FIPS test vectors for the crypto).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/crypto/aes.h"
+#include "src/crypto/sha1.h"
+#include "src/guestlib/guestlib.h"
+#include "src/isa/assembler.h"
+#include "src/vm/devices.h"
+#include "src/vm/machine.h"
+
+namespace sbce::guestlib {
+namespace {
+
+struct GuestRun {
+  vm::RunResult result;
+  std::unique_ptr<vm::Machine> machine;
+};
+
+GuestRun RunGuest(const std::string& main_src,
+                  std::vector<std::string> argv = {"prog"}) {
+  const std::string src = main_src + EmitGuestLib();
+  auto img = isa::Assemble(src);
+  SBCE_CHECK_MSG(img.ok(), img.status().ToString());
+  auto machine = std::make_unique<vm::Machine>(img.value(), std::move(argv));
+  GuestRun run;
+  run.result = machine->Run();
+  run.machine = std::move(machine);
+  return run;
+}
+
+TEST(GuestLib, StrlenAndAtoi) {
+  auto run = RunGuest(R"(
+    .entry main
+    main:
+      lea r1, str
+      call gl_strlen
+      mov r10, r0
+      lea r1, num
+      call gl_atoi
+      ; exit(len * 1000 + value)
+      muli r10, r10, 1000
+      add r1, r10, r0
+      sys 0
+    .data
+    str: .asciz "hello"
+    num: .asciz "42"
+  )");
+  EXPECT_EQ(run.result.exit_code, 5 * 1000 + 42);
+}
+
+TEST(GuestLib, PrintU64WritesDecimal) {
+  auto run = RunGuest(R"(
+    .entry main
+    main:
+      movi r1, 90210
+      call gl_print_u64
+      movi r1, 0
+      sys 0
+  )");
+  EXPECT_EQ(run.result.stdout_text, "90210");
+}
+
+TEST(GuestLib, PrintU64Zero) {
+  auto run = RunGuest(R"(
+    .entry main
+    main:
+      movi r1, 0
+      call gl_print_u64
+      movi r1, 0
+      sys 0
+  )");
+  EXPECT_EQ(run.result.stdout_text, "0");
+}
+
+TEST(GuestLib, SinPolynomialAccuracy) {
+  // sin(0.5) via the guest polynomial, result bits stored to memory.
+  auto run = RunGuest(R"(
+    .entry main
+    main:
+      lea r4, input
+      fld f0, [r4+0]
+      call gl_sin
+      lea r4, output
+      fst f0, [r4+0]
+      movi r1, 0
+      sys 0
+    .data
+    input:  .quad 0x3FE0000000000000   ; 0.5
+    output: .space 8
+  )");
+  auto out_addr = [&] {
+    // .data base is 0x100000; input at +0, output at +8.
+    return 0x100000 + 8;
+  }();
+  const double guest = std::bit_cast<double>(
+      run.machine->root().mem.ReadU64(out_addr));
+  EXPECT_NEAR(guest, std::sin(0.5), 1e-6);
+}
+
+TEST(GuestLib, RandIsDeterministicInSeed) {
+  const std::string src = R"(
+    .entry main
+    main:
+      movi r1, 7
+      call gl_srand
+      call gl_rand
+      andi r1, r0, 0xff
+      sys 0
+  )";
+  auto r1 = RunGuest(src);
+  auto r2 = RunGuest(src);
+  EXPECT_EQ(r1.result.exit_code, r2.result.exit_code);
+  // Host-side expectation: kRandRounds LCG steps.
+  uint64_t state = 7;
+  for (int i = 0; i < kRandRounds; ++i) {
+    state ^= state >> 13;
+    state = (state * ((state >> 7) | 1) + 12345u) & 0x7fffffffu;
+  }
+  EXPECT_EQ(static_cast<uint64_t>(r1.result.exit_code),
+            state & 0xff);
+}
+
+TEST(GuestLib, UnwindDeliverRoundTrips) {
+  auto run = RunGuest(R"(
+    .entry main
+    main:
+      movi r1, 123
+      call gl_unwind_deliver
+      mov r1, r0
+      sys 0
+  )");
+  EXPECT_EQ(run.result.exit_code, 123);
+}
+
+TEST(GuestLib, Sha1MatchesHostAndFips) {
+  // Guest SHA1("abc") written to .data; compare with host + known vector.
+  auto run = RunGuest(R"(
+    .entry main
+    main:
+      lea r1, msg
+      movi r2, 3
+      lea r3, digest
+      call gl_sha1
+      movi r1, 0
+      sys 0
+    .data
+    msg:    .asciz "abc"
+    digest: .space 20
+  )");
+  const uint64_t digest_addr = 0x100000 + 4;
+  std::array<uint8_t, 20> guest;
+  for (size_t i = 0; i < guest.size(); ++i) {
+    guest[i] = run.machine->root().mem.ReadU8(digest_addr + i);
+  }
+  const uint8_t abc[3] = {'a', 'b', 'c'};
+  const auto host = crypto::Sha1(abc);
+  EXPECT_EQ(std::vector<uint8_t>(guest.begin(), guest.end()),
+            std::vector<uint8_t>(host.begin(), host.end()));
+  // FIPS 180-1 test vector for "abc".
+  const std::array<uint8_t, 20> fips = {
+      0xa9, 0x99, 0x3e, 0x36, 0x47, 0x06, 0x81, 0x6a, 0xba, 0x3e,
+      0x25, 0x71, 0x78, 0x50, 0xc2, 0x6c, 0x9c, 0xd0, 0xd8, 0x9d};
+  EXPECT_EQ(guest, fips);
+}
+
+TEST(GuestLib, Sha1EmptyMessage) {
+  auto run = RunGuest(R"(
+    .entry main
+    main:
+      lea r1, msg
+      movi r2, 0
+      lea r3, digest
+      call gl_sha1
+      movi r1, 0
+      sys 0
+    .data
+    msg:    .byte 0
+    digest: .space 20
+  )");
+  const uint64_t digest_addr = 0x100000 + 1;
+  std::array<uint8_t, 20> guest;
+  for (size_t i = 0; i < guest.size(); ++i) {
+    guest[i] = run.machine->root().mem.ReadU8(digest_addr + i);
+  }
+  const auto host = crypto::Sha1({});
+  EXPECT_TRUE(std::equal(guest.begin(), guest.end(), host.begin()));
+}
+
+TEST(GuestLib, Aes128MatchesHostAndFips) {
+  auto run = RunGuest(R"(
+    .entry main
+    main:
+      lea r1, key
+      lea r2, pt
+      lea r3, ct
+      call gl_aes128
+      movi r1, 0
+      sys 0
+    .data
+    key: .byte 0x00,0x01,0x02,0x03,0x04,0x05,0x06,0x07,0x08,0x09,0x0a,0x0b,0x0c,0x0d,0x0e,0x0f
+    pt:  .byte 0x00,0x11,0x22,0x33,0x44,0x55,0x66,0x77,0x88,0x99,0xaa,0xbb,0xcc,0xdd,0xee,0xff
+    ct:  .space 16
+  )");
+  ASSERT_FALSE(run.result.faulted) << run.result.fault_reason;
+  const uint64_t ct_addr = 0x100000 + 32;
+  std::array<uint8_t, 16> guest;
+  for (size_t i = 0; i < guest.size(); ++i) {
+    guest[i] = run.machine->root().mem.ReadU8(ct_addr + i);
+  }
+  crypto::AesKey key;
+  crypto::AesBlock pt;
+  for (int i = 0; i < 16; ++i) {
+    key[i] = static_cast<uint8_t>(i);
+    pt[i] = static_cast<uint8_t>(i * 0x11);
+  }
+  const auto host = crypto::Aes128Encrypt(key, pt);
+  EXPECT_TRUE(std::equal(guest.begin(), guest.end(), host.begin()));
+  // FIPS 197 Appendix C.1 ciphertext.
+  const std::array<uint8_t, 16> fips = {0x69, 0xc4, 0xe0, 0xd8, 0x6a, 0x7b,
+                                        0x04, 0x30, 0xd8, 0xcd, 0xb7, 0x80,
+                                        0x70, 0xb4, 0xc5, 0x5a};
+  EXPECT_EQ(guest, fips);
+}
+
+TEST(GuestLibHost, SboxKnownValues) {
+  EXPECT_EQ(crypto::AesSbox(0x00), 0x63);
+  EXPECT_EQ(crypto::AesSbox(0x01), 0x7c);
+  EXPECT_EQ(crypto::AesSbox(0x53), 0xed);
+  EXPECT_EQ(crypto::AesSbox(0xff), 0x16);
+}
+
+TEST(GuestLibHost, GfMulProperties) {
+  // Multiplication by 1 is identity; distributes over xor (sampled).
+  for (int a = 0; a < 256; a += 7) {
+    EXPECT_EQ(crypto::GfMul(static_cast<uint8_t>(a), 1), a);
+    for (int b = 0; b < 256; b += 13) {
+      for (int c = 0; c < 256; c += 29) {
+        EXPECT_EQ(crypto::GfMul(static_cast<uint8_t>(a),
+                                static_cast<uint8_t>(b ^ c)),
+                  crypto::GfMul(static_cast<uint8_t>(a),
+                                static_cast<uint8_t>(b)) ^
+                      crypto::GfMul(static_cast<uint8_t>(a),
+                                    static_cast<uint8_t>(c)));
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sbce::guestlib

@@ -1,0 +1,214 @@
+// Unit tests for the SBVM ISA: codec round-trips, assembler syntax and
+// error paths, image serialization, disassembly.
+#include <gtest/gtest.h>
+
+#include "src/isa/assembler.h"
+#include "src/isa/instruction.h"
+
+namespace sbce::isa {
+namespace {
+
+TEST(InstructionCodec, RoundTripsAllFields) {
+  Instruction in;
+  in.op = Opcode::kAddI;
+  in.rd = 3;
+  in.rs1 = 7;
+  in.rs2 = 0;
+  in.imm = -12345;
+  uint8_t buf[kInstrBytes];
+  Encode(in, buf);
+  auto back = Decode(buf);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back.value(), in);
+}
+
+TEST(InstructionCodec, RejectsUnknownOpcode) {
+  uint8_t buf[kInstrBytes] = {0xff, 0, 0, 0, 0, 0, 0, 0};
+  EXPECT_FALSE(Decode(buf).ok());
+}
+
+TEST(InstructionCodec, RejectsTruncated) {
+  uint8_t buf[4] = {0, 0, 0, 0};
+  EXPECT_FALSE(Decode(std::span<const uint8_t>(buf, 4)).ok());
+}
+
+TEST(InstructionCodec, RejectsBadRegisterIndex) {
+  Instruction in;
+  in.op = Opcode::kMov;
+  in.rd = 20;  // only 16 GPRs
+  uint8_t buf[kInstrBytes];
+  Encode(in, buf);
+  EXPECT_FALSE(Decode(buf).ok());
+}
+
+// Property: every opcode round-trips through encode/decode with benign
+// register fields.
+class OpcodeRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(OpcodeRoundTrip, EncodeDecode) {
+  Instruction in;
+  in.op = static_cast<Opcode>(GetParam());
+  in.rd = 1;
+  in.rs1 = 2;
+  in.rs2 = 3;
+  in.imm = 42;
+  uint8_t buf[kInstrBytes];
+  Encode(in, buf);
+  auto back = Decode(buf);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back.value(), in);
+  // Disassembly renders something non-empty for every opcode.
+  EXPECT_FALSE(Disassemble(back.value(), 0x1000).empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllOpcodes, OpcodeRoundTrip,
+    ::testing::Range(0, static_cast<int>(Opcode::kOpcodeCount)));
+
+TEST(Assembler, AssemblesBasicProgram) {
+  auto img = Assemble(R"(
+    .entry main
+    main:
+      movi r1, 41
+      addi r1, r1, 1
+      halt
+  )");
+  ASSERT_TRUE(img.ok()) << img.status().ToString();
+  ASSERT_EQ(img.value().sections().size(), 1u);
+  EXPECT_EQ(img.value().sections()[0].data.size(), 3 * kInstrBytes);
+  EXPECT_EQ(img.value().entry(), 0x1000u);
+}
+
+TEST(Assembler, ResolvesForwardAndBackwardLabels) {
+  auto img = Assemble(R"(
+    .entry main
+    main:
+      movi r1, 0
+    loop:
+      addi r1, r1, 1
+      cmpltui r2, r1, 10
+      bnz r2, loop
+      jmp done
+      movi r1, 99     ; skipped
+    done:
+      halt
+  )");
+  ASSERT_TRUE(img.ok()) << img.status().ToString();
+  auto loop = img.value().FindSymbol("loop");
+  ASSERT_TRUE(loop.has_value());
+  EXPECT_EQ(*loop, 0x1000u + kInstrBytes);
+}
+
+TEST(Assembler, DataDirectives) {
+  auto img = Assemble(R"(
+    .entry main
+    main:
+      halt
+    .data
+    bytes: .byte 1, 2, 0xff
+    words: .word 0x12345678
+    quads: .quad 0x1122334455667788, main
+    text:  .asciz "hi\n"
+    blank: .space 5
+  )");
+  ASSERT_TRUE(img.ok()) << img.status().ToString();
+  ASSERT_EQ(img.value().sections().size(), 2u);
+  const auto& data = img.value().sections()[1].data;
+  EXPECT_EQ(data[0], 1);
+  EXPECT_EQ(data[2], 0xff);
+  EXPECT_EQ(data[3], 0x78);  // little-endian word
+  // .quad main resolves to the text base.
+  EXPECT_EQ(data[3 + 4 + 8 - 1], 0x11);  // high byte of first quad
+  const size_t quad2 = 3 + 4 + 8;
+  EXPECT_EQ(data[quad2], 0x00);
+  EXPECT_EQ(data[quad2 + 1], 0x10);  // 0x1000 little-endian
+  const size_t str = quad2 + 8;
+  EXPECT_EQ(data[str], 'h');
+  EXPECT_EQ(data[str + 2], '\n');
+  EXPECT_EQ(data[str + 3], 0);
+}
+
+TEST(Assembler, EquConstants) {
+  auto img = Assemble(R"(
+    .equ MAGIC, 0x32
+    .entry main
+    main:
+      movi r1, MAGIC
+      halt
+  )");
+  ASSERT_TRUE(img.ok()) << img.status().ToString();
+  auto in = Decode(std::span<const uint8_t>(
+      img.value().sections()[0].data.data(), kInstrBytes));
+  ASSERT_TRUE(in.ok());
+  EXPECT_EQ(in.value().imm, 0x32);
+}
+
+TEST(Assembler, MemoryOperands) {
+  auto img = Assemble(R"(
+    .entry main
+    main:
+      ld8 r1, [sp+16]
+      st4 r1, [r2-8]
+      ldx8 r3, [r1+r2]
+      halt
+  )");
+  ASSERT_TRUE(img.ok()) << img.status().ToString();
+  const auto& text = img.value().sections()[0].data;
+  auto i0 = Decode(std::span<const uint8_t>(text.data(), kInstrBytes));
+  ASSERT_TRUE(i0.ok());
+  EXPECT_EQ(i0.value().op, Opcode::kLd8);
+  EXPECT_EQ(i0.value().rs1, kRegSp);
+  EXPECT_EQ(i0.value().imm, 16);
+  auto i1 =
+      Decode(std::span<const uint8_t>(text.data() + kInstrBytes, kInstrBytes));
+  ASSERT_TRUE(i1.ok());
+  EXPECT_EQ(i1.value().imm, -8);
+}
+
+TEST(Assembler, ErrorsCarryLineNumbers) {
+  auto img = Assemble("movi r1, 1\nbogus r1\n");
+  ASSERT_FALSE(img.ok());
+  EXPECT_NE(img.status().message().find("line 2"), std::string::npos);
+}
+
+TEST(Assembler, RejectsDuplicateLabel) {
+  EXPECT_FALSE(Assemble("a: nop\na: nop\n").ok());
+}
+
+TEST(Assembler, RejectsUndefinedLabel) {
+  EXPECT_FALSE(Assemble("jmp nowhere\n").ok());
+}
+
+TEST(Assembler, RejectsDataOutsideSections) {
+  EXPECT_FALSE(Assemble(".text\n.asciz no_quotes\n").ok());
+}
+
+TEST(Image, SerializeDeserializeRoundTrip) {
+  auto img = Assemble(R"(
+    .entry main
+    main:
+      movi r1, 7
+      halt
+    .data
+    d: .quad 99
+  )");
+  ASSERT_TRUE(img.ok());
+  auto bytes = img.value().Serialize();
+  auto back = isa::BinaryImage::Deserialize(bytes);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back.value().entry(), img.value().entry());
+  ASSERT_EQ(back.value().sections().size(), 2u);
+  EXPECT_EQ(back.value().sections()[0].data,
+            img.value().sections()[0].data);
+  EXPECT_EQ(back.value().sections()[1].vaddr, 0x100000u);
+  // Symbols are stripped from the wire format.
+  EXPECT_TRUE(back.value().symbols().empty());
+}
+
+TEST(Image, DeserializeRejectsGarbage) {
+  std::vector<uint8_t> junk = {'n', 'o', 'p', 'e', 1, 2, 3};
+  EXPECT_FALSE(isa::BinaryImage::Deserialize(junk).ok());
+}
+
+}  // namespace
+}  // namespace sbce::isa

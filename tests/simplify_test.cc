@@ -1,0 +1,168 @@
+// Simplifier tests: targeted rewrite rules plus a property sweep checking
+// semantic equivalence on randomly generated expressions.
+#include <gtest/gtest.h>
+
+#include "src/solver/eval.h"
+#include "src/solver/simplify.h"
+#include "src/support/bits.h"
+#include "src/support/rng.h"
+
+namespace sbce::solver {
+namespace {
+
+TEST(Simplify, SolvesEqualityAgainstAdd) {
+  ExprPool pool;
+  ExprRef x = pool.Var("x", 32);
+  // (x + 5) == 12  →  x == 7
+  ExprRef e = Simplify(
+      &pool, pool.Eq(pool.Add(x, pool.Const(5, 32)), pool.Const(12, 32)));
+  EXPECT_EQ(ToString(e), "(= x #x7[32])");
+}
+
+TEST(Simplify, SolvesEqualityAgainstXorAndNot) {
+  ExprPool pool;
+  ExprRef x = pool.Var("x", 8);
+  ExprRef e1 = Simplify(
+      &pool, pool.Eq(pool.Xor(x, pool.Const(0xF0, 8)), pool.Const(0x0F, 8)));
+  EXPECT_EQ(ToString(e1), "(= x #xff[8])");
+  ExprRef e2 =
+      Simplify(&pool, pool.Eq(pool.Not(x), pool.Const(0, 8)));
+  EXPECT_EQ(ToString(e2), "(= x #xff[8])");
+}
+
+TEST(Simplify, ImpossibleZextEqualityBecomesFalse) {
+  ExprPool pool;
+  ExprRef b = pool.Var("b", 8);
+  // zext8→64(b) == 0x1234 is impossible.
+  ExprRef e = Simplify(
+      &pool, pool.Eq(pool.ZExt(b, 64), pool.Const(0x1234, 64)));
+  EXPECT_TRUE(e->IsConst(0));
+}
+
+TEST(Simplify, ZextEqualityNarrows) {
+  ExprPool pool;
+  ExprRef b = pool.Var("b", 8);
+  ExprRef e = Simplify(
+      &pool, pool.Eq(pool.ZExt(b, 64), pool.Const(0x41, 64)));
+  EXPECT_EQ(ToString(e), "(= b #x41[8])");
+}
+
+TEST(Simplify, BranchConditionPlumbingCollapses) {
+  // The executor generates ¬(zext(cmp) == 0) for taken bnz branches; that
+  // should shrink to the bare comparison.
+  ExprPool pool;
+  ExprRef x = pool.Var("x", 64);
+  ExprRef cmp = pool.Binary(Kind::kUlt, x, pool.Const(10, 64));
+  ExprRef branch =
+      pool.Not(pool.Eq(pool.ZExt(cmp, 64), pool.Const(0, 64)));
+  ExprRef e = Simplify(&pool, branch);
+  EXPECT_EQ(e, cmp);
+}
+
+TEST(Simplify, AddChainsFold) {
+  ExprPool pool;
+  ExprRef x = pool.Var("x", 16);
+  ExprRef e = Simplify(
+      &pool,
+      pool.Add(pool.Add(pool.Add(x, pool.Const(1, 16)), pool.Const(2, 16)),
+               pool.Const(3, 16)));
+  EXPECT_EQ(ToString(e), "(bvadd x #x6[16])");
+}
+
+TEST(Simplify, BooleanIteCollapses) {
+  ExprPool pool;
+  ExprRef c = pool.Var("c", 1);
+  EXPECT_EQ(Simplify(&pool, pool.Ite(c, pool.True(), pool.False())), c);
+  EXPECT_EQ(ToString(Simplify(&pool, pool.Ite(c, pool.False(), pool.True()))),
+            "(bvnot c)");
+}
+
+TEST(Simplify, IteAgainstConstantArms) {
+  ExprPool pool;
+  ExprRef c = pool.Var("c", 1);
+  ExprRef ite = pool.Ite(c, pool.Const(7, 32), pool.Const(9, 32));
+  EXPECT_EQ(Simplify(&pool, pool.Eq(ite, pool.Const(7, 32))), c);
+  EXPECT_TRUE(
+      Simplify(&pool, pool.Eq(ite, pool.Const(8, 32)))->IsConst(0));
+}
+
+TEST(Simplify, SimplifyAllDropsTrivialTruths) {
+  ExprPool pool;
+  ExprRef x = pool.Var("x", 8);
+  std::vector<ExprRef> as = {
+      pool.True(),
+      pool.Eq(x, x),  // folds to true at build time already
+      pool.Ult(x, pool.Const(200, 8)),
+  };
+  auto out = SimplifyAll(&pool, as);
+  EXPECT_EQ(out.size(), 1u);
+}
+
+// --- Property sweep: random expressions keep their semantics ------------
+
+class RandomExprEquivalence : public ::testing::TestWithParam<int> {};
+
+ExprRef RandomExpr(ExprPool& pool, SplitMix64& rng, int depth,
+                   unsigned width) {
+  if (depth == 0 || rng.NextBelow(4) == 0) {
+    if (rng.NextBelow(2) == 0) {
+      return pool.Var("v" + std::to_string(rng.NextBelow(3)), width);
+    }
+    return pool.Const(rng.Next(), width);
+  }
+  const Kind kinds[] = {Kind::kAdd, Kind::kSub,  Kind::kMul, Kind::kAnd,
+                        Kind::kOr,  Kind::kXor,  Kind::kShl, Kind::kLShr,
+                        Kind::kNot, Kind::kNeg,  Kind::kEq,  Kind::kUlt,
+                        Kind::kIte, Kind::kZExt, Kind::kSExt};
+  const Kind k = kinds[rng.NextBelow(std::size(kinds))];
+  switch (k) {
+    case Kind::kNot:
+    case Kind::kNeg:
+      return pool.Unary(k, RandomExpr(pool, rng, depth - 1, width));
+    case Kind::kEq:
+    case Kind::kUlt: {
+      ExprRef a = RandomExpr(pool, rng, depth - 1, width);
+      ExprRef b = RandomExpr(pool, rng, depth - 1, width);
+      // Comparisons return 1-bit; widen back so composition stays typed.
+      return pool.ZExt(pool.Binary(k, a, b), width);
+    }
+    case Kind::kIte: {
+      ExprRef c = pool.NonZero(RandomExpr(pool, rng, depth - 1, width));
+      return pool.Ite(c, RandomExpr(pool, rng, depth - 1, width),
+                      RandomExpr(pool, rng, depth - 1, width));
+    }
+    case Kind::kZExt:
+    case Kind::kSExt: {
+      if (width < 2) return pool.Const(rng.Next(), width);
+      const unsigned inner = 1 + static_cast<unsigned>(
+                                     rng.NextBelow(width - 1));
+      ExprRef a = RandomExpr(pool, rng, depth - 1, inner);
+      return k == Kind::kZExt ? pool.ZExt(a, width) : pool.SExt(a, width);
+    }
+    default:
+      return pool.Binary(k, RandomExpr(pool, rng, depth - 1, width),
+                         RandomExpr(pool, rng, depth - 1, width));
+  }
+}
+
+TEST_P(RandomExprEquivalence, SimplifiedEvaluatesIdentically) {
+  SplitMix64 rng(GetParam() * 1713 + 5);
+  ExprPool pool;
+  const unsigned width = 1 + static_cast<unsigned>(rng.NextBelow(32));
+  ExprRef original = RandomExpr(pool, rng, 4, width);
+  ExprRef simplified = Simplify(&pool, original);
+  for (int trial = 0; trial < 16; ++trial) {
+    Assignment a{{"v0", rng.Next()}, {"v1", rng.Next()}, {"v2", rng.Next()}};
+    ASSERT_EQ(Evaluate(original, a), Evaluate(simplified, a))
+        << "width=" << width << "\n  orig: " << ToString(original)
+        << "\n  simp: " << ToString(simplified);
+  }
+  // Idempotence.
+  EXPECT_EQ(Simplify(&pool, simplified), simplified);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomExprEquivalence,
+                         ::testing::Range(0, 60));
+
+}  // namespace
+}  // namespace sbce::solver

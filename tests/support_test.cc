@@ -1,0 +1,117 @@
+// Unit tests for the support layer: Status/Result, string helpers, bit
+// utilities, deterministic RNG.
+#include <gtest/gtest.h>
+
+#include "src/support/bits.h"
+#include "src/support/rng.h"
+#include "src/support/status.h"
+#include "src/support/str.h"
+
+namespace sbce {
+namespace {
+
+TEST(Status, OkAndErrorStates) {
+  EXPECT_TRUE(Status::Ok().ok());
+  const Status err = Status::NotFound("missing.txt");
+  EXPECT_FALSE(err.ok());
+  EXPECT_EQ(err.code(), StatusCode::kNotFound);
+  EXPECT_EQ(err.ToString(), "NOT_FOUND: missing.txt");
+  EXPECT_EQ(Status::Ok().ToString(), "OK");
+}
+
+TEST(Result, HoldsValueOrStatus) {
+  Result<int> good = 42;
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(good.value(), 42);
+  Result<int> bad = Status::Invalid("nope");
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(bad.value_or(-1), -1);
+  EXPECT_EQ(good.value_or(-1), 42);
+}
+
+TEST(Result, MoveOnlyTypes) {
+  Result<std::unique_ptr<int>> r = std::make_unique<int>(7);
+  ASSERT_TRUE(r.ok());
+  auto owned = std::move(r).value();
+  EXPECT_EQ(*owned, 7);
+}
+
+TEST(Str, SplitAny) {
+  auto parts = SplitAny("a, b\t c", ", \t");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "c");
+  EXPECT_TRUE(SplitAny("", ",").empty());
+  EXPECT_TRUE(SplitAny(",,,", ",").empty());
+}
+
+TEST(Str, Trim) {
+  EXPECT_EQ(Trim("  x  "), "x");
+  EXPECT_EQ(Trim("\t\n"), "");
+  EXPECT_EQ(Trim("abc"), "abc");
+}
+
+TEST(Str, ParseIntLiteralForms) {
+  EXPECT_EQ(ParseIntLiteral("42").value(), 42);
+  EXPECT_EQ(ParseIntLiteral("-17").value(), -17);
+  EXPECT_EQ(ParseIntLiteral("0x2A").value(), 0x2A);
+  EXPECT_EQ(ParseIntLiteral("0b1010").value(), 10);
+  EXPECT_EQ(ParseIntLiteral("1_000").value(), 1000);
+  EXPECT_EQ(ParseIntLiteral("'A'").value(), 'A');
+  EXPECT_EQ(ParseIntLiteral("'\\n'").value(), '\n');
+  EXPECT_EQ(ParseIntLiteral("'\\0'").value(), 0);
+  EXPECT_FALSE(ParseIntLiteral("").ok());
+  EXPECT_FALSE(ParseIntLiteral("-").ok());
+  EXPECT_FALSE(ParseIntLiteral("0xZZ").ok());
+  EXPECT_FALSE(ParseIntLiteral("12a").ok());
+}
+
+TEST(Str, FormatAndPadding) {
+  EXPECT_EQ(StrFormat("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(PadRight("ab", 4), "ab  ");
+  EXPECT_EQ(PadLeft("ab", 4), "  ab");
+  EXPECT_EQ(PadRight("abcd", 2), "abcd");
+  EXPECT_TRUE(StartsWith("sysenv8_0", "sysenv"));
+  EXPECT_FALSE(StartsWith("sys", "sysenv"));
+}
+
+TEST(Bits, TruncAndExtend) {
+  EXPECT_EQ(TruncToWidth(0x1FF, 8), 0xFFu);
+  EXPECT_EQ(TruncToWidth(0xFFFFFFFFFFFFFFFFull, 64), 0xFFFFFFFFFFFFFFFFull);
+  EXPECT_EQ(SignExtend(0x80, 8), 0xFFFFFFFFFFFFFF80ull);
+  EXPECT_EQ(SignExtend(0x7F, 8), 0x7Full);
+  EXPECT_EQ(AsSigned(0xFF, 8), -1);
+  EXPECT_EQ(AsSigned(0x7FFF, 16), 32767);
+  EXPECT_TRUE(GetBit(0b100, 2));
+  EXPECT_FALSE(GetBit(0b100, 1));
+}
+
+TEST(Bits, HashingIsStableAndSpreads) {
+  const char data[] = "hello";
+  EXPECT_EQ(Fnv1a(data, 5), Fnv1a(data, 5));
+  EXPECT_NE(Fnv1a("a", 1), Fnv1a("b", 1));
+  EXPECT_NE(Fnv1a("ab", 2, 1), Fnv1a("ab", 2, 2));  // seed matters
+  EXPECT_NE(HashCombine(1, 2), HashCombine(2, 1));
+}
+
+TEST(Rng, DeterministicAndUniformish) {
+  SplitMix64 a(99);
+  SplitMix64 b(99);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+  SplitMix64 c(1);
+  int buckets[4] = {0, 0, 0, 0};
+  for (int i = 0; i < 4000; ++i) ++buckets[c.NextBelow(4)];
+  for (int count : buckets) {
+    EXPECT_GT(count, 800);
+    EXPECT_LT(count, 1200);
+  }
+  for (int i = 0; i < 100; ++i) {
+    const double u = c.NextUnit();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace sbce

@@ -1,0 +1,302 @@
+// Direct symbolic-executor tests: expression-level propagation, policies,
+// diagnostics — below the engine, above the VM.
+#include <gtest/gtest.h>
+
+#include "src/isa/assembler.h"
+#include "src/solver/eval.h"
+#include "src/solver/solver.h"
+#include "src/symex/executor.h"
+#include "src/vm/machine.h"
+
+namespace sbce::symex {
+namespace {
+
+struct Walked {
+  std::vector<vm::TraceEvent> events;
+  uint64_t argv1 = 0;
+  uint32_t pid = 0;
+};
+
+Walked RunWalk(std::string_view src, std::vector<std::string> argv) {
+  auto img = isa::Assemble(src);
+  SBCE_CHECK_MSG(img.ok(), img.status().ToString());
+  vm::Machine machine(img.value(), argv);
+  Walked w;
+  w.argv1 = machine.ArgvStringAddr(1);
+  machine.set_trace_hook(
+      [&w](const vm::TraceEvent& ev) { w.events.push_back(ev); });
+  machine.Run();
+  w.pid = w.events.front().pid;
+  return w;
+}
+
+TEST(Executor, RegisterExpressionsFollowDataflow) {
+  auto w = RunWalk(R"(
+    .entry main
+    main:
+      ld8 r3, [r2+8]
+      ld1 r4, [r3+0]
+      addi r4, r4, 10
+      muli r4, r4, 3
+      movi r1, 0
+      sys 0
+  )",
+               {"prog", "A"});
+  solver::ExprPool pool;
+  TraceExecutor exec(&pool, SymexConfig{});
+  std::vector<solver::ExprRef> bytes = {pool.Var("b", 8)};
+  exec.AddSymbolicBytes(w.argv1, bytes);
+  exec.Execute(w.events);
+  solver::ExprRef r4 = exec.state().Regs(w.pid, 1).gpr[4];
+  ASSERT_NE(r4, nullptr);
+  // (b + 10) * 3 with b = 'A' = 65 → 225.
+  EXPECT_EQ(solver::Evaluate(r4, {{"b", 'A'}}), 225u);
+  EXPECT_EQ(solver::Evaluate(r4, {{"b", 0}}), 30u);
+}
+
+TEST(Executor, ConcreteWritesClearSymbolicState) {
+  auto w = RunWalk(R"(
+    .entry main
+    main:
+      ld8 r3, [r2+8]
+      ld1 r4, [r3+0]
+      movi r4, 7          ; overwrite kills the expression
+      movi r1, 0
+      sys 0
+  )",
+               {"prog", "A"});
+  solver::ExprPool pool;
+  TraceExecutor exec(&pool, SymexConfig{});
+  std::vector<solver::ExprRef> bytes = {pool.Var("b", 8)};
+  exec.AddSymbolicBytes(w.argv1, bytes);
+  exec.Execute(w.events);
+  EXPECT_EQ(exec.state().Regs(w.pid, 1).gpr[4], nullptr);
+}
+
+TEST(Executor, MixedWidthMemoryRoundTrip) {
+  // Store a symbolic byte into the middle of a concrete word, reload the
+  // whole word: expression must mix symbolic and concrete bytes.
+  auto w = RunWalk(R"(
+    .entry main
+    main:
+      ld8 r3, [r2+8]
+      ld1 r4, [r3+0]
+      lea r6, cell
+      st1 r4, [r6+1]      ; overwrite byte 1 of 0x11223344
+      ld4 r5, [r6+0]
+      movi r1, 0
+      sys 0
+    .data
+    cell: .word 0x11223344
+  )",
+               {"prog", "A"});
+  solver::ExprPool pool;
+  TraceExecutor exec(&pool, SymexConfig{});
+  std::vector<solver::ExprRef> bytes = {pool.Var("b", 8)};
+  exec.AddSymbolicBytes(w.argv1, bytes);
+  exec.Execute(w.events);
+  solver::ExprRef r5 = exec.state().Regs(w.pid, 1).gpr[5];
+  ASSERT_NE(r5, nullptr);
+  EXPECT_EQ(solver::Evaluate(r5, {{"b", 0xAB}}), 0x1122AB44u);
+}
+
+TEST(Executor, PathConstraintsHoldOnObservedPath) {
+  auto w = RunWalk(R"(
+    .entry main
+    main:
+      ld8 r3, [r2+8]
+      ld1 r4, [r3+0]
+      cmpltui r5, r4, 0x50
+      bnz r5, low
+      movi r6, 1
+    low:
+      movi r1, 0
+      sys 0
+  )",
+               {"prog", "A"});  // 'A' = 0x41 < 0x50: branch taken
+  solver::ExprPool pool;
+  TraceExecutor exec(&pool, SymexConfig{});
+  std::vector<solver::ExprRef> bytes = {pool.Var("b", 8)};
+  exec.AddSymbolicBytes(w.argv1, bytes);
+  exec.Execute(w.events);
+  const auto& path = exec.state().path();
+  ASSERT_EQ(path.size(), 1u);
+  // The recorded condition must be true under the observed input and
+  // false under one that flips the branch.
+  EXPECT_EQ(solver::Evaluate(path[0].cond, {{"b", 'A'}}), 1u);
+  EXPECT_EQ(solver::Evaluate(path[0].cond, {{"b", 0x60}}), 0u);
+  // And the negated-direction successor is the fallthrough.
+  EXPECT_EQ(path[0].negated_successor, path[0].pc + isa::kInstrBytes);
+}
+
+TEST(Executor, WindowExpansionCoversNeighbours) {
+  auto w = RunWalk(R"(
+    .entry main
+    main:
+      ld8 r3, [r2+8]
+      ld1 r4, [r3+0]
+      subi r4, r4, '0'
+      lea r6, table
+      ldx1 r5, [r6+r4]
+      movi r1, 0
+      sys 0
+    .data
+    table: .byte 10, 20, 30, 40, 50
+  )",
+               {"prog", "1"});
+  solver::ExprPool pool;
+  SymexConfig cfg;
+  cfg.addr_policy = SymAddrPolicy::kExpandWindow;
+  cfg.addr_window = 16;
+  TraceExecutor exec(&pool, cfg);
+  exec.SetInitialByteReader([&](uint64_t addr) -> std::optional<uint8_t> {
+    // Table lives at 0x100000 in .data.
+    static const uint8_t kTable[5] = {10, 20, 30, 40, 50};
+    if (addr >= 0x100000 && addr < 0x100005) {
+      return kTable[addr - 0x100000];
+    }
+    return 0;
+  });
+  std::vector<solver::ExprRef> bytes = {pool.Var("b", 8)};
+  exec.AddSymbolicBytes(w.argv1, bytes);
+  exec.Execute(w.events);
+  solver::ExprRef r5 = exec.state().Regs(w.pid, 1).gpr[5];
+  ASSERT_NE(r5, nullptr);
+  // The ITE expansion must produce the right element for each index.
+  EXPECT_EQ(solver::Evaluate(r5, {{"b", '0'}}), 10u);
+  EXPECT_EQ(solver::Evaluate(r5, {{"b", '1'}}), 20u);
+  EXPECT_EQ(solver::Evaluate(r5, {{"b", '4'}}), 50u);
+}
+
+TEST(Executor, ConcretizePolicyRaisesEs3OnSymbolicLoad) {
+  auto w = RunWalk(R"(
+    .entry main
+    main:
+      ld8 r3, [r2+8]
+      ld1 r4, [r3+0]
+      lea r6, table
+      ldx1 r5, [r6+r4]
+      movi r1, 0
+      sys 0
+    .data
+    table: .space 128
+  )",
+               {"prog", "1"});
+  solver::ExprPool pool;
+  TraceExecutor exec(&pool, SymexConfig{});  // default: concretize
+  std::vector<solver::ExprRef> bytes = {pool.Var("b", 8)};
+  exec.AddSymbolicBytes(w.argv1, bytes);
+  exec.Execute(w.events);
+  EXPECT_TRUE(exec.state().diag().Has(ErrorStage::kEs1) == false);
+  EXPECT_TRUE(exec.state().diag().Has(ErrorStage::kEs3));
+}
+
+TEST(Executor, AbortingSyscallProducesEngineException) {
+  auto w = RunWalk(R"(
+    .entry main
+    main:
+      lea r1, buf
+      movi r2, 8
+      sys 15
+      movi r1, 0
+      sys 0
+    .data
+    buf: .space 8
+  )",
+               {"prog", "x"});
+  solver::ExprPool pool;
+  SymexConfig cfg;
+  cfg.aborting_syscalls = {15};
+  TraceExecutor exec(&pool, cfg);
+  auto result = exec.Execute(w.events);
+  EXPECT_TRUE(result.aborted);
+  EXPECT_NE(result.abort_reason.find("syscall 15"), std::string::npos);
+}
+
+TEST(Executor, SimulatedSyscallReturnsFreshEnvSymbol) {
+  auto w = RunWalk(R"(
+    .entry main
+    main:
+      sys 8               ; getpid
+      cmpeqi r5, r0, 3
+      bz r5, skip
+    skip:
+      movi r1, 0
+      sys 0
+  )",
+               {"prog", "x"});
+  solver::ExprPool pool;
+  SymexConfig cfg;
+  cfg.syscall_model = SyscallModel::kSimulateUnconstrained;
+  cfg.unconstrained_syscalls = {8};
+  TraceExecutor exec(&pool, cfg);
+  auto result = exec.Execute(w.events);
+  EXPECT_EQ(result.env_symbols.size(), 1u);
+  EXPECT_EQ(exec.state().path().size(), 1u);  // env-dependent branch
+}
+
+TEST(Executor, LibSkipInventsReturnValues) {
+  auto w = RunWalk(R"(
+    .entry main
+    main:
+      ld8 r3, [r2+8]
+      ld1 r1, [r3+0]
+      call helper          ; library function: r0 = r1 * 2
+      cmpeqi r5, r0, 10
+      bz r5, skip
+    skip:
+      movi r1, 0
+      sys 0
+    .ltext
+    helper:
+      add r0, r1, r1
+      ret
+  )",
+               {"prog", "A"});
+  solver::ExprPool pool;
+  SymexConfig cfg;
+  cfg.lib_mode = LibMode::kSkipUnconstrained;
+  TraceExecutor exec(&pool, cfg);
+  std::vector<solver::ExprRef> bytes = {pool.Var("b", 8)};
+  exec.AddSymbolicBytes(w.argv1, bytes);
+  auto result = exec.Execute(w.events);
+  // The helper's dataflow is gone; an extenv symbol replaced it.
+  ASSERT_EQ(exec.state().path().size(), 1u);
+  bool uses_extenv = false;
+  for (auto* v : solver::CollectVars({&exec.state().path()[0].cond, 1})) {
+    if (v->name.rfind("extenv", 0) == 0) uses_extenv = true;
+  }
+  EXPECT_TRUE(uses_extenv);
+  EXPECT_FALSE(result.env_symbols.empty());
+}
+
+TEST(Executor, TraceVersusLibConstraintAccounting) {
+  auto w = RunWalk(R"(
+    .entry main
+    main:
+      ld8 r3, [r2+8]
+      ld1 r1, [r3+0]
+      call helper
+      movi r1, 0
+      sys 0
+    .ltext
+    helper:                ; a symbolic branch inside the library
+      cmpltui r5, r1, 10
+      bz r5, helper_done
+      addi r1, r1, 1
+    helper_done:
+      ret
+  )",
+               {"prog", "A"});
+  solver::ExprPool pool;
+  TraceExecutor exec(&pool, SymexConfig{});
+  std::vector<solver::ExprRef> bytes = {pool.Var("b", 8)};
+  exec.AddSymbolicBytes(w.argv1, bytes);
+  auto result = exec.Execute(w.events);
+  EXPECT_EQ(result.lib_constraint_count, 1u);
+  ASSERT_EQ(exec.state().path().size(), 1u);
+  EXPECT_TRUE(exec.state().path()[0].in_lib);
+}
+
+}  // namespace
+}  // namespace sbce::symex

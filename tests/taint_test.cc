@@ -1,0 +1,232 @@
+// Taint engine tests: propagation rules, channel tracking, thread and
+// process boundaries, and cross-checks against the symbolic executor.
+#include <gtest/gtest.h>
+
+#include "src/isa/assembler.h"
+#include "src/solver/expr.h"
+#include "src/symex/executor.h"
+#include "src/trace/taint.h"
+#include "src/vm/machine.h"
+
+namespace sbce::trace {
+namespace {
+
+struct TracedRun {
+  std::vector<vm::TraceEvent> events;
+  std::unique_ptr<vm::Machine> machine;
+  uint64_t argv1_addr = 0;
+};
+
+TracedRun RunTraced(std::string_view src,
+                    std::vector<std::string> argv = {"prog", "AB"}) {
+  auto img = isa::Assemble(src);
+  SBCE_CHECK_MSG(img.ok(), img.status().ToString());
+  TracedRun run;
+  run.machine = std::make_unique<vm::Machine>(img.value(), argv);
+  run.argv1_addr = run.machine->ArgvStringAddr(1);
+  run.machine->set_trace_hook(
+      [&run](const vm::TraceEvent& ev) { run.events.push_back(ev); });
+  run.machine->Run();
+  return run;
+}
+
+TEST(Taint, PropagatesThroughAlu) {
+  auto run = RunTraced(R"(
+    .entry main
+    main:
+      ld8 r3, [r2+8]
+      ld1 r4, [r3+0]     ; tainted
+      addi r4, r4, 1     ; still tainted
+      movi r5, 9         ; clean
+      add r6, r4, r5     ; tainted (one source)
+      mul r7, r5, r5     ; clean
+      movi r1, 0
+      sys 0
+  )");
+  TaintEngine taint;
+  taint.MarkMemory(run.argv1_addr, 2);
+  taint.ProcessTrace(run.events);
+  EXPECT_TRUE(taint.RegTainted(run.events[0].pid, 1, 4));
+  EXPECT_TRUE(taint.RegTainted(run.events[0].pid, 1, 6));
+  EXPECT_FALSE(taint.RegTainted(run.events[0].pid, 1, 5));
+  EXPECT_FALSE(taint.RegTainted(run.events[0].pid, 1, 7));
+}
+
+TEST(Taint, OverwritingCleansRegistersAndMemory) {
+  auto run = RunTraced(R"(
+    .entry main
+    main:
+      ld8 r3, [r2+8]
+      ld1 r4, [r3+0]     ; tainted
+      lea r6, cell
+      st1 r4, [r6+0]     ; memory tainted
+      movi r4, 0         ; r4 cleaned
+      movi r0, 5
+      st1 r0, [r6+0]     ; memory cleaned
+      movi r1, 0
+      sys 0
+    .data
+    cell: .space 8
+  )");
+  TaintEngine taint;
+  taint.MarkMemory(run.argv1_addr, 2);
+  taint.ProcessTrace(run.events);
+  EXPECT_FALSE(taint.RegTainted(run.events[0].pid, 1, 4));
+  EXPECT_FALSE(taint.MemTainted(0x100000));
+}
+
+TEST(Taint, BranchesOnTaintedDataAreReported) {
+  auto run = RunTraced(R"(
+    .entry main
+    main:
+      ld8 r3, [r2+8]
+      ld1 r4, [r3+0]
+      bz r4, skip        ; tainted branch
+      movi r5, 0
+      bz r5, skip        ; clean branch
+    skip:
+      movi r1, 0
+      sys 0
+  )");
+  TaintEngine taint;
+  taint.MarkMemory(run.argv1_addr, 2);
+  taint.ProcessTrace(run.events);
+  EXPECT_EQ(taint.report().tainted_branches.size(), 1u);
+}
+
+TEST(Taint, SymbolicAddressesAreReported) {
+  auto run = RunTraced(R"(
+    .entry main
+    main:
+      ld8 r3, [r2+8]
+      ld1 r4, [r3+0]
+      subi r4, r4, '0'
+      lea r6, table
+      ldx1 r5, [r6+r4]   ; tainted address
+      movi r1, 0
+      sys 0
+    .data
+    table: .byte 1,2,3,4,5,6,7,8,9,10
+  )",
+                       {"prog", "3"});
+  TaintEngine taint;
+  taint.MarkMemory(run.argv1_addr, 1);
+  taint.ProcessTrace(run.events);
+  EXPECT_EQ(taint.report().tainted_addresses.size(), 1u);
+}
+
+TEST(Taint, CovertChannelTrackedWhenEnabled) {
+  constexpr std::string_view kEcho = R"(
+    .entry main
+    main:
+      ld8 r3, [r2+8]
+      ld1 r4, [r3+0]
+      lea r1, key
+      mov r2, r4
+      sys 18            ; echo_store(key, tainted)
+      lea r1, key
+      sys 19            ; echo_load -> r0
+      bz r0, skip
+    skip:
+      movi r1, 0
+      sys 0
+    .data
+    key: .asciz "k"
+  )";
+  auto run = RunTraced(kEcho);
+  TaintEngine tracked{TaintConfig{.track_channels = true}};
+  tracked.MarkMemory(run.argv1_addr, 2);
+  tracked.ProcessTrace(run.events);
+  EXPECT_EQ(tracked.report().tainted_branches.size(), 1u);
+  EXPECT_FALSE(tracked.report().tainted_channels.empty());
+
+  auto run2 = RunTraced(kEcho);
+  TaintEngine untracked{TaintConfig{.track_channels = false}};
+  untracked.MarkMemory(run2.argv1_addr, 2);
+  untracked.ProcessTrace(run2.events);
+  EXPECT_TRUE(untracked.report().tainted_branches.empty());
+}
+
+TEST(Taint, ThreadBoundaryConfigurable) {
+  constexpr std::string_view kThreaded = R"(
+    .entry main
+    main:
+      ld8 r3, [r2+8]
+      ld1 r4, [r3+0]
+      lea r6, cell
+      st8 r4, [r6+0]
+      movi r1, worker
+      movi r2, 0
+      sys 11
+      mov r1, r0
+      sys 12
+      lea r6, cell
+      ld8 r5, [r6+0]
+      bz r5, skip
+    skip:
+      movi r1, 0
+      sys 0
+    worker:
+      lea r6, cell
+      ld8 r5, [r6+0]
+      addi r5, r5, 1
+      st8 r5, [r6+0]
+      halt
+    .data
+    cell: .quad 0
+  )";
+  auto run = RunTraced(kThreaded);
+  TaintEngine cross{TaintConfig{.cross_thread = true}};
+  cross.MarkMemory(run.argv1_addr, 2);
+  cross.ProcessTrace(run.events);
+  EXPECT_EQ(cross.report().tainted_branches.size(), 1u);
+
+  auto run2 = RunTraced(kThreaded);
+  TaintEngine isolated{TaintConfig{.cross_thread = false}};
+  isolated.MarkMemory(run2.argv1_addr, 2);
+  isolated.ProcessTrace(run2.events);
+  // The worker's store of the tainted value is untracked: taint dies.
+  EXPECT_TRUE(isolated.report().tainted_branches.empty());
+}
+
+// Cross-check: the taint engine and the symbolic executor must agree on
+// which branches are input-dependent.
+TEST(Taint, AgreesWithSymbolicExecutorOnBranches) {
+  constexpr std::string_view kProgram = R"(
+    .entry main
+    main:
+      ld8 r3, [r2+8]
+      ld1 r4, [r3+0]
+      addi r4, r4, 2
+      cmpeqi r5, r4, 100
+      bz r5, next        ; symbolic/tainted
+    next:
+      movi r6, 1
+      bnz r6, last       ; concrete/clean
+    last:
+      push r4
+      pop r7
+      bz r7, done        ; symbolic through the stack
+    done:
+      movi r1, 0
+      sys 0
+  )";
+  auto run = RunTraced(kProgram);
+
+  TaintEngine taint;
+  taint.MarkMemory(run.argv1_addr, 2);
+  taint.ProcessTrace(run.events);
+
+  solver::ExprPool pool;
+  symex::TraceExecutor exec(&pool, symex::SymexConfig{});
+  std::vector<solver::ExprRef> bytes = {pool.Var("b0", 8),
+                                        pool.Var("b1", 8)};
+  exec.AddSymbolicBytes(run.argv1_addr, bytes);
+  exec.Execute(run.events);
+
+  EXPECT_EQ(taint.report().tainted_branches.size(),
+            exec.state().path().size());
+}
+
+}  // namespace
+}  // namespace sbce::trace

@@ -1,0 +1,165 @@
+// Tool-model tests: classifier precedence, profile construction, and fast
+// representative Table II cells per tool (the full grid runs in
+// bench/table2_tool_grid; here we pin the cheap cells so regressions in
+// any mechanism fail unit tests quickly).
+#include <gtest/gtest.h>
+
+#include "src/report/table.h"
+#include "src/tools/runner.h"
+
+namespace sbce::tools {
+namespace {
+
+using symex::ErrorStage;
+
+core::EngineResult MakeResult() {
+  core::EngineResult r;
+  r.any_symbolic_seen = true;
+  return r;
+}
+
+TEST(Classify, AbortBeatsEverything) {
+  auto r = MakeResult();
+  r.aborted = true;
+  r.validated = true;  // nonsensical combination, abort still wins
+  EXPECT_EQ(Classify(r), Outcome::kE);
+}
+
+TEST(Classify, ValidatedIsSuccess) {
+  auto r = MakeResult();
+  r.claimed = true;
+  r.validated = true;
+  r.diag.Raise(ErrorStage::kEs2, "noise");  // diags don't demote successes
+  EXPECT_EQ(Classify(r), Outcome::kOk);
+}
+
+TEST(Classify, UnvalidatedClaimSplitsOnEnvironment) {
+  auto r = MakeResult();
+  r.claimed = true;
+  r.used_sys_env = true;
+  EXPECT_EQ(Classify(r), Outcome::kP);
+  r.used_sys_env = false;
+  EXPECT_EQ(Classify(r), Outcome::kEs2);
+}
+
+TEST(Classify, NoSymbolicDataIsEs0) {
+  core::EngineResult r;  // any_symbolic_seen = false
+  EXPECT_EQ(Classify(r), Outcome::kEs0);
+}
+
+TEST(Classify, StagePrecedenceWithoutClaims) {
+  auto r = MakeResult();
+  r.diag.Raise(ErrorStage::kEs2, "late");
+  r.diag.Raise(ErrorStage::kEs1, "early");
+  EXPECT_EQ(Classify(r), Outcome::kEs1);  // lifting failure wins
+  auto r2 = MakeResult();
+  r2.diag.Raise(ErrorStage::kEs2, "x");
+  r2.diag.Raise(ErrorStage::kEs3, "y");
+  EXPECT_EQ(Classify(r2), Outcome::kEs3);
+  auto r3 = MakeResult();
+  r3.diag.Raise(ErrorStage::kEs2, "x");
+  EXPECT_EQ(Classify(r3), Outcome::kEs2);
+}
+
+TEST(Classify, ExhaustedExplorationFallsBackToEs0) {
+  auto r = MakeResult();
+  r.any_symbolic_branch = true;  // explored but never reached or claimed
+  EXPECT_EQ(Classify(r), Outcome::kEs0);
+}
+
+TEST(Profiles, FourPaperToolsInColumnOrder) {
+  auto tools = PaperTools();
+  ASSERT_EQ(tools.size(), 4u);
+  EXPECT_EQ(tools[0].name, "BAP");
+  EXPECT_EQ(tools[1].name, "Triton");
+  EXPECT_EQ(tools[2].name, "Angr");
+  EXPECT_EQ(tools[3].name, "Angr-NoLib");
+}
+
+TEST(Profiles, CapabilitiesDiffer) {
+  auto bap = Bap();
+  auto triton = Triton();
+  auto angr = Angr();
+  auto nolib = AngrNoLib();
+  // BAP alone lacks push/pop lifting.
+  EXPECT_TRUE(bap.engine.symex.unsupported_opcodes.count(isa::Opcode::kPush));
+  EXPECT_FALSE(
+      triton.engine.symex.unsupported_opcodes.count(isa::Opcode::kPush));
+  // Only the Angr family has a symbolic memory model and simulation.
+  EXPECT_EQ(angr.engine.symex.addr_policy,
+            symex::SymAddrPolicy::kExpandWindow);
+  EXPECT_EQ(bap.engine.symex.addr_policy, symex::SymAddrPolicy::kConcretize);
+  EXPECT_EQ(angr.engine.symex.syscall_model,
+            symex::SyscallModel::kSimulateUnconstrained);
+  // Only NoLib skips libraries and tracks pipes.
+  EXPECT_EQ(nolib.engine.symex.lib_mode,
+            symex::LibMode::kSkipUnconstrained);
+  EXPECT_TRUE(nolib.engine.symex.track_pipe_channels);
+  EXPECT_FALSE(angr.engine.symex.track_pipe_channels);
+}
+
+// Fast representative cells: one bomb per challenge whose four outcomes
+// complete in well under a second each.
+struct CellCase {
+  const char* bomb;
+  int tool;  // bombs::ToolIndex
+};
+
+class FastGridCell : public ::testing::TestWithParam<CellCase> {};
+
+TEST_P(FastGridCell, MatchesPaper) {
+  const auto [bomb_id, tool_index] = GetParam();
+  const auto* bomb = bombs::FindBomb(bomb_id);
+  ASSERT_NE(bomb, nullptr);
+  auto tools = PaperTools();
+  auto cell = RunCell(*bomb, tools[static_cast<size_t>(tool_index)]);
+  EXPECT_TRUE(cell.matches_paper)
+      << bomb_id << "/" << tools[tool_index].name << ": got "
+      << OutcomeLabel(cell.outcome) << ", paper says " << cell.expected;
+}
+
+std::vector<CellCase> FastCells() {
+  std::vector<CellCase> cases;
+  for (const char* bomb :
+       {"svd_time", "svd_web", "svd_syscall", "svd_argvlen", "csp_stack",
+        "csp_file", "csp_syscall", "csp_exception", "csp_fileexcept",
+        "par_pthread", "par_forkpipe", "arr_one", "arr_two", "ctx_filename",
+        "ctx_syscallname", "jmp_direct", "jmp_table", "fp_round",
+        "ext_sin"}) {
+    for (int t = 0; t < 4; ++t) cases.push_back({bomb, t});
+  }
+  return cases;
+}
+
+std::string CellCaseName(const ::testing::TestParamInfo<CellCase>& info) {
+  static constexpr const char* kTools[] = {"BAP", "Triton", "Angr",
+                                           "AngrNoLib"};
+  return std::string(info.param.bomb) + "_" + kTools[info.param.tool];
+}
+
+INSTANTIATE_TEST_SUITE_P(AccuracyRows, FastGridCell,
+                         ::testing::ValuesIn(FastCells()), CellCaseName);
+
+TEST(Report, TableRendersAligned) {
+  report::AsciiTable table;
+  table.SetHeader({"a", "bee"});
+  table.AddRow({"xx", "y"});
+  table.AddSeparator();
+  table.AddRow({"1", "22222"});
+  const std::string out = table.Render();
+  EXPECT_NE(out.find("| a  | bee   |"), std::string::npos);
+  EXPECT_NE(out.find("| xx | y     |"), std::string::npos);
+  // Every line has the same width.
+  size_t width = 0;
+  size_t start = 0;
+  while (start < out.size()) {
+    size_t end = out.find('\n', start);
+    if (end == std::string::npos) break;
+    if (width == 0) width = end - start;
+    EXPECT_EQ(end - start, width);
+    start = end + 1;
+  }
+}
+
+}  // namespace
+}  // namespace sbce::tools

@@ -1,0 +1,237 @@
+// VM edge cases: sparse memory behaviour, the in-memory filesystem, image
+// loading, objdump rendering, syscall error paths, scheduler corner cases.
+#include <gtest/gtest.h>
+
+#include "src/isa/assembler.h"
+#include "src/isa/objdump.h"
+#include "src/vm/machine.h"
+#include "src/vm/memory.h"
+#include "src/vm/syscalls.h"
+
+namespace sbce::vm {
+namespace {
+
+TEST(Memory, UnwrittenReadsAreZero) {
+  Memory mem;
+  EXPECT_EQ(mem.ReadU64(0xdeadbeef), 0u);
+  EXPECT_EQ(mem.ReadU8(0), 0);
+  EXPECT_EQ(mem.PageCount(), 0u);
+}
+
+TEST(Memory, CrossPageAccess) {
+  Memory mem;
+  const uint64_t boundary = Memory::kPageSize - 4;
+  mem.WriteU64(boundary, 0x1122334455667788ull);
+  EXPECT_EQ(mem.ReadU64(boundary), 0x1122334455667788ull);
+  EXPECT_EQ(mem.ReadU32(Memory::kPageSize), 0x11223344u);
+  EXPECT_EQ(mem.PageCount(), 2u);
+}
+
+TEST(Memory, CloneIsDeep) {
+  Memory a;
+  a.WriteU32(0x1000, 0xABCD1234);
+  Memory b = a.Clone();
+  b.WriteU32(0x1000, 0x55555555);
+  EXPECT_EQ(a.ReadU32(0x1000), 0xABCD1234u);
+  EXPECT_EQ(b.ReadU32(0x1000), 0x55555555u);
+}
+
+TEST(Memory, CStringBounds) {
+  Memory mem;
+  const char* text = "hello";
+  mem.WriteBytes(0x100, std::span<const uint8_t>(
+                            reinterpret_cast<const uint8_t*>(text), 6));
+  EXPECT_EQ(mem.ReadCString(0x100).value(), "hello");
+  // Unterminated within limit fails.
+  Memory unterm;
+  for (uint64_t i = 0; i < 64; ++i) unterm.WriteU8(0x200 + i, 'x');
+  EXPECT_FALSE(unterm.ReadCString(0x200, 32).ok());
+}
+
+TEST(Filesystem, LifecycleAndErrors) {
+  SimFilesystem fs;
+  EXPECT_FALSE(fs.Exists("a.txt"));
+  EXPECT_FALSE(fs.Get("a.txt").ok());
+  fs.PutString("a.txt", "data");
+  EXPECT_TRUE(fs.Exists("a.txt"));
+  EXPECT_EQ(fs.Get("a.txt").value().size(), 4u);
+  const uint8_t more[] = {'!', '!'};
+  fs.Append("a.txt", more, 2);
+  EXPECT_EQ(fs.Get("a.txt").value().size(), 6u);
+  fs.Truncate("a.txt");
+  EXPECT_EQ(fs.Get("a.txt").value().size(), 0u);
+  EXPECT_TRUE(fs.Remove("a.txt"));
+  EXPECT_FALSE(fs.Remove("a.txt"));
+}
+
+isa::BinaryImage MustAssemble(std::string_view src) {
+  auto img = isa::Assemble(src);
+  SBCE_CHECK_MSG(img.ok(), img.status().ToString());
+  return std::move(img).value();
+}
+
+TEST(Syscalls, WriteToBadFdFails) {
+  auto img = MustAssemble(R"(
+    .entry main
+    main:
+      movi r1, 99
+      lea r2, buf
+      movi r3, 4
+      sys 1
+      cmpeqi r1, r0, -1
+      sys 0
+    .data
+    buf: .space 4
+  )");
+  vm::Machine m(img, {"prog"});
+  EXPECT_EQ(m.Run().exit_code, 1);
+}
+
+TEST(Syscalls, CloseInvalidFdFails) {
+  auto img = MustAssemble(R"(
+    .entry main
+    main:
+      movi r1, 42
+      sys 4
+      cmpeqi r1, r0, -1
+      sys 0
+  )");
+  vm::Machine m(img, {"prog"});
+  EXPECT_EQ(m.Run().exit_code, 1);
+}
+
+TEST(Syscalls, UnknownSyscallFaults) {
+  auto img = MustAssemble(R"(
+    .entry main
+    main:
+      sys 99
+      movi r1, 0
+      sys 0
+  )");
+  vm::Machine m(img, {"prog"});
+  EXPECT_TRUE(m.Run().faulted);
+}
+
+TEST(Syscalls, UnlinkRemovesFiles) {
+  auto img = MustAssemble(R"(
+    .entry main
+    main:
+      lea r1, path        ; unlink("f")
+      sys 17
+      mov r8, r0
+      lea r1, path        ; open("f") should now fail
+      movi r2, 0
+      sys 3
+      cmpeqi r5, r0, -1
+      ; exit(unlink_ok * 10 + open_failed)
+      cmpeqi r6, r8, 0
+      muli r6, r6, 10
+      add r1, r6, r5
+      sys 0
+    .data
+    path: .asciz "f"
+  )");
+  vm::Machine m(img, {"prog"});
+  m.fs().PutString("f", "x");
+  EXPECT_EQ(m.Run().exit_code, 11);
+}
+
+TEST(Syscalls, SleepAdvancesVirtualTime) {
+  auto img = MustAssemble(R"(
+    .entry main
+    main:
+      sys 5
+      mov r8, r0          ; t0
+      movi r1, 100
+      sys 20              ; sleep(100)
+      sys 5
+      sub r1, r0, r8      ; t1 - t0
+      sys 0
+  )");
+  vm::Machine m(img, {"prog"});
+  EXPECT_EQ(m.Run().exit_code, 100);
+}
+
+TEST(Scheduler, JoinOnUnknownThreadFails) {
+  auto img = MustAssemble(R"(
+    .entry main
+    main:
+      movi r1, 77
+      sys 12
+      cmpeqi r1, r0, -1
+      sys 0
+  )");
+  vm::Machine m(img, {"prog"});
+  EXPECT_EQ(m.Run().exit_code, 1);
+}
+
+TEST(Scheduler, DeadlockIsAFault) {
+  // Two threads joining each other can't both finish; main joins a thread
+  // that never halts.
+  auto img = MustAssemble(R"(
+    .entry main
+    main:
+      movi r1, spinner
+      movi r2, 0
+      sys 11
+      mov r1, r0
+      sys 12              ; join a thread that blocks on a silent pipe
+      movi r1, 0
+      sys 0
+    spinner:
+      lea r1, fdbuf
+      sys 10
+      ld8 r1, [r1+0]      ; read end
+      lea r2, buf
+      movi r3, 1
+      sys 2               ; blocks forever (write end never written)
+      halt
+    .data
+    fdbuf: .space 16
+    buf:   .space 8
+  )");
+  vm::Machine m(img, {"prog"});
+  auto r = m.Run();
+  EXPECT_TRUE(r.faulted);
+  EXPECT_NE(r.fault_reason.find("deadlock"), std::string::npos);
+}
+
+TEST(Objdump, RendersSectionsAndSymbols) {
+  auto img = MustAssemble(R"(
+    .entry main
+    main:
+      movi r1, 5
+      jmp done
+    done:
+      sys 0
+    .data
+    msg: .asciz "hi"
+  )");
+  const std::string dump = isa::Objdump(img);
+  EXPECT_NE(dump.find("section .text"), std::string::npos);
+  EXPECT_NE(dump.find("main:"), std::string::npos);
+  EXPECT_NE(dump.find("movi r1, 5"), std::string::npos);
+  EXPECT_NE(dump.find("|hi.|"), std::string::npos);
+}
+
+TEST(Objdump, MarksNonInstructionBytes) {
+  isa::BinaryImage img;
+  isa::Section s;
+  s.name = ".text";
+  s.vaddr = 0x1000;
+  s.flags = isa::kSectionExec;
+  s.data = {0xff, 1, 2, 3, 4, 5, 6, 7};  // invalid opcode
+  img.AddSection(std::move(s));
+  const std::string dump = isa::Objdump(img);
+  EXPECT_NE(dump.find("not an instruction"), std::string::npos);
+}
+
+TEST(ArgvLayout, AddressesAreStableAcrossContents) {
+  auto img = MustAssemble(".entry main\nmain:\n  halt\n");
+  vm::Machine a(img, {"prog", "x"});
+  vm::Machine b(img, {"prog", "a-much-longer-argument"});
+  EXPECT_EQ(a.ArgvStringAddr(1), b.ArgvStringAddr(1));
+}
+
+}  // namespace
+}  // namespace sbce::vm

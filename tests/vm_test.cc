@@ -1,0 +1,633 @@
+// End-to-end VM tests: assemble small programs and check their observable
+// behaviour (exit codes, stdout, filesystem effects, traps, concurrency).
+#include <gtest/gtest.h>
+
+#include "src/isa/assembler.h"
+#include "src/vm/machine.h"
+#include "src/vm/syscalls.h"
+
+namespace sbce::vm {
+namespace {
+
+isa::BinaryImage MustAssemble(std::string_view src) {
+  auto img = isa::Assemble(src);
+  SBCE_CHECK_MSG(img.ok(), img.status().ToString());
+  return std::move(img).value();
+}
+
+RunResult RunProgram(std::string_view src,
+                     std::vector<std::string> argv = {"prog"},
+                     Devices devices = Devices()) {
+  auto img = MustAssemble(src);
+  Machine m(img, std::move(argv), devices);
+  return m.Run();
+}
+
+TEST(MachineBasics, ExitCodePropagates) {
+  auto r = RunProgram(R"(
+    .entry main
+    main:
+      movi r1, 42
+      sys 0          ; exit(42)
+  )");
+  EXPECT_TRUE(r.exited);
+  EXPECT_EQ(r.exit_code, 42);
+  EXPECT_FALSE(r.bomb_triggered);
+}
+
+TEST(MachineBasics, ArithmeticWorks) {
+  auto r = RunProgram(R"(
+    .entry main
+    main:
+      movi r1, 6
+      movi r2, 7
+      mul r3, r1, r2
+      subi r3, r3, 2
+      ; exit(40)
+      mov r1, r3
+      sys 0
+  )");
+  EXPECT_EQ(r.exit_code, 40);
+}
+
+TEST(MachineBasics, SixtyFourBitConstants) {
+  auto r = RunProgram(R"(
+    .entry main
+    main:
+      movi r1, 0x89abcdef
+      movhi r1, 0x01234567
+      shri r2, r1, 32
+      ; exit(high word == 0x01234567)
+      cmpeqi r3, r2, 0x01234567
+      mov r1, r3
+      sys 0
+  )");
+  EXPECT_EQ(r.exit_code, 1);
+}
+
+TEST(MachineBasics, LoopsAndBranches) {
+  // Sum 1..10 = 55.
+  auto r = RunProgram(R"(
+    .entry main
+    main:
+      movi r1, 0      ; acc
+      movi r2, 1      ; i
+    loop:
+      add r1, r1, r2
+      addi r2, r2, 1
+      cmpltui r3, r2, 11
+      bnz r3, loop
+      sys 0
+  )");
+  EXPECT_EQ(r.exit_code, 55);
+}
+
+TEST(MachineBasics, MemoryAndData) {
+  auto r = RunProgram(R"(
+    .entry main
+    main:
+      lea r4, table
+      ld8 r1, [r4+16]   ; third entry
+      sys 0
+    .data
+    table: .quad 10, 20, 30, 40
+  )");
+  // lea is pc-relative into .data? table lives in .data; lea computes
+  // next_pc + offset which the assembler resolved against the label's
+  // absolute address, so this works across sections.
+  EXPECT_EQ(r.exit_code, 30);
+}
+
+TEST(MachineBasics, IndexedLoadStore) {
+  auto r = RunProgram(R"(
+    .entry main
+    main:
+      lea r4, buf
+      movi r5, 3
+      movi r6, 77
+      mov r0, r6
+      stx1 r0, [r4+r5]
+      ldx1 r1, [r4+r5]
+      sys 0
+    .data
+    buf: .space 8
+  )");
+  EXPECT_EQ(r.exit_code, 77);
+}
+
+TEST(MachineBasics, StackPushPop) {
+  auto r = RunProgram(R"(
+    .entry main
+    main:
+      movi r1, 123
+      push r1
+      movi r1, 0
+      pop r2
+      mov r1, r2
+      sys 0
+  )");
+  EXPECT_EQ(r.exit_code, 123);
+}
+
+TEST(MachineBasics, CallRet) {
+  auto r = RunProgram(R"(
+    .entry main
+    main:
+      movi r1, 5
+      call double_it
+      sys 0
+    double_it:
+      add r1, r1, r1
+      ret
+  )");
+  EXPECT_EQ(r.exit_code, 10);
+}
+
+TEST(MachineBasics, IndirectJump) {
+  auto r = RunProgram(R"(
+    .entry main
+    main:
+      movi r3, target
+      jmpr r3
+      movi r1, 1    ; skipped
+      sys 0
+    target:
+      movi r1, 9
+      sys 0
+  )");
+  EXPECT_EQ(r.exit_code, 9);
+}
+
+TEST(MachineBasics, ArgvVisibleToGuest) {
+  // exit(first byte of argv[1]).
+  auto r = RunProgram(R"(
+    .entry main
+    main:
+      ld8 r3, [r2+8]   ; argv[1] pointer
+      ld1 r1, [r3+0]
+      sys 0
+  )",
+                      {"prog", "Hello"});
+  EXPECT_EQ(r.exit_code, 'H');
+}
+
+TEST(MachineBasics, StdoutCapture) {
+  auto r = RunProgram(R"(
+    .entry main
+    main:
+      movi r1, 1
+      lea r2, msg
+      movi r3, 3
+      sys 1         ; write(1, msg, 3)
+      movi r1, 0
+      sys 0
+    .data
+    msg: .asciz "hi\n"
+  )");
+  EXPECT_EQ(r.stdout_text, "hi\n");
+}
+
+TEST(MachineBasics, HaltWithoutExitFinishesThread) {
+  auto r = RunProgram(R"(
+    .entry main
+    main:
+      halt
+  )");
+  EXPECT_FALSE(r.exited);
+  EXPECT_FALSE(r.faulted);
+}
+
+TEST(MachineBasics, BudgetExhaustion) {
+  auto img = MustAssemble(R"(
+    .entry main
+    main:
+      jmp main
+  )");
+  Machine::Options opts;
+  opts.max_instructions = 1000;
+  Machine m(img, {"prog"}, Devices(), opts);
+  auto r = m.Run();
+  EXPECT_TRUE(r.budget_exhausted);
+  EXPECT_GE(r.instructions, 1000u);
+}
+
+TEST(MachineBasics, InvalidInstructionFaults) {
+  auto r = RunProgram(R"(
+    .entry main
+    main:
+      jmp nowhere_land
+    nowhere_land:
+      .equ dummy, 0
+      halt
+  )");
+  EXPECT_FALSE(r.faulted);  // sanity: label on halt is fine
+  // Jumping into zeroed memory decodes as nop (opcode 0) forever — budget
+  // will stop it; jumping to a bad opcode faults:
+  auto r2 = RunProgram(R"(
+    .entry main
+    main:
+      movi r3, 0x100000
+      jmpr r3
+    .data
+    junk: .byte 0xfe, 1, 2, 3, 4, 5, 6, 7
+  )");
+  EXPECT_TRUE(r2.faulted);
+}
+
+TEST(Syscalls, TimeComesFromDevices) {
+  Devices dev;
+  dev.time_seconds = 777;
+  auto r = RunProgram(R"(
+    .entry main
+    main:
+      sys 5
+      mov r1, r0
+      sys 0
+  )",
+                      {"prog"}, dev);
+  EXPECT_EQ(r.exit_code, 777);
+}
+
+TEST(Syscalls, RandIsSeededLcg) {
+  auto r = RunProgram(R"(
+    .entry main
+    main:
+      movi r1, 99
+      sys 6        ; srand(99)
+      sys 7        ; rand()
+      mov r1, r0
+      sys 0
+  )");
+  uint64_t state = 99;
+  const uint64_t expected = LcgNext(&state);
+  EXPECT_EQ(static_cast<uint64_t>(r.exit_code & 0xff),
+            expected & 0xff);  // exit code truncates; compare low byte
+}
+
+TEST(Syscalls, FileWriteThenReadBack) {
+  auto r = RunProgram(R"(
+    .entry main
+    main:
+      ; fd = open("f.txt", write)
+      lea r1, path
+      movi r2, 1
+      sys 3
+      mov r8, r0
+      ; write(fd, payload, 4)
+      mov r1, r8
+      lea r2, payload
+      movi r3, 4
+      sys 1
+      ; close(fd)
+      mov r1, r8
+      sys 4
+      ; fd = open("f.txt", read)
+      lea r1, path
+      movi r2, 0
+      sys 3
+      mov r8, r0
+      ; read(fd, buf, 4)
+      mov r1, r8
+      lea r2, buf
+      movi r3, 4
+      sys 2
+      ; exit(buf[2])
+      lea r4, buf
+      ld1 r1, [r4+2]
+      sys 0
+    .data
+    path:    .asciz "f.txt"
+    payload: .byte 9, 8, 7, 6
+    buf:     .space 8
+  )");
+  EXPECT_EQ(r.exit_code, 7);
+}
+
+TEST(Syscalls, OpenMissingFileFails) {
+  auto r = RunProgram(R"(
+    .entry main
+    main:
+      lea r1, path
+      movi r2, 0
+      sys 3
+      ; exit(fd == -1)
+      cmpeqi r1, r0, -1
+      sys 0
+    .data
+    path: .asciz "no_such_file"
+  )");
+  EXPECT_EQ(r.exit_code, 1);
+}
+
+TEST(Syscalls, WebGetReturnsDeviceDocument) {
+  Devices dev;
+  dev.web_document = "KEY";
+  auto r = RunProgram(R"(
+    .entry main
+    main:
+      lea r1, buf
+      movi r2, 16
+      sys 15
+      lea r4, buf
+      ld1 r1, [r4+1]
+      sys 0
+    .data
+    buf: .space 16
+  )",
+                      {"prog"}, dev);
+  EXPECT_EQ(r.exit_code, 'E');
+}
+
+TEST(Syscalls, EchoStoreLoadRoundTrip) {
+  auto r = RunProgram(R"(
+    .entry main
+    main:
+      lea r1, key
+      movi r2, 31337
+      sys 18        ; echo_store
+      lea r1, key
+      sys 19        ; echo_load
+      ; exit(loaded & 0xff)
+      andi r1, r0, 0xff
+      sys 0
+    .data
+    key: .asciz "stash"
+  )");
+  EXPECT_EQ(r.exit_code, 31337 & 0xff);
+}
+
+TEST(Syscalls, BombSyscallSetsFlag) {
+  auto r = RunProgram(R"(
+    .entry main
+    main:
+      sys 16
+      movi r1, 0
+      sys 0
+  )");
+  EXPECT_TRUE(r.bomb_triggered);
+}
+
+TEST(Traps, DivZeroWithoutHandlerFaults) {
+  auto r = RunProgram(R"(
+    .entry main
+    main:
+      movi r1, 10
+      movi r2, 0
+      udiv r3, r1, r2
+      sys 0
+  )");
+  EXPECT_TRUE(r.faulted);
+}
+
+TEST(Traps, DivZeroVectorsToHandler) {
+  auto r = RunProgram(R"(
+    .entry main
+    main:
+      movi r1, handler
+      sys 14          ; settrap
+      movi r1, 10
+      movi r2, 0
+      udiv r3, r1, r2
+      movi r1, 0      ; not reached before handler
+      sys 0
+    handler:
+      ; exit(trap cause)
+      mov r1, r11
+      sys 0
+  )");
+  EXPECT_FALSE(r.faulted);
+  EXPECT_EQ(r.exit_code, static_cast<int>(kTrapDivZero));
+}
+
+TEST(Traps, TrapZFiresOnlyOnZero) {
+  auto r = RunProgram(R"(
+    .entry main
+    main:
+      movi r1, handler
+      sys 14
+      movi r4, 5
+      trapz r4        ; no trap
+      movi r4, 0
+      trapz r4        ; traps
+      movi r1, 1
+      sys 0
+    handler:
+      movi r1, 33
+      sys 0
+  )");
+  EXPECT_EQ(r.exit_code, 33);
+}
+
+TEST(Threads, WorkerThreadModifiesSharedMemory) {
+  auto r = RunProgram(R"(
+    .entry main
+    main:
+      movi r1, worker
+      movi r2, 0
+      sys 11          ; tid = thread_create(worker, 0)
+      mov r1, r0
+      sys 12          ; join(tid)
+      lea r4, cell
+      ld8 r1, [r4+0]
+      sys 0
+    worker:
+      lea r4, cell
+      movi r0, 58
+      st8 r0, [r4+0]
+      halt
+    .data
+    cell: .quad 0
+  )");
+  EXPECT_FALSE(r.faulted) << r.fault_reason;
+  EXPECT_EQ(r.exit_code, 58);
+}
+
+TEST(Threads, JoinOnFinishedThreadReturnsImmediately) {
+  auto r = RunProgram(R"(
+    .entry main
+    main:
+      movi r1, worker
+      movi r2, 0
+      sys 11
+      mov r8, r0
+      ; burn some cycles so the worker is done
+      movi r3, 500
+    spin:
+      subi r3, r3, 1
+      bnz r3, spin
+      mov r1, r8
+      sys 12
+      movi r1, 7
+      sys 0
+    worker:
+      halt
+  )");
+  EXPECT_EQ(r.exit_code, 7);
+}
+
+TEST(Processes, ForkReturnsZeroInChild) {
+  // Parent exits with 1, child writes to a file the parent never does.
+  auto r = RunProgram(R"(
+    .entry main
+    main:
+      sys 9          ; fork
+      bnz r0, parent
+      ; child: create marker file then exit
+      lea r1, path
+      movi r2, 1
+      sys 3
+      movi r1, 0
+      sys 0
+    parent:
+      movi r3, 2000  ; let the child run
+    spin:
+      subi r3, r3, 1
+      bnz r3, spin
+      movi r1, 1
+      sys 0
+    .data
+    path: .asciz "marker"
+  )");
+  EXPECT_EQ(r.exit_code, 1);
+}
+
+TEST(Processes, ForkPipeRoundTrip) {
+  auto r = RunProgram(R"(
+    .entry main
+    main:
+      lea r1, fdbuf
+      sys 10         ; pipe
+      sys 9          ; fork
+      bnz r0, parent
+      ; child: write x^0x5A into the pipe
+      lea r4, fdbuf
+      ld8 r1, [r4+8]  ; write fd
+      movi r0, 0x13
+      xori r0, r0, 0x5A
+      lea r2, cell
+      st8 r0, [r2+0]
+      movi r3, 8
+      sys 1           ; write(wfd, cell, 8)
+      movi r1, 0
+      sys 0
+    parent:
+      lea r4, fdbuf
+      ld8 r1, [r4+0]  ; read fd
+      lea r2, cell2
+      movi r3, 8
+      sys 2           ; read blocks until the child writes
+      lea r4, cell2
+      ld8 r1, [r4+0]
+      sys 0
+    .data
+    fdbuf: .space 16
+    cell:  .space 8
+    cell2: .space 8
+  )");
+  EXPECT_FALSE(r.faulted) << r.fault_reason;
+  EXPECT_EQ(r.exit_code, 0x13 ^ 0x5A);
+}
+
+TEST(Processes, ReadFromDeadPipeGivesEof) {
+  auto r = RunProgram(R"(
+    .entry main
+    main:
+      lea r1, fdbuf
+      sys 10
+      ; close the write end without writing
+      lea r4, fdbuf
+      ld8 r1, [r4+8]
+      sys 4
+      ; read -> 0 (EOF)
+      ld8 r1, [r4+0]
+      lea r2, buf
+      movi r3, 8
+      sys 2
+      cmpeqi r1, r0, 0
+      sys 0
+    .data
+    fdbuf: .space 16
+    buf:   .space 8
+  )");
+  EXPECT_FALSE(r.faulted) << r.fault_reason;
+  EXPECT_EQ(r.exit_code, 1);
+}
+
+TEST(FloatingPoint, BasicArithmetic) {
+  // (1.5 + 2.5) * 2.0 == 8.0 -> exit(8)
+  auto r = RunProgram(R"(
+    .entry main
+    main:
+      lea r4, consts
+      fld f0, [r4+0]
+      fld f1, [r4+8]
+      fld f2, [r4+16]
+      fadd f3, f0, f1
+      fmul f3, f3, f2
+      cvtfi r1, f3
+      sys 0
+    .data
+    consts: .quad 0x3FF8000000000000, 0x4004000000000000, 0x4000000000000000
+  )");
+  EXPECT_EQ(r.exit_code, 8);
+}
+
+TEST(FloatingPoint, RoundingAbsorption) {
+  // 1024.0 + 1e-20 == 1024.0 over doubles — the fp_round bomb's premise.
+  auto r = RunProgram(R"(
+    .entry main
+    main:
+      lea r4, consts
+      fld f0, [r4+0]   ; 1024.0
+      fld f1, [r4+8]   ; tiny
+      fadd f2, f0, f1
+      fcmpeq r1, f2, f0
+      sys 0
+    .data
+    consts: .quad 0x4090000000000000, 0x3B046D5FDE2BD906
+  )");
+  EXPECT_EQ(r.exit_code, 1);
+}
+
+TEST(Trace, HookSeesEveryRetiredInstruction) {
+  auto img = MustAssemble(R"(
+    .entry main
+    main:
+      movi r1, 3
+      addi r1, r1, 4
+      sys 0
+  )");
+  Machine m(img, {"prog"});
+  std::vector<TraceEvent> events;
+  m.set_trace_hook([&](const TraceEvent& ev) { events.push_back(ev); });
+  auto r = m.Run();
+  EXPECT_EQ(r.exit_code, 7);
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].instr.op, isa::Opcode::kMovI);
+  EXPECT_EQ(events[1].rd_new, 7u);
+  EXPECT_EQ(events[2].sys_num, 0);
+  // Sequence numbers are strictly increasing.
+  EXPECT_LT(events[0].seq, events[1].seq);
+}
+
+TEST(Trace, BranchEventsRecordDirection) {
+  auto img = MustAssemble(R"(
+    .entry main
+    main:
+      movi r1, 0
+      bz r1, taken
+      movi r1, 1
+    taken:
+      sys 0
+  )");
+  Machine m(img, {"prog"});
+  std::vector<TraceEvent> events;
+  m.set_trace_hook([&](const TraceEvent& ev) { events.push_back(ev); });
+  m.Run();
+  ASSERT_GE(events.size(), 2u);
+  EXPECT_EQ(events[1].instr.op, isa::Opcode::kBz);
+  EXPECT_TRUE(events[1].branch_taken);
+}
+
+}  // namespace
+}  // namespace sbce::vm
