@@ -1,0 +1,157 @@
+// Query pipeline macro-benchmark: the concolic prefix-reuse workload.
+//
+// Each branch-negation query restates the whole path prefix and flips one
+// condition — the blowup pattern §IV measures on crypto/loop-heavy bombs.
+// The workload builds `kGroups` variable-disjoint prefix constraints (one
+// nontrivial 16-bit multiplication equation per variable group) and then
+// issues queries that re-assert every prefix constraint plus one changed
+// conjunct. The seed path re-bit-blasts the entire conjunction per query;
+// the pipeline slices it, solves only the changed component, and answers
+// the rest from the cache.
+//
+// Emits BENCH_query_pipeline.json (cache hit rate, wall times, speedups)
+// and a human-readable summary on stdout. Acceptance: the pipeline is
+// >= 2x faster than the seed serial path on this workload.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/solver/pipeline.h"
+#include "src/solver/solver.h"
+#include "src/support/status.h"
+
+namespace {
+
+using namespace sbce;
+using namespace sbce::solver;
+
+constexpr int kGroups = 24;
+constexpr int kQueries = 48;
+
+// One variable group's prefix constraint: x*x == k (mod 2^16), x < 200 —
+// a genuinely solver-bound component (multiplier circuit + CDCL search).
+std::vector<ExprRef> GroupPrefix(ExprPool& pool, int g) {
+  ExprRef x = pool.Var("x" + std::to_string(g), 16);
+  return {pool.Eq(pool.Mul(x, x), pool.Const(1521 + 17 * g, 16)),
+          pool.Ult(x, pool.Const(200, 16))};
+}
+
+// Query i: the full prefix plus one negated branch condition touching
+// only group (i % kGroups) — the concolic per-candidate query shape.
+std::vector<QueryPipeline::Query> BuildWorkload(ExprPool& pool) {
+  std::vector<QueryPipeline::Query> queries;
+  std::vector<ExprRef> prefix;
+  for (int g = 0; g < kGroups; ++g) {
+    const auto part = GroupPrefix(pool, g);
+    prefix.insert(prefix.end(), part.begin(), part.end());
+  }
+  for (int i = 0; i < kQueries; ++i) {
+    QueryPipeline::Query q = prefix;
+    ExprRef x = pool.Var("x" + std::to_string(i % kGroups), 16);
+    // Negated branch: x != (i / kGroups)'th small constant.
+    q.push_back(pool.Ne(x, pool.Const(1 + i / kGroups, 16)));
+    queries.push_back(std::move(q));
+  }
+  return queries;
+}
+
+double MillisSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
+
+int main() {
+  ExprPool pool;
+  const auto queries = BuildWorkload(pool);
+  std::printf("=== query pipeline benchmark: %d groups, %d queries ===\n",
+              kGroups, kQueries);
+
+  // --- Seed path: CheckSat on the full conjunction, per query, serial ---
+  std::vector<SolveStatus> seed_status;
+  const auto t_seed = std::chrono::steady_clock::now();
+  for (const auto& q : queries) seed_status.push_back(CheckSat(q).status);
+  const double seed_ms = MillisSince(t_seed);
+
+  // The engine submits one round's candidates per SolveBatch call, with
+  // the cache persisting across rounds — replicate that: rounds of 8.
+  constexpr size_t kRound = 8;
+  const auto run_rounds = [&](QueryPipeline& pipeline) {
+    std::vector<SolveResult> results;
+    for (size_t start = 0; start < queries.size(); start += kRound) {
+      const size_t n = std::min(kRound, queries.size() - start);
+      auto part = pipeline.SolveBatch({queries.data() + start, n});
+      for (auto& r : part) results.push_back(std::move(r));
+    }
+    return results;
+  };
+
+  // --- Pipeline, serial dispatch (cache + slicing only) -----------------
+  PipelineOptions serial_opts;
+  serial_opts.threads = 1;
+  QueryPipeline serial(serial_opts);
+  const auto t_serial = std::chrono::steady_clock::now();
+  const auto serial_results = run_rounds(serial);
+  const double pipe_serial_ms = MillisSince(t_serial);
+
+  // --- Pipeline, parallel dispatch --------------------------------------
+  PipelineOptions par_opts;
+  par_opts.threads = 0;  // auto
+  QueryPipeline parallel(par_opts);
+  const auto t_par = std::chrono::steady_clock::now();
+  const auto par_results = run_rounds(parallel);
+  const double pipe_par_ms = MillisSince(t_par);
+
+  // Cross-check: all three paths must agree on every verdict.
+  for (size_t i = 0; i < queries.size(); ++i) {
+    SBCE_CHECK_MSG(serial_results[i].status == seed_status[i] &&
+                       par_results[i].status == seed_status[i],
+                   "pipeline verdict diverged from seed CheckSat");
+  }
+
+  const PipelineStats stats = serial.stats();
+  const uint64_t lookups = stats.cache_hits + stats.cache_misses;
+  const double hit_rate =
+      lookups == 0 ? 0.0
+                   : static_cast<double>(stats.cache_hits) /
+                         static_cast<double>(lookups);
+  const double speedup_serial = seed_ms / pipe_serial_ms;
+  const double speedup_parallel = seed_ms / pipe_par_ms;
+
+  std::printf("seed serial      : %8.1f ms\n", seed_ms);
+  std::printf("pipeline (1 thr) : %8.1f ms  (%.2fx, hit rate %.1f%%)\n",
+              pipe_serial_ms, speedup_serial, 100.0 * hit_rate);
+  std::printf("pipeline (%d thr) : %8.1f ms  (%.2fx)\n",
+              parallel.threads(), pipe_par_ms, speedup_parallel);
+  std::printf("subqueries solved: %llu of %llu lookups\n",
+              static_cast<unsigned long long>(stats.subqueries_solved),
+              static_cast<unsigned long long>(lookups));
+
+  std::FILE* json = std::fopen("BENCH_query_pipeline.json", "w");
+  SBCE_CHECK_MSG(json != nullptr, "cannot write BENCH_query_pipeline.json");
+  std::fprintf(json,
+               "{\n"
+               "  \"groups\": %d,\n"
+               "  \"queries\": %d,\n"
+               "  \"seed_serial_ms\": %.3f,\n"
+               "  \"pipeline_serial_ms\": %.3f,\n"
+               "  \"pipeline_parallel_ms\": %.3f,\n"
+               "  \"pipeline_parallel_threads\": %u,\n"
+               "  \"cache_hit_rate\": %.4f,\n"
+               "  \"subqueries_solved\": %llu,\n"
+               "  \"speedup_pipeline_serial\": %.3f,\n"
+               "  \"speedup_pipeline_parallel\": %.3f\n"
+               "}\n",
+               kGroups, kQueries, seed_ms, pipe_serial_ms, pipe_par_ms,
+               parallel.threads(), hit_rate,
+               static_cast<unsigned long long>(stats.subqueries_solved),
+               speedup_serial, speedup_parallel);
+  std::fclose(json);
+  std::printf("wrote BENCH_query_pipeline.json\n");
+
+  return speedup_serial >= 2.0 ? 0 : 1;
+}

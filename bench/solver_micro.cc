@@ -4,6 +4,7 @@
 #include <benchmark/benchmark.h>
 
 #include "src/solver/bitblast.h"
+#include "src/solver/pipeline.h"
 #include "src/solver/sat.h"
 #include "src/solver/solver.h"
 #include "src/support/rng.h"
@@ -90,6 +91,31 @@ void BM_CheckSatQuadratic(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_CheckSatQuadratic)->Arg(1)->Arg(2)->Arg(4);
+
+void BM_PipelineParallelDispatch(benchmark::State& state) {
+  // A round's worth of independent branch-negation queries pushed through
+  // the pipeline's dispatch pool. Cache off so every iteration measures
+  // raw parallel solve throughput; scaling over Arg = thread count.
+  const unsigned threads = static_cast<unsigned>(state.range(0));
+  ExprPool pool;
+  std::vector<QueryPipeline::Query> batch;
+  for (int q = 0; q < 16; ++q) {
+    ExprRef x = pool.Var("x" + std::to_string(q), 16);
+    batch.push_back({pool.Eq(pool.Mul(x, x),
+                             pool.Const(1521 + 17 * q, 16)),
+                     pool.Ult(x, pool.Const(200, 16))});
+  }
+  for (auto _ : state) {
+    PipelineOptions opts;
+    opts.solver.cache_queries = false;
+    opts.threads = threads;
+    QueryPipeline pipeline(opts);
+    benchmark::DoNotOptimize(pipeline.SolveBatch(batch).size());
+  }
+}
+BENCHMARK(BM_PipelineParallelDispatch)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
 
 void BM_FpSearchRounding(benchmark::State& state) {
   // The fp_round bomb's condition: find a tiny positive double absorbed

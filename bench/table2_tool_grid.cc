@@ -4,12 +4,29 @@
 // per-tool success counts (paper: Angr 4 across both configurations,
 // BAP 2, Triton 1), and the match rate. This is the headline experiment.
 #include <cstdio>
+#include <cstring>
 
 #include "src/tools/runner.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace sbce;
+  // --baseline: run with the query pipeline's optimizations disabled
+  // (no cache, no slicing, serial dispatch). The grid must come out
+  // identical either way — diff the two outputs to check.
+  bool baseline = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--baseline") == 0) baseline = true;
+  }
   auto tools = tools::PaperTools();
+  if (baseline) {
+    for (auto& tool : tools) {
+      tool.engine.budgets.solver.cache_queries = false;
+      tool.engine.budgets.solver.slice_independent = false;
+      tool.engine.budgets.solver_threads = 1;
+    }
+    std::printf("(baseline mode: query cache, slicing and parallel "
+                "dispatch disabled)\n");
+  }
   std::printf("=== Table II: concolic tools vs the logic-bomb dataset ===\n");
   std::printf("running %zu bombs x %zu tools (heavy solver cells take a "
               "while)...\n\n",

@@ -11,9 +11,23 @@ namespace sbce::core {
 using solver::ExprRef;
 using symex::ErrorStage;
 
+namespace {
+
+solver::PipelineOptions MakePipelineOptions(const EngineConfig& config) {
+  solver::PipelineOptions opts;
+  opts.solver = config.budgets.solver;
+  opts.threads = config.budgets.solver_threads;
+  return opts;
+}
+
+}  // namespace
+
 ConcolicEngine::ConcolicEngine(const isa::BinaryImage& image,
                                MachineFactory factory, EngineConfig config)
-    : image_(image), factory_(std::move(factory)), config_(std::move(config)) {}
+    : image_(image),
+      factory_(std::move(factory)),
+      config_(std::move(config)),
+      pipeline_(MakePipelineOptions(config_)) {}
 
 ConcolicEngine::RoundData ConcolicEngine::RunConcrete(
     const std::vector<std::string>& argv) {
@@ -95,6 +109,18 @@ std::vector<std::string> ConcolicEngine::DecodeModel(
 }
 
 EngineResult ConcolicEngine::Explore(
+    const std::vector<std::string>& seed_argv, uint64_t target_pc) {
+  const solver::PipelineStats before = pipeline_.stats();
+  EngineResult result = ExploreImpl(seed_argv, target_pc);
+  const solver::PipelineStats after = pipeline_.stats();
+  result.solver_cache_hits = after.cache_hits - before.cache_hits;
+  result.solver_cache_misses = after.cache_misses - before.cache_misses;
+  result.sliced_queries = after.sliced_queries - before.sliced_queries;
+  result.solver_micros = after.solver_micros - before.solver_micros;
+  return result;
+}
+
+EngineResult ConcolicEngine::ExploreImpl(
     const std::vector<std::string>& seed_argv, uint64_t target_pc) {
   EngineResult result;
   CfgReachability cfg(image_, target_pc);
@@ -183,27 +209,65 @@ EngineResult ConcolicEngine::Explore(
         candidates.size() -
         std::min(undirected.size(), kUndirectedPerRound);
 
-    for (size_t ci = 0; ci < candidates.size(); ++ci) {
-      if (result.solver_queries >= config_.budgets.max_solver_queries) break;
-      const size_t i = candidates[ci];
-      const bool directed = ci < num_directed;
+    // Plan this round's negation batch up front (no engine state touched):
+    // mirror the serial loop's budget accounting — queries the serial path
+    // would never have issued are not built or solved.
+    struct NegationCandidate {
+      size_t path_index = 0;
+      bool directed = false;
+      bool fp_unsupported = false;
+      size_t query = 0;  // into `queries` unless fp_unsupported
+    };
+    std::vector<NegationCandidate> batch;
+    std::vector<solver::QueryPipeline::Query> queries;
+    {
+      uint64_t planned = result.solver_queries;
+      for (size_t ci = 0; ci < candidates.size(); ++ci) {
+        if (planned >= config_.budgets.max_solver_queries) break;
+        const size_t i = candidates[ci];
+        // Prefix constraints + negated condition.
+        std::vector<ExprRef> assertions;
+        assertions.reserve(i + 1);
+        for (size_t k = 0; k < i; ++k) assertions.push_back(path[k].cond);
+        assertions.push_back(pool_.Not(path[i].cond));
+
+        NegationCandidate cand;
+        cand.path_index = i;
+        cand.directed = ci < num_directed;
+        cand.fp_unsupported = !config_.solver_supports_fp &&
+                              solver::ContainsHardFp(assertions);
+        if (!cand.fp_unsupported) {
+          ++planned;
+          cand.query = queries.size();
+          queries.push_back(std::move(assertions));
+        }
+        batch.push_back(cand);
+      }
+    }
+
+    // Cache-, slice- and thread-accelerated dispatch of the whole batch.
+    // Outcomes are committed strictly in candidate order below (lowest
+    // index first), so engine state, diagnostics and abort points are
+    // bit-identical to solving one query at a time.
+    const std::vector<solver::SolveResult> batch_results =
+        pipeline_.SolveBatch(queries);
+
+    for (const NegationCandidate& cand : batch) {
+      const size_t i = cand.path_index;
+      const bool directed = cand.directed;
       flipped.insert(std::make_tuple(path[i].pc, path[i].occurrence,
                                      path[i].cond->id));
-      // Prefix constraints + negated condition.
-      std::vector<ExprRef> assertions;
-      for (size_t k = 0; k < i; ++k) assertions.push_back(path[k].cond);
-      assertions.push_back(pool_.Not(path[i].cond));
-
-      if (!config_.solver_supports_fp && solver::ContainsHardFp(assertions)) {
+      if (cand.fp_unsupported) {
         result.diag.entries.push_back(
             {ErrorStage::kEs3,
              "constraint requires an unsupported floating-point theory",
              path[i].pc});
         continue;
       }
+      const std::vector<ExprRef>& assertions = queries[cand.query];
 
       ++result.solver_queries;
-      auto res = solver::CheckSat(assertions, config_.budgets.solver);
+      const solver::SolveResult& res = batch_results[cand.query];
       result.solver_conflicts += res.conflicts;
       if (res.status == solver::SolveStatus::kUnknown) {
         const bool circuit =
@@ -274,7 +338,7 @@ EngineResult ConcolicEngine::Explore(
         continue;
       }
       ++result.solver_queries;
-      auto res = solver::CheckSat(assertions, config_.budgets.solver);
+      auto res = pipeline_.Solve(assertions);
       result.solver_conflicts += res.conflicts;
       if (res.status == solver::SolveStatus::kSat) {
         const bool buggy =

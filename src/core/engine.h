@@ -10,6 +10,7 @@
 // outcomes.
 #pragma once
 
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
@@ -19,6 +20,7 @@
 
 #include "src/core/cfg.h"
 #include "src/isa/image.h"
+#include "src/solver/pipeline.h"
 #include "src/solver/solver.h"
 #include "src/symex/config.h"
 #include "src/symex/executor.h"
@@ -32,6 +34,10 @@ struct EngineBudgets {
   uint64_t max_vm_instructions = 4'000'000;
   uint64_t max_solver_queries = 192;
   solver::SolverOptions solver;          // per-query conflict/circuit budget
+  /// Solver dispatch concurrency for a round's branch-negation batch.
+  /// 0 = auto (hardware concurrency capped at 8); 1 = serial. Engine
+  /// results are bit-identical for every value (see solver::QueryPipeline).
+  unsigned solver_threads = 0;
 };
 
 /// What happens when a per-query solver budget is exceeded.
@@ -72,6 +78,13 @@ struct EngineResult {
   uint64_t solver_queries = 0;
   uint64_t solver_conflicts = 0;
 
+  // Query-pipeline counters for this exploration (cache hits/misses are
+  // per independence-sliced component, not per engine query).
+  uint64_t solver_cache_hits = 0;
+  uint64_t solver_cache_misses = 0;
+  uint64_t sliced_queries = 0;
+  uint64_t solver_micros = 0;  // wall-clock spent inside the solver stage
+
   /// Every input the engine executed, in order (seed first). Useful for
   /// replaying the exploration, e.g. to measure coverage.
   std::vector<std::vector<std::string>> explored_inputs;
@@ -98,6 +111,9 @@ class ConcolicEngine {
                        uint64_t target_pc);
 
  private:
+  EngineResult ExploreImpl(const std::vector<std::string>& seed_argv,
+                           uint64_t target_pc);
+
   struct RoundData {
     std::vector<vm::TraceEvent> events;
     bool bomb_hit = false;
@@ -118,6 +134,7 @@ class ConcolicEngine {
   MachineFactory factory_;
   EngineConfig config_;
   solver::ExprPool pool_;
+  solver::QueryPipeline pipeline_;
 };
 
 }  // namespace sbce::core

@@ -25,6 +25,7 @@
 // addresses survive the sign-extended 32-bit immediate.
 #pragma once
 
+#include <cstdint>
 #include <string_view>
 
 #include "src/isa/image.h"

@@ -34,7 +34,9 @@ std::string AsciiTable::Render() const {
     return out;
   };
 
-  std::string out = rule();
+  std::string out;
+  if (!title_.empty()) out += title_ + '\n';
+  out += rule();
   if (!header_.empty()) {
     out += render_row(header_);
     out += rule();

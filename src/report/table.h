@@ -2,12 +2,15 @@
 #pragma once
 
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace sbce::report {
 
 class AsciiTable {
  public:
+  /// Optional caption rendered on its own line above the top rule.
+  void SetTitle(std::string title) { title_ = std::move(title); }
   void SetHeader(std::vector<std::string> cells) {
     header_ = std::move(cells);
   }
@@ -19,6 +22,7 @@ class AsciiTable {
   std::string Render() const;
 
  private:
+  std::string title_;
   std::vector<std::string> header_;
   std::vector<std::vector<std::string>> rows_;
 };

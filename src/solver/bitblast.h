@@ -6,7 +6,9 @@
 // search-based FP solver instead (see fpsolver.h).
 #pragma once
 
+#include <cstdint>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "src/solver/eval.h"

@@ -5,7 +5,9 @@
 // property tests (random assignments cross-check the bit-blaster).
 #pragma once
 
+#include <cstdint>
 #include <span>
+#include <string>
 #include <unordered_map>
 
 #include "src/solver/expr.h"

@@ -11,6 +11,7 @@
 // it can return kSat with a verified model or kUnknown, never kUnsat.
 #pragma once
 
+#include <cstdint>
 #include <span>
 
 #include "src/solver/eval.h"

@@ -1,0 +1,182 @@
+#include "src/solver/pipeline.h"
+
+#include <algorithm>
+#include <chrono>
+#include <optional>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "src/solver/slice.h"
+
+namespace sbce::solver {
+
+namespace {
+
+unsigned ResolveThreads(unsigned requested) {
+  if (requested != 0) return requested;
+  unsigned hw = std::thread::hardware_concurrency();
+  if (hw == 0) hw = 1;
+  return std::min(hw, 8u);
+}
+
+/// Restricts `model` to the variables reachable from `assertions`. Cached
+/// models may carry assignments for unrelated variables; letting those
+/// leak into a merged model could clash with another component's
+/// assignment of the same name.
+Assignment RestrictToVars(const Assignment& model,
+                          std::span<const ExprRef> assertions) {
+  Assignment out;
+  for (ExprRef v : CollectVars(assertions)) {
+    if (auto it = model.find(v->name); it != model.end()) {
+      out.emplace(it->first, it->second);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+QueryPipeline::QueryPipeline(PipelineOptions options)
+    : options_(options),
+      threads_(ResolveThreads(options.threads)),
+      cache_(options.cache) {
+  if (threads_ > 1) pool_ = std::make_unique<ThreadPool>(threads_);
+}
+
+std::vector<SolveResult> QueryPipeline::SolveBatch(
+    std::span<const Query> queries) {
+  const auto t0 = std::chrono::steady_clock::now();
+  stats_.queries += queries.size();
+
+  // One variable-disjoint component of one query.
+  struct SubQuery {
+    std::vector<ExprRef> assertions;
+    QueryCache::Key key;
+    std::optional<SolveResult> resolved;  // answered by the cache
+    size_t task = 0;                      // into `tasks` when unresolved
+  };
+  // A deduplicated unit of solve work (shared across the batch).
+  struct Task {
+    std::vector<ExprRef> assertions;
+    QueryCache::Key key;
+    SolveResult result;
+  };
+
+  std::vector<std::vector<SubQuery>> plan(queries.size());
+  std::vector<Task> tasks;
+  std::unordered_map<uint64_t, size_t> task_by_digest;
+
+  // --- Phase 1: slice, consult cache, dedup (serial, input order) -------
+  for (size_t qi = 0; qi < queries.size(); ++qi) {
+    std::vector<std::vector<ExprRef>> groups;
+    if (options_.solver.slice_independent) {
+      groups = SliceByIndependence(queries[qi]);
+    } else if (!queries[qi].empty()) {
+      groups.push_back(queries[qi]);
+    }
+    if (groups.size() > 1) ++stats_.sliced_queries;
+    for (auto& group : groups) {
+      SubQuery sq;
+      sq.assertions = std::move(group);
+      sq.key = QueryCache::Canonicalize(sq.assertions);
+      if (options_.solver.cache_queries) {
+        sq.resolved = cache_.Lookup(sq.key, sq.assertions);
+      }
+      if (!sq.resolved) {
+        auto [it, inserted] =
+            task_by_digest.try_emplace(sq.key.digest, tasks.size());
+        if (inserted || tasks[it->second].key.hashes != sq.key.hashes) {
+          // New work — or a digest collision, which must not share a task.
+          if (!inserted) it->second = tasks.size();
+          Task task;
+          task.assertions = sq.assertions;
+          task.key = sq.key;
+          tasks.push_back(std::move(task));
+        }
+        sq.task = it->second;
+      }
+      plan[qi].push_back(std::move(sq));
+    }
+  }
+
+  // --- Phase 2: solve unresolved components (parallel, pure) ------------
+  stats_.subqueries_solved += tasks.size();
+  const auto solve_task = [&](size_t t) {
+    tasks[t].result = CheckSat(tasks[t].assertions, options_.solver);
+  };
+  if (pool_ && tasks.size() > 1) {
+    pool_->ForEachIndex(tasks.size(), solve_task);
+  } else {
+    for (size_t t = 0; t < tasks.size(); ++t) solve_task(t);
+  }
+
+  // --- Phase 3: merge, validate, commit to cache (serial, input order) --
+  std::vector<SolveResult> results(queries.size());
+  std::unordered_set<uint64_t> committed;
+  for (size_t qi = 0; qi < queries.size(); ++qi) {
+    SolveResult out;
+    out.status = SolveStatus::kSat;
+    bool unknown = false;
+    Assignment merged;
+    for (const SubQuery& sq : plan[qi]) {
+      const SolveResult& r =
+          sq.resolved ? *sq.resolved : tasks[sq.task].result;
+      if (!sq.resolved && options_.solver.cache_queries &&
+          committed.insert(sq.key.digest).second) {
+        cache_.Insert(sq.key, r);
+      }
+      out.conflicts += r.conflicts;
+      out.sat_vars += r.sat_vars;
+      switch (r.status) {
+        case SolveStatus::kUnsat:
+          // One impossible component sinks the conjunction.
+          out.status = SolveStatus::kUnsat;
+          out.note = r.note;
+          break;
+        case SolveStatus::kUnknown:
+          if (!unknown) {
+            unknown = true;
+            if (out.status != SolveStatus::kUnsat) out.note = r.note;
+          }
+          break;
+        case SolveStatus::kSat:
+          for (const auto& [name, value] :
+               RestrictToVars(r.model, sq.assertions)) {
+            merged[name] = value;
+          }
+          break;
+      }
+    }
+    if (out.status == SolveStatus::kSat && unknown) {
+      out.status = SolveStatus::kUnknown;
+    }
+    if (out.status == SolveStatus::kSat) {
+      SBCE_CHECK_MSG(AllSatisfied(queries[qi], merged),
+                     "query pipeline merged an invalid model");
+      out.model = std::move(merged);
+    }
+    results[qi] = std::move(out);
+  }
+
+  stats_.solver_micros += static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count());
+  return results;
+}
+
+SolveResult QueryPipeline::Solve(std::span<const ExprRef> assertions) {
+  const Query query(assertions.begin(), assertions.end());
+  return SolveBatch({&query, 1}).front();
+}
+
+PipelineStats QueryPipeline::stats() const {
+  PipelineStats s = stats_;
+  const QueryCacheStats c = cache_.stats();
+  s.cache_hits = c.hits();
+  s.cache_misses = c.misses;
+  return s;
+}
+
+}  // namespace sbce::solver

@@ -1,0 +1,88 @@
+// QueryPipeline: the batching layer between the concolic engine and the
+// solver facade.
+//
+// A batch is a list of independent queries (each a conjunction of 1-bit
+// assertions) whose answers the caller will consume *in input order* —
+// e.g. one round's branch-negation candidates. The pipeline runs three
+// strictly separated phases:
+//
+//   1. Plan (serial):   slice each query into variable-disjoint components
+//                       (slice.h), canonicalize each component, consult
+//                       the QueryCache, and deduplicate the remaining
+//                       components across the whole batch.
+//   2. Solve (parallel): every unresolved component is an independent
+//                       CheckSat call — a pure function of its assertion
+//                       set — dispatched across the thread pool.
+//   3. Commit (serial): in query order, merge component results, validate
+//                       merged SAT models with the concrete evaluator, and
+//                       insert fresh verdicts into the cache.
+//
+// Because cache lookups all happen in phase 1 and insertions all happen in
+// phase 3 (both in deterministic input order), and phase 2 tasks are pure,
+// the results are bit-identical for any thread count — the property the
+// engine's "lowest candidate index wins" rule needs to keep exploration
+// outcomes independent of scheduling.
+//
+// With `cache_queries` and `slice_independent` both false and threads == 1
+// the pipeline degenerates to calling CheckSat once per query, in order —
+// the pre-pipeline serial behaviour.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "src/solver/query_cache.h"
+#include "src/solver/solver.h"
+#include "src/support/thread_pool.h"
+
+namespace sbce::solver {
+
+struct PipelineOptions {
+  SolverOptions solver;  // per-component budgets + cache/slice gates
+  /// Total solver concurrency including the dispatching thread.
+  /// 0 = auto (hardware concurrency capped at 8); 1 = fully serial.
+  unsigned threads = 1;
+  QueryCache::Options cache;
+};
+
+struct PipelineStats {
+  uint64_t queries = 0;            // queries accepted
+  uint64_t sliced_queries = 0;     // ...that split into >1 component
+  uint64_t subqueries_solved = 0;  // CheckSat calls actually issued
+  uint64_t cache_hits = 0;         // component lookups answered from cache
+  uint64_t cache_misses = 0;       // component lookups that missed
+  uint64_t solver_micros = 0;      // wall-clock inside SolveBatch
+};
+
+class QueryPipeline {
+ public:
+  using Query = std::vector<ExprRef>;
+
+  explicit QueryPipeline(PipelineOptions options);
+
+  /// Decides every query; results are returned in input order. Each SAT
+  /// result's model satisfies its full original conjunction (validated
+  /// with the evaluator, as the facade does).
+  std::vector<SolveResult> SolveBatch(std::span<const Query> queries);
+
+  /// Single-query convenience wrapper over SolveBatch.
+  SolveResult Solve(std::span<const ExprRef> assertions);
+
+  /// Aggregated counters (pipeline + cache), cumulative over the
+  /// pipeline's lifetime.
+  PipelineStats stats() const;
+
+  QueryCache& cache() { return cache_; }
+  unsigned threads() const { return threads_; }
+
+ private:
+  PipelineOptions options_;
+  unsigned threads_ = 1;  // resolved (auto applied)
+  QueryCache cache_;
+  PipelineStats stats_;
+  std::unique_ptr<ThreadPool> pool_;  // only when threads_ > 1
+};
+
+}  // namespace sbce::solver

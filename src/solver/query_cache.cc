@@ -1,0 +1,153 @@
+#include "src/solver/query_cache.h"
+
+#include <algorithm>
+
+#include "src/support/bits.h"
+
+namespace sbce::solver {
+
+namespace {
+
+uint64_t StructuralHashRec(ExprRef e,
+                           std::unordered_map<ExprRef, uint64_t>& memo) {
+  if (auto it = memo.find(e); it != memo.end()) return it->second;
+  // Seed with a constant so leaf hashes differ from raw payloads.
+  uint64_t h = HashCombine(0x5bce5bce5bce5bceull,
+                           static_cast<uint64_t>(e->kind));
+  h = HashCombine(h, e->width);
+  h = HashCombine(h, e->p0);
+  h = HashCombine(h, e->p1);
+  h = HashCombine(h, e->cval);
+  if (e->kind == Kind::kVar) {
+    h = HashCombine(h, Fnv1a(e->name.data(), e->name.size()));
+  }
+  for (int i = 0; i < e->nargs; ++i) {
+    h = HashCombine(h, StructuralHashRec(e->args[i], memo));
+  }
+  memo.emplace(e, h);
+  return h;
+}
+
+/// True iff sorted `small` is a subset of sorted `big` (both deduplicated).
+bool SortedSubset(const std::vector<uint64_t>& small,
+                  const std::vector<uint64_t>& big) {
+  if (small.size() > big.size()) return false;
+  size_t j = 0;
+  for (uint64_t h : small) {
+    while (j < big.size() && big[j] < h) ++j;
+    if (j == big.size() || big[j] != h) return false;
+    ++j;
+  }
+  return true;
+}
+
+}  // namespace
+
+uint64_t StructuralHash(ExprRef e) {
+  std::unordered_map<ExprRef, uint64_t> memo;
+  return StructuralHashRec(e, memo);
+}
+
+QueryCache::Key QueryCache::Canonicalize(
+    std::span<const ExprRef> assertions) {
+  Key key;
+  key.hashes.reserve(assertions.size());
+  std::unordered_map<ExprRef, uint64_t> memo;  // shared across assertions
+  for (ExprRef a : assertions) {
+    key.hashes.push_back(StructuralHashRec(a, memo));
+  }
+  std::sort(key.hashes.begin(), key.hashes.end());
+  key.hashes.erase(std::unique(key.hashes.begin(), key.hashes.end()),
+                   key.hashes.end());
+  key.digest = Fnv1a(key.hashes.data(), key.hashes.size() * sizeof(uint64_t));
+  return key;
+}
+
+std::optional<SolveResult> QueryCache::Lookup(
+    const Key& key, std::span<const ExprRef> assertions) {
+  std::lock_guard<std::mutex> lk(mu_);
+
+  // 1. Exact match.
+  if (auto it = entries_.find(key.digest);
+      it != entries_.end() && it->second.hashes == key.hashes) {
+    const Entry& entry = it->second;
+    if (entry.status == SolveStatus::kUnsat) {
+      ++stats_.exact_hits;
+      SolveResult r;
+      r.status = SolveStatus::kUnsat;
+      r.note = "query cache: exact unsat";
+      return r;
+    }
+    // SAT: revalidate against the actual conjunction (digest collisions
+    // are theoretically possible; an invalid model must never escape).
+    if (AllSatisfied(assertions, entry.model)) {
+      ++stats_.exact_hits;
+      SolveResult r;
+      r.status = SolveStatus::kSat;
+      r.model = entry.model;
+      r.note = "query cache: exact sat";
+      return r;
+    }
+  }
+
+  // 2. A cached UNSAT set contained in this query makes it UNSAT.
+  for (uint64_t digest : unsat_digests_) {
+    const Entry& entry = entries_.find(digest)->second;
+    if (SortedSubset(entry.hashes, key.hashes)) {
+      ++stats_.subset_unsat_hits;
+      SolveResult r;
+      r.status = SolveStatus::kUnsat;
+      r.note = "query cache: unsat-core subset";
+      return r;
+    }
+  }
+
+  // 3. Counterexample reuse: try recent models, newest first. Covers the
+  // superset rule and incidental satisfaction alike; the evaluator is the
+  // gatekeeper, so a stale model can only cost a few evaluations.
+  const size_t scan = std::min(options_.model_reuse_scan, sat_digests_.size());
+  for (size_t k = 0; k < scan; ++k) {
+    const uint64_t digest = sat_digests_[sat_digests_.size() - 1 - k];
+    const Entry& entry = entries_.find(digest)->second;
+    if (AllSatisfied(assertions, entry.model)) {
+      ++stats_.model_reuse_hits;
+      SolveResult r;
+      r.status = SolveStatus::kSat;
+      r.model = entry.model;
+      r.note = "query cache: model reuse";
+      return r;
+    }
+  }
+
+  ++stats_.misses;
+  return std::nullopt;
+}
+
+void QueryCache::Insert(const Key& key, const SolveResult& result) {
+  if (result.status == SolveStatus::kUnknown) return;
+  std::lock_guard<std::mutex> lk(mu_);
+  if (entries_.size() >= options_.max_entries) return;
+  auto [it, inserted] = entries_.try_emplace(key.digest);
+  if (!inserted) return;  // already cached (or digest collision: keep first)
+  it->second.hashes = key.hashes;
+  it->second.status = result.status;
+  if (result.status == SolveStatus::kSat) {
+    it->second.model = result.model;
+    sat_digests_.push_back(key.digest);
+  } else {
+    unsat_digests_.push_back(key.digest);
+  }
+  ++stats_.insertions;
+}
+
+QueryCacheStats QueryCache::stats() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return stats_;
+}
+
+size_t QueryCache::size() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return entries_.size();
+}
+
+}  // namespace sbce::solver

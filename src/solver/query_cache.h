@@ -1,0 +1,104 @@
+// Solver query cache (KLEE-style counterexample caching).
+//
+// A query is a conjunction of 1-bit assertions. Queries are canonicalized
+// into a sorted, deduplicated set of *structural* hashes — pool-independent
+// content hashes over the expression DAG — so the same constraint set
+// produces the same key regardless of insertion order, duplication, or
+// which ExprPool built the nodes. On top of the exact-match store the cache
+// implements the two classic set-relation rules:
+//
+//   * unsat-subset: if a cached UNSAT assertion set is a subset of the new
+//     query, the new query is UNSAT (adding conjuncts cannot fix it).
+//   * model reuse: a cached SAT model for any earlier query may happen to
+//     satisfy the new conjunction; it is re-validated with the concrete
+//     evaluator before being returned, so the "never return an invalid
+//     model" invariant of the solver facade is preserved. This also covers
+//     the superset→subset rule (a model of a superset satisfies any subset)
+//     without needing set-containment bookkeeping.
+//
+// Verdicts returned by Lookup are always sound: exact SAT hits are
+// revalidated too (guarding against hash collisions), and UNKNOWN results
+// are never cached (they are budget-dependent, not semantic).
+//
+// Thread safety: all public methods are mutex-guarded; the parallel
+// dispatch pool may consult the cache concurrently. Lookup never mutates
+// (no LRU reordering), so cache answers are a pure function of the
+// insertion history — the property QueryPipeline relies on for
+// deterministic parallel solving.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "src/solver/eval.h"
+#include "src/solver/expr.h"
+#include "src/solver/solver.h"
+
+namespace sbce::solver {
+
+/// Pool-independent content hash of an expression DAG: two structurally
+/// identical expressions hash equal even when built in different pools.
+uint64_t StructuralHash(ExprRef e);
+
+struct QueryCacheStats {
+  uint64_t exact_hits = 0;
+  uint64_t subset_unsat_hits = 0;
+  uint64_t model_reuse_hits = 0;
+  uint64_t misses = 0;
+  uint64_t insertions = 0;
+
+  uint64_t hits() const {
+    return exact_hits + subset_unsat_hits + model_reuse_hits;
+  }
+};
+
+class QueryCache {
+ public:
+  struct Options {
+    size_t max_entries = 8192;     // stop inserting beyond this
+    size_t model_reuse_scan = 64;  // most-recent SAT models tried per miss
+  };
+
+  /// Canonical identity of an assertion set.
+  struct Key {
+    uint64_t digest = 0;           // hash of `hashes`
+    std::vector<uint64_t> hashes;  // sorted, deduplicated per-assertion
+  };
+
+  QueryCache() = default;
+  explicit QueryCache(Options options) : options_(options) {}
+
+  static Key Canonicalize(std::span<const ExprRef> assertions);
+
+  /// Returns a sound verdict for `assertions` if one can be derived from
+  /// cached results, nullopt otherwise. A returned SAT result's model is
+  /// guaranteed to satisfy `assertions` (evaluator-checked).
+  std::optional<SolveResult> Lookup(const Key& key,
+                                    std::span<const ExprRef> assertions);
+
+  /// Records a definitive verdict. kUnknown results are ignored.
+  void Insert(const Key& key, const SolveResult& result);
+
+  QueryCacheStats stats() const;
+  size_t size() const;
+
+ private:
+  struct Entry {
+    std::vector<uint64_t> hashes;
+    SolveStatus status = SolveStatus::kUnknown;
+    Assignment model;  // kSat only
+  };
+
+  Options options_;
+  mutable std::mutex mu_;
+  QueryCacheStats stats_;
+  std::unordered_map<uint64_t, Entry> entries_;  // digest → entry
+  std::vector<uint64_t> unsat_digests_;          // insertion order
+  std::vector<uint64_t> sat_digests_;            // insertion order
+};
+
+}  // namespace sbce::solver

@@ -1,0 +1,68 @@
+#include "src/solver/slice.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace sbce::solver {
+
+namespace {
+
+class UnionFind {
+ public:
+  explicit UnionFind(size_t n) : parent_(n) {
+    for (size_t i = 0; i < n; ++i) parent_[i] = i;
+  }
+
+  size_t Find(size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];  // path halving
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  void Union(size_t a, size_t b) {
+    a = Find(a);
+    b = Find(b);
+    // Always attach the larger index under the smaller one so every root
+    // is the smallest member of its component — gives the deterministic
+    // first-assertion ordering for free.
+    if (a == b) return;
+    if (a > b) std::swap(a, b);
+    parent_[b] = a;
+  }
+
+ private:
+  std::vector<size_t> parent_;
+};
+
+}  // namespace
+
+std::vector<std::vector<ExprRef>> SliceByIndependence(
+    std::span<const ExprRef> assertions) {
+  const size_t n = assertions.size();
+  UnionFind uf(n);
+  // First assertion index seen for each variable (identity: exprs are
+  // hash-consed, so the same variable is the same pointer).
+  std::unordered_map<ExprRef, size_t> var_owner;
+  for (size_t i = 0; i < n; ++i) {
+    for (ExprRef v : CollectVars({&assertions[i], 1})) {
+      auto [it, inserted] = var_owner.try_emplace(v, i);
+      if (!inserted) uf.Union(it->second, i);
+    }
+  }
+
+  // Emit components keyed by root (the smallest index in the component),
+  // in ascending root order = first-appearance order.
+  std::vector<std::vector<ExprRef>> groups;
+  std::unordered_map<size_t, size_t> root_to_group;
+  for (size_t i = 0; i < n; ++i) {
+    const size_t root = uf.Find(i);
+    auto [it, inserted] = root_to_group.try_emplace(root, groups.size());
+    if (inserted) groups.emplace_back();
+    groups[it->second].push_back(assertions[i]);
+  }
+  return groups;
+}
+
+}  // namespace sbce::solver

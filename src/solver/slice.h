@@ -1,0 +1,30 @@
+// Constraint-independence slicing.
+//
+// Two assertions are dependent when they share a symbolic variable; the
+// dependency relation's connected components can be solved separately and
+// their models merged, because a conjunction over disjoint variable sets
+// is satisfiable iff every component is (and a merged model assigns each
+// variable from exactly one component). Slicing is the standard remedy for
+// the path-constraint blowup the paper measures: each branch-negation
+// query re-states the whole path prefix, but only the component touching
+// the negated condition actually changes between queries — the rest are
+// cache hits once a QueryCache sits in front of the solver.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "src/solver/expr.h"
+
+namespace sbce::solver {
+
+/// Partitions `assertions` into connected components under the
+/// shares-a-variable relation. Deterministic: components are ordered by
+/// their first assertion's position, and assertions keep their relative
+/// order inside each component. Variable-free assertions (constants) form
+/// singleton components. The concatenation of all components is a
+/// permutation of the input.
+std::vector<std::vector<ExprRef>> SliceByIndependence(
+    std::span<const ExprRef> assertions);
+
+}  // namespace sbce::solver

@@ -8,6 +8,7 @@
 // evaluate true is an internal error, never returned to callers.
 #pragma once
 
+#include <cstdint>
 #include <span>
 #include <string>
 
@@ -23,6 +24,12 @@ struct SolverOptions {
   size_t max_sat_vars = 2'000'000;     // circuit budget
   uint64_t fp_iterations = 200'000;    // FP search budget
   uint64_t seed = 0x5bce;
+
+  // Query-pipeline gates, honoured by solver::QueryPipeline (CheckSat
+  // itself always decides exactly the conjunction it is given). Turning
+  // both off makes the pipeline equivalent to calling CheckSat per query.
+  bool cache_queries = true;      // reuse SAT models / UNSAT verdicts
+  bool slice_independent = true;  // solve variable-disjoint parts apart
 };
 
 struct SolveResult {

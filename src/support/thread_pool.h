@@ -1,0 +1,137 @@
+// Fork-join worker pool over std::jthread.
+//
+// Built for the solver's parallel query dispatch: a single orchestrator
+// thread repeatedly scatters a batch of independent, chunky tasks
+// (bit-blast + CDCL runs) and gathers every result before acting on any of
+// them. The pool therefore exposes exactly one primitive — ForEachIndex —
+// instead of a general future-returning submit: the calling thread
+// participates in the work, indices are handed out through a shared atomic
+// counter (dynamic load balancing for uneven solve times), and the call
+// returns only when every index has completed.
+//
+// Determinism note: the pool schedules *work*, never *results*. Callers
+// that need reproducible outcomes must make each task a pure function of
+// its index and commit results by index order afterwards (see
+// solver::QueryPipeline).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace sbce {
+
+class ThreadPool {
+ public:
+  /// `threads` is the total desired concurrency including the calling
+  /// thread; the pool spawns `threads - 1` workers. 0 and 1 both mean
+  /// "no workers" (ForEachIndex then runs inline, fully serial).
+  explicit ThreadPool(unsigned threads) {
+    const unsigned workers = threads > 1 ? threads - 1 : 0;
+    workers_.reserve(workers);
+    for (unsigned i = 0; i < workers; ++i) {
+      workers_.emplace_back(
+          [this](std::stop_token st) { WorkerLoop(st); });
+    }
+  }
+
+  ~ThreadPool() {
+    for (auto& w : workers_) w.request_stop();
+    cv_.notify_all();
+    // std::jthread joins on destruction.
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total concurrency (workers + the calling thread).
+  unsigned concurrency() const {
+    return static_cast<unsigned>(workers_.size()) + 1;
+  }
+
+  /// Runs fn(0), fn(1), ..., fn(n-1) across the pool and the calling
+  /// thread; blocks until all n calls have returned. fn must be safe to
+  /// call concurrently for distinct indices.
+  void ForEachIndex(size_t n, const std::function<void(size_t)>& fn) {
+    if (n == 0) return;
+    if (workers_.empty() || n == 1) {
+      for (size_t i = 0; i < n; ++i) fn(i);
+      return;
+    }
+    // One scatter at a time; concurrent callers queue up here.
+    std::lock_guard<std::mutex> region_lock(region_mu_);
+    Region region;
+    region.fn = &fn;
+    region.n = n;
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      region_ = &region;
+      ++generation_;
+    }
+    cv_.notify_all();
+    RunRegion(region);
+    // Every worker checks in to each generation (even if it arrives after
+    // the indices ran out), so `region` may not leave the stack until all
+    // of them are done with the pointer.
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      done_cv_.wait(lk, [&] {
+        return region.finished.load(std::memory_order_acquire) ==
+               workers_.size() + 1;
+      });
+      region_ = nullptr;
+    }
+  }
+
+ private:
+  struct Region {
+    const std::function<void(size_t)>* fn = nullptr;
+    size_t n = 0;
+    std::atomic<size_t> next{0};
+    std::atomic<size_t> finished{0};
+  };
+
+  void RunRegion(Region& region) {
+    size_t i;
+    while ((i = region.next.fetch_add(1, std::memory_order_relaxed)) <
+           region.n) {
+      (*region.fn)(i);
+    }
+    {
+      // The check-in must happen under mu_: the orchestrator tests the
+      // counter under the same mutex, so incrementing outside it could
+      // slip between its predicate check and its wait (lost wakeup).
+      std::lock_guard<std::mutex> lk(mu_);
+      region.finished.fetch_add(1, std::memory_order_acq_rel);
+    }
+    done_cv_.notify_all();
+  }
+
+  void WorkerLoop(std::stop_token st) {
+    uint64_t seen = 0;
+    std::unique_lock<std::mutex> lk(mu_);
+    while (!st.stop_requested()) {
+      cv_.wait(lk, st, [&] { return generation_ != seen; });
+      if (st.stop_requested()) return;
+      seen = generation_;
+      Region* region = region_;
+      lk.unlock();
+      RunRegion(*region);
+      lk.lock();
+    }
+  }
+
+  std::mutex region_mu_;  // serializes ForEachIndex callers
+  std::mutex mu_;
+  std::condition_variable_any cv_;
+  std::condition_variable_any done_cv_;
+  uint64_t generation_ = 0;
+  Region* region_ = nullptr;
+  std::vector<std::jthread> workers_;  // last member: destroyed first
+};
+
+}  // namespace sbce

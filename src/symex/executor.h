@@ -9,11 +9,14 @@
 // "constraint solving" is src/solver.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <optional>
 #include <set>
 #include <span>
 #include <string>
+#include <unordered_map>
+#include <utility>
 
 #include "src/symex/config.h"
 #include "src/symex/state.h"

@@ -1,12 +1,14 @@
 // Symbolic machine state threaded through a trace walk.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <map>
 #include <optional>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "src/solver/expr.h"

@@ -98,7 +98,40 @@ std::string RenderTableTwo(const GridResult& grid,
     }
     out += StrFormat("%s solved: %d\n", tools[t].name.c_str(), solved);
   }
+  out += "\n";
+  out += RenderSolverStats(grid, tools);
   return out;
+}
+
+std::string RenderSolverStats(const GridResult& grid,
+                              const std::vector<ToolProfile>& tools) {
+  report::AsciiTable table;
+  table.SetTitle("query pipeline, per tool (hits/misses are per "
+                 "independence-sliced component)");
+  table.SetHeader({"Tool", "queries", "cache hits", "cache misses", "hit %",
+                   "sliced", "solver ms"});
+  for (size_t t = 0; t < tools.size(); ++t) {
+    uint64_t queries = 0, hits = 0, misses = 0, sliced = 0, micros = 0;
+    for (size_t i = t; i < grid.cells.size(); i += tools.size()) {
+      const core::EngineResult& r = grid.cells[i].engine;
+      queries += r.solver_queries;
+      hits += r.solver_cache_hits;
+      misses += r.solver_cache_misses;
+      sliced += r.sliced_queries;
+      micros += r.solver_micros;
+    }
+    const uint64_t lookups = hits + misses;
+    const double hit_pct =
+        lookups == 0 ? 0.0 : 100.0 * static_cast<double>(hits) /
+                                 static_cast<double>(lookups);
+    const auto u64 = [](uint64_t v) {
+      return StrFormat("%llu", static_cast<unsigned long long>(v));
+    };
+    table.AddRow({tools[t].name, u64(queries), u64(hits), u64(misses),
+                  StrFormat("%.1f", hit_pct), u64(sliced),
+                  StrFormat("%.1f", static_cast<double>(micros) / 1000.0)});
+  }
+  return table.Render();
 }
 
 }  // namespace sbce::tools

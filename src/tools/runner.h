@@ -31,8 +31,14 @@ struct GridResult {
 /// The full Table II experiment: 22 bombs × 4 tools.
 GridResult RunTableTwo(const std::vector<ToolProfile>& tools);
 
-/// Renders the grid in the paper's layout.
+/// Renders the grid in the paper's layout (includes the solver stats
+/// footer table below the grid).
 std::string RenderTableTwo(const GridResult& grid,
                            const std::vector<ToolProfile>& tools);
+
+/// Renders the per-tool query-pipeline summary (queries, cache hit rate,
+/// sliced queries, solver wall-clock) aggregated over the grid.
+std::string RenderSolverStats(const GridResult& grid,
+                              const std::vector<ToolProfile>& tools);
 
 }  // namespace sbce::tools

@@ -1,0 +1,80 @@
+// Engine-level parallel-dispatch determinism: exploring the same bomb with
+// solver_threads=1 and solver_threads=8 must produce identical results —
+// same claims, same generated inputs, same round/query counts. This is the
+// engine-facing guarantee behind solver::QueryPipeline's three-phase
+// design (plan serial, solve parallel, commit serial in input order).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/bombs/bombs.h"
+#include "src/core/engine.h"
+#include "src/tools/profiles.h"
+#include "src/vm/machine.h"
+
+namespace sbce::core {
+namespace {
+
+const bombs::BombSpec& FindBomb(const std::string& id) {
+  for (const bombs::BombSpec* bomb : bombs::TableTwoBombs()) {
+    if (bomb->id == id) return *bomb;
+  }
+  SBCE_CHECK_MSG(false, "unknown bomb id: " + id);
+  __builtin_unreachable();
+}
+
+EngineResult ExploreBomb(const bombs::BombSpec& bomb, unsigned threads) {
+  const isa::BinaryImage image = bombs::BuildBomb(bomb);
+  EngineConfig cfg = tools::Ideal().engine;
+  cfg.budgets.solver_threads = threads;
+  ConcolicEngine engine(
+      image,
+      [&bomb, &image](const std::vector<std::string>& argv) {
+        auto machine = std::make_unique<vm::Machine>(
+            image, argv, bomb.experiment_devices);
+        for (const auto& [path, contents] : bomb.files) {
+          machine->fs().PutString(path, contents);
+        }
+        return machine;
+      },
+      cfg);
+  return engine.Explore(bomb.seed_argv, bombs::BombAddress(image));
+}
+
+void ExpectIdentical(const EngineResult& a, const EngineResult& b) {
+  EXPECT_EQ(a.claimed, b.claimed);
+  EXPECT_EQ(a.claimed_argv, b.claimed_argv);
+  EXPECT_EQ(a.validated, b.validated);
+  EXPECT_EQ(a.used_sys_env, b.used_sys_env);
+  EXPECT_EQ(a.aborted, b.aborted);
+  EXPECT_EQ(a.abort_reason, b.abort_reason);
+  EXPECT_EQ(a.rounds, b.rounds);
+  EXPECT_EQ(a.solver_queries, b.solver_queries);
+  EXPECT_EQ(a.explored_inputs, b.explored_inputs);
+  // Cache behaviour is part of the determinism contract too: the hit
+  // pattern depends only on the (identical) query sequence.
+  EXPECT_EQ(a.solver_cache_hits, b.solver_cache_hits);
+  EXPECT_EQ(a.solver_cache_misses, b.solver_cache_misses);
+  EXPECT_EQ(a.sliced_queries, b.sliced_queries);
+}
+
+class ParallelDeterminism : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ParallelDeterminism, OneVsEightSolverThreads) {
+  const bombs::BombSpec& bomb = FindBomb(GetParam());
+  const EngineResult serial = ExploreBomb(bomb, 1);
+  const EngineResult parallel = ExploreBomb(bomb, 8);
+  ExpectIdentical(serial, parallel);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Bombs, ParallelDeterminism,
+    ::testing::Values("svd_argvlen", "csp_stack", "arr_one"),
+    [](const ::testing::TestParamInfo<const char*>& info) {
+      return std::string(info.param);
+    });
+
+}  // namespace
+}  // namespace sbce::core

@@ -1,0 +1,360 @@
+// Query pipeline tests: independence slicer, structural hashing, the
+// query cache's three hit rules (exact, unsat-subset, model reuse) with
+// stale-model rejection, the fork-join pool, and the pipeline itself —
+// including the property that cached/sliced/parallel answers agree with a
+// fresh CheckSat on randomized assertion sets.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+#include "src/solver/eval.h"
+#include "src/solver/pipeline.h"
+#include "src/solver/query_cache.h"
+#include "src/solver/slice.h"
+#include "src/solver/solver.h"
+#include "src/support/rng.h"
+#include "src/support/thread_pool.h"
+
+namespace sbce::solver {
+namespace {
+
+// --- Independence slicer -------------------------------------------------
+
+TEST(Slice, DisjointVariableSetsSplit) {
+  ExprPool pool;
+  ExprRef x = pool.Var("x", 8);
+  ExprRef y = pool.Var("y", 8);
+  std::vector<ExprRef> as = {
+      pool.Ult(x, pool.Const(5, 8)),
+      pool.Eq(y, pool.Const(3, 8)),
+      pool.Ult(pool.Const(1, 8), x),
+  };
+  auto groups = SliceByIndependence(as);
+  ASSERT_EQ(groups.size(), 2u);
+  // Components ordered by first appearance; members keep relative order.
+  EXPECT_EQ(groups[0], (std::vector<ExprRef>{as[0], as[2]}));
+  EXPECT_EQ(groups[1], (std::vector<ExprRef>{as[1]}));
+}
+
+TEST(Slice, SharedVariableBridgesComponents) {
+  ExprPool pool;
+  ExprRef x = pool.Var("x", 8);
+  ExprRef y = pool.Var("y", 8);
+  ExprRef z = pool.Var("z", 8);
+  // {x}, {y}, then {x,y} fuses everything; {z} stays apart.
+  std::vector<ExprRef> as = {
+      pool.Ult(x, pool.Const(9, 8)),
+      pool.Ult(y, pool.Const(9, 8)),
+      pool.Eq(pool.Add(x, y), pool.Const(7, 8)),
+      pool.Eq(z, pool.Const(1, 8)),
+  };
+  auto groups = SliceByIndependence(as);
+  ASSERT_EQ(groups.size(), 2u);
+  EXPECT_EQ(groups[0].size(), 3u);
+  EXPECT_EQ(groups[1], (std::vector<ExprRef>{as[3]}));
+}
+
+TEST(Slice, ConstantAssertionsAreSingletons) {
+  ExprPool pool;
+  // A non-foldable 1-bit expression with no variables is impossible to
+  // build through the folding pool, so use True() directly: it must form
+  // its own component and not glue anything together.
+  std::vector<ExprRef> as = {
+      pool.True(),
+      pool.Ult(pool.Var("x", 8), pool.Const(4, 8)),
+  };
+  auto groups = SliceByIndependence(as);
+  ASSERT_EQ(groups.size(), 2u);
+  EXPECT_EQ(groups[0], (std::vector<ExprRef>{as[0]}));
+}
+
+// --- Structural hashing --------------------------------------------------
+
+TEST(StructuralHashing, PoolIndependent) {
+  ExprPool a, b;
+  ExprRef ea = a.Eq(a.Add(a.Var("x", 16), a.Const(3, 16)), a.Const(9, 16));
+  ExprRef eb = b.Eq(b.Add(b.Var("x", 16), b.Const(3, 16)), b.Const(9, 16));
+  EXPECT_NE(ea, eb);  // different pools, different nodes...
+  EXPECT_EQ(StructuralHash(ea), StructuralHash(eb));  // ...same content
+  ExprRef other = b.Eq(b.Add(b.Var("x", 16), b.Const(4, 16)),
+                       b.Const(9, 16));
+  EXPECT_NE(StructuralHash(eb), StructuralHash(other));
+}
+
+TEST(StructuralHashing, KeyIgnoresOrderAndDuplicates) {
+  ExprPool pool;
+  ExprRef p = pool.Ult(pool.Var("x", 8), pool.Const(5, 8));
+  ExprRef q = pool.Eq(pool.Var("y", 8), pool.Const(2, 8));
+  std::vector<ExprRef> fwd = {p, q};
+  std::vector<ExprRef> rev = {q, p, q};  // reordered + duplicated
+  const auto k1 = QueryCache::Canonicalize(fwd);
+  const auto k2 = QueryCache::Canonicalize(rev);
+  EXPECT_EQ(k1.digest, k2.digest);
+  EXPECT_EQ(k1.hashes, k2.hashes);
+}
+
+// --- Query cache ---------------------------------------------------------
+
+TEST(QueryCacheTest, ExactHitsSatAndUnsat) {
+  ExprPool pool;
+  ExprRef x = pool.Var("x", 8);
+  QueryCache cache;
+
+  std::vector<ExprRef> sat_q = {pool.Eq(x, pool.Const(3, 8))};
+  SolveResult sat;
+  sat.status = SolveStatus::kSat;
+  sat.model = {{"x", 3}};
+  cache.Insert(QueryCache::Canonicalize(sat_q), sat);
+
+  std::vector<ExprRef> unsat_q = {pool.Ult(x, pool.Const(2, 8)),
+                                  pool.Ult(pool.Const(5, 8), x)};
+  SolveResult unsat;
+  unsat.status = SolveStatus::kUnsat;
+  cache.Insert(QueryCache::Canonicalize(unsat_q), unsat);
+
+  auto hit = cache.Lookup(QueryCache::Canonicalize(sat_q), sat_q);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->status, SolveStatus::kSat);
+  EXPECT_EQ(hit->model.at("x"), 3u);
+
+  auto uhit = cache.Lookup(QueryCache::Canonicalize(unsat_q), unsat_q);
+  ASSERT_TRUE(uhit.has_value());
+  EXPECT_EQ(uhit->status, SolveStatus::kUnsat);
+  EXPECT_EQ(cache.stats().exact_hits, 2u);
+}
+
+TEST(QueryCacheTest, UnsatSubsetRule) {
+  ExprPool pool;
+  ExprRef x = pool.Var("x", 8);
+  ExprRef y = pool.Var("y", 8);
+  QueryCache cache;
+
+  std::vector<ExprRef> core = {pool.Ult(x, pool.Const(2, 8)),
+                               pool.Ult(pool.Const(5, 8), x)};
+  SolveResult unsat;
+  unsat.status = SolveStatus::kUnsat;
+  cache.Insert(QueryCache::Canonicalize(core), unsat);
+
+  // Superset of a known-UNSAT set: more conjuncts cannot fix it.
+  std::vector<ExprRef> superset = {pool.Eq(y, pool.Const(1, 8)), core[0],
+                                   core[1]};
+  auto hit = cache.Lookup(QueryCache::Canonicalize(superset), superset);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->status, SolveStatus::kUnsat);
+  EXPECT_EQ(cache.stats().subset_unsat_hits, 1u);
+}
+
+TEST(QueryCacheTest, ModelReuseValidatesBeforeReturning) {
+  ExprPool pool;
+  ExprRef x = pool.Var("x", 8);
+  ExprRef y = pool.Var("y", 8);
+  QueryCache cache;
+
+  std::vector<ExprRef> q = {pool.Eq(x, pool.Const(3, 8))};
+  SolveResult sat;
+  sat.status = SolveStatus::kSat;
+  sat.model = {{"x", 3}};
+  cache.Insert(QueryCache::Canonicalize(q), sat);
+
+  // The cached model {x:3} happens to satisfy a *different* query.
+  std::vector<ExprRef> weaker = {pool.Ult(x, pool.Const(10, 8))};
+  auto hit = cache.Lookup(QueryCache::Canonicalize(weaker), weaker);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->status, SolveStatus::kSat);
+  EXPECT_EQ(cache.stats().model_reuse_hits, 1u);
+
+  // Stale-model rejection: {x:3} does NOT satisfy y == 2 (unassigned vars
+  // evaluate to 0), so the cache must miss, not return an invalid model.
+  std::vector<ExprRef> stale = {q[0], pool.Eq(y, pool.Const(2, 8))};
+  auto miss = cache.Lookup(QueryCache::Canonicalize(stale), stale);
+  EXPECT_FALSE(miss.has_value());
+  EXPECT_EQ(cache.stats().misses, 1u);
+}
+
+TEST(QueryCacheTest, UnknownVerdictsAreNeverCached) {
+  ExprPool pool;
+  std::vector<ExprRef> q = {pool.Ult(pool.Var("x", 8), pool.Const(4, 8))};
+  QueryCache cache;
+  SolveResult unknown;
+  unknown.status = SolveStatus::kUnknown;
+  cache.Insert(QueryCache::Canonicalize(q), unknown);
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_FALSE(cache.Lookup(QueryCache::Canonicalize(q), q).has_value());
+}
+
+// --- Thread pool ---------------------------------------------------------
+
+TEST(ThreadPoolTest, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(8);
+  EXPECT_EQ(pool.concurrency(), 8u);
+  constexpr size_t kN = 10'000;
+  std::vector<std::atomic<int>> counts(kN);
+  pool.ForEachIndex(kN, [&](size_t i) {
+    counts[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (size_t i = 0; i < kN; ++i) EXPECT_EQ(counts[i].load(), 1);
+}
+
+TEST(ThreadPoolTest, ReusableAcrossRegions) {
+  ThreadPool pool(4);
+  std::atomic<size_t> total{0};
+  for (int round = 0; round < 50; ++round) {
+    pool.ForEachIndex(17, [&](size_t) {
+      total.fetch_add(1, std::memory_order_relaxed);
+    });
+  }
+  EXPECT_EQ(total.load(), 17u * 50u);
+}
+
+TEST(ThreadPoolTest, SerialFallbackRunsInline) {
+  ThreadPool pool(1);
+  size_t sum = 0;  // no synchronization: must run on this thread
+  pool.ForEachIndex(5, [&](size_t i) { sum += i; });
+  EXPECT_EQ(sum, 10u);
+}
+
+// --- Pipeline ------------------------------------------------------------
+
+TEST(Pipeline, DegeneratesToCheckSatWhenGatesOff) {
+  PipelineOptions opts;
+  opts.solver.cache_queries = false;
+  opts.solver.slice_independent = false;
+  opts.threads = 1;
+  QueryPipeline pipeline(opts);
+
+  ExprPool pool;
+  ExprRef x = pool.Var("x", 32);
+  std::vector<ExprRef> as = {
+      pool.Eq(pool.Add(x, pool.Const(3, 32)), pool.Const(10, 32))};
+  auto res = pipeline.Solve(as);
+  ASSERT_EQ(res.status, SolveStatus::kSat);
+  EXPECT_EQ(res.model.at("x"), 7u);
+  EXPECT_EQ(pipeline.stats().cache_hits, 0u);
+  EXPECT_EQ(pipeline.stats().cache_misses, 0u);
+}
+
+TEST(Pipeline, SlicedComponentsMergeIntoOneModel) {
+  PipelineOptions opts;
+  QueryPipeline pipeline(opts);
+  ExprPool pool;
+  ExprRef x = pool.Var("x", 16);
+  ExprRef y = pool.Var("y", 16);
+  std::vector<ExprRef> as = {
+      pool.Eq(pool.Mul(x, x), pool.Const(1521, 16)),
+      pool.Ult(x, pool.Const(200, 16)),
+      pool.Eq(pool.Add(y, pool.Const(1, 16)), pool.Const(0, 16)),
+  };
+  auto res = pipeline.Solve(as);
+  ASSERT_EQ(res.status, SolveStatus::kSat);
+  EXPECT_TRUE(AllSatisfied(as, res.model));
+  EXPECT_EQ(res.model.at("y"), 0xFFFFu);
+  EXPECT_EQ(pipeline.stats().sliced_queries, 1u);
+}
+
+TEST(Pipeline, RepeatQueryIsACacheHit) {
+  PipelineOptions opts;
+  QueryPipeline pipeline(opts);
+  ExprPool pool;
+  ExprRef x = pool.Var("x", 8);
+  std::vector<ExprRef> as = {pool.Ult(x, pool.Const(2, 8)),
+                             pool.Ult(pool.Const(5, 8), x)};
+  EXPECT_EQ(pipeline.Solve(as).status, SolveStatus::kUnsat);
+  const uint64_t solved_before = pipeline.stats().subqueries_solved;
+  EXPECT_EQ(pipeline.Solve(as).status, SolveStatus::kUnsat);
+  EXPECT_EQ(pipeline.stats().subqueries_solved, solved_before);
+  EXPECT_GE(pipeline.stats().cache_hits, 1u);
+}
+
+// Builds a randomized batch of queries over a small variable set: mixes
+// satisfiable component shapes, contradictions, duplicates, and queries
+// sharing sub-conjunctions (the realistic prefix-reuse pattern).
+std::vector<QueryPipeline::Query> RandomBatch(ExprPool& pool,
+                                              SplitMix64& rng,
+                                              size_t num_queries) {
+  ExprRef vars[4] = {pool.Var("a", 8), pool.Var("b", 8), pool.Var("c", 8),
+                     pool.Var("d", 8)};
+  auto atom = [&]() -> ExprRef {
+    ExprRef v = vars[rng.NextBelow(4)];
+    ExprRef k = pool.Const(rng.NextBelow(256), 8);
+    switch (rng.NextBelow(4)) {
+      case 0: return pool.Ult(v, k);
+      case 1: return pool.Ult(k, v);
+      case 2: return pool.Eq(v, k);
+      default:
+        return pool.Eq(pool.Add(v, vars[rng.NextBelow(4)]), k);
+    }
+  };
+  std::vector<QueryPipeline::Query> batch(num_queries);
+  for (auto& q : batch) {
+    const size_t len = 1 + rng.NextBelow(5);
+    for (size_t i = 0; i < len; ++i) q.push_back(atom());
+  }
+  return batch;
+}
+
+// Property: for random assertion sets, the full pipeline (cache + slicing)
+// returns the same status as a fresh CheckSat, and every SAT model
+// satisfies the whole conjunction.
+class PipelineVsFacade : public ::testing::TestWithParam<int> {};
+
+TEST_P(PipelineVsFacade, CachedEqualsFresh) {
+  SplitMix64 rng(GetParam() * 7919 + 1);
+  ExprPool pool;
+  const auto batch = RandomBatch(pool, rng, 24);
+
+  PipelineOptions opts;
+  opts.threads = 1;
+  QueryPipeline pipeline(opts);
+  const auto results = pipeline.SolveBatch(batch);
+  ASSERT_EQ(results.size(), batch.size());
+  for (size_t i = 0; i < batch.size(); ++i) {
+    const auto fresh = CheckSat(batch[i]);
+    EXPECT_EQ(results[i].status, fresh.status) << "query " << i;
+    if (results[i].status == SolveStatus::kSat) {
+      EXPECT_TRUE(AllSatisfied(batch[i], results[i].model)) << "query " << i;
+    }
+  }
+  // Re-solving the same batch must be answered entirely from the cache.
+  const uint64_t solved = pipeline.stats().subqueries_solved;
+  const auto again = pipeline.SolveBatch(batch);
+  EXPECT_EQ(pipeline.stats().subqueries_solved, solved);
+  for (size_t i = 0; i < batch.size(); ++i) {
+    EXPECT_EQ(again[i].status, results[i].status);
+    EXPECT_EQ(again[i].model, results[i].model);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PipelineVsFacade, ::testing::Range(0, 10));
+
+// Determinism: the same batch solved with 1 thread and with 8 threads
+// yields bit-identical results (status, model, note).
+class PipelineThreadDeterminism : public ::testing::TestWithParam<int> {};
+
+TEST_P(PipelineThreadDeterminism, OneVsEightThreads) {
+  SplitMix64 rng(GetParam() * 104729 + 3);
+  ExprPool pool;
+  const auto batch = RandomBatch(pool, rng, 32);
+
+  PipelineOptions serial;
+  serial.threads = 1;
+  PipelineOptions parallel;
+  parallel.threads = 8;
+  QueryPipeline p1(serial), p8(parallel);
+  const auto r1 = p1.SolveBatch(batch);
+  const auto r8 = p8.SolveBatch(batch);
+  ASSERT_EQ(r1.size(), r8.size());
+  for (size_t i = 0; i < r1.size(); ++i) {
+    EXPECT_EQ(r1[i].status, r8[i].status) << "query " << i;
+    EXPECT_EQ(r1[i].model, r8[i].model) << "query " << i;
+    EXPECT_EQ(r1[i].note, r8[i].note) << "query " << i;
+  }
+  EXPECT_EQ(p1.stats().subqueries_solved, p8.stats().subqueries_solved);
+  EXPECT_EQ(p1.stats().cache_hits, p8.stats().cache_hits);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PipelineThreadDeterminism,
+                         ::testing::Range(0, 6));
+
+}  // namespace
+}  // namespace sbce::solver
