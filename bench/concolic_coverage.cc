@@ -59,9 +59,9 @@ int main() {
     auto result = engine.Explore({"prog", seed},
                                  *image.FindSymbol("bomb"));
     table.AddRow({std::to_string(n), result.validated ? "yes" : "no",
-                  std::to_string(result.rounds),
-                  std::to_string(result.solver_queries),
-                  std::to_string(result.total_events)});
+                  std::to_string(result.metrics.rounds),
+                  std::to_string(result.metrics.solver_queries),
+                  std::to_string(result.metrics.total_events)});
   }
   std::printf("%s", table.Render().c_str());
   std::printf("\nRounds grow linearly with guard depth: each round flips "

@@ -30,7 +30,7 @@ void Report(const char* label, const sbce::core::EngineResult& result) {
               "(in library: %2zu) | rounds: %llu | solved input: %s\n",
               label, result.seed_symbolic_instrs, result.seed_constraints,
               result.seed_lib_constraints,
-              static_cast<unsigned long long>(result.rounds),
+              static_cast<unsigned long long>(result.metrics.rounds),
               result.validated ? Printable(result.claimed_argv[1]).c_str()
                                : "(none)");
 }

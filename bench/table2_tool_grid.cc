@@ -2,36 +2,76 @@
 //
 // Prints every cell (our observed outcome next to the paper's label), the
 // per-tool success counts (paper: Angr 4 across both configurations,
-// BAP 2, Triton 1), and the match rate. This is the headline experiment.
+// BAP 2, Triton 1), the match rate, and the per-cell failure attributions
+// (stage + pc + reason). This is the headline experiment.
+//
+// Flags:
+//   --baseline      run with the query pipeline's optimizations disabled
+//                   (no cache, no slicing, serial dispatch); the grid must
+//                   come out identical either way.
+//   --json          emit the grid as a single JSON document on stdout
+//                   (cells, paper labels, attribution records) instead of
+//                   the ASCII tables.
+//   --trace FILE    stream observability records (engine rounds, claims,
+//                   VM syscalls/faults, solver batches, diagnostics) to
+//                   FILE as JSON lines.
 #include <cstdio>
 #include <cstring>
+#include <fstream>
+#include <memory>
 
+#include "src/obs/jsonl.h"
 #include "src/tools/runner.h"
 
 int main(int argc, char** argv) {
   using namespace sbce;
-  // --baseline: run with the query pipeline's optimizations disabled
-  // (no cache, no slicing, serial dispatch). The grid must come out
-  // identical either way — diff the two outputs to check.
-  bool baseline = false;
+  tools::RunOptions options;
+  bool json = false;
+  const char* trace_path = nullptr;
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--baseline") == 0) baseline = true;
-  }
-  auto tools = tools::PaperTools();
-  if (baseline) {
-    for (auto& tool : tools) {
-      tool.engine.budgets.solver.cache_queries = false;
-      tool.engine.budgets.solver.slice_independent = false;
-      tool.engine.budgets.solver_threads = 1;
+    if (std::strcmp(argv[i], "--baseline") == 0) {
+      options.baseline_pipeline = true;
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      json = true;
+    } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+      trace_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
+      return 2;
     }
-    std::printf("(baseline mode: query cache, slicing and parallel "
-                "dispatch disabled)\n");
   }
-  std::printf("=== Table II: concolic tools vs the logic-bomb dataset ===\n");
-  std::printf("running %zu bombs x %zu tools (heavy solver cells take a "
-              "while)...\n\n",
-              bombs::TableTwoBombs().size(), tools.size());
-  auto grid = tools::RunTableTwo(tools);
+
+  std::ofstream trace_file;
+  std::unique_ptr<obs::JsonlSink> sink;
+  if (trace_path != nullptr) {
+    trace_file.open(trace_path);
+    if (!trace_file) {
+      std::fprintf(stderr, "cannot open trace file: %s\n", trace_path);
+      return 2;
+    }
+    sink = std::make_unique<obs::JsonlSink>(&trace_file);
+    options.trace_sink = sink.get();
+  }
+
+  const auto tools = tools::PaperTools();
+  if (!json) {
+    if (options.baseline_pipeline) {
+      std::printf("(baseline mode: query cache, slicing and parallel "
+                  "dispatch disabled)\n");
+    }
+    std::printf(
+        "=== Table II: concolic tools vs the logic-bomb dataset ===\n");
+    std::printf("running %zu bombs x %zu tools (heavy solver cells take a "
+                "while)...\n\n",
+                bombs::TableTwoBombs().size(), tools.size());
+  }
+  auto grid = tools::RunTableTwo(tools, options);
+
+  if (json) {
+    std::printf("%s\n", obs::Dump(tools::GridToJson(grid)).c_str());
+    return 0;
+  }
+
   std::printf("%s\n", tools::RenderTableTwo(grid, tools).c_str());
 
   // The paper's headline: distinct bombs solved by Angr across both
@@ -49,5 +89,9 @@ int main(int argc, char** argv) {
   std::printf("Angr distinct bombs solved (either configuration): %d "
               "(paper: 4)\n",
               angr_distinct);
+  if (sink != nullptr) {
+    std::printf("observability trace: %llu records -> %s\n",
+                static_cast<unsigned long long>(sink->records()), trace_path);
+  }
   return 0;
 }

@@ -67,7 +67,7 @@ int main(int argc, char** argv) {
   if (cell.engine.validated) {
     std::printf("triggering input: \"%s\" in %llu rounds\n",
                 cell.engine.claimed_argv[1].c_str(),
-                static_cast<unsigned long long>(cell.engine.rounds));
+                static_cast<unsigned long long>(cell.engine.metrics.rounds));
   } else if (cell.engine.claimed) {
     std::printf("claimed (unvalidated) input: \"%s\"\n",
                 cell.engine.claimed_argv.size() > 1

@@ -67,8 +67,8 @@ int main() {
   const size_t total_instrs =
       image.sections().front().data.size() / isa::kInstrBytes;
   std::printf("explored %llu rounds, %llu solver queries\n",
-              static_cast<unsigned long long>(result.rounds),
-              static_cast<unsigned long long>(result.solver_queries));
+              static_cast<unsigned long long>(result.metrics.rounds),
+              static_cast<unsigned long long>(result.metrics.solver_queries));
   std::printf("instruction coverage: %zu / %zu (%.0f%%)\n", covered.size(),
               total_instrs,
               100.0 * static_cast<double>(covered.size()) /

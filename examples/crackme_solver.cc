@@ -73,13 +73,13 @@ int main() {
                                *image.FindSymbol("bomb"));
   if (!result.validated) {
     std::printf("no key found (rounds=%llu)\n",
-                static_cast<unsigned long long>(result.rounds));
+                static_cast<unsigned long long>(result.metrics.rounds));
     return 1;
   }
   std::printf("recovered key: \"%s\" after %llu rounds / %llu queries\n",
               result.claimed_argv[1].c_str(),
-              static_cast<unsigned long long>(result.rounds),
-              static_cast<unsigned long long>(result.solver_queries));
+              static_cast<unsigned long long>(result.metrics.rounds),
+              static_cast<unsigned long long>(result.metrics.solver_queries));
 
   // Double-check it concretely.
   vm::Machine machine(image, {"prog", result.claimed_argv[1]});

@@ -66,8 +66,8 @@ int main() {
     std::printf("concolic engine recovered the input: \"%s\" "
                 "(%llu rounds, %llu solver queries)\n",
                 result.claimed_argv[1].c_str(),
-                static_cast<unsigned long long>(result.rounds),
-                static_cast<unsigned long long>(result.solver_queries));
+                static_cast<unsigned long long>(result.metrics.rounds),
+                static_cast<unsigned long long>(result.metrics.solver_queries));
   } else {
     std::printf("engine failed to reach the block\n");
     return 1;

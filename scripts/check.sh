@@ -1,0 +1,12 @@
+#!/usr/bin/env bash
+# Tier-1 verification: configure + build + run the full test suite under
+# the release preset. Pass a different preset name (tsan, asan) as $1 to
+# run the same pipeline under a sanitizer.
+set -euo pipefail
+
+preset="${1:-release}"
+cd "$(dirname "$0")/.."
+
+cmake --preset "$preset"
+cmake --build --preset "$preset"
+ctest --preset "$preset"

@@ -13,11 +13,22 @@ using symex::ErrorStage;
 
 namespace {
 
-solver::PipelineOptions MakePipelineOptions(const EngineConfig& config) {
+solver::PipelineOptions MakePipelineOptions(const EngineConfig& config,
+                                            obs::Tracer tracer) {
   solver::PipelineOptions opts;
   opts.solver = config.budgets.solver;
   opts.threads = config.budgets.solver_threads;
+  opts.tracer = tracer;
   return opts;
+}
+
+std::string JoinArgv(const std::vector<std::string>& argv) {
+  std::string out;
+  for (const std::string& a : argv) {
+    if (!out.empty()) out.push_back(' ');
+    out += a;
+  }
+  return out;
 }
 
 }  // namespace
@@ -27,12 +38,25 @@ ConcolicEngine::ConcolicEngine(const isa::BinaryImage& image,
     : image_(image),
       factory_(std::move(factory)),
       config_(std::move(config)),
-      pipeline_(MakePipelineOptions(config_)) {}
+      tracer_(config_.trace_sink),
+      c_rounds_(metrics_.Get("engine.rounds")),
+      c_events_(metrics_.Get("engine.trace_events")),
+      c_queries_(metrics_.Get("solver.queries")),
+      c_conflicts_(metrics_.Get("solver.conflicts")),
+      c_claims_(metrics_.Get("engine.claims")),
+      c_validations_(metrics_.Get("engine.validations")),
+      c_aborts_(metrics_.Get("engine.aborts")),
+      pipeline_(MakePipelineOptions(config_, tracer_)) {}
+
+uint64_t ConcolicEngine::QueriesThisExplore() const {
+  return c_queries_->value() - queries_base_;
+}
 
 ConcolicEngine::RoundData ConcolicEngine::RunConcrete(
     const std::vector<std::string>& argv) {
   RoundData round;
   auto machine = factory_(argv);
+  machine->set_tracer(tracer_);
   machine->set_trace_hook([&](const vm::TraceEvent& ev) {
     if (round.events.size() < config_.budgets.max_trace_events) {
       round.events.push_back(ev);
@@ -111,19 +135,56 @@ std::vector<std::string> ConcolicEngine::DecodeModel(
 EngineResult ConcolicEngine::Explore(
     const std::vector<std::string>& seed_argv, uint64_t target_pc) {
   const solver::PipelineStats before = pipeline_.stats();
+  const uint64_t rounds_base = c_rounds_->value();
+  const uint64_t events_base = c_events_->value();
+  const uint64_t conflicts_base = c_conflicts_->value();
+  queries_base_ = c_queries_->value();
+
+  obs::ScopedSpan span =
+      tracer_.Span("engine.explore", {obs::Field::U("target_pc", target_pc)});
   EngineResult result = ExploreImpl(seed_argv, target_pc);
+
+  // The registry is the source of truth; EngineMetrics is the per-call
+  // snapshot handed to callers/reports.
+  EngineMetrics& m = result.metrics;
+  m.rounds = c_rounds_->value() - rounds_base;
+  m.total_events = c_events_->value() - events_base;
+  m.solver_queries = c_queries_->value() - queries_base_;
+  m.solver_conflicts = c_conflicts_->value() - conflicts_base;
   const solver::PipelineStats after = pipeline_.stats();
-  result.solver_cache_hits = after.cache_hits - before.cache_hits;
-  result.solver_cache_misses = after.cache_misses - before.cache_misses;
-  result.sliced_queries = after.sliced_queries - before.sliced_queries;
-  result.solver_micros = after.solver_micros - before.solver_micros;
+  m.solver_cache_hits = after.cache_hits - before.cache_hits;
+  m.solver_cache_misses = after.cache_misses - before.cache_misses;
+  m.sliced_queries = after.sliced_queries - before.sliced_queries;
+  m.solver_micros = after.solver_micros - before.solver_micros;
+  metrics_.Get("solver.cache_hits")->Add(m.solver_cache_hits);
+  metrics_.Get("solver.cache_misses")->Add(m.solver_cache_misses);
+  metrics_.Get("solver.sliced_queries")->Add(m.sliced_queries);
+  metrics_.Get("solver.micros")->Add(m.solver_micros);
+
+  if (result.claimed) c_claims_->Increment();
+  if (result.validated) c_validations_->Increment();
+  if (result.aborted) {
+    c_aborts_->Increment();
+    tracer_.Event("engine.abort",
+                  {obs::Field::S("reason", result.abort_reason)});
+  }
+  if (tracer_.enabled()) {
+    tracer_.Event("engine.explore.done",
+                  {obs::Field::U("rounds", m.rounds),
+                   obs::Field::U("queries", m.solver_queries),
+                   obs::Field::U("claimed", result.claimed ? 1 : 0),
+                   obs::Field::U("validated", result.validated ? 1 : 0)});
+  }
   return result;
 }
 
 EngineResult ConcolicEngine::ExploreImpl(
     const std::vector<std::string>& seed_argv, uint64_t target_pc) {
   EngineResult result;
+  // Engine-raised diagnostics mirror into the sink like executor ones do.
+  result.diag.tracer = tracer_;
   CfgReachability cfg(image_, target_pc);
+  uint64_t rounds = 0;  // this call only; the registry counter is per-engine
 
   std::deque<std::vector<std::string>> worklist = {seed_argv};
   std::set<std::vector<std::string>> enqueued = {seed_argv};
@@ -131,19 +192,26 @@ EngineResult ConcolicEngine::ExploreImpl(
   std::set<std::tuple<uint64_t, uint32_t, uint32_t>> flipped;
 
   bool first_round = true;
-  while (!worklist.empty() && result.rounds < config_.budgets.max_rounds) {
+  while (!worklist.empty() && rounds < config_.budgets.max_rounds) {
     if (result.aborted) break;
     const std::vector<std::string> argv = worklist.front();
     worklist.pop_front();
-    ++result.rounds;
+    ++rounds;
+    c_rounds_->Increment();
     result.explored_inputs.push_back(argv);
 
     RoundData round = RunConcrete(argv);
-    result.total_events += round.events.size();
+    c_events_->Add(round.events.size());
     if (round.bomb_hit) {
       result.claimed = true;
       result.validated = true;
       result.claimed_argv = argv;
+      if (tracer_.enabled()) {
+        const std::string joined = JoinArgv(argv);
+        tracer_.Event("engine.validated",
+                      {obs::Field::U("round", rounds),
+                       obs::Field::S("argv", joined)});
+      }
       return result;
     }
     if (round.trace_overflow) {
@@ -155,6 +223,7 @@ EngineResult ConcolicEngine::ExploreImpl(
     // Symbolic walk of this round's trace.
     auto machine_for_layout = factory_(argv);  // addresses of argv strings
     symex::TraceExecutor exec(&pool_, config_.symex);
+    exec.state().diag().tracer = tracer_;
     exec.SetInitialByteReader(
         [this, &machine_for_layout](uint64_t addr) -> std::optional<uint8_t> {
           for (const auto& s : image_.sections()) {
@@ -187,6 +256,11 @@ EngineResult ConcolicEngine::ExploreImpl(
 
     const auto& path = exec.state().path();
     if (!path.empty()) result.any_symbolic_branch = true;
+    tracer_.Event("engine.round",
+                  {obs::Field::U("round", rounds),
+                   obs::Field::U("events", round.events.size()),
+                   obs::Field::U("constraints", path.size()),
+                   obs::Field::U("jumps", exec.state().jumps().size())});
 
     // Candidate negations: directed first, then a bounded breadth slice.
     std::vector<size_t> candidates;
@@ -221,7 +295,7 @@ EngineResult ConcolicEngine::ExploreImpl(
     std::vector<NegationCandidate> batch;
     std::vector<solver::QueryPipeline::Query> queries;
     {
-      uint64_t planned = result.solver_queries;
+      uint64_t planned = QueriesThisExplore();
       for (size_t ci = 0; ci < candidates.size(); ++ci) {
         if (planned >= config_.budgets.max_solver_queries) break;
         const size_t i = candidates[ci];
@@ -258,17 +332,17 @@ EngineResult ConcolicEngine::ExploreImpl(
       flipped.insert(std::make_tuple(path[i].pc, path[i].occurrence,
                                      path[i].cond->id));
       if (cand.fp_unsupported) {
-        result.diag.entries.push_back(
-            {ErrorStage::kEs3,
-             "constraint requires an unsupported floating-point theory",
-             path[i].pc});
+        result.diag.Raise(
+            ErrorStage::kEs3,
+            "constraint requires an unsupported floating-point theory",
+            path[i].pc);
         continue;
       }
       const std::vector<ExprRef>& assertions = queries[cand.query];
 
-      ++result.solver_queries;
+      c_queries_->Increment();
       const solver::SolveResult& res = batch_results[cand.query];
-      result.solver_conflicts += res.conflicts;
+      c_conflicts_->Add(res.conflicts);
       if (res.status == solver::SolveStatus::kUnknown) {
         const bool circuit =
             res.note.find("circuit") != std::string::npos ||
@@ -308,8 +382,16 @@ EngineResult ConcolicEngine::ExploreImpl(
           env_backed) {
         result.claimed = true;
         result.claimed_argv = next_argv;
-        result.used_sys_env |= sys_env;
-        result.used_lib_env |= lib_env;
+        if (sys_env) result.provenance |= ClaimProvenance::kSysEnv;
+        if (lib_env) result.provenance |= ClaimProvenance::kLibEnv;
+        if (tracer_.enabled()) {
+          const std::string joined = JoinArgv(next_argv);
+          tracer_.Event("engine.claim",
+                        {obs::Field::U("pc", path[i].pc),
+                         obs::Field::U("sys_env", sys_env ? 1 : 0),
+                         obs::Field::U("lib_env", lib_env ? 1 : 0),
+                         obs::Field::S("argv", joined)});
+        }
       }
       if (enqueued.insert(next_argv).second) {
         if (directed) {
@@ -322,7 +404,7 @@ EngineResult ConcolicEngine::ExploreImpl(
 
     // Symbolic indirect jumps: attempt target resolution.
     for (const auto& jump : exec.state().jumps()) {
-      if (result.solver_queries >= config_.budgets.max_solver_queries) break;
+      if (QueriesThisExplore() >= config_.budgets.max_solver_queries) break;
       std::vector<ExprRef> assertions;
       for (size_t k = 0; k < path.size() &&
                          path[k].event_index < jump.event_index;
@@ -332,14 +414,14 @@ EngineResult ConcolicEngine::ExploreImpl(
       assertions.push_back(
           pool_.Eq(jump.target, pool_.Const(target_pc, 64)));
       if (!config_.solver_supports_fp && solver::ContainsHardFp(assertions)) {
-        result.diag.entries.push_back(
-            {ErrorStage::kEs3,
-             "jump constraint requires unsupported theory", jump.pc});
+        result.diag.Raise(ErrorStage::kEs3,
+                          "jump constraint requires unsupported theory",
+                          jump.pc);
         continue;
       }
-      ++result.solver_queries;
+      c_queries_->Increment();
       auto res = pipeline_.Solve(assertions);
-      result.solver_conflicts += res.conflicts;
+      c_conflicts_->Add(res.conflicts);
       if (res.status == solver::SolveStatus::kSat) {
         const bool buggy =
             config_.symex.jump_policy == symex::SymJumpPolicy::kBuggyResolve;
@@ -347,15 +429,21 @@ EngineResult ConcolicEngine::ExploreImpl(
             DecodeModel(res.model, argv, /*distort=*/buggy);
         result.claimed = true;
         result.claimed_argv = next_argv;
+        if (tracer_.enabled()) {
+          const std::string joined = JoinArgv(next_argv);
+          tracer_.Event("engine.claim",
+                        {obs::Field::U("pc", jump.pc),
+                         obs::Field::S("kind", "jump-resolution"),
+                         obs::Field::S("argv", joined)});
+        }
         if (enqueued.insert(next_argv).second) {
           worklist.push_front(next_argv);
         }
       } else {
-        result.diag.entries.push_back(
-            {ErrorStage::kEs3,
-             "cannot model symbolic jump targets (no satisfiable "
-             "resolution)",
-             jump.pc});
+        result.diag.Raise(ErrorStage::kEs3,
+                          "cannot model symbolic jump targets (no "
+                          "satisfiable resolution)",
+                          jump.pc);
       }
     }
   }

@@ -20,6 +20,8 @@
 
 #include "src/core/cfg.h"
 #include "src/isa/image.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace_sink.h"
 #include "src/solver/pipeline.h"
 #include "src/solver/solver.h"
 #include "src/symex/config.h"
@@ -53,6 +55,10 @@ struct EngineConfig {
   EngineBudgets budgets;
   BudgetOutcome on_conflict_budget = BudgetOutcome::kAbort;
   BudgetOutcome on_circuit_budget = BudgetOutcome::kAbort;
+  /// Observability sink (not owned; may be null). When set, the engine,
+  /// the VM it builds, the symbolic executor's diagnostics and the query
+  /// pipeline all emit events/spans into it.
+  obs::TraceSink* trace_sink = nullptr;
   /// BAP: when exploration exhausts without reaching the target but
   /// symbolic branches existed, claim the current inputs as an answer.
   bool claims_on_exhausted_exploration = false;
@@ -61,29 +67,59 @@ struct EngineConfig {
   bool solver_supports_fp = true;
 };
 
+/// Where a claim's satisfying assignment leaned on simulated environment
+/// state. A bitmask so new environment sources extend the enum instead of
+/// adding another bool to EngineResult.
+enum class ClaimProvenance : uint8_t {
+  kNone = 0,
+  kSysEnv = 1u << 0,  // simulated syscall returns (Angr SimProcedures)
+  kLibEnv = 1u << 1,  // skipped library calls (Angr-NoLib stubs)
+};
+
+constexpr ClaimProvenance operator|(ClaimProvenance a, ClaimProvenance b) {
+  return static_cast<ClaimProvenance>(static_cast<uint8_t>(a) |
+                                      static_cast<uint8_t>(b));
+}
+constexpr ClaimProvenance operator&(ClaimProvenance a, ClaimProvenance b) {
+  return static_cast<ClaimProvenance>(static_cast<uint8_t>(a) &
+                                      static_cast<uint8_t>(b));
+}
+constexpr ClaimProvenance& operator|=(ClaimProvenance& a, ClaimProvenance b) {
+  return a = a | b;
+}
+constexpr bool Any(ClaimProvenance p) { return p != ClaimProvenance::kNone; }
+
+/// Aggregated counters for one Explore call, snapshotted out of the
+/// engine's obs::MetricsRegistry (the registry is the source of truth;
+/// this struct is the stable reporting surface).
+struct EngineMetrics {
+  uint64_t rounds = 0;
+  uint64_t total_events = 0;       // trace events across all rounds
+  uint64_t solver_queries = 0;
+  uint64_t solver_conflicts = 0;
+
+  // Query-pipeline counters (cache hits/misses are per independence-
+  // sliced component, not per engine query).
+  uint64_t solver_cache_hits = 0;
+  uint64_t solver_cache_misses = 0;
+  uint64_t sliced_queries = 0;
+  uint64_t solver_micros = 0;  // wall-clock spent inside the solver stage
+};
+
 struct EngineResult {
   bool claimed = false;                 // engine believes target reachable
   std::vector<std::string> claimed_argv;
   bool validated = false;               // a concrete run hit the target
-  bool used_sys_env = false;            // claim relied on simulated syscalls
-  bool used_lib_env = false;            // claim relied on skipped lib calls
+  /// Environment state the claim's model leaned on (kNone for claims
+  /// grounded purely in declared inputs).
+  ClaimProvenance provenance = ClaimProvenance::kNone;
   bool aborted = false;                 // paper outcome E
   std::string abort_reason;
   symex::Diagnostics diag;              // merged diagnostics
   bool any_symbolic_branch = false;
   bool any_symbolic_seen = false;
 
-  uint64_t rounds = 0;
-  uint64_t total_events = 0;
-  uint64_t solver_queries = 0;
-  uint64_t solver_conflicts = 0;
-
-  // Query-pipeline counters for this exploration (cache hits/misses are
-  // per independence-sliced component, not per engine query).
-  uint64_t solver_cache_hits = 0;
-  uint64_t solver_cache_misses = 0;
-  uint64_t sliced_queries = 0;
-  uint64_t solver_micros = 0;  // wall-clock spent inside the solver stage
+  EngineMetrics metrics;
 
   /// Every input the engine executed, in order (seed first). Useful for
   /// replaying the exploration, e.g. to measure coverage.
@@ -110,6 +146,10 @@ class ConcolicEngine {
   EngineResult Explore(const std::vector<std::string>& seed_argv,
                        uint64_t target_pc);
 
+  /// Cumulative counters across this engine's lifetime (Explore snapshots
+  /// per-call deltas out of this registry into EngineMetrics).
+  const obs::MetricsRegistry& metrics() const { return metrics_; }
+
  private:
   EngineResult ExploreImpl(const std::vector<std::string>& seed_argv,
                            uint64_t target_pc);
@@ -130,9 +170,24 @@ class ConcolicEngine {
       const solver::Assignment& model,
       const std::vector<std::string>& current_argv, bool distort) const;
 
+  uint64_t QueriesThisExplore() const;
+
   const isa::BinaryImage& image_;
   MachineFactory factory_;
   EngineConfig config_;
+  obs::Tracer tracer_;
+  obs::MetricsRegistry metrics_;
+  // Registry-backed counter handles (resolved once; bumped lock-free).
+  obs::Counter* c_rounds_;
+  obs::Counter* c_events_;
+  obs::Counter* c_queries_;
+  obs::Counter* c_conflicts_;
+  obs::Counter* c_claims_;
+  obs::Counter* c_validations_;
+  obs::Counter* c_aborts_;
+  /// `c_queries_` value when the current Explore began (budget checks are
+  /// per-exploration, the registry is per-engine).
+  uint64_t queries_base_ = 0;
   solver::ExprPool pool_;
   solver::QueryPipeline pipeline_;
 };

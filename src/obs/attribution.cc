@@ -1,0 +1,31 @@
+#include "src/obs/attribution.h"
+
+namespace sbce::obs {
+
+JsonValue AttributionToJson(const Attribution& a) {
+  JsonValue v = JsonValue::Object();
+  v.Set("stage", JsonValue::Str(a.stage));
+  v.Set("pc", JsonValue::U64(a.pc));
+  v.Set("reason", JsonValue::Str(a.reason));
+  if (!a.detail.empty()) v.Set("detail", JsonValue::Str(a.detail));
+  return v;
+}
+
+std::optional<Attribution> AttributionFromJson(const JsonValue& v) {
+  const JsonValue* stage = v.Find("stage");
+  const JsonValue* reason = v.Find("reason");
+  if (stage == nullptr || stage->kind != JsonValue::Kind::kString ||
+      reason == nullptr || reason->kind != JsonValue::Kind::kString) {
+    return std::nullopt;
+  }
+  Attribution a;
+  a.stage.assign(stage->AsString());
+  a.reason.assign(reason->AsString());
+  if (const JsonValue* pc = v.Find("pc")) a.pc = pc->AsU64();
+  if (const JsonValue* detail = v.Find("detail")) {
+    a.detail.assign(detail->AsString());
+  }
+  return a;
+}
+
+}  // namespace sbce::obs

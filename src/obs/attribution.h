@@ -1,0 +1,39 @@
+// Machine-readable failure provenance for a Table II cell.
+//
+// Every non-✓ outcome carries one of these records: which error stage the
+// paper's taxonomy assigns (Es0–Es3, E, P), the triggering program counter
+// or constraint, and a human-readable reason. The attribution *pass* that
+// derives a record from an EngineResult lives in src/tools/classify (it
+// needs the outcome taxonomy); this header is just the record and its
+// JSON round-trip, so the obs layer stays dependency-free.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "src/obs/json.h"
+
+namespace sbce::obs {
+
+struct Attribution {
+  /// Stage label: "Es0".."Es3", "E" or "P".
+  std::string stage;
+  /// Program counter of the triggering instruction/constraint; 0 when the
+  /// failure has no single site (e.g. Es0 under-declaration).
+  uint64_t pc = 0;
+  /// Human-readable reason (the diagnostic detail, abort reason, …).
+  std::string reason;
+  /// Stage gloss or the offending constraint/claim, when available.
+  std::string detail;
+
+  bool operator==(const Attribution&) const = default;
+};
+
+JsonValue AttributionToJson(const Attribution& a);
+
+/// Inverse of AttributionToJson; nullopt when `v` is not an attribution
+/// object (missing stage or reason).
+std::optional<Attribution> AttributionFromJson(const JsonValue& v);
+
+}  // namespace sbce::obs

@@ -1,0 +1,391 @@
+#include "src/obs/json.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+
+namespace sbce::obs {
+
+JsonValue JsonValue::Bool(bool b) {
+  JsonValue v;
+  v.kind = Kind::kBool;
+  v.boolean = b;
+  return v;
+}
+
+JsonValue JsonValue::U64(uint64_t value) {
+  JsonValue v;
+  v.kind = Kind::kNumber;
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%llu",
+                static_cast<unsigned long long>(value));
+  v.number = buf;
+  return v;
+}
+
+JsonValue JsonValue::I64(int64_t value) {
+  JsonValue v;
+  v.kind = Kind::kNumber;
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(value));
+  v.number = buf;
+  return v;
+}
+
+JsonValue JsonValue::Double(double value) {
+  JsonValue v;
+  v.kind = Kind::kNumber;
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  v.number = buf;
+  return v;
+}
+
+JsonValue JsonValue::Str(std::string_view s) {
+  JsonValue v;
+  v.kind = Kind::kString;
+  v.str.assign(s);
+  return v;
+}
+
+const JsonValue* JsonValue::Find(std::string_view key) const {
+  if (kind != Kind::kObject) return nullptr;
+  for (const auto& [name, value] : members) {
+    if (name == key) return &value;
+  }
+  return nullptr;
+}
+
+void JsonValue::Set(std::string_view key, JsonValue value) {
+  kind = Kind::kObject;
+  members.emplace_back(std::string(key), std::move(value));
+}
+
+uint64_t JsonValue::AsU64(uint64_t fallback) const {
+  if (kind != Kind::kNumber) return fallback;
+  return std::strtoull(number.c_str(), nullptr, 10);
+}
+
+int64_t JsonValue::AsI64(int64_t fallback) const {
+  if (kind != Kind::kNumber) return fallback;
+  return std::strtoll(number.c_str(), nullptr, 10);
+}
+
+double JsonValue::AsDouble(double fallback) const {
+  if (kind != Kind::kNumber) return fallback;
+  return std::strtod(number.c_str(), nullptr);
+}
+
+namespace {
+
+// Length of a valid UTF-8 sequence starting at s[i], or 0 if the bytes at
+// s[i] are not well-formed UTF-8 (overlong forms and lone continuation
+// bytes included). Needed because field values can carry raw binary
+// (generated argv inputs, guest memory) and a JSON document must stay
+// valid UTF-8.
+size_t Utf8SequenceLength(std::string_view s, size_t i) {
+  const auto byte = [&](size_t k) {
+    return static_cast<unsigned char>(s[k]);
+  };
+  const unsigned char b0 = byte(i);
+  if (b0 < 0x80) return 1;
+  size_t len = 0;
+  if ((b0 & 0xE0) == 0xC0 && b0 >= 0xC2) len = 2;  // C0/C1 are overlong
+  else if ((b0 & 0xF0) == 0xE0) len = 3;
+  else if ((b0 & 0xF8) == 0xF0 && b0 <= 0xF4) len = 4;
+  else return 0;
+  if (i + len > s.size()) return 0;
+  for (size_t k = 1; k < len; ++k) {
+    if ((byte(i + k) & 0xC0) != 0x80) return 0;
+  }
+  // Reject the overlong/surrogate/out-of-range corners.
+  const unsigned char b1 = byte(i + 1);
+  if (len == 3 && b0 == 0xE0 && b1 < 0xA0) return 0;  // overlong
+  if (len == 3 && b0 == 0xED && b1 >= 0xA0) return 0;  // surrogate
+  if (len == 4 && b0 == 0xF0 && b1 < 0x90) return 0;  // overlong
+  if (len == 4 && b0 == 0xF4 && b1 >= 0x90) return 0;  // > U+10FFFF
+  return len;
+}
+
+}  // namespace
+
+void JsonEscape(std::string_view s, std::string* out) {
+  const auto escape_byte = [out](char c) {
+    char buf[8];
+    std::snprintf(buf, sizeof(buf), "\\u%04x",
+                  static_cast<unsigned>(static_cast<unsigned char>(c)));
+    *out += buf;
+  };
+  for (size_t i = 0; i < s.size();) {
+    const char c = s[i];
+    switch (c) {
+      case '"': *out += "\\\""; ++i; continue;
+      case '\\': *out += "\\\\"; ++i; continue;
+      case '\n': *out += "\\n"; ++i; continue;
+      case '\r': *out += "\\r"; ++i; continue;
+      case '\t': *out += "\\t"; ++i; continue;
+      default: break;
+    }
+    if (static_cast<unsigned char>(c) < 0x20) {
+      escape_byte(c);
+      ++i;
+      continue;
+    }
+    const size_t len = Utf8SequenceLength(s, i);
+    if (len == 0) {
+      // Not UTF-8: escape the raw byte as U+00xx so the document stays
+      // valid (the byte value survives; exact binary round-tripping is
+      // not a goal of the trace format).
+      escape_byte(c);
+      ++i;
+    } else {
+      out->append(s, i, len);
+      i += len;
+    }
+  }
+}
+
+namespace {
+
+void DumpInto(const JsonValue& v, std::string* out) {
+  switch (v.kind) {
+    case JsonValue::Kind::kNull:
+      *out += "null";
+      break;
+    case JsonValue::Kind::kBool:
+      *out += v.boolean ? "true" : "false";
+      break;
+    case JsonValue::Kind::kNumber:
+      *out += v.number.empty() ? "0" : v.number;
+      break;
+    case JsonValue::Kind::kString:
+      out->push_back('"');
+      JsonEscape(v.str, out);
+      out->push_back('"');
+      break;
+    case JsonValue::Kind::kArray: {
+      out->push_back('[');
+      bool first = true;
+      for (const JsonValue& item : v.items) {
+        if (!first) out->push_back(',');
+        first = false;
+        DumpInto(item, out);
+      }
+      out->push_back(']');
+      break;
+    }
+    case JsonValue::Kind::kObject: {
+      out->push_back('{');
+      bool first = true;
+      for (const auto& [key, value] : v.members) {
+        if (!first) out->push_back(',');
+        first = false;
+        out->push_back('"');
+        JsonEscape(key, out);
+        *out += "\":";
+        DumpInto(value, out);
+      }
+      out->push_back('}');
+      break;
+    }
+  }
+}
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  std::optional<JsonValue> Parse() {
+    SkipWs();
+    JsonValue v;
+    if (!ParseValue(&v)) return std::nullopt;
+    SkipWs();
+    if (pos_ != text_.size()) return std::nullopt;  // trailing garbage
+    return v;
+  }
+
+ private:
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+  bool Eat(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  bool EatLiteral(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) == lit) {
+      pos_ += lit.size();
+      return true;
+    }
+    return false;
+  }
+
+  bool ParseValue(JsonValue* out) {
+    if (pos_ >= text_.size()) return false;
+    switch (text_[pos_]) {
+      case '{': return ParseObject(out);
+      case '[': return ParseArray(out);
+      case '"': {
+        out->kind = JsonValue::Kind::kString;
+        return ParseString(&out->str);
+      }
+      case 't':
+        out->kind = JsonValue::Kind::kBool;
+        out->boolean = true;
+        return EatLiteral("true");
+      case 'f':
+        out->kind = JsonValue::Kind::kBool;
+        out->boolean = false;
+        return EatLiteral("false");
+      case 'n':
+        out->kind = JsonValue::Kind::kNull;
+        return EatLiteral("null");
+      default: return ParseNumber(out);
+    }
+  }
+
+  bool ParseObject(JsonValue* out) {
+    if (!Eat('{')) return false;
+    out->kind = JsonValue::Kind::kObject;
+    SkipWs();
+    if (Eat('}')) return true;
+    while (true) {
+      SkipWs();
+      std::string key;
+      if (!ParseString(&key)) return false;
+      SkipWs();
+      if (!Eat(':')) return false;
+      SkipWs();
+      JsonValue value;
+      if (!ParseValue(&value)) return false;
+      out->members.emplace_back(std::move(key), std::move(value));
+      SkipWs();
+      if (Eat(',')) continue;
+      return Eat('}');
+    }
+  }
+
+  bool ParseArray(JsonValue* out) {
+    if (!Eat('[')) return false;
+    out->kind = JsonValue::Kind::kArray;
+    SkipWs();
+    if (Eat(']')) return true;
+    while (true) {
+      SkipWs();
+      JsonValue item;
+      if (!ParseValue(&item)) return false;
+      out->items.push_back(std::move(item));
+      SkipWs();
+      if (Eat(',')) continue;
+      return Eat(']');
+    }
+  }
+
+  bool ParseString(std::string* out) {
+    if (!Eat('"')) return false;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_++];
+      if (c == '"') return true;
+      if (c != '\\') {
+        out->push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) return false;
+      char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out->push_back('"'); break;
+        case '\\': out->push_back('\\'); break;
+        case '/': out->push_back('/'); break;
+        case 'n': out->push_back('\n'); break;
+        case 'r': out->push_back('\r'); break;
+        case 't': out->push_back('\t'); break;
+        case 'b': out->push_back('\b'); break;
+        case 'f': out->push_back('\f'); break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return false;
+          unsigned code = 0;
+          for (int k = 0; k < 4; ++k) {
+            char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              return false;
+            }
+          }
+          // We only ever emit \u for control bytes; encode as UTF-8 for
+          // completeness.
+          if (code < 0x80) {
+            out->push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out->push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out->push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default: return false;
+      }
+    }
+    return false;  // unterminated
+  }
+
+  bool ParseNumber(JsonValue* out) {
+    const size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    auto digits = [&] {
+      size_t n = 0;
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0) {
+        ++pos_;
+        ++n;
+      }
+      return n;
+    };
+    if (digits() == 0) return false;
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      ++pos_;
+      if (digits() == 0) return false;
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      if (digits() == 0) return false;
+    }
+    out->kind = JsonValue::Kind::kNumber;
+    out->number.assign(text_.substr(start, pos_ - start));
+    return true;
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::string Dump(const JsonValue& value) {
+  std::string out;
+  DumpInto(value, &out);
+  return out;
+}
+
+std::optional<JsonValue> ParseJson(std::string_view text) {
+  return Parser(text).Parse();
+}
+
+}  // namespace sbce::obs

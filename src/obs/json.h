@@ -1,0 +1,79 @@
+// Minimal JSON value model, writer and parser for the observability
+// layer's exports (JSON-lines traces, the Table II grid export, and the
+// attribution round-trip). Covers the JSON we ourselves emit: objects,
+// arrays, strings, integer/double numbers, booleans and null. Not a
+// general-purpose validator — unknown escapes and exotic numbers are
+// rejected rather than guessed at.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace sbce::obs {
+
+struct JsonValue {
+  enum class Kind : uint8_t {
+    kNull,
+    kBool,
+    kNumber,
+    kString,
+    kArray,
+    kObject,
+  };
+
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  /// Numbers keep their source text so 64-bit integers survive the trip
+  /// exactly (doubles lose integers above 2^53).
+  std::string number;
+  std::string str;
+  std::vector<JsonValue> items;                              // kArray
+  std::vector<std::pair<std::string, JsonValue>> members;    // kObject
+
+  static JsonValue Null() { return {}; }
+  static JsonValue Bool(bool b);
+  static JsonValue U64(uint64_t v);
+  static JsonValue I64(int64_t v);
+  static JsonValue Double(double v);
+  static JsonValue Str(std::string_view s);
+  static JsonValue Array() {
+    JsonValue v;
+    v.kind = Kind::kArray;
+    return v;
+  }
+  static JsonValue Object() {
+    JsonValue v;
+    v.kind = Kind::kObject;
+    return v;
+  }
+
+  /// Object member by key; nullptr when absent or not an object.
+  const JsonValue* Find(std::string_view key) const;
+  /// Appends a member (objects) — no duplicate-key check.
+  void Set(std::string_view key, JsonValue value);
+
+  bool IsNull() const { return kind == Kind::kNull; }
+  uint64_t AsU64(uint64_t fallback = 0) const;
+  int64_t AsI64(int64_t fallback = 0) const;
+  double AsDouble(double fallback = 0.0) const;
+  std::string_view AsString() const { return str; }
+  bool AsBool(bool fallback = false) const {
+    return kind == Kind::kBool ? boolean : fallback;
+  }
+};
+
+/// Appends `s` with JSON string escaping (no surrounding quotes).
+void JsonEscape(std::string_view s, std::string* out);
+
+/// Compact (single-line) serialization.
+std::string Dump(const JsonValue& value);
+
+/// Parses one JSON document; nullopt on any syntax error or trailing
+/// non-whitespace garbage.
+std::optional<JsonValue> ParseJson(std::string_view text);
+
+}  // namespace sbce::obs

@@ -1,0 +1,86 @@
+#include "src/obs/jsonl.h"
+
+#include <string>
+
+#include "src/obs/json.h"
+
+namespace sbce::obs {
+
+namespace {
+
+void AppendField(const Field& f, std::string* line) {
+  line->push_back('"');
+  JsonEscape(f.key, line);
+  *line += "\":";
+  switch (f.kind) {
+    case Field::Kind::kUint:
+      *line += Dump(JsonValue::U64(f.u));
+      break;
+    case Field::Kind::kInt:
+      *line += Dump(JsonValue::I64(f.i));
+      break;
+    case Field::Kind::kStr:
+      line->push_back('"');
+      JsonEscape(f.s, line);
+      line->push_back('"');
+      break;
+  }
+}
+
+}  // namespace
+
+void JsonlSink::WriteLine(std::string_view type, std::string_view name,
+                          std::span<const Field> fields, const Field* extra1,
+                          const Field* extra2) {
+  // Build the line outside the lock; sequence/flush under it.
+  std::string line = "{\"t\":\"";
+  JsonEscape(type, &line);
+  line += "\",\"name\":\"";
+  JsonEscape(name, &line);
+  line.push_back('"');
+  for (const Field* extra : {extra1, extra2}) {
+    if (extra != nullptr) {
+      line.push_back(',');
+      AppendField(*extra, &line);
+    }
+  }
+  if (!fields.empty()) {
+    line += ",\"fields\":{";
+    bool first = true;
+    for (const Field& f : fields) {
+      if (!first) line.push_back(',');
+      first = false;
+      AppendField(f, &line);
+    }
+    line.push_back('}');
+  }
+  line += "}\n";
+
+  std::lock_guard<std::mutex> lock(mu_);
+  ++seq_;
+  (*out_) << line;
+}
+
+void JsonlSink::Event(std::string_view name, std::span<const Field> fields) {
+  WriteLine("event", name, fields);
+}
+
+void JsonlSink::SpanBegin(std::string_view name, uint64_t span_id,
+                          std::span<const Field> fields) {
+  const Field id = Field::U("span", span_id);
+  WriteLine("span_begin", name, fields, &id);
+}
+
+void JsonlSink::SpanEnd(std::string_view name, uint64_t span_id,
+                        uint64_t micros) {
+  const Field id = Field::U("span", span_id);
+  const Field us = Field::U("micros", micros);
+  WriteLine("span_end", name, {}, &id, &us);
+}
+
+void JsonlSink::Counter(std::string_view name, uint64_t delta) {
+  const Field d = Field::U("delta", delta);
+  WriteLine("counter", name, {}, &d);
+}
+
+}  // namespace sbce::obs

@@ -1,0 +1,42 @@
+// JsonlSink: a TraceSink that renders every record as one JSON object per
+// line ("JSON lines"), suitable for `table2_tool_grid --trace out.jsonl`
+// and offline analysis. Thread-safe: records from different components
+// interleave at line granularity.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <ostream>
+#include <span>
+#include <string_view>
+
+#include "src/obs/trace_sink.h"
+
+namespace sbce::obs {
+
+class JsonlSink : public TraceSink {
+ public:
+  /// Writes to `out` (not owned; must outlive the sink).
+  explicit JsonlSink(std::ostream* out) : out_(out) {}
+
+  void Event(std::string_view name, std::span<const Field> fields) override;
+  void SpanBegin(std::string_view name, uint64_t span_id,
+                 std::span<const Field> fields) override;
+  void SpanEnd(std::string_view name, uint64_t span_id,
+               uint64_t micros) override;
+  void Counter(std::string_view name, uint64_t delta) override;
+
+  /// Lines written so far.
+  uint64_t records() const { return seq_; }
+
+ private:
+  void WriteLine(std::string_view type, std::string_view name,
+                 std::span<const Field> fields, const Field* extra1 = nullptr,
+                 const Field* extra2 = nullptr);
+
+  std::mutex mu_;
+  std::ostream* out_;
+  uint64_t seq_ = 0;
+};
+
+}  // namespace sbce::obs

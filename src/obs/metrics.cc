@@ -1,0 +1,39 @@
+#include "src/obs/metrics.h"
+
+namespace sbce::obs {
+
+Counter* MetricsRegistry::Get(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return it->second.get();
+}
+
+uint64_t MetricsRegistry::Value(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second->value();
+}
+
+std::vector<std::pair<std::string, uint64_t>> MetricsRegistry::Snapshot()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, uint64_t>> out;
+  out.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    out.emplace_back(name, counter->value());
+  }
+  return out;
+}
+
+void MetricsRegistry::Publish(const Tracer& tracer) const {
+  if (!tracer.enabled()) return;
+  for (const auto& [name, value] : Snapshot()) {
+    tracer.Counter(name, value);
+  }
+}
+
+}  // namespace sbce::obs

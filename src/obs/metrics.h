@@ -1,0 +1,58 @@
+// MetricsRegistry: named monotonic counters shared by a component tree.
+//
+// Counter handles are resolved once (a map lookup under a mutex) and then
+// bumped lock-free; registered counters live as long as the registry, so
+// hot paths hold raw Counter* without lifetime ceremony. The engine feeds
+// core::EngineMetrics from per-Explore snapshots of its registry.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "src/obs/trace_sink.h"
+
+namespace sbce::obs {
+
+class Counter {
+ public:
+  void Add(uint64_t delta) { v_.fetch_add(delta, std::memory_order_relaxed); }
+  void Increment() { Add(1); }
+  uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> v_{0};
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Returns the counter registered under `name`, creating it at zero on
+  /// first use. The pointer stays valid for the registry's lifetime.
+  Counter* Get(std::string_view name);
+
+  /// Current value of `name`; 0 if never registered.
+  uint64_t Value(std::string_view name) const;
+
+  /// All counters, sorted by name (the map order).
+  std::vector<std::pair<std::string, uint64_t>> Snapshot() const;
+
+  /// Emits every counter's current value through `tracer` as Counter
+  /// records (used to flush a registry into a sink at a checkpoint).
+  void Publish(const Tracer& tracer) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+};
+
+}  // namespace sbce::obs

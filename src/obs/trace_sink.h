@@ -1,0 +1,162 @@
+// Observability substrate: the TraceSink interface and the nullable
+// Tracer handle instrumented code holds.
+//
+// Contract (see DESIGN.md §5c):
+//  * A TraceSink receives three primitives — point events, timed spans,
+//    and monotonic counter increments — each carrying a static name and
+//    a small set of key/value fields.
+//  * Instrumented code never talks to a sink directly; it goes through a
+//    Tracer, which may be empty. With no sink installed every Tracer
+//    method is a single pointer test: no virtual call, no allocation,
+//    and (for spans) no clock read. This is the "zero overhead when
+//    disabled" rule the <5% vm_micro budget depends on.
+//  * Field keys and names are string_views into static storage; field
+//    string *values* are only guaranteed live for the duration of the
+//    sink call — sinks that retain them must copy.
+//  * Sinks may be called from the thread that owns the instrumented
+//    component only; a sink shared across components (e.g. engine + VM)
+//    must serialize internally if those components run on different
+//    threads (JsonlSink does).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <initializer_list>
+#include <span>
+#include <string_view>
+#include <utility>
+
+namespace sbce::obs {
+
+/// One key/value attribute on an event or span.
+struct Field {
+  enum class Kind : uint8_t { kUint, kInt, kStr };
+
+  std::string_view key;
+  Kind kind = Kind::kUint;
+  uint64_t u = 0;
+  int64_t i = 0;
+  std::string_view s;
+
+  static constexpr Field U(std::string_view key, uint64_t value) {
+    Field f;
+    f.key = key;
+    f.kind = Kind::kUint;
+    f.u = value;
+    return f;
+  }
+  static constexpr Field I(std::string_view key, int64_t value) {
+    Field f;
+    f.key = key;
+    f.kind = Kind::kInt;
+    f.i = value;
+    return f;
+  }
+  static constexpr Field S(std::string_view key, std::string_view value) {
+    Field f;
+    f.key = key;
+    f.kind = Kind::kStr;
+    f.s = value;
+    return f;
+  }
+};
+
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+
+  /// A point-in-time occurrence (a syscall, a diagnostic, a claim).
+  virtual void Event(std::string_view name,
+                     std::span<const Field> fields) = 0;
+
+  /// A timed region. `span_id` pairs Begin with End; `micros` on End is
+  /// the measured wall-clock duration.
+  virtual void SpanBegin(std::string_view name, uint64_t span_id,
+                         std::span<const Field> fields) = 0;
+  virtual void SpanEnd(std::string_view name, uint64_t span_id,
+                       uint64_t micros) = 0;
+
+  /// A monotonic counter increment (mirrors MetricsRegistry updates).
+  virtual void Counter(std::string_view name, uint64_t delta) = 0;
+};
+
+class Tracer;
+
+/// RAII handle for a timed span. Inert (no clock read ever happens) when
+/// created from an empty Tracer.
+class ScopedSpan {
+ public:
+  ScopedSpan() = default;
+  ScopedSpan(TraceSink* sink, std::string_view name, uint64_t span_id)
+      : sink_(sink), name_(name), span_id_(span_id),
+        start_(std::chrono::steady_clock::now()) {}
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+  ScopedSpan(ScopedSpan&& other) noexcept { *this = std::move(other); }
+  ScopedSpan& operator=(ScopedSpan&& other) noexcept {
+    sink_ = other.sink_;
+    name_ = other.name_;
+    span_id_ = other.span_id_;
+    start_ = other.start_;
+    other.sink_ = nullptr;
+    return *this;
+  }
+  ~ScopedSpan() { End(); }
+
+  /// Ends the span early (idempotent).
+  void End() {
+    if (sink_ == nullptr) return;
+    const auto micros =
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - start_)
+            .count();
+    sink_->SpanEnd(name_, span_id_, static_cast<uint64_t>(micros));
+    sink_ = nullptr;
+  }
+
+ private:
+  TraceSink* sink_ = nullptr;
+  std::string_view name_;
+  uint64_t span_id_ = 0;
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// The handle instrumented code holds. Copyable, trivially small; an
+/// empty Tracer (the default) makes every operation a no-op pointer test.
+class Tracer {
+ public:
+  Tracer() = default;
+  explicit Tracer(TraceSink* sink) : sink_(sink) {}
+
+  bool enabled() const { return sink_ != nullptr; }
+  TraceSink* sink() const { return sink_; }
+
+  void Event(std::string_view name,
+             std::initializer_list<Field> fields = {}) const {
+    if (sink_ != nullptr) {
+      sink_->Event(name, {fields.begin(), fields.size()});
+    }
+  }
+
+  void Counter(std::string_view name, uint64_t delta = 1) const {
+    if (sink_ != nullptr) sink_->Counter(name, delta);
+  }
+
+  /// Opens a timed span; the returned guard emits SpanEnd on destruction.
+  [[nodiscard]] ScopedSpan Span(
+      std::string_view name, std::initializer_list<Field> fields = {}) const {
+    if (sink_ == nullptr) return {};
+    const uint64_t id = next_span_id_++;
+    sink_->SpanBegin(name, id, {fields.begin(), fields.size()});
+    return {sink_, name, id};
+  }
+
+ private:
+  TraceSink* sink_ = nullptr;
+  /// Span ids only disambiguate Begin/End pairs in sink output; they are
+  /// never fed back into program logic, so a shared counter is fine.
+  static inline std::atomic<uint64_t> next_span_id_{1};
+};
+
+}  // namespace sbce::obs

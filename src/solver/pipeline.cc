@@ -47,6 +47,9 @@ QueryPipeline::QueryPipeline(PipelineOptions options)
 std::vector<SolveResult> QueryPipeline::SolveBatch(
     std::span<const Query> queries) {
   const auto t0 = std::chrono::steady_clock::now();
+  obs::ScopedSpan span = options_.tracer.Span(
+      "solver.batch", {obs::Field::U("queries", queries.size())});
+  const QueryCacheStats cache_before = cache_.stats();
   stats_.queries += queries.size();
 
   // One variable-disjoint component of one query.
@@ -163,6 +166,16 @@ std::vector<SolveResult> QueryPipeline::SolveBatch(
       std::chrono::duration_cast<std::chrono::microseconds>(
           std::chrono::steady_clock::now() - t0)
           .count());
+  if (options_.tracer.enabled()) {
+    const QueryCacheStats cache_after = cache_.stats();
+    options_.tracer.Event(
+        "solver.batch.done",
+        {obs::Field::U("queries", queries.size()),
+         obs::Field::U("solved", tasks.size()),
+         obs::Field::U("cache_hits", cache_after.hits() - cache_before.hits()),
+         obs::Field::U("cache_misses",
+                       cache_after.misses - cache_before.misses)});
+  }
   return results;
 }
 

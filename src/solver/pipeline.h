@@ -33,6 +33,7 @@
 #include <span>
 #include <vector>
 
+#include "src/obs/trace_sink.h"
 #include "src/solver/query_cache.h"
 #include "src/solver/solver.h"
 #include "src/support/thread_pool.h"
@@ -45,6 +46,9 @@ struct PipelineOptions {
   /// 0 = auto (hardware concurrency capped at 8); 1 = fully serial.
   unsigned threads = 1;
   QueryCache::Options cache;
+  /// Observability: each SolveBatch emits a "solver.batch" span carrying
+  /// query/component/cache-delta fields. Empty tracer = no overhead.
+  obs::Tracer tracer;
 };
 
 struct PipelineStats {

@@ -4,6 +4,16 @@
 
 namespace sbce::symex {
 
+std::string_view ErrorStageLabel(ErrorStage stage) {
+  switch (stage) {
+    case ErrorStage::kEs0: return "Es0";
+    case ErrorStage::kEs1: return "Es1";
+    case ErrorStage::kEs2: return "Es2";
+    case ErrorStage::kEs3: return "Es3";
+  }
+  return "?";
+}
+
 bool SymState::ContainsDerefResult(solver::ExprRef e) const {
   if (deref_results_.empty()) return false;
   std::vector<solver::ExprRef> stack = {e};

@@ -6,11 +6,13 @@
 #include <map>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <unordered_set>
 #include <utility>
 #include <vector>
 
+#include "src/obs/trace_sink.h"
 #include "src/solver/expr.h"
 
 namespace sbce::symex {
@@ -29,9 +31,18 @@ struct Diagnostic {
   uint64_t pc = 0;
 };
 
+/// Stage label as printed in the paper's grid ("Es0".."Es3").
+std::string_view ErrorStageLabel(ErrorStage stage);
+
 struct Diagnostics {
   std::vector<Diagnostic> entries;
+  /// When a sink is installed, every Raise is mirrored as a "symex.diag"
+  /// event (stage, pc, detail). Empty tracer = zero overhead.
+  obs::Tracer tracer;
   void Raise(ErrorStage stage, std::string detail, uint64_t pc = 0) {
+    tracer.Event("symex.diag", {obs::Field::S("stage", ErrorStageLabel(stage)),
+                                obs::Field::U("pc", pc),
+                                obs::Field::S("detail", detail)});
     entries.push_back({stage, std::move(detail), pc});
   }
   bool Has(ErrorStage stage) const {

@@ -1,5 +1,7 @@
 #include "src/tools/classify.h"
 
+#include "src/support/str.h"
+
 namespace sbce::tools {
 
 using symex::ErrorStage;
@@ -21,13 +23,112 @@ Outcome Classify(const core::EngineResult& r) {
   if (r.aborted) return Outcome::kE;
   if (r.validated) return Outcome::kOk;
   if (r.claimed) {
-    return r.used_sys_env ? Outcome::kP : Outcome::kEs2;
+    return Any(r.provenance & core::ClaimProvenance::kSysEnv) ? Outcome::kP
+                                                              : Outcome::kEs2;
   }
   if (!r.any_symbolic_seen) return Outcome::kEs0;
   if (r.diag.Has(ErrorStage::kEs1)) return Outcome::kEs1;
   if (r.diag.Has(ErrorStage::kEs3)) return Outcome::kEs3;
   if (r.diag.Has(ErrorStage::kEs2)) return Outcome::kEs2;
   return Outcome::kEs0;
+}
+
+namespace {
+
+/// First diagnostic of `stage`, or nullptr.
+const symex::Diagnostic* FirstDiag(const core::EngineResult& r,
+                                   ErrorStage stage) {
+  for (const auto& d : r.diag.entries) {
+    if (d.stage == stage) return &d;
+  }
+  return nullptr;
+}
+
+std::string ProvenanceText(core::ClaimProvenance p) {
+  std::string out;
+  if (Any(p & core::ClaimProvenance::kSysEnv)) out += "sys-env";
+  if (Any(p & core::ClaimProvenance::kLibEnv)) {
+    if (!out.empty()) out += "+";
+    out += "lib-env";
+  }
+  return out.empty() ? "none" : out;
+}
+
+/// Attribution from the first diagnostic of the stage the classifier
+/// picked; falls back to a stage-level reason when (unusually) no
+/// diagnostic of that stage exists.
+obs::Attribution FromDiag(const core::EngineResult& r, ErrorStage stage,
+                          std::string_view gloss) {
+  obs::Attribution a;
+  a.stage.assign(symex::ErrorStageLabel(stage));
+  a.detail.assign(gloss);
+  if (const symex::Diagnostic* d = FirstDiag(r, stage)) {
+    a.pc = d->pc;
+    a.reason = d->detail;
+  } else {
+    a.reason.assign(gloss);
+  }
+  return a;
+}
+
+}  // namespace
+
+std::optional<obs::Attribution> Attribute(Outcome outcome,
+                                          const core::EngineResult& r) {
+  obs::Attribution a;
+  switch (outcome) {
+    case Outcome::kOk:
+      return std::nullopt;
+
+    case Outcome::kE:
+      a.stage = "E";
+      a.reason = r.abort_reason.empty() ? "engine aborted" : r.abort_reason;
+      a.detail = "abnormal engine exit";
+      return a;
+
+    case Outcome::kP:
+      a.stage = "P";
+      a.reason = StrFormat(
+          "claim satisfiable only under simulated environment symbols "
+          "(provenance: %s); concrete validation did not reach the target",
+          ProvenanceText(r.provenance).c_str());
+      a.detail = "partial success";
+      return a;
+
+    case Outcome::kEs0:
+      a.stage = "Es0";
+      a.reason = r.any_symbolic_seen
+                     ? "exploration exhausted with only well-modeled "
+                       "constraints: the symbolic input declaration missed "
+                       "the bytes that gate the target"
+                     : "no symbolic data was ever observed: the input "
+                       "source was not declared symbolic";
+      a.detail = "symbolic variable declaration failure";
+      return a;
+
+    case Outcome::kEs1:
+      return FromDiag(r, ErrorStage::kEs1,
+                      "instruction tracing / lifting failure");
+
+    case Outcome::kEs2:
+      // A wrong generated input (failed validation) is attributed to the
+      // claim itself; otherwise to the first propagation-loss diagnostic.
+      if (r.claimed && !r.validated) {
+        const symex::Diagnostic* d = FirstDiag(r, ErrorStage::kEs2);
+        a.stage = "Es2";
+        a.pc = d != nullptr ? d->pc : 0;
+        a.reason =
+            "generated test case failed concrete validation (wrong data "
+            "propagation along the claimed path)";
+        if (d != nullptr) a.detail = d->detail;
+        return a;
+      }
+      return FromDiag(r, ErrorStage::kEs2, "data propagation failure");
+
+    case Outcome::kEs3:
+      return FromDiag(r, ErrorStage::kEs3, "constraint modeling failure");
+  }
+  return std::nullopt;
 }
 
 }  // namespace sbce::tools

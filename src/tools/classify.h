@@ -1,9 +1,12 @@
-// Maps an EngineResult onto the paper's outcome taxonomy.
+// Maps an EngineResult onto the paper's outcome taxonomy, and derives the
+// machine-readable failure attribution each non-✓ grid cell carries.
 #pragma once
 
+#include <optional>
 #include <string_view>
 
 #include "src/core/engine.h"
+#include "src/obs/attribution.h"
 
 namespace sbce::tools {
 
@@ -31,5 +34,12 @@ std::string_view OutcomeLabel(Outcome outcome);
 ///      exploration with only well-modeled constraints means the inputs
 ///      were insufficiently declared -> Es0.
 Outcome Classify(const core::EngineResult& result);
+
+/// The attribution pass: derives the {stage, pc, reason} provenance
+/// record for a non-✓ outcome (nullopt for kOk). `outcome` must be
+/// Classify(result) — the record names the same stage the cell shows and
+/// points at the diagnostic/claim/abort that produced it.
+std::optional<obs::Attribution> Attribute(Outcome outcome,
+                                          const core::EngineResult& result);
 
 }  // namespace sbce::tools

@@ -1,6 +1,7 @@
 #include "src/tools/runner.h"
 
 #include <memory>
+#include <utility>
 
 #include "src/report/table.h"
 #include "src/support/str.h"
@@ -8,13 +9,33 @@
 
 namespace sbce::tools {
 
-CellResult RunCell(const bombs::BombSpec& bomb, const ToolProfile& tool) {
+CellResult RunCell(const bombs::BombSpec& bomb, const ToolProfile& tool,
+                   const RunOptions& options) {
   CellResult cell;
   cell.bomb_id = bomb.id;
   cell.tool = tool.name;
 
   const isa::BinaryImage image = bombs::BuildBomb(bomb);
   const uint64_t target = bombs::BombAddress(image);
+
+  core::EngineConfig config = tool.engine;
+  config.trace_sink = options.trace_sink;
+  if (options.baseline_pipeline) {
+    config.budgets.solver.cache_queries = false;
+    config.budgets.solver.slice_independent = false;
+    config.budgets.solver_threads = 1;
+  }
+  if (options.max_rounds) config.budgets.max_rounds = *options.max_rounds;
+  if (options.max_solver_queries) {
+    config.budgets.max_solver_queries = *options.max_solver_queries;
+  }
+  if (options.solver_threads) {
+    config.budgets.solver_threads = *options.solver_threads;
+  }
+
+  obs::Tracer tracer(options.trace_sink);
+  tracer.Event("cell.begin", {obs::Field::S("bomb", bomb.id),
+                              obs::Field::S("tool", tool.name)});
 
   core::ConcolicEngine engine(
       image,
@@ -26,9 +47,10 @@ CellResult RunCell(const bombs::BombSpec& bomb, const ToolProfile& tool) {
         }
         return machine;
       },
-      tool.engine);
+      config);
   cell.engine = engine.Explore(bomb.seed_argv, target);
   cell.outcome = Classify(cell.engine);
+  cell.attribution = Attribute(cell.outcome, cell.engine);
 
   int tool_index = -1;
   if (tool.name == "BAP") tool_index = bombs::kBap;
@@ -39,14 +61,23 @@ CellResult RunCell(const bombs::BombSpec& bomb, const ToolProfile& tool) {
       tool_index >= 0 ? bomb.expected[tool_index] : bomb.expected_ideal;
   cell.matches_paper =
       cell.expected == std::string(OutcomeLabel(cell.outcome));
+
+  if (tracer.enabled()) {
+    tracer.Event("cell.done",
+                 {obs::Field::S("bomb", bomb.id),
+                  obs::Field::S("tool", tool.name),
+                  obs::Field::S("outcome", OutcomeLabel(cell.outcome)),
+                  obs::Field::S("expected", cell.expected)});
+  }
   return cell;
 }
 
-GridResult RunTableTwo(const std::vector<ToolProfile>& tools) {
+GridResult RunTableTwo(const std::vector<ToolProfile>& tools,
+                       const RunOptions& options) {
   GridResult grid;
   for (const bombs::BombSpec* bomb : bombs::TableTwoBombs()) {
     for (const ToolProfile& tool : tools) {
-      CellResult cell = RunCell(*bomb, tool);
+      CellResult cell = RunCell(*bomb, tool, options);
       if (cell.expected != "-") {
         ++grid.total;
         if (cell.matches_paper) ++grid.matches;
@@ -100,6 +131,8 @@ std::string RenderTableTwo(const GridResult& grid,
   }
   out += "\n";
   out += RenderSolverStats(grid, tools);
+  out += "\n";
+  out += RenderAttributions(grid);
   return out;
 }
 
@@ -113,12 +146,12 @@ std::string RenderSolverStats(const GridResult& grid,
   for (size_t t = 0; t < tools.size(); ++t) {
     uint64_t queries = 0, hits = 0, misses = 0, sliced = 0, micros = 0;
     for (size_t i = t; i < grid.cells.size(); i += tools.size()) {
-      const core::EngineResult& r = grid.cells[i].engine;
-      queries += r.solver_queries;
-      hits += r.solver_cache_hits;
-      misses += r.solver_cache_misses;
-      sliced += r.sliced_queries;
-      micros += r.solver_micros;
+      const core::EngineMetrics& m = grid.cells[i].engine.metrics;
+      queries += m.solver_queries;
+      hits += m.solver_cache_hits;
+      misses += m.solver_cache_misses;
+      sliced += m.sliced_queries;
+      micros += m.solver_micros;
     }
     const uint64_t lookups = hits + misses;
     const double hit_pct =
@@ -132,6 +165,100 @@ std::string RenderSolverStats(const GridResult& grid,
                   StrFormat("%.1f", static_cast<double>(micros) / 1000.0)});
   }
   return table.Render();
+}
+
+std::string RenderAttributions(const GridResult& grid) {
+  report::AsciiTable table;
+  table.SetTitle("failure attribution, per non-✓ cell "
+                 "(stage / triggering pc / reason)");
+  table.SetHeader({"Bomb", "Tool", "Stage", "pc", "Reason"});
+  for (const CellResult& cell : grid.cells) {
+    if (!cell.attribution) continue;
+    const obs::Attribution& a = *cell.attribution;
+    // Long reasons wreck the grid; clip for the ASCII rendering (the JSON
+    // export keeps them whole).
+    std::string reason = a.reason;
+    constexpr size_t kMaxReason = 64;
+    if (reason.size() > kMaxReason) {
+      reason.resize(kMaxReason - 3);
+      reason += "...";
+    }
+    table.AddRow({cell.bomb_id, cell.tool, a.stage,
+                  a.pc == 0 ? std::string("-")
+                            : StrFormat("0x%llx",
+                                        static_cast<unsigned long long>(a.pc)),
+                  reason});
+  }
+  return table.Render();
+}
+
+obs::JsonValue GridToJson(const GridResult& grid) {
+  obs::JsonValue v = obs::JsonValue::Object();
+  v.Set("matches", obs::JsonValue::I64(grid.matches));
+  v.Set("total", obs::JsonValue::I64(grid.total));
+  obs::JsonValue cells = obs::JsonValue::Array();
+  for (const CellResult& cell : grid.cells) {
+    obs::JsonValue c = obs::JsonValue::Object();
+    c.Set("bomb", obs::JsonValue::Str(cell.bomb_id));
+    c.Set("tool", obs::JsonValue::Str(cell.tool));
+    c.Set("outcome", obs::JsonValue::Str(OutcomeLabel(cell.outcome)));
+    c.Set("expected", obs::JsonValue::Str(cell.expected));
+    c.Set("matches_paper", obs::JsonValue::Bool(cell.matches_paper));
+    if (cell.attribution) {
+      c.Set("attribution", obs::AttributionToJson(*cell.attribution));
+    }
+    cells.items.push_back(std::move(c));
+  }
+  v.Set("cells", std::move(cells));
+  return v;
+}
+
+std::optional<GridResult> GridFromJson(const obs::JsonValue& v) {
+  const obs::JsonValue* cells = v.Find("cells");
+  if (cells == nullptr || cells->kind != obs::JsonValue::Kind::kArray) {
+    return std::nullopt;
+  }
+  GridResult grid;
+  if (const obs::JsonValue* m = v.Find("matches")) {
+    grid.matches = static_cast<int>(m->AsI64());
+  }
+  if (const obs::JsonValue* t = v.Find("total")) {
+    grid.total = static_cast<int>(t->AsI64());
+  }
+  for (const obs::JsonValue& c : cells->items) {
+    CellResult cell;
+    if (const obs::JsonValue* b = c.Find("bomb")) {
+      cell.bomb_id.assign(b->AsString());
+    }
+    if (const obs::JsonValue* t = c.Find("tool")) {
+      cell.tool.assign(t->AsString());
+    }
+    const obs::JsonValue* outcome = c.Find("outcome");
+    if (outcome == nullptr) return std::nullopt;
+    bool found = false;
+    for (Outcome o : {Outcome::kOk, Outcome::kEs0, Outcome::kEs1,
+                      Outcome::kEs2, Outcome::kEs3, Outcome::kE,
+                      Outcome::kP}) {
+      if (outcome->AsString() == OutcomeLabel(o)) {
+        cell.outcome = o;
+        found = true;
+        break;
+      }
+    }
+    if (!found) return std::nullopt;
+    if (const obs::JsonValue* e = c.Find("expected")) {
+      cell.expected.assign(e->AsString());
+    }
+    if (const obs::JsonValue* m = c.Find("matches_paper")) {
+      cell.matches_paper = m->AsBool();
+    }
+    if (const obs::JsonValue* a = c.Find("attribution")) {
+      cell.attribution = obs::AttributionFromJson(*a);
+      if (!cell.attribution) return std::nullopt;
+    }
+    grid.cells.push_back(std::move(cell));
+  }
+  return grid;
 }
 
 }  // namespace sbce::tools

@@ -1,14 +1,35 @@
 // Experiment runner: bombs × tool profiles → outcome grid (Table II).
 #pragma once
 
+#include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "src/bombs/bombs.h"
+#include "src/obs/json.h"
+#include "src/obs/trace_sink.h"
 #include "src/tools/classify.h"
 #include "src/tools/profiles.h"
 
 namespace sbce::tools {
+
+/// Per-run knobs for RunCell/RunTableTwo. A struct instead of positional
+/// parameters so new toggles (sinks, budget overrides, pipeline modes)
+/// don't ripple through every call site.
+struct RunOptions {
+  /// Observability sink threaded through the engine, VM, symbolic
+  /// executor and query pipeline (not owned; may be null).
+  obs::TraceSink* trace_sink = nullptr;
+  /// Disable the query pipeline's cache/slicing/parallel dispatch — the
+  /// pre-pipeline serial behaviour (`table2_tool_grid --baseline`). The
+  /// grid must come out identical either way.
+  bool baseline_pipeline = false;
+  // Budget overrides (engine defaults from the tool profile when unset).
+  std::optional<uint64_t> max_rounds;
+  std::optional<uint64_t> max_solver_queries;
+  std::optional<unsigned> solver_threads;
+};
 
 struct CellResult {
   std::string bomb_id;
@@ -16,11 +37,14 @@ struct CellResult {
   Outcome outcome = Outcome::kE;
   std::string expected;  // paper label ("-" when not part of Table II)
   bool matches_paper = false;
+  /// Failure provenance: present exactly when outcome != kOk.
+  std::optional<obs::Attribution> attribution;
   core::EngineResult engine;
 };
 
 /// Runs one tool on one bomb (exploration, claims, validation).
-CellResult RunCell(const bombs::BombSpec& bomb, const ToolProfile& tool);
+CellResult RunCell(const bombs::BombSpec& bomb, const ToolProfile& tool,
+                   const RunOptions& options = {});
 
 struct GridResult {
   std::vector<CellResult> cells;  // bomb-major, tool-minor order
@@ -29,10 +53,11 @@ struct GridResult {
 };
 
 /// The full Table II experiment: 22 bombs × 4 tools.
-GridResult RunTableTwo(const std::vector<ToolProfile>& tools);
+GridResult RunTableTwo(const std::vector<ToolProfile>& tools,
+                       const RunOptions& options = {});
 
 /// Renders the grid in the paper's layout (includes the solver stats
-/// footer table below the grid).
+/// footer and the per-cell failure attributions below the grid).
 std::string RenderTableTwo(const GridResult& grid,
                            const std::vector<ToolProfile>& tools);
 
@@ -40,5 +65,18 @@ std::string RenderTableTwo(const GridResult& grid,
 /// sliced queries, solver wall-clock) aggregated over the grid.
 std::string RenderSolverStats(const GridResult& grid,
                               const std::vector<ToolProfile>& tools);
+
+/// Renders one row per non-✓ cell: bomb, tool, outcome, attributed stage,
+/// triggering pc and reason.
+std::string RenderAttributions(const GridResult& grid);
+
+/// Machine-readable grid export: cells with outcomes, paper labels and
+/// attribution records, plus the match totals.
+obs::JsonValue GridToJson(const GridResult& grid);
+
+/// Inverse of GridToJson (engine results are not round-tripped — only the
+/// reporting surface: outcomes, labels, attributions, totals). nullopt if
+/// `v` is not a grid object.
+std::optional<GridResult> GridFromJson(const obs::JsonValue& v);
 
 }  // namespace sbce::tools

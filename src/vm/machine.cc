@@ -109,6 +109,7 @@ void Machine::WakePipeReaders(int pipe_id) {
 }
 
 void Machine::Fault(std::string reason) {
+  tracer_.Event("vm.fault", {obs::Field::S("reason", reason)});
   result_.faulted = true;
   result_.fault_reason = std::move(reason);
   stop_ = true;
@@ -119,6 +120,8 @@ RunResult Machine::Run() {
   while (!stop_) {
     if (result_.instructions >= options_.max_instructions) {
       result_.budget_exhausted = true;
+      tracer_.Event("vm.budget_exhausted",
+                    {obs::Field::U("instructions", result_.instructions)});
       break;
     }
     if (!AnyRunnable()) {
@@ -156,6 +159,8 @@ RunResult Machine::Run() {
       for (uint32_t q = 0; q < options_.quantum; ++q) {
         if (result_.instructions >= options_.max_instructions) {
           result_.budget_exhausted = true;
+          tracer_.Event("vm.budget_exhausted",
+                        {obs::Field::U("instructions", result_.instructions)});
           stop_ = true;
           break;
         }
@@ -164,6 +169,14 @@ RunResult Machine::Run() {
         if (out.reschedule || stop_) break;
       }
     }
+  }
+  if (tracer_.enabled()) {
+    tracer_.Counter("vm.instructions", result_.instructions);
+    tracer_.Event("vm.run.done",
+                  {obs::Field::U("instructions", result_.instructions),
+                   obs::Field::U("exited", result_.exited ? 1 : 0),
+                   obs::Field::U("bomb", result_.bomb_triggered ? 1 : 0),
+                   obs::Field::U("faulted", result_.faulted ? 1 : 0)});
   }
   return result_;
 }
@@ -632,6 +645,9 @@ Machine::StepOutcome Machine::Step(Process& proc, Thread& thread) {
 
 void Machine::RaiseTrap(Process& proc, Thread& thread, uint64_t cause,
                         TraceEvent& ev) {
+  tracer_.Event("vm.trap", {obs::Field::U("cause", cause),
+                            obs::Field::U("pc", ev.pc),
+                            obs::Field::U("pid", proc.pid)});
   ev.trapped = true;
   ev.trap_cause = cause;
   if (proc.trap_handler == 0) {
@@ -651,6 +667,10 @@ void Machine::RaiseTrap(Process& proc, Thread& thread, uint64_t cause,
 
 void Machine::DoSyscall(Process& proc, Thread& thread, int32_t num,
                         TraceEvent& ev) {
+  tracer_.Event("vm.syscall", {obs::Field::I("num", num),
+                               obs::Field::U("pc", ev.pc),
+                               obs::Field::U("pid", proc.pid),
+                               obs::Field::U("tid", thread.tid)});
   auto& r = thread.cpu.r;
   ev.sys_num = num;
   for (int i = 0; i < 5; ++i) ev.sys_args[i] = r[1 + i];

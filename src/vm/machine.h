@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "src/isa/image.h"
+#include "src/obs/trace_sink.h"
 #include "src/vm/devices.h"
 #include "src/vm/filesystem.h"
 #include "src/vm/memory.h"
@@ -113,6 +114,12 @@ class Machine {
     trace_hook_ = std::move(hook);
   }
 
+  /// Observability sink for coarse machine events (syscalls, traps,
+  /// faults, budget trips, run summary). Unlike the per-instruction trace
+  /// hook this is off the interpreter hot path: with no sink installed
+  /// the only cost is a pointer test at those (rare) sites.
+  void set_tracer(obs::Tracer tracer) { tracer_ = tracer; }
+
   /// Runs to completion (root exit), fault, deadlock, or budget exhaustion.
   RunResult Run();
 
@@ -160,6 +167,7 @@ class Machine {
   uint32_t next_pid_offset_ = 1;
 
   std::function<void(const TraceEvent&)> trace_hook_;
+  obs::Tracer tracer_;
   std::string stdin_data_;
   size_t stdin_pos_ = 0;
 

@@ -71,7 +71,7 @@ TEST(EngineEdge, RoundBudgetStopsExploration) {
   cfg.budgets.max_rounds = 1;  // seed only: cannot reach the bomb
   auto result = Explore(prog, {"prog", "ab"}, cfg);
   EXPECT_FALSE(result.validated);
-  EXPECT_EQ(result.rounds, 1u);
+  EXPECT_EQ(result.metrics.rounds, 1u);
 }
 
 TEST(EngineEdge, SolverQueryBudgetIsHonored) {
@@ -80,14 +80,14 @@ TEST(EngineEdge, SolverQueryBudgetIsHonored) {
   cfg.budgets.max_solver_queries = 0;
   auto result = Explore(prog, {"prog", "ab"}, cfg);
   EXPECT_FALSE(result.validated);
-  EXPECT_EQ(result.solver_queries, 0u);
+  EXPECT_EQ(result.metrics.solver_queries, 0u);
 }
 
 TEST(EngineEdge, SeedThatAlreadyTriggersValidatesImmediately) {
   auto prog = Build(kTwoGuards);
   auto result = Explore(prog, {"prog", "xy"}, tools::Ideal().engine);
   EXPECT_TRUE(result.validated);
-  EXPECT_EQ(result.rounds, 1u);
+  EXPECT_EQ(result.metrics.rounds, 1u);
   EXPECT_EQ(result.claimed_argv[1], "xy");
 }
 
@@ -136,7 +136,7 @@ TEST(EngineEdge, NulByteInModelTruncatesDecodedInput) {
   auto result = Explore(prog, {"prog", "a"}, tools::Ideal().engine);
   // byte0==0 means empty argv[1]; reading byte 0 of "" gives NUL — which
   // actually does trigger. Either way the engine must terminate quickly.
-  EXPECT_LE(result.rounds, 4u);
+  EXPECT_LE(result.metrics.rounds, 4u);
   EXPECT_TRUE(result.validated);
   EXPECT_EQ(result.claimed_argv[1], "");
 }

@@ -47,17 +47,17 @@ void ExpectIdentical(const EngineResult& a, const EngineResult& b) {
   EXPECT_EQ(a.claimed, b.claimed);
   EXPECT_EQ(a.claimed_argv, b.claimed_argv);
   EXPECT_EQ(a.validated, b.validated);
-  EXPECT_EQ(a.used_sys_env, b.used_sys_env);
+  EXPECT_EQ(a.provenance, b.provenance);
   EXPECT_EQ(a.aborted, b.aborted);
   EXPECT_EQ(a.abort_reason, b.abort_reason);
-  EXPECT_EQ(a.rounds, b.rounds);
-  EXPECT_EQ(a.solver_queries, b.solver_queries);
+  EXPECT_EQ(a.metrics.rounds, b.metrics.rounds);
+  EXPECT_EQ(a.metrics.solver_queries, b.metrics.solver_queries);
   EXPECT_EQ(a.explored_inputs, b.explored_inputs);
   // Cache behaviour is part of the determinism contract too: the hit
   // pattern depends only on the (identical) query sequence.
-  EXPECT_EQ(a.solver_cache_hits, b.solver_cache_hits);
-  EXPECT_EQ(a.solver_cache_misses, b.solver_cache_misses);
-  EXPECT_EQ(a.sliced_queries, b.sliced_queries);
+  EXPECT_EQ(a.metrics.solver_cache_hits, b.metrics.solver_cache_hits);
+  EXPECT_EQ(a.metrics.solver_cache_misses, b.metrics.solver_cache_misses);
+  EXPECT_EQ(a.metrics.sliced_queries, b.metrics.sliced_queries);
 }
 
 class ParallelDeterminism : public ::testing::TestWithParam<const char*> {};

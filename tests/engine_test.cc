@@ -125,7 +125,7 @@ TEST(ConcolicEngine, SolvesLoopLengthGuard) {
       sys 0
   )");
   auto result = RunEngine(setup, {"prog", "a"});
-  ASSERT_TRUE(result.validated) << "rounds=" << result.rounds;
+  ASSERT_TRUE(result.validated) << "rounds=" << result.metrics.rounds;
   EXPECT_EQ(result.claimed_argv[1].size(), 5u);
 }
 
@@ -169,7 +169,7 @@ TEST(ConcolicEngine, SolvesOneLevelSymbolicArray) {
     table: .byte 1, 2, 3, 4, 5, 6, 77, 8, 9, 10
   )");
   auto result = RunEngine(setup, {"prog", "0"});
-  ASSERT_TRUE(result.validated) << "rounds=" << result.rounds;
+  ASSERT_TRUE(result.validated) << "rounds=" << result.metrics.rounds;
   EXPECT_EQ(result.claimed_argv[1][0], '6');
 }
 
@@ -220,7 +220,7 @@ TEST(ConcolicEngine, SolvesTrapGuardedBomb) {
       sys 0
   )");
   auto result = RunEngine(setup, {"prog", "5"});
-  ASSERT_TRUE(result.validated) << "rounds=" << result.rounds;
+  ASSERT_TRUE(result.validated) << "rounds=" << result.metrics.rounds;
   EXPECT_EQ(result.claimed_argv[1][0], '0');
 }
 
@@ -249,7 +249,7 @@ TEST(ConcolicEngine, SolvesSymbolicJumpWithSoundPolicy) {
   // jmpr to slots+8*digit: digit 0 exits cleanly, digit 3 hits the bomb.
   auto setup = Build(kSymbolicJumpProgram);
   auto result = RunEngine(setup, {"prog", "0"});
-  ASSERT_TRUE(result.validated) << "rounds=" << result.rounds;
+  ASSERT_TRUE(result.validated) << "rounds=" << result.metrics.rounds;
   EXPECT_EQ(result.claimed_argv[1][0], '3');
 }
 
@@ -336,7 +336,7 @@ TEST(ConcolicEngine, FpGuardSolvedBySearch) {
     half: .quad 0x3FE0000000000000, 0x400C000000000000
   )");
   auto result = RunEngine(setup, {"prog", "1"});
-  ASSERT_TRUE(result.validated) << "rounds=" << result.rounds;
+  ASSERT_TRUE(result.validated) << "rounds=" << result.metrics.rounds;
   EXPECT_EQ(result.claimed_argv[1][0], '7');
 }
 

@@ -1,0 +1,433 @@
+// Observability-layer tests: sink/tracer contract (null fast path),
+// MetricsRegistry, JSON model round-trips, the JSON-lines exporter, the
+// per-stage failure attribution pass, and the grid JSON export.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/obs/attribution.h"
+#include "src/obs/json.h"
+#include "src/obs/jsonl.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace_sink.h"
+#include "src/tools/runner.h"
+
+namespace sbce {
+namespace {
+
+using symex::ErrorStage;
+
+// In-memory sink for assertions; stringifies field values.
+class RecordingSink : public obs::TraceSink {
+ public:
+  struct Record {
+    std::string type;
+    std::string name;
+    std::vector<std::pair<std::string, std::string>> fields;
+  };
+
+  void Event(std::string_view name,
+             std::span<const obs::Field> fields) override {
+    Push("event", name, fields);
+  }
+  void SpanBegin(std::string_view name, uint64_t,
+                 std::span<const obs::Field> fields) override {
+    Push("span_begin", name, fields);
+  }
+  void SpanEnd(std::string_view name, uint64_t, uint64_t) override {
+    Push("span_end", name, {});
+  }
+  void Counter(std::string_view name, uint64_t delta) override {
+    Record r;
+    r.type = "counter";
+    r.name.assign(name);
+    r.fields.emplace_back("delta", std::to_string(delta));
+    records.push_back(std::move(r));
+  }
+
+  size_t Count(std::string_view name) const {
+    size_t n = 0;
+    for (const auto& r : records) {
+      if (r.name == name) ++n;
+    }
+    return n;
+  }
+  const Record* Find(std::string_view name) const {
+    for (const auto& r : records) {
+      if (r.name == name) return &r;
+    }
+    return nullptr;
+  }
+  static std::string FieldValue(const Record& r, std::string_view key) {
+    for (const auto& [k, v] : r.fields) {
+      if (k == key) return v;
+    }
+    return {};
+  }
+
+  std::vector<Record> records;
+
+ private:
+  void Push(std::string_view type, std::string_view name,
+            std::span<const obs::Field> fields) {
+    Record r;
+    r.type.assign(type);
+    r.name.assign(name);
+    for (const obs::Field& f : fields) {
+      switch (f.kind) {
+        case obs::Field::Kind::kUint:
+          r.fields.emplace_back(std::string(f.key), std::to_string(f.u));
+          break;
+        case obs::Field::Kind::kInt:
+          r.fields.emplace_back(std::string(f.key), std::to_string(f.i));
+          break;
+        case obs::Field::Kind::kStr:
+          r.fields.emplace_back(std::string(f.key), std::string(f.s));
+          break;
+      }
+    }
+    records.push_back(std::move(r));
+  }
+};
+
+TEST(Tracer, EmptyTracerIsInertAndCheap) {
+  obs::Tracer tracer;  // no sink
+  EXPECT_FALSE(tracer.enabled());
+  tracer.Event("anything", {obs::Field::U("x", 1)});
+  tracer.Counter("anything", 7);
+  { obs::ScopedSpan span = tracer.Span("anything"); }
+  // Nothing to observe — the contract is simply "no crash, no sink calls".
+}
+
+TEST(Tracer, ForwardsToSink) {
+  RecordingSink sink;
+  obs::Tracer tracer(&sink);
+  EXPECT_TRUE(tracer.enabled());
+  tracer.Event("ev", {obs::Field::U("a", 42), obs::Field::S("b", "hi")});
+  tracer.Counter("ctr", 3);
+  { obs::ScopedSpan span = tracer.Span("sp", {obs::Field::U("n", 1)}); }
+
+  ASSERT_EQ(sink.records.size(), 4u);  // event, counter, span_begin, span_end
+  const auto* ev = sink.Find("ev");
+  ASSERT_NE(ev, nullptr);
+  EXPECT_EQ(RecordingSink::FieldValue(*ev, "a"), "42");
+  EXPECT_EQ(RecordingSink::FieldValue(*ev, "b"), "hi");
+  EXPECT_EQ(sink.Count("sp"), 2u);  // begin + end
+}
+
+TEST(Metrics, RegistryCountersAreStableAndSnapshot) {
+  obs::MetricsRegistry registry;
+  obs::Counter* a = registry.Get("x.a");
+  EXPECT_EQ(a, registry.Get("x.a"));  // same handle on re-lookup
+  a->Add(5);
+  a->Increment();
+  registry.Get("x.b")->Add(2);
+  EXPECT_EQ(registry.Value("x.a"), 6u);
+  EXPECT_EQ(registry.Value("never"), 0u);
+
+  const auto snapshot = registry.Snapshot();
+  ASSERT_EQ(snapshot.size(), 2u);
+  EXPECT_EQ(snapshot[0], (std::pair<std::string, uint64_t>{"x.a", 6}));
+  EXPECT_EQ(snapshot[1], (std::pair<std::string, uint64_t>{"x.b", 2}));
+
+  RecordingSink sink;
+  registry.Publish(obs::Tracer(&sink));
+  EXPECT_EQ(sink.Count("x.a"), 1u);
+  EXPECT_EQ(sink.Count("x.b"), 1u);
+}
+
+TEST(Json, RoundTripPreservesStructureAndU64) {
+  obs::JsonValue v = obs::JsonValue::Object();
+  v.Set("str", obs::JsonValue::Str("a \"quoted\"\nline\ttab"));
+  v.Set("big", obs::JsonValue::U64(0xFFFF'FFFF'FFFF'FFFFull));
+  v.Set("neg", obs::JsonValue::I64(-17));
+  v.Set("flag", obs::JsonValue::Bool(true));
+  v.Set("nothing", obs::JsonValue::Null());
+  obs::JsonValue arr = obs::JsonValue::Array();
+  arr.items.push_back(obs::JsonValue::U64(1));
+  arr.items.push_back(obs::JsonValue::Str("two"));
+  v.Set("arr", std::move(arr));
+
+  const std::string text = obs::Dump(v);
+  auto parsed = obs::ParseJson(text);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(obs::Dump(*parsed), text);  // stable fixed point
+  EXPECT_EQ(parsed->Find("big")->AsU64(), 0xFFFF'FFFF'FFFF'FFFFull);
+  EXPECT_EQ(parsed->Find("neg")->AsI64(), -17);
+  EXPECT_EQ(parsed->Find("str")->AsString(), "a \"quoted\"\nline\ttab");
+  EXPECT_TRUE(parsed->Find("flag")->AsBool());
+  EXPECT_TRUE(parsed->Find("nothing")->IsNull());
+  ASSERT_EQ(parsed->Find("arr")->items.size(), 2u);
+}
+
+TEST(Json, BinaryBytesEscapeToValidUtf8) {
+  // Field values can carry raw binary (generated argv inputs). The dump
+  // must stay valid UTF-8/JSON: invalid bytes become \u00xx escapes while
+  // well-formed multi-byte sequences (the ✓ outcome label) pass through.
+  const std::string binary = std::string("a\x80\xff") + "\xE2\x9C\x93" + "z";
+  const std::string text = obs::Dump(obs::JsonValue::Str(binary));
+  EXPECT_NE(text.find("\\u0080"), std::string::npos);
+  EXPECT_NE(text.find("\\u00ff"), std::string::npos);
+  EXPECT_NE(text.find("\xE2\x9C\x93"), std::string::npos);
+  for (char c : text) {
+    // Only the checkmark's bytes may be non-ASCII.
+    if (static_cast<unsigned char>(c) >= 0x80) {
+      EXPECT_TRUE(c == '\xE2' || c == '\x9C' || c == '\x93') << text;
+    }
+  }
+  auto parsed = obs::ParseJson(text);
+  ASSERT_TRUE(parsed.has_value());
+  // Bytes come back as U+0080/U+00FF code points (re-encoded as UTF-8),
+  // not raw — the document, not the binary, is what round-trips.
+  EXPECT_EQ(parsed->AsString(), std::string("a\xC2\x80\xC3\xBF")
+                                    + "\xE2\x9C\x93" + "z");
+}
+
+TEST(Json, RejectsMalformedInput) {
+  EXPECT_FALSE(obs::ParseJson("{").has_value());
+  EXPECT_FALSE(obs::ParseJson("{\"a\":1,}").has_value());
+  EXPECT_FALSE(obs::ParseJson("[1 2]").has_value());
+  EXPECT_FALSE(obs::ParseJson("\"unterminated").has_value());
+  EXPECT_FALSE(obs::ParseJson("{\"a\":1} trailing").has_value());
+  EXPECT_FALSE(obs::ParseJson("01x").has_value());
+  EXPECT_TRUE(obs::ParseJson("  {\"a\": [1, -2.5e3, null]} ").has_value());
+}
+
+TEST(Jsonl, EveryLineIsValidJson) {
+  std::ostringstream out;
+  obs::JsonlSink sink(&out);
+  obs::Tracer tracer(&sink);
+  tracer.Event("e1", {obs::Field::U("pc", 0x1234),
+                      obs::Field::S("why", "needs \"escaping\"\n")});
+  tracer.Counter("c1", 9);
+  { obs::ScopedSpan span = tracer.Span("s1"); }
+  EXPECT_EQ(sink.records(), 4u);
+
+  std::istringstream in(out.str());
+  std::string line;
+  size_t lines = 0;
+  while (std::getline(in, line)) {
+    ++lines;
+    auto parsed = obs::ParseJson(line);
+    ASSERT_TRUE(parsed.has_value()) << "bad JSONL line: " << line;
+    ASSERT_NE(parsed->Find("t"), nullptr);
+    ASSERT_NE(parsed->Find("name"), nullptr);
+  }
+  EXPECT_EQ(lines, 4u);
+
+  // Field contents survive the escaping round trip.
+  std::istringstream in2(out.str());
+  std::getline(in2, line);
+  auto first = obs::ParseJson(line);
+  const obs::JsonValue* fields = first->Find("fields");
+  ASSERT_NE(fields, nullptr);
+  EXPECT_EQ(fields->Find("pc")->AsU64(), 0x1234u);
+  EXPECT_EQ(fields->Find("why")->AsString(), "needs \"escaping\"\n");
+}
+
+// --- Attribution: one test per error stage --------------------------------
+
+core::EngineResult SymbolicSeenResult() {
+  core::EngineResult r;
+  r.any_symbolic_seen = true;
+  return r;
+}
+
+TEST(Attribution, Es0TaintMiss) {
+  core::EngineResult r;  // nothing symbolic ever observed
+  const tools::Outcome outcome = tools::Classify(r);
+  ASSERT_EQ(outcome, tools::Outcome::kEs0);
+  auto a = tools::Attribute(outcome, r);
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->stage, "Es0");
+  EXPECT_EQ(a->pc, 0u);
+  EXPECT_NE(a->reason.find("not declared symbolic"), std::string::npos);
+}
+
+TEST(Attribution, Es1LiftGap) {
+  auto r = SymbolicSeenResult();
+  r.diag.Raise(ErrorStage::kEs1, "cannot lift push of symbolic data",
+               0x2040);
+  r.diag.Raise(ErrorStage::kEs2, "later propagation loss", 0x2080);
+  const tools::Outcome outcome = tools::Classify(r);
+  ASSERT_EQ(outcome, tools::Outcome::kEs1);
+  auto a = tools::Attribute(outcome, r);
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->stage, "Es1");
+  EXPECT_EQ(a->pc, 0x2040u);
+  EXPECT_EQ(a->reason, "cannot lift push of symbolic data");
+}
+
+TEST(Attribution, Es2FailedValidation) {
+  auto r = SymbolicSeenResult();
+  r.claimed = true;  // wrong test case: claim that never validated
+  const tools::Outcome outcome = tools::Classify(r);
+  ASSERT_EQ(outcome, tools::Outcome::kEs2);
+  auto a = tools::Attribute(outcome, r);
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->stage, "Es2");
+  EXPECT_NE(a->reason.find("failed concrete validation"), std::string::npos);
+}
+
+TEST(Attribution, Es3UnsupportedTheory) {
+  auto r = SymbolicSeenResult();
+  r.diag.Raise(ErrorStage::kEs3,
+               "constraint requires an unsupported floating-point theory",
+               0x30C0);
+  const tools::Outcome outcome = tools::Classify(r);
+  ASSERT_EQ(outcome, tools::Outcome::kEs3);
+  auto a = tools::Attribute(outcome, r);
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->stage, "Es3");
+  EXPECT_EQ(a->pc, 0x30C0u);
+  EXPECT_NE(a->reason.find("floating-point"), std::string::npos);
+}
+
+TEST(Attribution, PartialSuccessNamesProvenance) {
+  auto r = SymbolicSeenResult();
+  r.claimed = true;
+  r.provenance = core::ClaimProvenance::kSysEnv | core::ClaimProvenance::kLibEnv;
+  const tools::Outcome outcome = tools::Classify(r);
+  ASSERT_EQ(outcome, tools::Outcome::kP);
+  auto a = tools::Attribute(outcome, r);
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->stage, "P");
+  EXPECT_NE(a->reason.find("sys-env+lib-env"), std::string::npos);
+}
+
+TEST(Attribution, AbortCarriesReason) {
+  auto r = SymbolicSeenResult();
+  r.aborted = true;
+  r.abort_reason = "trace budget exceeded (path/instruction blowup)";
+  const tools::Outcome outcome = tools::Classify(r);
+  ASSERT_EQ(outcome, tools::Outcome::kE);
+  auto a = tools::Attribute(outcome, r);
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->stage, "E");
+  EXPECT_EQ(a->reason, "trace budget exceeded (path/instruction blowup)");
+}
+
+TEST(Attribution, SuccessHasNoRecord) {
+  auto r = SymbolicSeenResult();
+  r.claimed = true;
+  r.validated = true;
+  EXPECT_FALSE(tools::Attribute(tools::Classify(r), r).has_value());
+}
+
+TEST(Attribution, JsonRoundTrip) {
+  obs::Attribution a;
+  a.stage = "Es3";
+  a.pc = 0xDEADBEEFCAFEull;
+  a.reason = "constraint requires an unsupported \"theory\"";
+  a.detail = "constraint modeling failure";
+  auto back = obs::AttributionFromJson(obs::AttributionToJson(a));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, a);
+
+  EXPECT_FALSE(
+      obs::AttributionFromJson(obs::JsonValue::Str("nope")).has_value());
+  EXPECT_FALSE(obs::AttributionFromJson(obs::JsonValue::Object()).has_value());
+}
+
+// --- Grid JSON export round trip ------------------------------------------
+
+TEST(GridJson, RoundTripParsesBack) {
+  tools::GridResult grid;
+  grid.matches = 1;
+  grid.total = 2;
+  {
+    tools::CellResult ok;
+    ok.bomb_id = "svd_argvlen";
+    ok.tool = "Angr";
+    ok.outcome = tools::Outcome::kOk;
+    ok.expected = "OK";
+    ok.matches_paper = true;
+    grid.cells.push_back(std::move(ok));
+  }
+  {
+    tools::CellResult bad;
+    bad.bomb_id = "fp_round";
+    bad.tool = "Triton";
+    bad.outcome = tools::Outcome::kEs1;
+    bad.expected = "Es1";
+    bad.matches_paper = true;
+    bad.attribution = obs::Attribution{
+        "Es1", 0x2100, "unsupported opcode cvtsi2sd with symbolic operand",
+        "instruction tracing / lifting failure"};
+    grid.cells.push_back(std::move(bad));
+  }
+
+  const std::string text = obs::Dump(tools::GridToJson(grid));
+  auto parsed_json = obs::ParseJson(text);
+  ASSERT_TRUE(parsed_json.has_value());
+  auto back = tools::GridFromJson(*parsed_json);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->matches, 1);
+  EXPECT_EQ(back->total, 2);
+  ASSERT_EQ(back->cells.size(), 2u);
+  EXPECT_EQ(back->cells[0].bomb_id, "svd_argvlen");
+  EXPECT_EQ(back->cells[0].outcome, tools::Outcome::kOk);
+  EXPECT_FALSE(back->cells[0].attribution.has_value());
+  EXPECT_EQ(back->cells[1].outcome, tools::Outcome::kEs1);
+  ASSERT_TRUE(back->cells[1].attribution.has_value());
+  EXPECT_EQ(*back->cells[1].attribution, *grid.cells[1].attribution);
+
+  EXPECT_FALSE(tools::GridFromJson(obs::JsonValue::Object()).has_value());
+}
+
+// --- End-to-end: a real cell emits trace records and an attribution -------
+
+TEST(ObsIntegration, RunCellThreadsSinkThroughEveryLayer) {
+  const auto* bomb = bombs::FindBomb("svd_time");
+  ASSERT_NE(bomb, nullptr);
+  auto profiles = tools::PaperTools();  // [0] = BAP: svd_time is Es0
+
+  RecordingSink sink;
+  tools::RunOptions options;
+  options.trace_sink = &sink;
+  auto cell = tools::RunCell(*bomb, profiles[0], options);
+
+  // The reporting surface: a non-✓ outcome must carry an attribution
+  // whose stage matches the cell label.
+  ASSERT_NE(cell.outcome, tools::Outcome::kOk);
+  ASSERT_TRUE(cell.attribution.has_value());
+  EXPECT_EQ(cell.attribution->stage,
+            std::string(tools::OutcomeLabel(cell.outcome)));
+  EXPECT_FALSE(cell.attribution->reason.empty());
+
+  // The sink saw the layers: runner, engine, VM, solver pipeline.
+  EXPECT_GE(sink.Count("cell.begin"), 1u);
+  EXPECT_GE(sink.Count("cell.done"), 1u);
+  EXPECT_GE(sink.Count("engine.explore"), 2u);  // span begin+end
+  EXPECT_GE(sink.Count("engine.round"), 1u);
+  EXPECT_GE(sink.Count("vm.syscall"), 1u);
+  EXPECT_GE(sink.Count("vm.run.done"), 1u);
+  EXPECT_GE(sink.Count("solver.batch"), 1u);
+
+  // And the metrics snapshot agrees with the recorded rounds.
+  EXPECT_EQ(sink.Count("engine.round"), cell.engine.metrics.rounds);
+}
+
+TEST(ObsIntegration, BaselinePipelineOptionMatchesDefaultOutcome) {
+  const auto* bomb = bombs::FindBomb("csp_stack");
+  ASSERT_NE(bomb, nullptr);
+  auto profiles = tools::PaperTools();
+  tools::RunOptions baseline;
+  baseline.baseline_pipeline = true;
+  auto fast = tools::RunCell(*bomb, profiles[0]);
+  auto slow = tools::RunCell(*bomb, profiles[0], baseline);
+  EXPECT_EQ(fast.outcome, slow.outcome);
+  EXPECT_EQ(fast.engine.claimed_argv, slow.engine.claimed_argv);
+  EXPECT_EQ(fast.engine.metrics.rounds, slow.engine.metrics.rounds);
+  EXPECT_EQ(fast.engine.metrics.solver_queries,
+            slow.engine.metrics.solver_queries);
+  // Baseline disables the cache entirely.
+  EXPECT_EQ(slow.engine.metrics.solver_cache_hits, 0u);
+  EXPECT_EQ(slow.engine.metrics.solver_cache_misses, 0u);
+}
+
+}  // namespace
+}  // namespace sbce

@@ -36,9 +36,15 @@ TEST(Classify, ValidatedIsSuccess) {
 TEST(Classify, UnvalidatedClaimSplitsOnEnvironment) {
   auto r = MakeResult();
   r.claimed = true;
-  r.used_sys_env = true;
+  r.provenance = core::ClaimProvenance::kSysEnv;
   EXPECT_EQ(Classify(r), Outcome::kP);
-  r.used_sys_env = false;
+  // A claim leaning only on skipped library calls is still a wrong test
+  // case, not a partial success.
+  r.provenance = core::ClaimProvenance::kLibEnv;
+  EXPECT_EQ(Classify(r), Outcome::kEs2);
+  r.provenance = core::ClaimProvenance::kSysEnv | core::ClaimProvenance::kLibEnv;
+  EXPECT_EQ(Classify(r), Outcome::kP);
+  r.provenance = core::ClaimProvenance::kNone;
   EXPECT_EQ(Classify(r), Outcome::kEs2);
 }
 
