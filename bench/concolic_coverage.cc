@@ -7,7 +7,7 @@
 #include "src/core/engine.h"
 #include "src/isa/assembler.h"
 #include "src/report/table.h"
-#include "src/tools/profiles.h"
+#include "src/tools/runner.h"
 #include "src/vm/machine.h"
 
 namespace {
@@ -48,16 +48,10 @@ int main() {
     auto img = isa::Assemble(ChainProgram(n));
     SBCE_CHECK(img.ok());
     const auto image = std::move(img).value();
-    auto tool = tools::Ideal();
-    core::ConcolicEngine engine(
-        image,
-        [&image](const std::vector<std::string>& argv) {
-          return std::make_unique<vm::Machine>(image, argv);
-        },
-        tool.engine);
     std::string seed(static_cast<size_t>(n), 'x');
-    auto result = engine.Explore({"prog", seed},
-                                 *image.FindSymbol("bomb"));
+    auto result = tools::ExploreImage(image, tools::Ideal().engine,
+                                      {"prog", seed},
+                                      *image.FindSymbol("bomb"));
     table.AddRow({std::to_string(n), result.validated ? "yes" : "no",
                   std::to_string(result.metrics.rounds),
                   std::to_string(result.metrics.solver_queries),

@@ -1,0 +1,127 @@
+// Grid wall-clock: the full Table II grid timed at --jobs 1 and --jobs
+// <hardware concurrency>, the headline number for the parallel runner.
+//
+// Results are checked for identity across worker counts (the runner's
+// determinism contract) before the timings are reported, so a speedup can
+// never come from a divergent computation.
+//
+// Flags:
+//   --jobs A,B,...  worker counts to time (default "1,<hw>"; 0 = hw)
+//   --quick         time a 6-cell subset instead of the full 88-cell grid
+//   --json          print the machine-readable results to stdout instead
+//                   of the ASCII table
+//
+// Every run also writes BENCH_grid_parallel.json to the working directory
+// (same shape as the --json output).
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/obs/json.h"
+#include "src/tools/runner.h"
+
+int main(int argc, char** argv) {
+  using namespace sbce;
+  bool quick = false;
+  bool json = false;
+  std::vector<unsigned> jobs_list;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      json = true;
+    } else if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+      for (const char* p = argv[++i]; *p != '\0';) {
+        char* end = nullptr;
+        jobs_list.push_back(
+            static_cast<unsigned>(std::strtoul(p, &end, 10)));
+        p = (end != nullptr && *end == ',') ? end + 1 : end;
+      }
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
+      return 2;
+    }
+  }
+  unsigned hw = std::thread::hardware_concurrency();
+  if (hw == 0) hw = 1;
+  if (jobs_list.empty()) {
+    jobs_list = {1, hw};
+  }
+  for (unsigned& j : jobs_list) {
+    if (j == 0) j = hw;
+  }
+
+  const auto tools = tools::PaperTools();
+  auto cells = tools::TableTwoCells(tools);
+  if (quick) {
+    cells.resize(6);
+  }
+
+  tools::RunOptions options;
+  struct Timing {
+    unsigned jobs = 0;
+    double seconds = 0;
+  };
+  std::vector<Timing> timings;
+  std::string reference;
+  bool identical = true;
+  for (unsigned jobs : jobs_list) {
+    if (!json) {
+      std::fprintf(stderr, "running %zu cells at --jobs %u...\n",
+                   cells.size(), jobs);
+    }
+    const auto t0 = std::chrono::steady_clock::now();
+    auto grid = tools::RunGrid(cells, options, jobs);
+    const auto t1 = std::chrono::steady_clock::now();
+    const double secs =
+        std::chrono::duration_cast<std::chrono::duration<double>>(t1 - t0)
+            .count();
+    timings.push_back({jobs, secs});
+    const auto fingerprint = obs::Dump(tools::GridToJson(grid));
+    if (reference.empty()) {
+      reference = fingerprint;
+    } else if (fingerprint != reference) {
+      identical = false;
+    }
+  }
+
+  obs::JsonValue doc = obs::JsonValue::Object();
+  {
+    doc.Set("bench", obs::JsonValue::Str("grid_wallclock"));
+    doc.Set("cells", obs::JsonValue::U64(cells.size()));
+    doc.Set("hardware_concurrency", obs::JsonValue::U64(hw));
+    doc.Set("outputs_identical", obs::JsonValue::Bool(identical));
+    obs::JsonValue runs = obs::JsonValue::Array();
+    for (const auto& t : timings) {
+      obs::JsonValue run = obs::JsonValue::Object();
+      run.Set("jobs", obs::JsonValue::U64(t.jobs));
+      run.Set("seconds", obs::JsonValue::Double(t.seconds));
+      runs.items.push_back(std::move(run));
+    }
+    doc.Set("runs", std::move(runs));
+  }
+  if (std::FILE* f = std::fopen("BENCH_grid_parallel.json", "w")) {
+    std::fprintf(f, "%s\n", obs::Dump(doc).c_str());
+    std::fclose(f);
+  }
+  if (json) {
+    std::printf("%s\n", obs::Dump(doc).c_str());
+    return identical ? 0 : 1;
+  }
+
+  std::printf("=== Grid wall-clock (%zu cells, hw=%u) ===\n", cells.size(),
+              hw);
+  std::printf("%8s  %10s  %8s\n", "jobs", "seconds", "speedup");
+  const double base = timings.empty() ? 0.0 : timings.front().seconds;
+  for (const auto& t : timings) {
+    std::printf("%8u  %10.2f  %7.2fx\n", t.jobs, t.seconds,
+                t.seconds > 0 ? base / t.seconds : 0.0);
+  }
+  std::printf("outputs identical across worker counts: %s\n",
+              identical ? "yes" : "NO (determinism bug)");
+  return identical ? 0 : 1;
+}

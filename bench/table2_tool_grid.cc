@@ -15,7 +15,12 @@
 //   --trace FILE    stream observability records (engine rounds, claims,
 //                   VM syscalls/faults, solver batches, diagnostics) to
 //                   FILE as JSON lines.
+//   --jobs N        run N cells concurrently (0 = hardware concurrency;
+//                   default 1). Every output — grid, --json, --trace — is
+//                   identical for every N: cells are independent and
+//                   results/traces commit in (bomb, tool) order.
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <memory>
@@ -27,6 +32,7 @@ int main(int argc, char** argv) {
   using namespace sbce;
   tools::RunOptions options;
   bool json = false;
+  unsigned jobs = 1;
   const char* trace_path = nullptr;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--baseline") == 0) {
@@ -35,6 +41,8 @@ int main(int argc, char** argv) {
       json = true;
     } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
       trace_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+      jobs = static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10));
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
       return 2;
@@ -65,7 +73,7 @@ int main(int argc, char** argv) {
                 "while)...\n\n",
                 bombs::TableTwoBombs().size(), tools.size());
   }
-  auto grid = tools::RunTableTwo(tools, options);
+  auto grid = tools::RunGrid(tools::TableTwoCells(tools), options, jobs);
 
   if (json) {
     std::printf("%s\n", obs::Dump(tools::GridToJson(grid)).c_str());

@@ -4,6 +4,7 @@
 
 #include "src/guestlib/guestlib.h"
 #include "src/isa/assembler.h"
+#include "src/isa/predecode.h"
 #include "src/vm/machine.h"
 
 namespace {
@@ -41,6 +42,37 @@ void BM_VmInterpreterLoop(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_VmInterpreterLoop);
+
+// The pre-decode-cache interpreter: every step re-fetches 8 bytes from
+// paged memory and re-decodes them. The gap to BM_VmInterpreterLoop is
+// the decode cache's whole contribution.
+void BM_VmInterpreterLoopNoCache(benchmark::State& state) {
+  vm::Machine::Options options;
+  options.decode_cache = false;
+  for (auto _ : state) {
+    vm::Machine m(LoopImage(), {"prog"}, vm::Devices(), options);
+    auto r = m.Run();
+    benchmark::DoNotOptimize(r.instructions);
+    state.SetItemsProcessed(state.items_processed() +
+                            static_cast<int64_t>(r.instructions));
+  }
+}
+BENCHMARK(BM_VmInterpreterLoopNoCache);
+
+// Machine construction with a shared predecoded text (the per-cell
+// sharing RunCell does): predecode cost is paid once, outside the loop.
+void BM_VmInterpreterLoopSharedPredecode(benchmark::State& state) {
+  vm::Machine::Options options;
+  options.predecoded = isa::Predecode(LoopImage());
+  for (auto _ : state) {
+    vm::Machine m(LoopImage(), {"prog"}, vm::Devices(), options);
+    auto r = m.Run();
+    benchmark::DoNotOptimize(r.instructions);
+    state.SetItemsProcessed(state.items_processed() +
+                            static_cast<int64_t>(r.instructions));
+  }
+}
+BENCHMARK(BM_VmInterpreterLoopSharedPredecode);
 
 void BM_VmInterpreterLoopTraced(benchmark::State& state) {
   for (auto _ : state) {

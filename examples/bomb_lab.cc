@@ -10,19 +10,6 @@
 #include "src/isa/objdump.h"
 #include "src/tools/runner.h"
 
-namespace {
-
-sbce::tools::ToolProfile ProfileByName(const std::string& name) {
-  using namespace sbce::tools;
-  if (name == "BAP") return Bap();
-  if (name == "Triton") return Triton();
-  if (name == "Angr") return Angr();
-  if (name == "Angr-NoLib") return AngrNoLib();
-  return Ideal();
-}
-
-}  // namespace
-
 int main(int argc, char** argv) {
   using namespace sbce;
   if (argc < 2) {
@@ -38,7 +25,9 @@ int main(int argc, char** argv) {
     std::printf("unknown bomb '%s'\n", argv[1]);
     return 1;
   }
-  const auto tool = ProfileByName(argc > 2 ? argv[2] : "Ideal");
+  const auto tool =
+      tools::ProfileByName(argc > 2 ? argv[2] : "Ideal").value_or(
+          tools::Ideal());
 
   const auto image = bombs::BuildBomb(*bomb);
   std::printf("=== %s — %s ===\n\n", bomb->id.c_str(),

@@ -7,7 +7,7 @@
 
 #include "src/core/engine.h"
 #include "src/isa/assembler.h"
-#include "src/tools/profiles.h"
+#include "src/tools/runner.h"
 #include "src/vm/machine.h"
 
 int main() {
@@ -47,13 +47,9 @@ int main() {
   SBCE_CHECK(image_or.ok());
   const isa::BinaryImage image = std::move(image_or).value();
 
-  core::ConcolicEngine engine(
-      image,
-      [&](const std::vector<std::string>& argv) {
-        return std::make_unique<vm::Machine>(image, argv);
-      },
-      tools::Ideal().engine);
-  auto result = engine.Explore({"prog", "xx"}, *image.FindSymbol("bomb"));
+  auto result = tools::ExploreImage(image, tools::Ideal().engine,
+                                    {"prog", "xx"},
+                                    *image.FindSymbol("bomb"));
 
   // Replay every explored input to measure aggregate coverage.
   std::set<uint64_t> covered;

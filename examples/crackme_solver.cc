@@ -10,7 +10,7 @@
 
 #include "src/core/engine.h"
 #include "src/isa/assembler.h"
-#include "src/tools/profiles.h"
+#include "src/tools/runner.h"
 #include "src/vm/machine.h"
 
 int main() {
@@ -63,14 +63,9 @@ int main() {
 
   std::printf("crackme: 6-digit key, digit-sum 21, rolling checksum "
               "0xE348\n");
-  core::ConcolicEngine engine(
-      image,
-      [&image](const std::vector<std::string>& argv) {
-        return std::make_unique<vm::Machine>(image, argv);
-      },
-      tools::Ideal().engine);
-  auto result = engine.Explore({"prog", "000000"},
-                               *image.FindSymbol("bomb"));
+  auto result = tools::ExploreImage(image, tools::Ideal().engine,
+                                    {"prog", "000000"},
+                                    *image.FindSymbol("bomb"));
   if (!result.validated) {
     std::printf("no key found (rounds=%llu)\n",
                 static_cast<unsigned long long>(result.metrics.rounds));

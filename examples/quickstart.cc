@@ -9,7 +9,7 @@
 
 #include "src/core/engine.h"
 #include "src/isa/assembler.h"
-#include "src/tools/profiles.h"
+#include "src/tools/runner.h"
 #include "src/vm/machine.h"
 
 int main() {
@@ -54,13 +54,9 @@ int main() {
               concrete.bomb_triggered ? "TRIGGERED" : "not triggered");
 
   // Then let the reference engine find the real input.
-  core::ConcolicEngine engine(
-      image,
-      [&image](const std::vector<std::string>& argv) {
-        return std::make_unique<vm::Machine>(image, argv);
-      },
-      tools::Ideal().engine);
-  auto result = engine.Explore({"prog", "???"}, *image.FindSymbol("bomb"));
+  auto result = tools::ExploreImage(image, tools::Ideal().engine,
+                                    {"prog", "???"},
+                                    *image.FindSymbol("bomb"));
 
   if (result.validated) {
     std::printf("concolic engine recovered the input: \"%s\" "

@@ -1,12 +1,49 @@
 #!/usr/bin/env bash
-# Tier-1 verification: configure + build + run the full test suite under
-# the release preset. Pass a different preset name (tsan, asan) as $1 to
-# run the same pipeline under a sanitizer.
+# Tier-1 verification: configure + build + run the test suite under a
+# CMake preset.
+#
+# Usage: check.sh [--preset NAME] [--tests REGEX] [NAME]
+#   --preset NAME   preset to configure/build/test (release, tsan, asan)
+#   --tests REGEX   only run ctest cases matching REGEX (default: all)
+#   NAME            positional preset, kept for back-compat with CI and
+#                   muscle memory (check.sh tsan)
 set -euo pipefail
 
-preset="${1:-release}"
+preset="release"
+tests_regex=""
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --preset)
+      [[ $# -ge 2 ]] || { echo "check.sh: --preset needs a value" >&2; exit 2; }
+      preset="$2"
+      shift 2
+      ;;
+    --tests)
+      [[ $# -ge 2 ]] || { echo "check.sh: --tests needs a value" >&2; exit 2; }
+      tests_regex="$2"
+      shift 2
+      ;;
+    -h|--help)
+      grep '^#' "$0" | sed 's/^# \{0,1\}//' | tail -n +2
+      exit 0
+      ;;
+    -*)
+      echo "check.sh: unknown flag: $1" >&2
+      exit 2
+      ;;
+    *)
+      preset="$1"
+      shift
+      ;;
+  esac
+done
+
 cd "$(dirname "$0")/.."
 
 cmake --preset "$preset"
 cmake --build --preset "$preset"
-ctest --preset "$preset"
+if [[ -n "$tests_regex" ]]; then
+  ctest --preset "$preset" -R "$tests_regex"
+else
+  ctest --preset "$preset"
+fi

@@ -1,6 +1,7 @@
 #include "src/core/engine.h"
 
 #include <algorithm>
+#include <chrono>
 #include <map>
 #include <tuple>
 
@@ -46,6 +47,8 @@ ConcolicEngine::ConcolicEngine(const isa::BinaryImage& image,
       c_claims_(metrics_.Get("engine.claims")),
       c_validations_(metrics_.Get("engine.validations")),
       c_aborts_(metrics_.Get("engine.aborts")),
+      c_decode_hits_(metrics_.Get("vm.decode_cache_hits")),
+      c_decode_misses_(metrics_.Get("vm.decode_cache_misses")),
       pipeline_(MakePipelineOptions(config_, tracer_)) {}
 
 uint64_t ConcolicEngine::QueriesThisExplore() const {
@@ -68,6 +71,8 @@ ConcolicEngine::RoundData ConcolicEngine::RunConcrete(
   round.bomb_hit = rr.bomb_triggered;
   round.vm_fault = rr.faulted;
   if (rr.budget_exhausted) round.trace_overflow = true;
+  c_decode_hits_->Add(rr.decode_cache_hits);
+  c_decode_misses_->Add(rr.decode_cache_misses);
   return round;
 }
 
@@ -138,11 +143,18 @@ EngineResult ConcolicEngine::Explore(
   const uint64_t rounds_base = c_rounds_->value();
   const uint64_t events_base = c_events_->value();
   const uint64_t conflicts_base = c_conflicts_->value();
+  const uint64_t decode_hits_base = c_decode_hits_->value();
+  const uint64_t decode_misses_base = c_decode_misses_->value();
   queries_base_ = c_queries_->value();
 
   obs::ScopedSpan span =
       tracer_.Span("engine.explore", {obs::Field::U("target_pc", target_pc)});
+  const auto wall_start = std::chrono::steady_clock::now();
   EngineResult result = ExploreImpl(seed_argv, target_pc);
+  const auto wall_micros =
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - wall_start)
+          .count();
 
   // The registry is the source of truth; EngineMetrics is the per-call
   // snapshot handed to callers/reports.
@@ -156,6 +168,10 @@ EngineResult ConcolicEngine::Explore(
   m.solver_cache_misses = after.cache_misses - before.cache_misses;
   m.sliced_queries = after.sliced_queries - before.sliced_queries;
   m.solver_micros = after.solver_micros - before.solver_micros;
+  m.decode_cache_hits = c_decode_hits_->value() - decode_hits_base;
+  m.decode_cache_misses = c_decode_misses_->value() - decode_misses_base;
+  m.explore_micros = static_cast<uint64_t>(wall_micros);
+  metrics_.Get("engine.explore_micros")->Add(m.explore_micros);
   metrics_.Get("solver.cache_hits")->Add(m.solver_cache_hits);
   metrics_.Get("solver.cache_misses")->Add(m.solver_cache_misses);
   metrics_.Get("solver.sliced_queries")->Add(m.sliced_queries);

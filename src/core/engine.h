@@ -104,6 +104,14 @@ struct EngineMetrics {
   uint64_t solver_cache_misses = 0;
   uint64_t sliced_queries = 0;
   uint64_t solver_micros = 0;  // wall-clock spent inside the solver stage
+
+  // VM decode-cache counters, summed over every concrete run of the
+  // exploration (see vm::RunResult).
+  uint64_t decode_cache_hits = 0;
+  uint64_t decode_cache_misses = 0;
+  /// Wall-clock of the whole Explore call (per-cell wall-clock in grid
+  /// runs). Timing-dependent: excluded from deterministic exports.
+  uint64_t explore_micros = 0;
 };
 
 struct EngineResult {
@@ -185,6 +193,8 @@ class ConcolicEngine {
   obs::Counter* c_claims_;
   obs::Counter* c_validations_;
   obs::Counter* c_aborts_;
+  obs::Counter* c_decode_hits_;
+  obs::Counter* c_decode_misses_;
   /// `c_queries_` value when the current Explore began (budget checks are
   /// per-exploration, the registry is per-engine).
   uint64_t queries_base_ = 0;

@@ -1,0 +1,50 @@
+#include "src/isa/predecode.h"
+
+#include <algorithm>
+#include <span>
+
+namespace sbce::isa {
+
+size_t PredecodedText::valid_count() const {
+  size_t n = 0;
+  for (const Segment& seg : segments_) {
+    n += static_cast<size_t>(
+        std::count(seg.valid.begin(), seg.valid.end(), uint8_t{1}));
+  }
+  return n;
+}
+
+std::shared_ptr<const PredecodedText> Predecode(const BinaryImage& image) {
+  auto text = std::make_shared<PredecodedText>();
+  bool first = true;
+  for (const Section& section : image.sections()) {
+    if ((section.flags & kSectionExec) == 0) continue;
+    PredecodedText::Segment seg;
+    seg.base = section.vaddr;
+    seg.span = section.data.size();
+    const size_t slots = section.data.size() / kInstrBytes;
+    seg.instrs.resize(slots);
+    seg.valid.assign(slots, 0);
+    for (size_t i = 0; i < slots; ++i) {
+      auto decoded = Decode(std::span<const uint8_t>(
+          section.data.data() + i * kInstrBytes, kInstrBytes));
+      if (decoded) {
+        seg.instrs[i] = decoded.value();
+        seg.valid[i] = 1;
+      }
+    }
+    const uint64_t end = seg.base + seg.span;
+    if (first) {
+      text->lo_ = seg.base;
+      text->hi_ = end;
+      first = false;
+    } else {
+      text->lo_ = std::min(text->lo_, seg.base);
+      text->hi_ = std::max(text->hi_, end);
+    }
+    text->segments_.push_back(std::move(seg));
+  }
+  return text;
+}
+
+}  // namespace sbce::isa

@@ -1,0 +1,80 @@
+// Predecoded text: every executable section of an image decoded once into
+// a flat, immutable instruction store the interpreter can index by pc.
+//
+// The VM's hot loop previously re-decoded the raw 8-byte word on every
+// executed instruction (8 paged-memory byte reads + operand validation per
+// step). A PredecodedText is built once per image, shared read-only across
+// machines, processes and threads (fork children keep pointing at it), and
+// turns the fetch into a bounds check plus an array index. Slots whose
+// bytes do not decode (data interleaved in text) stay invalid and fall
+// back to the raw-decode slow path, which reproduces the exact fault
+// message byte-for-byte.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/isa/image.h"
+#include "src/isa/instruction.h"
+
+namespace sbce::isa {
+
+class PredecodedText {
+ public:
+  /// One executable section, decoded slot-per-instruction.
+  struct Segment {
+    uint64_t base = 0;   // section vaddr
+    uint64_t span = 0;   // section size in bytes
+    std::vector<Instruction> instrs;  // span / kInstrBytes slots
+    std::vector<uint8_t> valid;       // 1 = slot decoded cleanly
+  };
+
+  /// The decoded instruction at `pc`, or nullptr when `pc` is outside
+  /// every executable segment, misaligned, or the slot failed to decode —
+  /// callers must then take the raw-decode path against guest memory.
+  const Instruction* Lookup(uint64_t pc) const {
+    for (const Segment& seg : segments_) {
+      const uint64_t off = pc - seg.base;
+      if (off < seg.span) {
+        if (off % kInstrBytes != 0) return nullptr;
+        const uint64_t slot = off / kInstrBytes;
+        return seg.valid[slot] != 0 ? &seg.instrs[slot] : nullptr;
+      }
+    }
+    return nullptr;
+  }
+
+  bool Contains(uint64_t addr) const {
+    for (const Segment& seg : segments_) {
+      if (addr - seg.base < seg.span) return true;
+    }
+    return false;
+  }
+
+  /// Lowest / one-past-highest executable address. A single [lo, hi)
+  /// range over all segments, for write-watch registration; the gap
+  /// between segments (if any) is harmless to watch since dirty marks
+  /// only widen the slow path.
+  uint64_t lo() const { return lo_; }
+  uint64_t hi() const { return hi_; }
+
+  const std::vector<Segment>& segments() const { return segments_; }
+  /// Total decoded (valid) slots across segments.
+  size_t valid_count() const;
+
+ private:
+  friend std::shared_ptr<const PredecodedText> Predecode(
+      const BinaryImage& image);
+
+  std::vector<Segment> segments_;
+  uint64_t lo_ = 0;
+  uint64_t hi_ = 0;
+};
+
+/// Decodes every kSectionExec section of `image`. The result is immutable
+/// and safe to share across machines on any thread; returns an empty store
+/// (Lookup always nullptr) when the image has no executable section.
+std::shared_ptr<const PredecodedText> Predecode(const BinaryImage& image);
+
+}  // namespace sbce::isa

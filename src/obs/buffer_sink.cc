@@ -1,0 +1,100 @@
+#include "src/obs/buffer_sink.h"
+
+#include <utility>
+
+namespace sbce::obs {
+
+void BufferSink::Event(std::string_view name, std::span<const Field> fields) {
+  Record r;
+  r.type = Record::Type::kEvent;
+  r.name = name;
+  for (const Field& f : fields) {
+    OwnedField of;
+    of.key = f.key;
+    of.kind = f.kind;
+    of.u = f.u;
+    of.i = f.i;
+    of.s.assign(f.s);
+    r.fields.push_back(std::move(of));
+  }
+  Push(std::move(r));
+}
+
+void BufferSink::SpanBegin(std::string_view name, uint64_t span_id,
+                           std::span<const Field> fields) {
+  Record r;
+  r.type = Record::Type::kSpanBegin;
+  r.name = name;
+  r.span_id = span_id;
+  for (const Field& f : fields) {
+    OwnedField of;
+    of.key = f.key;
+    of.kind = f.kind;
+    of.u = f.u;
+    of.i = f.i;
+    of.s.assign(f.s);
+    r.fields.push_back(std::move(of));
+  }
+  Push(std::move(r));
+}
+
+void BufferSink::SpanEnd(std::string_view name, uint64_t span_id,
+                         uint64_t micros) {
+  Record r;
+  r.type = Record::Type::kSpanEnd;
+  r.name = name;
+  r.span_id = span_id;
+  r.value = micros;
+  Push(std::move(r));
+}
+
+void BufferSink::Counter(std::string_view name, uint64_t delta) {
+  Record r;
+  r.type = Record::Type::kCounter;
+  r.name = name;
+  r.value = delta;
+  Push(std::move(r));
+}
+
+void BufferSink::Push(Record record) {
+  std::lock_guard<std::mutex> lk(mu_);
+  records_.push_back(std::move(record));
+}
+
+size_t BufferSink::records() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return records_.size();
+}
+
+void BufferSink::Replay(TraceSink& sink) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::vector<Field> fields;
+  for (const Record& r : records_) {
+    fields.clear();
+    for (const OwnedField& of : r.fields) {
+      Field f;
+      f.key = of.key;
+      f.kind = of.kind;
+      f.u = of.u;
+      f.i = of.i;
+      f.s = of.s;
+      fields.push_back(f);
+    }
+    switch (r.type) {
+      case Record::Type::kEvent:
+        sink.Event(r.name, fields);
+        break;
+      case Record::Type::kSpanBegin:
+        sink.SpanBegin(r.name, r.span_id, fields);
+        break;
+      case Record::Type::kSpanEnd:
+        sink.SpanEnd(r.name, r.span_id, r.value);
+        break;
+      case Record::Type::kCounter:
+        sink.Counter(r.name, r.value);
+        break;
+    }
+  }
+}
+
+}  // namespace sbce::obs

@@ -1,0 +1,67 @@
+// BufferSink: a TraceSink that records everything it receives and can
+// replay the sequence into another sink later.
+//
+// Built for deterministic parallel grid runs (tools::RunGrid): each cell
+// traces into its own BufferSink while cells execute concurrently; after
+// the barrier the buffers are replayed into the real sink in cell order,
+// so the exported trace is identical to a serial run's regardless of how
+// the cells interleaved on the worker pool.
+//
+// The TraceSink contract guarantees record/field *names* point into
+// static storage, so they are kept as views; field string *values* are
+// only live for the duration of the sink call and are copied.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/obs/trace_sink.h"
+
+namespace sbce::obs {
+
+class BufferSink : public TraceSink {
+ public:
+  void Event(std::string_view name, std::span<const Field> fields) override;
+  void SpanBegin(std::string_view name, uint64_t span_id,
+                 std::span<const Field> fields) override;
+  void SpanEnd(std::string_view name, uint64_t span_id,
+               uint64_t micros) override;
+  void Counter(std::string_view name, uint64_t delta) override;
+
+  /// Re-emits every buffered record into `sink`, in arrival order. The
+  /// buffer is left intact (replay is repeatable).
+  void Replay(TraceSink& sink) const;
+
+  size_t records() const;
+
+ private:
+  struct OwnedField {
+    std::string_view key;  // static storage per the TraceSink contract
+    Field::Kind kind = Field::Kind::kUint;
+    uint64_t u = 0;
+    int64_t i = 0;
+    std::string s;  // owned copy of the value
+  };
+
+  struct Record {
+    enum class Type : uint8_t { kEvent, kSpanBegin, kSpanEnd, kCounter };
+    Type type = Type::kEvent;
+    std::string_view name;
+    uint64_t span_id = 0;   // kSpanBegin / kSpanEnd
+    uint64_t value = 0;     // micros (kSpanEnd) or delta (kCounter)
+    std::vector<OwnedField> fields;
+  };
+
+  void Push(Record record);
+
+  // Components inside one cell may trace from different threads (the
+  // solver dispatch pool); serialize like JsonlSink does.
+  mutable std::mutex mu_;
+  std::vector<Record> records_;
+};
+
+}  // namespace sbce::obs

@@ -163,4 +163,13 @@ std::vector<ToolProfile> PaperTools() {
   return {Bap(), Triton(), Angr(), AngrNoLib()};
 }
 
+std::optional<ToolProfile> ProfileByName(std::string_view name) {
+  if (name == "BAP") return Bap();
+  if (name == "Triton") return Triton();
+  if (name == "Angr") return Angr();
+  if (name == "Angr-NoLib") return AngrNoLib();
+  if (name == "Ideal") return Ideal();
+  return std::nullopt;
+}
+
 }  // namespace sbce::tools

@@ -8,7 +8,9 @@
 // see DESIGN.md for the mechanism-to-cell mapping.
 #pragma once
 
+#include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "src/core/engine.h"
@@ -47,5 +49,9 @@ ToolProfile Ideal();
 
 /// The four studied tools in Table II column order.
 std::vector<ToolProfile> PaperTools();
+
+/// Profile lookup by display name ("BAP", "Triton", "Angr", "Angr-NoLib",
+/// "Ideal"); nullopt for anything else.
+std::optional<ToolProfile> ProfileByName(std::string_view name);
 
 }  // namespace sbce::tools

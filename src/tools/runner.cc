@@ -1,24 +1,25 @@
 #include "src/tools/runner.h"
 
 #include <memory>
+#include <thread>
 #include <utility>
 
+#include "src/isa/predecode.h"
+#include "src/obs/buffer_sink.h"
 #include "src/report/table.h"
 #include "src/support/str.h"
+#include "src/support/thread_pool.h"
 #include "src/vm/machine.h"
 
 namespace sbce::tools {
 
-CellResult RunCell(const bombs::BombSpec& bomb, const ToolProfile& tool,
-                   const RunOptions& options) {
-  CellResult cell;
-  cell.bomb_id = bomb.id;
-  cell.tool = tool.name;
+namespace {
 
-  const isa::BinaryImage image = bombs::BuildBomb(bomb);
-  const uint64_t target = bombs::BombAddress(image);
-
-  core::EngineConfig config = tool.engine;
+/// Folds the per-run overrides into a tool's engine configuration (shared
+/// by RunCell and ExploreImage).
+core::EngineConfig ApplyOptions(const core::EngineConfig& base,
+                                const RunOptions& options) {
+  core::EngineConfig config = base;
   config.trace_sink = options.trace_sink;
   if (options.baseline_pipeline) {
     config.budgets.solver.cache_queries = false;
@@ -32,6 +33,24 @@ CellResult RunCell(const bombs::BombSpec& bomb, const ToolProfile& tool,
   if (options.solver_threads) {
     config.budgets.solver_threads = *options.solver_threads;
   }
+  return config;
+}
+
+}  // namespace
+
+CellResult RunCell(const bombs::BombSpec& bomb, const ToolProfile& tool,
+                   const RunOptions& options) {
+  CellResult cell;
+  cell.bomb_id = bomb.id;
+  cell.tool = tool.name;
+
+  const isa::BinaryImage image = bombs::BuildBomb(bomb);
+  const uint64_t target = bombs::BombAddress(image);
+  // Decode the text once per cell; every round's machine (often dozens)
+  // shares the immutable store.
+  const auto predecoded = isa::Predecode(image);
+
+  const core::EngineConfig config = ApplyOptions(tool.engine, options);
 
   obs::Tracer tracer(options.trace_sink);
   tracer.Event("cell.begin", {obs::Field::S("bomb", bomb.id),
@@ -39,9 +58,11 @@ CellResult RunCell(const bombs::BombSpec& bomb, const ToolProfile& tool,
 
   core::ConcolicEngine engine(
       image,
-      [&bomb, &image](const std::vector<std::string>& argv) {
+      [&bomb, &image, &predecoded](const std::vector<std::string>& argv) {
+        vm::Machine::Options vm_options;
+        vm_options.predecoded = predecoded;
         auto machine = std::make_unique<vm::Machine>(
-            image, argv, bomb.experiment_devices);
+            image, argv, bomb.experiment_devices, vm_options);
         for (const auto& [path, contents] : bomb.files) {
           machine->fs().PutString(path, contents);
         }
@@ -67,25 +88,84 @@ CellResult RunCell(const bombs::BombSpec& bomb, const ToolProfile& tool,
                  {obs::Field::S("bomb", bomb.id),
                   obs::Field::S("tool", tool.name),
                   obs::Field::S("outcome", OutcomeLabel(cell.outcome)),
-                  obs::Field::S("expected", cell.expected)});
+                  obs::Field::S("expected", cell.expected),
+                  obs::Field::U("wall_micros",
+                                cell.engine.metrics.explore_micros),
+                  obs::Field::U("decode_cache_hits",
+                                cell.engine.metrics.decode_cache_hits)});
   }
   return cell;
 }
 
-GridResult RunTableTwo(const std::vector<ToolProfile>& tools,
-                       const RunOptions& options) {
-  GridResult grid;
+std::vector<CellSpec> TableTwoCells(const std::vector<ToolProfile>& tools) {
+  std::vector<CellSpec> cells;
   for (const bombs::BombSpec* bomb : bombs::TableTwoBombs()) {
     for (const ToolProfile& tool : tools) {
-      CellResult cell = RunCell(*bomb, tool, options);
-      if (cell.expected != "-") {
-        ++grid.total;
-        if (cell.matches_paper) ++grid.matches;
-      }
-      grid.cells.push_back(std::move(cell));
+      cells.push_back({bomb, tool});
     }
   }
+  return cells;
+}
+
+GridResult RunGrid(const std::vector<CellSpec>& cells,
+                   const RunOptions& options, unsigned jobs) {
+  if (jobs == 0) {
+    jobs = std::thread::hardware_concurrency();
+    if (jobs == 0) jobs = 1;
+  }
+
+  GridResult grid;
+  grid.cells.resize(cells.size());
+  // With a sink installed, each cell traces into a private buffer so
+  // concurrent cells cannot interleave records; the buffers are replayed
+  // into the real sink in spec order below.
+  std::vector<obs::BufferSink> buffers(
+      options.trace_sink != nullptr ? cells.size() : 0);
+
+  ThreadPool pool(jobs);
+  pool.ForEachIndex(cells.size(), [&](size_t i) {
+    RunOptions cell_options = options;
+    if (options.trace_sink != nullptr) cell_options.trace_sink = &buffers[i];
+    // Cell-level parallelism subsumes intra-cell solver dispatch: running
+    // each cell's solver serially avoids jobs × solver_threads
+    // oversubscription. Safe because engine results are bit-identical for
+    // every solver_threads value (solver::QueryPipeline's contract).
+    if (jobs > 1 && !options.solver_threads) cell_options.solver_threads = 1;
+    grid.cells[i] = RunCell(*cells[i].bomb, cells[i].tool, cell_options);
+  });
+
+  // Commit in spec order: totals, then the trace stream.
+  for (size_t i = 0; i < cells.size(); ++i) {
+    if (grid.cells[i].expected != "-") {
+      ++grid.total;
+      if (grid.cells[i].matches_paper) ++grid.matches;
+    }
+    if (options.trace_sink != nullptr) buffers[i].Replay(*options.trace_sink);
+  }
   return grid;
+}
+
+GridResult RunTableTwo(const std::vector<ToolProfile>& tools,
+                       const RunOptions& options) {
+  return RunGrid(TableTwoCells(tools), options, 1);
+}
+
+core::EngineResult ExploreImage(const isa::BinaryImage& image,
+                                const core::EngineConfig& config,
+                                const std::vector<std::string>& seed_argv,
+                                uint64_t target_pc,
+                                const RunOptions& options) {
+  const auto predecoded = isa::Predecode(image);
+  core::ConcolicEngine engine(
+      image,
+      [&image, &predecoded](const std::vector<std::string>& argv) {
+        vm::Machine::Options vm_options;
+        vm_options.predecoded = predecoded;
+        return std::make_unique<vm::Machine>(image, argv, vm::Devices(),
+                                             vm_options);
+      },
+      ApplyOptions(config, options));
+  return engine.Explore(seed_argv, target_pc);
 }
 
 std::string RenderTableTwo(const GridResult& grid,

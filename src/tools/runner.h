@@ -46,15 +46,48 @@ struct CellResult {
 CellResult RunCell(const bombs::BombSpec& bomb, const ToolProfile& tool,
                    const RunOptions& options = {});
 
+/// One (bomb, tool) pairing of a grid run. `bomb` points into the static
+/// dataset; the profile is copied so callers can tweak it per cell.
+struct CellSpec {
+  const bombs::BombSpec* bomb = nullptr;
+  ToolProfile tool;
+};
+
+/// The Table II cell list: every dataset bomb crossed with `tools`,
+/// bomb-major, tool-minor (the paper's layout).
+std::vector<CellSpec> TableTwoCells(const std::vector<ToolProfile>& tools);
+
 struct GridResult {
   std::vector<CellResult> cells;  // bomb-major, tool-minor order
   int matches = 0;
   int total = 0;
 };
 
-/// The full Table II experiment: 22 bombs × 4 tools.
+/// Runs every cell, `jobs`-wide (0 = hardware concurrency, 1 = serial;
+/// each cell is fully independent: its own machine, expression pool and
+/// engine). The output is deterministic and identical for every `jobs`
+/// value: cells land in `cells` in spec order, match totals are counted
+/// in spec order, and when `options.trace_sink` is set each cell traces
+/// into a private buffer that is replayed into the sink in spec order
+/// after all cells finish — so even the trace stream is byte-equal to a
+/// serial run's (modulo wall-clock duration fields).
+GridResult RunGrid(const std::vector<CellSpec>& cells,
+                   const RunOptions& options = {}, unsigned jobs = 1);
+
+/// The full Table II experiment: 22 bombs × 4 tools (serial; use
+/// RunGrid(TableTwoCells(tools), options, jobs) for parallel runs).
 GridResult RunTableTwo(const std::vector<ToolProfile>& tools,
                        const RunOptions& options = {});
+
+/// Explores `image` with `config` toward `target_pc` using the plain
+/// machine factory every caller of ConcolicEngine otherwise hand-rolls.
+/// `options` contributes the sink and budget/pipeline overrides, exactly
+/// as in RunCell.
+core::EngineResult ExploreImage(const isa::BinaryImage& image,
+                                const core::EngineConfig& config,
+                                const std::vector<std::string>& seed_argv,
+                                uint64_t target_pc,
+                                const RunOptions& options = {});
 
 /// Renders the grid in the paper's layout (includes the solver stats
 /// footer and the per-cell failure attributions below the grid).

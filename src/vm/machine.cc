@@ -29,6 +29,14 @@ Machine::Machine(const isa::BinaryImage& image, std::vector<std::string> argv,
   proc->rand_state = devices_.initial_rand_seed & 0x7fffffffu;
   processes_.push_back(std::move(proc));
   LoadImage(image);
+  if (options_.decode_cache) {
+    text_ = options_.predecoded ? options_.predecoded
+                                : isa::Predecode(image);
+    if (text_->hi() > text_->lo()) {
+      // After LoadImage: loading the text must not mark it dirty.
+      processes_.front()->mem.SetCodeWatch(text_->lo(), text_->hi());
+    }
+  }
   SetupRootProcess(image.entry());
 }
 
@@ -182,16 +190,34 @@ RunResult Machine::Run() {
 }
 
 Machine::StepOutcome Machine::Step(Process& proc, Thread& thread) {
-  uint8_t raw[isa::kInstrBytes];
-  proc.mem.ReadBytes(thread.cpu.pc, raw);
-  auto decoded = isa::Decode(raw);
-  if (!decoded) {
-    Fault(StrFormat("invalid instruction at 0x%llx: %s",
-                    static_cast<unsigned long long>(thread.cpu.pc),
-                    decoded.status().message().c_str()));
-    return {};
+  // Fast path: fetch the predecoded instruction by pc. Falls back to raw
+  // decode when the pc is outside the (clean) cached text — including
+  // after a store dirtied the code page — so semantics match the
+  // uncached interpreter exactly, fault messages included.
+  const Instruction* fetched =
+      text_ != nullptr ? text_->Lookup(thread.cpu.pc) : nullptr;
+  if (fetched != nullptr &&
+      proc.mem.CodeDirty(thread.cpu.pc, isa::kInstrBytes)) {
+    fetched = nullptr;
   }
-  const Instruction in = decoded.value();
+  Instruction raw_decoded;
+  if (fetched == nullptr) {
+    uint8_t raw[isa::kInstrBytes];
+    proc.mem.ReadBytes(thread.cpu.pc, raw);
+    auto decoded = isa::Decode(raw);
+    if (!decoded) {
+      Fault(StrFormat("invalid instruction at 0x%llx: %s",
+                      static_cast<unsigned long long>(thread.cpu.pc),
+                      decoded.status().message().c_str()));
+      return {};
+    }
+    raw_decoded = decoded.value();
+    fetched = &raw_decoded;
+    ++result_.decode_cache_misses;
+  } else {
+    ++result_.decode_cache_hits;
+  }
+  const Instruction& in = *fetched;
   const OpcodeInfo& info = isa::GetOpcodeInfo(in.op);
   auto& r = thread.cpu.r;
   auto& f = thread.cpu.f;

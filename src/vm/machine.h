@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "src/isa/image.h"
+#include "src/isa/predecode.h"
 #include "src/obs/trace_sink.h"
 #include "src/vm/devices.h"
 #include "src/vm/filesystem.h"
@@ -79,6 +80,11 @@ struct RunResult {
   bool budget_exhausted = false;
   uint64_t instructions = 0;
   std::string stdout_text;
+  // Decode-cache effectiveness: fetches served from the predecoded text
+  // vs. raw byte decodes (cache disabled, pc outside text, dirty code
+  // page, misaligned pc, or an undecodable slot).
+  uint64_t decode_cache_hits = 0;
+  uint64_t decode_cache_misses = 0;
 };
 
 class Machine {
@@ -89,6 +95,16 @@ class Machine {
     uint64_t stack_top = 0x7ff0'0000;   // stacks grow down from here
     uint64_t stack_size = 0x1'0000;     // per-thread stack reservation
     uint64_t argv_base = 0x7fe0'0000;   // argv block location
+    /// Serve instruction fetches from a predecoded text store instead of
+    /// re-decoding raw bytes every step. Stores into the text range
+    /// invalidate the affected page (see Memory::SetCodeWatch), so
+    /// self-modifying code behaves exactly as with the cache off.
+    bool decode_cache = true;
+    /// Prebuilt store to share across machines running the same image
+    /// (fork children within one machine always share). Must have been
+    /// built from the image passed to the constructor; when null the
+    /// machine predecodes the image itself.
+    std::shared_ptr<const isa::PredecodedText> predecoded;
   };
 
   /// Loads `image`, sets up argv (r1 = argc, r2 = argv pointer array) and a
@@ -165,6 +181,11 @@ class Machine {
   std::map<int, Pipe> pipes_;
   int next_pipe_id_ = 1;
   uint32_t next_pid_offset_ = 1;
+
+  /// Immutable decoded text shared by every process of this machine (and,
+  /// when Options::predecoded is supplied, by sibling machines). Null when
+  /// the decode cache is off.
+  std::shared_ptr<const isa::PredecodedText> text_;
 
   std::function<void(const TraceEvent&)> trace_hook_;
   obs::Tracer tracer_;

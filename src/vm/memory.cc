@@ -9,7 +9,25 @@ Memory Memory::Clone() const {
   for (const auto& [page_no, page] : pages_) {
     copy.pages_.emplace(page_no, std::make_unique<Page>(*page));
   }
+  copy.watch_lo_ = watch_lo_;
+  copy.watch_span_ = watch_span_;
+  copy.any_code_dirty_ = any_code_dirty_;
+  copy.dirty_code_pages_ = dirty_code_pages_;
   return copy;
+}
+
+void Memory::SetCodeWatch(uint64_t lo, uint64_t hi) {
+  watch_lo_ = lo;
+  watch_span_ = hi > lo ? hi - lo : 0;
+  any_code_dirty_ = false;
+  dirty_code_pages_.assign(
+      watch_span_ == 0 ? 0 : ((hi - 1) >> kPageBits) - (lo >> kPageBits) + 1,
+      0);
+}
+
+void Memory::MarkCodeDirty(uint64_t addr) {
+  dirty_code_pages_[(addr >> kPageBits) - (watch_lo_ >> kPageBits)] = 1;
+  any_code_dirty_ = true;
 }
 
 const Memory::Page* Memory::FindPage(uint64_t addr) const {
@@ -29,6 +47,9 @@ uint8_t Memory::ReadU8(uint64_t addr) const {
 }
 
 void Memory::WriteU8(uint64_t addr, uint8_t v) {
+  if (addr - watch_lo_ < watch_span_) [[unlikely]] {
+    MarkCodeDirty(addr);
+  }
   EnsurePage(addr)[addr & (kPageSize - 1)] = v;
 }
 

@@ -12,6 +12,7 @@
 #include <span>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "src/support/status.h"
 
@@ -52,13 +53,44 @@ class Memory {
 
   size_t PageCount() const { return pages_.size(); }
 
+  /// Registers [lo, hi) as the code range: any later write into it marks
+  /// the containing page dirty, which the interpreter's decode cache
+  /// checks before trusting a predecoded instruction (self-modifying code
+  /// then falls back to raw decode, preserving pre-cache semantics). Call
+  /// after the image is loaded — loading itself must not mark. Cloned
+  /// memories (fork) inherit both the range and the dirty marks.
+  void SetCodeWatch(uint64_t lo, uint64_t hi);
+
+  /// True when any byte of [addr, addr+len) lies in a dirty code page.
+  /// Always false outside the watched range or before any write hits it.
+  bool CodeDirty(uint64_t addr, unsigned len) const {
+    if (!any_code_dirty_) return false;
+    const uint64_t first = addr > watch_lo_ ? addr : watch_lo_;
+    const uint64_t last = addr + len - 1;
+    for (uint64_t page = first >> kPageBits; page <= (last >> kPageBits);
+         ++page) {
+      const uint64_t index = page - (watch_lo_ >> kPageBits);
+      if (index < dirty_code_pages_.size() && dirty_code_pages_[index] != 0) {
+        return true;
+      }
+    }
+    return false;
+  }
+
  private:
   using Page = std::array<uint8_t, kPageSize>;
 
   const Page* FindPage(uint64_t addr) const;
   Page& EnsurePage(uint64_t addr);
+  void MarkCodeDirty(uint64_t addr);
 
   std::unordered_map<uint64_t, std::unique_ptr<Page>> pages_;
+  // Code-watch state. watch_span_ == 0 (the default) disables the single
+  // range test on the write path.
+  uint64_t watch_lo_ = 0;
+  uint64_t watch_span_ = 0;
+  bool any_code_dirty_ = false;
+  std::vector<uint8_t> dirty_code_pages_;  // one flag per watched page
 };
 
 }  // namespace sbce::vm

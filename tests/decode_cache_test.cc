@@ -1,0 +1,269 @@
+// Decode-cache semantics: predecode-vs-raw-decode equivalence over the
+// whole opcode table, store-into-text invalidation (self-modifying code),
+// fault-message parity between the cached and uncached fetch paths, fork
+// sharing with per-process dirty tracking, and hit/miss accounting.
+#include <gtest/gtest.h>
+
+#include <span>
+#include <string_view>
+
+#include "src/isa/assembler.h"
+#include "src/isa/instruction.h"
+#include "src/isa/predecode.h"
+#include "src/vm/machine.h"
+
+namespace sbce {
+namespace {
+
+isa::BinaryImage MustAssemble(std::string_view src) {
+  auto img = isa::Assemble(src);
+  SBCE_CHECK_MSG(img.ok(), img.status().ToString());
+  return std::move(img).value();
+}
+
+vm::RunResult RunImage(const isa::BinaryImage& img, bool decode_cache,
+                       std::vector<std::string> argv = {"prog"}) {
+  vm::Machine::Options options;
+  options.decode_cache = decode_cache;
+  vm::Machine m(img, std::move(argv), vm::Devices(), options);
+  return m.Run();
+}
+
+/// The cache must be invisible: every observable field matches, only the
+/// hit/miss split may differ.
+void ExpectSameBehaviour(const vm::RunResult& on, const vm::RunResult& off) {
+  EXPECT_EQ(on.exited, off.exited);
+  EXPECT_EQ(on.exit_code, off.exit_code);
+  EXPECT_EQ(on.bomb_triggered, off.bomb_triggered);
+  EXPECT_EQ(on.faulted, off.faulted);
+  EXPECT_EQ(on.fault_reason, off.fault_reason);
+  EXPECT_EQ(on.budget_exhausted, off.budget_exhausted);
+  EXPECT_EQ(on.instructions, off.instructions);
+  EXPECT_EQ(on.stdout_text, off.stdout_text);
+}
+
+TEST(Predecode, MatchesRawDecodeOverWholeOpcodeTable) {
+  // One slot per opcode with operands valid for every form (register
+  // indexes 1..3 are in range for both banks), plus two undecodable
+  // slots: an unknown opcode byte and an FP register out of range.
+  isa::Section text;
+  text.name = ".text";
+  text.vaddr = 0x1000;
+  text.flags = isa::kSectionExec;
+  auto append = [&text](const isa::Instruction& in) {
+    uint8_t buf[isa::kInstrBytes];
+    isa::Encode(in, std::span<uint8_t, isa::kInstrBytes>(buf));
+    text.data.insert(text.data.end(), buf, buf + isa::kInstrBytes);
+  };
+  const auto n_opcodes = static_cast<unsigned>(isa::Opcode::kOpcodeCount);
+  for (unsigned op = 0; op < n_opcodes; ++op) {
+    isa::Instruction in;
+    in.op = static_cast<isa::Opcode>(op);
+    in.rd = 1;
+    in.rs1 = 2;
+    in.rs2 = 3;
+    in.imm = 0x40;
+    append(in);
+  }
+  text.data.insert(text.data.end(), {0xFF, 0, 0, 0, 0, 0, 0, 0});
+  isa::Instruction bad;
+  bad.op = isa::Opcode::kFAdd;
+  bad.rd = 12;  // f12 does not exist
+  append(bad);
+
+  isa::BinaryImage img;
+  img.set_entry(0x1000);
+  img.AddSection(text);
+
+  const auto pre = isa::Predecode(img);
+  ASSERT_NE(pre, nullptr);
+  EXPECT_EQ(pre->valid_count(), n_opcodes);
+
+  const auto& data = img.sections()[0].data;
+  for (size_t off = 0; off < data.size(); off += isa::kInstrBytes) {
+    const auto raw =
+        isa::Decode(std::span(data).subspan(off, isa::kInstrBytes));
+    const isa::Instruction* cached = pre->Lookup(0x1000 + off);
+    if (raw.ok()) {
+      ASSERT_NE(cached, nullptr) << "slot " << off / isa::kInstrBytes;
+      EXPECT_EQ(*cached, raw.value()) << "slot " << off / isa::kInstrBytes;
+    } else {
+      EXPECT_EQ(cached, nullptr) << "slot " << off / isa::kInstrBytes;
+    }
+    // Misaligned pcs never hit the cache.
+    EXPECT_EQ(pre->Lookup(0x1000 + off + 3), nullptr);
+  }
+  // Outside the text range in both directions.
+  EXPECT_EQ(pre->Lookup(0x1000 + data.size()), nullptr);
+  EXPECT_EQ(pre->Lookup(0x0ff8), nullptr);
+  EXPECT_TRUE(pre->Contains(0x1000));
+  EXPECT_FALSE(pre->Contains(0x1000 + data.size()));
+}
+
+TEST(DecodeCache, StoreIntoTextInvalidates) {
+  // Self-modifying code: copy the encoded `movi r1, 7` over the
+  // `movi r1, 11` at `patch` before falling through to it. Without
+  // write-to-code invalidation the cached machine would exit 11.
+  const auto img = MustAssemble(R"(
+    .entry main
+    main:
+      lea r3, template
+      ld8 r4, [r3+0]
+      lea r5, patch
+      st8 r4, [r5+0]
+    patch:
+      movi r1, 11
+      sys 0
+    template:
+      movi r1, 7
+  )");
+  const auto on = RunImage(img, /*decode_cache=*/true);
+  const auto off = RunImage(img, /*decode_cache=*/false);
+  EXPECT_TRUE(on.exited);
+  EXPECT_EQ(on.exit_code, 7);
+  ExpectSameBehaviour(on, off);
+  // The dirtied page forced the patched instruction onto the raw path.
+  EXPECT_GT(on.decode_cache_hits, 0u);
+  EXPECT_GT(on.decode_cache_misses, 0u);
+}
+
+TEST(DecodeCache, FaultMessageIdenticalOnUndecodableJump) {
+  // Jump into .data after planting an unknown opcode byte there: the pc
+  // is outside every exec segment, so the fetch takes the raw path and
+  // must fault with the same message the uncached interpreter produces.
+  const auto img = MustAssemble(R"(
+    .entry main
+    main:
+      movi r4, 0xFF
+      lea r3, blob
+      st1 r4, [r3+0]
+      jmpr r3
+    .data
+    blob: .space 8
+  )");
+  const auto on = RunImage(img, /*decode_cache=*/true);
+  const auto off = RunImage(img, /*decode_cache=*/false);
+  EXPECT_TRUE(on.faulted);
+  EXPECT_NE(on.fault_reason.find("opcode"), std::string::npos)
+      << on.fault_reason;
+  ExpectSameBehaviour(on, off);
+}
+
+TEST(DecodeCache, MisalignedJumpIdentical) {
+  // A pc in the middle of an instruction misses the cache (slots are
+  // 8-byte aligned); whatever the straddling bytes decode to, cached and
+  // uncached runs must agree byte-for-byte.
+  const auto img = MustAssemble(R"(
+    .entry main
+    main:
+      lea r3, target
+      addi r3, r3, 4
+      jmpr r3
+    target:
+      movi r1, 5
+      sys 0
+  )");
+  const auto on = RunImage(img, /*decode_cache=*/true);
+  const auto off = RunImage(img, /*decode_cache=*/false);
+  ExpectSameBehaviour(on, off);
+}
+
+TEST(DecodeCache, ForkChildPatchDoesNotLeakToParent) {
+  // The predecoded text is shared across fork, but dirty-code tracking is
+  // per-process memory state: the child patches `patchsite` (sees 7), the
+  // parent's copy stays pristine (sees 11). Exit = child*16 + parent.
+  const auto img = MustAssemble(R"(
+    .entry main
+    main:
+      lea r1, fdbuf
+      sys 10          ; pipe
+      sys 9           ; fork
+      bnz r0, parent
+      ; child: patch own text, run it, ship the result through the pipe
+      lea r3, template
+      ld8 r4, [r3+0]
+      lea r5, patchsite
+      st8 r4, [r5+0]
+      call patchsite
+      lea r2, cell
+      st8 r0, [r2+0]
+      lea r4, fdbuf
+      ld8 r1, [r4+8]
+      movi r3, 8
+      sys 1           ; write(wfd, cell, 8)
+      movi r1, 0
+      sys 0
+    parent:
+      lea r4, fdbuf
+      ld8 r1, [r4+0]
+      lea r2, cell2
+      movi r3, 8
+      sys 2           ; read blocks until the child writes
+      call patchsite
+      lea r4, cell2
+      ld8 r6, [r4+0]
+      muli r6, r6, 16
+      add r1, r6, r0
+      sys 0
+    patchsite:
+      movi r0, 11
+      ret
+    template:
+      movi r0, 7
+    .data
+    fdbuf: .space 16
+    cell:  .space 8
+    cell2: .space 8
+  )");
+  const auto on = RunImage(img, /*decode_cache=*/true);
+  const auto off = RunImage(img, /*decode_cache=*/false);
+  EXPECT_TRUE(on.exited);
+  EXPECT_FALSE(on.faulted) << on.fault_reason;
+  EXPECT_EQ(on.exit_code, 7 * 16 + 11);
+  ExpectSameBehaviour(on, off);
+}
+
+TEST(DecodeCache, HitMissAccounting) {
+  const auto img = MustAssemble(R"(
+    .entry main
+    main:
+      movi r2, 1000
+    loop:
+      subi r2, r2, 1
+      bnz r2, loop
+      movi r1, 0
+      sys 0
+  )");
+  const auto on = RunImage(img, /*decode_cache=*/true);
+  EXPECT_TRUE(on.exited);
+  // Straight-line code with no stores into text: every fetch hits.
+  EXPECT_EQ(on.decode_cache_hits, on.instructions);
+  EXPECT_EQ(on.decode_cache_misses, 0u);
+
+  const auto off = RunImage(img, /*decode_cache=*/false);
+  EXPECT_EQ(off.decode_cache_hits, 0u);
+  EXPECT_EQ(off.decode_cache_misses, off.instructions);
+  ExpectSameBehaviour(on, off);
+}
+
+TEST(DecodeCache, SharedPredecodeAcrossMachines) {
+  const auto img = MustAssemble(R"(
+    .entry main
+    main:
+      movi r1, 9
+      sys 0
+  )");
+  const auto shared = isa::Predecode(img);
+  vm::Machine::Options options;
+  options.predecoded = shared;
+  vm::Machine a(img, {"prog"}, vm::Devices(), options);
+  vm::Machine b(img, {"prog"}, vm::Devices(), options);
+  const auto ra = a.Run();
+  const auto rb = b.Run();
+  EXPECT_EQ(ra.exit_code, 9);
+  ExpectSameBehaviour(ra, rb);
+  EXPECT_EQ(ra.decode_cache_hits, ra.instructions);
+}
+
+}  // namespace
+}  // namespace sbce

@@ -1,0 +1,108 @@
+// RunGrid determinism: the grid export and the trace stream must come out
+// byte-identical for every worker count and across repeated runs.
+#include <gtest/gtest.h>
+
+#include <regex>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/obs/json.h"
+#include "src/obs/jsonl.h"
+#include "src/tools/runner.h"
+
+namespace sbce::tools {
+namespace {
+
+/// A small, fast cell subset: the full 88-cell grid takes minutes; these
+/// bombs resolve in well under a second per cell while still exercising
+/// both success and failure outcomes across two tool profiles.
+std::vector<CellSpec> FastCells() {
+  std::vector<CellSpec> cells;
+  const std::vector<ToolProfile> profiles = {Bap(), AngrNoLib()};
+  for (const char* id : {"svd_time", "csp_stack", "arr_one"}) {
+    const auto* bomb = bombs::FindBomb(id);
+    SBCE_CHECK_MSG(bomb != nullptr, id);
+    for (const auto& tool : profiles) cells.push_back({bomb, tool});
+  }
+  return cells;
+}
+
+/// Timing-free fingerprint of a grid (GridToJson excludes wall-clock
+/// metrics by design).
+std::string Fingerprint(const GridResult& grid) {
+  return obs::Dump(GridToJson(grid));
+}
+
+TEST(GridParallel, ResultsIdenticalAcrossJobCounts) {
+  const auto cells = FastCells();
+  RunOptions options;
+  options.max_rounds = 6;
+  const auto serial = RunGrid(cells, options, 1);
+  ASSERT_EQ(serial.cells.size(), cells.size());
+  const auto want = Fingerprint(serial);
+  for (unsigned jobs : {2u, 8u, 0u}) {  // 0 = hardware concurrency
+    EXPECT_EQ(Fingerprint(RunGrid(cells, options, jobs)), want)
+        << "jobs=" << jobs;
+  }
+}
+
+TEST(GridParallel, ResultsIdenticalAcrossRepeatedRuns) {
+  const auto cells = FastCells();
+  RunOptions options;
+  options.max_rounds = 6;
+  const auto want = Fingerprint(RunGrid(cells, options, 8));
+  EXPECT_EQ(Fingerprint(RunGrid(cells, options, 8)), want);
+}
+
+TEST(GridParallel, CellOrderMatchesSpecOrder) {
+  const auto cells = FastCells();
+  RunOptions options;
+  options.max_rounds = 6;
+  const auto grid = RunGrid(cells, options, 8);
+  ASSERT_EQ(grid.cells.size(), cells.size());
+  for (size_t i = 0; i < cells.size(); ++i) {
+    EXPECT_EQ(grid.cells[i].bomb_id, cells[i].bomb->id) << i;
+    EXPECT_EQ(grid.cells[i].tool, cells[i].tool.name) << i;
+  }
+}
+
+TEST(GridParallel, TraceStreamIdenticalModuloTiming) {
+  // Per-cell buffers replay into the sink in spec order, so the record
+  // stream matches a serial run's except for wall-clock durations and
+  // span ids (allocated from a process-global counter).
+  const auto cells = FastCells();
+  auto run = [&cells](unsigned jobs) {
+    std::ostringstream out;
+    obs::JsonlSink sink(&out);
+    RunOptions options;
+    options.max_rounds = 4;
+    options.trace_sink = &sink;
+    RunGrid(cells, options, jobs);
+    static const std::regex kVarying(
+        "\"(wall_micros|micros|span)\":[0-9]+");
+    return std::regex_replace(out.str(), kVarying, "\"$1\":0");
+  };
+  const auto want = run(1);
+  EXPECT_FALSE(want.empty());
+  EXPECT_EQ(run(2), want);
+  EXPECT_EQ(run(8), want);
+}
+
+TEST(GridParallel, TableTwoCellsLayout) {
+  const auto tools = PaperTools();
+  const auto cells = TableTwoCells(tools);
+  const auto bombs = bombs::TableTwoBombs();
+  ASSERT_EQ(cells.size(), bombs.size() * tools.size());
+  // Bomb-major, tool-minor: cell (b, t) sits at b * |tools| + t.
+  for (size_t b = 0; b < bombs.size(); ++b) {
+    for (size_t t = 0; t < tools.size(); ++t) {
+      const auto& cell = cells[b * tools.size() + t];
+      EXPECT_EQ(cell.bomb, bombs[b]);
+      EXPECT_EQ(cell.tool.name, tools[t].name);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sbce::tools
