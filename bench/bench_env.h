@@ -1,0 +1,35 @@
+// Environment stamp shared by every BENCH_*.json emitter: numbers are
+// meaningless without knowing how many cores the container exposed and
+// which build preset produced the binary (a tsan build is ~10x a release
+// build; comparing artifacts across presets is a classic footgun).
+#pragma once
+
+#include <thread>
+
+#include "src/obs/json.h"
+
+namespace sbce::bench {
+
+inline unsigned HardwareConcurrency() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw != 0 ? hw : 1;
+}
+
+/// Build preset baked in by bench/CMakeLists.txt ("release", "tsan",
+/// "asan", or the lower-cased CMAKE_BUILD_TYPE for ad-hoc configures).
+inline const char* BuildPreset() {
+#ifdef SBCE_BUILD_PRESET
+  return SBCE_BUILD_PRESET;
+#else
+  return "unknown";
+#endif
+}
+
+/// Adds the mandatory environment fields to a bench artifact document.
+inline void StampEnv(obs::JsonValue& doc) {
+  doc.Set("hardware_concurrency",
+          obs::JsonValue::U64(HardwareConcurrency()));
+  doc.Set("build_preset", obs::JsonValue::Str(BuildPreset()));
+}
+
+}  // namespace sbce::bench

@@ -1,0 +1,183 @@
+// Checkpoint-based re-exploration: rounds-vs-wallclock on a deep-prefix
+// bomb family.
+//
+// Each family member runs a ~120k-instruction input-independent prefix
+// (the kind of delay/initialization loop the paper's timing bombs use)
+// before a chain of K byte-equality guards, so solving it takes K+1
+// concolic rounds and every round after the first re-executes the same
+// prefix. With checkpoints the engine resumes each round from the deepest
+// snapshot recorded before the changed byte is consumed, paying only the
+// short suffix; without, every round starts from scratch. Both runs must
+// agree bit-for-bit on the recovered input — the speedup is only reported
+// after that check passes.
+//
+// Writes BENCH_checkpoint.json (per-K rounds/wallclock/speedup curve plus
+// the environment stamp) and prints an ASCII table.
+//
+// Flags:
+//   --json   print the artifact JSON to stdout instead of the table
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_env.h"
+#include "src/isa/assembler.h"
+#include "src/obs/json.h"
+#include "src/support/status.h"
+#include "src/support/str.h"
+#include "src/tools/runner.h"
+
+namespace {
+
+using namespace sbce;
+
+/// K chained guards behind a 120k-instruction delay loop: bomb iff
+/// argv[1][i] == 'A' + i for every i < K.
+std::string FamilyMember(int k) {
+  std::string src = R"(
+  .entry main
+  main:
+    movi r6, 60000
+  delay:
+    subi r6, r6, 1
+    bnz r6, delay
+    ld8 r3, [r2+8]
+)";
+  for (int i = 0; i < k; ++i) {
+    src += StrFormat(
+        "    ld1 r4, [r3+%d]\n"
+        "    cmpeqi r5, r4, %d\n"
+        "    bz r5, exit\n",
+        i, 'A' + i);
+  }
+  src += R"(  bomb:
+    sys 16
+  exit:
+    movi r1, 0
+    sys 0
+)";
+  return src;
+}
+
+core::EngineConfig FamilyConfig() {
+  core::EngineConfig cfg;
+  cfg.symex.addr_policy = symex::SymAddrPolicy::kExpandWindow;
+  cfg.symex.jump_policy = symex::SymJumpPolicy::kSolveTargets;
+  cfg.sources.argv_max_len = 0;  // symbolic bytes = seed string length
+  return cfg;
+}
+
+struct Row {
+  int guards = 0;
+  uint64_t rounds = 0;
+  uint64_t hits = 0;
+  uint64_t pages_copied = 0;
+  double seconds_on = 0;
+  double seconds_off = 0;
+  bool identical = false;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool json = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      json = true;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
+      return 2;
+    }
+  }
+
+  std::vector<Row> rows;
+  for (int k : {2, 4, 6, 8}) {
+    auto img = isa::Assemble(FamilyMember(k));
+    SBCE_CHECK_MSG(img.ok(), img.status().ToString());
+    const isa::BinaryImage image = std::move(img).value();
+    const auto target = image.FindSymbol("bomb");
+    SBCE_CHECK(target.has_value());
+    const std::vector<std::string> seed = {"prog", std::string(k, 'z')};
+
+    auto timed = [&](bool no_checkpoints, double* seconds) {
+      tools::RunOptions options;
+      options.no_checkpoints = no_checkpoints;
+      const auto t0 = std::chrono::steady_clock::now();
+      auto result =
+          tools::ExploreImage(image, FamilyConfig(), seed, *target, options);
+      *seconds = std::chrono::duration_cast<std::chrono::duration<double>>(
+                     std::chrono::steady_clock::now() - t0)
+                     .count();
+      return result;
+    };
+
+    Row row;
+    row.guards = k;
+    const auto on = timed(false, &row.seconds_on);
+    const auto off = timed(true, &row.seconds_off);
+    row.rounds = on.metrics.rounds;
+    row.hits = on.metrics.checkpoint_hits;
+    row.pages_copied = on.metrics.checkpoint_pages_copied;
+    row.identical = on.validated && off.validated &&
+                    on.claimed_argv == off.claimed_argv &&
+                    on.explored_inputs == off.explored_inputs &&
+                    on.metrics.rounds == off.metrics.rounds;
+    rows.push_back(row);
+  }
+
+  double total_on = 0;
+  double total_off = 0;
+  bool all_identical = true;
+  for (const auto& r : rows) {
+    total_on += r.seconds_on;
+    total_off += r.seconds_off;
+    all_identical = all_identical && r.identical;
+  }
+  const double speedup = total_on > 0 ? total_off / total_on : 0;
+
+  obs::JsonValue doc = obs::JsonValue::Object();
+  doc.Set("bench", obs::JsonValue::Str("checkpoint_rounds"));
+  bench::StampEnv(doc);
+  doc.Set("outputs_identical", obs::JsonValue::Bool(all_identical));
+  doc.Set("overall_speedup", obs::JsonValue::Double(speedup));
+  obs::JsonValue runs = obs::JsonValue::Array();
+  for (const auto& r : rows) {
+    obs::JsonValue run = obs::JsonValue::Object();
+    run.Set("guards", obs::JsonValue::U64(static_cast<uint64_t>(r.guards)));
+    run.Set("rounds", obs::JsonValue::U64(r.rounds));
+    run.Set("checkpoint_hits", obs::JsonValue::U64(r.hits));
+    run.Set("pages_copied", obs::JsonValue::U64(r.pages_copied));
+    run.Set("seconds_checkpoints", obs::JsonValue::Double(r.seconds_on));
+    run.Set("seconds_scratch", obs::JsonValue::Double(r.seconds_off));
+    run.Set("speedup",
+            obs::JsonValue::Double(
+                r.seconds_on > 0 ? r.seconds_off / r.seconds_on : 0));
+    runs.items.push_back(std::move(run));
+  }
+  doc.Set("runs", std::move(runs));
+
+  if (std::FILE* f = std::fopen("BENCH_checkpoint.json", "w")) {
+    std::fprintf(f, "%s\n", obs::Dump(doc).c_str());
+    std::fclose(f);
+  }
+  if (json) {
+    std::printf("%s\n", obs::Dump(doc).c_str());
+    return all_identical ? 0 : 1;
+  }
+
+  std::printf("=== Checkpoint re-exploration: rounds vs wall-clock ===\n");
+  std::printf("%6s  %6s  %5s  %12s  %12s  %8s\n", "guards", "rounds", "hits",
+              "ckpt (s)", "scratch (s)", "speedup");
+  for (const auto& r : rows) {
+    std::printf("%6d  %6llu  %5llu  %12.3f  %12.3f  %7.2fx\n", r.guards,
+                static_cast<unsigned long long>(r.rounds),
+                static_cast<unsigned long long>(r.hits), r.seconds_on,
+                r.seconds_off,
+                r.seconds_on > 0 ? r.seconds_off / r.seconds_on : 0.0);
+  }
+  std::printf("overall: %.2fx, outputs identical: %s\n", speedup,
+              all_identical ? "yes" : "NO (determinism bug)");
+  return all_identical ? 0 : 1;
+}

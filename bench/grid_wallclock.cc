@@ -21,6 +21,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench_env.h"
 #include "src/obs/json.h"
 #include "src/tools/runner.h"
 
@@ -93,7 +94,7 @@ int main(int argc, char** argv) {
   {
     doc.Set("bench", obs::JsonValue::Str("grid_wallclock"));
     doc.Set("cells", obs::JsonValue::U64(cells.size()));
-    doc.Set("hardware_concurrency", obs::JsonValue::U64(hw));
+    bench::StampEnv(doc);
     doc.Set("outputs_identical", obs::JsonValue::Bool(identical));
     obs::JsonValue runs = obs::JsonValue::Array();
     for (const auto& t : timings) {

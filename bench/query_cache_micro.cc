@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_env.h"
 #include "src/solver/pipeline.h"
 #include "src/solver/solver.h"
 #include "src/support/status.h"
@@ -135,6 +136,8 @@ int main() {
   SBCE_CHECK_MSG(json != nullptr, "cannot write BENCH_query_pipeline.json");
   std::fprintf(json,
                "{\n"
+               "  \"hardware_concurrency\": %u,\n"
+               "  \"build_preset\": \"%s\",\n"
                "  \"groups\": %d,\n"
                "  \"queries\": %d,\n"
                "  \"seed_serial_ms\": %.3f,\n"
@@ -146,6 +149,7 @@ int main() {
                "  \"speedup_pipeline_serial\": %.3f,\n"
                "  \"speedup_pipeline_parallel\": %.3f\n"
                "}\n",
+               bench::HardwareConcurrency(), bench::BuildPreset(),
                kGroups, kQueries, seed_ms, pipe_serial_ms, pipe_par_ms,
                parallel.threads(), hit_rate,
                static_cast<unsigned long long>(stats.subqueries_solved),

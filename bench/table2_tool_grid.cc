@@ -19,6 +19,9 @@
 //                   default 1). Every output — grid, --json, --trace — is
 //                   identical for every N: cells are independent and
 //                   results/traces commit in (bomb, tool) order.
+//   --no-checkpoints  disable checkpoint-based re-exploration (every
+//                   round runs from scratch). Output is identical either
+//                   way; only wall-clock moves.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -43,6 +46,8 @@ int main(int argc, char** argv) {
       trace_path = argv[++i];
     } else if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
       jobs = static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--no-checkpoints") == 0) {
+      options.no_checkpoints = true;
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
       return 2;

@@ -87,6 +87,43 @@ void BM_VmInterpreterLoopTraced(benchmark::State& state) {
 }
 BENCHMARK(BM_VmInterpreterLoopTraced);
 
+// Snapshot cost mid-run: O(pages-touched) shallow page-table copies, not
+// O(address-space) deep copies. The machine below has the text page, the
+// argv page and a stack page mapped — each Snapshot() clones page tables
+// and CPU state only; guest bytes stay CoW-shared.
+void BM_MachineClone(benchmark::State& state) {
+  vm::Machine::Options options;
+  options.max_instructions = 100'000;  // stop mid-loop, state is hot
+  vm::Machine m(LoopImage(), {"prog"}, vm::Devices(), options);
+  auto r = m.Run();
+  SBCE_CHECK(r.budget_exhausted);
+  for (auto _ : state) {
+    vm::MachineSnapshot snap = m.Snapshot();
+    benchmark::DoNotOptimize(snap.processes.size());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MachineClone);
+
+// Restore cost: rebuild a fresh machine from a mid-run snapshot. Pages
+// stay shared with the snapshot until the resumed run writes them, so
+// this prices exactly what every checkpoint resume in the engine pays.
+void BM_SnapshotRestore(benchmark::State& state) {
+  vm::Machine::Options options;
+  options.max_instructions = 100'000;
+  vm::Machine src(LoopImage(), {"prog"}, vm::Devices(), options);
+  auto r = src.Run();
+  SBCE_CHECK(r.budget_exhausted);
+  const vm::MachineSnapshot snap = src.Snapshot();
+  for (auto _ : state) {
+    vm::Machine m(LoopImage(), {"prog"});
+    m.Restore(snap);
+    benchmark::DoNotOptimize(m.ProcessCount());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SnapshotRestore);
+
 void BM_AssembleGuestLib(benchmark::State& state) {
   const std::string src = ".entry main\nmain:\n  halt\n" +
                           guestlib::EmitGuestLib();

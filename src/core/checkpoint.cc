@@ -1,0 +1,58 @@
+#include "src/core/checkpoint.h"
+
+namespace sbce::core {
+
+size_t DeepestUsable(const CheckpointTrail& trail,
+                     const std::vector<std::string>& argv,
+                     std::vector<InputPatch>* patches) {
+  // Layout gate: resuming requires the candidate's argv block to be laid
+  // out byte-for-byte where the recorded one was, which holds exactly when
+  // every argument has the recorded length.
+  if (argv.size() != trail.argv.size()) return kNoCheckpoint;
+  if (argv.size() != trail.argv_addrs.size()) return kNoCheckpoint;
+  for (size_t i = 0; i < argv.size(); ++i) {
+    if (argv[i].size() != trail.argv[i].size()) return kNoCheckpoint;
+  }
+
+  for (size_t ci = trail.checkpoints.size(); ci-- > 0;) {
+    const Checkpoint& cp = trail.checkpoints[ci];
+    if (cp.vm == nullptr || cp.symex == nullptr || cp.argv == nullptr) {
+      continue;
+    }
+    if (cp.vm->processes.empty()) continue;
+    const std::vector<std::string>& base = *cp.argv;
+    if (base.size() != argv.size()) continue;
+    const vm::Memory& mem = cp.vm->processes.front()->mem;
+
+    // A checkpoint is reusable iff every byte where the candidate differs
+    // from the input embedded in the snapshot was still *unread* at the
+    // boundary. The consumed mask grows monotonically along the run, so
+    // the first (deepest-first) fit is the best one.
+    bool usable = true;
+    std::vector<InputPatch> diff;
+    for (size_t i = 0; i < argv.size() && usable; ++i) {
+      if (base[i].size() != argv[i].size()) {
+        usable = false;
+        break;
+      }
+      for (size_t k = 0; k < argv[i].size(); ++k) {
+        if (argv[i][k] == base[i][k]) continue;
+        const uint64_t addr = trail.argv_addrs[i] + k;
+        if (mem.InputConsumed(addr)) {
+          usable = false;
+          break;
+        }
+        // Bytes the prefix overwrote (without reading first) are dead in
+        // the restored memory image — no patch needed or wanted.
+        if (mem.InputOverwritten(addr)) continue;
+        diff.push_back({addr, static_cast<uint8_t>(argv[i][k])});
+      }
+    }
+    if (!usable) continue;
+    if (patches != nullptr) *patches = std::move(diff);
+    return ci;
+  }
+  return kNoCheckpoint;
+}
+
+}  // namespace sbce::core

@@ -1,0 +1,124 @@
+// Checkpoint trails for checkpoint-based re-exploration.
+//
+// During a concrete+symbolic round the engine snapshots the VM at
+// scheduler sweep boundaries (vm::Machine's checkpoint hook) and, once the
+// symbolic walk reaches the same boundary, pairs each snapshot with a copy
+// of the trace executor. A candidate input derived from that round then
+// resumes from the deepest checkpoint whose recorded prefix never
+// *consumed* a byte on which the candidate differs (per-byte masks from
+// Memory::SetInputWatch), instead of re-running the whole prefix.
+//
+// Budget/eviction policy (CheckpointRecorder): a trail keeps at most
+// `max_checkpoints` snapshots. Snapshots start `stride` instructions
+// apart; when the trail fills up, every other checkpoint is dropped and
+// the stride doubles — the classic amortization that bounds live
+// snapshots while keeping them roughly evenly spaced over the run.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/obs/buffer_sink.h"
+#include "src/vm/machine.h"
+
+namespace sbce::symex {
+class TraceExecutor;
+}
+
+namespace sbce::core {
+
+/// One resumable point of a recorded round: the VM state at a sweep
+/// boundary, the symbolic walk state at the same trace position, and the
+/// bookkeeping needed to keep resumed rounds bit-identical to from-scratch
+/// ones (embedded input, record-stream prefix lengths).
+struct Checkpoint {
+  std::shared_ptr<const vm::MachineSnapshot> vm;
+  /// Walk state after `event_count` events; null until the round's
+  /// symbolic walk passes the boundary (incomplete checkpoints are pruned
+  /// before the trail is published).
+  std::shared_ptr<const symex::TraceExecutor> symex;
+  /// The argv whose bytes `vm` holds (checkpoints inherited from a parent
+  /// trail embed the parent's input, not the resuming round's).
+  std::shared_ptr<const std::vector<std::string>> argv;
+  uint64_t event_count = 0;  // trace events before the boundary (absolute)
+  size_t vm_records = 0;     // VM obs records before the boundary
+  size_t sym_records = 0;    // symex obs records before the boundary
+};
+
+/// The checkpoints of one recorded round, attached to every candidate
+/// input that round produced. `vm_stream`/`sym_stream` hold the round's
+/// full obs record streams (prefix replay keeps --trace output identical);
+/// both are null when no trace sink is installed.
+struct CheckpointTrail {
+  std::vector<std::string> argv;     // input of the recording round
+  std::vector<uint64_t> argv_addrs;  // guest address of argv[i]'s bytes
+  std::shared_ptr<const obs::BufferSink> vm_stream;
+  std::shared_ptr<const obs::BufferSink> sym_stream;
+  std::vector<Checkpoint> checkpoints;  // ascending event_count
+};
+
+/// Applies the budget/eviction policy while a round records checkpoints.
+class CheckpointRecorder {
+ public:
+  CheckpointRecorder(size_t max_checkpoints, uint64_t stride)
+      : max_(max_checkpoints), stride_(stride) {}
+
+  /// Seeds the trail with the parent's checkpoints up to and including
+  /// `upto` (they are complete and their event counts precede the resume
+  /// point, so they stay valid for the resumed round).
+  void Inherit(const std::vector<Checkpoint>& parent, size_t upto) {
+    for (size_t i = 0; i < parent.size() && i <= upto; ++i) {
+      cps_.push_back(parent[i]);
+    }
+  }
+
+  /// Records a checkpoint and returns the instruction gap to the next one
+  /// (0 when checkpointing is disabled by a zero budget).
+  uint64_t Add(Checkpoint cp) {
+    if (max_ == 0) return 0;
+    cps_.push_back(std::move(cp));
+    while (cps_.size() > max_) {
+      // Keep every other checkpoint counting back from the most recent
+      // (which always survives — it is the deepest, hence the most
+      // valuable resume point) and double the stride.
+      size_t out = 0;
+      for (size_t i = 0; i < cps_.size(); ++i) {
+        if ((cps_.size() - 1 - i) % 2 == 0) cps_[out++] = std::move(cps_[i]);
+      }
+      cps_.resize(out);
+      stride_ *= 2;
+    }
+    return stride_;
+  }
+
+  uint64_t stride() const { return stride_; }
+  std::vector<Checkpoint> Take() { return std::move(cps_); }
+
+ private:
+  size_t max_;
+  uint64_t stride_;
+  std::vector<Checkpoint> cps_;
+};
+
+/// One input byte a resumed round must patch into restored guest memory.
+struct InputPatch {
+  uint64_t addr = 0;
+  uint8_t value = 0;
+};
+
+inline constexpr size_t kNoCheckpoint = static_cast<size_t>(-1);
+
+/// Index of the deepest checkpoint of `trail` that can soundly resume a
+/// round for `argv`, or kNoCheckpoint. A checkpoint is usable iff the
+/// candidate has the trail's exact per-argument layout (string lengths)
+/// and no byte on which it differs from the checkpoint's embedded argv was
+/// consumed by the recorded prefix. On success `patches` receives the
+/// differing bytes that must be rebound after the restore (bytes the
+/// prefix overwrote need no patch — their initial value is dead).
+size_t DeepestUsable(const CheckpointTrail& trail,
+                     const std::vector<std::string>& argv,
+                     std::vector<InputPatch>* patches);
+
+}  // namespace sbce::core

@@ -3,7 +3,10 @@
 #include <algorithm>
 #include <chrono>
 #include <map>
+#include <optional>
 #include <tuple>
+
+#include "src/obs/buffer_sink.h"
 
 #include "src/support/str.h"
 
@@ -49,6 +52,10 @@ ConcolicEngine::ConcolicEngine(const isa::BinaryImage& image,
       c_aborts_(metrics_.Get("engine.aborts")),
       c_decode_hits_(metrics_.Get("vm.decode_cache_hits")),
       c_decode_misses_(metrics_.Get("vm.decode_cache_misses")),
+      c_ckpt_hits_(metrics_.Get("checkpoint.hits")),
+      c_ckpt_misses_(metrics_.Get("checkpoint.misses")),
+      c_ckpt_pages_(metrics_.Get("checkpoint.pages_copied")),
+      c_ckpt_restore_micros_(metrics_.Get("checkpoint.restore_micros")),
       pipeline_(MakePipelineOptions(config_, tracer_)) {}
 
 uint64_t ConcolicEngine::QueriesThisExplore() const {
@@ -56,23 +63,122 @@ uint64_t ConcolicEngine::QueriesThisExplore() const {
 }
 
 ConcolicEngine::RoundData ConcolicEngine::RunConcrete(
-    const std::vector<std::string>& argv) {
+    const std::vector<std::string>& argv, const CheckpointTrail* parent) {
   RoundData round;
   auto machine = factory_(argv);
-  machine->set_tracer(tracer_);
-  machine->set_trace_hook([&](const vm::TraceEvent& ev) {
-    if (round.events.size() < config_.budgets.max_trace_events) {
+
+  // With checkpoints on and a sink installed, the VM traces through a tee
+  // so the trail can later replay this round's record stream as a prefix.
+  // The sink sees the exact same stream either way.
+  const bool use_ckpt = config_.checkpoints;
+  std::shared_ptr<obs::BufferSink> vm_buffer;
+  std::optional<obs::TeeSink> vm_tee;
+  if (use_ckpt && tracer_.enabled()) {
+    vm_buffer = std::make_shared<obs::BufferSink>();
+    vm_tee.emplace(vm_buffer.get(), config_.trace_sink);
+    machine->set_tracer(obs::Tracer(&*vm_tee));
+  } else {
+    machine->set_tracer(tracer_);
+  }
+  machine->set_trace_hook([this, &round](const vm::TraceEvent& ev) {
+    if (round.prefix_events + round.events.size() <
+        config_.budgets.max_trace_events) {
       round.events.push_back(ev);
     } else {
       round.trace_overflow = true;
     }
   });
+
+  // Resume from the deepest reusable checkpoint of the parent trail: the
+  // prefix's trace records are replayed (not re-executed), the VM state is
+  // restored, and the input bytes this candidate changes are rebound.
+  bool resumed = false;
+  size_t resume_index = kNoCheckpoint;
+  uint64_t cow_base = 0;
+  if (use_ckpt && parent != nullptr) {
+    std::vector<InputPatch> patches;
+    const size_t ci = DeepestUsable(*parent, argv, &patches);
+    if (ci != kNoCheckpoint) {
+      // The candidate machine must place argv where the recorded machine
+      // did (equal layout implies equal addresses; verify anyway).
+      bool layout_ok = true;
+      for (size_t i = 0; i < argv.size(); ++i) {
+        if (machine->ArgvStringAddr(i) != parent->argv_addrs[i]) {
+          layout_ok = false;
+          break;
+        }
+      }
+      if (layout_ok) {
+        const Checkpoint& cp = parent->checkpoints[ci];
+        if (vm_tee && parent->vm_stream != nullptr) {
+          parent->vm_stream->ReplayPrefix(*vm_tee, cp.vm_records);
+        }
+        const auto restore_start = std::chrono::steady_clock::now();
+        machine->Restore(*cp.vm);
+        c_ckpt_restore_micros_->Add(static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                std::chrono::steady_clock::now() - restore_start)
+                .count()));
+        cow_base = machine->CowPagesCopied();
+        for (const InputPatch& p : patches) {
+          machine->RebindInputByte(p.addr, p.value);
+        }
+        round.prefix_events = cp.event_count;
+        round.resume_exec = cp.symex;
+        round.resume_sym_records = cp.sym_records;
+        round.parent_sym_stream = parent->sym_stream;
+        resumed = true;
+        resume_index = ci;
+      }
+    }
+  }
+  // Fresh machines arm the input-watch masks; restored ones inherit the
+  // recording run's accumulated masks through the snapshot.
+  if (use_ckpt && !resumed) machine->WatchArgvBlock();
+
+  CheckpointRecorder recorder(config_.budgets.max_checkpoints,
+                              config_.budgets.checkpoint_stride);
+  if (use_ckpt) {
+    round.trail = std::make_shared<CheckpointTrail>();
+    round.trail->argv = argv;
+    round.trail->argv_addrs.reserve(argv.size());
+    for (size_t i = 0; i < argv.size(); ++i) {
+      round.trail->argv_addrs.push_back(machine->ArgvStringAddr(i));
+    }
+    if (resumed) recorder.Inherit(parent->checkpoints, resume_index);
+    // New checkpoints embed this round's argv: after the rebind patches,
+    // every live (non-overwritten) byte of the block holds it.
+    auto argv_shared = std::make_shared<const std::vector<std::string>>(argv);
+    machine->set_checkpoint_hook(
+        recorder.stride(),
+        [&round, &recorder, argv_shared, vm_buf = vm_buffer.get()](
+            std::shared_ptr<const vm::MachineSnapshot> snap) -> uint64_t {
+          if (round.trace_overflow) return 0;
+          Checkpoint cp;
+          cp.vm = std::move(snap);
+          cp.argv = argv_shared;
+          cp.event_count = round.prefix_events + round.events.size();
+          cp.vm_records = vm_buf != nullptr ? vm_buf->records() : 0;
+          return recorder.Add(std::move(cp));
+        });
+  }
+
   const vm::RunResult rr = machine->Run();
   round.bomb_hit = rr.bomb_triggered;
   round.vm_fault = rr.faulted;
   if (rr.budget_exhausted) round.trace_overflow = true;
   c_decode_hits_->Add(rr.decode_cache_hits);
   c_decode_misses_->Add(rr.decode_cache_misses);
+  if (use_ckpt) {
+    if (resumed) {
+      c_ckpt_hits_->Increment();
+      c_ckpt_pages_->Add(machine->CowPagesCopied() - cow_base);
+    } else if (parent != nullptr) {
+      c_ckpt_misses_->Increment();
+    }
+    round.trail->checkpoints = recorder.Take();
+    round.trail->vm_stream = vm_buffer;
+  }
   return round;
 }
 
@@ -145,6 +251,10 @@ EngineResult ConcolicEngine::Explore(
   const uint64_t conflicts_base = c_conflicts_->value();
   const uint64_t decode_hits_base = c_decode_hits_->value();
   const uint64_t decode_misses_base = c_decode_misses_->value();
+  const uint64_t ckpt_hits_base = c_ckpt_hits_->value();
+  const uint64_t ckpt_misses_base = c_ckpt_misses_->value();
+  const uint64_t ckpt_pages_base = c_ckpt_pages_->value();
+  const uint64_t ckpt_restore_base = c_ckpt_restore_micros_->value();
   queries_base_ = c_queries_->value();
 
   obs::ScopedSpan span =
@@ -170,6 +280,11 @@ EngineResult ConcolicEngine::Explore(
   m.solver_micros = after.solver_micros - before.solver_micros;
   m.decode_cache_hits = c_decode_hits_->value() - decode_hits_base;
   m.decode_cache_misses = c_decode_misses_->value() - decode_misses_base;
+  m.checkpoint_hits = c_ckpt_hits_->value() - ckpt_hits_base;
+  m.checkpoint_misses = c_ckpt_misses_->value() - ckpt_misses_base;
+  m.checkpoint_pages_copied = c_ckpt_pages_->value() - ckpt_pages_base;
+  m.checkpoint_restore_micros =
+      c_ckpt_restore_micros_->value() - ckpt_restore_base;
   m.explore_micros = static_cast<uint64_t>(wall_micros);
   metrics_.Get("engine.explore_micros")->Add(m.explore_micros);
   metrics_.Get("solver.cache_hits")->Add(m.solver_cache_hits);
@@ -202,7 +317,14 @@ EngineResult ConcolicEngine::ExploreImpl(
   CfgReachability cfg(image_, target_pc);
   uint64_t rounds = 0;  // this call only; the registry counter is per-engine
 
-  std::deque<std::vector<std::string>> worklist = {seed_argv};
+  // Candidate inputs carry the trail of the round that derived them, so
+  // their concrete run can resume from a recorded checkpoint.
+  struct WorkItem {
+    std::vector<std::string> argv;
+    std::shared_ptr<const CheckpointTrail> trail;
+  };
+  std::deque<WorkItem> worklist;
+  worklist.push_back(WorkItem{seed_argv, nullptr});
   std::set<std::vector<std::string>> enqueued = {seed_argv};
   // Negations already attempted: (pc, occurrence, direction-of-cond id).
   std::set<std::tuple<uint64_t, uint32_t, uint32_t>> flipped;
@@ -210,14 +332,16 @@ EngineResult ConcolicEngine::ExploreImpl(
   bool first_round = true;
   while (!worklist.empty() && rounds < config_.budgets.max_rounds) {
     if (result.aborted) break;
-    const std::vector<std::string> argv = worklist.front();
+    const WorkItem item = std::move(worklist.front());
     worklist.pop_front();
+    const std::vector<std::string>& argv = item.argv;
     ++rounds;
     c_rounds_->Increment();
     result.explored_inputs.push_back(argv);
 
-    RoundData round = RunConcrete(argv);
-    c_events_->Add(round.events.size());
+    RoundData round = RunConcrete(argv, item.trail.get());
+    const uint64_t total_events = round.prefix_events + round.events.size();
+    c_events_->Add(total_events);
     if (round.bomb_hit) {
       result.claimed = true;
       result.validated = true;
@@ -236,10 +360,32 @@ EngineResult ConcolicEngine::ExploreImpl(
       return result;
     }
 
-    // Symbolic walk of this round's trace.
+    // Symbolic walk of this round's trace. A resumed round copies the
+    // checkpoint's recorded walk state and only walks the trace suffix —
+    // chunk calls are cumulative, so event indices, fresh-symbol names
+    // and diagnostics come out as if the full trace had been walked.
     auto machine_for_layout = factory_(argv);  // addresses of argv strings
-    symex::TraceExecutor exec(&pool_, config_.symex);
-    exec.state().diag().tracer = tracer_;
+    std::optional<symex::TraceExecutor> exec_holder;
+    if (round.resume_exec != nullptr) {
+      exec_holder.emplace(*round.resume_exec);
+    } else {
+      exec_holder.emplace(&pool_, config_.symex);
+    }
+    symex::TraceExecutor& exec = *exec_holder;
+
+    // Symex-side tee, mirroring RunConcrete's VM-side one: walk
+    // diagnostics are buffered so a child round can replay the prefix.
+    std::shared_ptr<obs::BufferSink> sym_buffer;
+    std::optional<obs::TeeSink> sym_tee;
+    obs::Tracer walk_tracer = tracer_;
+    if (round.trail != nullptr && tracer_.enabled()) {
+      sym_buffer = std::make_shared<obs::BufferSink>();
+      sym_tee.emplace(sym_buffer.get(), config_.trace_sink);
+      walk_tracer = obs::Tracer(&*sym_tee);
+    }
+    // (Re-)installed even on copies: a copied executor carries its source
+    // round's reader and tracer, both bound to dead context.
+    exec.state().diag().tracer = walk_tracer;
     exec.SetInitialByteReader(
         [this, &machine_for_layout](uint64_t addr) -> std::optional<uint8_t> {
           for (const auto& s : image_.sections()) {
@@ -250,8 +396,46 @@ EngineResult ConcolicEngine::ExploreImpl(
           // argv block of the root process (written before execution).
           return machine_for_layout->root().mem.ReadU8(addr);
         });
-    DeclareSymbolicInputs(exec, *machine_for_layout, argv);
-    symex::SymTraceResult sym = exec.Execute(round.events);
+    if (round.resume_exec == nullptr) {
+      DeclareSymbolicInputs(exec, *machine_for_layout, argv);
+    } else if (sym_tee && round.parent_sym_stream != nullptr) {
+      round.parent_sym_stream->ReplayPrefix(*sym_tee,
+                                            round.resume_sym_records);
+    }
+
+    // Walk in chunks, pairing each pending VM snapshot with a copy of the
+    // executor once the walk reaches its boundary; then walk the rest.
+    symex::SymTraceResult sym;
+    const std::span<const vm::TraceEvent> suffix(round.events);
+    size_t walked = 0;
+    if (round.trail != nullptr) {
+      for (Checkpoint& cp : round.trail->checkpoints) {
+        if (cp.symex != nullptr) continue;  // inherited: already complete
+        if (cp.event_count <= round.prefix_events) continue;
+        if (cp.event_count > total_events) break;
+        const size_t local =
+            static_cast<size_t>(cp.event_count - round.prefix_events);
+        sym = exec.Execute(suffix.subspan(walked, local - walked));
+        walked = local;
+        if (sym.aborted) break;
+        cp.symex = std::make_shared<const symex::TraceExecutor>(exec);
+        cp.sym_records = sym_buffer != nullptr ? sym_buffer->records() : 0;
+      }
+    }
+    if (!sym.aborted) {
+      sym = exec.Execute(suffix.subspan(walked));
+    }
+
+    // Publish the trail: checkpoints the walk never completed (abort, or
+    // a snapshot past the trace end) cannot seed resumed rounds.
+    std::shared_ptr<const CheckpointTrail> trail;
+    if (round.trail != nullptr) {
+      std::erase_if(round.trail->checkpoints, [](const Checkpoint& cp) {
+        return cp.symex == nullptr;
+      });
+      round.trail->sym_stream = sym_buffer;
+      trail = round.trail;
+    }
 
     // Merge diagnostics and stats.
     auto& diag_entries = exec.state().diag().entries;
@@ -274,7 +458,7 @@ EngineResult ConcolicEngine::ExploreImpl(
     if (!path.empty()) result.any_symbolic_branch = true;
     tracer_.Event("engine.round",
                   {obs::Field::U("round", rounds),
-                   obs::Field::U("events", round.events.size()),
+                   obs::Field::U("events", total_events),
                    obs::Field::U("constraints", path.size()),
                    obs::Field::U("jumps", exec.state().jumps().size())});
 
@@ -411,9 +595,9 @@ EngineResult ConcolicEngine::ExploreImpl(
       }
       if (enqueued.insert(next_argv).second) {
         if (directed) {
-          worklist.push_front(next_argv);
+          worklist.push_front(WorkItem{next_argv, trail});
         } else {
-          worklist.push_back(next_argv);
+          worklist.push_back(WorkItem{next_argv, trail});
         }
       }
     }
@@ -453,7 +637,7 @@ EngineResult ConcolicEngine::ExploreImpl(
                          obs::Field::S("argv", joined)});
         }
         if (enqueued.insert(next_argv).second) {
-          worklist.push_front(next_argv);
+          worklist.push_front(WorkItem{next_argv, trail});
         }
       } else {
         result.diag.Raise(ErrorStage::kEs3,

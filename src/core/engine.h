@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "src/core/cfg.h"
+#include "src/core/checkpoint.h"
 #include "src/isa/image.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace_sink.h"
@@ -40,6 +41,12 @@ struct EngineBudgets {
   /// 0 = auto (hardware concurrency capped at 8); 1 = serial. Engine
   /// results are bit-identical for every value (see solver::QueryPipeline).
   unsigned solver_threads = 0;
+  /// Checkpoint budget per round: at most this many live VM+walk
+  /// snapshots (0 disables recording). See core::CheckpointRecorder for
+  /// the stride-doubling eviction policy.
+  size_t max_checkpoints = 32;
+  /// Instructions between consecutive snapshots, before any doubling.
+  uint64_t checkpoint_stride = 2048;
 };
 
 /// What happens when a per-query solver budget is exceeded.
@@ -65,6 +72,11 @@ struct EngineConfig {
   /// Whether the solver backend has a floating-point theory. When false,
   /// FP constraints raise Es3 instead of being solved.
   bool solver_supports_fp = true;
+  /// Checkpoint-based re-exploration: record VM+walk snapshots during
+  /// each round and resume candidate rounds from the deepest reusable
+  /// one. Engine results and trace output are bit-identical either way;
+  /// off exists for measurement and as an escape hatch (--no-checkpoints).
+  bool checkpoints = true;
 };
 
 /// Where a claim's satisfying assignment leaned on simulated environment
@@ -109,6 +121,19 @@ struct EngineMetrics {
   // exploration (see vm::RunResult).
   uint64_t decode_cache_hits = 0;
   uint64_t decode_cache_misses = 0;
+
+  // Checkpoint-based re-exploration counters. A hit is a round resumed
+  // from a parent checkpoint; a miss is a non-seed round that had to run
+  // from scratch (no recorded checkpoint, layout mismatch, or a consumed
+  // differing byte). Both stay 0 when checkpoints are disabled.
+  uint64_t checkpoint_hits = 0;
+  uint64_t checkpoint_misses = 0;
+  /// Pages physically copied by CoW breaks in resumed rounds (the true
+  /// cost of restore+run beyond the shared prefix).
+  uint64_t checkpoint_pages_copied = 0;
+  /// Wall-clock spent inside Machine::Restore. Timing-dependent:
+  /// excluded from deterministic exports, like explore_micros.
+  uint64_t checkpoint_restore_micros = 0;
   /// Wall-clock of the whole Explore call (per-cell wall-clock in grid
   /// runs). Timing-dependent: excluded from deterministic exports.
   uint64_t explore_micros = 0;
@@ -163,13 +188,27 @@ class ConcolicEngine {
                            uint64_t target_pc);
 
   struct RoundData {
+    /// Trace events this round actually executed: the full trace for a
+    /// from-scratch round, only the suffix past the resumed checkpoint
+    /// otherwise. Event indices recorded by the symbolic walk stay
+    /// absolute either way (TraceExecutor chunks are cumulative).
     std::vector<vm::TraceEvent> events;
+    /// Events skipped by resuming (0 for from-scratch rounds).
+    uint64_t prefix_events = 0;
     bool bomb_hit = false;
     bool trace_overflow = false;
     bool vm_fault = false;
+    /// Walk state to copy instead of a fresh executor (resumed rounds).
+    std::shared_ptr<const symex::TraceExecutor> resume_exec;
+    /// Symex record-stream prefix to replay before walking the suffix.
+    size_t resume_sym_records = 0;
+    std::shared_ptr<const obs::BufferSink> parent_sym_stream;
+    /// This round's trail under construction (null ⇔ checkpoints off).
+    std::shared_ptr<CheckpointTrail> trail;
   };
 
-  RoundData RunConcrete(const std::vector<std::string>& argv);
+  RoundData RunConcrete(const std::vector<std::string>& argv,
+                        const CheckpointTrail* parent);
   /// Installs argv symbolic bytes; returns the var names used.
   void DeclareSymbolicInputs(symex::TraceExecutor& exec,
                              const vm::Machine& machine,
@@ -195,6 +234,10 @@ class ConcolicEngine {
   obs::Counter* c_aborts_;
   obs::Counter* c_decode_hits_;
   obs::Counter* c_decode_misses_;
+  obs::Counter* c_ckpt_hits_;
+  obs::Counter* c_ckpt_misses_;
+  obs::Counter* c_ckpt_pages_;
+  obs::Counter* c_ckpt_restore_micros_;
   /// `c_queries_` value when the current Explore began (budget checks are
   /// per-exploration, the registry is per-engine).
   uint64_t queries_base_ = 0;

@@ -67,9 +67,15 @@ size_t BufferSink::records() const {
 }
 
 void BufferSink::Replay(TraceSink& sink) const {
+  ReplayPrefix(sink, static_cast<size_t>(-1));
+}
+
+void BufferSink::ReplayPrefix(TraceSink& sink, size_t n) const {
   std::lock_guard<std::mutex> lk(mu_);
   std::vector<Field> fields;
-  for (const Record& r : records_) {
+  if (n > records_.size()) n = records_.size();
+  for (size_t idx = 0; idx < n; ++idx) {
+    const Record& r = records_[idx];
     fields.clear();
     for (const OwnedField& of : r.fields) {
       Field f;

@@ -36,6 +36,11 @@ class BufferSink : public TraceSink {
   /// buffer is left intact (replay is repeatable).
   void Replay(TraceSink& sink) const;
 
+  /// Re-emits only the first `n` buffered records (everything, if `n`
+  /// exceeds the buffer). Checkpoint resume uses this to reconstruct the
+  /// record stream of an execution prefix it did not re-run.
+  void ReplayPrefix(TraceSink& sink, size_t n) const;
+
   size_t records() const;
 
  private:
@@ -62,6 +67,39 @@ class BufferSink : public TraceSink {
   // solver dispatch pool); serialize like JsonlSink does.
   mutable std::mutex mu_;
   std::vector<Record> records_;
+};
+
+/// TeeSink: records every primitive into `buffer` while forwarding it to
+/// `out` (which may be null — record-only). The engine's checkpoint
+/// trails tee each round's VM and symex record streams so a later resumed
+/// round can replay the prefix it skipped, keeping --trace output
+/// bit-identical to a from-scratch run.
+class TeeSink : public TraceSink {
+ public:
+  TeeSink(BufferSink* buffer, TraceSink* out) : buffer_(buffer), out_(out) {}
+
+  void Event(std::string_view name, std::span<const Field> fields) override {
+    buffer_->Event(name, fields);
+    if (out_ != nullptr) out_->Event(name, fields);
+  }
+  void SpanBegin(std::string_view name, uint64_t span_id,
+                 std::span<const Field> fields) override {
+    buffer_->SpanBegin(name, span_id, fields);
+    if (out_ != nullptr) out_->SpanBegin(name, span_id, fields);
+  }
+  void SpanEnd(std::string_view name, uint64_t span_id,
+               uint64_t micros) override {
+    buffer_->SpanEnd(name, span_id, micros);
+    if (out_ != nullptr) out_->SpanEnd(name, span_id, micros);
+  }
+  void Counter(std::string_view name, uint64_t delta) override {
+    buffer_->Counter(name, delta);
+    if (out_ != nullptr) out_->Counter(name, delta);
+  }
+
+ private:
+  BufferSink* buffer_;
+  TraceSink* out_;
 };
 
 }  // namespace sbce::obs

@@ -694,9 +694,10 @@ void TraceExecutor::HandleSyscall(const TraceEvent& ev, SymRegs& regs) {
 }
 
 SymTraceResult TraceExecutor::Execute(std::span<const TraceEvent> events) {
-  if (!events.empty()) {
+  if (!root_latched_ && !events.empty()) {
     root_pid_ = events.front().pid;
     root_tid_ = events.front().tid;
+    root_latched_ = true;
   }
 
   for (const TraceEvent& ev : events) {

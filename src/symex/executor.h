@@ -55,7 +55,17 @@ class TraceExecutor {
   void AddSymbolicBytes(uint64_t addr,
                         std::span<const solver::ExprRef> bytes);
 
-  /// Walks the trace. Uses (and mutates) the internal SymState; call once.
+  /// Walks a trace chunk. Uses (and mutates) the internal SymState; may be
+  /// called repeatedly with consecutive chunks of one trace — the returned
+  /// result and the recorded event indices are cumulative, exactly as if
+  /// the concatenation had been walked in one call.
+  ///
+  /// The executor is copyable, and a copy taken between chunks is a
+  /// checkpoint of the walk: resuming it with the remaining suffix yields
+  /// the same state as walking the full trace (the engine's
+  /// checkpoint-based re-exploration relies on this). After copying,
+  /// re-install SetInitialByteReader and the diagnostics tracer — both
+  /// capture context owned by the original round.
   SymTraceResult Execute(std::span<const vm::TraceEvent> events);
 
   SymState& state() { return state_; }
@@ -104,6 +114,9 @@ class TraceExecutor {
 
   uint32_t root_pid_ = 0;
   uint32_t root_tid_ = 1;
+  /// Root pid/tid latch from the first chunk's first event; later chunks
+  /// (which may open mid-schedule on another thread) must not re-latch.
+  bool root_latched_ = false;
 
   /// Registered trap handler per pid (observed from settrap syscalls).
   std::unordered_map<uint32_t, uint64_t> trap_handler_;

@@ -33,6 +33,7 @@ core::EngineConfig ApplyOptions(const core::EngineConfig& base,
   if (options.solver_threads) {
     config.budgets.solver_threads = *options.solver_threads;
   }
+  if (options.no_checkpoints) config.checkpoints = false;
   return config;
 }
 

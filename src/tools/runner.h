@@ -29,6 +29,10 @@ struct RunOptions {
   std::optional<uint64_t> max_rounds;
   std::optional<uint64_t> max_solver_queries;
   std::optional<unsigned> solver_threads;
+  /// Disable checkpoint-based re-exploration (`--no-checkpoints`): every
+  /// round runs from scratch. Grid/JSON/trace output must come out
+  /// identical either way; only wall-clock and checkpoint.* counters move.
+  bool no_checkpoints = false;
 };
 
 struct CellResult {

@@ -14,6 +14,29 @@ using isa::Instruction;
 using isa::Opcode;
 using isa::OpcodeInfo;
 
+namespace {
+
+/// Deep copy of a process: memory via CoW clone, threads/fds by value.
+std::unique_ptr<Process> CloneProcess(const Process& src) {
+  auto copy = std::make_unique<Process>();
+  copy->pid = src.pid;
+  copy->mem = src.mem.Clone();
+  copy->threads.reserve(src.threads.size());
+  for (const auto& t : src.threads) {
+    copy->threads.push_back(std::make_unique<Thread>(*t));
+  }
+  copy->fds = src.fds;
+  copy->next_fd = src.next_fd;
+  copy->next_tid = src.next_tid;
+  copy->trap_handler = src.trap_handler;
+  copy->rand_state = src.rand_state;
+  copy->alive = src.alive;
+  copy->exit_code = src.exit_code;
+  return copy;
+}
+
+}  // namespace
+
 Machine::Machine(const isa::BinaryImage& image, std::vector<std::string> argv,
                  Devices devices)
     : Machine(image, std::move(argv), devices, Options()) {}
@@ -45,6 +68,58 @@ void Machine::LoadImage(const isa::BinaryImage& image) {
   for (const auto& section : image.sections()) {
     proc.mem.WriteBytes(section.vaddr, section.data);
   }
+}
+
+MachineSnapshot Machine::Snapshot() const {
+  MachineSnapshot snap;
+  snap.processes.reserve(processes_.size());
+  for (const auto& p : processes_) {
+    snap.processes.push_back(CloneProcess(*p));
+  }
+  snap.pipes = pipes_;
+  snap.next_pipe_id = next_pipe_id_;
+  snap.next_pid_offset = next_pid_offset_;
+  snap.fs = fs_;
+  snap.devices = devices_;
+  snap.stdin_data = stdin_data_;
+  snap.stdin_pos = stdin_pos_;
+  snap.seq = seq_;
+  snap.result = result_;
+  return snap;
+}
+
+void Machine::Restore(const MachineSnapshot& snapshot) {
+  processes_.clear();
+  processes_.reserve(snapshot.processes.size());
+  for (const auto& p : snapshot.processes) {
+    processes_.push_back(CloneProcess(*p));
+  }
+  pipes_ = snapshot.pipes;
+  next_pipe_id_ = snapshot.next_pipe_id;
+  next_pid_offset_ = snapshot.next_pid_offset;
+  fs_ = snapshot.fs;
+  devices_ = snapshot.devices;
+  stdin_data_ = snapshot.stdin_data;
+  stdin_pos_ = snapshot.stdin_pos;
+  seq_ = snapshot.seq;
+  result_ = snapshot.result;
+  // A snapshot of a budget-stopped machine is resumable under this
+  // machine's own (possibly larger) budget.
+  result_.budget_exhausted = false;
+  stop_ = false;
+  last_checkpoint_instr_ = result_.instructions;
+}
+
+std::pair<uint64_t, uint64_t> Machine::ArgvBlockSpan() const {
+  const uint64_t lo = options_.argv_base;
+  if (argv_.empty()) return {lo, lo};
+  const size_t last = argv_.size() - 1;
+  return {lo, ArgvStringAddr(last) + argv_[last].size() + 1};
+}
+
+void Machine::WatchArgvBlock() {
+  const auto [lo, hi] = ArgvBlockSpan();
+  processes_.front()->mem.SetInputWatch(lo, hi);
 }
 
 uint64_t Machine::ArgvStringAddr(size_t i) const {
@@ -126,6 +201,16 @@ void Machine::Fault(std::string reason) {
 RunResult Machine::Run() {
   // Deterministic round-robin over (process, thread) pairs.
   while (!stop_) {
+    // Checkpoints only at sweep boundaries (never mid-quantum, so the
+    // restored scheduler replays the identical interleave) and only before
+    // the first fork (children would hold stale input copies).
+    if (checkpoint_hook_ && checkpoint_gap_ > 0 &&
+        processes_.size() == 1 &&
+        result_.instructions - last_checkpoint_instr_ >= checkpoint_gap_) {
+      last_checkpoint_instr_ = result_.instructions;
+      checkpoint_gap_ = checkpoint_hook_(
+          std::make_shared<const MachineSnapshot>(Snapshot()));
+    }
     if (result_.instructions >= options_.max_instructions) {
       result_.budget_exhausted = true;
       tracer_.Event("vm.budget_exhausted",
@@ -803,7 +888,7 @@ void Machine::DoSyscall(Process& proc, Thread& thread, int32_t num,
           ret(static_cast<uint64_t>(-1));
           break;
         }
-        Pipe& pipe = pit->second;
+        PipeState& pipe = pit->second;
         if (pipe.buf.empty()) {
           if (pipe.writers > 0) {
             // Block and retry this instruction when data arrives.
@@ -935,7 +1020,7 @@ void Machine::DoSyscall(Process& proc, Thread& thread, int32_t num,
       break;
     }
     case kSysPipe: {
-      Pipe pipe;
+      PipeState pipe;
       pipe.readers = 1;
       pipe.writers = 1;
       const int id = next_pipe_id_++;

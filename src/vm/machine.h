@@ -87,6 +87,38 @@ struct RunResult {
   uint64_t decode_cache_misses = 0;
 };
 
+/// An anonymous pipe's kernel-side state (buffer + open end counts).
+struct PipeState {
+  std::deque<uint8_t> buf;
+  int readers = 0;
+  int writers = 0;
+};
+
+/// Everything a Run() mutates, captured at a scheduler sweep boundary:
+/// per-process memory (CoW-shared pages, register files, fds, decode-cache
+/// dirty bits), pipes, the filesystem, devices, the stdin cursor, the
+/// global trace sequence number and the partial RunResult. Restoring it
+/// into a machine built from the same image resumes execution
+/// bit-identically to the run that took the snapshot.
+struct MachineSnapshot {
+  std::vector<std::unique_ptr<Process>> processes;
+  std::map<int, PipeState> pipes;
+  int next_pipe_id = 1;
+  uint32_t next_pid_offset = 1;
+  SimFilesystem fs;
+  Devices devices;
+  std::string stdin_data;
+  size_t stdin_pos = 0;
+  uint64_t seq = 0;
+  RunResult result;
+
+  MachineSnapshot() = default;
+  MachineSnapshot(const MachineSnapshot&) = delete;
+  MachineSnapshot& operator=(const MachineSnapshot&) = delete;
+  MachineSnapshot(MachineSnapshot&&) = default;
+  MachineSnapshot& operator=(MachineSnapshot&&) = default;
+};
+
 class Machine {
  public:
   struct Options {
@@ -137,7 +169,55 @@ class Machine {
   void set_tracer(obs::Tracer tracer) { tracer_ = tracer; }
 
   /// Runs to completion (root exit), fault, deadlock, or budget exhaustion.
+  /// Resumable: after Restore() a second Run() continues from the restored
+  /// state exactly as the recording run would have.
   RunResult Run();
+
+  /// Captures the machine's entire mutable state. O(pages) in refcount
+  /// bumps (memory pages are CoW-shared with the snapshot). Only
+  /// meaningful between runs or from the checkpoint hook — never while an
+  /// instruction is in flight.
+  MachineSnapshot Snapshot() const;
+
+  /// Replaces the machine's mutable state with `snapshot` (taken from a
+  /// machine built from the same image with the same options). The
+  /// machine's own argv/stdin setup is discarded: execution resumes the
+  /// recorded run, including its RunResult counters. Use RebindInputByte
+  /// to patch input bytes the recorded prefix never consumed.
+  void Restore(const MachineSnapshot& snapshot);
+
+  /// Called at scheduler sweep boundaries while the machine has a single
+  /// process, whenever at least the requested instruction gap has elapsed
+  /// since the previous checkpoint. Returns the minimum gap before the
+  /// next snapshot (0 disables further checkpoints this run).
+  using CheckpointHook =
+      std::function<uint64_t(std::shared_ptr<const MachineSnapshot>)>;
+  void set_checkpoint_hook(uint64_t first_gap, CheckpointHook hook) {
+    checkpoint_gap_ = first_gap;
+    checkpoint_hook_ = std::move(hook);
+  }
+
+  /// Arms Memory::SetInputWatch over the root argv block (pointer array +
+  /// string bytes), so checkpoint reuse can tell which input bytes the
+  /// recorded prefix consumed or overwrote. Call before Run.
+  void WatchArgvBlock();
+
+  /// Span of the root argv block, [lo, hi).
+  std::pair<uint64_t, uint64_t> ArgvBlockSpan() const;
+
+  /// Patches one byte of the root argv block after a Restore (no
+  /// consumed/overwritten bookkeeping; see Memory::RebindInputByte).
+  void RebindInputByte(uint64_t addr, uint8_t v) {
+    processes_.front()->mem.RebindInputByte(addr, v);
+  }
+
+  /// Pages physically copied by CoW breaks across this machine's clone
+  /// lineage (fork children, snapshots, restores).
+  uint64_t CowPagesCopied() const {
+    return processes_.front()->mem.CowPagesCopied();
+  }
+
+  size_t ProcessCount() const { return processes_.size(); }
 
   /// Guest address where the bytes of argv[i] were placed.
   uint64_t ArgvStringAddr(size_t i) const;
@@ -146,12 +226,6 @@ class Machine {
   const std::vector<std::string>& argv() const { return argv_; }
 
  private:
-  struct Pipe {
-    std::deque<uint8_t> buf;
-    int readers = 0;
-    int writers = 0;
-  };
-
   struct StepOutcome {
     bool advanced = false;      // an instruction retired
     bool reschedule = false;    // blocked / exited / yielded
@@ -178,7 +252,7 @@ class Machine {
   Options options_;
   SimFilesystem fs_;
   std::vector<std::unique_ptr<Process>> processes_;
-  std::map<int, Pipe> pipes_;
+  std::map<int, PipeState> pipes_;
   int next_pipe_id_ = 1;
   uint32_t next_pid_offset_ = 1;
 
@@ -195,6 +269,11 @@ class Machine {
   RunResult result_;
   bool stop_ = false;
   uint64_t seq_ = 0;
+
+  // Checkpoint-hook state (see set_checkpoint_hook).
+  CheckpointHook checkpoint_hook_;
+  uint64_t checkpoint_gap_ = 0;
+  uint64_t last_checkpoint_instr_ = 0;
 };
 
 }  // namespace sbce::vm

@@ -6,13 +6,16 @@ namespace sbce::vm {
 
 Memory Memory::Clone() const {
   Memory copy;
-  for (const auto& [page_no, page] : pages_) {
-    copy.pages_.emplace(page_no, std::make_unique<Page>(*page));
-  }
+  copy.pages_ = pages_;  // shares every page; writes break the sharing
+  copy.cow_copies_ = cow_copies_;
   copy.watch_lo_ = watch_lo_;
   copy.watch_span_ = watch_span_;
   copy.any_code_dirty_ = any_code_dirty_;
   copy.dirty_code_pages_ = dirty_code_pages_;
+  copy.input_lo_ = input_lo_;
+  copy.input_span_ = input_span_;
+  copy.input_consumed_ = input_consumed_;
+  copy.input_written_ = input_written_;
   return copy;
 }
 
@@ -23,6 +26,17 @@ void Memory::SetCodeWatch(uint64_t lo, uint64_t hi) {
   dirty_code_pages_.assign(
       watch_span_ == 0 ? 0 : ((hi - 1) >> kPageBits) - (lo >> kPageBits) + 1,
       0);
+}
+
+void Memory::SetInputWatch(uint64_t lo, uint64_t hi) {
+  input_lo_ = lo;
+  input_span_ = hi > lo ? hi - lo : 0;
+  input_consumed_.assign(input_span_, 0);
+  input_written_.assign(input_span_, 0);
+}
+
+void Memory::RebindInputByte(uint64_t addr, uint8_t v) {
+  EnsurePage(addr)[addr & (kPageSize - 1)] = v;
 }
 
 void Memory::MarkCodeDirty(uint64_t addr) {
@@ -37,11 +51,24 @@ const Memory::Page* Memory::FindPage(uint64_t addr) const {
 
 Memory::Page& Memory::EnsurePage(uint64_t addr) {
   auto& slot = pages_[addr >> kPageBits];
-  if (!slot) slot = std::make_unique<Page>(Page{});
+  if (!slot) {
+    slot = std::make_shared<Page>(Page{});
+  } else if (slot.use_count() > 1) {
+    // Copy-on-write break: another clone still references this page.
+    // (Machines are single-threaded per clone lineage, so the use_count
+    // test cannot race.)
+    slot = std::make_shared<Page>(*slot);
+    ++*cow_copies_;
+  }
   return *slot;
 }
 
 uint8_t Memory::ReadU8(uint64_t addr) const {
+  if (addr - input_lo_ < input_span_) [[unlikely]] {
+    if (input_written_[addr - input_lo_] == 0) {
+      input_consumed_[addr - input_lo_] = 1;
+    }
+  }
   const Page* p = FindPage(addr);
   return p ? (*p)[addr & (kPageSize - 1)] : 0;
 }
@@ -49,6 +76,9 @@ uint8_t Memory::ReadU8(uint64_t addr) const {
 void Memory::WriteU8(uint64_t addr, uint8_t v) {
   if (addr - watch_lo_ < watch_span_) [[unlikely]] {
     MarkCodeDirty(addr);
+  }
+  if (addr - input_lo_ < input_span_) [[unlikely]] {
+    input_written_[addr - input_lo_] = 1;
   }
   EnsurePage(addr)[addr & (kPageSize - 1)] = v;
 }

@@ -1,9 +1,15 @@
-// Sparse paged guest memory.
+// Sparse paged guest memory with copy-on-write cloning.
 //
 // Reads of never-written pages return zeroes; writes allocate pages on
 // demand. SBVM does not model page permissions — the challenges in the
 // study do not depend on segfaults, and keeping loads total simplifies the
 // symbolic memory model.
+//
+// Pages are refcounted: Clone() shares every page and only the write path
+// breaks the sharing (EnsurePage copies a page the moment a second owner
+// writes to it). This makes fork() and Machine::Snapshot() O(pages) in
+// refcount bumps rather than bytes copied; the copies actually performed
+// are counted in `cow_pages_copied` (shared across a clone lineage).
 #pragma once
 
 #include <array>
@@ -23,13 +29,14 @@ class Memory {
   static constexpr unsigned kPageBits = 12;
   static constexpr uint64_t kPageSize = uint64_t{1} << kPageBits;
 
-  Memory() = default;
+  Memory() : cow_copies_(std::make_shared<uint64_t>(0)) {}
   Memory(const Memory&) = delete;
   Memory& operator=(const Memory&) = delete;
   Memory(Memory&&) = default;
   Memory& operator=(Memory&&) = default;
 
-  /// Deep copy for fork().
+  /// Copy for fork() and snapshots: O(1) per page (the pages are shared
+  /// until one side writes).
   Memory Clone() const;
 
   uint8_t ReadU8(uint64_t addr) const;
@@ -52,6 +59,11 @@ class Memory {
   Result<std::string> ReadCString(uint64_t addr, size_t max_len = 4096) const;
 
   size_t PageCount() const { return pages_.size(); }
+
+  /// Pages physically copied by copy-on-write breaks, cumulative across
+  /// this memory and everything cloned from it (the counter is shared by
+  /// the whole clone lineage).
+  uint64_t CowPagesCopied() const { return *cow_copies_; }
 
   /// Registers [lo, hi) as the code range: any later write into it marks
   /// the containing page dirty, which the interpreter's decode cache
@@ -77,6 +89,32 @@ class Memory {
     return false;
   }
 
+  /// Registers [lo, hi) as the input block (the argv bytes): from now on
+  /// every guest read of a byte in it marks that byte *consumed* (unless
+  /// the guest had already overwritten it) and every guest write marks it
+  /// *overwritten*. Checkpoint reuse keys off these masks: a snapshot may
+  /// be resumed under a different input iff no differing byte was consumed
+  /// before the snapshot, and a differing byte may be patched iff the
+  /// guest had not overwritten it. Call after setup writes (they must not
+  /// mark); cloned/snapshot memories inherit the range and both masks.
+  void SetInputWatch(uint64_t lo, uint64_t hi);
+
+  /// True when the guest read `addr` while it still held input bytes.
+  bool InputConsumed(uint64_t addr) const {
+    return addr - input_lo_ < input_span_ &&
+           input_consumed_[addr - input_lo_] != 0;
+  }
+  /// True when the guest overwrote `addr` with its own value.
+  bool InputOverwritten(uint64_t addr) const {
+    return addr - input_lo_ < input_span_ &&
+           input_written_[addr - input_lo_] != 0;
+  }
+
+  /// Rebinds one input byte to a new value without touching the
+  /// consumed/overwritten bookkeeping (the masks keep describing the
+  /// recorded prefix execution, which never saw this byte).
+  void RebindInputByte(uint64_t addr, uint8_t v);
+
  private:
   using Page = std::array<uint8_t, kPageSize>;
 
@@ -84,13 +122,24 @@ class Memory {
   Page& EnsurePage(uint64_t addr);
   void MarkCodeDirty(uint64_t addr);
 
-  std::unordered_map<uint64_t, std::unique_ptr<Page>> pages_;
+  std::unordered_map<uint64_t, std::shared_ptr<Page>> pages_;
+  /// CoW copies performed, shared across the clone lineage (see
+  /// CowPagesCopied).
+  std::shared_ptr<uint64_t> cow_copies_;
   // Code-watch state. watch_span_ == 0 (the default) disables the single
   // range test on the write path.
   uint64_t watch_lo_ = 0;
   uint64_t watch_span_ = 0;
   bool any_code_dirty_ = false;
   std::vector<uint8_t> dirty_code_pages_;  // one flag per watched page
+  // Input-watch state. input_span_ == 0 (the default) disables the range
+  // test on both access paths. The masks are per byte of the watched
+  // range; `input_consumed_` is mutable because marking happens on the
+  // (const) read path.
+  uint64_t input_lo_ = 0;
+  uint64_t input_span_ = 0;
+  mutable std::vector<uint8_t> input_consumed_;
+  std::vector<uint8_t> input_written_;
 };
 
 }  // namespace sbce::vm

@@ -1,0 +1,129 @@
+// Snapshot/restore stress: run a deep loop in tiny budget slices, taking
+// a fresh snapshot every slice and restoring it into a brand-new machine
+// — more than 10k generations — then check the final state is
+// bit-identical to one uninterrupted run. Exercises CoW page sharing,
+// refcount churn and restore bookkeeping hard enough for asan/tsan to
+// catch lifetime mistakes.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/isa/assembler.h"
+#include "src/vm/machine.h"
+
+namespace sbce::vm {
+namespace {
+
+// ~750k instructions of loop, then a memory-visible result: the
+// accumulator lands in `cell`, is written to stdout, and decides the exit
+// code.
+constexpr std::string_view kDeepLoop = R"(
+  .entry main
+  main:
+    movi r4, 0
+    movi r3, 250000
+  loop:
+    addi r4, r4, 3
+    subi r3, r3, 1
+    bnz r3, loop
+    lea r5, cell
+    st8 r4, [r5+0]
+    movi r1, 1
+    mov r2, r5
+    movi r3, 8
+    sys 1             ; write(1, cell, 8)
+    movi r1, 77
+    sys 0             ; exit(77)
+  .data
+  cell: .asciz "xxxxxxxx"
+)";
+
+TEST(SnapshotStress, TenThousandGenerationsMatchFromScratch) {
+  auto img = isa::Assemble(kDeepLoop);
+  ASSERT_TRUE(img.ok()) << img.status().ToString();
+  const isa::BinaryImage image = std::move(img).value();
+  const auto cell = image.FindSymbol("cell");
+  ASSERT_TRUE(cell.has_value());
+  const std::vector<std::string> argv = {"prog"};
+
+  // Reference: one uninterrupted run.
+  Machine scratch(image, argv);
+  const RunResult want = scratch.Run();
+  ASSERT_TRUE(want.exited);
+  ASSERT_EQ(want.exit_code, 77);
+
+  // Sliced: every generation runs at most `kSlice` more instructions,
+  // snapshots, and hands the snapshot to a brand-new machine.
+  constexpr uint64_t kSlice = 48;  // one scheduler sweep per generation
+  MachineSnapshot snap;
+  RunResult rr;
+  uint64_t generations = 0;
+  {
+    Machine::Options opts;
+    opts.max_instructions = kSlice;
+    Machine m(image, argv, Devices(), opts);
+    rr = m.Run();
+    snap = m.Snapshot();
+  }
+  ++generations;
+  while (!rr.exited && !rr.faulted) {
+    ASSERT_TRUE(rr.budget_exhausted) << "slice stopped for another reason";
+    Machine::Options opts;
+    opts.max_instructions = rr.instructions + kSlice;
+    Machine m(image, argv, Devices(), opts);
+    m.Restore(snap);
+    rr = m.Run();
+    snap = m.Snapshot();
+    ++generations;
+    ASSERT_LT(generations, 30'000u) << "runaway: program never finished";
+  }
+
+  EXPECT_GE(generations, 10'000u);
+  EXPECT_TRUE(rr.exited);
+  EXPECT_EQ(rr.exit_code, want.exit_code);
+  EXPECT_EQ(rr.instructions, want.instructions);
+  EXPECT_EQ(rr.stdout_text, want.stdout_text);
+
+  // Bit-identical final memory: the accumulator cell and the whole data
+  // page around it.
+  const Memory& got_mem = snap.processes.front()->mem;
+  const Memory& want_mem = scratch.root().mem;
+  EXPECT_EQ(got_mem.ReadU64(*cell), want_mem.ReadU64(*cell));
+  EXPECT_EQ(got_mem.ReadU64(*cell), 750'000u);
+  const uint64_t page = *cell & ~(Memory::kPageSize - 1);
+  for (uint64_t off = 0; off < Memory::kPageSize; off += 8) {
+    ASSERT_EQ(got_mem.ReadU64(page + off), want_mem.ReadU64(page + off))
+        << "data page differs at +" << off;
+  }
+}
+
+TEST(SnapshotStress, SnapshotIsolatesFromContinuedExecution) {
+  // A snapshot taken mid-run must keep its state even as the source
+  // machine keeps running and rewrites the shared pages (CoW isolation).
+  auto img = isa::Assemble(kDeepLoop);
+  ASSERT_TRUE(img.ok()) << img.status().ToString();
+  const isa::BinaryImage image = std::move(img).value();
+  const auto cell = image.FindSymbol("cell");
+  ASSERT_TRUE(cell.has_value());
+
+  Machine::Options opts;
+  opts.max_instructions = 3'000;
+  Machine m(image, {"prog"}, Devices(), opts);
+  RunResult rr = m.Run();
+  ASSERT_TRUE(rr.budget_exhausted);
+  const MachineSnapshot early = m.Snapshot();
+  const uint64_t early_r4 = early.processes.front()->threads.front()->cpu.r[4];
+
+  // Finish the run in a second machine; the early snapshot is untouched.
+  Machine rest(image, {"prog"});
+  rest.Restore(early);
+  const RunResult done = rest.Run();
+  EXPECT_TRUE(done.exited);
+  EXPECT_EQ(rest.root().mem.ReadU64(*cell), 750'000u);
+  EXPECT_EQ(early.processes.front()->threads.front()->cpu.r[4], early_r4);
+  EXPECT_EQ(early.processes.front()->mem.ReadU64(*cell), 0x7878787878787878u);
+}
+
+}  // namespace
+}  // namespace sbce::vm
