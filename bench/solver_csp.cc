@@ -1,0 +1,240 @@
+// CSP-style hard-instance suite for the CDCL core.
+//
+// The 22 logic bombs mostly produce small, easy queries; gains on the
+// incremental/portfolio path need to be measured on instances that
+// actually stress search. Following the constraint-problem benchmarking
+// direction of arXiv:2001.07914, three generator families over the
+// bitvector expression language:
+//
+//   coloring   — random graph k-coloring (mixed SAT/UNSAT; UNSAT forced
+//                by embedding a (k+1)-clique in half the instances)
+//   subsetsum  — subset-sum over random 16-bit weights hitting a target
+//                built from a hidden subset (always SAT, search-heavy)
+//   queens     — N-queens with row variables and arithmetic diagonal
+//                constraints (SAT for N >= 4)
+//
+// All instances are generated with SplitMix64 from fixed seeds — the
+// suite is fully deterministic.
+//
+// Usage:
+//   solver_csp           full suite: times the default (incremental +
+//                        portfolio) configuration against the baseline
+//                        per-query path, writes BENCH_solver_csp.json,
+//                        exits 0 when every definitive verdict agrees
+//   solver_csp --smoke   small instances, no artifact — the CI/check.sh
+//                        cross-check gate (exit 1 on any disagreement)
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_env.h"
+#include "src/solver/pipeline.h"
+#include "src/solver/solver.h"
+#include "src/support/rng.h"
+#include "src/support/status.h"
+
+namespace {
+
+using namespace sbce;
+using namespace sbce::solver;
+
+struct Instance {
+  std::string name;
+  QueryPipeline::Query assertions;
+};
+
+// Random graph k-coloring. Colors are 8-bit vars c_i < k; every sampled
+// edge demands c_u != c_v. Odd-indexed instances embed a (k+1)-clique on
+// the first k+1 vertices, making them provably uncolorable.
+Instance Coloring(ExprPool& pool, int nodes, int k, bool force_unsat,
+                  uint64_t seed, int index) {
+  SplitMix64 rng(seed);
+  Instance inst;
+  inst.name = "coloring_n" + std::to_string(nodes) + "_k" +
+              std::to_string(k) + (force_unsat ? "_clique" : "") + "_" +
+              std::to_string(index);
+  std::vector<ExprRef> color(nodes);
+  const std::string prefix = "c" + std::to_string(index) + "_";
+  for (int i = 0; i < nodes; ++i) {
+    color[i] = pool.Var(prefix + std::to_string(i), 8);
+    inst.assertions.push_back(
+        pool.Ult(color[i], pool.Const(static_cast<uint64_t>(k), 8)));
+  }
+  for (int u = 0; u < nodes; ++u) {
+    for (int v = u + 1; v < nodes; ++v) {
+      const bool clique_edge = force_unsat && u <= k && v <= k;
+      if (clique_edge || rng.NextUnit() < 0.35) {
+        inst.assertions.push_back(pool.Ne(color[u], color[v]));
+      }
+    }
+  }
+  return inst;
+}
+
+// Subset-sum: pick bits b_i, demand sum(b_i ? w_i : 0) == target where
+// the target is the sum of a hidden random subset — SAT by construction,
+// but the solver has to find *some* subset.
+Instance SubsetSum(ExprPool& pool, int items, uint64_t seed, int index) {
+  SplitMix64 rng(seed);
+  Instance inst;
+  inst.name = "subsetsum_n" + std::to_string(items) + "_" +
+              std::to_string(index);
+  ExprRef sum = pool.Const(0, 32);
+  uint64_t target = 0;
+  const std::string prefix = "b" + std::to_string(index) + "_";
+  for (int i = 0; i < items; ++i) {
+    const uint64_t w = 1 + rng.NextBelow(0xFFFF);
+    if (rng.NextUnit() < 0.5) target += w;
+    ExprRef bit = pool.Var(prefix + std::to_string(i), 1);
+    sum = pool.Add(sum, pool.Ite(bit, pool.Const(w, 32), pool.Const(0, 32)));
+  }
+  inst.assertions.push_back(
+      pool.Eq(sum, pool.Const(target & 0xFFFFFFFFull, 32)));
+  return inst;
+}
+
+// N-queens: q_i is the column of the queen in row i. Distinct columns and
+// arithmetic no-shared-diagonal constraints (values stay far below the
+// 16-bit wraparound, so plain adds are exact).
+Instance Queens(ExprPool& pool, int n, int index) {
+  Instance inst;
+  inst.name = "queens_n" + std::to_string(n) + "_" + std::to_string(index);
+  std::vector<ExprRef> q(n);
+  const std::string prefix = "q" + std::to_string(index) + "_";
+  for (int i = 0; i < n; ++i) {
+    q[i] = pool.Var(prefix + std::to_string(i), 16);
+    inst.assertions.push_back(
+        pool.Ult(q[i], pool.Const(static_cast<uint64_t>(n), 16)));
+  }
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      const uint64_t d = static_cast<uint64_t>(j - i);
+      inst.assertions.push_back(pool.Ne(q[i], q[j]));
+      inst.assertions.push_back(
+          pool.Ne(pool.Add(q[i], pool.Const(d, 16)), q[j]));
+      inst.assertions.push_back(
+          pool.Ne(pool.Add(q[j], pool.Const(d, 16)), q[i]));
+    }
+  }
+  return inst;
+}
+
+std::vector<Instance> BuildSuite(ExprPool& pool, bool smoke) {
+  std::vector<Instance> suite;
+  const int coloring_nodes = smoke ? 10 : 24;
+  const int coloring_count = smoke ? 2 : 6;
+  for (int i = 0; i < coloring_count; ++i) {
+    suite.push_back(Coloring(pool, coloring_nodes, 3, (i % 2) == 1,
+                             0x5bce0 + i, i));
+  }
+  const int subset_items = smoke ? 12 : 24;
+  const int subset_count = smoke ? 2 : 4;
+  for (int i = 0; i < subset_count; ++i) {
+    suite.push_back(SubsetSum(pool, subset_items, 0x5bce00 + i, i));
+  }
+  const int queens_n = smoke ? 6 : 8;
+  const int queens_count = smoke ? 1 : 2;
+  for (int i = 0; i < queens_count; ++i) {
+    suite.push_back(Queens(pool, queens_n + i, i));
+  }
+  return suite;
+}
+
+double MillisSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+const char* StatusName(SolveStatus s) {
+  switch (s) {
+    case SolveStatus::kSat: return "sat";
+    case SolveStatus::kUnsat: return "unsat";
+    case SolveStatus::kUnknown: return "unknown";
+  }
+  return "?";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+  ExprPool pool;
+  const std::vector<Instance> suite = BuildSuite(pool, smoke);
+
+  std::vector<QueryPipeline::Query> batch;
+  for (const Instance& inst : suite) batch.push_back(inst.assertions);
+
+  // Baseline: the per-query cold path (every pipeline gate off).
+  PipelineOptions base_opts;
+  base_opts.threads = 1;
+  base_opts.solver.cache_queries = false;
+  base_opts.solver.slice_independent = false;
+  base_opts.solver.incremental_batch = false;
+  base_opts.solver.portfolio = false;
+  QueryPipeline baseline(base_opts);
+  const auto t_base = std::chrono::steady_clock::now();
+  const auto base_results = baseline.SolveBatch(batch);
+  const double base_ms = MillisSince(t_base);
+
+  // Default: incremental sessions + portfolio.
+  PipelineOptions def_opts;
+  def_opts.threads = 1;
+  QueryPipeline def(def_opts);
+  const auto t_def = std::chrono::steady_clock::now();
+  const auto def_results = def.SolveBatch(batch);
+  const double def_ms = MillisSince(t_def);
+
+  std::printf("=== solver_csp%s: %zu instances ===\n",
+              smoke ? " (smoke)" : "", suite.size());
+  bool ok = true;
+  for (size_t i = 0; i < suite.size(); ++i) {
+    const SolveStatus a = base_results[i].status;
+    const SolveStatus b = def_results[i].status;
+    // Definitive verdicts must agree; a portfolio rescue may upgrade a
+    // baseline kUnknown to a definitive answer, never contradict one.
+    const bool agree =
+        a == b || a == SolveStatus::kUnknown || b == SolveStatus::kUnknown;
+    if (!agree) ok = false;
+    std::printf("%-28s baseline=%-7s default=%-7s%s\n",
+                suite[i].name.c_str(), StatusName(a), StatusName(b),
+                agree ? "" : "  << DISAGREE");
+  }
+  std::printf("baseline: %8.1f ms\ndefault : %8.1f ms  (%.2fx)\n",
+              base_ms, def_ms, base_ms / def_ms);
+  if (!ok) {
+    std::printf("FAIL: definitive verdicts disagree\n");
+    return 1;
+  }
+
+  if (!smoke) {
+    std::FILE* json = std::fopen("BENCH_solver_csp.json", "w");
+    SBCE_CHECK_MSG(json != nullptr, "cannot write BENCH_solver_csp.json");
+    std::fprintf(json,
+                 "{\n"
+                 "  \"hardware_concurrency\": %u,\n"
+                 "  \"build_preset\": \"%s\",\n"
+                 "  \"instances\": %zu,\n"
+                 "  \"baseline_ms\": %.3f,\n"
+                 "  \"default_ms\": %.3f,\n"
+                 "  \"speedup\": %.3f,\n"
+                 "  \"results\": [\n",
+                 bench::HardwareConcurrency(), bench::BuildPreset(),
+                 suite.size(), base_ms, def_ms, base_ms / def_ms);
+    for (size_t i = 0; i < suite.size(); ++i) {
+      std::fprintf(json,
+                   "    {\"name\": \"%s\", \"baseline\": \"%s\", "
+                   "\"default\": \"%s\", \"conflicts\": %llu}%s\n",
+                   suite[i].name.c_str(), StatusName(base_results[i].status),
+                   StatusName(def_results[i].status),
+                   static_cast<unsigned long long>(def_results[i].conflicts),
+                   i + 1 == suite.size() ? "" : ",");
+    }
+    std::fprintf(json, "  ]\n}\n");
+    std::fclose(json);
+    std::printf("wrote BENCH_solver_csp.json\n");
+  }
+  return 0;
+}

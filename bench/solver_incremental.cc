@@ -1,0 +1,162 @@
+// Incremental-session macro-benchmark: the batch-solve workload the
+// warm CDCL sessions were built for.
+//
+// One engine round on a deep path produces a batch of branch-negation
+// queries that all restate the same path-constraint prefix and differ
+// only in the final conjunct. Unlike the query_cache_micro workload, the
+// prefix here is one variable-CONNECTED chain — independence slicing
+// cannot split it, and every query pins a different value into the chain
+// so neither the exact- nor the model-reuse cache rule can answer it.
+// That is exactly the case PR 6's pipeline still solved cold, re-encoding
+// the full prefix circuit per query; the incremental session encodes it
+// once and decides each query under an assumption literal.
+//
+// Modes compared (all solving the identical batch):
+//   cold      — CheckSat per query (the pre-pipeline seed path)
+//   pr6       — pipeline with cache + slicing, incremental/portfolio off
+//   warm      — pipeline with incremental sessions + portfolio (default)
+//
+// Emits BENCH_solver_incremental.json (bench_env-stamped). Acceptance:
+// warm >= 5x over the pr6 baseline on batch wall-clock.
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_env.h"
+#include "src/solver/pipeline.h"
+#include "src/solver/solver.h"
+#include "src/support/status.h"
+
+namespace {
+
+using namespace sbce;
+using namespace sbce::solver;
+
+constexpr int kChain = 24;    // prefix links (one 16-bit multiplier each)
+constexpr int kQueries = 48;  // branch-negation candidates in the batch
+
+// Path prefix: a connected chain x_{g+1} == x_g * x_g + c_g (mod 2^16).
+// Every constraint shares a variable with the next, so the whole batch is
+// one slice component and one session group.
+std::vector<ExprRef> BuildPrefix(ExprPool& pool) {
+  std::vector<ExprRef> prefix;
+  for (int g = 0; g + 1 < kChain; ++g) {
+    ExprRef cur = pool.Var("x" + std::to_string(g), 16);
+    ExprRef next = pool.Var("x" + std::to_string(g + 1), 16);
+    prefix.push_back(pool.Eq(
+        next, pool.Add(pool.Mul(cur, cur), pool.Const(17 * g + 3, 16))));
+  }
+  // A hard multiplicative pin on the head of the chain (x0 = 39 is the
+  // only root of 1521 below 200). Cold runs repeat this CDCL search for
+  // every query; the warm session keeps the prefix assertions' guard
+  // literals alive across queries, so the clauses learned cracking it
+  // once answer it for the rest of the batch.
+  ExprRef x0 = pool.Var("x0", 16);
+  prefix.push_back(pool.Eq(pool.Mul(x0, x0), pool.Const(1521, 16)));
+  prefix.push_back(pool.Ult(x0, pool.Const(200, 16)));
+  return prefix;
+}
+
+// Query i: the full prefix plus a conjunct pinning x0's low byte to a
+// value no earlier query used. With x0 forced to 39 by the prefix, query
+// 39 is SAT and the rest are UNSAT — the realistic branch-negation mix
+// (most negated branches are infeasible). Distinct suffixes defeat the
+// cache's exact rule, distinct full sets defeat the unsat-subset rule.
+std::vector<QueryPipeline::Query> BuildWorkload(ExprPool& pool) {
+  const std::vector<ExprRef> prefix = BuildPrefix(pool);
+  std::vector<QueryPipeline::Query> queries;
+  ExprRef x0 = pool.Var("x0", 16);
+  for (int i = 0; i < kQueries; ++i) {
+    QueryPipeline::Query q = prefix;
+    q.push_back(pool.Eq(pool.And(x0, pool.Const(0xFF, 16)),
+                        pool.Const(static_cast<uint64_t>(i), 16)));
+    queries.push_back(std::move(q));
+  }
+  return queries;
+}
+
+double MillisSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
+
+int main() {
+  ExprPool pool;
+  const auto queries = BuildWorkload(pool);
+  std::printf("=== incremental solver benchmark: chain %d, %d queries ===\n",
+              kChain, kQueries);
+
+  // --- Cold seed path: CheckSat per query ------------------------------
+  std::vector<SolveStatus> cold_status;
+  const auto t_cold = std::chrono::steady_clock::now();
+  for (const auto& q : queries) cold_status.push_back(CheckSat(q).status);
+  const double cold_ms = MillisSince(t_cold);
+
+  // --- PR 6 pipeline: cache + slicing, no warm sessions ----------------
+  PipelineOptions pr6_opts;
+  pr6_opts.threads = 1;
+  pr6_opts.solver.incremental_batch = false;
+  pr6_opts.solver.portfolio = false;
+  QueryPipeline pr6(pr6_opts);
+  const auto t_pr6 = std::chrono::steady_clock::now();
+  const auto pr6_results = pr6.SolveBatch(queries);
+  const double pr6_ms = MillisSince(t_pr6);
+
+  // --- Incremental sessions + portfolio (current default) --------------
+  PipelineOptions warm_opts;
+  warm_opts.threads = 1;
+  QueryPipeline warm(warm_opts);
+  const auto t_warm = std::chrono::steady_clock::now();
+  const auto warm_results = warm.SolveBatch(queries);
+  const double warm_ms = MillisSince(t_warm);
+
+  for (size_t i = 0; i < queries.size(); ++i) {
+    SBCE_CHECK_MSG(pr6_results[i].status == cold_status[i] &&
+                       warm_results[i].status == cold_status[i],
+                   "incremental pipeline verdict diverged from cold path");
+  }
+
+  const PipelineStats stats = warm.stats();
+  const double speedup_pr6 = pr6_ms / warm_ms;
+  const double speedup_cold = cold_ms / warm_ms;
+
+  std::printf("cold per-query    : %8.1f ms\n", cold_ms);
+  std::printf("pr6 pipeline      : %8.1f ms\n", pr6_ms);
+  std::printf("warm incremental  : %8.1f ms  (%.2fx vs pr6, %.2fx vs cold)\n",
+              warm_ms, speedup_pr6, speedup_cold);
+  std::printf("sessions %llu, warm solves %llu, fallbacks %llu\n",
+              static_cast<unsigned long long>(stats.incremental_sessions),
+              static_cast<unsigned long long>(stats.incremental_solves),
+              static_cast<unsigned long long>(stats.incremental_fallbacks));
+
+  std::FILE* json = std::fopen("BENCH_solver_incremental.json", "w");
+  SBCE_CHECK_MSG(json != nullptr,
+                 "cannot write BENCH_solver_incremental.json");
+  std::fprintf(json,
+               "{\n"
+               "  \"hardware_concurrency\": %u,\n"
+               "  \"build_preset\": \"%s\",\n"
+               "  \"chain\": %d,\n"
+               "  \"queries\": %d,\n"
+               "  \"cold_ms\": %.3f,\n"
+               "  \"pr6_pipeline_ms\": %.3f,\n"
+               "  \"incremental_ms\": %.3f,\n"
+               "  \"incremental_sessions\": %llu,\n"
+               "  \"incremental_solves\": %llu,\n"
+               "  \"speedup_vs_pr6\": %.3f,\n"
+               "  \"speedup_vs_cold\": %.3f\n"
+               "}\n",
+               bench::HardwareConcurrency(), bench::BuildPreset(), kChain,
+               kQueries, cold_ms, pr6_ms, warm_ms,
+               static_cast<unsigned long long>(stats.incremental_sessions),
+               static_cast<unsigned long long>(stats.incremental_solves),
+               speedup_pr6, speedup_cold);
+  std::fclose(json);
+  std::printf("wrote BENCH_solver_incremental.json\n");
+
+  return speedup_pr6 >= 5.0 ? 0 : 1;
+}

@@ -38,6 +38,25 @@ void BM_SatPigeonhole(benchmark::State& state) {
 }
 BENCHMARK(BM_SatPigeonhole)->Arg(5)->Arg(6)->Arg(7);
 
+void BM_SatManyDecisions(benchmark::State& state) {
+  // Decision-dominated instance: a chain of implications that never
+  // conflicts, so Solve() is V decisions back to back. This is the
+  // workload where the old O(V) PickBranchLit scan cost O(V^2) per solve
+  // and the indexed activity heap costs O(V log V).
+  const int vars = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    SatSolver s;
+    std::vector<int> v(vars);
+    for (auto& x : v) x = s.NewVar();
+    for (int i = 0; i + 1 < vars; ++i) {
+      s.AddClause({MkLit(v[i], true), MkLit(v[i + 1])});
+    }
+    benchmark::DoNotOptimize(s.Solve());
+    state.counters["decisions"] = static_cast<double>(s.decisions());
+  }
+}
+BENCHMARK(BM_SatManyDecisions)->Arg(1024)->Arg(4096)->Arg(16384);
+
 void BM_BlastMul(benchmark::State& state) {
   const unsigned width = static_cast<unsigned>(state.range(0));
   for (auto _ : state) {

@@ -7,6 +7,8 @@
 //
 // Flags:
 //   --baseline      run with the query pipeline's optimizations disabled
+//                   (cache, slicing, incremental sessions, portfolio,
+//                   parallel dispatch)
 //                   (no cache, no slicing, serial dispatch); the grid must
 //                   come out identical either way.
 //   --json          emit the grid as a single JSON document on stdout
@@ -69,8 +71,8 @@ int main(int argc, char** argv) {
   const auto tools = tools::PaperTools();
   if (!json) {
     if (options.baseline_pipeline) {
-      std::printf("(baseline mode: query cache, slicing and parallel "
-                  "dispatch disabled)\n");
+      std::printf("(baseline mode: query cache, slicing, incremental "
+                  "sessions, portfolio and parallel dispatch disabled)\n");
     }
     std::printf(
         "=== Table II: concolic tools vs the logic-bomb dataset ===\n");

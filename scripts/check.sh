@@ -47,3 +47,9 @@ if [[ -n "$tests_regex" ]]; then
 else
   ctest --preset "$preset"
 fi
+
+# CSP hard-instance cross-check: the incremental/portfolio default path
+# must agree with the baseline per-query path on search-heavy instances.
+if [[ "$preset" == "release" && -z "$tests_regex" ]]; then
+  build/bench/solver_csp --smoke
+fi

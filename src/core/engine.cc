@@ -278,6 +278,8 @@ EngineResult ConcolicEngine::Explore(
   m.solver_cache_misses = after.cache_misses - before.cache_misses;
   m.sliced_queries = after.sliced_queries - before.sliced_queries;
   m.solver_micros = after.solver_micros - before.solver_micros;
+  m.incremental_solves = after.incremental_solves - before.incremental_solves;
+  m.portfolio_rescues = after.portfolio_rescues - before.portfolio_rescues;
   m.decode_cache_hits = c_decode_hits_->value() - decode_hits_base;
   m.decode_cache_misses = c_decode_misses_->value() - decode_misses_base;
   m.checkpoint_hits = c_ckpt_hits_->value() - ckpt_hits_base;
@@ -291,6 +293,8 @@ EngineResult ConcolicEngine::Explore(
   metrics_.Get("solver.cache_misses")->Add(m.solver_cache_misses);
   metrics_.Get("solver.sliced_queries")->Add(m.sliced_queries);
   metrics_.Get("solver.micros")->Add(m.solver_micros);
+  metrics_.Get("solver.incremental_solves")->Add(m.incremental_solves);
+  metrics_.Get("solver.portfolio_rescues")->Add(m.portfolio_rescues);
 
   if (result.claimed) c_claims_->Increment();
   if (result.validated) c_validations_->Increment();

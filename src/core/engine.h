@@ -116,6 +116,8 @@ struct EngineMetrics {
   uint64_t solver_cache_misses = 0;
   uint64_t sliced_queries = 0;
   uint64_t solver_micros = 0;  // wall-clock spent inside the solver stage
+  uint64_t incremental_solves = 0;   // components answered by warm sessions
+  uint64_t portfolio_rescues = 0;    // budget-exhausted queries rescued
 
   // VM decode-cache counters, summed over every concrete run of the
   // exploration (see vm::RunResult).

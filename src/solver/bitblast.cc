@@ -389,11 +389,24 @@ Result<BitBlaster::Bits> BitBlaster::Blast(ExprRef e) {
   return out;
 }
 
-Status BitBlaster::AssertTrue(ExprRef e) {
-  SBCE_CHECK_MSG(e->width == 1, "assertions must be 1-bit");
+Result<Lit> BitBlaster::BlastBit(ExprRef e) {
+  SBCE_CHECK_MSG(e->width == 1, "BlastBit takes 1-bit expressions");
   auto bits = Blast(e);
   if (!bits) return bits.status();
-  sat_.AddClause({bits.value()[0]});
+  return bits.value()[0];
+}
+
+Status BitBlaster::AssertTrue(ExprRef e) {
+  auto root = BlastBit(e);
+  if (!root) return root.status();
+  sat_.AddClause({root.value()});
+  return Status::Ok();
+}
+
+Status BitBlaster::AssertGuarded(Lit guard, ExprRef e) {
+  auto root = BlastBit(e);
+  if (!root) return root.status();
+  sat_.AddClause({Negate(guard), root.value()});
   return Status::Ok();
 }
 

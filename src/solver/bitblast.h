@@ -31,6 +31,17 @@ class BitBlaster {
   /// Asserts that 1-bit expression `e` is true.
   Status AssertTrue(ExprRef e);
 
+  /// Lowers 1-bit expression `e` to a single literal without asserting it.
+  /// The structural cache persists, so repeated calls over assertions that
+  /// share a prefix encode the common circuitry exactly once — the basis
+  /// for incremental sessions (see incremental.h).
+  Result<Lit> BlastBit(ExprRef e);
+
+  /// Asserts `guard → e` (clause {¬guard, root}). Solving under the
+  /// assumption `guard` then enforces `e` for that call only; asserting
+  /// the unit {¬guard} afterwards retires the assertion permanently.
+  Status AssertGuarded(Lit guard, ExprRef e);
+
   /// After a kSat Solve(), reads back the values of all blasted variables.
   Assignment ExtractAssignment() const;
 

@@ -1,9 +1,12 @@
 #include "src/solver/expr.h"
 
 #include <algorithm>
+#include <unordered_map>
 #include <unordered_set>
+#include <utility>
 
 #include "src/support/bits.h"
+#include "src/support/status.h"
 #include "src/support/str.h"
 
 namespace sbce::solver {
@@ -396,6 +399,58 @@ std::vector<ExprRef> CollectVars(std::span<const ExprRef> roots) {
   std::sort(vars.begin(), vars.end(),
             [](ExprRef a, ExprRef b) { return a->id < b->id; });
   return vars;
+}
+
+ExprRef ImportInto(ExprPool* pool, ExprRef root) {
+  // Iterative post-order rebuild (expression DAGs can be deep).
+  std::unordered_map<ExprRef, ExprRef> memo;
+  std::vector<std::pair<ExprRef, bool>> stack{{root, false}};
+  while (!stack.empty()) {
+    auto [e, expanded] = stack.back();
+    stack.pop_back();
+    if (memo.count(e)) continue;
+    if (!expanded) {
+      stack.push_back({e, true});
+      for (int i = 0; i < e->nargs; ++i) stack.push_back({e->args[i], false});
+      continue;
+    }
+    ExprRef out;
+    switch (e->kind) {
+      case Kind::kConst:
+        out = pool->Const(e->cval, e->width);
+        break;
+      case Kind::kVar:
+        out = pool->Var(e->name, e->width);
+        break;
+      case Kind::kIte:
+        out = pool->Ite(memo.at(e->args[0]), memo.at(e->args[1]),
+                        memo.at(e->args[2]));
+        break;
+      case Kind::kConcat:
+        out = pool->Concat(memo.at(e->args[0]), memo.at(e->args[1]));
+        break;
+      case Kind::kExtract:
+        out = pool->Extract(memo.at(e->args[0]), e->p0, e->p1);
+        break;
+      case Kind::kZExt:
+        out = pool->ZExt(memo.at(e->args[0]), e->width);
+        break;
+      case Kind::kSExt:
+        out = pool->SExt(memo.at(e->args[0]), e->width);
+        break;
+      default:
+        if (e->nargs == 1) {
+          out = pool->Unary(e->kind, memo.at(e->args[0]));
+        } else {
+          SBCE_CHECK(e->nargs == 2);
+          out = pool->Binary(e->kind, memo.at(e->args[0]),
+                             memo.at(e->args[1]));
+        }
+        break;
+    }
+    memo.emplace(e, out);
+  }
+  return memo.at(root);
 }
 
 bool ContainsFp(std::span<const ExprRef> roots) {

@@ -138,6 +138,12 @@ std::string ToString(ExprRef e);
 /// Collects the distinct variables reachable from `roots` in id order.
 std::vector<ExprRef> CollectVars(std::span<const ExprRef> roots);
 
+/// Rebuilds `root` (owned by any pool) inside `pool`. Semantics-preserving;
+/// the combinators' light constant folding may shrink the result. Because
+/// the target pool hash-conses, importing DAGs that share structure makes
+/// the shared part pointer-identical there.
+ExprRef ImportInto(ExprPool* pool, ExprRef root);
+
 /// True if any node reachable from `roots` is a floating-point operation.
 bool ContainsFp(std::span<const ExprRef> roots);
 

@@ -1,0 +1,123 @@
+#include "src/solver/incremental.h"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/solver/eval.h"
+#include "src/solver/simplify.h"
+#include "src/support/status.h"
+
+namespace sbce::solver {
+
+IncrementalSolver::Session& IncrementalSolver::EnsureSession() {
+  if (!session_) session_ = std::make_unique<Session>(options_);
+  return *session_;
+}
+
+void IncrementalSolver::ResetSession() {
+  session_.reset();
+  ++stats_.session_resets;
+}
+
+SolveResult IncrementalSolver::Solve(std::span<const ExprRef> assertions) {
+  for (ExprRef a : assertions) {
+    SBCE_CHECK_MSG(a->width == 1, "assertion must be 1-bit");
+  }
+
+  // FP queries route to the search solver; a warm CNF session buys them
+  // nothing.
+  if (ContainsFp(assertions)) {
+    ++stats_.cold_fallbacks;
+    return CheckSat(assertions, options_);
+  }
+
+  SolveResult result;
+  Session& s = EnsureSession();
+
+  // Rebuild each assertion in the persistent session pool. Hash-consing
+  // makes the shared prefix of consecutive queries pointer-identical
+  // there, which is what lets the bit-blaster's structural cache skip
+  // re-encoding it.
+  std::vector<ExprRef> prepared;
+  prepared.reserve(assertions.size());
+  bool any_false = false;
+  for (ExprRef a : assertions) {
+    ExprRef p = options_.presimplify ? Simplify(&s.pool, a)
+                                     : ImportInto(&s.pool, a);
+    if (p->IsConst(0)) any_false = true;
+    if (p->IsConst(1)) continue;  // tautology: nothing to encode
+    prepared.push_back(p);
+  }
+  if (any_false) {
+    result.status = SolveStatus::kUnsat;
+    result.note = "constant-false assertion";
+    return result;
+  }
+  if (prepared.empty()) {
+    result.status = SolveStatus::kSat;
+    return result;
+  }
+
+  const int vars_before = s.sat.NumVars();
+  std::vector<Lit> assumptions;
+  assumptions.reserve(prepared.size());
+  for (ExprRef a : prepared) {
+    auto it = s.guards.find(a);
+    if (it == s.guards.end()) {
+      const Lit g = MkLit(s.sat.NewVar());
+      const Status st = s.blaster.AssertGuarded(g, a);
+      if (!st.ok()) {
+        // Circuit budget exhausted or unsupported node: this session can
+        // no longer answer soundly (the query is half-encoded). Tear it
+        // down and decide this query cold; the next query starts a fresh
+        // session.
+        ResetSession();
+        ++stats_.cold_fallbacks;
+        return CheckSat(assertions, options_);
+      }
+      it = s.guards.emplace(a, g).first;
+    }
+    // A query may repeat an assertion; assume its guard only once.
+    if (std::find(assumptions.begin(), assumptions.end(), it->second) ==
+        assumptions.end()) {
+      assumptions.push_back(it->second);
+    }
+  }
+
+  // Guards are never retired: a prefix assertion shared with the next
+  // query keeps its guard, so clauses learned under it transfer. Unused
+  // guards are simply left unassumed (the solver can set them false).
+  const SatStatus st = s.sat.Solve(assumptions);
+  ++stats_.solves;
+  result.conflicts = s.sat.last_solve_conflicts();
+  result.sat_vars = static_cast<size_t>(s.sat.NumVars() - vars_before);
+
+  switch (st) {
+    case SatStatus::kSat: {
+      result.status = SolveStatus::kSat;
+      // The blaster extracts every variable the session has ever blasted;
+      // restrict to this query's variables before validating.
+      const Assignment full = s.blaster.ExtractAssignment();
+      for (ExprRef v : CollectVars(prepared)) {
+        if (auto it = full.find(v->name); it != full.end()) {
+          result.model.emplace(it->first, it->second);
+        }
+      }
+      SBCE_CHECK_MSG(AllSatisfied(prepared, result.model),
+                     "incremental session returned an invalid model");
+      break;
+    }
+    case SatStatus::kUnsat:
+      result.status = SolveStatus::kUnsat;
+      break;
+    case SatStatus::kUnknown:
+      result.status = SolveStatus::kUnknown;
+      result.note = "conflict budget exhausted";
+      break;
+  }
+  return result;
+}
+
+}  // namespace sbce::solver

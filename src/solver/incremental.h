@@ -1,0 +1,83 @@
+// IncrementalSolver: a warm assumption-based solver session.
+//
+// The engine's branch-negation rounds produce batches of queries that
+// share their entire path-constraint prefix and differ only in the final
+// negated branch. CheckSat() stands up a cold SatSolver + BitBlaster per
+// query, re-encoding the prefix every time. A session instead keeps one
+// solver and one bit-blaster alive across the batch:
+//
+//   * assertions are simplified into a persistent session pool, so the
+//     hash-consed prefix of query N+1 is pointer-identical to query N's
+//     and the bit-blaster's structural cache reuses its circuitry;
+//   * every distinct assertion gets its own guard literal g, added once
+//     as the clause {¬g, root} and remembered for the whole session; a
+//     query is decided with Solve(assumptions = the guards of its
+//     assertions). Because the shared prefix keeps the *same* guards in
+//     every query, clauses learned refuting or propagating the prefix
+//     mention those guards and stay active for every later query — the
+//     session reuses search, not just circuitry. The permanent clause set
+//     (circuit definitions + guarded roots) is always satisfiable by
+//     setting every guard false, so the solver never becomes permanently
+//     UNSAT on behalf of one query;
+//   * circuit-budget or unsupported-kind failures reset the session and
+//     fall back to the cold path for that query, preserving CheckSat's
+//     outcome contract.
+//
+// A session is single-threaded; the pipeline creates one per
+// variable-connected task group (see pipeline.cc).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <unordered_map>
+
+#include "src/solver/bitblast.h"
+#include "src/solver/expr.h"
+#include "src/solver/sat.h"
+#include "src/solver/solver.h"
+
+namespace sbce::solver {
+
+class IncrementalSolver {
+ public:
+  struct Stats {
+    uint64_t solves = 0;          // queries answered by the warm session
+    uint64_t cold_fallbacks = 0;  // queries rerouted to cold CheckSat
+    uint64_t session_resets = 0;  // sessions torn down (budget/unsupported)
+  };
+
+  explicit IncrementalSolver(const SolverOptions& options)
+      : options_(options) {}
+
+  /// Decides the conjunction of `assertions` (each 1-bit), with the same
+  /// outcome contract as CheckSat(): kSat models are evaluator-validated,
+  /// kUnknown carries a budget note. `conflicts`/`sat_vars` report the
+  /// *per-query* cost (conflicts spent in this Solve, variables added by
+  /// this query's encoding).
+  SolveResult Solve(std::span<const ExprRef> assertions);
+
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct Session {
+    explicit Session(const SolverOptions& options)
+        : sat(ToSatOptions(options)),
+          blaster(&sat, BitBlaster::Options{options.max_sat_vars}) {}
+    ExprPool pool;
+    SatSolver sat;
+    BitBlaster blaster;
+    // Per-assertion guard literals, keyed by the hash-consed node in
+    // `pool` — a repeated assertion reuses its guard (and its encoding).
+    std::unordered_map<ExprRef, Lit> guards;
+  };
+
+  Session& EnsureSession();
+  void ResetSession();
+
+  SolverOptions options_;
+  Stats stats_;
+  std::unique_ptr<Session> session_;
+};
+
+}  // namespace sbce::solver

@@ -1,12 +1,15 @@
 #include "src/solver/pipeline.h"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <optional>
+#include <string_view>
 #include <thread>
 #include <unordered_map>
 #include <unordered_set>
 
+#include "src/solver/incremental.h"
 #include "src/solver/slice.h"
 
 namespace sbce::solver {
@@ -18,6 +21,18 @@ unsigned ResolveThreads(unsigned requested) {
   unsigned hw = std::thread::hardware_concurrency();
   if (hw == 0) hw = 1;
   return std::min(hw, 8u);
+}
+
+bool IsDefinitive(const SolveResult& r) {
+  return r.status == SolveStatus::kSat || r.status == SolveStatus::kUnsat;
+}
+
+/// Only conflict-budget exhaustion is worth racing: a different strategy
+/// can finish inside the same budget, while circuit-budget and FP-search
+/// failures would just fail again.
+bool PortfolioEligible(const SolveResult& r) {
+  return r.status == SolveStatus::kUnknown &&
+         r.note == "conflict budget exhausted";
 }
 
 /// Restricts `model` to the variables reachable from `assertions`. Cached
@@ -36,6 +51,21 @@ Assignment RestrictToVars(const Assignment& model,
 }
 
 }  // namespace
+
+std::vector<SolverOptions> DefaultPortfolio(const SolverOptions& base) {
+  // Alternate 1: direct encoding (skip the algebraic simplifier), greedy
+  // VSIDS decay and rapid restarts — favours shallow conflicts.
+  SolverOptions aggressive = base;
+  aggressive.presimplify = false;
+  aggressive.var_decay = 0.85;
+  aggressive.restart_base = 50;
+  // Alternate 2: patient decay and long restart intervals — favours deep
+  // learned-clause reuse.
+  SolverOptions patient = base;
+  patient.var_decay = 0.99;
+  patient.restart_base = 300;
+  return {aggressive, patient};
+}
 
 QueryPipeline::QueryPipeline(PipelineOptions options)
     : options_(options),
@@ -105,13 +135,148 @@ std::vector<SolveResult> QueryPipeline::SolveBatch(
 
   // --- Phase 2: solve unresolved components (parallel, pure) ------------
   stats_.subqueries_solved += tasks.size();
-  const auto solve_task = [&](size_t t) {
-    tasks[t].result = CheckSat(tasks[t].assertions, options_.solver);
-  };
-  if (pool_ && tasks.size() > 1) {
-    pool_->ForEachIndex(tasks.size(), solve_task);
+
+  // Group tasks into sessions by variable connectivity. The partition is
+  // a pure function of the batch (never of the schedule), so results stay
+  // thread-count independent. Tasks sharing variables — a round's
+  // branch-negation candidates sharing their whole path prefix — land in
+  // one session and are solved serially by a warm IncrementalSolver;
+  // isolated tasks take the cold path.
+  std::vector<std::vector<size_t>> sessions;
+  if (options_.solver.incremental_batch && !tasks.empty()) {
+    std::vector<size_t> parent(tasks.size());
+    for (size_t t = 0; t < tasks.size(); ++t) parent[t] = t;
+    const auto find = [&](size_t x) {
+      while (parent[x] != x) {
+        parent[x] = parent[parent[x]];
+        x = parent[x];
+      }
+      return x;
+    };
+    std::unordered_map<std::string_view, size_t> var_owner;
+    for (size_t t = 0; t < tasks.size(); ++t) {
+      for (ExprRef v : CollectVars(tasks[t].assertions)) {
+        auto [it, inserted] = var_owner.try_emplace(v->name, t);
+        if (!inserted) parent[find(it->second)] = find(t);
+      }
+    }
+    std::unordered_map<size_t, size_t> session_of_root;
+    for (size_t t = 0; t < tasks.size(); ++t) {
+      const size_t root = find(t);
+      auto [it, inserted] = session_of_root.try_emplace(root, sessions.size());
+      if (inserted) sessions.emplace_back();
+      sessions[it->second].push_back(t);
+    }
   } else {
-    for (size_t t = 0; t < tasks.size(); ++t) solve_task(t);
+    sessions.resize(tasks.size());
+    for (size_t t = 0; t < tasks.size(); ++t) sessions[t].push_back(t);
+  }
+
+  std::vector<IncrementalSolver::Stats> session_stats(sessions.size());
+  const auto solve_session = [&](size_t s) {
+    const std::vector<size_t>& members = sessions[s];
+    if (members.size() == 1) {
+      // A warm session buys nothing for a lone component.
+      const size_t t = members[0];
+      tasks[t].result = CheckSat(tasks[t].assertions, options_.solver);
+      return;
+    }
+    IncrementalSolver warm(options_.solver);
+    for (const size_t t : members) {
+      tasks[t].result = warm.Solve(tasks[t].assertions);
+    }
+    session_stats[s] = warm.stats();
+  };
+  if (pool_ && sessions.size() > 1) {
+    pool_->ForEachIndex(sessions.size(), solve_session);
+  } else {
+    for (size_t s = 0; s < sessions.size(); ++s) solve_session(s);
+  }
+  for (size_t s = 0; s < sessions.size(); ++s) {
+    if (sessions[s].size() > 1) ++stats_.incremental_sessions;
+    stats_.incremental_solves += session_stats[s].solves;
+    stats_.incremental_fallbacks += session_stats[s].cold_fallbacks;
+  }
+
+  // --- Phase 2b: portfolio race on budget-exhausted components ----------
+  if (options_.solver.portfolio) {
+    const std::vector<SolverOptions> alternates =
+        options_.portfolio_configs.empty() ? DefaultPortfolio(options_.solver)
+                                           : options_.portfolio_configs;
+    std::vector<size_t> racing;
+    for (size_t t = 0; t < tasks.size(); ++t) {
+      if (PortfolioEligible(tasks[t].result)) racing.push_back(t);
+    }
+    const size_t k = alternates.size();
+    if (!racing.empty() && k > 0) {
+      struct Attempt {
+        SolveResult result;
+        bool ran = false;
+      };
+      std::vector<std::vector<Attempt>> attempts(
+          racing.size(), std::vector<Attempt>(k));
+      // Per racing task: lowest alternate index known definitive so far
+      // (k = none). Only an early-skip hint — commitment below re-derives
+      // the winner deterministically.
+      std::vector<std::atomic<size_t>> first_definitive(racing.size());
+      for (auto& f : first_definitive) f.store(k, std::memory_order_relaxed);
+
+      // Adjacent work items are different configs of the same task, so
+      // the pool genuinely races strategies against each other.
+      const auto race = [&](size_t item) {
+        const size_t ri = item / k;
+        const size_t ci = item % k;
+        if (first_definitive[ri].load(std::memory_order_acquire) < ci) {
+          return;  // a strictly lower config already answered: skip
+        }
+        Attempt& attempt = attempts[ri][ci];
+        attempt.result = CheckSat(tasks[racing[ri]].assertions,
+                                  alternates[ci]);
+        attempt.ran = true;
+        if (IsDefinitive(attempt.result)) {
+          size_t cur = first_definitive[ri].load(std::memory_order_relaxed);
+          while (ci < cur && !first_definitive[ri].compare_exchange_weak(
+                                 cur, ci, std::memory_order_release,
+                                 std::memory_order_relaxed)) {
+          }
+        }
+      };
+      if (pool_ && racing.size() * k > 1) {
+        pool_->ForEachIndex(racing.size() * k, race);
+      } else {
+        for (size_t item = 0; item < racing.size() * k; ++item) race(item);
+      }
+
+      // Commit serially. The winner is the lowest-indexed definitive
+      // config; every config at or below it is guaranteed to have run
+      // (a run is only skipped when a strictly lower one was definitive),
+      // so both the winner and the conflict accounting are pure functions
+      // of the batch.
+      for (size_t ri = 0; ri < racing.size(); ++ri) {
+        SolveResult& primary = tasks[racing[ri]].result;
+        size_t winner = k;
+        for (size_t ci = 0; ci < k; ++ci) {
+          if (attempts[ri][ci].ran && IsDefinitive(attempts[ri][ci].result)) {
+            winner = ci;
+            break;
+          }
+        }
+        const size_t charged = winner == k ? k : winner + 1;
+        stats_.portfolio_runs += charged;
+        uint64_t extra_conflicts = 0;
+        for (size_t ci = 0; ci < charged; ++ci) {
+          extra_conflicts += attempts[ri][ci].result.conflicts;
+        }
+        if (winner < k) {
+          ++stats_.portfolio_rescues;
+          SolveResult rescued = std::move(attempts[ri][winner].result);
+          rescued.conflicts = primary.conflicts + extra_conflicts;
+          primary = std::move(rescued);
+        } else {
+          primary.conflicts += extra_conflicts;
+        }
+      }
+    }
   }
 
   // --- Phase 3: merge, validate, commit to cache (serial, input order) --
@@ -168,6 +333,8 @@ std::vector<SolveResult> QueryPipeline::SolveBatch(
           .count());
   if (options_.tracer.enabled()) {
     const QueryCacheStats cache_after = cache_.stats();
+    // Every field here is a pure function of the batch (see the phase-2
+    // determinism notes), so traces stay bit-identical across --jobs.
     options_.tracer.Event(
         "solver.batch.done",
         {obs::Field::U("queries", queries.size()),

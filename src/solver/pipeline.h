@@ -10,9 +10,18 @@
 //                       (slice.h), canonicalize each component, consult
 //                       the QueryCache, and deduplicate the remaining
 //                       components across the whole batch.
-//   2. Solve (parallel): every unresolved component is an independent
-//                       CheckSat call — a pure function of its assertion
-//                       set — dispatched across the thread pool.
+//   2. Solve (parallel): unresolved components are grouped into
+//                       variable-connected *sessions* (a union-find over
+//                       shared variable names — a pure function of the
+//                       batch, never of the schedule). A multi-member
+//                       session is solved serially, in task order, by one
+//                       warm IncrementalSolver so the shared constraint
+//                       prefix is encoded once and learned clauses carry
+//                       over; singleton sessions take the cold CheckSat
+//                       path. Sessions are dispatched across the thread
+//                       pool. A 2b sub-phase then races the portfolio
+//                       alternates (see below) on any component that
+//                       exhausted its conflict budget.
 //   3. Commit (serial): in query order, merge component results, validate
 //                       merged SAT models with the concrete evaluator, and
 //                       insert fresh verdicts into the cache.
@@ -23,9 +32,20 @@
 // engine's "lowest candidate index wins" rule needs to keep exploration
 // outcomes independent of scheduling.
 //
-// With `cache_queries` and `slice_independent` both false and threads == 1
-// the pipeline degenerates to calling CheckSat once per query, in order —
-// the pre-pipeline serial behaviour.
+// Portfolio determinism: alternates are indexed, and a component's answer
+// is committed from the *lowest-indexed* configuration that returned a
+// definitive (SAT/UNSAT) result — never from "whichever finished first".
+// Each configuration run is a pure function of (assertions, config), and a
+// run is only skipped when a strictly lower-indexed run already turned out
+// definitive — so every configuration at or below the winning index is
+// guaranteed to have run, and the winner (plus the conflict accounting,
+// which only counts runs at or below the winner) is schedule-independent.
+// Results of higher-indexed speculative runs are discarded unobserved.
+//
+// With `cache_queries`, `slice_independent`, `incremental_batch` and
+// `portfolio` all false and threads == 1 the pipeline degenerates to
+// calling CheckSat once per query, in order — the pre-pipeline serial
+// behaviour (the --baseline contract).
 #pragma once
 
 #include <cstdint>
@@ -46,6 +66,10 @@ struct PipelineOptions {
   /// 0 = auto (hardware concurrency capped at 8); 1 = fully serial.
   unsigned threads = 1;
   QueryCache::Options cache;
+  /// Portfolio alternates raced (in index order) on components whose
+  /// primary run exhausted its conflict budget. Empty = DefaultPortfolio
+  /// derived from `solver`. Only consulted when solver.portfolio is true.
+  std::vector<SolverOptions> portfolio_configs;
   /// Observability: each SolveBatch emits a "solver.batch" span carrying
   /// query/component/cache-delta fields. Empty tracer = no overhead.
   obs::Tracer tracer;
@@ -54,11 +78,21 @@ struct PipelineOptions {
 struct PipelineStats {
   uint64_t queries = 0;            // queries accepted
   uint64_t sliced_queries = 0;     // ...that split into >1 component
-  uint64_t subqueries_solved = 0;  // CheckSat calls actually issued
+  uint64_t subqueries_solved = 0;  // solver calls actually issued
   uint64_t cache_hits = 0;         // component lookups answered from cache
   uint64_t cache_misses = 0;       // component lookups that missed
   uint64_t solver_micros = 0;      // wall-clock inside SolveBatch
+  uint64_t incremental_solves = 0;     // components answered warm
+  uint64_t incremental_fallbacks = 0;  // warm components rerouted cold
+  uint64_t incremental_sessions = 0;   // warm sessions stood up
+  uint64_t portfolio_runs = 0;     // alternate runs charged (deterministic)
+  uint64_t portfolio_rescues = 0;  // kUnknown flipped definitive by 2b
 };
+
+/// The built-in alternates: (1) direct encoding, aggressive decay and fast
+/// restarts; (2) patient decay and long restarts. Budgets are inherited
+/// from `base`.
+std::vector<SolverOptions> DefaultPortfolio(const SolverOptions& base);
 
 class QueryPipeline {
  public:

@@ -8,6 +8,7 @@
 namespace sbce::solver {
 
 int SatSolver::NewVar() {
+  SBCE_CHECK_MSG(trail_lim_.empty(), "NewVar above decision level 0");
   const int v = static_cast<int>(assigns_.size());
   assigns_.push_back(0);
   reason_.push_back(kUndef);
@@ -17,10 +18,16 @@ int SatSolver::NewVar() {
   seen_.push_back(0);
   watches_.emplace_back();
   watches_.emplace_back();
+  heap_pos_.push_back(-1);
+  HeapInsert(v);
   return v;
 }
 
 void SatSolver::AddClause(std::vector<Lit> lits) {
+  // Incremental contract: clauses may only be added at decision level 0.
+  // Above level 0 the normalization below would consult assignments that
+  // are not permanent and the new watches would not be backtrack-aware.
+  SBCE_CHECK_MSG(trail_lim_.empty(), "AddClause above decision level 0");
   if (unsat_) return;
   // Normalize: drop duplicate literals and clauses satisfied at level 0;
   // drop literals false at level 0.
@@ -116,15 +123,41 @@ int SatSolver::Propagate() {
 void SatSolver::BumpVar(int var) {
   activity_[var] += var_inc_;
   if (activity_[var] > 1e100) {
+    // Uniform rescale preserves the relative order, so heap positions
+    // stay valid.
     for (auto& a : activity_) a *= 1e-100;
     var_inc_ *= 1e-100;
   }
+  if (heap_pos_[var] >= 0) HeapUp(static_cast<size_t>(heap_pos_[var]));
 }
 
-void SatSolver::DecayActivities() { var_inc_ /= options_.var_decay; }
+void SatSolver::BumpClause(int ci) {
+  Clause& c = clauses_[ci];
+  if (!c.learnt) return;
+  c.activity += cla_inc_;
+  if (c.activity > 1e20) {
+    for (auto& cl : clauses_) {
+      if (cl.learnt) cl.activity *= 1e-20;
+    }
+    cla_inc_ *= 1e-20;
+  }
+}
+
+void SatSolver::DecayActivities() {
+  var_inc_ /= options_.var_decay;
+  cla_inc_ /= options_.clause_decay;
+}
+
+double SatSolver::clause_activity_sum() const {
+  double sum = 0;
+  for (const auto& c : clauses_) {
+    if (c.learnt) sum += c.activity;
+  }
+  return sum;
+}
 
 void SatSolver::Analyze(int conflict, std::vector<Lit>* learnt,
-                        int* backtrack_level) {
+                        int* backtrack_level, uint32_t* lbd) {
   learnt->clear();
   learnt->push_back(0);  // placeholder for the asserting literal
   const int current_level = static_cast<int>(trail_lim_.size());
@@ -135,6 +168,7 @@ void SatSolver::Analyze(int conflict, std::vector<Lit>* learnt,
 
   do {
     SBCE_CHECK(ci != kUndef);
+    BumpClause(ci);
     const auto& lits = clauses_[ci].lits;
     for (size_t k = (p == -1 ? 0 : 1); k < lits.size(); ++k) {
       const Lit q = lits[k];
@@ -170,6 +204,19 @@ void SatSolver::Analyze(int conflict, std::vector<Lit>* learnt,
     }
   }
   if (learnt->size() > 1) std::swap((*learnt)[1], (*learnt)[max_i]);
+
+  // LBD = number of distinct decision levels among the learnt literals
+  // (learnt[0] sits at the conflict level).
+  lbd_levels_.clear();
+  lbd_levels_.push_back(current_level);
+  for (size_t i = 1; i < learnt->size(); ++i) {
+    lbd_levels_.push_back(level_[LitVar((*learnt)[i])]);
+  }
+  std::sort(lbd_levels_.begin(), lbd_levels_.end());
+  lbd_levels_.erase(std::unique(lbd_levels_.begin(), lbd_levels_.end()),
+                    lbd_levels_.end());
+  *lbd = static_cast<uint32_t>(lbd_levels_.size());
+
   for (size_t i = 1; i < learnt->size(); ++i) {
     seen_[LitVar((*learnt)[i])] = 0;
   }
@@ -182,21 +229,64 @@ void SatSolver::Backtrack(int target_level) {
     const int var = LitVar(trail_[i - 1]);
     assigns_[var] = 0;
     reason_[var] = kUndef;
+    HeapInsert(var);
   }
   trail_.resize(bound);
   trail_lim_.resize(target_level);
   qhead_ = trail_.size();
 }
 
-Lit SatSolver::PickBranchLit() {
-  int best = kUndef;
-  double best_act = -1;
-  for (int v = 0; v < NumVars(); ++v) {
-    if (assigns_[v] == 0 && activity_[v] > best_act) {
-      best = v;
-      best_act = activity_[v];
-    }
+void SatSolver::HeapSwap(size_t i, size_t j) {
+  std::swap(heap_[i], heap_[j]);
+  heap_pos_[heap_[i]] = static_cast<int>(i);
+  heap_pos_[heap_[j]] = static_cast<int>(j);
+}
+
+void SatSolver::HeapUp(size_t i) {
+  while (i > 0) {
+    const size_t parent = (i - 1) / 2;
+    if (!VarOrderBefore(heap_[i], heap_[parent])) break;
+    HeapSwap(i, parent);
+    i = parent;
   }
+}
+
+void SatSolver::HeapDown(size_t i) {
+  const size_t n = heap_.size();
+  while (true) {
+    const size_t left = 2 * i + 1;
+    if (left >= n) break;
+    const size_t right = left + 1;
+    size_t best = left;
+    if (right < n && VarOrderBefore(heap_[right], heap_[left])) best = right;
+    if (!VarOrderBefore(heap_[best], heap_[i])) break;
+    HeapSwap(i, best);
+    i = best;
+  }
+}
+
+void SatSolver::HeapInsert(int var) {
+  if (heap_pos_[var] >= 0) return;  // already queued
+  heap_pos_[var] = static_cast<int>(heap_.size());
+  heap_.push_back(var);
+  HeapUp(heap_.size() - 1);
+}
+
+int SatSolver::HeapPopBest() {
+  // Lazy deletion: assigned variables stay queued until popped here.
+  while (!heap_.empty()) {
+    const int var = heap_[0];
+    HeapSwap(0, heap_.size() - 1);
+    heap_.pop_back();
+    heap_pos_[var] = -1;
+    if (!heap_.empty()) HeapDown(0);
+    if (assigns_[var] == 0) return var;
+  }
+  return kUndef;
+}
+
+Lit SatSolver::PickBranchLit() {
+  const int best = HeapPopBest();
   if (best == kUndef) return -1;
   return MkLit(best, phase_[best] == 0);
 }
@@ -217,24 +307,96 @@ uint64_t SatSolver::Luby(uint64_t x) {
   return uint64_t{1} << seq;
 }
 
-SatStatus SatSolver::Solve() {
-  if (unsat_) return SatStatus::kUnsat;
-  if (Propagate() != -1) return SatStatus::kUnsat;
+void SatSolver::ReduceDb() {
+  // Called at a restart boundary (decision level 0). Every trail literal
+  // is a level-0 fact whose reason is never consulted again (Analyze only
+  // resolves on vars above level 0), so clause indices stored there can
+  // be dropped before compaction instead of remapped.
+  SBCE_CHECK(trail_lim_.empty());
+  for (Lit l : trail_) reason_[LitVar(l)] = kUndef;
 
+  // Candidates: learnt, longer than binary, not glue (lbd > 2). Sort the
+  // worst first — high LBD, then low activity, then insertion order so
+  // the pass is deterministic.
+  std::vector<int> candidates;
+  for (int ci = 0; ci < static_cast<int>(clauses_.size()); ++ci) {
+    const Clause& c = clauses_[ci];
+    if (c.learnt && c.lits.size() > 2 && c.lbd > 2) candidates.push_back(ci);
+  }
+  if (candidates.empty()) return;
+  std::sort(candidates.begin(), candidates.end(), [this](int a, int b) {
+    const Clause& ca = clauses_[a];
+    const Clause& cb = clauses_[b];
+    if (ca.lbd != cb.lbd) return ca.lbd > cb.lbd;
+    if (ca.activity != cb.activity) return ca.activity < cb.activity;
+    return a < b;
+  });
+
+  std::vector<uint8_t> remove(clauses_.size(), 0);
+  const size_t drop = candidates.size() / 2;
+  for (size_t i = 0; i < drop; ++i) remove[candidates[i]] = 1;
+  if (drop == 0) return;
+
+  // Compact the clause arena and rebuild the watch lists. Watches always
+  // sit on lits[0]/lits[1] (Propagate maintains that), so re-attachment
+  // reproduces the exact watch structure for the survivors.
+  std::vector<Clause> kept;
+  kept.reserve(clauses_.size() - drop);
+  for (size_t ci = 0; ci < clauses_.size(); ++ci) {
+    if (!remove[ci]) kept.push_back(std::move(clauses_[ci]));
+  }
+  clauses_ = std::move(kept);
+  for (auto& wl : watches_) wl.clear();
+  for (int ci = 0; ci < static_cast<int>(clauses_.size()); ++ci) {
+    AttachClause(ci);
+  }
+
+  learnt_count_ -= drop;
+  learnts_removed_ += drop;
+  ++db_reductions_;
+  reduce_limit_ += reduce_limit_ / 2;
+}
+
+SatStatus SatSolver::Solve(std::span<const Lit> assumptions) {
+  last_solve_conflicts_ = 0;
+  if (unsat_) return SatStatus::kUnsat;
+  SBCE_CHECK_MSG(trail_lim_.empty(), "Solve entered above decision level 0");
+  if (Propagate() != -1) {
+    unsat_ = true;
+    return SatStatus::kUnsat;
+  }
+
+  const uint64_t start_conflicts = conflicts_;
   uint64_t restart_round = 0;
-  uint64_t conflicts_until_restart = 100 * Luby(restart_round);
+  uint64_t conflicts_until_restart =
+      options_.restart_base * Luby(restart_round);
   uint64_t conflicts_this_round = 0;
   std::vector<Lit> learnt;
+  // Every exit path runs through here: snapshot per-call cost, then
+  // restore level 0 so the solver is immediately reusable.
+  const auto finish = [&](SatStatus status) {
+    last_solve_conflicts_ = conflicts_ - start_conflicts;
+    Backtrack(0);
+    return status;
+  };
 
   while (true) {
     const int conflict = Propagate();
     if (conflict != -1) {
       ++conflicts_;
       ++conflicts_this_round;
-      if (trail_lim_.empty()) return SatStatus::kUnsat;
-      if (conflicts_ >= options_.max_conflicts) return SatStatus::kUnknown;
+      if (trail_lim_.empty()) {
+        // Conflict with no decisions or assumptions on the trail: the
+        // clause set itself is unsatisfiable, permanently.
+        unsat_ = true;
+        return finish(SatStatus::kUnsat);
+      }
+      if (conflicts_ - start_conflicts >= options_.max_conflicts) {
+        return finish(SatStatus::kUnknown);
+      }
       int back_level = 0;
-      Analyze(conflict, &learnt, &back_level);
+      uint32_t lbd = 0;
+      Analyze(conflict, &learnt, &back_level, &lbd);
       Backtrack(back_level);
       if (learnt.size() == 1) {
         Enqueue(learnt[0], kUndef);
@@ -242,7 +404,10 @@ SatStatus SatSolver::Solve() {
         Clause c;
         c.lits = learnt;
         c.learnt = true;
+        c.activity = cla_inc_;
+        c.lbd = lbd;
         clauses_.push_back(std::move(c));
+        ++learnt_count_;
         const int ci = static_cast<int>(clauses_.size()) - 1;
         AttachClause(ci);
         Enqueue(learnt[0], ci);
@@ -252,12 +417,42 @@ SatStatus SatSolver::Solve() {
     }
     if (conflicts_this_round >= conflicts_until_restart) {
       conflicts_this_round = 0;
-      conflicts_until_restart = 100 * Luby(++restart_round);
+      conflicts_until_restart =
+          options_.restart_base * Luby(++restart_round);
       Backtrack(0);
+      if (options_.reduce_db && learnt_count_ >= reduce_limit_) ReduceDb();
       continue;
     }
-    const Lit next = PickBranchLit();
-    if (next == -1) return SatStatus::kSat;
+    // Place pending assumptions as decisions before free decisions.
+    // Restarts drop them from the trail; they are replayed here.
+    Lit next = -1;
+    while (trail_lim_.size() < assumptions.size()) {
+      const Lit a = assumptions[trail_lim_.size()];
+      const int value = LitValue(a);
+      if (value == 1) {
+        // Already true: open a dummy level so the level→assumption
+        // correspondence stays aligned.
+        trail_lim_.push_back(static_cast<int>(trail_.size()));
+        continue;
+      }
+      if (value == 2) {
+        // An assumption is falsified by the formula (plus earlier
+        // assumptions): unsatisfiable under these assumptions, but the
+        // clause set itself stays usable.
+        return finish(SatStatus::kUnsat);
+      }
+      next = a;
+      break;
+    }
+    if (next == -1) {
+      next = PickBranchLit();
+      if (next == -1) {
+        // Total assignment: snapshot it before the exit path unwinds the
+        // trail.
+        model_.assign(assigns_.begin(), assigns_.end());
+        return finish(SatStatus::kSat);
+      }
+    }
     ++decisions_;
     trail_lim_.push_back(static_cast<int>(trail_.size()));
     Enqueue(next, kUndef);

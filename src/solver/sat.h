@@ -1,13 +1,39 @@
 // CDCL SAT solver (the MiniSat-style substrate under the bit-blaster).
 //
 // Features: two-watched-literal propagation, VSIDS decision heuristic with
-// activity decay, first-UIP conflict clause learning with backjumping,
-// phase saving, and Luby restarts. Budgeted by conflict count so the tool
-// profiles can emulate solver timeouts (the paper's E outcomes).
+// activity decay (indexed max-heap variable order), first-UIP conflict
+// clause learning with backjumping, clause activity + LBD bookkeeping with
+// periodic learnt-database reduction, phase saving, Luby restarts, and
+// assumption-based incremental solving. Budgeted by conflict count so the
+// tool profiles can emulate solver timeouts (the paper's E outcomes).
+//
+// Incremental contract
+// --------------------
+// The solver is reusable across Solve() calls: learned clauses, saved
+// phases and VSIDS activities all survive, which is what makes a batch of
+// near-identical queries (the engine's branch-negation rounds) cheap after
+// the first one. The rules:
+//
+//   * Solve() always returns with the trail backtracked to decision
+//     level 0 (the "reset-to-level-0 path"); after kSat the model is
+//     snapshotted first, so ValueOf() stays valid until the next Solve().
+//   * AddClause()/NewVar() are only legal at decision level 0. Calling
+//     AddClause above level 0 would corrupt the watch/trail invariants
+//     (watchers assume level-0 normalization), so it is enforced with a
+//     hard check. Because Solve() restores level 0 before returning, any
+//     AddClause between Solve() calls is legal.
+//   * Solve(assumptions) decides the clause set under the given
+//     assumption literals without making them permanent: kUnsat then
+//     means "unsatisfiable together with the assumptions". Assert a unit
+//     clause instead when a fact should persist.
+//   * max_conflicts is a per-Solve() budget, not a lifetime budget, so a
+//     warm solver gives every query in a batch the same headroom a cold
+//     one would.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 namespace sbce::solver {
@@ -27,36 +53,66 @@ enum class SatStatus { kSat, kUnsat, kUnknown };
 class SatSolver {
  public:
   struct Options {
-    uint64_t max_conflicts = 1'000'000;
+    uint64_t max_conflicts = 1'000'000;  // per Solve() call
     double var_decay = 0.95;
+    double clause_decay = 0.999;
+    /// Luby restart unit: restart round i allows restart_base * Luby(i)
+    /// conflicts before backtracking to level 0.
+    uint64_t restart_base = 100;
+    /// Learnt-database reduction: when the number of learnt clauses
+    /// reaches the (geometrically growing) limit at a restart boundary,
+    /// the worst half (by LBD, then clause activity) is dropped.
+    bool reduce_db = true;
+    size_t reduce_base = 4000;  // learnt clauses before the first reduction
   };
 
   SatSolver() : SatSolver(Options{}) {}
-  explicit SatSolver(const Options& options) : options_(options) {}
+  explicit SatSolver(const Options& options)
+      : options_(options), reduce_limit_(options.reduce_base) {}
 
-  /// Allocates a fresh variable; returns its index.
+  /// Allocates a fresh variable; returns its index. Level 0 only.
   int NewVar();
   int NumVars() const { return static_cast<int>(assigns_.size()); }
 
   /// Adds a clause. An empty clause (or one falsified at level 0) makes the
-  /// instance trivially UNSAT.
+  /// instance trivially UNSAT. Level 0 only (see the incremental contract
+  /// above); Solve() always returns at level 0, so calls between solves
+  /// are safe.
   void AddClause(std::vector<Lit> lits);
 
-  SatStatus Solve();
+  /// Decides the clause set under `assumptions` (may be empty). Learned
+  /// clauses, activities and saved phases persist across calls; the
+  /// assumptions do not.
+  SatStatus Solve(std::span<const Lit> assumptions);
+  SatStatus Solve() { return Solve({}); }
 
-  /// Model access after kSat.
-  bool ValueOf(int var) const { return assigns_[var] == 1; }
+  /// Model access after kSat. Values are snapshotted when kSat is
+  /// returned and stay valid until the next Solve().
+  bool ValueOf(int var) const { return model_[static_cast<size_t>(var)] == 1; }
 
   uint64_t conflicts() const { return conflicts_; }
   uint64_t decisions() const { return decisions_; }
   uint64_t propagations() const { return propagations_; }
+  /// Conflicts spent inside the most recent Solve() call (the per-query
+  /// cost a warm solver reports to callers).
+  uint64_t last_solve_conflicts() const { return last_solve_conflicts_; }
   size_t clause_count() const { return clauses_.size(); }
+  size_t learnt_count() const { return learnt_count_; }
+  uint64_t db_reductions() const { return db_reductions_; }
+  uint64_t learnts_removed() const { return learnts_removed_; }
+  /// Sum of learnt-clause activities (observability hook: proves the
+  /// bump/decay wiring is live without exposing per-clause state).
+  double clause_activity_sum() const;
+
+  /// Luby restart sequence 1 1 2 1 1 2 4 ... (exposed for tests).
+  static uint64_t Luby(uint64_t i);
 
  private:
   struct Clause {
     std::vector<Lit> lits;
     bool learnt = false;
     double activity = 0;
+    uint32_t lbd = 0;  // literal-block distance at learn time
   };
 
   static constexpr int kUndef = -1;
@@ -70,13 +126,28 @@ class SatSolver {
 
   void Enqueue(Lit l, int reason);
   int Propagate();              // returns conflicting clause index or -1
-  void Analyze(int conflict, std::vector<Lit>* learnt, int* backtrack_level);
+  void Analyze(int conflict, std::vector<Lit>* learnt, int* backtrack_level,
+               uint32_t* lbd);
   void Backtrack(int level);
   Lit PickBranchLit();
   void BumpVar(int var);
+  void BumpClause(int ci);
   void DecayActivities();
   void AttachClause(int ci);
-  static uint64_t Luby(uint64_t i);
+  void ReduceDb();
+
+  // Indexed binary max-heap over variables, ordered by (activity desc,
+  // index asc) — the same total order the previous O(V) scan implied, so
+  // decision sequences are unchanged.
+  bool VarOrderBefore(int a, int b) const {
+    return activity_[a] > activity_[b] ||
+           (activity_[a] == activity_[b] && a < b);
+  }
+  void HeapSwap(size_t i, size_t j);
+  void HeapUp(size_t i);
+  void HeapDown(size_t i);
+  void HeapInsert(int var);
+  int HeapPopBest();  // kUndef when empty
 
   Options options_;
   std::vector<Clause> clauses_;
@@ -88,15 +159,25 @@ class SatSolver {
   std::vector<uint8_t> phase_;             // saved phase per var
   std::vector<Lit> trail_;
   std::vector<int> trail_lim_;             // decision level boundaries
+  std::vector<int> heap_;                  // decision order heap (vars)
+  std::vector<int> heap_pos_;              // per var: index into heap_ or -1
+  std::vector<uint8_t> model_;             // assigns_ snapshot at last kSat
   size_t qhead_ = 0;
   double var_inc_ = 1.0;
+  double cla_inc_ = 1.0;
   bool unsat_ = false;
 
   uint64_t conflicts_ = 0;
   uint64_t decisions_ = 0;
   uint64_t propagations_ = 0;
+  uint64_t last_solve_conflicts_ = 0;
+  size_t learnt_count_ = 0;
+  size_t reduce_limit_;
+  uint64_t db_reductions_ = 0;
+  uint64_t learnts_removed_ = 0;
 
   std::vector<uint8_t> seen_;              // scratch for Analyze
+  std::vector<int> lbd_levels_;            // scratch for LBD computation
 };
 
 }  // namespace sbce::solver

@@ -7,6 +7,16 @@
 
 namespace sbce::solver {
 
+SatSolver::Options ToSatOptions(const SolverOptions& options) {
+  SatSolver::Options sat_opts;
+  sat_opts.max_conflicts = options.max_conflicts;
+  sat_opts.var_decay = options.var_decay;
+  sat_opts.clause_decay = options.clause_decay;
+  sat_opts.restart_base = options.restart_base;
+  sat_opts.reduce_db = options.reduce_clause_db;
+  return sat_opts;
+}
+
 SolveResult CheckSat(std::span<const ExprRef> raw_assertions,
                      const SolverOptions& options) {
   SolveResult result;
@@ -18,9 +28,14 @@ SolveResult CheckSat(std::span<const ExprRef> raw_assertions,
   // decided without touching the SAT core. The rewrite builds into a
   // call-local pool (expressions are immutable values, so rebuilding in a
   // different arena is sound); everything below only lives for this call,
-  // and the returned model is plain name→value data.
+  // and the returned model is plain name→value data. With presimplify off
+  // (a portfolio alternate) the raw assertions are encoded directly; the
+  // constant-false/empty fast paths still apply either way.
   ExprPool local_pool;
-  std::vector<ExprRef> assertions = SimplifyAll(&local_pool, raw_assertions);
+  std::vector<ExprRef> assertions =
+      options.presimplify
+          ? SimplifyAll(&local_pool, raw_assertions)
+          : std::vector<ExprRef>(raw_assertions.begin(), raw_assertions.end());
   bool any_false = false;
   for (ExprRef a : assertions) {
     if (a->IsConst(0)) any_false = true;
@@ -52,9 +67,7 @@ SolveResult CheckSat(std::span<const ExprRef> raw_assertions,
     return result;
   }
 
-  SatSolver::Options sat_opts;
-  sat_opts.max_conflicts = options.max_conflicts;
-  SatSolver sat(sat_opts);
+  SatSolver sat(ToSatOptions(options));
   BitBlaster::Options bb_opts;
   bb_opts.max_sat_vars = options.max_sat_vars;
   BitBlaster blaster(&sat, bb_opts);

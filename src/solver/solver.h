@@ -14,23 +14,41 @@
 
 #include "src/solver/eval.h"
 #include "src/solver/expr.h"
+#include "src/solver/sat.h"
 
 namespace sbce::solver {
 
 enum class SolveStatus { kSat, kUnsat, kUnknown };
 
 struct SolverOptions {
-  uint64_t max_conflicts = 1'000'000;  // CDCL budget
+  uint64_t max_conflicts = 1'000'000;  // CDCL budget (per query)
   size_t max_sat_vars = 2'000'000;     // circuit budget
   uint64_t fp_iterations = 200'000;    // FP search budget
   uint64_t seed = 0x5bce;
 
+  // CDCL strategy knobs, forwarded to SatSolver::Options. Portfolio
+  // configurations vary these (see pipeline.h).
+  double var_decay = 0.95;
+  double clause_decay = 0.999;
+  uint64_t restart_base = 100;        // Luby restart unit
+  bool reduce_clause_db = true;       // learnt-DB reduction at restarts
+  // Run the algebraic simplifier before encoding. Off = direct encoding
+  // (a portfolio alternate: skips rewriting, trusts CDCL on raw circuits).
+  bool presimplify = true;
+
   // Query-pipeline gates, honoured by solver::QueryPipeline (CheckSat
   // itself always decides exactly the conjunction it is given). Turning
-  // both off makes the pipeline equivalent to calling CheckSat per query.
+  // them all off makes the pipeline equivalent to calling CheckSat per
+  // query on a cold solver.
   bool cache_queries = true;      // reuse SAT models / UNSAT verdicts
   bool slice_independent = true;  // solve variable-disjoint parts apart
+  bool incremental_batch = true;  // warm assumption-based solver sessions
+  bool portfolio = true;          // race strategies on kUnknown queries
 };
+
+/// Maps the facade options onto the CDCL core's knobs (shared by the cold
+/// path below and the incremental sessions in incremental.cc).
+SatSolver::Options ToSatOptions(const SolverOptions& options);
 
 struct SolveResult {
   SolveStatus status = SolveStatus::kUnknown;

@@ -24,6 +24,8 @@ core::EngineConfig ApplyOptions(const core::EngineConfig& base,
   if (options.baseline_pipeline) {
     config.budgets.solver.cache_queries = false;
     config.budgets.solver.slice_independent = false;
+    config.budgets.solver.incremental_batch = false;
+    config.budgets.solver.portfolio = false;
     config.budgets.solver_threads = 1;
   }
   if (options.max_rounds) config.budgets.max_rounds = *options.max_rounds;

@@ -21,9 +21,10 @@ struct RunOptions {
   /// Observability sink threaded through the engine, VM, symbolic
   /// executor and query pipeline (not owned; may be null).
   obs::TraceSink* trace_sink = nullptr;
-  /// Disable the query pipeline's cache/slicing/parallel dispatch — the
-  /// pre-pipeline serial behaviour (`table2_tool_grid --baseline`). The
-  /// grid must come out identical either way.
+  /// Disable the query pipeline's cache/slicing/incremental-session/
+  /// portfolio/parallel dispatch — the pre-pipeline serial behaviour
+  /// (`table2_tool_grid --baseline`). The grid must come out identical
+  /// either way.
   bool baseline_pipeline = false;
   // Budget overrides (engine defaults from the tool profile when unset).
   std::optional<uint64_t> max_rounds;

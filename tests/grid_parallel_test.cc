@@ -67,6 +67,20 @@ TEST(GridParallel, CellOrderMatchesSpecOrder) {
   }
 }
 
+TEST(GridParallel, BaselineMatchesDefaultPipeline) {
+  // --baseline disables the query cache, slicing, incremental sessions,
+  // the portfolio, and parallel dispatch; the grid contract says none of
+  // those may change a verdict. The timing-free export must be
+  // byte-identical across the two modes.
+  const auto cells = FastCells();
+  RunOptions fast;
+  fast.max_rounds = 6;
+  RunOptions baseline = fast;
+  baseline.baseline_pipeline = true;
+  EXPECT_EQ(Fingerprint(RunGrid(cells, fast, 4)),
+            Fingerprint(RunGrid(cells, baseline, 1)));
+}
+
 TEST(GridParallel, TraceStreamIdenticalModuloTiming) {
   // Per-cell buffers replay into the sink in spec order, so the record
   // stream matches a serial run's except for wall-clock durations and

@@ -356,5 +356,246 @@ TEST_P(PipelineThreadDeterminism, OneVsEightThreads) {
 INSTANTIATE_TEST_SUITE_P(Seeds, PipelineThreadDeterminism,
                          ::testing::Range(0, 6));
 
+// --- Incremental sessions ------------------------------------------------
+
+// Prefix-chain batch: every query restates the same variable-connected
+// prefix and pins a distinct value into it — the branch-negation pattern
+// the warm sessions target. One slice component, no cache hits possible.
+std::vector<QueryPipeline::Query> PrefixChainBatch(ExprPool& pool,
+                                                   int links,
+                                                   int num_queries) {
+  std::vector<ExprRef> prefix;
+  for (int g = 0; g + 1 < links; ++g) {
+    ExprRef cur = pool.Var("p" + std::to_string(g), 16);
+    ExprRef next = pool.Var("p" + std::to_string(g + 1), 16);
+    prefix.push_back(pool.Eq(
+        next, pool.Add(pool.Mul(cur, cur), pool.Const(13 * g + 1, 16))));
+  }
+  ExprRef head = pool.Var("p0", 16);
+  std::vector<QueryPipeline::Query> batch;
+  for (int i = 0; i < num_queries; ++i) {
+    QueryPipeline::Query q = prefix;
+    q.push_back(pool.Eq(pool.And(head, pool.Const(0xF, 16)),
+                        pool.Const(static_cast<uint64_t>(i % 16), 16)));
+    batch.push_back(std::move(q));
+  }
+  return batch;
+}
+
+TEST(IncrementalPipeline, WarmSessionsMatchFacade) {
+  ExprPool pool;
+  const auto batch = PrefixChainBatch(pool, 8, 12);
+  PipelineOptions opts;
+  opts.threads = 1;
+  QueryPipeline pipeline(opts);
+  const auto results = pipeline.SolveBatch(batch);
+  ASSERT_EQ(results.size(), batch.size());
+  for (size_t i = 0; i < batch.size(); ++i) {
+    const auto fresh = CheckSat(batch[i]);
+    EXPECT_EQ(results[i].status, fresh.status) << "query " << i;
+    if (results[i].status == SolveStatus::kSat) {
+      EXPECT_TRUE(AllSatisfied(batch[i], results[i].model)) << "query " << i;
+    }
+  }
+  // The whole batch shares variables: one session, every query solved
+  // warm, nothing fell back to the cold path.
+  EXPECT_EQ(pipeline.stats().incremental_sessions, 1u);
+  EXPECT_EQ(pipeline.stats().incremental_solves, batch.size());
+  EXPECT_EQ(pipeline.stats().incremental_fallbacks, 0u);
+}
+
+TEST(IncrementalPipeline, MixedBatchGroupsByVariableOverlap) {
+  // Two disjoint prefix families plus a singleton → two multi-member
+  // sessions and one cold singleton, regardless of thread count.
+  ExprPool pool;
+  auto batch = PrefixChainBatch(pool, 6, 6);
+  ExprRef z = pool.Var("z_lone", 8);
+  for (int i = 0; i < 6; ++i) {
+    QueryPipeline::Query q;
+    ExprRef a = pool.Var("m" + std::to_string(0), 16);
+    ExprRef b = pool.Var("m" + std::to_string(1), 16);
+    q.push_back(pool.Eq(pool.Add(a, b), pool.Const(100 + i, 16)));
+    q.push_back(pool.Ult(a, pool.Const(50 + i, 16)));
+    batch.push_back(std::move(q));
+  }
+  batch.push_back({pool.Eq(z, pool.Const(7, 8))});
+
+  PipelineOptions opts;
+  opts.threads = 1;
+  QueryPipeline pipeline(opts);
+  const auto results = pipeline.SolveBatch(batch);
+  for (size_t i = 0; i < batch.size(); ++i) {
+    EXPECT_EQ(results[i].status, CheckSat(batch[i]).status) << "query " << i;
+  }
+  EXPECT_EQ(pipeline.stats().incremental_sessions, 2u);
+}
+
+TEST(IncrementalPipeline, CircuitBudgetFallsBackToColdPath) {
+  // A sat-variable budget too small for the session circuit: the session
+  // resets and every member is answered by the cold per-query path, with
+  // verdicts unchanged.
+  ExprPool pool;
+  const auto batch = PrefixChainBatch(pool, 8, 6);
+  PipelineOptions tiny;
+  tiny.threads = 1;
+  tiny.solver.max_sat_vars = 64;
+  QueryPipeline pipeline(tiny);
+  const auto results = pipeline.SolveBatch(batch);
+
+  PipelineOptions cold_opts;
+  cold_opts.threads = 1;
+  cold_opts.solver.max_sat_vars = 64;
+  cold_opts.solver.incremental_batch = false;
+  cold_opts.solver.portfolio = false;
+  QueryPipeline cold(cold_opts);
+  const auto cold_results = cold.SolveBatch(batch);
+  for (size_t i = 0; i < batch.size(); ++i) {
+    EXPECT_EQ(results[i].status, cold_results[i].status) << "query " << i;
+    EXPECT_EQ(results[i].note, cold_results[i].note) << "query " << i;
+  }
+  EXPECT_GE(pipeline.stats().incremental_fallbacks, 1u);
+}
+
+class IncrementalThreadDeterminism : public ::testing::TestWithParam<int> {};
+
+TEST_P(IncrementalThreadDeterminism, OneVsEightThreads) {
+  // Same contract as PipelineThreadDeterminism, but on session-heavy
+  // batches: prefix chains mixed with random queries so multi-member
+  // sessions, singletons, and cache interactions all occur.
+  SplitMix64 rng(GetParam() * 52361 + 11);
+  ExprPool pool;
+  auto batch = PrefixChainBatch(pool, 6, 10);
+  for (auto& q : RandomBatch(pool, rng, 16)) batch.push_back(std::move(q));
+
+  PipelineOptions serial;
+  serial.threads = 1;
+  PipelineOptions parallel;
+  parallel.threads = 8;
+  QueryPipeline p1(serial), p8(parallel);
+  const auto r1 = p1.SolveBatch(batch);
+  const auto r8 = p8.SolveBatch(batch);
+  ASSERT_EQ(r1.size(), r8.size());
+  for (size_t i = 0; i < r1.size(); ++i) {
+    EXPECT_EQ(r1[i].status, r8[i].status) << "query " << i;
+    EXPECT_EQ(r1[i].model, r8[i].model) << "query " << i;
+    EXPECT_EQ(r1[i].note, r8[i].note) << "query " << i;
+    EXPECT_EQ(r1[i].conflicts, r8[i].conflicts) << "query " << i;
+  }
+  EXPECT_EQ(p1.stats().incremental_sessions, p8.stats().incremental_sessions);
+  EXPECT_EQ(p1.stats().incremental_solves, p8.stats().incremental_solves);
+  EXPECT_EQ(p1.stats().portfolio_runs, p8.stats().portfolio_runs);
+  EXPECT_EQ(p1.stats().portfolio_rescues, p8.stats().portfolio_rescues);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IncrementalThreadDeterminism,
+                         ::testing::Range(0, 4));
+
+// --- Portfolio -----------------------------------------------------------
+
+// A multiplication inversion the primary config cannot crack in one
+// conflict: with max_conflicts=1 the first pass returns kUnknown with the
+// budget-exhausted note, which is exactly the portfolio trigger.
+std::vector<ExprRef> HardSatQuery(ExprPool& pool, const std::string& name) {
+  ExprRef x = pool.Var(name, 16);
+  return {pool.Eq(pool.Mul(x, x), pool.Const(1521, 16)),
+          pool.Ult(x, pool.Const(200, 16))};
+}
+
+TEST(PortfolioTest, RescuesBudgetExhaustedQueries) {
+  ExprPool pool;
+  PipelineOptions opts;
+  opts.threads = 1;
+  opts.solver.cache_queries = false;
+  opts.solver.max_conflicts = 1;  // primary always exhausts its budget
+  SolverOptions patient = opts.solver;
+  patient.max_conflicts = 1'000'000;
+  opts.portfolio_configs = {patient};
+  QueryPipeline pipeline(opts);
+
+  const auto res = pipeline.Solve(HardSatQuery(pool, "x"));
+  ASSERT_EQ(res.status, SolveStatus::kSat);
+  EXPECT_EQ(res.model.at("x"), 39u);
+  EXPECT_EQ(pipeline.stats().portfolio_rescues, 1u);
+  EXPECT_GE(pipeline.stats().portfolio_runs, 1u);
+  // Rescue accounting: the committed conflicts include the failed primary
+  // attempt plus the winning alternate.
+  EXPECT_GT(res.conflicts, 0u);
+}
+
+TEST(PortfolioTest, NoRescueLeavesPrimaryAnswerUntouched) {
+  // Alternates as starved as the primary: every config exhausts, the
+  // original kUnknown note is preserved, and runs are still charged.
+  ExprPool pool;
+  PipelineOptions opts;
+  opts.threads = 1;
+  opts.solver.cache_queries = false;
+  opts.solver.max_conflicts = 1;
+  SolverOptions also_starved = opts.solver;
+  opts.portfolio_configs = {also_starved};
+  QueryPipeline pipeline(opts);
+
+  const auto res = pipeline.Solve(HardSatQuery(pool, "x"));
+  EXPECT_EQ(res.status, SolveStatus::kUnknown);
+  EXPECT_EQ(res.note, "conflict budget exhausted");
+  EXPECT_EQ(pipeline.stats().portfolio_rescues, 0u);
+  EXPECT_EQ(pipeline.stats().portfolio_runs, 1u);
+}
+
+TEST(PortfolioTest, DisabledGateNeverRuns) {
+  ExprPool pool;
+  PipelineOptions opts;
+  opts.threads = 1;
+  opts.solver.cache_queries = false;
+  opts.solver.max_conflicts = 1;
+  opts.solver.portfolio = false;
+  QueryPipeline pipeline(opts);
+  const auto res = pipeline.Solve(HardSatQuery(pool, "x"));
+  EXPECT_EQ(res.status, SolveStatus::kUnknown);
+  EXPECT_EQ(pipeline.stats().portfolio_runs, 0u);
+  EXPECT_EQ(pipeline.stats().portfolio_rescues, 0u);
+}
+
+class PortfolioThreadDeterminism : public ::testing::TestWithParam<int> {};
+
+TEST_P(PortfolioThreadDeterminism, OneVsEightThreads) {
+  // Many racing queries, two alternates, 1 vs 8 threads: the committed
+  // result and the charged-run accounting must not depend on which config
+  // finished first on the wall clock.
+  ExprPool pool;
+  std::vector<QueryPipeline::Query> batch;
+  for (int i = 0; i < 8; ++i) {
+    batch.push_back(HardSatQuery(pool, "v" + std::to_string(i)));
+  }
+  PipelineOptions opts;
+  opts.solver.cache_queries = false;
+  opts.solver.slice_independent = (GetParam() % 2) == 0;
+  opts.solver.max_conflicts = 1;
+  SolverOptions still_starved = opts.solver;
+  SolverOptions patient = opts.solver;
+  patient.max_conflicts = 1'000'000;
+  opts.portfolio_configs = {still_starved, patient};
+
+  PipelineOptions serial = opts;
+  serial.threads = 1;
+  PipelineOptions parallel = opts;
+  parallel.threads = 8;
+  QueryPipeline p1(serial), p8(parallel);
+  const auto r1 = p1.SolveBatch(batch);
+  const auto r8 = p8.SolveBatch(batch);
+  ASSERT_EQ(r1.size(), r8.size());
+  for (size_t i = 0; i < r1.size(); ++i) {
+    EXPECT_EQ(r1[i].status, SolveStatus::kSat) << "query " << i;
+    EXPECT_EQ(r1[i].status, r8[i].status) << "query " << i;
+    EXPECT_EQ(r1[i].model, r8[i].model) << "query " << i;
+    EXPECT_EQ(r1[i].conflicts, r8[i].conflicts) << "query " << i;
+  }
+  EXPECT_EQ(p1.stats().portfolio_runs, p8.stats().portfolio_runs);
+  EXPECT_EQ(p1.stats().portfolio_rescues, p8.stats().portfolio_rescues);
+  EXPECT_EQ(p1.stats().portfolio_rescues, batch.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PortfolioThreadDeterminism,
+                         ::testing::Range(0, 4));
+
 }  // namespace
 }  // namespace sbce::solver
