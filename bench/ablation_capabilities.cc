@@ -6,7 +6,8 @@
 // grid is attributable to one engine feature, not tuning.
 #include <cstdio>
 
-#include "src/tools/runner.h"
+#include "src/service/api.h"
+#include "src/tools/profiles.h"
 
 int main() {
   using namespace sbce;
@@ -45,13 +46,21 @@ int main() {
   std::printf("%-12s %-52s %-8s %-8s\n", "bomb", "capability disabled",
               "with", "without");
   for (const auto& ab : ablations) {
-    const auto* bomb = bombs::FindBomb(ab.bomb);
-    auto base = tools::Angr();
-    auto with_cell = tools::RunCell(*bomb, base);
-    auto ablated = tools::Angr();
-    ablated.name = "Angr~";  // so expectations don't apply
-    ab.disable(ablated.engine);
-    auto without_cell = tools::RunCell(*bomb, ablated);
+    service::AnalysisRequest with;
+    with.bomb = ab.bomb;
+    with.profile = "Angr";
+    auto with_cell = service::Analyze(with);
+
+    // The ablated configuration is the custom-engine escape hatch: a
+    // mutated profile has no name the service could resolve.
+    service::AnalysisRequest without;
+    without.bomb = ab.bomb;
+    without.profile = "Angr~";  // so expectations don't apply
+    auto ablated = tools::Angr().engine;
+    ab.disable(ablated);
+    without.custom_engine = std::move(ablated);
+    auto without_cell = service::Analyze(without);
+
     std::printf("%-12s %-52s %-8s %-8s\n", ab.bomb, ab.capability,
                 std::string(OutcomeLabel(with_cell.outcome)).c_str(),
                 std::string(OutcomeLabel(without_cell.outcome)).c_str());

@@ -27,7 +27,7 @@
 #include "src/obs/json.h"
 #include "src/support/status.h"
 #include "src/support/str.h"
-#include "src/tools/runner.h"
+#include "src/service/api.h"
 
 namespace {
 
@@ -102,11 +102,14 @@ int main(int argc, char** argv) {
     const std::vector<std::string> seed = {"prog", std::string(k, 'z')};
 
     auto timed = [&](bool no_checkpoints, double* seconds) {
-      tools::RunOptions options;
-      options.no_checkpoints = no_checkpoints;
+      service::AnalysisRequest request;
+      request.local_image = &image;
+      request.seed_argv = seed;
+      request.target_pc = *target;
+      request.custom_engine = FamilyConfig();
+      request.no_checkpoints = no_checkpoints;
       const auto t0 = std::chrono::steady_clock::now();
-      auto result =
-          tools::ExploreImage(image, FamilyConfig(), seed, *target, options);
+      auto result = service::Analyze(request).engine;
       *seconds = std::chrono::duration_cast<std::chrono::duration<double>>(
                      std::chrono::steady_clock::now() - t0)
                      .count();

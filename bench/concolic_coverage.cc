@@ -4,11 +4,9 @@
 #include <cstdio>
 #include <string>
 
-#include "src/core/engine.h"
 #include "src/isa/assembler.h"
 #include "src/report/table.h"
-#include "src/tools/runner.h"
-#include "src/vm/machine.h"
+#include "src/service/api.h"
 
 namespace {
 
@@ -49,9 +47,12 @@ int main() {
     SBCE_CHECK(img.ok());
     const auto image = std::move(img).value();
     std::string seed(static_cast<size_t>(n), 'x');
-    auto result = tools::ExploreImage(image, tools::Ideal().engine,
-                                      {"prog", seed},
-                                      *image.FindSymbol("bomb"));
+    service::AnalysisRequest request;
+    request.local_image = &image;
+    request.seed_argv = {"prog", seed};
+    request.target_pc = *image.FindSymbol("bomb");
+    request.profile = "Ideal";
+    auto result = service::Analyze(request).engine;
     table.AddRow({std::to_string(n), result.validated ? "yes" : "no",
                   std::to_string(result.metrics.rounds),
                   std::to_string(result.metrics.solver_queries),

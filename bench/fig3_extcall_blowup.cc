@@ -7,7 +7,7 @@
 // (including conditional ones inside printf) join the constraint system.
 #include <cstdio>
 
-#include "src/tools/runner.h"
+#include "src/service/api.h"
 
 namespace {
 
@@ -40,12 +40,15 @@ void Report(const char* label, const sbce::core::EngineResult& result) {
 int main() {
   using namespace sbce;
   std::printf("=== Figure 3: extra constraints from an external call ===\n\n");
-  auto tool = tools::Bap();  // the paper ran this case with BAP
-
-  const auto* noprint = bombs::FindBomb("fig3_noprint");
-  const auto* print = bombs::FindBomb("fig3_print");
-  auto cell_off = tools::RunCell(*noprint, tool);
-  auto cell_on = tools::RunCell(*print, tool);
+  // The paper ran this case with BAP.
+  const auto analyze = [](const char* bomb) {
+    service::AnalysisRequest request;
+    request.bomb = bomb;
+    request.profile = "BAP";
+    return service::Analyze(request);
+  };
+  auto cell_off = analyze("fig3_noprint");
+  auto cell_on = analyze("fig3_print");
 
   Report("printf commented out:", cell_off.engine);
   Report("printf enabled:", cell_on.engine);

@@ -4,18 +4,19 @@
 // bomb reachable; a sound engine does not.
 #include <cstdio>
 
-#include "src/tools/runner.h"
+#include "src/bombs/bombs.h"
+#include "src/service/api.h"
 
 int main() {
   using namespace sbce;
   std::printf("=== Negative bomb: pow(x,2) == -1 (infeasible path) ===\n\n");
-  const auto* bomb = bombs::FindBomb("neg_pow");
-
-  for (const auto& tool : {tools::AngrNoLib(), tools::Ideal()}) {
-    auto cell = tools::RunCell(*bomb, tool);
-    const auto& r = cell.engine;
+  for (const char* tool : {"Angr-NoLib", "Ideal"}) {
+    service::AnalysisRequest request;
+    request.bomb = "neg_pow";
+    request.profile = tool;
+    const auto r = service::Analyze(request).engine;
     std::printf("%-11s claimed reachable: %-3s  validated: %-3s  ->  %s\n",
-                tool.name.c_str(), r.claimed ? "yes" : "no",
+                tool, r.claimed ? "yes" : "no",
                 r.validated ? "yes" : "no",
                 r.claimed && !r.validated
                     ? "FALSE POSITIVE (the paper's Angr behaviour)"

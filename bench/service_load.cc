@@ -1,0 +1,263 @@
+// Service load generator: throughput and latency of the analysis daemon
+// under concurrent client sessions.
+//
+// Starts an in-process sbce_serve daemon on a private socket, then:
+//
+//   1. cold phase  — one client sends each distinct request once, so the
+//      warm stores (image, predecoded text, solver verdicts) are built
+//      exactly once and the cold latency is measured;
+//   2. load phase  — N concurrent sessions (own connection each) send the
+//      same request mix repeatedly; every response's deterministic JSON
+//      must be byte-identical to the cold run's (the service determinism
+//      contract under real concurrency).
+//
+// Reports requests/sec and p50/p99 latency, the cold-vs-warm latency
+// ratio, and the daemon's decode-cache hit counter (must be > 0: the warm
+// path is actually serving from shared state, not rebuilding). Writes
+// BENCH_service_load.json.
+//
+// Flags:
+//   --sessions N   concurrent client sessions in the load phase
+//                  (default 100)
+//   --requests N   requests per session (default 4)
+//   --jobs N       daemon analysis concurrency (0 = auto, default)
+//   --json         print the artifact JSON to stdout instead of the table
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_env.h"
+#include "src/obs/json.h"
+#include "src/service/api.h"
+#include "src/service/client.h"
+#include "src/service/daemon.h"
+#include "src/support/status.h"
+#include "src/support/str.h"
+
+namespace {
+
+using namespace sbce;
+using Clock = std::chrono::steady_clock;
+
+struct MixEntry {
+  const char* bomb;
+  const char* profile;
+};
+
+// Cheap cells with distinct profiles over a shared image, so the load
+// phase exercises both the per-image stores (shared across the mix) and
+// the per-request query/segment stores.
+constexpr MixEntry kMix[] = {
+    {"fig3_noprint", "BAP"},
+    {"fig3_noprint", "Ideal"},
+};
+
+service::AnalysisRequest MakeRequest(const MixEntry& m) {
+  service::AnalysisRequest request;
+  request.bomb = m.bomb;
+  request.profile = m.profile;
+  request.want_path_condition = true;
+  return request;
+}
+
+std::string DeterministicJson(const obs::JsonValue& wire_doc) {
+  auto result = service::ResultFromJson(wire_doc);
+  SBCE_CHECK_MSG(result.ok(), result.status().ToString());
+  return obs::Dump(
+      service::ResultToJson(result.value(), /*deterministic_only=*/true));
+}
+
+double Micros(Clock::time_point t0, Clock::time_point t1) {
+  return std::chrono::duration_cast<std::chrono::duration<double, std::micro>>(
+             t1 - t0)
+      .count();
+}
+
+double Percentile(std::vector<double> sorted, double p) {
+  if (sorted.empty()) return 0;
+  const size_t idx = static_cast<size_t>(
+      p * static_cast<double>(sorted.size() - 1) + 0.5);
+  return sorted[std::min(idx, sorted.size() - 1)];
+}
+
+uint64_t CounterFromStats(const obs::JsonValue& stats, const char* name) {
+  const auto* warm = stats.Find("warm");
+  if (warm == nullptr) return 0;
+  const auto* counters = warm->Find("counters");
+  if (counters == nullptr) return 0;
+  const auto* c = counters->Find(name);
+  return c != nullptr ? c->AsU64() : 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  unsigned sessions = 100;
+  unsigned requests = 4;
+  unsigned jobs = 0;
+  bool json = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--sessions") == 0 && i + 1 < argc) {
+      sessions = static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--requests") == 0 && i + 1 < argc) {
+      requests = static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+      jobs = static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      json = true;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
+      return 2;
+    }
+  }
+  if (sessions == 0) sessions = 1;
+  if (requests == 0) requests = 1;
+
+  const std::string socket_path =
+      StrFormat("/tmp/sbce_load_%d.sock", static_cast<int>(getpid()));
+  service::Daemon::Options options;
+  options.socket_path = socket_path;
+  options.jobs = jobs;
+  service::Daemon daemon(options);
+  Status started = daemon.Start();
+  SBCE_CHECK_MSG(started.ok(), started.ToString());
+
+  constexpr size_t kMixSize = sizeof(kMix) / sizeof(kMix[0]);
+
+  // Cold phase: build the warm stores once per distinct request and
+  // capture the reference deterministic documents.
+  std::vector<double> cold_us;
+  std::vector<std::string> reference(kMixSize);
+  {
+    auto client_or = service::Client::Connect(socket_path);
+    SBCE_CHECK_MSG(client_or.ok(), client_or.status().ToString());
+    auto client = std::move(client_or).value();
+    for (size_t m = 0; m < kMixSize; ++m) {
+      const auto t0 = Clock::now();
+      auto doc = client.AnalyzeJson(MakeRequest(kMix[m]));
+      const auto t1 = Clock::now();
+      SBCE_CHECK_MSG(doc.ok(), doc.status().ToString());
+      cold_us.push_back(Micros(t0, t1));
+      reference[m] = DeterministicJson(doc.value());
+    }
+  }
+
+  // Load phase: concurrent sessions, one connection each, every response
+  // diffed against the cold reference.
+  std::vector<double> warm_us;
+  std::mutex merge_mu;
+  bool all_identical = true;
+  const auto load_t0 = Clock::now();
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(sessions);
+    for (unsigned s = 0; s < sessions; ++s) {
+      threads.emplace_back([&, s] {
+        auto client_or = service::Client::Connect(socket_path);
+        SBCE_CHECK_MSG(client_or.ok(), client_or.status().ToString());
+        auto client = std::move(client_or).value();
+        std::vector<double> local_us;
+        bool local_identical = true;
+        for (unsigned r = 0; r < requests; ++r) {
+          const size_t m = (s + r) % kMixSize;
+          const auto t0 = Clock::now();
+          auto doc = client.AnalyzeJson(MakeRequest(kMix[m]));
+          const auto t1 = Clock::now();
+          SBCE_CHECK_MSG(doc.ok(), doc.status().ToString());
+          local_us.push_back(Micros(t0, t1));
+          local_identical =
+              local_identical && DeterministicJson(doc.value()) == reference[m];
+        }
+        std::lock_guard<std::mutex> lk(merge_mu);
+        warm_us.insert(warm_us.end(), local_us.begin(), local_us.end());
+        all_identical = all_identical && local_identical;
+      });
+    }
+    for (auto& t : threads) t.join();
+  }
+  const double load_seconds =
+      std::chrono::duration_cast<std::chrono::duration<double>>(Clock::now() -
+                                                                load_t0)
+          .count();
+
+  uint64_t decode_hits = 0;
+  uint64_t query_hits = 0;
+  {
+    auto client_or = service::Client::Connect(socket_path);
+    SBCE_CHECK_MSG(client_or.ok(), client_or.status().ToString());
+    auto client = std::move(client_or).value();
+    auto stats = client.Stats();
+    SBCE_CHECK_MSG(stats.ok(), stats.status().ToString());
+    decode_hits = CounterFromStats(stats.value(), "service.decode_cache.hits");
+    query_hits = CounterFromStats(stats.value(), "service.query_store.hits");
+    Status shutdown = client.Shutdown();
+    SBCE_CHECK_MSG(shutdown.ok(), shutdown.ToString());
+  }
+  daemon.Wait();
+
+  std::sort(cold_us.begin(), cold_us.end());
+  std::sort(warm_us.begin(), warm_us.end());
+  const uint64_t total = static_cast<uint64_t>(warm_us.size());
+  const double rps = load_seconds > 0 ? total / load_seconds : 0;
+  double cold_mean = 0;
+  for (double v : cold_us) cold_mean += v;
+  cold_mean = cold_us.empty() ? 0 : cold_mean / cold_us.size();
+  double warm_mean = 0;
+  for (double v : warm_us) warm_mean += v;
+  warm_mean = warm_us.empty() ? 0 : warm_mean / warm_us.size();
+  const bool warm_path_hit = decode_hits > 0;
+
+  obs::JsonValue doc = obs::JsonValue::Object();
+  doc.Set("bench", obs::JsonValue::Str("service_load"));
+  bench::StampEnv(doc);
+  doc.Set("sessions", obs::JsonValue::U64(sessions));
+  doc.Set("requests_per_session", obs::JsonValue::U64(requests));
+  doc.Set("daemon_jobs", obs::JsonValue::U64(jobs));
+  doc.Set("total_requests", obs::JsonValue::U64(total));
+  doc.Set("load_seconds", obs::JsonValue::Double(load_seconds));
+  doc.Set("requests_per_second", obs::JsonValue::Double(rps));
+  doc.Set("cold_mean_us", obs::JsonValue::Double(cold_mean));
+  doc.Set("warm_mean_us", obs::JsonValue::Double(warm_mean));
+  doc.Set("warm_p50_us", obs::JsonValue::Double(Percentile(warm_us, 0.50)));
+  doc.Set("warm_p99_us", obs::JsonValue::Double(Percentile(warm_us, 0.99)));
+  doc.Set("cold_over_warm",
+          obs::JsonValue::Double(warm_mean > 0 ? cold_mean / warm_mean : 0));
+  doc.Set("decode_cache_hits", obs::JsonValue::U64(decode_hits));
+  doc.Set("query_store_hits", obs::JsonValue::U64(query_hits));
+  doc.Set("warm_path_served", obs::JsonValue::Bool(warm_path_hit));
+  doc.Set("deterministic_identical", obs::JsonValue::Bool(all_identical));
+
+  if (std::FILE* f = std::fopen("BENCH_service_load.json", "w")) {
+    std::fprintf(f, "%s\n", obs::Dump(doc).c_str());
+    std::fclose(f);
+  }
+  const bool pass = all_identical && warm_path_hit;
+  if (json) {
+    std::printf("%s\n", obs::Dump(doc).c_str());
+    return pass ? 0 : 1;
+  }
+
+  std::printf("=== Service load: %u sessions x %u requests ===\n", sessions,
+              requests);
+  std::printf("throughput:      %8.1f requests/sec (%llu in %.3fs)\n", rps,
+              static_cast<unsigned long long>(total), load_seconds);
+  std::printf("warm latency:    p50 %8.0f us   p99 %8.0f us\n",
+              Percentile(warm_us, 0.50), Percentile(warm_us, 0.99));
+  std::printf("cold latency:    mean %7.0f us  (%.2fx warm mean)\n", cold_mean,
+              warm_mean > 0 ? cold_mean / warm_mean : 0.0);
+  std::printf("warm stores:     decode hits %llu, query hits %llu%s\n",
+              static_cast<unsigned long long>(decode_hits),
+              static_cast<unsigned long long>(query_hits),
+              warm_path_hit ? "" : "  (NO WARM HITS — bug)");
+  std::printf("determinism:     %s\n",
+              all_identical ? "all responses byte-identical to cold run"
+                            : "MISMATCH (determinism bug)");
+  return pass ? 0 : 1;
+}

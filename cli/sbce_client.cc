@@ -1,0 +1,158 @@
+// sbce_client: sends AnalysisRequests to a running sbce_serve daemon.
+//
+//   sbce_client --socket /tmp/sbce.sock --bomb arr_one --profile Angr
+//   sbce_client --socket /tmp/sbce.sock --stats
+//   sbce_client --socket /tmp/sbce.sock --shutdown
+//
+// Prints the result document as JSON. --deterministic restricts the
+// output to the fields guaranteed bit-identical cold/warm/concurrent —
+// that is the document the smoke test diffs across repeat requests.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "src/obs/json.h"
+#include "src/service/api.h"
+#include "src/service/client.h"
+
+namespace {
+
+void Usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s --socket PATH (--bomb ID | --stats | --ping | --shutdown)\n"
+      "  --bomb ID              analyze a dataset bomb\n"
+      "  --profile NAME         tool profile (default Ideal)\n"
+      "  --baseline             disable query-pipeline optimizations\n"
+      "  --no-checkpoints       disable checkpoint re-exploration\n"
+      "  --max-rounds N         engine round budget override\n"
+      "  --max-queries N        solver query budget override\n"
+      "  --solver-threads N     solver dispatch width override\n"
+      "  --path-condition       include the seed path condition\n"
+      "  --trace                include observability records inline\n"
+      "  --deterministic        print only the deterministic result core\n"
+      "  --stats                print daemon warm-cache/queue statistics\n"
+      "  --ping                 round-trip a ping\n"
+      "  --shutdown             ask the daemon to drain and exit\n",
+      argv0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace sbce;
+  std::string socket_path;
+  service::AnalysisRequest request;
+  bool deterministic = false;
+  bool do_stats = false;
+  bool do_ping = false;
+  bool do_shutdown = false;
+  for (int i = 1; i < argc; ++i) {
+    const auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", argv[i]);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--socket") == 0) {
+      socket_path = value();
+    } else if (std::strcmp(argv[i], "--bomb") == 0) {
+      request.bomb = value();
+    } else if (std::strcmp(argv[i], "--profile") == 0) {
+      request.profile = value();
+    } else if (std::strcmp(argv[i], "--baseline") == 0) {
+      request.baseline_pipeline = true;
+    } else if (std::strcmp(argv[i], "--no-checkpoints") == 0) {
+      request.no_checkpoints = true;
+    } else if (std::strcmp(argv[i], "--max-rounds") == 0) {
+      request.budgets.max_rounds = std::strtoull(value(), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--max-queries") == 0) {
+      request.budgets.max_solver_queries = std::strtoull(value(), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--solver-threads") == 0) {
+      request.budgets.solver_threads =
+          static_cast<unsigned>(std::strtoul(value(), nullptr, 10));
+    } else if (std::strcmp(argv[i], "--path-condition") == 0) {
+      request.want_path_condition = true;
+    } else if (std::strcmp(argv[i], "--trace") == 0) {
+      request.want_trace = true;
+    } else if (std::strcmp(argv[i], "--deterministic") == 0) {
+      deterministic = true;
+    } else if (std::strcmp(argv[i], "--stats") == 0) {
+      do_stats = true;
+    } else if (std::strcmp(argv[i], "--ping") == 0) {
+      do_ping = true;
+    } else if (std::strcmp(argv[i], "--shutdown") == 0) {
+      do_shutdown = true;
+    } else {
+      Usage(argv[0]);
+      return 2;
+    }
+  }
+  if (socket_path.empty() ||
+      (request.bomb.empty() && !do_stats && !do_ping && !do_shutdown)) {
+    Usage(argv[0]);
+    return 2;
+  }
+
+  auto client_or = service::Client::Connect(socket_path);
+  if (!client_or.ok()) {
+    std::fprintf(stderr, "connect failed: %s\n",
+                 client_or.status().ToString().c_str());
+    return 1;
+  }
+  auto client = std::move(client_or).value();
+
+  if (do_ping) {
+    Status status = client.Ping();
+    if (!status.ok()) {
+      std::fprintf(stderr, "ping failed: %s\n", status.ToString().c_str());
+      return 1;
+    }
+    std::printf("pong\n");
+  }
+  if (!request.bomb.empty()) {
+    auto doc = client.AnalyzeJson(request);
+    if (!doc.ok()) {
+      std::fprintf(stderr, "analyze failed: %s\n",
+                   doc.status().ToString().c_str());
+      return 1;
+    }
+    if (deterministic) {
+      auto result = service::ResultFromJson(doc.value());
+      if (!result.ok()) {
+        std::fprintf(stderr, "bad result document: %s\n",
+                     result.status().ToString().c_str());
+        return 1;
+      }
+      std::printf("%s\n",
+                  obs::Dump(service::ResultToJson(
+                                result.value(), /*deterministic_only=*/true))
+                      .c_str());
+    } else {
+      std::printf("%s\n", obs::Dump(doc.value()).c_str());
+    }
+    const auto* ok = doc.value().Find("ok");
+    if (ok != nullptr && !ok->AsBool()) return 1;
+  }
+  if (do_stats) {
+    auto stats = client.Stats();
+    if (!stats.ok()) {
+      std::fprintf(stderr, "stats failed: %s\n",
+                   stats.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%s\n", obs::Dump(stats.value()).c_str());
+  }
+  if (do_shutdown) {
+    Status status = client.Shutdown();
+    if (!status.ok()) {
+      std::fprintf(stderr, "shutdown failed: %s\n",
+                   status.ToString().c_str());
+      return 1;
+    }
+    std::printf("daemon shutting down\n");
+  }
+  return 0;
+}

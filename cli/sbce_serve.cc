@@ -1,0 +1,85 @@
+// sbce_serve: the long-lived analysis daemon.
+//
+//   sbce_serve --socket /tmp/sbce.sock [--jobs 4] [--query-budget-mb 64]
+//
+// Serves AnalysisRequests over the AF_UNIX socket (wire protocol in
+// src/service/wire.h), keeping images, predecoded text, warm solver
+// verdicts and captured path conditions shared across requests. Stop it
+// with `sbce_client --socket ... --shutdown` (drains in-flight work).
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "src/service/daemon.h"
+
+namespace {
+
+void Usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s --socket PATH [options]\n"
+      "  --socket PATH          AF_UNIX socket to listen on (required)\n"
+      "  --jobs N               analysis concurrency per epoch (0 = auto)\n"
+      "  --image-budget-mb N    warm image store budget (default 64)\n"
+      "  --decode-budget-mb N   predecoded text store budget (default 64)\n"
+      "  --query-budget-mb N    warm solver verdict budget (default 64)\n"
+      "  --segment-budget-mb N  path-condition segment budget (default 32)\n",
+      argv0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace sbce;
+  service::Daemon::Options options;
+  for (int i = 1; i < argc; ++i) {
+    const auto arg = [&](const char* flag, const char** out) {
+      if (std::strcmp(argv[i], flag) != 0) return false;
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", flag);
+        std::exit(2);
+      }
+      *out = argv[++i];
+      return true;
+    };
+    const char* v = nullptr;
+    if (arg("--socket", &v)) {
+      options.socket_path = v;
+    } else if (arg("--jobs", &v)) {
+      options.jobs = static_cast<unsigned>(std::strtoul(v, nullptr, 10));
+    } else if (arg("--image-budget-mb", &v)) {
+      options.warm.image_budget_bytes =
+          std::strtoull(v, nullptr, 10) << 20;
+    } else if (arg("--decode-budget-mb", &v)) {
+      options.warm.decode_budget_bytes =
+          std::strtoull(v, nullptr, 10) << 20;
+    } else if (arg("--query-budget-mb", &v)) {
+      options.warm.query_budget_bytes =
+          std::strtoull(v, nullptr, 10) << 20;
+    } else if (arg("--segment-budget-mb", &v)) {
+      options.warm.segment_budget_bytes =
+          std::strtoull(v, nullptr, 10) << 20;
+    } else {
+      Usage(argv[0]);
+      return 2;
+    }
+  }
+  if (options.socket_path.empty()) {
+    Usage(argv[0]);
+    return 2;
+  }
+
+  service::Daemon daemon(options);
+  Status status = daemon.Start();
+  if (!status.ok()) {
+    std::fprintf(stderr, "failed to start: %s\n",
+                 status.ToString().c_str());
+    return 1;
+  }
+  std::printf("sbce_serve: listening on %s\n", options.socket_path.c_str());
+  std::fflush(stdout);
+  daemon.Wait();
+  std::printf("sbce_serve: shut down\n");
+  return 0;
+}

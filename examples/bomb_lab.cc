@@ -7,8 +7,10 @@
 #include <cstdio>
 #include <cstring>
 
+#include "src/bombs/bombs.h"
 #include "src/isa/objdump.h"
-#include "src/tools/runner.h"
+#include "src/service/api.h"
+#include "src/tools/profiles.h"
 
 int main(int argc, char** argv) {
   using namespace sbce;
@@ -45,28 +47,35 @@ int main(int argc, char** argv) {
               bomb->seed_argv.size() > 1 ? bomb->seed_argv[1].c_str() : "");
 
   std::printf("attacking with the %s profile...\n", tool.name.c_str());
-  auto cell = tools::RunCell(*bomb, tool);
+  service::AnalysisRequest request;
+  request.bomb = bomb->id;
+  request.profile = tool.name;
+  auto res = service::Analyze(request);
+  if (!res.ok) {
+    std::printf("analysis rejected: %s\n", res.error.c_str());
+    return 1;
+  }
   std::printf("outcome: %s",
-              std::string(tools::OutcomeLabel(cell.outcome)).c_str());
-  if (cell.expected != "-") {
-    std::printf("   (paper reports %s for %s)", cell.expected.c_str(),
+              std::string(tools::OutcomeLabel(res.outcome)).c_str());
+  if (res.expected != "-") {
+    std::printf("   (paper reports %s for %s)", res.expected.c_str(),
                 tool.name.c_str());
   }
   std::printf("\n");
-  if (cell.engine.validated) {
+  if (res.engine.validated) {
     std::printf("triggering input: \"%s\" in %llu rounds\n",
-                cell.engine.claimed_argv[1].c_str(),
-                static_cast<unsigned long long>(cell.engine.metrics.rounds));
-  } else if (cell.engine.claimed) {
+                res.engine.claimed_argv[1].c_str(),
+                static_cast<unsigned long long>(res.engine.metrics.rounds));
+  } else if (res.engine.claimed) {
     std::printf("claimed (unvalidated) input: \"%s\"\n",
-                cell.engine.claimed_argv.size() > 1
-                    ? cell.engine.claimed_argv[1].c_str()
+                res.engine.claimed_argv.size() > 1
+                    ? res.engine.claimed_argv[1].c_str()
                     : "");
   }
-  if (cell.engine.aborted) {
-    std::printf("engine aborted: %s\n", cell.engine.abort_reason.c_str());
+  if (res.engine.aborted) {
+    std::printf("engine aborted: %s\n", res.engine.abort_reason.c_str());
   }
-  for (const auto& d : cell.engine.diag.entries) {
+  for (const auto& d : res.engine.diag.entries) {
     std::printf("diag Es%d at 0x%llx: %s\n", static_cast<int>(d.stage),
                 static_cast<unsigned long long>(d.pc), d.detail.c_str());
     break;  // first diagnostic is the root cause

@@ -5,9 +5,8 @@
 #include <cstdio>
 #include <set>
 
-#include "src/core/engine.h"
 #include "src/isa/assembler.h"
-#include "src/tools/runner.h"
+#include "src/service/api.h"
 #include "src/vm/machine.h"
 
 int main() {
@@ -47,9 +46,12 @@ int main() {
   SBCE_CHECK(image_or.ok());
   const isa::BinaryImage image = std::move(image_or).value();
 
-  auto result = tools::ExploreImage(image, tools::Ideal().engine,
-                                    {"prog", "xx"},
-                                    *image.FindSymbol("bomb"));
+  service::AnalysisRequest request;
+  request.local_image = &image;
+  request.seed_argv = {"prog", "xx"};
+  request.target_pc = *image.FindSymbol("bomb");
+  request.profile = "Ideal";
+  auto result = service::Analyze(request).engine;
 
   // Replay every explored input to measure aggregate coverage.
   std::set<uint64_t> covered;

@@ -8,9 +8,8 @@
 //   and a rolling checksum hits a magic value.
 #include <cstdio>
 
-#include "src/core/engine.h"
 #include "src/isa/assembler.h"
-#include "src/tools/runner.h"
+#include "src/service/api.h"
 #include "src/vm/machine.h"
 
 int main() {
@@ -63,9 +62,12 @@ int main() {
 
   std::printf("crackme: 6-digit key, digit-sum 21, rolling checksum "
               "0xE348\n");
-  auto result = tools::ExploreImage(image, tools::Ideal().engine,
-                                    {"prog", "000000"},
-                                    *image.FindSymbol("bomb"));
+  service::AnalysisRequest request;
+  request.local_image = &image;
+  request.seed_argv = {"prog", "000000"};
+  request.target_pc = *image.FindSymbol("bomb");
+  request.profile = "Ideal";
+  auto result = service::Analyze(request).engine;
   if (!result.validated) {
     std::printf("no key found (rounds=%llu)\n",
                 static_cast<unsigned long long>(result.metrics.rounds));

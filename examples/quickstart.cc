@@ -7,9 +7,8 @@
 // -> solver -> validated input.
 #include <cstdio>
 
-#include "src/core/engine.h"
 #include "src/isa/assembler.h"
-#include "src/tools/runner.h"
+#include "src/service/api.h"
 #include "src/vm/machine.h"
 
 int main() {
@@ -53,19 +52,32 @@ int main() {
   std::printf("concrete run with \"???\": bomb %s\n",
               concrete.bomb_triggered ? "TRIGGERED" : "not triggered");
 
-  // Then let the reference engine find the real input.
-  auto result = tools::ExploreImage(image, tools::Ideal().engine,
-                                    {"prog", "???"},
-                                    *image.FindSymbol("bomb"));
+  // Then let the reference engine find the real input, through the
+  // unified analysis API (the same request shape the daemon serves).
+  service::AnalysisRequest request;
+  request.local_image = &image;
+  request.seed_argv = {"prog", "???"};
+  request.target_pc = *image.FindSymbol("bomb");
+  request.profile = "Ideal";
+  request.want_path_condition = true;
+  auto result = service::Analyze(request);
 
-  if (result.validated) {
+  if (result.engine.validated) {
     std::printf("concolic engine recovered the input: \"%s\" "
                 "(%llu rounds, %llu solver queries)\n",
-                result.claimed_argv[1].c_str(),
-                static_cast<unsigned long long>(result.metrics.rounds),
-                static_cast<unsigned long long>(result.metrics.solver_queries));
+                result.engine.claimed_argv[1].c_str(),
+                static_cast<unsigned long long>(result.engine.metrics.rounds),
+                static_cast<unsigned long long>(
+                    result.engine.metrics.solver_queries));
+    std::printf("seed path condition (%zu constraints):\n",
+                result.path_condition.size());
+    for (const auto& line : result.path_condition) {
+      std::printf("  %s\n", line.c_str());
+    }
   } else {
-    std::printf("engine failed to reach the block\n");
+    std::printf("engine failed to reach the block: %s\n",
+                result.error.empty() ? "exploration exhausted"
+                                     : result.error.c_str());
     return 1;
   }
   return 0;

@@ -2,15 +2,20 @@
 # Tier-1 verification: configure + build + run the test suite under a
 # CMake preset.
 #
-# Usage: check.sh [--preset NAME] [--tests REGEX] [NAME]
-#   --preset NAME   preset to configure/build/test (release, tsan, asan)
-#   --tests REGEX   only run ctest cases matching REGEX (default: all)
-#   NAME            positional preset, kept for back-compat with CI and
-#                   muscle memory (check.sh tsan)
+# Usage: check.sh [--preset NAME] [--tests REGEX] [--service-smoke] [NAME]
+#   --preset NAME     preset to configure/build/test (release, tsan, asan)
+#   --tests REGEX     only run ctest cases matching REGEX (default: all)
+#   --service-smoke   after the tests, start the analysis daemon, send three
+#                     requests (one a repeat, which must come back
+#                     byte-identical from the warm stores) and cross-check
+#                     the outcomes against table2_tool_grid
+#   NAME              positional preset, kept for back-compat with CI and
+#                     muscle memory (check.sh tsan)
 set -euo pipefail
 
 preset="release"
 tests_regex=""
+service_smoke=0
 while [[ $# -gt 0 ]]; do
   case "$1" in
     --preset)
@@ -22,6 +27,10 @@ while [[ $# -gt 0 ]]; do
       [[ $# -ge 2 ]] || { echo "check.sh: --tests needs a value" >&2; exit 2; }
       tests_regex="$2"
       shift 2
+      ;;
+    --service-smoke)
+      service_smoke=1
+      shift
       ;;
     -h|--help)
       grep '^#' "$0" | sed 's/^# \{0,1\}//' | tail -n +2
@@ -52,4 +61,60 @@ fi
 # must agree with the baseline per-query path on search-heavy instances.
 if [[ "$preset" == "release" && -z "$tests_regex" ]]; then
   build/bench/solver_csp --smoke
+fi
+
+# Service smoke: daemon outcomes must agree with the grid runner, and a
+# repeat request (served from the warm stores) must be byte-identical on
+# the deterministic document.
+if [[ "$service_smoke" == 1 ]]; then
+  case "$preset" in
+    tsan) bdir="build-tsan" ;;
+    asan) bdir="build-asan" ;;
+    *)    bdir="build" ;;
+  esac
+  echo "== service smoke: sbce_serve/sbce_client vs table2_tool_grid =="
+  tmpdir="$(mktemp -d)"
+  serve_pid=""
+  cleanup() {
+    [[ -n "$serve_pid" ]] && kill "$serve_pid" 2>/dev/null || true
+    rm -rf "$tmpdir"
+  }
+  trap cleanup EXIT
+  sock="$tmpdir/sbce.sock"
+  "$bdir/cli/sbce_serve" --socket "$sock" &
+  serve_pid=$!
+  for _ in $(seq 1 100); do [[ -S "$sock" ]] && break; sleep 0.1; done
+  [[ -S "$sock" ]] || { echo "check.sh: daemon did not come up" >&2; exit 1; }
+
+  "$bdir/cli/sbce_client" --socket "$sock" --bomb arr_one --profile Angr \
+    --deterministic > "$tmpdir/r1.json"
+  "$bdir/cli/sbce_client" --socket "$sock" --bomb arr_one --profile Angr \
+    --deterministic > "$tmpdir/r2.json"
+  "$bdir/cli/sbce_client" --socket "$sock" --bomb svd_argvlen --profile Angr \
+    --deterministic > "$tmpdir/r3.json"
+  diff "$tmpdir/r1.json" "$tmpdir/r2.json" \
+    || { echo "check.sh: warm repeat diverged from cold run" >&2; exit 1; }
+  "$bdir/cli/sbce_client" --socket "$sock" --shutdown > /dev/null
+  wait "$serve_pid"
+  serve_pid=""
+
+  "$bdir/bench/table2_tool_grid" --json --jobs 0 > "$tmpdir/grid.json"
+  python3 - "$tmpdir" <<'PY'
+import json, pathlib, sys
+tmp = pathlib.Path(sys.argv[1])
+grid = json.load(open(tmp / "grid.json"))
+cells = {(c["bomb"], c["tool"]): c for c in grid["cells"]}
+ok = True
+for name, bomb, tool in [("r1", "arr_one", "Angr"),
+                         ("r3", "svd_argvlen", "Angr")]:
+    r = json.load(open(tmp / f"{name}.json"))
+    c = cells[(bomb, tool)]
+    for k in ("outcome", "expected", "matches_paper"):
+        if r[k] != c[k]:
+            print(f"MISMATCH {bomb}/{tool} {k}: service={r[k]} grid={c[k]}")
+            ok = False
+if ok:
+    print("service smoke: daemon outcomes match table2_tool_grid")
+sys.exit(0 if ok else 1)
+PY
 fi

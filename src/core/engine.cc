@@ -22,6 +22,7 @@ solver::PipelineOptions MakePipelineOptions(const EngineConfig& config,
   solver::PipelineOptions opts;
   opts.solver = config.budgets.solver;
   opts.threads = config.budgets.solver_threads;
+  opts.shared_cache = config.shared_query_cache;
   opts.tracer = tracer;
   return opts;
 }
@@ -450,6 +451,7 @@ EngineResult ConcolicEngine::ExploreImpl(
       result.seed_symbolic_instrs = sym.symbolic_instr_count;
       result.seed_constraints = exec.state().path().size();
       result.seed_lib_constraints = sym.lib_constraint_count;
+      if (config_.seed_path_hook) config_.seed_path_hook(exec.state().path());
       first_round = false;
     }
     if (sym.aborted) {

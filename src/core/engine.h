@@ -15,6 +15,7 @@
 #include <functional>
 #include <memory>
 #include <set>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -77,6 +78,19 @@ struct EngineConfig {
   /// one. Engine results and trace output are bit-identical either way;
   /// off exists for measurement and as an escape hatch (--no-checkpoints).
   bool checkpoints = true;
+  /// Warm-state injection for the service layer (src/service): an external
+  /// query cache shared across engines that serve literally identical
+  /// requests. Null = engine-private cache. Shared caches must be
+  /// exact_only (QueryCache::Options) so a warm engine replays exactly the
+  /// verdicts and models a cold run of the same request computed.
+  std::shared_ptr<solver::QueryCache> shared_query_cache;
+  /// Called once with the seed round's path constraints, right after the
+  /// seed trace has been walked symbolically (even if the walk aborted —
+  /// the hook then sees the partial path). The service layer captures
+  /// these into warm, hash-consed expression segments so repeat requests
+  /// can serve the extracted path condition (the trigger-signature use
+  /// case) without re-running the analysis.
+  std::function<void(std::span<const symex::PathConstraint>)> seed_path_hook;
 };
 
 /// Where a claim's satisfying assignment leaned on simulated environment

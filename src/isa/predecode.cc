@@ -14,6 +14,16 @@ size_t PredecodedText::valid_count() const {
   return n;
 }
 
+size_t PredecodedText::ApproxBytes() const {
+  size_t bytes = sizeof(PredecodedText);
+  for (const Segment& seg : segments_) {
+    bytes += sizeof(Segment);
+    bytes += seg.instrs.size() * sizeof(Instruction);
+    bytes += seg.valid.size();
+  }
+  return bytes;
+}
+
 std::shared_ptr<const PredecodedText> Predecode(const BinaryImage& image) {
   auto text = std::make_shared<PredecodedText>();
   bool first = true;

@@ -62,6 +62,9 @@ class PredecodedText {
   const std::vector<Segment>& segments() const { return segments_; }
   /// Total decoded (valid) slots across segments.
   size_t valid_count() const;
+  /// Approximate heap footprint of the store (instruction slots + valid
+  /// bitmap), for the service layer's byte-budgeted admission policy.
+  size_t ApproxBytes() const;
 
  private:
   friend std::shared_ptr<const PredecodedText> Predecode(

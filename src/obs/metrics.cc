@@ -29,6 +29,14 @@ std::vector<std::pair<std::string, uint64_t>> MetricsRegistry::Snapshot()
   return out;
 }
 
+JsonValue MetricsRegistry::SnapshotJson() const {
+  JsonValue doc = JsonValue::Object();
+  for (const auto& [name, value] : Snapshot()) {
+    doc.Set(name, JsonValue::U64(value));
+  }
+  return doc;
+}
+
 void MetricsRegistry::Publish(const Tracer& tracer) const {
   if (!tracer.enabled()) return;
   for (const auto& [name, value] : Snapshot()) {

@@ -16,6 +16,7 @@
 #include <utility>
 #include <vector>
 
+#include "src/obs/json.h"
 #include "src/obs/trace_sink.h"
 
 namespace sbce::obs {
@@ -45,6 +46,10 @@ class MetricsRegistry {
 
   /// All counters, sorted by name (the map order).
   std::vector<std::pair<std::string, uint64_t>> Snapshot() const;
+
+  /// Snapshot() as a JSON object (name → value, sorted by name). The
+  /// service daemon's `stats` endpoint serves this document.
+  JsonValue SnapshotJson() const;
 
   /// Emits every counter's current value through `tracer` as Counter
   /// records (used to flush a registry into a sink at a checkpoint).

@@ -1,0 +1,580 @@
+#include "src/service/api.h"
+
+#include <memory>
+#include <utility>
+
+#include "src/bombs/bombs.h"
+#include "src/isa/predecode.h"
+#include "src/service/warm_cache.h"
+#include "src/support/bits.h"
+#include "src/tools/profiles.h"
+#include "src/vm/machine.h"
+
+namespace sbce::service {
+
+namespace {
+
+constexpr char kHexDigits[] = "0123456789abcdef";
+
+std::string HexEncode(std::span<const uint8_t> bytes) {
+  std::string out;
+  out.reserve(bytes.size() * 2);
+  for (uint8_t b : bytes) {
+    out.push_back(kHexDigits[b >> 4]);
+    out.push_back(kHexDigits[b & 0xf]);
+  }
+  return out;
+}
+
+std::optional<std::vector<uint8_t>> HexDecode(std::string_view hex) {
+  if (hex.size() % 2 != 0) return std::nullopt;
+  const auto nibble = [](char c) -> int {
+    if (c >= '0' && c <= '9') return c - '0';
+    if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+    if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+    return -1;
+  };
+  std::vector<uint8_t> out;
+  out.reserve(hex.size() / 2);
+  for (size_t i = 0; i < hex.size(); i += 2) {
+    const int hi = nibble(hex[i]);
+    const int lo = nibble(hex[i + 1]);
+    if (hi < 0 || lo < 0) return std::nullopt;
+    out.push_back(static_cast<uint8_t>((hi << 4) | lo));
+  }
+  return out;
+}
+
+AnalysisResult RequestError(const AnalysisRequest& request,
+                            std::string message) {
+  AnalysisResult res;
+  res.ok = false;
+  res.error = std::move(message);
+  res.bomb = request.bomb;
+  res.profile = request.profile;
+  return res;
+}
+
+/// The analysis-semantic fields, in fixed order — both the wire form and
+/// the canonical digest input. `full` adds the want_* flags (wire only;
+/// they do not change the analysis, so the digest excludes them).
+obs::JsonValue RequestJsonImpl(const AnalysisRequest& request, bool full) {
+  obs::JsonValue v = obs::JsonValue::Object();
+  v.Set("v", obs::JsonValue::U64(1));
+  if (!request.bomb.empty()) {
+    v.Set("bomb", obs::JsonValue::Str(request.bomb));
+  }
+  if (!request.image.empty()) {
+    v.Set("image", obs::JsonValue::Str(HexEncode(request.image)));
+  }
+  if (!request.seed_argv.empty()) {
+    obs::JsonValue argv = obs::JsonValue::Array();
+    for (const std::string& a : request.seed_argv) {
+      argv.items.push_back(obs::JsonValue::Str(a));
+    }
+    v.Set("seed_argv", std::move(argv));
+  }
+  if (request.target_pc != 0) {
+    v.Set("target_pc", obs::JsonValue::U64(request.target_pc));
+  }
+  v.Set("profile", obs::JsonValue::Str(request.profile));
+  obs::JsonValue budgets = obs::JsonValue::Object();
+  if (request.budgets.max_rounds) {
+    budgets.Set("max_rounds", obs::JsonValue::U64(*request.budgets.max_rounds));
+  }
+  if (request.budgets.max_solver_queries) {
+    budgets.Set("max_solver_queries",
+                obs::JsonValue::U64(*request.budgets.max_solver_queries));
+  }
+  if (request.budgets.solver_threads) {
+    budgets.Set("solver_threads",
+                obs::JsonValue::U64(*request.budgets.solver_threads));
+  }
+  if (!budgets.members.empty()) v.Set("budgets", std::move(budgets));
+  if (request.baseline_pipeline) v.Set("baseline", obs::JsonValue::Bool(true));
+  if (request.no_checkpoints) {
+    v.Set("no_checkpoints", obs::JsonValue::Bool(true));
+  }
+  if (full) {
+    if (request.want_path_condition) {
+      v.Set("path_condition", obs::JsonValue::Bool(true));
+    }
+    if (request.want_trace) v.Set("trace", obs::JsonValue::Bool(true));
+  }
+  return v;
+}
+
+}  // namespace
+
+void ApplyBudgets(const AnalysisRequest& request,
+                  core::EngineConfig* config) {
+  if (request.baseline_pipeline) {
+    config->budgets.solver.cache_queries = false;
+    config->budgets.solver.slice_independent = false;
+    config->budgets.solver.incremental_batch = false;
+    config->budgets.solver.portfolio = false;
+    config->budgets.solver_threads = 1;
+  }
+  if (request.budgets.max_rounds) {
+    config->budgets.max_rounds = *request.budgets.max_rounds;
+  }
+  if (request.budgets.max_solver_queries) {
+    config->budgets.max_solver_queries = *request.budgets.max_solver_queries;
+  }
+  if (request.budgets.solver_threads) {
+    config->budgets.solver_threads = *request.budgets.solver_threads;
+  }
+  if (request.no_checkpoints) config->checkpoints = false;
+}
+
+obs::JsonValue RequestToJson(const AnalysisRequest& request) {
+  return RequestJsonImpl(request, /*full=*/true);
+}
+
+Result<AnalysisRequest> RequestFromJson(const obs::JsonValue& v) {
+  if (v.kind != obs::JsonValue::Kind::kObject) {
+    return Status::Invalid("request is not an object");
+  }
+  const obs::JsonValue* ver = v.Find("v");
+  if (ver == nullptr || ver->AsU64() != 1) {
+    return Status::Invalid("unsupported request version");
+  }
+  AnalysisRequest req;
+  if (const obs::JsonValue* b = v.Find("bomb")) req.bomb.assign(b->AsString());
+  if (const obs::JsonValue* img = v.Find("image")) {
+    auto bytes = HexDecode(img->AsString());
+    if (!bytes) return Status::Invalid("image is not valid hex");
+    req.image = std::move(*bytes);
+  }
+  if (const obs::JsonValue* argv = v.Find("seed_argv")) {
+    if (argv->kind != obs::JsonValue::Kind::kArray) {
+      return Status::Invalid("seed_argv is not an array");
+    }
+    for (const obs::JsonValue& a : argv->items) {
+      req.seed_argv.emplace_back(a.AsString());
+    }
+  }
+  if (const obs::JsonValue* t = v.Find("target_pc")) {
+    req.target_pc = t->AsU64();
+  }
+  if (const obs::JsonValue* p = v.Find("profile")) {
+    req.profile.assign(p->AsString());
+  }
+  if (const obs::JsonValue* budgets = v.Find("budgets")) {
+    if (const obs::JsonValue* r = budgets->Find("max_rounds")) {
+      req.budgets.max_rounds = r->AsU64();
+    }
+    if (const obs::JsonValue* q = budgets->Find("max_solver_queries")) {
+      req.budgets.max_solver_queries = q->AsU64();
+    }
+    if (const obs::JsonValue* s = budgets->Find("solver_threads")) {
+      req.budgets.solver_threads = static_cast<unsigned>(s->AsU64());
+    }
+  }
+  if (const obs::JsonValue* b = v.Find("baseline")) {
+    req.baseline_pipeline = b->AsBool();
+  }
+  if (const obs::JsonValue* n = v.Find("no_checkpoints")) {
+    req.no_checkpoints = n->AsBool();
+  }
+  if (const obs::JsonValue* pc = v.Find("path_condition")) {
+    req.want_path_condition = pc->AsBool();
+  }
+  if (const obs::JsonValue* tr = v.Find("trace")) {
+    req.want_trace = tr->AsBool();
+  }
+  return req;
+}
+
+uint64_t RequestDigest(const AnalysisRequest& request) {
+  if (request.custom_engine.has_value()) return 0;  // not shareable
+  if (request.local_bomb != nullptr) return 0;      // unregistered spec
+  if (request.bomb.empty() && request.image.empty() &&
+      request.local_image == nullptr) {
+    return 0;
+  }
+  obs::JsonValue canon;
+  if (request.local_image != nullptr && request.image.empty()) {
+    // Local images are digested through their serialized form, in wire
+    // field order, so an in-process request and the equivalent wire
+    // request share identity.
+    AnalysisRequest wire_form = request;
+    wire_form.image = request.local_image->Serialize();
+    wire_form.local_image = nullptr;
+    canon = RequestJsonImpl(wire_form, /*full=*/false);
+  } else {
+    canon = RequestJsonImpl(request, /*full=*/false);
+  }
+  const std::string dump = obs::Dump(canon);
+  return Fnv1a(dump.data(), dump.size());
+}
+
+AnalysisResult Analyze(const AnalysisRequest& request,
+                       const AnalyzeEnv& env) {
+  // 1. Resolve the engine configuration.
+  core::EngineConfig config;
+  if (request.custom_engine.has_value()) {
+    config = *request.custom_engine;
+  } else {
+    auto profile = tools::ProfileByName(request.profile);
+    if (!profile) {
+      return RequestError(request, "unknown profile: " + request.profile);
+    }
+    config = profile->engine;
+  }
+  ApplyBudgets(request, &config);
+  config.trace_sink = env.trace_sink;
+
+  // 2. Resolve the target: a dataset bomb or an image.
+  const bombs::BombSpec* spec = nullptr;
+  std::shared_ptr<const isa::BinaryImage> image;
+  uint64_t image_key = 0;
+  if (request.local_bomb != nullptr || !request.bomb.empty()) {
+    spec = request.local_bomb != nullptr ? request.local_bomb
+                                         : bombs::FindBomb(request.bomb);
+    if (spec == nullptr) {
+      return RequestError(request, "unknown bomb: " + request.bomb);
+    }
+    const std::string key_text = "bomb:" + spec->id;
+    image_key = Fnv1a(key_text.data(), key_text.size());
+  } else if (request.local_image == nullptr && request.image.empty()) {
+    return RequestError(request, "request has no target (bomb or image)");
+  } else if (request.local_image == nullptr) {
+    image_key = Fnv1a(request.image.data(), request.image.size());
+  } else {
+    const std::vector<uint8_t> bytes = request.local_image->Serialize();
+    image_key = Fnv1a(bytes.data(), bytes.size());
+  }
+
+  const auto build_image = [&]() -> Result<isa::BinaryImage> {
+    if (spec != nullptr) return bombs::BuildBomb(*spec);
+    if (request.local_image != nullptr) return *request.local_image;
+    return isa::BinaryImage::Deserialize(request.image);
+  };
+
+  bool warm_image = false;
+  // Unregistered specs stay out of warm stores entirely: their image key
+  // (the spec id) could collide with a dataset bomb of the same name.
+  WarmCache* warm = request.local_bomb == nullptr ? env.warm : nullptr;
+  if (warm != nullptr) {
+    // Peek-build once outside the cache so deserialize errors surface as
+    // request errors rather than aborting inside the admission callback.
+    auto built = build_image();
+    if (!built.ok()) {
+      return RequestError(request,
+                          "bad image: " + built.status().message());
+    }
+    const uint64_t misses_before =
+        warm->metrics().Value("service.image_cache.misses");
+    image = warm->AcquireImage(
+        image_key, [&]() { return std::move(built).value(); });
+    warm_image =
+        warm->metrics().Value("service.image_cache.misses") ==
+        misses_before;
+  } else {
+    auto built = build_image();
+    if (!built.ok()) {
+      return RequestError(request,
+                          "bad image: " + built.status().message());
+    }
+    image = std::make_shared<const isa::BinaryImage>(
+        std::move(built).value());
+  }
+
+  AnalysisResult res;
+  res.ok = true;
+  res.profile = request.profile;
+  if (spec != nullptr) res.bomb = spec->id;
+  res.served_warm = warm_image;
+
+  const uint64_t target_pc =
+      spec != nullptr ? bombs::BombAddress(*image) : request.target_pc;
+  const std::vector<std::string>& seed_argv =
+      spec != nullptr ? spec->seed_argv : request.seed_argv;
+
+  // 3. Warm immutable state: predecoded text, shared query verdicts, and
+  // the captured seed segment — all keyed so only identical analyses
+  // share (see RequestDigest).
+  std::shared_ptr<const isa::PredecodedText> predecoded;
+  const uint64_t digest = RequestDigest(request);
+  std::shared_ptr<const ExprSegment> segment;
+  if (warm != nullptr) {
+    predecoded = warm->AcquireDecode(image_key, *image);
+    if (digest != 0 && !request.baseline_pipeline &&
+        config.budgets.solver.cache_queries) {
+      config.shared_query_cache = warm->AcquireQueryStore(digest);
+    }
+    if (digest != 0) segment = warm->FindSegment(digest);
+  } else {
+    predecoded = isa::Predecode(*image);
+  }
+
+  std::shared_ptr<ExprSegment> captured;
+  if (segment == nullptr &&
+      (request.want_path_condition ||
+       (warm != nullptr && digest != 0))) {
+    config.seed_path_hook =
+        [&captured](std::span<const symex::PathConstraint> path) {
+          captured = CaptureSegment(path);
+        };
+  }
+
+  // 4. Run the engine. The machine factory mirrors what the grid runner
+  // always built: the spec's devices and filesystem for bombs, a default
+  // environment for raw images, the shared predecoded store for both.
+  core::ConcolicEngine engine(
+      *image,
+      [spec, &image, &predecoded](const std::vector<std::string>& argv) {
+        vm::Machine::Options vm_options;
+        vm_options.predecoded = predecoded;
+        auto machine = std::make_unique<vm::Machine>(
+            *image, argv,
+            spec != nullptr ? spec->experiment_devices : vm::Devices(),
+            vm_options);
+        if (spec != nullptr) {
+          for (const auto& [path, contents] : spec->files) {
+            machine->fs().PutString(path, contents);
+          }
+        }
+        return machine;
+      },
+      config);
+  res.engine = engine.Explore(seed_argv, target_pc);
+
+  if (captured != nullptr) {
+    segment = captured;
+    if (warm != nullptr && digest != 0) {
+      warm->StoreSegment(digest, captured);
+    }
+  } else if (segment != nullptr) {
+    res.served_warm = true;
+  }
+  if (request.want_path_condition && segment != nullptr) {
+    res.path_condition = PathConditionLines(*segment);
+  }
+
+  // 5. Classify against the paper's taxonomy.
+  res.outcome = tools::Classify(res.engine);
+  res.attribution = tools::Attribute(res.outcome, res.engine);
+  if (spec != nullptr) {
+    int tool_index = -1;
+    if (request.profile == "BAP") tool_index = bombs::kBap;
+    if (request.profile == "Triton") tool_index = bombs::kTriton;
+    if (request.profile == "Angr") tool_index = bombs::kAngr;
+    if (request.profile == "Angr-NoLib") tool_index = bombs::kAngrNoLib;
+    res.expected = tool_index >= 0
+                       ? spec->expected[static_cast<size_t>(tool_index)]
+                       : spec->expected_ideal;
+  } else {
+    res.expected = "-";
+  }
+  res.matches_paper =
+      res.expected == std::string(tools::OutcomeLabel(res.outcome));
+  return res;
+}
+
+obs::JsonValue ResultToJson(const AnalysisResult& result,
+                            bool deterministic_only) {
+  obs::JsonValue v = obs::JsonValue::Object();
+  v.Set("v", obs::JsonValue::U64(1));
+  v.Set("ok", obs::JsonValue::Bool(result.ok));
+  if (!result.ok) {
+    v.Set("error", obs::JsonValue::Str(result.error));
+    return v;
+  }
+  if (!result.bomb.empty()) v.Set("bomb", obs::JsonValue::Str(result.bomb));
+  v.Set("profile", obs::JsonValue::Str(result.profile));
+  v.Set("outcome",
+        obs::JsonValue::Str(tools::OutcomeLabel(result.outcome)));
+  v.Set("expected", obs::JsonValue::Str(result.expected));
+  v.Set("matches_paper", obs::JsonValue::Bool(result.matches_paper));
+  v.Set("claimed", obs::JsonValue::Bool(result.engine.claimed));
+  if (!result.engine.claimed_argv.empty()) {
+    obs::JsonValue argv = obs::JsonValue::Array();
+    for (const std::string& a : result.engine.claimed_argv) {
+      argv.items.push_back(obs::JsonValue::Str(a));
+    }
+    v.Set("claimed_argv", std::move(argv));
+  }
+  v.Set("validated", obs::JsonValue::Bool(result.engine.validated));
+  v.Set("provenance",
+        obs::JsonValue::U64(static_cast<uint8_t>(result.engine.provenance)));
+  v.Set("aborted", obs::JsonValue::Bool(result.engine.aborted));
+  if (!result.engine.abort_reason.empty()) {
+    v.Set("abort_reason", obs::JsonValue::Str(result.engine.abort_reason));
+  }
+  if (result.attribution) {
+    v.Set("attribution", obs::AttributionToJson(*result.attribution));
+  }
+  // Counters that are pure functions of the request (identical cold,
+  // warm, and at any concurrency — the determinism contract).
+  const core::EngineMetrics& m = result.engine.metrics;
+  v.Set("any_symbolic_branch",
+        obs::JsonValue::Bool(result.engine.any_symbolic_branch));
+  v.Set("any_symbolic_seen",
+        obs::JsonValue::Bool(result.engine.any_symbolic_seen));
+  v.Set("rounds", obs::JsonValue::U64(m.rounds));
+  v.Set("trace_events", obs::JsonValue::U64(m.total_events));
+  v.Set("solver_queries", obs::JsonValue::U64(m.solver_queries));
+  v.Set("sliced_queries", obs::JsonValue::U64(m.sliced_queries));
+  v.Set("explored_inputs",
+        obs::JsonValue::U64(result.engine.explored_inputs.size()));
+  v.Set("seed_symbolic_instrs",
+        obs::JsonValue::U64(result.engine.seed_symbolic_instrs));
+  v.Set("seed_constraints",
+        obs::JsonValue::U64(result.engine.seed_constraints));
+  v.Set("seed_lib_constraints",
+        obs::JsonValue::U64(result.engine.seed_lib_constraints));
+  if (!result.path_condition.empty()) {
+    obs::JsonValue pc = obs::JsonValue::Array();
+    for (const std::string& line : result.path_condition) {
+      pc.items.push_back(obs::JsonValue::Str(line));
+    }
+    v.Set("path_condition", std::move(pc));
+  }
+  if (deterministic_only) return v;
+
+  // Schedule/warm-state-dependent observations: excluded from the
+  // determinism contract by construction.
+  obs::JsonValue perf = obs::JsonValue::Object();
+  perf.Set("served_warm", obs::JsonValue::Bool(result.served_warm));
+  perf.Set("solver_cache_hits", obs::JsonValue::U64(m.solver_cache_hits));
+  perf.Set("solver_cache_misses",
+           obs::JsonValue::U64(m.solver_cache_misses));
+  perf.Set("solver_conflicts", obs::JsonValue::U64(m.solver_conflicts));
+  perf.Set("solver_micros", obs::JsonValue::U64(m.solver_micros));
+  perf.Set("incremental_solves", obs::JsonValue::U64(m.incremental_solves));
+  perf.Set("portfolio_rescues", obs::JsonValue::U64(m.portfolio_rescues));
+  perf.Set("decode_cache_hits", obs::JsonValue::U64(m.decode_cache_hits));
+  perf.Set("decode_cache_misses",
+           obs::JsonValue::U64(m.decode_cache_misses));
+  perf.Set("checkpoint_hits", obs::JsonValue::U64(m.checkpoint_hits));
+  perf.Set("checkpoint_misses", obs::JsonValue::U64(m.checkpoint_misses));
+  perf.Set("explore_micros", obs::JsonValue::U64(m.explore_micros));
+  v.Set("perf", std::move(perf));
+  if (!result.trace_jsonl.empty()) {
+    obs::JsonValue trace = obs::JsonValue::Array();
+    for (const std::string& line : result.trace_jsonl) {
+      trace.items.push_back(obs::JsonValue::Str(line));
+    }
+    v.Set("trace", std::move(trace));
+  }
+  return v;
+}
+
+Result<AnalysisResult> ResultFromJson(const obs::JsonValue& v) {
+  if (v.kind != obs::JsonValue::Kind::kObject || v.Find("ok") == nullptr) {
+    return Status::Invalid("not an analysis result");
+  }
+  AnalysisResult res;
+  res.ok = v.Find("ok")->AsBool();
+  if (const obs::JsonValue* e = v.Find("error")) res.error.assign(e->AsString());
+  if (!res.ok) return res;
+  if (const obs::JsonValue* b = v.Find("bomb")) res.bomb.assign(b->AsString());
+  if (const obs::JsonValue* p = v.Find("profile")) {
+    res.profile.assign(p->AsString());
+  }
+  const obs::JsonValue* outcome = v.Find("outcome");
+  if (outcome == nullptr) return Status::Invalid("result has no outcome");
+  bool found = false;
+  for (tools::Outcome o :
+       {tools::Outcome::kOk, tools::Outcome::kEs0, tools::Outcome::kEs1,
+        tools::Outcome::kEs2, tools::Outcome::kEs3, tools::Outcome::kE,
+        tools::Outcome::kP}) {
+    if (outcome->AsString() == tools::OutcomeLabel(o)) {
+      res.outcome = o;
+      found = true;
+      break;
+    }
+  }
+  if (!found) return Status::Invalid("unknown outcome label");
+  if (const obs::JsonValue* e = v.Find("expected")) {
+    res.expected.assign(e->AsString());
+  }
+  if (const obs::JsonValue* mp = v.Find("matches_paper")) {
+    res.matches_paper = mp->AsBool();
+  }
+  if (const obs::JsonValue* c = v.Find("claimed")) {
+    res.engine.claimed = c->AsBool();
+  }
+  if (const obs::JsonValue* argv = v.Find("claimed_argv")) {
+    for (const obs::JsonValue& a : argv->items) {
+      res.engine.claimed_argv.emplace_back(a.AsString());
+    }
+  }
+  if (const obs::JsonValue* val = v.Find("validated")) {
+    res.engine.validated = val->AsBool();
+  }
+  if (const obs::JsonValue* pv = v.Find("provenance")) {
+    res.engine.provenance =
+        static_cast<core::ClaimProvenance>(pv->AsU64() & 0x3);
+  }
+  if (const obs::JsonValue* x = v.Find("any_symbolic_branch")) {
+    res.engine.any_symbolic_branch = x->AsBool();
+  }
+  if (const obs::JsonValue* x = v.Find("any_symbolic_seen")) {
+    res.engine.any_symbolic_seen = x->AsBool();
+  }
+  if (const obs::JsonValue* a = v.Find("aborted")) {
+    res.engine.aborted = a->AsBool();
+  }
+  if (const obs::JsonValue* r = v.Find("abort_reason")) {
+    res.engine.abort_reason.assign(r->AsString());
+  }
+  if (const obs::JsonValue* a = v.Find("attribution")) {
+    res.attribution = obs::AttributionFromJson(*a);
+    if (!res.attribution) return Status::Invalid("bad attribution record");
+  }
+  core::EngineMetrics& m = res.engine.metrics;
+  if (const obs::JsonValue* x = v.Find("rounds")) m.rounds = x->AsU64();
+  if (const obs::JsonValue* x = v.Find("trace_events")) {
+    m.total_events = x->AsU64();
+  }
+  if (const obs::JsonValue* x = v.Find("solver_queries")) {
+    m.solver_queries = x->AsU64();
+  }
+  if (const obs::JsonValue* x = v.Find("sliced_queries")) {
+    m.sliced_queries = x->AsU64();
+  }
+  if (const obs::JsonValue* x = v.Find("explored_inputs")) {
+    // Only the count crosses the wire; placeholder entries keep the
+    // deterministic projection stable through a round trip.
+    res.engine.explored_inputs.resize(x->AsU64());
+  }
+  if (const obs::JsonValue* x = v.Find("seed_symbolic_instrs")) {
+    res.engine.seed_symbolic_instrs = x->AsU64();
+  }
+  if (const obs::JsonValue* x = v.Find("seed_constraints")) {
+    res.engine.seed_constraints = x->AsU64();
+  }
+  if (const obs::JsonValue* x = v.Find("seed_lib_constraints")) {
+    res.engine.seed_lib_constraints = x->AsU64();
+  }
+  if (const obs::JsonValue* pc = v.Find("path_condition")) {
+    for (const obs::JsonValue& line : pc->items) {
+      res.path_condition.emplace_back(line.AsString());
+    }
+  }
+  if (const obs::JsonValue* perf = v.Find("perf")) {
+    if (const obs::JsonValue* w = perf->Find("served_warm")) {
+      res.served_warm = w->AsBool();
+    }
+    if (const obs::JsonValue* x = perf->Find("solver_cache_hits")) {
+      m.solver_cache_hits = x->AsU64();
+    }
+    if (const obs::JsonValue* x = perf->Find("decode_cache_hits")) {
+      m.decode_cache_hits = x->AsU64();
+    }
+    if (const obs::JsonValue* x = perf->Find("explore_micros")) {
+      m.explore_micros = x->AsU64();
+    }
+  }
+  if (const obs::JsonValue* trace = v.Find("trace")) {
+    for (const obs::JsonValue& line : trace->items) {
+      res.trace_jsonl.emplace_back(line.AsString());
+    }
+  }
+  return res;
+}
+
+}  // namespace sbce::service

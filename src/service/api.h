@@ -1,0 +1,170 @@
+// The unified analysis API: one request/result pair for the whole
+// codebase.
+//
+// Every way of running an analysis — the Table II grid, the examples, the
+// benches, the `sbce_client` CLI and the long-lived `sbce_serve` daemon —
+// goes through service::Analyze(AnalysisRequest) and gets back an
+// AnalysisResult. The legacy tools::RunCell/tools::ExploreImage entry
+// points survive one more PR as thin shims over this function.
+//
+// Determinism contract (inherited from the grid runner and extended to
+// the service): the same request yields a bit-identical deterministic
+// result — ResultToJson(result, /*deterministic_only=*/true) — whether it
+// is served cold or warm, in-process or through the daemon, serially or
+// concurrently with other sessions. Warm state (src/service/warm_cache.h)
+// only ever replays verdicts a cold run of the *same* request would have
+// computed; everything scheduling- or cache-dependent (wall-clock, cache
+// hit counters) lives in the non-deterministic "perf" section of the full
+// JSON export.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/core/engine.h"
+#include "src/isa/image.h"
+#include "src/obs/attribution.h"
+#include "src/obs/json.h"
+#include "src/obs/trace_sink.h"
+#include "src/tools/classify.h"
+
+namespace sbce::bombs {
+struct BombSpec;
+}  // namespace sbce::bombs
+
+namespace sbce::service {
+
+class WarmCache;
+
+/// Engine budget overrides, applied onto the profile's defaults by
+/// ApplyBudgets — the single place any override reaches an EngineConfig.
+struct BudgetOverrides {
+  std::optional<uint64_t> max_rounds;
+  std::optional<uint64_t> max_solver_queries;
+  std::optional<unsigned> solver_threads;
+};
+
+/// One analysis request. The target is exactly one of:
+///   * `bomb`        — a dataset bomb id; seed argv, devices, filesystem
+///                     preconditions and the paper's expected label come
+///                     from the spec.
+///   * `image`       — serialized SBX bytes (the wire form); `seed_argv`
+///                     and `target_pc` are required.
+///   * `local_image` — an in-process BinaryImage (not serializable; the
+///                     caller keeps it alive across Analyze). Used by the
+///                     ExploreImage shim and in-process embedders.
+struct AnalysisRequest {
+  std::string bomb;
+  std::vector<uint8_t> image;
+  const isa::BinaryImage* local_image = nullptr;  // in-process only
+  /// In-process only: analyze this spec instead of resolving `bomb` in
+  /// the dataset (the RunCell shim's path — callers may hold specs that
+  /// are not registered). Never admitted to shared warm state.
+  const bombs::BombSpec* local_bomb = nullptr;
+  std::vector<std::string> seed_argv;             // image targets
+  uint64_t target_pc = 0;                         // image targets
+
+  /// Tool profile name (tools::ProfileByName): "BAP", "Triton", "Angr",
+  /// "Angr-NoLib", "Ideal".
+  std::string profile = "Ideal";
+  /// In-process escape hatch: a fully custom engine configuration (the
+  /// ablation benches mutate profiles arbitrarily). Not serializable;
+  /// wire requests always resolve `profile` by name. Requests carrying a
+  /// custom engine are never admitted to shared warm state.
+  std::optional<core::EngineConfig> custom_engine;
+
+  BudgetOverrides budgets;
+  /// Disable the query pipeline's optimizations (the --baseline contract).
+  bool baseline_pipeline = false;
+  /// Disable checkpoint-based re-exploration (--no-checkpoints).
+  bool no_checkpoints = false;
+
+  /// Return the seed round's extracted path condition (the
+  /// trigger-signature use case). Served from the warm segment store on
+  /// repeat requests.
+  bool want_path_condition = false;
+  /// Daemon only: stream the request's observability records back inline
+  /// in the response ("trace" array of JSON lines).
+  bool want_trace = false;
+};
+
+/// One analysis result: the paper-taxonomy outcome plus the full engine
+/// result (in-process callers) and the reporting surface (wire callers).
+struct AnalysisResult {
+  /// False iff the request itself was rejected (unknown bomb/profile,
+  /// undecodable image, missing target); `error` then says why and no
+  /// analysis ran.
+  bool ok = false;
+  std::string error;
+
+  std::string bomb;     // echo (dataset targets)
+  std::string profile;  // echo
+
+  tools::Outcome outcome = tools::Outcome::kE;
+  std::string expected;  // paper label; "-" when not part of Table II
+  bool matches_paper = false;
+  std::optional<obs::Attribution> attribution;  // present iff outcome != OK
+
+  core::EngineResult engine;
+
+  /// Seed path condition, one "0x<pc>: <constraint>" line per conjunct
+  /// (want_path_condition requests).
+  std::vector<std::string> path_condition;
+  /// Observability records as JSON lines (daemon want_trace requests).
+  std::vector<std::string> trace_jsonl;
+
+  /// Perf note: any warm store answered part of this request.
+  bool served_warm = false;
+};
+
+/// Folds the request's budget overrides and mode toggles into an engine
+/// configuration. Every override goes through here — RunCell, Analyze and
+/// the daemon share this one helper, so a newly added budget cannot
+/// silently miss a path.
+void ApplyBudgets(const AnalysisRequest& request, core::EngineConfig* config);
+
+/// Shared/ambient state for Analyze. Default-constructed = cold, fully
+/// per-request state (the grid runner's configuration: bit-identical to
+/// the pre-service code path).
+struct AnalyzeEnv {
+  /// Warm store shared across requests (the daemon's). Null = cold.
+  WarmCache* warm = nullptr;
+  /// Observability sink threaded through engine, VM, symex and solver
+  /// (not owned; may be null).
+  obs::TraceSink* trace_sink = nullptr;
+};
+
+/// The single entry point: resolves the profile and target, applies
+/// budgets, acquires or builds the immutable per-image state, runs the
+/// concolic engine, and classifies the outcome against the paper.
+AnalysisResult Analyze(const AnalysisRequest& request,
+                       const AnalyzeEnv& env = {});
+
+/// Wire codec for requests (bomb/image/seed/target/profile/budgets/modes
+/// + want flags; local_image and custom_engine are in-process only and
+/// never serialized).
+obs::JsonValue RequestToJson(const AnalysisRequest& request);
+Result<AnalysisRequest> RequestFromJson(const obs::JsonValue& v);
+
+/// Canonical identity of the analysis a request asks for: a digest over
+/// the analysis-semantic wire fields (want_* flags excluded — they do not
+/// change the analysis). Warm query caches and expression segments are
+/// keyed by this, so warm state is only ever shared between literally
+/// identical analyses. 0 = not shareable (custom engine, or no target).
+uint64_t RequestDigest(const AnalysisRequest& request);
+
+/// Result export. With `deterministic_only` the document contains exactly
+/// the fields guaranteed bit-identical cold/warm/concurrent (outcome,
+/// claims, counters that are pure functions of the request); otherwise a
+/// "perf" section with wall-clock and cache counters is appended.
+obs::JsonValue ResultToJson(const AnalysisResult& result,
+                            bool deterministic_only);
+
+/// Inverse of ResultToJson for the reporting surface (outcome, labels,
+/// claims, attribution, deterministic counters; the engine's in-memory
+/// extras are not round-tripped). Error status if `v` is not a result.
+Result<AnalysisResult> ResultFromJson(const obs::JsonValue& v);
+
+}  // namespace sbce::service

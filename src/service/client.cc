@@ -1,0 +1,143 @@
+#include "src/service/client.h"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace sbce::service {
+
+Client::~Client() { Close(); }
+
+Client::Client(Client&& other) noexcept
+    : fd_(other.fd_), next_id_(other.next_id_),
+      reader_(std::move(other.reader_)) {
+  other.fd_ = -1;
+}
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    next_id_ = other.next_id_;
+    reader_ = std::move(other.reader_);
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Client::Close() {
+  if (fd_ >= 0) {
+    close(fd_);
+    fd_ = -1;
+  }
+}
+
+Result<Client> Client::Connect(const std::string& socket_path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (socket_path.size() >= sizeof(addr.sun_path)) {
+    return Status::Invalid("socket path too long");
+  }
+  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+  const int fd = socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::Internal(std::string("socket: ") + std::strerror(errno));
+  }
+  if (connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    const int e = errno;
+    close(fd);
+    return Status::Internal(std::string("connect: ") + std::strerror(e));
+  }
+  Client client;
+  client.fd_ = fd;
+  return client;
+}
+
+Result<obs::JsonValue> Client::ReadFrame() {
+  char buf[64 * 1024];
+  for (;;) {
+    auto frame = reader_.Next();
+    if (!frame.ok()) return frame.status();
+    if (frame.value().has_value()) return std::move(*frame.value());
+    const ssize_t n = read(fd_, buf, sizeof(buf));
+    if (n == 0) return Status::Internal("daemon closed the connection");
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal(std::string("read: ") + std::strerror(errno));
+    }
+    reader_.Feed(buf, static_cast<size_t>(n));
+  }
+}
+
+Result<obs::JsonValue> Client::Call(obs::JsonValue frame) {
+  if (fd_ < 0) return Status::Precondition("client not connected");
+  const uint64_t id = EnvelopeId(frame);
+  const std::string bytes = EncodeFrame(frame);
+  size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n =
+        send(fd_, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal(std::string("send: ") + std::strerror(errno));
+    }
+    sent += static_cast<size_t>(n);
+  }
+  for (;;) {
+    auto reply = ReadFrame();
+    if (!reply.ok()) return reply;
+    auto type = EnvelopeType(reply.value());
+    if (!type.ok()) return type.status();
+    if (EnvelopeId(reply.value()) != id) continue;  // not ours (pipelined)
+    if (type.value() == "error") {
+      const obs::JsonValue* msg = reply.value().Find("message");
+      return Status::Invalid(msg != nullptr ? std::string(msg->AsString())
+                                            : "daemon error");
+    }
+    return reply;
+  }
+}
+
+Result<obs::JsonValue> Client::AnalyzeJson(const AnalysisRequest& request) {
+  obs::JsonValue frame = MakeEnvelope("analyze", next_id_++);
+  frame.Set("request", RequestToJson(request));
+  auto reply = Call(std::move(frame));
+  if (!reply.ok()) return reply;
+  const obs::JsonValue* body = reply.value().Find("result");
+  if (body == nullptr) {
+    return Status::Internal("result frame has no result body");
+  }
+  return obs::JsonValue(*body);
+}
+
+Result<AnalysisResult> Client::Analyze(const AnalysisRequest& request) {
+  auto doc = AnalyzeJson(request);
+  if (!doc.ok()) return doc.status();
+  return ResultFromJson(doc.value());
+}
+
+Result<obs::JsonValue> Client::Stats() {
+  auto reply = Call(MakeEnvelope("stats", next_id_++));
+  if (!reply.ok()) return reply;
+  const obs::JsonValue* body = reply.value().Find("stats");
+  if (body == nullptr) {
+    return Status::Internal("stats frame has no stats body");
+  }
+  return obs::JsonValue(*body);
+}
+
+Status Client::Ping() {
+  auto reply = Call(MakeEnvelope("ping", next_id_++));
+  return reply.ok() ? Status::Ok() : reply.status();
+}
+
+Status Client::Shutdown() {
+  auto reply = Call(MakeEnvelope("shutdown", next_id_++));
+  return reply.ok() ? Status::Ok() : reply.status();
+}
+
+}  // namespace sbce::service

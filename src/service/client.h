@@ -1,0 +1,58 @@
+// Synchronous client for the analysis daemon: connects to the AF_UNIX
+// socket, speaks the wire protocol, and exposes typed calls. One Client
+// is one connection; it is not thread-safe (use one per thread — the
+// daemon multiplexes connections, not the client).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "src/obs/json.h"
+#include "src/service/api.h"
+#include "src/service/wire.h"
+#include "src/support/status.h"
+
+namespace sbce::service {
+
+class Client {
+ public:
+  Client() = default;
+  ~Client();
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&& other) noexcept;
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Connects to a daemon's socket.
+  static Result<Client> Connect(const std::string& socket_path);
+
+  bool connected() const { return fd_ >= 0; }
+  void Close();
+
+  /// Sends one envelope and blocks for the response with the same id
+  /// ("error" frames come back as error Status).
+  Result<obs::JsonValue> Call(obs::JsonValue frame);
+
+  /// Round-trips an analysis: request out, AnalysisResult back. The
+  /// result's `ok=false` + `error` report request-level rejections (bad
+  /// bomb/profile); transport failures are the error Status.
+  Result<AnalysisResult> Analyze(const AnalysisRequest& request);
+
+  /// Raw result document of an analysis (the full wire JSON, perf section
+  /// included) — what the CLI prints and the byte-identity tests diff.
+  Result<obs::JsonValue> AnalyzeJson(const AnalysisRequest& request);
+
+  Result<obs::JsonValue> Stats();
+  Status Ping();
+  /// Asks the daemon to drain and exit.
+  Status Shutdown();
+
+ private:
+  Result<obs::JsonValue> ReadFrame();
+
+  int fd_ = -1;
+  uint64_t next_id_ = 1;
+  FrameReader reader_;
+};
+
+}  // namespace sbce::service

@@ -1,0 +1,440 @@
+#include "src/service/daemon.h"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <sstream>
+#include <utility>
+
+#include "src/obs/buffer_sink.h"
+#include "src/obs/jsonl.h"
+
+namespace sbce::service {
+
+namespace {
+
+unsigned ResolveJobs(unsigned jobs) {
+  if (jobs != 0) return jobs;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : (hw > 8 ? 8 : hw);
+}
+
+void SetNonBlocking(int fd) {
+  const int flags = fcntl(fd, F_GETFL, 0);
+  fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+}  // namespace
+
+Daemon::Daemon(Options options)
+    : options_(std::move(options)), warm_(options_.warm) {}
+
+Daemon::~Daemon() { Stop(); }
+
+Status Daemon::Start() {
+  if (options_.socket_path.empty()) {
+    return Status::Invalid("daemon needs a socket path");
+  }
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (options_.socket_path.size() >= sizeof(addr.sun_path)) {
+    return Status::Invalid("socket path too long");
+  }
+  std::memcpy(addr.sun_path, options_.socket_path.c_str(),
+              options_.socket_path.size() + 1);
+
+  listen_fd_ = socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return Status::Internal(std::string("socket: ") + std::strerror(errno));
+  }
+  ::unlink(options_.socket_path.c_str());
+  if (bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    const int e = errno;
+    close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::Internal(std::string("bind: ") + std::strerror(e));
+  }
+  if (listen(listen_fd_, 128) < 0) {
+    const int e = errno;
+    close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::Internal(std::string("listen: ") + std::strerror(e));
+  }
+  SetNonBlocking(listen_fd_);
+  if (pipe(wake_pipe_) < 0) {
+    close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::Internal(std::string("pipe: ") + std::strerror(errno));
+  }
+  SetNonBlocking(wake_pipe_[0]);
+  SetNonBlocking(wake_pipe_[1]);
+
+  pool_ = std::make_unique<ThreadPool>(ResolveJobs(options_.jobs));
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stopping_ = false;
+    stopped_ = false;
+    stopped_io_ready_ = false;
+    io_exited_ = false;
+  }
+  io_thread_ = std::thread([this] { IoLoop(); });
+  dispatch_thread_ = std::thread([this] { DispatchLoop(); });
+  return Status::Ok();
+}
+
+void Daemon::Wait() {
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    stop_cv_.wait(lk, [this] { return stopped_ || io_exited_; });
+  }
+  Stop();
+}
+
+void Daemon::Stop() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (stopped_ && !io_thread_.joinable()) return;
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  WakeIo();
+  if (io_thread_.joinable()) io_thread_.join();
+  if (dispatch_thread_.joinable()) dispatch_thread_.join();
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    for (auto& [id, conn] : conns_) {
+      if (conn->fd >= 0) close(conn->fd);
+    }
+    conns_.clear();
+    stopped_ = true;
+  }
+  if (listen_fd_ >= 0) {
+    close(listen_fd_);
+    listen_fd_ = -1;
+    ::unlink(options_.socket_path.c_str());
+  }
+  for (int& fd : wake_pipe_) {
+    if (fd >= 0) {
+      close(fd);
+      fd = -1;
+    }
+  }
+  pool_.reset();
+  stop_cv_.notify_all();
+}
+
+void Daemon::WakeIo() {
+  if (wake_pipe_[1] >= 0) {
+    const char b = 1;
+    [[maybe_unused]] ssize_t n = write(wake_pipe_[1], &b, 1);
+  }
+}
+
+obs::JsonValue Daemon::StatsJson() const {
+  obs::JsonValue doc = obs::JsonValue::Object();
+  doc.Set("warm", warm_.StatsJson());
+  doc.Set("daemon", registry_.SnapshotJson());
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    doc.Set("connections", obs::JsonValue::U64(conns_.size()));
+  }
+  return doc;
+}
+
+void Daemon::IoLoop() {
+  std::vector<pollfd> fds;
+  std::vector<uint64_t> fd_conn;  // parallel: conn id per pollfd (0 = none)
+  char rbuf[64 * 1024];
+  for (;;) {
+    fds.clear();
+    fd_conn.clear();
+    bool stopping;
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      stopping = stopping_;
+      if (!stopping) {
+        fds.push_back({listen_fd_, POLLIN, 0});
+        fd_conn.push_back(0);
+      }
+      fds.push_back({wake_pipe_[0], POLLIN, 0});
+      fd_conn.push_back(0);
+      for (auto& [id, conn] : conns_) {
+        short events = conn->draining ? 0 : POLLIN;
+        if (conn->outpos < conn->outbuf.size()) events |= POLLOUT;
+        if (events == 0 && conn->draining) {
+          // Fully flushed draining connection: close it now.
+          events = POLLOUT;  // poll once more; closed below on writable
+        }
+        fds.push_back({conn->fd, events, 0});
+        fd_conn.push_back(id);
+      }
+    }
+    if (stopping) {
+      // Dispatch may still be draining queued work; keep flushing
+      // responses until it finishes, then exit.
+      bool dispatch_done;
+      {
+        std::lock_guard<std::mutex> lk(mu_);
+        dispatch_done = stopped_io_ready_;
+      }
+      if (dispatch_done) {
+        bool flushed = true;
+        std::lock_guard<std::mutex> lk(mu_);
+        for (auto& [id, conn] : conns_) {
+          if (conn->outpos < conn->outbuf.size()) flushed = false;
+        }
+        if (flushed) {
+          io_exited_ = true;
+          stop_cv_.notify_all();
+          return;
+        }
+      }
+    }
+    poll(fds.data(), fds.size(), 100);
+
+    std::vector<uint64_t> to_close;
+    bool queued_work = false;
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      for (size_t i = 0; i < fds.size(); ++i) {
+        const pollfd& pfd = fds[i];
+        if (pfd.fd == wake_pipe_[0]) {
+          if (pfd.revents & POLLIN) {
+            while (read(wake_pipe_[0], rbuf, sizeof(rbuf)) > 0) {
+            }
+          }
+          continue;
+        }
+        if (pfd.fd == listen_fd_ && fd_conn[i] == 0) {
+          if (pfd.revents & POLLIN) {
+            for (;;) {
+              const int cfd = accept(listen_fd_, nullptr, nullptr);
+              if (cfd < 0) break;
+              SetNonBlocking(cfd);
+              auto conn =
+                  std::make_unique<Connection>(options_.max_frame_bytes);
+              conn->fd = cfd;
+              conns_.emplace(next_conn_id_++, std::move(conn));
+              registry_.Get("service.connections")->Increment();
+            }
+          }
+          continue;
+        }
+        auto it = conns_.find(fd_conn[i]);
+        if (it == conns_.end()) continue;
+        Connection& conn = *it->second;
+        if (pfd.revents & (POLLERR | POLLHUP | POLLNVAL)) {
+          // Peer hung up; deliver nothing further. Requests already
+          // queued/in flight finish and their responses are discarded
+          // when the response finds the connection gone.
+          if (!(pfd.revents & POLLIN)) {
+            to_close.push_back(it->first);
+            continue;
+          }
+        }
+        if (pfd.revents & POLLIN) {
+          for (;;) {
+            const ssize_t n = read(conn.fd, rbuf, sizeof(rbuf));
+            if (n > 0) {
+              conn.reader.Feed(rbuf, static_cast<size_t>(n));
+              continue;
+            }
+            if (n == 0) to_close.push_back(it->first);
+            break;  // n<0: EAGAIN (or error → next poll reports it)
+          }
+          for (;;) {
+            auto frame = conn.reader.Next();
+            if (!frame.ok()) {
+              AppendFrame(MakeErrorFrame(0, frame.status().message()),
+                          &conn.outbuf);
+              conn.draining = true;
+              break;
+            }
+            if (!frame.value().has_value()) break;
+            HandleFrame(conn, *frame.value());
+            queued_work = true;
+          }
+        }
+        if ((pfd.revents & POLLOUT) &&
+            conn.outpos < conn.outbuf.size()) {
+          for (;;) {
+            const size_t left = conn.outbuf.size() - conn.outpos;
+            if (left == 0) break;
+            const ssize_t n = send(conn.fd, conn.outbuf.data() + conn.outpos,
+                                   left, MSG_NOSIGNAL);
+            if (n <= 0) break;
+            conn.outpos += static_cast<size_t>(n);
+          }
+          if (conn.outpos == conn.outbuf.size()) {
+            conn.outbuf.clear();
+            conn.outpos = 0;
+          }
+        }
+        if (conn.draining && conn.outpos >= conn.outbuf.size() &&
+            conn.pending.empty() && conn.inflight == 0) {
+          to_close.push_back(it->first);
+        }
+      }
+      for (uint64_t id : to_close) {
+        auto it = conns_.find(id);
+        if (it == conns_.end()) continue;
+        // Keep connections with work in flight alive as records (their
+        // socket is closed) so responses have somewhere to land and the
+        // dispatch bookkeeping stays consistent.
+        close(it->second->fd);
+        it->second->fd = -1;
+        it->second->draining = true;
+        if (it->second->pending.empty() && it->second->inflight == 0) {
+          conns_.erase(it);
+        }
+      }
+      // Re-drop connections whose fd already closed and whose work ended.
+      for (auto it = conns_.begin(); it != conns_.end();) {
+        Connection& conn = *it->second;
+        if (conn.fd < 0 && conn.pending.empty() && conn.inflight == 0) {
+          it = conns_.erase(it);
+        } else {
+          ++it;
+        }
+      }
+    }
+    if (queued_work) work_cv_.notify_all();
+  }
+}
+
+void Daemon::HandleFrame(Connection& conn, const obs::JsonValue& doc) {
+  auto type = EnvelopeType(doc);
+  const uint64_t id = EnvelopeId(doc);
+  if (!type.ok()) {
+    AppendFrame(MakeErrorFrame(id, type.status().message()), &conn.outbuf);
+    return;
+  }
+  registry_.Get("service.frames")->Increment();
+  if (type.value() == "ping") {
+    AppendFrame(MakeEnvelope("pong", id), &conn.outbuf);
+    return;
+  }
+  if (type.value() == "stats") {
+    obs::JsonValue reply = MakeEnvelope("stats", id);
+    obs::JsonValue stats = obs::JsonValue::Object();
+    stats.Set("warm", warm_.StatsJson());
+    stats.Set("daemon", registry_.SnapshotJson());
+    stats.Set("connections", obs::JsonValue::U64(conns_.size()));
+    reply.Set("stats", std::move(stats));
+    AppendFrame(reply, &conn.outbuf);
+    return;
+  }
+  if (type.value() == "shutdown") {
+    AppendFrame(MakeEnvelope("shutdown", id), &conn.outbuf);
+    stopping_ = true;  // mu_ already held by IoLoop
+    work_cv_.notify_all();
+    return;
+  }
+  if (type.value() == "analyze") {
+    const obs::JsonValue* body = doc.Find("request");
+    if (body == nullptr) {
+      AppendFrame(MakeErrorFrame(id, "analyze frame has no request"),
+                  &conn.outbuf);
+      return;
+    }
+    auto req = RequestFromJson(*body);
+    if (!req.ok()) {
+      AppendFrame(MakeErrorFrame(id, req.status().message()), &conn.outbuf);
+      return;
+    }
+    registry_.Get("service.requests")->Increment();
+    conn.pending.emplace_back(id, std::move(req).value());
+    return;
+  }
+  AppendFrame(MakeErrorFrame(id, "unknown frame type: " + type.value()),
+              &conn.outbuf);
+}
+
+AnalysisResult Daemon::Serve(const AnalysisRequest& request) {
+  AnalyzeEnv env;
+  env.warm = &warm_;
+  if (!request.want_trace) return Analyze(request, env);
+  obs::BufferSink buffer;
+  env.trace_sink = &buffer;
+  AnalysisResult res = Analyze(request, env);
+  std::ostringstream lines;
+  obs::JsonlSink jsonl(&lines);
+  buffer.Replay(jsonl);
+  std::string all = lines.str();
+  size_t start = 0;
+  while (start < all.size()) {
+    size_t end = all.find('\n', start);
+    if (end == std::string::npos) end = all.size();
+    if (end > start) res.trace_jsonl.push_back(all.substr(start, end - start));
+    start = end + 1;
+  }
+  return res;
+}
+
+void Daemon::DispatchLoop() {
+  for (;;) {
+    std::vector<WorkItem> batch;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      for (;;) {
+        // One request per connection per epoch, starting after the
+        // round-robin cursor so every session advances.
+        batch.clear();
+        auto start = conns_.upper_bound(rr_cursor_);
+        auto take = [&](auto begin, auto end) {
+          for (auto it = begin; it != end; ++it) {
+            Connection& conn = *it->second;
+            if (conn.pending.empty()) continue;
+            WorkItem item;
+            item.conn_id = it->first;
+            item.request_id = conn.pending.front().first;
+            item.request = std::move(conn.pending.front().second);
+            conn.pending.pop_front();
+            ++conn.inflight;
+            batch.push_back(std::move(item));
+          }
+        };
+        take(start, conns_.end());
+        take(conns_.begin(), start);
+        if (!batch.empty()) {
+          rr_cursor_ = batch.back().conn_id;
+          break;
+        }
+        if (stopping_) {
+          stopped_io_ready_ = true;
+          WakeIo();
+          return;
+        }
+        work_cv_.wait(lk);
+      }
+      registry_.Get("service.epochs")->Increment();
+    }
+    std::vector<obs::JsonValue> replies(batch.size());
+    pool_->ForEachIndex(batch.size(), [&](size_t i) {
+      AnalysisResult res = Serve(batch[i].request);
+      obs::JsonValue reply = MakeEnvelope("result", batch[i].request_id);
+      reply.Set("result", ResultToJson(res, /*deterministic_only=*/false));
+      replies[i] = std::move(reply);
+    });
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      for (size_t i = 0; i < batch.size(); ++i) {
+        auto it = conns_.find(batch[i].conn_id);
+        if (it == conns_.end()) continue;
+        --it->second->inflight;
+        if (it->second->fd >= 0) {
+          AppendFrame(replies[i], &it->second->outbuf);
+        }
+      }
+    }
+    WakeIo();
+  }
+}
+
+}  // namespace sbce::service

@@ -1,0 +1,136 @@
+// The analysis daemon: a long-lived process serving AnalysisRequests over
+// a local (AF_UNIX) socket with the wire protocol of src/service/wire.h.
+//
+// Architecture (DESIGN.md §5g):
+//
+//   * One IO thread owns the listening socket and every connection:
+//     poll()-driven reads feed per-connection FrameReaders; complete
+//     frames are answered inline (ping/stats/shutdown) or queued as
+//     analysis work; response bytes drain through per-connection output
+//     buffers under POLLOUT.
+//   * One dispatch thread runs scheduling epochs: each epoch takes at
+//     most ONE queued request per connection (fair round-robin — a client
+//     that batches 100 requests cannot starve one that sends a single
+//     request) and scatters the batch over a ThreadPool. Responses are
+//     handed back to the IO thread through the connections' output
+//     buffers and a wakeup pipe.
+//   * All requests share one WarmCache: images, predecoded text, warm
+//     query verdicts and captured path-condition segments persist across
+//     requests and connections, under the cache's byte budgets.
+//
+// Determinism: the daemon adds no nondeterminism to results — Analyze's
+// contract (bit-identical deterministic JSON cold/warm/concurrent) holds
+// at any --jobs and any number of simultaneous connections, because warm
+// state is only shared between identical requests and each analysis is
+// fully private otherwise.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/obs/metrics.h"
+#include "src/service/api.h"
+#include "src/service/warm_cache.h"
+#include "src/service/wire.h"
+#include "src/support/status.h"
+#include "src/support/thread_pool.h"
+
+namespace sbce::service {
+
+class Daemon {
+ public:
+  struct Options {
+    /// Filesystem path the AF_UNIX socket binds to (unlinked first, and
+    /// again on Stop).
+    std::string socket_path;
+    /// Analysis concurrency per epoch: total threads including the
+    /// dispatch thread. 0 = hardware concurrency capped at 8.
+    unsigned jobs = 0;
+    WarmCache::Options warm;
+    size_t max_frame_bytes = kMaxFrameBytes;
+  };
+
+  explicit Daemon(Options options);
+  ~Daemon();
+
+  Daemon(const Daemon&) = delete;
+  Daemon& operator=(const Daemon&) = delete;
+
+  /// Binds, listens and starts the IO + dispatch threads.
+  Status Start();
+
+  /// Blocks until the daemon stops (a client "shutdown" frame or Stop()).
+  void Wait();
+
+  /// Drains queued work and stops both threads. Idempotent; called by the
+  /// destructor if needed.
+  void Stop();
+
+  WarmCache& warm() { return warm_; }
+
+  /// The daemon's stats document: warm-cache stores + counters plus the
+  /// request/connection counters ("stats" responses serve this).
+  obs::JsonValue StatsJson() const;
+
+ private:
+  struct Connection {
+    int fd = -1;
+    FrameReader reader;
+    std::string outbuf;
+    size_t outpos = 0;  // flushed prefix of outbuf
+    /// Queued analyze requests: (envelope id, request).
+    std::deque<std::pair<uint64_t, AnalysisRequest>> pending;
+    size_t inflight = 0;
+    /// Flush outbuf, then close (protocol error or client shutdown).
+    bool draining = false;
+
+    explicit Connection(size_t max_frame_bytes)
+        : reader(max_frame_bytes) {}
+  };
+
+  struct WorkItem {
+    uint64_t conn_id = 0;
+    uint64_t request_id = 0;
+    AnalysisRequest request;
+  };
+
+  void IoLoop();
+  void DispatchLoop();
+  void HandleFrame(Connection& conn, const obs::JsonValue& doc);
+  void WakeIo();
+  AnalysisResult Serve(const AnalysisRequest& request);
+
+  Options options_;
+  WarmCache warm_;
+  obs::MetricsRegistry registry_;
+  std::unique_ptr<ThreadPool> pool_;
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;   // dispatch thread waits here
+  std::condition_variable stop_cv_;   // Wait() waits here
+  std::map<uint64_t, std::unique_ptr<Connection>> conns_;
+  uint64_t next_conn_id_ = 1;
+  uint64_t rr_cursor_ = 0;  // round-robin: first conn id served next epoch
+  bool stopping_ = false;
+  bool stopped_ = true;
+  /// Set by the dispatch thread when it has drained its queue after a
+  /// stop request; the IO thread then flushes and exits.
+  bool stopped_io_ready_ = false;
+  /// Set by the IO thread on exit so Wait() can finish the teardown (a
+  /// client "shutdown" stops the loops; Stop() still joins and cleans up).
+  bool io_exited_ = false;
+
+  int listen_fd_ = -1;
+  int wake_pipe_[2] = {-1, -1};
+  std::thread io_thread_;
+  std::thread dispatch_thread_;
+};
+
+}  // namespace sbce::service

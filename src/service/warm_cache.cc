@@ -1,0 +1,191 @@
+#include "src/service/warm_cache.h"
+
+#include <cstdio>
+#include <utility>
+
+namespace sbce::service {
+
+size_t ExprSegment::ApproxBytes() const {
+  // Hash-consed nodes dominate; strings (var names) are approximated by
+  // the node constant below.
+  constexpr size_t kPerNode = sizeof(solver::Expr) + 48;
+  return sizeof(ExprSegment) + pool.size() * kPerNode +
+         roots.size() * sizeof(solver::ExprRef) +
+         pcs.size() * sizeof(uint64_t);
+}
+
+std::shared_ptr<ExprSegment> CaptureSegment(
+    std::span<const symex::PathConstraint> path) {
+  auto seg = std::make_shared<ExprSegment>();
+  seg->roots.reserve(path.size());
+  seg->pcs.reserve(path.size());
+  for (const symex::PathConstraint& pc : path) {
+    seg->roots.push_back(solver::ImportInto(&seg->pool, pc.cond));
+    seg->pcs.push_back(pc.pc);
+  }
+  return seg;
+}
+
+std::vector<std::string> PathConditionLines(const ExprSegment& segment) {
+  std::vector<std::string> lines;
+  lines.reserve(segment.roots.size());
+  for (size_t i = 0; i < segment.roots.size(); ++i) {
+    char addr[32];
+    std::snprintf(addr, sizeof(addr), "0x%llx: ",
+                  static_cast<unsigned long long>(segment.pcs[i]));
+    lines.push_back(addr + solver::ToString(segment.roots[i]));
+  }
+  return lines;
+}
+
+template <typename V>
+void WarmCache::TouchEntry(Store<V>& store, uint64_t key) {
+  auto it = store.entries.find(key);
+  store.order.splice(store.order.begin(), store.order, it->second.lru);
+}
+
+template <typename V>
+void WarmCache::AdmitEntry(Store<V>& store, uint64_t key, V value,
+                           size_t bytes) {
+  store.order.push_front(key);
+  typename Store<V>::Entry entry;
+  entry.value = std::move(value);
+  entry.bytes = bytes;
+  entry.lru = store.order.begin();
+  store.bytes += bytes;
+  store.entries.emplace(key, std::move(entry));
+}
+
+template <typename V>
+void WarmCache::EvictToBudget(Store<V>& store, size_t budget,
+                              uint64_t keep_key, obs::Counter* evictions) {
+  // Evict LRU-first, but never the entry the current request just touched
+  // (an over-budget singleton stays until something else displaces it).
+  while (store.bytes > budget && store.order.size() > 1) {
+    uint64_t victim = store.order.back();
+    if (victim == keep_key) {
+      // keep_key is LRU-last only when everything newer was already
+      // evicted this pass; rotate it to the front and take the next one.
+      store.order.splice(store.order.begin(), store.order,
+                         std::prev(store.order.end()));
+      victim = store.order.back();
+    }
+    auto it = store.entries.find(victim);
+    store.bytes -= it->second.bytes;
+    store.order.erase(it->second.lru);
+    store.entries.erase(it);
+    evictions->Increment();
+  }
+}
+
+std::shared_ptr<const isa::BinaryImage> WarmCache::AcquireImage(
+    uint64_t key, const std::function<isa::BinaryImage()>& build) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (auto it = images_.entries.find(key); it != images_.entries.end()) {
+    registry_.Get("service.image_cache.hits")->Increment();
+    TouchEntry(images_, key);
+    return it->second.value;
+  }
+  registry_.Get("service.image_cache.misses")->Increment();
+  auto image = std::make_shared<const isa::BinaryImage>(build());
+  const size_t bytes = image->TotalBytes() + 128 * image->sections().size() +
+                       sizeof(isa::BinaryImage);
+  AdmitEntry(images_, key, std::shared_ptr<const isa::BinaryImage>(image),
+             bytes);
+  EvictToBudget(images_, options_.image_budget_bytes, key,
+                registry_.Get("service.image_cache.evictions"));
+  return image;
+}
+
+std::shared_ptr<const isa::PredecodedText> WarmCache::AcquireDecode(
+    uint64_t key, const isa::BinaryImage& image) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (auto it = decodes_.entries.find(key); it != decodes_.entries.end()) {
+    registry_.Get("service.decode_cache.hits")->Increment();
+    TouchEntry(decodes_, key);
+    return it->second.value;
+  }
+  registry_.Get("service.decode_cache.misses")->Increment();
+  std::shared_ptr<const isa::PredecodedText> decoded = isa::Predecode(image);
+  AdmitEntry(decodes_, key,
+             std::shared_ptr<const isa::PredecodedText>(decoded),
+             decoded->ApproxBytes());
+  EvictToBudget(decodes_, options_.decode_budget_bytes, key,
+                registry_.Get("service.decode_cache.evictions"));
+  return decoded;
+}
+
+std::shared_ptr<solver::QueryCache> WarmCache::AcquireQueryStore(
+    uint64_t digest) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (auto it = queries_.entries.find(digest); it != queries_.entries.end()) {
+    registry_.Get("service.query_store.hits")->Increment();
+    TouchEntry(queries_, digest);
+    // Engines grew the caches since admission; re-measure everything so
+    // the budget tracks reality, then trim.
+    queries_.bytes = 0;
+    for (auto& [key, entry] : queries_.entries) {
+      entry.bytes = entry.value->ApproxBytes();
+      queries_.bytes += entry.bytes;
+    }
+    EvictToBudget(queries_, options_.query_budget_bytes, digest,
+                  registry_.Get("service.query_store.evictions"));
+    return it->second.value;
+  }
+  registry_.Get("service.query_store.misses")->Increment();
+  solver::QueryCache::Options cache_options;
+  cache_options.exact_only = true;  // bit-identity contract; see header
+  auto cache = std::make_shared<solver::QueryCache>(cache_options);
+  AdmitEntry(queries_, digest, std::shared_ptr<solver::QueryCache>(cache),
+             cache->ApproxBytes());
+  EvictToBudget(queries_, options_.query_budget_bytes, digest,
+                registry_.Get("service.query_store.evictions"));
+  return cache;
+}
+
+std::shared_ptr<const ExprSegment> WarmCache::FindSegment(uint64_t digest) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (auto it = segments_.entries.find(digest);
+      it != segments_.entries.end()) {
+    registry_.Get("service.segment_store.hits")->Increment();
+    TouchEntry(segments_, digest);
+    return it->second.value;
+  }
+  registry_.Get("service.segment_store.misses")->Increment();
+  return nullptr;
+}
+
+void WarmCache::StoreSegment(uint64_t digest,
+                             std::shared_ptr<const ExprSegment> seg) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (segments_.entries.contains(digest)) return;  // first writer wins
+  registry_.Get("service.segment_store.captures")->Increment();
+  const size_t bytes = seg->ApproxBytes();
+  AdmitEntry(segments_, digest, std::move(seg), bytes);
+  EvictToBudget(segments_, options_.segment_budget_bytes, digest,
+                registry_.Get("service.segment_store.evictions"));
+}
+
+obs::JsonValue WarmCache::StatsJson() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  obs::JsonValue doc = obs::JsonValue::Object();
+  const auto store = [](size_t entries, size_t bytes, size_t budget) {
+    obs::JsonValue s = obs::JsonValue::Object();
+    s.Set("entries", obs::JsonValue::U64(entries));
+    s.Set("bytes", obs::JsonValue::U64(bytes));
+    s.Set("budget_bytes", obs::JsonValue::U64(budget));
+    return s;
+  };
+  doc.Set("image_cache", store(images_.entries.size(), images_.bytes,
+                               options_.image_budget_bytes));
+  doc.Set("decode_cache", store(decodes_.entries.size(), decodes_.bytes,
+                                options_.decode_budget_bytes));
+  doc.Set("query_store", store(queries_.entries.size(), queries_.bytes,
+                               options_.query_budget_bytes));
+  doc.Set("segment_store", store(segments_.entries.size(), segments_.bytes,
+                                 options_.segment_budget_bytes));
+  doc.Set("counters", registry_.SnapshotJson());
+  return doc;
+}
+
+}  // namespace sbce::service

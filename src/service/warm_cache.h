@@ -1,0 +1,140 @@
+// WarmCache: the daemon's shared, byte-budgeted store of expensive
+// immutable per-image state.
+//
+// Four stores, all admission/eviction-managed and counter-instrumented:
+//
+//   * image store    — image key → deserialized/built isa::BinaryImage
+//                      (skips SBX parsing / bomb assembly on repeats).
+//   * decode store   — image key → isa::PredecodedText (skips the
+//                      per-request Predecode pass; the 3.7× interpreter
+//                      speedup's setup cost is paid once per image).
+//   * query store    — request digest → solver::QueryCache in exact-only
+//                      mode (repeat requests answer their solver
+//                      components from the verdicts the first run
+//                      computed — soundly and bit-identically, see
+//                      QueryCache::Options::exact_only).
+//   * segment store  — request digest → ExprSegment: the seed round's
+//                      path condition, hash-consed into an immutable
+//                      cache-owned pool (repeat want_path_condition
+//                      requests serve the extracted trigger signature
+//                      without re-walking).
+//
+// Policy: admit-always, evict-LRU. Each store has a byte budget; after an
+// admission the least-recently-used entries (never the one just touched)
+// are evicted until the store fits. Query stores grow while engines run,
+// so their footprint is re-measured at every acquire. Eviction only ever
+// discards warm state — a later request rebuilds it cold — so correctness
+// is unaffected by any eviction schedule (tested by the eviction-under-
+// pressure suite).
+//
+// Thread safety: one mutex guards all stores; returned values are
+// shared_ptr to immutable objects (or to the internally-locked
+// QueryCache), so sessions keep using state that was evicted under them.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/isa/image.h"
+#include "src/isa/predecode.h"
+#include "src/obs/json.h"
+#include "src/obs/metrics.h"
+#include "src/solver/expr.h"
+#include "src/solver/query_cache.h"
+#include "src/symex/state.h"
+
+namespace sbce::service {
+
+/// An immutable, hash-consed expression segment: the seed round's path
+/// condition captured into a cache-owned pool.
+struct ExprSegment {
+  solver::ExprPool pool;
+  std::vector<solver::ExprRef> roots;  // 1-bit conjuncts, path order
+  std::vector<uint64_t> pcs;           // constraint sites, parallel to roots
+  size_t ApproxBytes() const;
+};
+
+/// Imports `path` into a fresh segment (the engine's seed_path_hook side).
+std::shared_ptr<ExprSegment> CaptureSegment(
+    std::span<const symex::PathConstraint> path);
+
+/// Renders a segment as "0x<pc>: <constraint>" lines.
+std::vector<std::string> PathConditionLines(const ExprSegment& segment);
+
+class WarmCache {
+ public:
+  struct Options {
+    size_t image_budget_bytes = 64u << 20;
+    size_t decode_budget_bytes = 64u << 20;
+    size_t query_budget_bytes = 64u << 20;
+    size_t segment_budget_bytes = 32u << 20;
+  };
+
+  WarmCache() = default;
+  explicit WarmCache(Options options) : options_(options) {}
+  WarmCache(const WarmCache&) = delete;
+  WarmCache& operator=(const WarmCache&) = delete;
+
+  /// Image by key; `build` runs on a miss (under the cache lock — builds
+  /// are deterministic and bounded) and the result is admitted.
+  std::shared_ptr<const isa::BinaryImage> AcquireImage(
+      uint64_t key, const std::function<isa::BinaryImage()>& build);
+
+  /// Predecoded text for `image` (keyed by the same image key).
+  std::shared_ptr<const isa::PredecodedText> AcquireDecode(
+      uint64_t key, const isa::BinaryImage& image);
+
+  /// Shared exact-only query cache for one request digest.
+  std::shared_ptr<solver::QueryCache> AcquireQueryStore(uint64_t digest);
+
+  /// Segment lookup; null on a miss (the caller then captures one via the
+  /// engine hook and publishes it with StoreSegment — first writer wins).
+  std::shared_ptr<const ExprSegment> FindSegment(uint64_t digest);
+  void StoreSegment(uint64_t digest, std::shared_ptr<const ExprSegment> seg);
+
+  /// Hit/miss/eviction counters: service.{image_cache,decode_cache,
+  /// query_store,segment_store}.{hits,misses,evictions}.
+  const obs::MetricsRegistry& metrics() const { return registry_; }
+
+  /// Budgets, current byte sizes and entry counts per store, plus the
+  /// counter snapshot — the daemon's `stats` payload.
+  obs::JsonValue StatsJson() const;
+
+ private:
+  template <typename V>
+  struct Store {
+    struct Entry {
+      V value;
+      size_t bytes = 0;
+      std::list<uint64_t>::iterator lru;  // into `order`
+    };
+    std::unordered_map<uint64_t, Entry> entries;
+    std::list<uint64_t> order;  // front = most recently used
+    size_t bytes = 0;
+  };
+
+  template <typename V>
+  void TouchEntry(Store<V>& store, uint64_t key);
+  template <typename V>
+  void AdmitEntry(Store<V>& store, uint64_t key, V value, size_t bytes);
+  template <typename V>
+  void EvictToBudget(Store<V>& store, size_t budget, uint64_t keep_key,
+                     obs::Counter* evictions);
+
+  Options options_;
+  mutable std::mutex mu_;
+  Store<std::shared_ptr<const isa::BinaryImage>> images_;
+  Store<std::shared_ptr<const isa::PredecodedText>> decodes_;
+  Store<std::shared_ptr<solver::QueryCache>> queries_;
+  Store<std::shared_ptr<const ExprSegment>> segments_;
+  obs::MetricsRegistry registry_;
+};
+
+}  // namespace sbce::service

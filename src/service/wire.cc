@@ -1,0 +1,93 @@
+#include "src/service/wire.h"
+
+#include <cstring>
+
+namespace sbce::service {
+
+void AppendFrame(const obs::JsonValue& doc, std::string* out) {
+  const std::string payload = obs::Dump(doc);
+  const uint32_t n = static_cast<uint32_t>(payload.size());
+  char prefix[4];
+  prefix[0] = static_cast<char>(n & 0xff);
+  prefix[1] = static_cast<char>((n >> 8) & 0xff);
+  prefix[2] = static_cast<char>((n >> 16) & 0xff);
+  prefix[3] = static_cast<char>((n >> 24) & 0xff);
+  out->append(prefix, 4);
+  out->append(payload);
+}
+
+std::string EncodeFrame(const obs::JsonValue& doc) {
+  std::string out;
+  AppendFrame(doc, &out);
+  return out;
+}
+
+void FrameReader::Feed(const void* data, size_t n) {
+  buf_.append(static_cast<const char*>(data), n);
+}
+
+Result<std::optional<obs::JsonValue>> FrameReader::Next() {
+  if (poisoned_) return Status::Invalid("frame stream poisoned");
+  // Compact the consumed prefix once it dominates the buffer.
+  if (pos_ > 4096 && pos_ * 2 > buf_.size()) {
+    buf_.erase(0, pos_);
+    pos_ = 0;
+  }
+  const size_t avail = buf_.size() - pos_;
+  if (avail < 4) return std::optional<obs::JsonValue>(std::nullopt);
+  const unsigned char* p =
+      reinterpret_cast<const unsigned char*>(buf_.data() + pos_);
+  const uint32_t len = static_cast<uint32_t>(p[0]) |
+                       (static_cast<uint32_t>(p[1]) << 8) |
+                       (static_cast<uint32_t>(p[2]) << 16) |
+                       (static_cast<uint32_t>(p[3]) << 24);
+  if (len > max_frame_bytes_) {
+    poisoned_ = true;
+    return Status::Invalid("frame exceeds size limit");
+  }
+  if (avail < 4u + len) return std::optional<obs::JsonValue>(std::nullopt);
+  std::string_view payload(buf_.data() + pos_ + 4, len);
+  pos_ += 4u + len;
+  std::optional<obs::JsonValue> doc = obs::ParseJson(payload);
+  if (!doc) {
+    poisoned_ = true;
+    return Status::Invalid("frame payload is not valid JSON");
+  }
+  return std::optional<obs::JsonValue>(std::move(doc));
+}
+
+obs::JsonValue MakeEnvelope(std::string_view type, uint64_t id) {
+  obs::JsonValue v = obs::JsonValue::Object();
+  v.Set("v", obs::JsonValue::U64(kWireVersion));
+  v.Set("type", obs::JsonValue::Str(type));
+  v.Set("id", obs::JsonValue::U64(id));
+  return v;
+}
+
+obs::JsonValue MakeErrorFrame(uint64_t id, std::string_view message) {
+  obs::JsonValue v = MakeEnvelope("error", id);
+  v.Set("message", obs::JsonValue::Str(message));
+  return v;
+}
+
+Result<std::string> EnvelopeType(const obs::JsonValue& doc) {
+  if (doc.kind != obs::JsonValue::Kind::kObject) {
+    return Status::Invalid("payload is not an object");
+  }
+  const obs::JsonValue* v = doc.Find("v");
+  if (v == nullptr || v->AsU64() != kWireVersion) {
+    return Status::Invalid("unsupported protocol version");
+  }
+  const obs::JsonValue* type = doc.Find("type");
+  if (type == nullptr || type->kind != obs::JsonValue::Kind::kString) {
+    return Status::Invalid("envelope has no type");
+  }
+  return std::string(type->AsString());
+}
+
+uint64_t EnvelopeId(const obs::JsonValue& doc) {
+  const obs::JsonValue* id = doc.Find("id");
+  return id == nullptr ? 0 : id->AsU64();
+}
+
+}  // namespace sbce::service

@@ -1,0 +1,82 @@
+// The daemon's wire protocol: length-prefixed, versioned JSON frames.
+//
+// A frame is a u32 little-endian payload length followed by exactly that
+// many bytes of compact JSON. Every payload is an envelope object:
+//
+//   {"v": 1, "type": "<type>", "id": <u64>, ...}
+//
+// with the request/response body inlined next to the envelope fields.
+// Types the daemon understands:
+//
+//   client → server: "analyze"  (body: RequestToJson fields under "request")
+//                    "stats"    (warm-cache + counter snapshot)
+//                    "ping"
+//                    "shutdown" (drain and stop accepting)
+//   server → client: "result"   (body under "result": ResultToJson full doc)
+//                    "stats"    (body under "stats")
+//                    "pong"
+//                    "error"    (body: "message")
+//
+// `id` is chosen by the client and echoed verbatim on the response, so one
+// connection can have several requests in flight; responses may arrive in
+// any order. Unknown envelope versions or types are answered with "error",
+// never dropped.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "src/obs/json.h"
+#include "src/support/status.h"
+
+namespace sbce::service {
+
+inline constexpr uint32_t kWireVersion = 1;
+
+/// Frames larger than this are a protocol error (guards the daemon from
+/// a garbage length prefix allocating gigabytes).
+inline constexpr size_t kMaxFrameBytes = 64u << 20;
+
+/// Serializes `doc` and appends one length-prefixed frame to `out`.
+void AppendFrame(const obs::JsonValue& doc, std::string* out);
+std::string EncodeFrame(const obs::JsonValue& doc);
+
+/// Incremental frame decoder: feed raw socket bytes in, take complete
+/// JSON payloads out. Any protocol violation (oversized length prefix,
+/// payload that is not valid JSON) poisons the reader — the connection
+/// should be dropped.
+class FrameReader {
+ public:
+  explicit FrameReader(size_t max_frame_bytes = kMaxFrameBytes)
+      : max_frame_bytes_(max_frame_bytes) {}
+
+  void Feed(const void* data, size_t n);
+
+  /// Next complete frame's payload; nullopt when more bytes are needed.
+  /// Error status once the stream is unparseable (sticky).
+  Result<std::optional<obs::JsonValue>> Next();
+
+ private:
+  size_t max_frame_bytes_;
+  std::string buf_;
+  size_t pos_ = 0;  // consumed prefix of buf_
+  bool poisoned_ = false;
+};
+
+/// A fresh envelope: {"v": kWireVersion, "type": type, "id": id}.
+obs::JsonValue MakeEnvelope(std::string_view type, uint64_t id);
+
+/// {"v":1,"type":"error","id":id,"message":message}.
+obs::JsonValue MakeErrorFrame(uint64_t id, std::string_view message);
+
+/// Validates the envelope of a received payload: version must be
+/// kWireVersion and "type" present. Returns the type string.
+Result<std::string> EnvelopeType(const obs::JsonValue& doc);
+
+/// The envelope id (0 when absent — ids are client-chosen and 0 is legal,
+/// merely indistinguishable from "absent").
+uint64_t EnvelopeId(const obs::JsonValue& doc);
+
+}  // namespace sbce::service

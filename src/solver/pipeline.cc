@@ -70,7 +70,9 @@ std::vector<SolverOptions> DefaultPortfolio(const SolverOptions& base) {
 QueryPipeline::QueryPipeline(PipelineOptions options)
     : options_(options),
       threads_(ResolveThreads(options.threads)),
-      cache_(options.cache) {
+      cache_(options.shared_cache != nullptr
+                 ? options.shared_cache
+                 : std::make_shared<QueryCache>(options.cache)) {
   if (threads_ > 1) pool_ = std::make_unique<ThreadPool>(threads_);
 }
 
@@ -79,7 +81,7 @@ std::vector<SolveResult> QueryPipeline::SolveBatch(
   const auto t0 = std::chrono::steady_clock::now();
   obs::ScopedSpan span = options_.tracer.Span(
       "solver.batch", {obs::Field::U("queries", queries.size())});
-  const QueryCacheStats cache_before = cache_.stats();
+  const QueryCacheStats cache_before = cache_->stats();
   stats_.queries += queries.size();
 
   // One variable-disjoint component of one query.
@@ -114,7 +116,7 @@ std::vector<SolveResult> QueryPipeline::SolveBatch(
       sq.assertions = std::move(group);
       sq.key = QueryCache::Canonicalize(sq.assertions);
       if (options_.solver.cache_queries) {
-        sq.resolved = cache_.Lookup(sq.key, sq.assertions);
+        sq.resolved = cache_->Lookup(sq.key, sq.assertions);
       }
       if (!sq.resolved) {
         auto [it, inserted] =
@@ -292,7 +294,7 @@ std::vector<SolveResult> QueryPipeline::SolveBatch(
           sq.resolved ? *sq.resolved : tasks[sq.task].result;
       if (!sq.resolved && options_.solver.cache_queries &&
           committed.insert(sq.key.digest).second) {
-        cache_.Insert(sq.key, r);
+        cache_->Insert(sq.key, r);
       }
       out.conflicts += r.conflicts;
       out.sat_vars += r.sat_vars;
@@ -332,7 +334,7 @@ std::vector<SolveResult> QueryPipeline::SolveBatch(
           std::chrono::steady_clock::now() - t0)
           .count());
   if (options_.tracer.enabled()) {
-    const QueryCacheStats cache_after = cache_.stats();
+    const QueryCacheStats cache_after = cache_->stats();
     // Every field here is a pure function of the batch (see the phase-2
     // determinism notes), so traces stay bit-identical across --jobs.
     options_.tracer.Event(
@@ -353,7 +355,7 @@ SolveResult QueryPipeline::Solve(std::span<const ExprRef> assertions) {
 
 PipelineStats QueryPipeline::stats() const {
   PipelineStats s = stats_;
-  const QueryCacheStats c = cache_.stats();
+  const QueryCacheStats c = cache_->stats();
   s.cache_hits = c.hits();
   s.cache_misses = c.misses;
   return s;

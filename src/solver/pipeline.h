@@ -66,6 +66,11 @@ struct PipelineOptions {
   /// 0 = auto (hardware concurrency capped at 8); 1 = fully serial.
   unsigned threads = 1;
   QueryCache::Options cache;
+  /// External query cache shared across pipelines (the service layer's
+  /// per-request-digest warm store). Null = pipeline-private cache built
+  /// from `cache`. Shared caches should be exact_only (see
+  /// QueryCache::Options) so warm results replay cold verdicts exactly.
+  std::shared_ptr<QueryCache> shared_cache;
   /// Portfolio alternates raced (in index order) on components whose
   /// primary run exhausted its conflict budget. Empty = DefaultPortfolio
   /// derived from `solver`. Only consulted when solver.portfolio is true.
@@ -112,13 +117,13 @@ class QueryPipeline {
   /// pipeline's lifetime.
   PipelineStats stats() const;
 
-  QueryCache& cache() { return cache_; }
+  QueryCache& cache() { return *cache_; }
   unsigned threads() const { return threads_; }
 
  private:
   PipelineOptions options_;
   unsigned threads_ = 1;  // resolved (auto applied)
-  QueryCache cache_;
+  std::shared_ptr<QueryCache> cache_;  // private unless options.shared_cache
   PipelineStats stats_;
   std::unique_ptr<ThreadPool> pool_;  // only when threads_ > 1
 };

@@ -90,6 +90,11 @@ std::optional<SolveResult> QueryCache::Lookup(
     }
   }
 
+  if (options_.exact_only) {
+    ++stats_.misses;
+    return std::nullopt;
+  }
+
   // 2. A cached UNSAT set contained in this query makes it UNSAT.
   for (uint64_t digest : unsat_digests_) {
     const Entry& entry = entries_.find(digest)->second;
@@ -148,6 +153,20 @@ QueryCacheStats QueryCache::stats() const {
 size_t QueryCache::size() const {
   std::lock_guard<std::mutex> lk(mu_);
   return entries_.size();
+}
+
+size_t QueryCache::ApproxBytes() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  size_t bytes = sizeof(QueryCache);
+  for (const auto& [digest, entry] : entries_) {
+    bytes += sizeof(digest) + sizeof(Entry);
+    bytes += entry.hashes.size() * sizeof(uint64_t);
+    for (const auto& [name, value] : entry.model) {
+      bytes += name.size() + sizeof(value) + 2 * sizeof(void*);
+    }
+  }
+  bytes += (unsat_digests_.size() + sat_digests_.size()) * sizeof(uint64_t);
+  return bytes;
 }
 
 }  // namespace sbce::solver

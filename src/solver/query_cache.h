@@ -61,6 +61,15 @@ class QueryCache {
   struct Options {
     size_t max_entries = 8192;     // stop inserting beyond this
     size_t model_reuse_scan = 64;  // most-recent SAT models tried per miss
+    /// Restrict Lookup to rule 1 (exact match). The service layer shares
+    /// one cache across engines serving literally identical requests; an
+    /// exact hit replays the verdict a previous identical computation
+    /// produced, so warm results stay bit-identical to cold ones. The
+    /// subset/model-reuse rules are sound but can return a *different*
+    /// (still valid) model than the solver would have, which would steer
+    /// a warm exploration off the cold path — so shared caches disable
+    /// them.
+    bool exact_only = false;
   };
 
   /// Canonical identity of an assertion set.
@@ -85,6 +94,9 @@ class QueryCache {
 
   QueryCacheStats stats() const;
   size_t size() const;
+  /// Approximate heap footprint of the stored entries (hash vectors plus
+  /// models), for the service layer's byte-budgeted admission policy.
+  size_t ApproxBytes() const;
 
  private:
   struct Entry {

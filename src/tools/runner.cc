@@ -4,87 +4,57 @@
 #include <thread>
 #include <utility>
 
-#include "src/isa/predecode.h"
 #include "src/obs/buffer_sink.h"
 #include "src/report/table.h"
+#include "src/service/api.h"
 #include "src/support/str.h"
 #include "src/support/thread_pool.h"
-#include "src/vm/machine.h"
 
 namespace sbce::tools {
 
 namespace {
 
-/// Folds the per-run overrides into a tool's engine configuration (shared
-/// by RunCell and ExploreImage).
-core::EngineConfig ApplyOptions(const core::EngineConfig& base,
-                                const RunOptions& options) {
-  core::EngineConfig config = base;
-  config.trace_sink = options.trace_sink;
-  if (options.baseline_pipeline) {
-    config.budgets.solver.cache_queries = false;
-    config.budgets.solver.slice_independent = false;
-    config.budgets.solver.incremental_batch = false;
-    config.budgets.solver.portfolio = false;
-    config.budgets.solver_threads = 1;
-  }
-  if (options.max_rounds) config.budgets.max_rounds = *options.max_rounds;
-  if (options.max_solver_queries) {
-    config.budgets.max_solver_queries = *options.max_solver_queries;
-  }
-  if (options.solver_threads) {
-    config.budgets.solver_threads = *options.solver_threads;
-  }
-  if (options.no_checkpoints) config.checkpoints = false;
-  return config;
+/// Translates the legacy per-run knobs into an AnalysisRequest's budget
+/// and mode fields (everything downstream goes through
+/// service::ApplyBudgets — the single override path).
+void FoldOptions(const RunOptions& options, service::AnalysisRequest* req) {
+  req->budgets.max_rounds = options.max_rounds;
+  req->budgets.max_solver_queries = options.max_solver_queries;
+  req->budgets.solver_threads = options.solver_threads;
+  req->baseline_pipeline = options.baseline_pipeline;
+  req->no_checkpoints = options.no_checkpoints;
 }
 
 }  // namespace
 
 CellResult RunCell(const bombs::BombSpec& bomb, const ToolProfile& tool,
                    const RunOptions& options) {
-  CellResult cell;
-  cell.bomb_id = bomb.id;
-  cell.tool = tool.name;
-
-  const isa::BinaryImage image = bombs::BuildBomb(bomb);
-  const uint64_t target = bombs::BombAddress(image);
-  // Decode the text once per cell; every round's machine (often dozens)
-  // shares the immutable store.
-  const auto predecoded = isa::Predecode(image);
-
-  const core::EngineConfig config = ApplyOptions(tool.engine, options);
-
   obs::Tracer tracer(options.trace_sink);
   tracer.Event("cell.begin", {obs::Field::S("bomb", bomb.id),
                               obs::Field::S("tool", tool.name)});
 
-  core::ConcolicEngine engine(
-      image,
-      [&bomb, &image, &predecoded](const std::vector<std::string>& argv) {
-        vm::Machine::Options vm_options;
-        vm_options.predecoded = predecoded;
-        auto machine = std::make_unique<vm::Machine>(
-            image, argv, bomb.experiment_devices, vm_options);
-        for (const auto& [path, contents] : bomb.files) {
-          machine->fs().PutString(path, contents);
-        }
-        return machine;
-      },
-      config);
-  cell.engine = engine.Explore(bomb.seed_argv, target);
-  cell.outcome = Classify(cell.engine);
-  cell.attribution = Attribute(cell.outcome, cell.engine);
+  service::AnalysisRequest request;
+  request.local_bomb = &bomb;
+  request.bomb = bomb.id;
+  request.profile = tool.name;
+  // Callers tweak profiles per cell (the ablation benches), so the spec's
+  // engine config is authoritative — the name is only the reporting label
+  // and the Table II expected-column key.
+  request.custom_engine = tool.engine;
+  FoldOptions(options, &request);
 
-  int tool_index = -1;
-  if (tool.name == "BAP") tool_index = bombs::kBap;
-  if (tool.name == "Triton") tool_index = bombs::kTriton;
-  if (tool.name == "Angr") tool_index = bombs::kAngr;
-  if (tool.name == "Angr-NoLib") tool_index = bombs::kAngrNoLib;
-  cell.expected =
-      tool_index >= 0 ? bomb.expected[tool_index] : bomb.expected_ideal;
-  cell.matches_paper =
-      cell.expected == std::string(OutcomeLabel(cell.outcome));
+  service::AnalyzeEnv env;
+  env.trace_sink = options.trace_sink;
+  service::AnalysisResult res = service::Analyze(request, env);
+
+  CellResult cell;
+  cell.bomb_id = bomb.id;
+  cell.tool = tool.name;
+  cell.outcome = res.outcome;
+  cell.expected = res.expected;
+  cell.matches_paper = res.matches_paper;
+  cell.attribution = std::move(res.attribution);
+  cell.engine = std::move(res.engine);
 
   if (tracer.enabled()) {
     tracer.Event("cell.done",
@@ -158,17 +128,15 @@ core::EngineResult ExploreImage(const isa::BinaryImage& image,
                                 const std::vector<std::string>& seed_argv,
                                 uint64_t target_pc,
                                 const RunOptions& options) {
-  const auto predecoded = isa::Predecode(image);
-  core::ConcolicEngine engine(
-      image,
-      [&image, &predecoded](const std::vector<std::string>& argv) {
-        vm::Machine::Options vm_options;
-        vm_options.predecoded = predecoded;
-        return std::make_unique<vm::Machine>(image, argv, vm::Devices(),
-                                             vm_options);
-      },
-      ApplyOptions(config, options));
-  return engine.Explore(seed_argv, target_pc);
+  service::AnalysisRequest request;
+  request.local_image = &image;
+  request.seed_argv = seed_argv;
+  request.target_pc = target_pc;
+  request.custom_engine = config;
+  FoldOptions(options, &request);
+  service::AnalyzeEnv env;
+  env.trace_sink = options.trace_sink;
+  return std::move(service::Analyze(request, env).engine);
 }
 
 std::string RenderTableTwo(const GridResult& grid,

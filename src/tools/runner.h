@@ -1,4 +1,12 @@
 // Experiment runner: bombs × tool profiles → outcome grid (Table II).
+//
+// The per-cell entry points (RunOptions, RunCell, ExploreImage) are now
+// thin shims over the unified analysis API — service::AnalysisRequest /
+// service::Analyze in src/service/api.h — kept for one PR so existing
+// call sites migrate gradually. New code should build an AnalysisRequest
+// directly. The grid-level machinery (RunGrid, rendering, JSON export)
+// stays here: it is the Table II reporting layer, not an analysis entry
+// point.
 #pragma once
 
 #include <cstdint>
@@ -17,6 +25,8 @@ namespace sbce::tools {
 /// Per-run knobs for RunCell/RunTableTwo. A struct instead of positional
 /// parameters so new toggles (sinks, budget overrides, pipeline modes)
 /// don't ripple through every call site.
+/// DEPRECATED: new code should fill service::AnalysisRequest instead;
+/// these fields map 1:1 onto its budgets/modes.
 struct RunOptions {
   /// Observability sink threaded through the engine, VM, symbolic
   /// executor and query pipeline (not owned; may be null).
@@ -48,6 +58,8 @@ struct CellResult {
 };
 
 /// Runs one tool on one bomb (exploration, claims, validation).
+/// DEPRECATED shim over service::Analyze (adds the cell.begin/cell.done
+/// grid trace events around it).
 CellResult RunCell(const bombs::BombSpec& bomb, const ToolProfile& tool,
                    const RunOptions& options = {});
 
@@ -88,6 +100,7 @@ GridResult RunTableTwo(const std::vector<ToolProfile>& tools,
 /// machine factory every caller of ConcolicEngine otherwise hand-rolls.
 /// `options` contributes the sink and budget/pipeline overrides, exactly
 /// as in RunCell.
+/// DEPRECATED shim over service::Analyze (local_image + custom_engine).
 core::EngineResult ExploreImage(const isa::BinaryImage& image,
                                 const core::EngineConfig& config,
                                 const std::vector<std::string>& seed_argv,

@@ -1,0 +1,152 @@
+// The service determinism contract under real concurrency: sessions
+// sharing one WarmCache must produce deterministic results byte-identical
+// to serial cold-cache runs, and eviction pressure must never change a
+// result. These suites run under tsan in CI (shared PredecodedText, query
+// store and segment store across 8 parallel sessions).
+#include <array>
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "src/isa/assembler.h"
+#include "src/obs/json.h"
+#include "src/service/api.h"
+#include "src/service/warm_cache.h"
+
+namespace sbce {
+namespace {
+
+constexpr unsigned kSessions = 8;
+constexpr unsigned kRoundsPerSession = 3;
+
+// Two chained guards: bomb iff argv[1] == "AB".
+constexpr char kTwoGuardProgram[] = R"(
+  .entry main
+  main:
+    ld8 r3, [r2+8]
+    ld1 r4, [r3+0]
+    cmpeqi r5, r4, 65
+    bz r5, exit
+    ld1 r4, [r3+1]
+    cmpeqi r5, r4, 66
+    bz r5, exit
+  bomb:
+    sys 16
+  exit:
+    movi r1, 0
+    sys 0
+)";
+
+struct Fixture {
+  isa::BinaryImage image;
+  std::vector<service::AnalysisRequest> mix;
+
+  Fixture() {
+    auto img = isa::Assemble(kTwoGuardProgram);
+    SBCE_CHECK_MSG(img.ok(), img.status().ToString());
+    image = std::move(img).value();
+
+    service::AnalysisRequest bap;
+    bap.bomb = "fig3_noprint";
+    bap.profile = "BAP";
+    bap.want_path_condition = true;
+    mix.push_back(bap);
+
+    service::AnalysisRequest ideal = bap;
+    ideal.profile = "Ideal";
+    mix.push_back(ideal);
+
+    service::AnalysisRequest local;
+    local.local_image = &image;
+    local.seed_argv = {"prog", "zz"};
+    local.target_pc = *image.FindSymbol("bomb");
+    local.want_path_condition = true;
+    mix.push_back(local);
+  }
+};
+
+std::string DeterministicJson(const service::AnalysisResult& result) {
+  return obs::Dump(service::ResultToJson(result, /*deterministic_only=*/true));
+}
+
+/// Serial, fully cold reference: every request analyzed with no shared
+/// state at all.
+std::vector<std::string> ColdReference(
+    const std::vector<service::AnalysisRequest>& mix) {
+  std::vector<std::string> reference;
+  for (const auto& request : mix) {
+    auto result = service::Analyze(request);
+    SBCE_CHECK_MSG(result.ok, result.error);
+    reference.push_back(DeterministicJson(result));
+  }
+  return reference;
+}
+
+/// Runs kSessions threads over the mix against one shared cache and
+/// checks every deterministic document against the cold reference.
+void RunSessionsAgainst(service::WarmCache& warm,
+                        const std::vector<service::AnalysisRequest>& mix,
+                        const std::vector<std::string>& reference) {
+  std::vector<std::thread> threads;
+  // Not vector<bool>: adjacent sessions must not share a packed word.
+  std::array<std::atomic<bool>, kSessions> session_ok{};
+  for (unsigned s = 0; s < kSessions; ++s) {
+    threads.emplace_back([&, s] {
+      service::AnalyzeEnv env;
+      env.warm = &warm;
+      bool all_match = true;
+      for (unsigned round = 0; round < kRoundsPerSession; ++round) {
+        // Stagger the order so sessions race on different entries.
+        for (size_t i = 0; i < mix.size(); ++i) {
+          const size_t m = (i + s + round) % mix.size();
+          auto result = service::Analyze(mix[m], env);
+          all_match = all_match && result.ok &&
+                      DeterministicJson(result) == reference[m];
+        }
+      }
+      session_ok[s] = all_match;
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (unsigned s = 0; s < kSessions; ++s) {
+    EXPECT_TRUE(session_ok[s]) << "session " << s
+                               << " diverged from the serial cold reference";
+  }
+}
+
+TEST(ServiceConcurrency, WarmSharedSessionsMatchSerialCold) {
+  Fixture fx;
+  const auto reference = ColdReference(fx.mix);
+
+  service::WarmCache warm;
+  RunSessionsAgainst(warm, fx.mix, reference);
+
+  // The sessions actually shared state (this wasn't 24 cold runs).
+  EXPECT_GE(warm.metrics().Value("service.decode_cache.hits"), 1u);
+  EXPECT_GE(warm.metrics().Value("service.image_cache.hits"), 1u);
+  EXPECT_GE(warm.metrics().Value("service.segment_store.hits"), 1u);
+}
+
+TEST(ServiceEviction, PressureNeverChangesResults) {
+  Fixture fx;
+  const auto reference = ColdReference(fx.mix);
+
+  // Budgets far below one entry's footprint: every admission immediately
+  // evicts, so sessions keep rebuilding state under each other.
+  service::WarmCache::Options tiny;
+  tiny.image_budget_bytes = 1;
+  tiny.decode_budget_bytes = 1;
+  tiny.query_budget_bytes = 1;
+  tiny.segment_budget_bytes = 1;
+  service::WarmCache warm(tiny);
+  RunSessionsAgainst(warm, fx.mix, reference);
+
+  EXPECT_GE(warm.metrics().Value("service.image_cache.evictions"), 1u);
+  EXPECT_GE(warm.metrics().Value("service.decode_cache.evictions"), 1u);
+}
+
+}  // namespace
+}  // namespace sbce

@@ -1,0 +1,474 @@
+// The analysis service: request/result codec, wire framing, warm-cache
+// policy, and the daemon end-to-end over a real socket.
+#include <unistd.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "src/isa/assembler.h"
+#include "src/obs/json.h"
+#include "src/service/api.h"
+#include "src/service/client.h"
+#include "src/service/daemon.h"
+#include "src/service/warm_cache.h"
+#include "src/service/wire.h"
+#include "src/support/str.h"
+
+namespace sbce {
+namespace {
+
+// One symbolic guard: bomb iff argv[1][0] == 'A'.
+constexpr char kGuardProgram[] = R"(
+  .entry main
+  main:
+    ld8 r3, [r2+8]
+    ld1 r4, [r3+0]
+    cmpeqi r5, r4, 65
+    bz r5, exit
+  bomb:
+    sys 16
+  exit:
+    movi r1, 0
+    sys 0
+)";
+
+isa::BinaryImage GuardImage() {
+  auto img = isa::Assemble(kGuardProgram);
+  SBCE_CHECK_MSG(img.ok(), img.status().ToString());
+  return std::move(img).value();
+}
+
+service::AnalysisRequest BombRequest(const char* bomb, const char* profile) {
+  service::AnalysisRequest request;
+  request.bomb = bomb;
+  request.profile = profile;
+  return request;
+}
+
+std::string DeterministicJson(const service::AnalysisResult& result) {
+  return obs::Dump(service::ResultToJson(result, /*deterministic_only=*/true));
+}
+
+std::string TestSocketPath(const char* tag) {
+  return StrFormat("/tmp/sbce_test_%s_%d.sock", tag,
+                   static_cast<int>(getpid()));
+}
+
+// --- ServiceApi --------------------------------------------------------
+
+TEST(ServiceApi, RequestJsonRoundTrip) {
+  service::AnalysisRequest request;
+  request.bomb = "arr_one";
+  request.image = {0xde, 0xad, 0xbe, 0xef};
+  request.seed_argv = {"prog", "xyz"};
+  request.target_pc = 0x1234;
+  request.profile = "Angr";
+  request.budgets.max_rounds = 7;
+  request.budgets.max_solver_queries = 99;
+  request.budgets.solver_threads = 3;
+  request.baseline_pipeline = true;
+  request.no_checkpoints = true;
+  request.want_path_condition = true;
+  request.want_trace = true;
+
+  auto parsed = service::RequestFromJson(service::RequestToJson(request));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const service::AnalysisRequest& r = parsed.value();
+  EXPECT_EQ(r.bomb, request.bomb);
+  EXPECT_EQ(r.image, request.image);
+  EXPECT_EQ(r.seed_argv, request.seed_argv);
+  EXPECT_EQ(r.target_pc, request.target_pc);
+  EXPECT_EQ(r.profile, request.profile);
+  EXPECT_EQ(r.budgets.max_rounds, request.budgets.max_rounds);
+  EXPECT_EQ(r.budgets.max_solver_queries, request.budgets.max_solver_queries);
+  EXPECT_EQ(r.budgets.solver_threads, request.budgets.solver_threads);
+  EXPECT_EQ(r.baseline_pipeline, request.baseline_pipeline);
+  EXPECT_EQ(r.no_checkpoints, request.no_checkpoints);
+  EXPECT_EQ(r.want_path_condition, request.want_path_condition);
+  EXPECT_EQ(r.want_trace, request.want_trace);
+  // The codec is canonical: re-serializing the parse is byte-identical.
+  EXPECT_EQ(obs::Dump(service::RequestToJson(r)),
+            obs::Dump(service::RequestToJson(request)));
+}
+
+TEST(ServiceApi, RequestFromJsonRejectsGarbage) {
+  EXPECT_FALSE(service::RequestFromJson(obs::JsonValue::Str("nope")).ok());
+  obs::JsonValue bad_version = obs::JsonValue::Object();
+  bad_version.Set("v", obs::JsonValue::U64(99));
+  EXPECT_FALSE(service::RequestFromJson(bad_version).ok());
+  obs::JsonValue bad_hex = obs::JsonValue::Object();
+  bad_hex.Set("v", obs::JsonValue::U64(1));
+  bad_hex.Set("image", obs::JsonValue::Str("zz"));
+  EXPECT_FALSE(service::RequestFromJson(bad_hex).ok());
+}
+
+TEST(ServiceApi, RequestDigestIdentity) {
+  const auto a = BombRequest("arr_one", "Angr");
+  auto b = a;
+  EXPECT_NE(service::RequestDigest(a), 0u);
+  EXPECT_EQ(service::RequestDigest(a), service::RequestDigest(b));
+
+  // The analysis-changing fields move the digest...
+  b.budgets.max_rounds = 5;
+  EXPECT_NE(service::RequestDigest(a), service::RequestDigest(b));
+  b = a;
+  b.baseline_pipeline = true;
+  EXPECT_NE(service::RequestDigest(a), service::RequestDigest(b));
+  b = a;
+  b.profile = "BAP";
+  EXPECT_NE(service::RequestDigest(a), service::RequestDigest(b));
+
+  // ...the output-shape flags do not (same analysis, more reporting).
+  b = a;
+  b.want_path_condition = true;
+  b.want_trace = true;
+  EXPECT_EQ(service::RequestDigest(a), service::RequestDigest(b));
+}
+
+TEST(ServiceApi, RequestDigestUnshareable) {
+  auto custom = BombRequest("arr_one", "Angr");
+  custom.custom_engine = core::EngineConfig{};
+  EXPECT_EQ(service::RequestDigest(custom), 0u);
+
+  service::AnalysisRequest no_target;
+  EXPECT_EQ(service::RequestDigest(no_target), 0u);
+}
+
+TEST(ServiceApi, LocalImageDigestMatchesWireImage) {
+  const isa::BinaryImage image = GuardImage();
+  service::AnalysisRequest local;
+  local.local_image = &image;
+  local.seed_argv = {"prog", "z"};
+  local.target_pc = *image.FindSymbol("bomb");
+
+  service::AnalysisRequest wire = local;
+  wire.local_image = nullptr;
+  wire.image = image.Serialize();
+
+  EXPECT_NE(service::RequestDigest(local), 0u);
+  EXPECT_EQ(service::RequestDigest(local), service::RequestDigest(wire));
+}
+
+TEST(ServiceApi, ApplyBudgetsIsTheOneOverridePath) {
+  service::AnalysisRequest request;
+  request.budgets.max_rounds = 3;
+  request.budgets.max_solver_queries = 44;
+  request.budgets.solver_threads = 2;
+  core::EngineConfig config;
+  service::ApplyBudgets(request, &config);
+  EXPECT_EQ(config.budgets.max_rounds, 3u);
+  EXPECT_EQ(config.budgets.max_solver_queries, 44u);
+  EXPECT_EQ(config.budgets.solver_threads, 2u);
+
+  service::AnalysisRequest baseline;
+  baseline.baseline_pipeline = true;
+  baseline.no_checkpoints = true;
+  core::EngineConfig base;
+  service::ApplyBudgets(baseline, &base);
+  EXPECT_FALSE(base.budgets.solver.cache_queries);
+  EXPECT_FALSE(base.budgets.solver.slice_independent);
+  EXPECT_FALSE(base.budgets.solver.incremental_batch);
+  EXPECT_FALSE(base.budgets.solver.portfolio);
+  EXPECT_EQ(base.budgets.solver_threads, 1u);
+  EXPECT_FALSE(base.checkpoints);
+}
+
+TEST(ServiceApi, AnalyzeRejectsBadRequests) {
+  auto unknown_profile = BombRequest("arr_one", "NoSuchTool");
+  auto r1 = service::Analyze(unknown_profile);
+  EXPECT_FALSE(r1.ok);
+  EXPECT_NE(r1.error.find("unknown profile"), std::string::npos);
+
+  auto unknown_bomb = BombRequest("no_such_bomb", "Angr");
+  auto r2 = service::Analyze(unknown_bomb);
+  EXPECT_FALSE(r2.ok);
+  EXPECT_NE(r2.error.find("unknown bomb"), std::string::npos);
+
+  service::AnalysisRequest no_target;
+  auto r3 = service::Analyze(no_target);
+  EXPECT_FALSE(r3.ok);
+  EXPECT_NE(r3.error.find("no target"), std::string::npos);
+}
+
+TEST(ServiceApi, ResultJsonRoundTrip) {
+  auto result = service::Analyze(BombRequest("fig3_noprint", "BAP"));
+  ASSERT_TRUE(result.ok) << result.error;
+
+  const obs::JsonValue full =
+      service::ResultToJson(result, /*deterministic_only=*/false);
+  EXPECT_NE(full.Find("perf"), nullptr);
+  const obs::JsonValue det =
+      service::ResultToJson(result, /*deterministic_only=*/true);
+  EXPECT_EQ(det.Find("perf"), nullptr);
+
+  auto parsed = service::ResultFromJson(full);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  // The deterministic projection survives the round trip byte-for-byte.
+  EXPECT_EQ(DeterministicJson(parsed.value()), obs::Dump(det));
+  EXPECT_EQ(parsed.value().outcome, result.outcome);
+  EXPECT_EQ(parsed.value().expected, result.expected);
+  EXPECT_EQ(parsed.value().engine.claimed, result.engine.claimed);
+}
+
+TEST(ServiceApi, PathConditionServedColdAndWarm) {
+  service::WarmCache warm;
+  service::AnalyzeEnv env;
+  env.warm = &warm;
+  auto request = BombRequest("fig3_noprint", "Ideal");
+  request.want_path_condition = true;
+
+  auto cold = service::Analyze(request, env);
+  ASSERT_TRUE(cold.ok) << cold.error;
+  EXPECT_FALSE(cold.path_condition.empty());
+
+  auto warm_run = service::Analyze(request, env);
+  ASSERT_TRUE(warm_run.ok) << warm_run.error;
+  EXPECT_TRUE(warm_run.served_warm);
+  EXPECT_EQ(warm_run.path_condition, cold.path_condition);
+  EXPECT_EQ(DeterministicJson(warm_run), DeterministicJson(cold));
+}
+
+// --- ServiceWire -------------------------------------------------------
+
+TEST(ServiceWire, FrameRoundTripByteAtATime) {
+  obs::JsonValue doc = service::MakeEnvelope("ping", 42);
+  const std::string bytes = service::EncodeFrame(doc);
+  service::FrameReader reader;
+  for (char c : bytes) {
+    reader.Feed(&c, 1);
+  }
+  auto frame = reader.Next();
+  ASSERT_TRUE(frame.ok()) << frame.status().ToString();
+  ASSERT_TRUE(frame.value().has_value());
+  EXPECT_EQ(obs::Dump(*frame.value()), obs::Dump(doc));
+  auto empty = reader.Next();
+  ASSERT_TRUE(empty.ok());
+  EXPECT_FALSE(empty.value().has_value());
+}
+
+TEST(ServiceWire, MultipleFramesOneFeed) {
+  std::string bytes;
+  service::AppendFrame(service::MakeEnvelope("ping", 1), &bytes);
+  service::AppendFrame(service::MakeEnvelope("stats", 2), &bytes);
+  service::FrameReader reader;
+  reader.Feed(bytes.data(), bytes.size());
+  auto first = reader.Next();
+  ASSERT_TRUE(first.ok() && first.value().has_value());
+  EXPECT_EQ(service::EnvelopeId(*first.value()), 1u);
+  auto second = reader.Next();
+  ASSERT_TRUE(second.ok() && second.value().has_value());
+  EXPECT_EQ(service::EnvelopeId(*second.value()), 2u);
+}
+
+TEST(ServiceWire, PoisonOnGarbagePayloadIsSticky) {
+  const std::string payload = "this is not json";
+  std::string bytes;
+  const uint32_t n = static_cast<uint32_t>(payload.size());
+  bytes.append(reinterpret_cast<const char*>(&n), 4);
+  bytes.append(payload);
+  service::FrameReader reader;
+  reader.Feed(bytes.data(), bytes.size());
+  EXPECT_FALSE(reader.Next().ok());
+  // Even a valid frame afterwards cannot unpoison the stream.
+  const std::string good = service::EncodeFrame(service::MakeEnvelope("x", 1));
+  reader.Feed(good.data(), good.size());
+  EXPECT_FALSE(reader.Next().ok());
+}
+
+TEST(ServiceWire, PoisonOnOversizedFrame) {
+  service::FrameReader reader(/*max_frame_bytes=*/16);
+  const uint32_t huge = 1u << 20;
+  reader.Feed(&huge, 4);
+  EXPECT_FALSE(reader.Next().ok());
+}
+
+TEST(ServiceWire, EnvelopeValidation) {
+  obs::JsonValue good = service::MakeEnvelope("analyze", 9);
+  auto type = service::EnvelopeType(good);
+  ASSERT_TRUE(type.ok());
+  EXPECT_EQ(type.value(), "analyze");
+  EXPECT_EQ(service::EnvelopeId(good), 9u);
+
+  obs::JsonValue wrong_version = obs::JsonValue::Object();
+  wrong_version.Set("v", obs::JsonValue::U64(2));
+  wrong_version.Set("type", obs::JsonValue::Str("analyze"));
+  EXPECT_FALSE(service::EnvelopeType(wrong_version).ok());
+
+  obs::JsonValue no_type = obs::JsonValue::Object();
+  no_type.Set("v", obs::JsonValue::U64(service::kWireVersion));
+  EXPECT_FALSE(service::EnvelopeType(no_type).ok());
+  EXPECT_EQ(service::EnvelopeId(no_type), 0u);
+}
+
+// --- ServiceWarmCache --------------------------------------------------
+
+TEST(ServiceWarmCache, ImageStoreHitsAndMisses) {
+  service::WarmCache warm;
+  int builds = 0;
+  const auto build = [&]() {
+    ++builds;
+    return GuardImage();
+  };
+  auto first = warm.AcquireImage(1, build);
+  auto second = warm.AcquireImage(1, build);
+  EXPECT_EQ(builds, 1);
+  EXPECT_EQ(first.get(), second.get());
+  EXPECT_EQ(warm.metrics().Value("service.image_cache.misses"), 1u);
+  EXPECT_EQ(warm.metrics().Value("service.image_cache.hits"), 1u);
+}
+
+TEST(ServiceWarmCache, DecodeStoreSharesPredecodedText) {
+  service::WarmCache warm;
+  const isa::BinaryImage image = GuardImage();
+  auto a = warm.AcquireDecode(7, image);
+  auto b = warm.AcquireDecode(7, image);
+  EXPECT_EQ(a.get(), b.get());
+  EXPECT_EQ(warm.metrics().Value("service.decode_cache.hits"), 1u);
+}
+
+TEST(ServiceWarmCache, EvictionKeepsInFlightStateAlive) {
+  service::WarmCache::Options tiny;
+  tiny.image_budget_bytes = 1;  // every admission evicts everything else
+  service::WarmCache warm(tiny);
+  auto first = warm.AcquireImage(1, [] { return GuardImage(); });
+  auto second = warm.AcquireImage(2, [] { return GuardImage(); });
+  EXPECT_GE(warm.metrics().Value("service.image_cache.evictions"), 1u);
+  // Evicted state stays usable by holders (shared_ptr semantics)...
+  EXPECT_TRUE(first->FindSymbol("bomb").has_value());
+  // ...and re-acquiring it is a miss that rebuilds.
+  int rebuilds = 0;
+  auto again = warm.AcquireImage(1, [&] {
+    ++rebuilds;
+    return GuardImage();
+  });
+  EXPECT_EQ(rebuilds, 1);
+  EXPECT_EQ(warm.metrics().Value("service.image_cache.misses"), 3u);
+}
+
+TEST(ServiceWarmCache, QueryStoreSharedPerDigest) {
+  service::WarmCache warm;
+  auto a = warm.AcquireQueryStore(11);
+  auto b = warm.AcquireQueryStore(11);
+  auto c = warm.AcquireQueryStore(12);
+  EXPECT_EQ(a.get(), b.get());
+  EXPECT_NE(a.get(), c.get());
+}
+
+TEST(ServiceWarmCache, SegmentFirstWriterWins) {
+  service::WarmCache warm;
+  auto first = std::make_shared<service::ExprSegment>();
+  auto second = std::make_shared<service::ExprSegment>();
+  warm.StoreSegment(5, first);
+  warm.StoreSegment(5, second);
+  EXPECT_EQ(warm.FindSegment(5).get(), first.get());
+  EXPECT_EQ(warm.FindSegment(6), nullptr);
+}
+
+// --- ServiceDaemon (end-to-end over a real socket) ---------------------
+
+TEST(ServiceDaemon, PingStatsShutdown) {
+  const std::string path = TestSocketPath("ping");
+  service::Daemon::Options options;
+  options.socket_path = path;
+  service::Daemon daemon(options);
+  ASSERT_TRUE(daemon.Start().ok());
+
+  auto client_or = service::Client::Connect(path);
+  ASSERT_TRUE(client_or.ok()) << client_or.status().ToString();
+  auto client = std::move(client_or).value();
+  EXPECT_TRUE(client.Ping().ok());
+  auto stats = client.Stats();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_NE(stats.value().Find("warm"), nullptr);
+  EXPECT_TRUE(client.Shutdown().ok());
+  daemon.Wait();
+}
+
+TEST(ServiceDaemon, RepeatRequestServedWarmAndByteIdentical) {
+  const std::string path = TestSocketPath("warm");
+  service::Daemon::Options options;
+  options.socket_path = path;
+  service::Daemon daemon(options);
+  ASSERT_TRUE(daemon.Start().ok());
+  {
+    auto client_or = service::Client::Connect(path);
+    ASSERT_TRUE(client_or.ok()) << client_or.status().ToString();
+    auto client = std::move(client_or).value();
+
+    const auto request = BombRequest("fig3_noprint", "BAP");
+    auto cold = client.AnalyzeJson(request);
+    ASSERT_TRUE(cold.ok()) << cold.status().ToString();
+    auto warm = client.AnalyzeJson(request);
+    ASSERT_TRUE(warm.ok()) << warm.status().ToString();
+
+    auto cold_res = service::ResultFromJson(cold.value());
+    auto warm_res = service::ResultFromJson(warm.value());
+    ASSERT_TRUE(cold_res.ok() && warm_res.ok());
+    EXPECT_EQ(DeterministicJson(cold_res.value()),
+              DeterministicJson(warm_res.value()));
+    EXPECT_FALSE(cold_res.value().served_warm);
+    EXPECT_TRUE(warm_res.value().served_warm);
+
+    auto stats = client.Stats();
+    ASSERT_TRUE(stats.ok());
+    const auto* counters = stats.value().Find("warm")->Find("counters");
+    ASSERT_NE(counters, nullptr);
+    EXPECT_GE(counters->Find("service.decode_cache.hits")->AsU64(), 1u);
+    EXPECT_TRUE(client.Shutdown().ok());
+  }
+  daemon.Wait();
+}
+
+TEST(ServiceDaemon, WantTraceStreamsRecordsInline) {
+  const std::string path = TestSocketPath("trace");
+  service::Daemon::Options options;
+  options.socket_path = path;
+  service::Daemon daemon(options);
+  ASSERT_TRUE(daemon.Start().ok());
+  {
+    auto client_or = service::Client::Connect(path);
+    ASSERT_TRUE(client_or.ok());
+    auto client = std::move(client_or).value();
+    auto request = BombRequest("fig3_noprint", "Ideal");
+    request.want_trace = true;
+    auto result = client.Analyze(request);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_TRUE(result.value().ok) << result.value().error;
+    EXPECT_FALSE(result.value().trace_jsonl.empty());
+    EXPECT_TRUE(client.Shutdown().ok());
+  }
+  daemon.Wait();
+}
+
+TEST(ServiceDaemon, BadRequestsGetErrorFramesNotHangs) {
+  const std::string path = TestSocketPath("err");
+  service::Daemon::Options options;
+  options.socket_path = path;
+  service::Daemon daemon(options);
+  ASSERT_TRUE(daemon.Start().ok());
+  {
+    auto client_or = service::Client::Connect(path);
+    ASSERT_TRUE(client_or.ok());
+    auto client = std::move(client_or).value();
+
+    // Unknown frame type → error response with the id echoed.
+    auto bogus = client.Call(service::MakeEnvelope("bogus", 77));
+    EXPECT_FALSE(bogus.ok());
+
+    // A fresh connection still works (the error did not kill the daemon);
+    // a request-level failure comes back as ok=false, not a dead socket.
+    auto client2_or = service::Client::Connect(path);
+    ASSERT_TRUE(client2_or.ok());
+    auto client2 = std::move(client2_or).value();
+    auto res = client2.Analyze(BombRequest("no_such_bomb", "Angr"));
+    ASSERT_TRUE(res.ok()) << res.status().ToString();
+    EXPECT_FALSE(res.value().ok);
+    EXPECT_TRUE(client2.Shutdown().ok());
+  }
+  daemon.Wait();
+}
+
+}  // namespace
+}  // namespace sbce
