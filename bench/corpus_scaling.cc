@@ -1,0 +1,150 @@
+// Corpus scaling: generates the parametric bomb corpus, times
+// generation (including verify-before-admit concrete runs) and the full
+// grid at --jobs 1 and --jobs <hardware concurrency>, and rolls the
+// outcomes up per family x parameter.
+//
+// Flags:
+//   --seed N        corpus seed (default corpus::kDefaultSeed)
+//   --smoke         one parameter per family
+//   --jobs A,B,...  worker counts to time (default "1,<hw>"; 0 = hw)
+//   --json          machine-readable results to stdout
+//
+// Every run writes BENCH_corpus_scaling.json to the working directory
+// (same shape as the --json output). Grid exports are checked for
+// identity across worker counts before any timing is reported.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_env.h"
+#include "src/corpus/corpus.h"
+#include "src/obs/json.h"
+#include "src/report/scaling.h"
+#include "src/tools/profiles.h"
+#include "src/tools/runner.h"
+
+int main(int argc, char** argv) {
+  using namespace sbce;
+  uint64_t seed = corpus::kDefaultSeed;
+  bool smoke = false;
+  bool json = false;
+  std::vector<unsigned> jobs_list;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      json = true;
+    } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+      seed = std::strtoull(argv[++i], nullptr, 0);
+    } else if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+      for (const char* p = argv[++i]; *p != '\0';) {
+        char* end = nullptr;
+        jobs_list.push_back(
+            static_cast<unsigned>(std::strtoul(p, &end, 10)));
+        p = (end != nullptr && *end == ',') ? end + 1 : end;
+      }
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
+      return 2;
+    }
+  }
+  unsigned hw = std::thread::hardware_concurrency();
+  if (hw == 0) hw = 1;
+  if (jobs_list.empty()) jobs_list = {1, hw};
+  for (unsigned& j : jobs_list) {
+    if (j == 0) j = hw;
+  }
+
+  corpus::CorpusSpec spec = smoke ? corpus::SmokeSpec() : corpus::CorpusSpec{};
+  spec.seed = seed;
+  const auto g0 = std::chrono::steady_clock::now();
+  auto generated = corpus::Generate(spec);
+  const auto g1 = std::chrono::steady_clock::now();
+  if (!generated.ok()) {
+    std::fprintf(stderr, "corpus generation failed: %s\n",
+                 generated.status().ToString().c_str());
+    return 1;
+  }
+  const corpus::Corpus corpus = std::move(generated).value();
+  const double gen_secs =
+      std::chrono::duration_cast<std::chrono::duration<double>>(g1 - g0)
+          .count();
+
+  const auto cells = tools::CorpusCells(corpus, tools::PaperTools());
+  tools::RunOptions options;
+  struct Timing {
+    unsigned jobs = 0;
+    double seconds = 0;
+  };
+  std::vector<Timing> timings;
+  std::string reference;
+  bool identical = true;
+  tools::GridResult grid;
+  for (unsigned jobs : jobs_list) {
+    if (!json) {
+      std::fprintf(stderr, "running %zu grid cells at --jobs %u...\n",
+                   cells.size(), jobs);
+    }
+    const auto t0 = std::chrono::steady_clock::now();
+    grid = tools::RunGrid(cells, options, jobs);
+    const auto t1 = std::chrono::steady_clock::now();
+    timings.push_back(
+        {jobs,
+         std::chrono::duration_cast<std::chrono::duration<double>>(t1 - t0)
+             .count()});
+    const auto fingerprint = obs::Dump(tools::GridToJson(grid));
+    if (reference.empty()) {
+      reference = fingerprint;
+    } else if (fingerprint != reference) {
+      identical = false;
+    }
+  }
+  const auto report = report::BuildScalingReport(corpus, grid);
+
+  obs::JsonValue doc = obs::JsonValue::Object();
+  {
+    doc.Set("bench", obs::JsonValue::Str("corpus_scaling"));
+    doc.Set("corpus_seed", obs::JsonValue::U64(corpus.seed));
+    doc.Set("corpus_digest", obs::JsonValue::U64(corpus.digest));
+    doc.Set("corpus_cells", obs::JsonValue::U64(corpus.cells.size()));
+    doc.Set("grid_cells", obs::JsonValue::U64(cells.size()));
+    bench::StampEnv(doc);
+    doc.Set("generation_seconds", obs::JsonValue::Double(gen_secs));
+    doc.Set("outputs_identical", obs::JsonValue::Bool(identical));
+    obs::JsonValue runs = obs::JsonValue::Array();
+    for (const auto& t : timings) {
+      obs::JsonValue run = obs::JsonValue::Object();
+      run.Set("jobs", obs::JsonValue::U64(t.jobs));
+      run.Set("seconds", obs::JsonValue::Double(t.seconds));
+      runs.items.push_back(std::move(run));
+    }
+    doc.Set("runs", std::move(runs));
+    doc.Set("scaling", report::ScalingToJson(report));
+  }
+  if (std::FILE* f = std::fopen("BENCH_corpus_scaling.json", "w")) {
+    std::fprintf(f, "%s\n", obs::Dump(doc).c_str());
+    std::fclose(f);
+  }
+  if (json) {
+    std::printf("%s\n", obs::Dump(doc).c_str());
+    return identical ? 0 : 1;
+  }
+
+  std::printf("=== Corpus scaling (%zu bombs, %zu grid cells, hw=%u) ===\n",
+              corpus.cells.size(), cells.size(), hw);
+  std::printf("generation + admission: %.2fs\n", gen_secs);
+  std::printf("%8s  %10s  %8s\n", "jobs", "seconds", "speedup");
+  const double base = timings.empty() ? 0.0 : timings.front().seconds;
+  for (const auto& t : timings) {
+    std::printf("%8u  %10.2f  %7.2fx\n", t.jobs, t.seconds,
+                t.seconds > 0 ? base / t.seconds : 0.0);
+  }
+  std::printf("outputs identical across worker counts: %s\n\n",
+              identical ? "yes" : "NO (determinism bug)");
+  std::printf("%s", report::RenderScalingReport(report).c_str());
+  return identical ? 0 : 1;
+}

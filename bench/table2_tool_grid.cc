@@ -81,8 +81,8 @@ int main(int argc, char** argv) {
                 bombs::TableTwoBombs().size(), tools.size());
   }
   // Every cell routes through the unified analysis API (RunGrid →
-  // RunCell → service::Analyze); the grid stays byte-identical to the
-  // pre-service runner at every --jobs and with --baseline.
+  // service::Analyze); the grid stays byte-identical to the pre-service
+  // runner at every --jobs and with --baseline.
   auto grid = tools::RunGrid(tools::TableTwoCells(tools), options, jobs);
 
   if (json) {

@@ -60,7 +60,8 @@ void BM_VmInterpreterLoopNoCache(benchmark::State& state) {
 BENCHMARK(BM_VmInterpreterLoopNoCache);
 
 // Machine construction with a shared predecoded text (the per-cell
-// sharing RunCell does): predecode cost is paid once, outside the loop.
+// sharing the grid runner does): predecode cost is paid once, outside
+// the loop.
 void BM_VmInterpreterLoopSharedPredecode(benchmark::State& state) {
   vm::Machine::Options options;
   options.predecoded = isa::Predecode(LoopImage());

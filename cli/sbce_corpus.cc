@@ -1,0 +1,183 @@
+// sbce_corpus: generate a parametric logic-bomb corpus, run it through
+// the grid via the unified analysis API, and print the per-challenge-
+// category scaling report.
+//
+//   sbce_corpus                      # default 72-cell corpus, all tools
+//   sbce_corpus --smoke              # one parameter per family
+//   sbce_corpus --jobs 8 --json      # parallel run, machine-readable
+//   sbce_corpus --list               # print cells + ground truth, no run
+//   sbce_corpus --cell gen_arr_03    # one cell through service::Analyze
+//
+// The grid and --json documents are bit-identical for every --jobs value
+// (tools::RunGrid's determinism contract), and the corpus itself is a
+// pure function of --seed.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/corpus/corpus.h"
+#include "src/obs/json.h"
+#include "src/report/scaling.h"
+#include "src/service/api.h"
+#include "src/tools/profiles.h"
+#include "src/tools/runner.h"
+
+namespace {
+
+void Usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [options]\n"
+      "  --seed N          corpus seed (default %llu)\n"
+      "  --smoke           small one-param-per-family corpus\n"
+      "  --profiles CSV    tool profiles (default "
+      "BAP,Triton,Angr,Angr-NoLib,Ideal)\n"
+      "  --jobs N          parallel grid width (0 = hardware)\n"
+      "  --json            print one JSON document instead of tables\n"
+      "  --list            print generated cells + ground truth, no run\n"
+      "  --cell ID         analyze one corpus cell via the service API\n"
+      "  --baseline        disable query-pipeline optimizations\n"
+      "  --no-checkpoints  disable checkpoint re-exploration\n"
+      "  --max-rounds N    engine round budget override\n",
+      argv0, static_cast<unsigned long long>(sbce::corpus::kDefaultSeed));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace sbce;
+
+  uint64_t seed = corpus::kDefaultSeed;
+  bool smoke = false;
+  bool json = false;
+  bool list = false;
+  std::string one_cell;
+  std::string profiles_csv = "BAP,Triton,Angr,Angr-NoLib,Ideal";
+  unsigned jobs = 1;
+  tools::RunOptions options;
+
+  for (int i = 1; i < argc; ++i) {
+    const auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", argv[i]);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--seed") == 0) {
+      seed = std::strtoull(value(), nullptr, 0);
+    } else if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--profiles") == 0) {
+      profiles_csv = value();
+    } else if (std::strcmp(argv[i], "--jobs") == 0) {
+      jobs = static_cast<unsigned>(std::strtoul(value(), nullptr, 10));
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      json = true;
+    } else if (std::strcmp(argv[i], "--list") == 0) {
+      list = true;
+    } else if (std::strcmp(argv[i], "--cell") == 0) {
+      one_cell = value();
+    } else if (std::strcmp(argv[i], "--baseline") == 0) {
+      options.baseline_pipeline = true;
+    } else if (std::strcmp(argv[i], "--no-checkpoints") == 0) {
+      options.no_checkpoints = true;
+    } else if (std::strcmp(argv[i], "--max-rounds") == 0) {
+      options.max_rounds = std::strtoull(value(), nullptr, 10);
+    } else {
+      Usage(argv[0]);
+      return 2;
+    }
+  }
+
+  // One cell through the corpus-cell addressing mode of the service API:
+  // exactly what a wire client would send.
+  if (!one_cell.empty()) {
+    service::AnalysisRequest request;
+    // First --profiles entry doubles as the profile for single-cell runs.
+    const size_t comma = profiles_csv.find(',');
+    request.profile = profiles_csv.substr(0, comma);
+    request.corpus_cell = one_cell;
+    request.corpus_seed = seed == corpus::kDefaultSeed ? 0 : seed;
+    request.budgets.max_rounds = options.max_rounds;
+    request.baseline_pipeline = options.baseline_pipeline;
+    request.no_checkpoints = options.no_checkpoints;
+    const service::AnalysisResult res = service::Analyze(request);
+    std::printf("%s\n",
+                obs::Dump(service::ResultToJson(res, /*deterministic_only=*/
+                                                true))
+                    .c_str());
+    return res.ok ? 0 : 1;
+  }
+
+  corpus::CorpusSpec spec = smoke ? corpus::SmokeSpec() : corpus::CorpusSpec{};
+  spec.seed = seed;
+  auto generated = corpus::Generate(spec);
+  if (!generated.ok()) {
+    std::fprintf(stderr, "corpus generation failed: %s\n",
+                 generated.status().ToString().c_str());
+    return 1;
+  }
+  const corpus::Corpus corpus = std::move(generated).value();
+
+  if (list) {
+    for (const auto& cell : corpus.cells) {
+      const bombs::GroundTruth truth = bombs::GroundTruthFor(cell.spec);
+      std::printf("%-18s %-14s param=%-2d %s witness=%s\n",
+                  cell.spec.id.c_str(),
+                  std::string(corpus::FamilyName(cell.family)).c_str(),
+                  cell.param, cell.negative ? "negative" : "positive",
+                  truth.expect_trigger ? truth.argv.back().c_str() : "(none)");
+    }
+    std::printf("%zu cells, digest %llx\n", corpus.cells.size(),
+                static_cast<unsigned long long>(corpus.digest));
+    return 0;
+  }
+
+  std::vector<tools::ToolProfile> tools;
+  {
+    std::string csv = profiles_csv;
+    size_t start = 0;
+    while (start <= csv.size()) {
+      const size_t comma = csv.find(',', start);
+      const std::string name =
+          csv.substr(start, comma == std::string::npos ? std::string::npos
+                                                       : comma - start);
+      if (!name.empty()) {
+        auto profile = tools::ProfileByName(name);
+        if (!profile) {
+          std::fprintf(stderr, "unknown profile: %s\n", name.c_str());
+          return 2;
+        }
+        tools.push_back(std::move(*profile));
+      }
+      if (comma == std::string::npos) break;
+      start = comma + 1;
+    }
+  }
+
+  const auto cells = tools::CorpusCells(corpus, tools);
+  if (!json) {
+    std::printf("corpus seed %llu: %zu cells x %zu profiles = %zu grid "
+                "cells (--jobs %u)\n\n",
+                static_cast<unsigned long long>(corpus.seed),
+                corpus.cells.size(), tools.size(), cells.size(), jobs);
+  }
+  const auto grid = tools::RunGrid(cells, options, jobs);
+  const auto report = report::BuildScalingReport(corpus, grid);
+
+  if (json) {
+    obs::JsonValue doc = obs::JsonValue::Object();
+    doc.Set("corpus_seed", obs::JsonValue::U64(corpus.seed));
+    doc.Set("corpus_digest", obs::JsonValue::U64(corpus.digest));
+    doc.Set("corpus_cells", obs::JsonValue::U64(corpus.cells.size()));
+    doc.Set("grid", tools::GridToJson(grid));
+    doc.Set("scaling", report::ScalingToJson(report));
+    std::printf("%s\n", obs::Dump(doc).c_str());
+  } else {
+    std::printf("%s", report::RenderScalingReport(report).c_str());
+  }
+  return 0;
+}

@@ -2,13 +2,18 @@
 # Tier-1 verification: configure + build + run the test suite under a
 # CMake preset.
 #
-# Usage: check.sh [--preset NAME] [--tests REGEX] [--service-smoke] [NAME]
+# Usage: check.sh [--preset NAME] [--tests REGEX] [--service-smoke]
+#                  [--corpus-smoke] [NAME]
 #   --preset NAME     preset to configure/build/test (release, tsan, asan)
 #   --tests REGEX     only run ctest cases matching REGEX (default: all)
 #   --service-smoke   after the tests, start the analysis daemon, send three
 #                     requests (one a repeat, which must come back
 #                     byte-identical from the warm stores) and cross-check
 #                     the outcomes against table2_tool_grid
+#   --corpus-smoke    after the tests, generate the smoke corpus, run it
+#                     through the grid at --jobs 1 and --jobs 8 (documents
+#                     must be byte-identical) and assert every positive
+#                     cell solves under Ideal with no negative ever OK
 #   NAME              positional preset, kept for back-compat with CI and
 #                     muscle memory (check.sh tsan)
 set -euo pipefail
@@ -16,6 +21,7 @@ set -euo pipefail
 preset="release"
 tests_regex=""
 service_smoke=0
+corpus_smoke=0
 while [[ $# -gt 0 ]]; do
   case "$1" in
     --preset)
@@ -30,6 +36,10 @@ while [[ $# -gt 0 ]]; do
       ;;
     --service-smoke)
       service_smoke=1
+      shift
+      ;;
+    --corpus-smoke)
+      corpus_smoke=1
       shift
       ;;
     -h|--help)
@@ -61,6 +71,47 @@ fi
 # must agree with the baseline per-query path on search-heavy instances.
 if [[ "$preset" == "release" && -z "$tests_regex" ]]; then
   build/bench/solver_csp --smoke
+fi
+
+# Corpus smoke: the generated-bomb pipeline end to end. The --json
+# document must be byte-identical across worker counts, every positive
+# cell must solve under the Ideal profile, and no tool may ever claim a
+# validated trigger for a negative (infeasible) cell.
+if [[ "$corpus_smoke" == 1 ]]; then
+  case "$preset" in
+    tsan) bdir="build-tsan" ;;
+    asan) bdir="build-asan" ;;
+    *)    bdir="build" ;;
+  esac
+  echo "== corpus smoke: sbce_corpus determinism + ground-truth gates =="
+  tmpdir="$(mktemp -d)"
+  trap 'rm -rf "$tmpdir"' EXIT
+  "$bdir/cli/sbce_corpus" --smoke --json --jobs 1 > "$tmpdir/c1.json"
+  "$bdir/cli/sbce_corpus" --smoke --json --jobs 8 > "$tmpdir/c8.json"
+  cmp "$tmpdir/c1.json" "$tmpdir/c8.json" \
+    || { echo "check.sh: corpus grid diverged across --jobs" >&2; exit 1; }
+  python3 - "$tmpdir/c1.json" <<'PY'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+scaling = doc["scaling"]
+ok = True
+if scaling["false_positives"] != 0:
+    print(f"FAIL: {scaling['false_positives']} negative cell(s) came back OK")
+    ok = False
+ideal_unsolved = [
+    f"{r['family']}/{r['param']}"
+    for r in scaling["rows"]
+    if r["tool"] == "Ideal" and r["solved"] != r["positives"]
+]
+if ideal_unsolved:
+    print(f"FAIL: Ideal left positives unsolved: {ideal_unsolved}")
+    ok = False
+if ok:
+    print(f"corpus smoke: {doc['corpus_cells']} cells, "
+          f"{scaling['expected_matches']}/{scaling['positives']} expected, "
+          "0 negative false positives, Ideal solved every positive")
+sys.exit(0 if ok else 1)
+PY
 fi
 
 # Service smoke: daemon outcomes must agree with the grid runner, and a

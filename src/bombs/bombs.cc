@@ -4,6 +4,7 @@
 
 #include "src/crypto/aes.h"
 #include "src/crypto/sha1.h"
+#include "src/vm/machine.h"
 #include "src/guestlib/guestlib.h"
 #include "src/isa/assembler.h"
 #include "src/support/status.h"
@@ -914,6 +915,7 @@ std::string_view CategoryName(Category c) {
     case Category::kCrypto: return "Crypto Function";
     case Category::kNegative: return "Negative Bomb";
     case Category::kDemo: return "Demo Program";
+    case Category::kTwoStage: return "Two-stage Trigger";
   }
   return "?";
 }
@@ -951,6 +953,87 @@ uint64_t BombAddress(const isa::BinaryImage& image) {
   auto addr = image.FindSymbol("bomb");
   SBCE_CHECK_MSG(addr.has_value(), "image lacks a bomb label");
   return *addr;
+}
+
+GroundTruth GroundTruthFor(const BombSpec& spec) {
+  GroundTruth truth;
+  truth.files = spec.files;
+  const bool negative =
+      !spec.argv_can_trigger && spec.witness_argv.empty() &&
+      spec.trigger_devices.time_seconds == vm::Devices().time_seconds &&
+      spec.trigger_devices.first_pid == vm::Devices().first_pid &&
+      spec.trigger_devices.web_document == vm::Devices().web_document &&
+      spec.trigger_devices.initial_rand_seed ==
+          vm::Devices().initial_rand_seed &&
+      spec.trigger_devices.echo_store.empty();
+  if (negative) {
+    // No witness argv and no triggering environment: the spec's ground
+    // truth is infeasibility — the seed must never detonate it.
+    truth.argv = spec.seed_argv;
+    truth.devices = spec.experiment_devices;
+    truth.expect_trigger = false;
+    return truth;
+  }
+  truth.argv = spec.witness_argv.empty() ? spec.seed_argv : spec.witness_argv;
+  truth.devices = spec.trigger_devices;
+  truth.expect_trigger = true;
+  return truth;
+}
+
+namespace {
+
+vm::RunResult RunConcrete(const isa::BinaryImage& image,
+                          std::vector<std::string> argv,
+                          const vm::Devices& devices,
+                          const std::map<std::string, std::string>& files) {
+  vm::Machine machine(image, std::move(argv), devices);
+  for (const auto& [path, contents] : files) {
+    machine.fs().PutString(path, contents);
+  }
+  return machine.Run();
+}
+
+}  // namespace
+
+Status VerifyGroundTruth(const BombSpec& spec) {
+  auto assembled = isa::Assemble(spec.source);
+  if (!assembled.ok()) {
+    return Status::Invalid(spec.id + ": " + assembled.status().ToString());
+  }
+  const isa::BinaryImage image = std::move(assembled).value();
+  if (!image.FindSymbol("bomb").has_value()) {
+    return Status::Invalid(spec.id + ": image lacks a bomb label");
+  }
+
+  // Seed run: the engines must start from an untriggered, fault-free state.
+  const vm::RunResult seed = RunConcrete(image, spec.seed_argv,
+                                         spec.experiment_devices, spec.files);
+  if (seed.faulted) {
+    return Status::Precondition(spec.id + ": seed run faulted: " +
+                                seed.fault_reason);
+  }
+  if (seed.bomb_triggered) {
+    return Status::Precondition(spec.id + ": seed input already detonates");
+  }
+
+  // Ground-truth run: the witness detonates; negative specs must not.
+  const GroundTruth truth = GroundTruthFor(spec);
+  const vm::RunResult witness =
+      RunConcrete(image, truth.argv, truth.devices, truth.files);
+  if (truth.expect_trigger) {
+    if (witness.faulted &&
+        !witness.bomb_triggered) {
+      return Status::Precondition(spec.id + ": witness run faulted: " +
+                                  witness.fault_reason);
+    }
+    if (!witness.bomb_triggered) {
+      return Status::Precondition(spec.id +
+                                  ": ground-truth witness does not detonate");
+    }
+  } else if (witness.bomb_triggered) {
+    return Status::Precondition(spec.id + ": negative spec detonated");
+  }
+  return Status::Ok();
 }
 
 }  // namespace sbce::bombs

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "src/isa/image.h"
+#include "src/support/status.h"
 #include "src/vm/devices.h"
 
 namespace sbce::bombs {
@@ -30,6 +31,7 @@ enum class Category : uint8_t {
   kCrypto,
   kNegative,   // infeasible path (false-positive probe, §V.C)
   kDemo,       // Figure 3 programs
+  kTwoStage,   // generated two-stage trigger compositions (src/corpus)
 };
 
 std::string_view CategoryName(Category c);
@@ -74,5 +76,28 @@ isa::BinaryImage BuildBomb(const BombSpec& spec);
 
 /// Address of the bomb label in a built image.
 uint64_t BombAddress(const isa::BinaryImage& image);
+
+/// A spec's machine-checkable ground truth: the concrete argv, devices
+/// and filesystem under which the bomb must detonate — or, for negative
+/// specs (no witness argv and no triggering environment), the claim that
+/// the seed input must NOT detonate it. Derived entirely from the spec's
+/// fields, so every BombSpec carries a checkable trigger input rather
+/// than one documented in comments.
+struct GroundTruth {
+  std::vector<std::string> argv;
+  vm::Devices devices;
+  std::map<std::string, std::string> files;
+  /// False for negative specs: `argv` is the seed and running it must
+  /// leave the bomb untriggered.
+  bool expect_trigger = true;
+};
+GroundTruth GroundTruthFor(const BombSpec& spec);
+
+/// Verify-before-admit: builds the image and concretely executes it twice
+/// — the seed input (must not detonate, must not fault) and the ground
+/// truth (must detonate; must not for negative specs). This is the gate
+/// every generated corpus cell passes before admission, and the same
+/// check the dataset tests apply to the 22 seed bombs.
+Status VerifyGroundTruth(const BombSpec& spec);
 
 }  // namespace sbce::bombs

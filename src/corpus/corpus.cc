@@ -1,0 +1,502 @@
+#include "src/corpus/corpus.h"
+
+#include <algorithm>
+#include <map>
+#include <mutex>
+#include <optional>
+
+#include "src/guestlib/guestlib.h"
+#include "src/support/bits.h"
+#include "src/support/str.h"
+#include "src/vm/machine.h"
+
+namespace sbce::corpus {
+
+namespace {
+
+// Same suffix as the hand-written dataset: the bomb block and clean exit.
+constexpr std::string_view kBombTail = R"(
+  bomb:
+    sys 16
+  exit:
+    movi r1, 0
+    sys 0
+)";
+
+// SplitMix64: the corpus must be a pure function of CorpusSpec.seed, so
+// all table contents, magic bytes and slot choices come from this.
+struct SplitMix {
+  uint64_t s;
+  uint64_t Next() {
+    s += 0x9e3779b97f4a7c15ull;
+    uint64_t z = s;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+  int Range(int n) { return n > 0 ? static_cast<int>(Next() % n) : 0; }
+};
+
+// One challenge fragment. Contract: on entry r9 holds the argv[1]
+// pointer; the code falls through iff its guard passes and branches to
+// `exit` otherwise; r9 is preserved (scratch: r0..r7, r10). `witness`
+// maps argv[1] byte index -> the character that passes the guard; `decoy`
+// maps the same indexes to in-bounds characters that fail it (used for
+// seed inputs and two-stage partial inputs). A loop-bound stage instead
+// sets `required_len`.
+struct StageCode {
+  std::string text;
+  std::string data;
+  std::map<size_t, char> witness;
+  std::map<size_t, char> decoy;
+  std::optional<size_t> required_len;
+};
+
+StageCode ArrStage(const std::string& p, int depth, size_t byte_index,
+                   SplitMix& rng, bool negative) {
+  StageCode s;
+  // depth-1 permutation tables over 0..9 chained into a final value
+  // table holding the magic byte at exactly one slot (no slot at all for
+  // the negative variant, so `v == magic` is infeasible).
+  std::vector<std::array<int, 10>> perms(depth > 1 ? depth - 1 : 0);
+  for (auto& perm : perms) {
+    for (int i = 0; i < 10; ++i) perm[i] = i;
+    for (int i = 9; i > 0; --i) std::swap(perm[i], perm[rng.Range(i + 1)]);
+  }
+  const int magic = 0x20 + rng.Range(60);  // < 100, so fillers never match
+  // Invert the chain (digit -> perms... -> slot), rejecting witness digit
+  // 0: a solver enumerating the `digit < 10` bounds guard lands on '0'
+  // first, and a witness there would let a tool trip the bomb without
+  // ever modeling the table chain.
+  int slot = rng.Range(10);
+  int digit = 0;
+  for (int attempt = 0; attempt < 10 && digit == 0; ++attempt) {
+    digit = slot;
+    for (int k = static_cast<int>(perms.size()) - 1; k >= 0; --k) {
+      for (int i = 0; i < 10; ++i) {
+        if (perms[k][i] == digit) {
+          digit = i;
+          break;
+        }
+      }
+    }
+    if (digit == 0) slot = (slot + 1) % 10;
+  }
+  s.witness[byte_index] = static_cast<char>('0' + digit);
+  s.decoy[byte_index] = static_cast<char>('0' + (digit + 1) % 10);
+
+  s.text += StrFormat("  ld1 r10, [r9+%d]\n", static_cast<int>(byte_index));
+  s.text += "  subi r10, r10, '0'\n";
+  s.text += "  cmpltui r7, r10, 10\n";
+  s.text += "  bz r7, exit\n";
+  for (size_t k = 0; k < perms.size(); ++k) {
+    s.text += StrFormat("  lea r6, %st%d\n", p.c_str(), static_cast<int>(k));
+    s.text += "  ldx1 r10, [r6+r10]\n";
+    s.data += StrFormat("%st%d: .byte ", p.c_str(), static_cast<int>(k));
+    for (int i = 0; i < 10; ++i) {
+      s.data += StrFormat("%s%d", i ? ", " : "", perms[k][i]);
+    }
+    s.data += "\n";
+  }
+  s.text += StrFormat("  lea r6, %stf\n", p.c_str());
+  s.text += "  ldx1 r10, [r6+r10]\n";
+  s.text += StrFormat("  cmpeqi r7, r10, %d\n", magic);
+  s.text += "  bz r7, exit\n";
+  s.data += StrFormat("%stf: .byte ", p.c_str());
+  for (int i = 0; i < 10; ++i) {
+    const int v = (!negative && i == slot) ? magic : 100 + i;
+    s.data += StrFormat("%s%d", i ? ", " : "", v);
+  }
+  s.data += "\n";
+  return s;
+}
+
+StageCode LoopStage(const std::string& p, int bound, bool negative) {
+  StageCode s;
+  s.required_len = static_cast<size_t>(bound);
+  s.text += "  movi r10, 0\n";
+  s.text += StrFormat("%slen_loop:\n", p.c_str());
+  s.text += "  ldx1 r4, [r9+r10]\n";
+  s.text += StrFormat("  bz r4, %slen_done\n", p.c_str());
+  s.text += "  addi r10, r10, 1\n";
+  s.text += StrFormat("  jmp %slen_loop\n", p.c_str());
+  s.text += StrFormat("%slen_done:\n", p.c_str());
+  s.text += StrFormat("  cmpeqi r5, r10, %d\n", bound);
+  s.text += "  bz r5, exit\n";
+  if (negative) {
+    // byte0 == 'x' AND byte0 == 'y': infeasible for every input.
+    s.text += "  ld1 r4, [r9+0]\n";
+    s.text += "  cmpeqi r5, r4, 'x'\n";
+    s.text += "  bz r5, exit\n";
+    s.text += "  cmpeqi r5, r4, 'y'\n";
+    s.text += "  bz r5, exit\n";
+  }
+  return s;
+}
+
+StageCode ChainStage(const std::string& p, int hops, size_t byte_index,
+                     SplitMix& rng, bool negative) {
+  StageCode s;
+  int sum = 0;
+  s.text += StrFormat("  ld1 r10, [r9+%d]\n", static_cast<int>(byte_index));
+  for (int i = 0; i < hops; ++i) {
+    const int inc = 1 + rng.Range(3);
+    sum += inc;
+    s.text += StrFormat("  lea r1, %skey%d\n", p.c_str(), i);
+    s.text += "  mov r2, r10\n";
+    s.text += "  sys 18\n";  // echo_store(key_i, v)
+    s.text += StrFormat("  lea r1, %skey%d\n", p.c_str(), i);
+    s.text += "  sys 19\n";  // echo_load(key_i) -> r0
+    s.text += "  mov r10, r0\n";
+    s.text += StrFormat("  addi r10, r10, %d\n", inc);
+    s.data += StrFormat("%skey%d: .asciz \"%sk%d\"\n", p.c_str(), i, p.c_str(), i);
+  }
+  const int digit = rng.Range(10);
+  // argv bytes are <= 255, so a target above 255+sum is infeasible.
+  const int target = negative ? 256 + sum + rng.Range(16) : '0' + digit + sum;
+  s.witness[byte_index] = static_cast<char>('0' + digit);
+  s.decoy[byte_index] = static_cast<char>('0' + (digit + 1) % 10);
+  s.text += StrFormat("  cmpeqi r5, r10, %d\n", target);
+  s.text += "  bz r5, exit\n";
+  return s;
+}
+
+StageCode JtabStage(const std::string& p, int slots, size_t byte_index,
+                    SplitMix& rng, bool negative) {
+  StageCode s;
+  // Never place the pass slot at 0: a solver that negates the bounds
+  // guard gets the minimal in-range model '0', which would resolve the
+  // table without the engine ever modeling the indirect jump.
+  const int slot = slots > 1 ? 1 + rng.Range(slots - 1) : 0;
+  s.witness[byte_index] = static_cast<char>('0' + slot);
+  s.decoy[byte_index] = static_cast<char>('0' + (slot + 1) % slots);
+  s.text += StrFormat("  ld1 r10, [r9+%d]\n", static_cast<int>(byte_index));
+  s.text += "  subi r10, r10, '0'\n";
+  s.text += StrFormat("  cmpltui r5, r10, %d\n", slots);
+  s.text += "  bz r5, exit\n";
+  s.text += "  muli r10, r10, 8\n";
+  s.text += StrFormat("  lea r6, %sjt\n", p.c_str());
+  s.text += "  ldx8 r5, [r6+r10]\n";
+  s.text += "  jmpr r5\n";
+  s.text += StrFormat("%spass:\n", p.c_str());
+  s.data += StrFormat("%sjt: .quad ", p.c_str());
+  for (int i = 0; i < slots; ++i) {
+    const bool pass = !negative && i == slot;
+    s.data += StrFormat("%s%s", i ? ", " : "",
+                        pass ? StrFormat("%spass", p.c_str()).c_str() : "exit");
+  }
+  s.data += "\n";
+  return s;
+}
+
+StageCode EmitStage(Family f, const std::string& p, int param,
+                    size_t byte_index, SplitMix& rng, bool negative) {
+  switch (f) {
+    case Family::kArrayDepth: return ArrStage(p, param, byte_index, rng, negative);
+    case Family::kLoopBound: return LoopStage(p, param, negative);
+    case Family::kSyscallChain: return ChainStage(p, param, byte_index, rng, negative);
+    case Family::kJumpTable: return JtabStage(p, param, byte_index, rng, negative);
+    case Family::kTwoStage: break;
+  }
+  SBCE_CHECK(false && "two-stage is composed, not emitted directly");
+  return {};
+}
+
+std::string ComposeSource(const std::vector<StageCode>& stages) {
+  std::string text = ".entry main\nmain:\n  ld8 r9, [r2+8]\n";
+  std::string data;
+  for (const auto& s : stages) {
+    text += s.text;
+    data += s.data;
+  }
+  text += kBombTail;
+  if (!data.empty()) text += ".data\n" + data;
+  return text + guestlib::EmitGuestLib();
+}
+
+// Fill constrained bytes, pad with 'A' to the loop bound (or the highest
+// constrained byte), so the joint witness satisfies every stage at once.
+// Seeds (use_witness=false) with a loop-bound stage are one byte long —
+// *shorter* than K, like svd_argvlen's seed, so a tool whose argv window
+// is pinned to the seed length cannot reach the bound.
+std::string InputString(const std::vector<StageCode>& stages,
+                        bool use_witness, bool pass_len) {
+  std::map<size_t, char> bytes;
+  std::optional<size_t> len;
+  for (const auto& s : stages) {
+    for (const auto& [i, c] : use_witness ? s.witness : s.decoy) bytes[i] = c;
+    if (s.required_len) len = s.required_len;
+  }
+  size_t n = 1;
+  if (!bytes.empty()) n = std::max(n, bytes.rbegin()->first + 1);
+  if (len) n = pass_len ? *len : 1;
+  std::string out(n, 'A');
+  for (const auto& [i, c] : bytes) {
+    if (i < n) out[i] = c;
+  }
+  return out;
+}
+
+// Table II outcome prediction per paper-tool profile for a base family.
+std::array<std::string, 4> BaseExpected(Family f, int param) {
+  switch (f) {
+    case Family::kArrayDepth:
+      // Depth 1 fits Angr's one-level symbolic-deref model (arr_one row);
+      // deeper chains defeat every paper tool (arr_two row).
+      return param <= 1 ? std::array<std::string, 4>{"Es3", "Es3", "OK", "OK"}
+                        : std::array<std::string, 4>{"Es3", "Es3", "Es3", "Es3"};
+    case Family::kLoopBound:
+      return {"Es2", "Es0", "OK", "OK"};  // svd_argvlen row
+    case Family::kSyscallChain:
+      return {"Es2", "Es2", "P", "P"};  // csp_syscall row
+    case Family::kJumpTable:
+      return {"Es3", "Es3", "Es3", "Es3"};  // jmp_table row
+    case Family::kTwoStage: break;
+  }
+  SBCE_CHECK(false && "two-stage expectations are composed");
+  return {};
+}
+
+// Two-stage prediction: stages gate left to right. A tool that cannot
+// get past stage A — whether it hard-fails (Es*) or only ever produces
+// unvalidated claims (P) — never executes stage B concretely, so the
+// first non-OK stage label wins.
+std::array<std::string, 4> ComposeExpected(
+    const std::array<std::string, 4>& a, const std::array<std::string, 4>& b) {
+  std::array<std::string, 4> out;
+  for (size_t t = 0; t < out.size(); ++t) {
+    out[t] = a[t] != "OK" ? a[t] : b[t];
+  }
+  return out;
+}
+
+constexpr Family kPairs[6][2] = {
+    {Family::kArrayDepth, Family::kLoopBound},
+    {Family::kArrayDepth, Family::kSyscallChain},
+    {Family::kArrayDepth, Family::kJumpTable},
+    {Family::kLoopBound, Family::kSyscallChain},
+    {Family::kLoopBound, Family::kJumpTable},
+    {Family::kSyscallChain, Family::kJumpTable},
+};
+
+// Inner parameter for a base family used inside a two-stage composition:
+// scale 0 is the small variant, scale 1 the large one.
+int InnerParam(Family f, int scale) {
+  switch (f) {
+    case Family::kArrayDepth: return 2 + 2 * scale;
+    case Family::kLoopBound: return 5 + 3 * scale;
+    case Family::kSyscallChain: return 2 + 2 * scale;
+    case Family::kJumpTable: return 4 + 3 * scale;
+    case Family::kTwoStage: break;
+  }
+  SBCE_CHECK(false && "two-stage cannot nest");
+  return 0;
+}
+
+std::string ShortName(Family f) {
+  switch (f) {
+    case Family::kArrayDepth: return "arr";
+    case Family::kLoopBound: return "loop";
+    case Family::kSyscallChain: return "chain";
+    case Family::kJumpTable: return "jtab";
+    case Family::kTwoStage: return "two";
+  }
+  return "?";
+}
+
+bombs::Category BaseCategory(Family f) {
+  switch (f) {
+    case Family::kArrayDepth: return bombs::Category::kSymbolicArray;
+    case Family::kLoopBound: return bombs::Category::kSymbolicDeclaration;
+    case Family::kSyscallChain: return bombs::Category::kCovertPropagation;
+    case Family::kJumpTable: return bombs::Category::kSymbolicJump;
+    case Family::kTwoStage: return bombs::Category::kTwoStage;
+  }
+  return bombs::Category::kDemo;
+}
+
+CorpusCell BuildCell(Family family, int param, bool negative, uint64_t seed) {
+  CorpusCell cell;
+  cell.family = family;
+  cell.param = param;
+  cell.negative = negative;
+
+  SplitMix rng{seed ^ (static_cast<uint64_t>(family) << 32) ^
+               (static_cast<uint64_t>(param) << 8) ^
+               static_cast<uint64_t>(negative)};
+
+  std::vector<StageCode> stages;
+  std::array<std::string, 4> expected;
+  if (family == Family::kTwoStage) {
+    const auto& pair = kPairs[param % 6];
+    const int scale = param / 6;
+    const int pa = InnerParam(pair[0], scale);
+    const int pb = InnerParam(pair[1], scale);
+    // Byte indexes 0,1 go to the byte-guard stages in order; the loop
+    // stage constrains length instead and never consumes a byte.
+    size_t next_byte = 0;
+    const size_t ba = pair[0] == Family::kLoopBound ? 0 : next_byte++;
+    const size_t bb = pair[1] == Family::kLoopBound ? 0 : next_byte++;
+    // The negative variant corrupts stage B only: stage A stays
+    // satisfiable, the composition is still infeasible.
+    stages.push_back(EmitStage(pair[0], "s0_", pa, ba, rng, false));
+    stages.push_back(EmitStage(pair[1], "s1_", pb, bb, rng, negative));
+    expected = ComposeExpected(BaseExpected(pair[0], pa), BaseExpected(pair[1], pb));
+  } else {
+    stages.push_back(EmitStage(family, "s0_", param, 0, rng, negative));
+    expected = BaseExpected(family, param);
+  }
+
+  bombs::BombSpec& b = cell.spec;
+  b.id = StrFormat("gen_%s_%02d%s", ShortName(family).c_str(), param,
+                   negative ? "_neg" : "");
+  b.category = negative ? bombs::Category::kNegative : BaseCategory(family);
+  b.challenge = StrFormat("%s, parameter %d%s",
+                          std::string(FamilyName(family)).c_str(), param,
+                          negative ? " (infeasible variant)" : "");
+  b.source = ComposeSource(stages);
+  b.seed_argv = {"prog", InputString(stages, /*use_witness=*/false,
+                                     /*pass_len=*/false)};
+  if (!negative) {
+    b.witness_argv = {"prog", InputString(stages, /*use_witness=*/true,
+                                          /*pass_len=*/true)};
+    b.argv_can_trigger = true;
+  }
+  b.expected = negative ? std::array<std::string, 4>{"-", "-", "-", "-"}
+                        : expected;
+  b.expected_ideal = negative ? "unreachable" : "OK";
+
+  if (family == Family::kTwoStage && !negative) {
+    // Per-stage partial inputs: stage i's witness bytes with the other
+    // stage's decoys (and the wrong length whenever the other stage is
+    // the loop bound). Each satisfies exactly one stage.
+    for (size_t i = 0; i < stages.size(); ++i) {
+      std::map<size_t, char> bytes;
+      std::optional<size_t> len;
+      bool pass_len = true;
+      for (size_t j = 0; j < stages.size(); ++j) {
+        const auto& src = j == i ? stages[j].witness : stages[j].decoy;
+        for (const auto& [idx, c] : src) bytes[idx] = c;
+        if (stages[j].required_len) {
+          len = stages[j].required_len;
+          pass_len = j == i;
+        }
+      }
+      size_t n = 1;
+      if (!bytes.empty()) n = std::max(n, bytes.rbegin()->first + 1);
+      if (len) n = pass_len ? *len : *len + 1;
+      std::string input(n, 'A');
+      for (const auto& [idx, c] : bytes) {
+        if (idx < n) input[idx] = c;
+      }
+      cell.partial_inputs.push_back({"prog", input});
+    }
+  }
+  return cell;
+}
+
+}  // namespace
+
+std::string_view FamilyName(Family f) {
+  switch (f) {
+    case Family::kArrayDepth: return "array-depth";
+    case Family::kLoopBound: return "loop-bound";
+    case Family::kSyscallChain: return "syscall-chain";
+    case Family::kJumpTable: return "jump-table";
+    case Family::kTwoStage: return "two-stage";
+  }
+  return "?";
+}
+
+std::vector<FamilySweep> DefaultSweeps() {
+  return {
+      {Family::kArrayDepth, {1, 2, 3, 4, 5, 6}},
+      {Family::kLoopBound, {2, 4, 6, 8, 10, 12}},
+      {Family::kSyscallChain, {1, 2, 3, 4, 5, 6}},
+      {Family::kJumpTable, {2, 3, 4, 6, 8, 10}},
+      {Family::kTwoStage, {0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11}},
+  };
+}
+
+CorpusSpec SmokeSpec() {
+  CorpusSpec spec;
+  spec.sweeps = {
+      {Family::kArrayDepth, {2}},  {Family::kLoopBound, {4}},
+      {Family::kSyscallChain, {2}}, {Family::kJumpTable, {4}},
+      {Family::kTwoStage, {2}},
+  };
+  return spec;
+}
+
+const CorpusCell* Corpus::Find(std::string_view id) const {
+  for (const auto& cell : cells) {
+    if (cell.spec.id == id) return &cell;
+  }
+  return nullptr;
+}
+
+Result<Corpus> Generate(const CorpusSpec& spec) {
+  Corpus out;
+  out.seed = spec.seed;
+  uint64_t digest = Fnv1a("sbce-corpus", 11);
+  const auto sweeps = spec.sweeps.empty() ? DefaultSweeps() : spec.sweeps;
+  for (const auto& sweep : sweeps) {
+    for (const int param : sweep.params) {
+      for (const bool negative : {false, true}) {
+        if (negative && !spec.negatives) continue;
+        CorpusCell cell = BuildCell(sweep.family, param, negative, spec.seed);
+
+        // Verify-before-admit: assemble + concretely execute seed and
+        // ground truth; a failure is a generator bug, not a bad cell.
+        if (Status st = bombs::VerifyGroundTruth(cell.spec); !st.ok()) {
+          return Status::Internal(StrFormat(
+              "corpus cell %s failed admission: %s", cell.spec.id.c_str(),
+              st.ToString().c_str()));
+        }
+        const auto image = bombs::BuildBomb(cell.spec);
+        for (const auto& argv : cell.partial_inputs) {
+          vm::Machine machine(image, argv, cell.spec.experiment_devices);
+          const auto run = machine.Run();
+          if (run.faulted || run.bomb_triggered) {
+            return Status::Internal(StrFormat(
+                "corpus cell %s: partial input \"%s\" must not detonate",
+                cell.spec.id.c_str(), argv.back().c_str()));
+          }
+        }
+
+        const auto bytes = image.Serialize();
+        digest = Fnv1a(cell.spec.id.data(), cell.spec.id.size(), digest);
+        digest = Fnv1a(bytes.data(), bytes.size(), digest);
+        const bombs::GroundTruth truth = bombs::GroundTruthFor(cell.spec);
+        for (const auto& arg : truth.argv) {
+          digest = Fnv1a(arg.data(), arg.size(), digest);
+        }
+        const char trig = truth.expect_trigger ? 1 : 0;
+        digest = Fnv1a(&trig, 1, digest);
+        out.cells.push_back(std::move(cell));
+      }
+    }
+  }
+  out.digest = digest;
+  return out;
+}
+
+std::shared_ptr<const Corpus> SharedCorpus(uint64_t seed) {
+  static std::mutex mu;
+  static auto* cache =
+      new std::map<uint64_t, std::shared_ptr<const Corpus>>();
+  std::scoped_lock lock(mu);
+  auto it = cache->find(seed);
+  if (it != cache->end()) return it->second;
+  CorpusSpec spec;
+  spec.seed = seed;
+  Result<Corpus> generated = Generate(spec);
+  std::shared_ptr<const Corpus> shared;
+  if (generated.ok()) {
+    shared = std::make_shared<const Corpus>(std::move(generated).value());
+  }
+  (*cache)[seed] = shared;
+  return shared;
+}
+
+}  // namespace sbce::corpus

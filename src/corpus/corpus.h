@@ -1,0 +1,98 @@
+// Parametric logic-bomb generator (ROADMAP item 1): grows Table II from a
+// fixed 22-bomb dataset into a scalable capability surface.
+//
+// A CorpusSpec names a deterministic seed plus parameter sweeps over base
+// challenge families (array-depth-N, loop-bound-K, syscall-chain-M,
+// jump-table-N) and two-stage compositions of any two base families. The
+// generator emits complete BombSpecs — SBVM assembly composed from the
+// same fragments the hand-written dataset uses, plus the concrete
+// ground-truth trigger input derived *at generation time* by inverting
+// the emitted tables/constraints. One negative (infeasible) variant is
+// generated per family×parameter as a false-positive probe.
+//
+// Verify-before-admit contract: every generated cell is assembled and
+// concretely executed before admission — the seed input must run clean
+// without detonating, the derived witness must detonate (or provably not,
+// for negatives), and two-stage cells additionally prove each
+// single-stage partial input does NOT detonate. A cell failing the gate
+// fails Generate() outright: it means the generator itself is wrong.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/bombs/bombs.h"
+#include "src/support/status.h"
+
+namespace sbce::corpus {
+
+/// Base parametric challenge families (order is generation order).
+enum class Family : uint8_t {
+  kArrayDepth,    // digit chained through N permutation tables
+  kLoopBound,     // strlen(argv[1]) == K
+  kSyscallChain,  // byte round-tripped through M echo-syscall hops
+  kJumpTable,     // indirect jump through an N-slot address table
+  kTwoStage,      // composition of two distinct base families
+};
+
+std::string_view FamilyName(Family f);
+
+/// One family's parameter sweep. The parameter means: depth N, bound K,
+/// hop count M, table size N — and for kTwoStage, `param % 6` selects the
+/// unordered pair of base families and `param / 6` the inner scale.
+struct FamilySweep {
+  Family family;
+  std::vector<int> params;
+};
+
+inline constexpr uint64_t kDefaultSeed = 0x5bce2017;
+
+struct CorpusSpec {
+  uint64_t seed = kDefaultSeed;
+  std::vector<FamilySweep> sweeps;  // empty == DefaultSweeps()
+  bool negatives = true;            // one infeasible variant per cell
+};
+
+/// The full default sweep set (36 positives + 36 negatives = 72 cells).
+std::vector<FamilySweep> DefaultSweeps();
+
+/// A small one-param-per-family corpus for scripts/check.sh smoke runs.
+CorpusSpec SmokeSpec();
+
+struct CorpusCell {
+  bombs::BombSpec spec;  // complete, with machine-checkable ground truth
+  Family family = Family::kArrayDepth;
+  int param = 0;
+  bool negative = false;
+  /// Two-stage positives only: one input per stage that satisfies *only*
+  /// that stage. Verified at generation time to NOT detonate — the joint
+  /// witness (spec.witness_argv) is the only trigger.
+  std::vector<std::vector<std::string>> partial_inputs;
+};
+
+struct Corpus {
+  uint64_t seed = 0;
+  std::vector<CorpusCell> cells;
+  /// FNV-1a over every cell's id, serialized image and ground truth, in
+  /// order — equal digests mean byte-identical corpora.
+  uint64_t digest = 0;
+
+  const CorpusCell* Find(std::string_view id) const;
+};
+
+/// Deterministic generation: the same CorpusSpec always produces
+/// byte-identical sources, images and ground truths (pure function of
+/// spec.seed — no wall clock, no global randomness). Every cell passes
+/// the verify-before-admit gate (bombs::VerifyGroundTruth plus the
+/// partial-input checks) or generation fails.
+Result<Corpus> Generate(const CorpusSpec& spec);
+
+/// Process-wide registry backing the service's corpus-cell addressing
+/// mode: lazily generates (and caches) the default-shape corpus for
+/// `seed`. Returns nullptr only if generation fails.
+std::shared_ptr<const Corpus> SharedCorpus(uint64_t seed);
+
+}  // namespace sbce::corpus

@@ -1,0 +1,160 @@
+#include "src/report/scaling.h"
+
+#include <tuple>
+
+#include "src/report/table.h"
+#include "src/support/str.h"
+
+namespace sbce::report {
+
+namespace {
+
+std::string U64(uint64_t v) {
+  return StrFormat("%llu", static_cast<unsigned long long>(v));
+}
+
+}  // namespace
+
+ScalingReport BuildScalingReport(const corpus::Corpus& corpus,
+                                 const tools::GridResult& grid) {
+  ScalingReport report;
+  report.corpus_seed = corpus.seed;
+
+  // Rows keyed by (family, param, tool), created in grid order so the
+  // report is family/param-major, tool-minor like the grid itself.
+  std::map<std::tuple<std::string, int, std::string>, size_t> index;
+  for (const tools::CellResult& cell : grid.cells) {
+    const corpus::CorpusCell* meta = corpus.Find(cell.bomb_id);
+    if (meta == nullptr) continue;
+
+    const auto key = std::make_tuple(
+        std::string(FamilyName(meta->family)), meta->param, cell.tool);
+    auto [it, inserted] = index.try_emplace(key, report.rows.size());
+    if (inserted) {
+      ScalingRow row;
+      row.family = std::get<0>(key);
+      row.param = meta->param;
+      row.tool = cell.tool;
+      report.rows.push_back(std::move(row));
+    }
+    ScalingRow& row = report.rows[it->second];
+
+    ++report.cells;
+    const std::string label(tools::OutcomeLabel(cell.outcome));
+    if (meta->negative) {
+      ++row.negatives;
+      ++report.negatives;
+      if (cell.outcome == tools::Outcome::kOk) {
+        ++row.false_positives;
+        ++report.false_positives;
+      }
+    } else {
+      ++row.positives;
+      ++report.positives;
+      ++row.outcomes[label];
+      if (cell.matches_paper) {
+        ++row.expected_matches;
+        ++report.expected_matches;
+      }
+      if (cell.outcome == tools::Outcome::kOk) {
+        ++row.solved;
+        ++report.solved;
+      }
+    }
+    if (cell.outcome != tools::Outcome::kOk && cell.attribution) {
+      ++row.failure_stages[cell.attribution->stage];
+      if (row.example_stage.empty()) {
+        row.example_stage = cell.attribution->stage;
+        row.example_pc = cell.attribution->pc;
+        row.example_reason = cell.attribution->reason;
+      }
+    }
+  }
+  return report;
+}
+
+std::string RenderScalingReport(const ScalingReport& report) {
+  AsciiTable table;
+  table.SetTitle(StrFormat(
+      "corpus scaling report (seed %llu): expected vs observed per "
+      "family x parameter x tool",
+      static_cast<unsigned long long>(report.corpus_seed)));
+  table.SetHeader({"Family", "param", "Tool", "observed", "expected ✓",
+                   "solved", "neg FP", "failure stages"});
+  std::string last_family;
+  for (const ScalingRow& row : report.rows) {
+    if (row.family != last_family && !last_family.empty()) {
+      table.AddSeparator();
+    }
+    last_family = row.family;
+    std::string observed;
+    for (const auto& [label, count] : row.outcomes) {
+      observed += StrFormat("%s%s x%d", observed.empty() ? "" : ", ",
+                            label.c_str(), count);
+    }
+    std::string stages;
+    for (const auto& [stage, count] : row.failure_stages) {
+      stages += StrFormat("%s%s x%d", stages.empty() ? "" : ", ",
+                          stage.c_str(), count);
+    }
+    table.AddRow({row.family, StrFormat("%d", row.param), row.tool,
+                  observed.empty() ? "-" : observed,
+                  StrFormat("%d/%d", row.expected_matches, row.positives),
+                  StrFormat("%d", row.solved),
+                  StrFormat("%d/%d", row.false_positives, row.negatives),
+                  stages.empty() ? "-" : stages});
+  }
+  std::string out = table.Render();
+  out += StrFormat(
+      "cells: %d (%d positive, %d negative)  expected matches: %d/%d  "
+      "solved: %d  negative false positives: %d/%d\n",
+      report.cells, report.positives, report.negatives,
+      report.expected_matches, report.positives, report.solved,
+      report.false_positives, report.negatives);
+  return out;
+}
+
+obs::JsonValue ScalingToJson(const ScalingReport& report) {
+  obs::JsonValue v = obs::JsonValue::Object();
+  v.Set("corpus_seed", obs::JsonValue::U64(report.corpus_seed));
+  v.Set("cells", obs::JsonValue::I64(report.cells));
+  v.Set("positives", obs::JsonValue::I64(report.positives));
+  v.Set("negatives", obs::JsonValue::I64(report.negatives));
+  v.Set("expected_matches", obs::JsonValue::I64(report.expected_matches));
+  v.Set("solved", obs::JsonValue::I64(report.solved));
+  v.Set("false_positives", obs::JsonValue::I64(report.false_positives));
+  obs::JsonValue rows = obs::JsonValue::Array();
+  for (const ScalingRow& row : report.rows) {
+    obs::JsonValue r = obs::JsonValue::Object();
+    r.Set("family", obs::JsonValue::Str(row.family));
+    r.Set("param", obs::JsonValue::I64(row.param));
+    r.Set("tool", obs::JsonValue::Str(row.tool));
+    r.Set("positives", obs::JsonValue::I64(row.positives));
+    r.Set("expected_matches", obs::JsonValue::I64(row.expected_matches));
+    r.Set("solved", obs::JsonValue::I64(row.solved));
+    r.Set("negatives", obs::JsonValue::I64(row.negatives));
+    r.Set("false_positives", obs::JsonValue::I64(row.false_positives));
+    obs::JsonValue outcomes = obs::JsonValue::Object();
+    for (const auto& [label, count] : row.outcomes) {
+      outcomes.Set(label, obs::JsonValue::I64(count));
+    }
+    r.Set("outcomes", std::move(outcomes));
+    obs::JsonValue stages = obs::JsonValue::Object();
+    for (const auto& [stage, count] : row.failure_stages) {
+      stages.Set(stage, obs::JsonValue::I64(count));
+    }
+    r.Set("failure_stages", std::move(stages));
+    if (!row.example_stage.empty()) {
+      obs::JsonValue example = obs::JsonValue::Object();
+      example.Set("stage", obs::JsonValue::Str(row.example_stage));
+      example.Set("pc", obs::JsonValue::U64(row.example_pc));
+      example.Set("reason", obs::JsonValue::Str(row.example_reason));
+      r.Set("example", std::move(example));
+    }
+    rows.items.push_back(std::move(r));
+  }
+  v.Set("rows", std::move(rows));
+  return v;
+}
+
+}  // namespace sbce::report

@@ -1,0 +1,64 @@
+// Per-challenge-category scaling report over a generated-corpus grid run:
+// expected-vs-observed verdicts per tool profile, success and
+// false-positive counts, and the {stage, pc, reason} failure attributions
+// rolled up per family×parameter.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/corpus/corpus.h"
+#include "src/obs/json.h"
+#include "src/tools/runner.h"
+
+namespace sbce::report {
+
+/// One family×parameter×tool aggregation row (positive and negative
+/// variants of the same cell fold into the same row).
+struct ScalingRow {
+  std::string family;
+  int param = 0;
+  std::string tool;
+
+  int positives = 0;         // positive cells run
+  int expected_matches = 0;  // observed label == predicted label
+  int solved = 0;            // observed OK
+  int negatives = 0;         // negative cells run
+  int false_positives = 0;   // negative cells the tool reported OK
+
+  /// Observed outcome label -> count, positives only.
+  std::map<std::string, int> outcomes;
+  /// Attribution stage -> count over every non-OK cell in the row.
+  std::map<std::string, int> failure_stages;
+  /// One representative attribution for the row (first non-OK cell).
+  std::string example_stage;
+  uint64_t example_pc = 0;
+  std::string example_reason;
+};
+
+struct ScalingReport {
+  uint64_t corpus_seed = 0;
+  std::vector<ScalingRow> rows;  // grid order: family/param-major, tool-minor
+  int cells = 0;
+  int positives = 0;
+  int negatives = 0;
+  int expected_matches = 0;
+  int solved = 0;
+  int false_positives = 0;
+};
+
+/// Aggregates a grid run over `corpus` cells (tools::RunGrid over
+/// tools::CorpusCells). Grid cells whose bomb id is not in the corpus are
+/// ignored, so mixed grids are safe.
+ScalingReport BuildScalingReport(const corpus::Corpus& corpus,
+                                 const tools::GridResult& grid);
+
+/// ASCII rendering (family blocks separated, totals footer).
+std::string RenderScalingReport(const ScalingReport& report);
+
+/// Machine-readable export (all counters plus per-row outcome and stage
+/// maps; deterministic field order).
+obs::JsonValue ScalingToJson(const ScalingReport& report);
+
+}  // namespace sbce::report

@@ -4,9 +4,11 @@
 #include <utility>
 
 #include "src/bombs/bombs.h"
+#include "src/corpus/corpus.h"
 #include "src/isa/predecode.h"
 #include "src/service/warm_cache.h"
 #include "src/support/bits.h"
+#include "src/support/str.h"
 #include "src/tools/profiles.h"
 #include "src/vm/machine.h"
 
@@ -63,6 +65,12 @@ obs::JsonValue RequestJsonImpl(const AnalysisRequest& request, bool full) {
   v.Set("v", obs::JsonValue::U64(1));
   if (!request.bomb.empty()) {
     v.Set("bomb", obs::JsonValue::Str(request.bomb));
+  }
+  if (!request.corpus_cell.empty()) {
+    v.Set("corpus_cell", obs::JsonValue::Str(request.corpus_cell));
+    if (request.corpus_seed != 0) {
+      v.Set("corpus_seed", obs::JsonValue::U64(request.corpus_seed));
+    }
   }
   if (!request.image.empty()) {
     v.Set("image", obs::JsonValue::Str(HexEncode(request.image)));
@@ -141,6 +149,12 @@ Result<AnalysisRequest> RequestFromJson(const obs::JsonValue& v) {
   }
   AnalysisRequest req;
   if (const obs::JsonValue* b = v.Find("bomb")) req.bomb.assign(b->AsString());
+  if (const obs::JsonValue* c = v.Find("corpus_cell")) {
+    req.corpus_cell.assign(c->AsString());
+  }
+  if (const obs::JsonValue* s = v.Find("corpus_seed")) {
+    req.corpus_seed = s->AsU64();
+  }
   if (const obs::JsonValue* img = v.Find("image")) {
     auto bytes = HexDecode(img->AsString());
     if (!bytes) return Status::Invalid("image is not valid hex");
@@ -189,8 +203,8 @@ Result<AnalysisRequest> RequestFromJson(const obs::JsonValue& v) {
 uint64_t RequestDigest(const AnalysisRequest& request) {
   if (request.custom_engine.has_value()) return 0;  // not shareable
   if (request.local_bomb != nullptr) return 0;      // unregistered spec
-  if (request.bomb.empty() && request.image.empty() &&
-      request.local_image == nullptr) {
+  if (request.bomb.empty() && request.corpus_cell.empty() &&
+      request.image.empty() && request.local_image == nullptr) {
     return 0;
   }
   obs::JsonValue canon;
@@ -225,11 +239,33 @@ AnalysisResult Analyze(const AnalysisRequest& request,
   ApplyBudgets(request, &config);
   config.trace_sink = env.trace_sink;
 
-  // 2. Resolve the target: a dataset bomb or an image.
+  // 2. Resolve the target: a dataset bomb, a generated corpus cell, or
+  // an image. The corpus keepalive pins the generated spec for the whole
+  // analysis (SharedCorpus entries live for the process, but holding the
+  // reference makes the lifetime explicit).
   const bombs::BombSpec* spec = nullptr;
+  std::shared_ptr<const corpus::Corpus> corpus_keepalive;
   std::shared_ptr<const isa::BinaryImage> image;
   uint64_t image_key = 0;
-  if (request.local_bomb != nullptr || !request.bomb.empty()) {
+  if (!request.corpus_cell.empty()) {
+    const uint64_t seed =
+        request.corpus_seed != 0 ? request.corpus_seed : corpus::kDefaultSeed;
+    corpus_keepalive = corpus::SharedCorpus(seed);
+    if (corpus_keepalive == nullptr) {
+      return RequestError(request, "corpus generation failed");
+    }
+    const corpus::CorpusCell* cell =
+        corpus_keepalive->Find(request.corpus_cell);
+    if (cell == nullptr) {
+      return RequestError(request,
+                          "unknown corpus cell: " + request.corpus_cell);
+    }
+    spec = &cell->spec;
+    const std::string key_text = StrFormat(
+        "corpus:%llu:%s", static_cast<unsigned long long>(seed),
+        spec->id.c_str());
+    image_key = Fnv1a(key_text.data(), key_text.size());
+  } else if (request.local_bomb != nullptr || !request.bomb.empty()) {
     spec = request.local_bomb != nullptr ? request.local_bomb
                                          : bombs::FindBomb(request.bomb);
     if (spec == nullptr) {

@@ -4,8 +4,8 @@
 // Every way of running an analysis — the Table II grid, the examples, the
 // benches, the `sbce_client` CLI and the long-lived `sbce_serve` daemon —
 // goes through service::Analyze(AnalysisRequest) and gets back an
-// AnalysisResult. The legacy tools::RunCell/tools::ExploreImage entry
-// points survive one more PR as thin shims over this function.
+// AnalysisResult. The grid runner (tools::RunGrid) dispatches every cell
+// through this function; the old RunCell/ExploreImage shims are gone.
 //
 // Determinism contract (inherited from the grid runner and extended to
 // the service): the same request yields a bit-identical deterministic
@@ -50,17 +50,23 @@ struct BudgetOverrides {
 ///   * `bomb`        — a dataset bomb id; seed argv, devices, filesystem
 ///                     preconditions and the paper's expected label come
 ///                     from the spec.
+///   * `corpus_cell` — a generated corpus cell id (src/corpus), resolved
+///                     in the deterministic corpus for `corpus_seed`
+///                     (0 = the default seed). Fully serializable: the
+///                     remote end regenerates the identical cell.
 ///   * `image`       — serialized SBX bytes (the wire form); `seed_argv`
 ///                     and `target_pc` are required.
 ///   * `local_image` — an in-process BinaryImage (not serializable; the
-///                     caller keeps it alive across Analyze). Used by the
-///                     ExploreImage shim and in-process embedders.
+///                     caller keeps it alive across Analyze). Used by
+///                     in-process embedders.
 struct AnalysisRequest {
   std::string bomb;
+  std::string corpus_cell;
+  uint64_t corpus_seed = 0;  // 0 = corpus::kDefaultSeed
   std::vector<uint8_t> image;
   const isa::BinaryImage* local_image = nullptr;  // in-process only
   /// In-process only: analyze this spec instead of resolving `bomb` in
-  /// the dataset (the RunCell shim's path — callers may hold specs that
+  /// the dataset (the grid runner's path — callers may hold specs that
   /// are not registered). Never admitted to shared warm state.
   const bombs::BombSpec* local_bomb = nullptr;
   std::vector<std::string> seed_argv;             // image targets
@@ -120,9 +126,9 @@ struct AnalysisResult {
 };
 
 /// Folds the request's budget overrides and mode toggles into an engine
-/// configuration. Every override goes through here — RunCell, Analyze and
-/// the daemon share this one helper, so a newly added budget cannot
-/// silently miss a path.
+/// configuration. Every override goes through here — the grid runner,
+/// Analyze and the daemon share this one helper, so a newly added budget
+/// cannot silently miss a path.
 void ApplyBudgets(const AnalysisRequest& request, core::EngineConfig* config);
 
 /// Shared/ambient state for Analyze. Default-constructed = cold, fully

@@ -267,15 +267,19 @@ void TraceExecutor::HandleMemory(const TraceEvent& ev, SymRegs& regs) {
               ev.pc);
           value = LoadBytes(ev.mem_addr, width, ev.mem_value);
         } else {
-          // Two-level check: does the address depend on a prior deref?
-          if (state_.ContainsDerefResult(addr_expr)) {
+          // This load sits one deref deeper than the deepest symbolic-
+          // address load feeding its address expression; the window model
+          // covers chains up to max_deref_depth levels (1 = plain
+          // symbolic index, Angr's model; the ideal profile goes to 8).
+          const unsigned depth = state_.MaxDerefDepth(addr_expr) + 1;
+          if (depth > config_.max_deref_depth) {
             state_.diag().Raise(
                 ErrorStage::kEs3,
                 "nested symbolic deref exceeds memory-model depth", ev.pc);
             value = LoadBytes(ev.mem_addr, width, ev.mem_value);
           } else {
             value = ExpandWindowLoad(ev, addr_expr, width);
-            state_.MarkDerefResult(value);
+            state_.MarkDerefResult(value, depth);
           }
         }
       } else {
@@ -391,7 +395,7 @@ void TraceExecutor::HandleBranch(const TraceEvent& ev, SymRegs& regs) {
       case SymJumpPolicy::kBuggyResolve:
         // Angr's resolver gives up when the target came through its
         // symbolic-memory map (jump tables indexed by symbolic offsets).
-        if (state_.ContainsDerefResult(target)) {
+        if (state_.MaxDerefDepth(target) > 0) {
           state_.diag().Raise(
               ErrorStage::kEs3,
               "cannot model jump targets drawn from symbolic memory",

@@ -1,5 +1,7 @@
 #include "src/symex/state.h"
 
+#include <algorithm>
+
 #include "src/support/str.h"
 
 namespace sbce::symex {
@@ -14,18 +16,23 @@ std::string_view ErrorStageLabel(ErrorStage stage) {
   return "?";
 }
 
-bool SymState::ContainsDerefResult(solver::ExprRef e) const {
-  if (deref_results_.empty()) return false;
+unsigned SymState::MaxDerefDepth(solver::ExprRef e) const {
+  if (deref_results_.empty()) return 0;
+  unsigned depth = 0;
   std::vector<solver::ExprRef> stack = {e};
   std::unordered_set<solver::ExprRef> seen;
   while (!stack.empty()) {
     solver::ExprRef cur = stack.back();
     stack.pop_back();
     if (!seen.insert(cur).second) continue;
-    if (deref_results_.count(cur) != 0) return true;
+    if (auto it = deref_results_.find(cur); it != deref_results_.end()) {
+      depth = std::max(depth, it->second);
+      // Deref results subsume their operands' depths; no need to descend.
+      continue;
+    }
     for (int i = 0; i < cur->nargs; ++i) stack.push_back(cur->args[i]);
   }
-  return false;
+  return depth;
 }
 
 solver::ExprRef SymState::FreshSymbol(std::string_view prefix,

@@ -107,11 +107,17 @@ class SymState {
   size_t SymbolicByteCount() const { return mem_.size(); }
 
   // --- Deref-depth tracking for the symbolic-array policy ---------------
-  /// Marks `e` as (or containing) the result of a symbolic-address load.
-  void MarkDerefResult(solver::ExprRef e) { deref_results_.insert(e); }
-  /// True if any node reachable from `e` was produced by a symbolic-
-  /// address load (used to detect two-level symbolic arrays).
-  bool ContainsDerefResult(solver::ExprRef e) const;
+  /// Marks `e` as the result of a symbolic-address load whose address
+  /// sat `depth - 1` nested derefs deep (a plain symbolic index is 1).
+  void MarkDerefResult(solver::ExprRef e, unsigned depth = 1) {
+    deref_results_[e] = std::max(deref_results_[e], depth);
+  }
+  /// Deepest deref nesting reachable from `e` (0 = no node of `e` was
+  /// produced by a symbolic-address load). A load indexed by `e` sits at
+  /// MaxDerefDepth(e) + 1 — the executor compares that against
+  /// Config::max_deref_depth to decide whether the memory model still
+  /// covers the chain.
+  unsigned MaxDerefDepth(solver::ExprRef e) const;
 
   // --- Covert channels ---------------------------------------------------
   /// Bytes most recently written into a channel (file/pipe/echo), as
@@ -139,7 +145,7 @@ class SymState {
   solver::ExprPool& pool_;
   std::unordered_map<uint64_t, SymRegs> regs_;
   std::unordered_map<uint64_t, solver::ExprRef> mem_;
-  std::unordered_set<solver::ExprRef> deref_results_;
+  std::unordered_map<solver::ExprRef, unsigned> deref_results_;
   std::unordered_map<uint64_t, std::vector<solver::ExprRef>> channels_;
   std::vector<PathConstraint> path_;
   std::vector<SymbolicJump> jumps_;

@@ -25,10 +25,10 @@ void FoldOptions(const RunOptions& options, service::AnalysisRequest* req) {
   req->no_checkpoints = options.no_checkpoints;
 }
 
-}  // namespace
-
-CellResult RunCell(const bombs::BombSpec& bomb, const ToolProfile& tool,
-                   const RunOptions& options) {
+/// One grid cell through the unified API, wrapped in the cell.begin /
+/// cell.done grid trace events.
+CellResult RunOneCell(const bombs::BombSpec& bomb, const ToolProfile& tool,
+                      const RunOptions& options) {
   obs::Tracer tracer(options.trace_sink);
   tracer.Event("cell.begin", {obs::Field::S("bomb", bomb.id),
                               obs::Field::S("tool", tool.name)});
@@ -70,11 +70,24 @@ CellResult RunCell(const bombs::BombSpec& bomb, const ToolProfile& tool,
   return cell;
 }
 
+}  // namespace
+
 std::vector<CellSpec> TableTwoCells(const std::vector<ToolProfile>& tools) {
   std::vector<CellSpec> cells;
   for (const bombs::BombSpec* bomb : bombs::TableTwoBombs()) {
     for (const ToolProfile& tool : tools) {
       cells.push_back({bomb, tool});
+    }
+  }
+  return cells;
+}
+
+std::vector<CellSpec> CorpusCells(const corpus::Corpus& corpus,
+                                  const std::vector<ToolProfile>& tools) {
+  std::vector<CellSpec> cells;
+  for (const corpus::CorpusCell& cell : corpus.cells) {
+    for (const ToolProfile& tool : tools) {
+      cells.push_back({&cell.spec, tool});
     }
   }
   return cells;
@@ -104,7 +117,7 @@ GridResult RunGrid(const std::vector<CellSpec>& cells,
     // oversubscription. Safe because engine results are bit-identical for
     // every solver_threads value (solver::QueryPipeline's contract).
     if (jobs > 1 && !options.solver_threads) cell_options.solver_threads = 1;
-    grid.cells[i] = RunCell(*cells[i].bomb, cells[i].tool, cell_options);
+    grid.cells[i] = RunOneCell(*cells[i].bomb, cells[i].tool, cell_options);
   });
 
   // Commit in spec order: totals, then the trace stream.
@@ -121,22 +134,6 @@ GridResult RunGrid(const std::vector<CellSpec>& cells,
 GridResult RunTableTwo(const std::vector<ToolProfile>& tools,
                        const RunOptions& options) {
   return RunGrid(TableTwoCells(tools), options, 1);
-}
-
-core::EngineResult ExploreImage(const isa::BinaryImage& image,
-                                const core::EngineConfig& config,
-                                const std::vector<std::string>& seed_argv,
-                                uint64_t target_pc,
-                                const RunOptions& options) {
-  service::AnalysisRequest request;
-  request.local_image = &image;
-  request.seed_argv = seed_argv;
-  request.target_pc = target_pc;
-  request.custom_engine = config;
-  FoldOptions(options, &request);
-  service::AnalyzeEnv env;
-  env.trace_sink = options.trace_sink;
-  return std::move(service::Analyze(request, env).engine);
 }
 
 std::string RenderTableTwo(const GridResult& grid,

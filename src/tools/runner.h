@@ -1,12 +1,10 @@
 // Experiment runner: bombs × tool profiles → outcome grid (Table II).
 //
-// The per-cell entry points (RunOptions, RunCell, ExploreImage) are now
-// thin shims over the unified analysis API — service::AnalysisRequest /
-// service::Analyze in src/service/api.h — kept for one PR so existing
-// call sites migrate gradually. New code should build an AnalysisRequest
-// directly. The grid-level machinery (RunGrid, rendering, JSON export)
-// stays here: it is the Table II reporting layer, not an analysis entry
-// point.
+// Per-cell analysis happens in the unified analysis API —
+// service::AnalysisRequest / service::Analyze in src/service/api.h; the
+// old RunCell/ExploreImage shims are gone. This layer owns the grid-level
+// machinery (cell lists, RunGrid dispatch, rendering, JSON export): it is
+// the Table II reporting surface, not an analysis entry point.
 #pragma once
 
 #include <cstdint>
@@ -15,6 +13,7 @@
 #include <vector>
 
 #include "src/bombs/bombs.h"
+#include "src/corpus/corpus.h"
 #include "src/obs/json.h"
 #include "src/obs/trace_sink.h"
 #include "src/tools/classify.h"
@@ -22,11 +21,11 @@
 
 namespace sbce::tools {
 
-/// Per-run knobs for RunCell/RunTableTwo. A struct instead of positional
-/// parameters so new toggles (sinks, budget overrides, pipeline modes)
-/// don't ripple through every call site.
-/// DEPRECATED: new code should fill service::AnalysisRequest instead;
-/// these fields map 1:1 onto its budgets/modes.
+/// Per-run knobs for RunGrid/RunTableTwo, applied uniformly to every
+/// cell. A struct instead of positional parameters so new toggles
+/// (sinks, budget overrides, pipeline modes) don't ripple through every
+/// call site; the fields map 1:1 onto service::AnalysisRequest's
+/// budgets/modes.
 struct RunOptions {
   /// Observability sink threaded through the engine, VM, symbolic
   /// executor and query pipeline (not owned; may be null).
@@ -57,14 +56,9 @@ struct CellResult {
   core::EngineResult engine;
 };
 
-/// Runs one tool on one bomb (exploration, claims, validation).
-/// DEPRECATED shim over service::Analyze (adds the cell.begin/cell.done
-/// grid trace events around it).
-CellResult RunCell(const bombs::BombSpec& bomb, const ToolProfile& tool,
-                   const RunOptions& options = {});
-
 /// One (bomb, tool) pairing of a grid run. `bomb` points into the static
-/// dataset; the profile is copied so callers can tweak it per cell.
+/// dataset or a generated corpus the caller keeps alive for the run; the
+/// profile is copied so callers can tweak it per cell.
 struct CellSpec {
   const bombs::BombSpec* bomb = nullptr;
   ToolProfile tool;
@@ -73,6 +67,12 @@ struct CellSpec {
 /// The Table II cell list: every dataset bomb crossed with `tools`,
 /// bomb-major, tool-minor (the paper's layout).
 std::vector<CellSpec> TableTwoCells(const std::vector<ToolProfile>& tools);
+
+/// The same layout over a generated corpus (src/corpus): every admitted
+/// cell crossed with `tools`, cell-major, tool-minor. The returned specs
+/// point into `corpus` — keep it alive for the duration of the grid run.
+std::vector<CellSpec> CorpusCells(const corpus::Corpus& corpus,
+                                  const std::vector<ToolProfile>& tools);
 
 struct GridResult {
   std::vector<CellResult> cells;  // bomb-major, tool-minor order
@@ -95,17 +95,6 @@ GridResult RunGrid(const std::vector<CellSpec>& cells,
 /// RunGrid(TableTwoCells(tools), options, jobs) for parallel runs).
 GridResult RunTableTwo(const std::vector<ToolProfile>& tools,
                        const RunOptions& options = {});
-
-/// Explores `image` with `config` toward `target_pc` using the plain
-/// machine factory every caller of ConcolicEngine otherwise hand-rolls.
-/// `options` contributes the sink and budget/pipeline overrides, exactly
-/// as in RunCell.
-/// DEPRECATED shim over service::Analyze (local_image + custom_engine).
-core::EngineResult ExploreImage(const isa::BinaryImage& image,
-                                const core::EngineConfig& config,
-                                const std::vector<std::string>& seed_argv,
-                                uint64_t target_pc,
-                                const RunOptions& options = {});
 
 /// Renders the grid in the paper's layout (includes the solver stats
 /// footer and the per-cell failure attributions below the grid).

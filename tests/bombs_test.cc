@@ -53,6 +53,24 @@ TEST_P(BombGroundTruth, WitnessTriggers) {
   EXPECT_TRUE(result.bomb_triggered);
 }
 
+// Every spec's ground truth is machine-checkable: GroundTruthFor derives
+// the concrete witness (argv + devices + files, or the negative claim)
+// from spec fields alone, and VerifyGroundTruth — the same gate the
+// corpus generator applies before admitting a generated cell — passes on
+// all 22 seed bombs plus the negative and demo programs.
+TEST_P(BombGroundTruth, VerifyGroundTruthPasses) {
+  const BombSpec* spec = FindBomb(GetParam());
+  ASSERT_NE(spec, nullptr);
+  const GroundTruth truth = GroundTruthFor(*spec);
+  EXPECT_EQ(truth.expect_trigger, spec->category != Category::kNegative)
+      << "only negative specs lack a triggering witness";
+  if (truth.expect_trigger && spec->argv_can_trigger) {
+    EXPECT_FALSE(truth.argv.empty());
+  }
+  const Status status = VerifyGroundTruth(*spec);
+  EXPECT_TRUE(status.ok()) << status.ToString();
+}
+
 TEST_P(BombGroundTruth, ArgvTriggerFlagConsistent) {
   const BombSpec* spec = FindBomb(GetParam());
   ASSERT_NE(spec, nullptr);

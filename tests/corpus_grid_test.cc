@@ -1,0 +1,141 @@
+// Generated-corpus grid determinism and the service corpus-cell
+// addressing mode: the ISSUE-level contract is that a 200+-cell
+// generated corpus comes out of RunGrid byte-identical for every
+// --jobs value, end to end through the unified analysis API.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/corpus/corpus.h"
+#include "src/obs/json.h"
+#include "src/report/scaling.h"
+#include "src/service/api.h"
+#include "src/tools/profiles.h"
+#include "src/tools/runner.h"
+
+namespace sbce {
+namespace {
+
+const corpus::Corpus& DefaultCorpus() {
+  static const auto corpus = [] {
+    auto generated = corpus::Generate(corpus::CorpusSpec{});
+    SBCE_CHECK_MSG(generated.ok(), generated.status().ToString());
+    return std::move(generated).value();
+  }();
+  return corpus;
+}
+
+/// Timing-free fingerprint: grid export plus the rolled-up scaling
+/// report, both of which exclude wall-clock fields by design.
+std::string Fingerprint(const corpus::Corpus& corpus,
+                        const tools::GridResult& grid) {
+  return obs::Dump(tools::GridToJson(grid)) +
+         obs::Dump(report::ScalingToJson(
+             report::BuildScalingReport(corpus, grid)));
+}
+
+TEST(CorpusParallel, FullCorpusByteIdenticalAcrossJobs) {
+  // 72 generated cells x 3 profiles = 216 grid cells, past the 200-cell
+  // acceptance floor.
+  const auto& corpus = DefaultCorpus();
+  const std::vector<tools::ToolProfile> profiles = {
+      tools::Bap(), tools::Angr(), tools::Ideal()};
+  const auto cells = tools::CorpusCells(corpus, profiles);
+  ASSERT_GE(cells.size(), 200u);
+  tools::RunOptions options;
+  const auto serial = tools::RunGrid(cells, options, 1);
+  ASSERT_EQ(serial.cells.size(), cells.size());
+  const std::string want = Fingerprint(corpus, serial);
+  EXPECT_EQ(Fingerprint(corpus, tools::RunGrid(cells, options, 8)), want);
+}
+
+TEST(CorpusParallel, SmokeCorpusIdenticalAcrossJobCountsAndRepeats) {
+  auto generated = corpus::Generate(corpus::SmokeSpec());
+  ASSERT_TRUE(generated.ok()) << generated.status().ToString();
+  const corpus::Corpus corpus = std::move(generated).value();
+  const auto cells = tools::CorpusCells(corpus, tools::PaperTools());
+  tools::RunOptions options;
+  const std::string want = Fingerprint(corpus, tools::RunGrid(cells, options, 1));
+  for (unsigned jobs : {2u, 8u, 0u}) {  // 0 = hardware concurrency
+    EXPECT_EQ(Fingerprint(corpus, tools::RunGrid(cells, options, jobs)), want)
+        << "jobs=" << jobs;
+  }
+  EXPECT_EQ(Fingerprint(corpus, tools::RunGrid(cells, options, 8)), want);
+}
+
+TEST(CorpusParallel, CorpusCellsLayoutIsCellMajor) {
+  const auto& corpus = DefaultCorpus();
+  const std::vector<tools::ToolProfile> profiles = {tools::Bap(),
+                                                    tools::Ideal()};
+  const auto cells = tools::CorpusCells(corpus, profiles);
+  ASSERT_EQ(cells.size(), corpus.cells.size() * profiles.size());
+  for (size_t c = 0; c < corpus.cells.size(); ++c) {
+    for (size_t t = 0; t < profiles.size(); ++t) {
+      const auto& cell = cells[c * profiles.size() + t];
+      EXPECT_EQ(cell.bomb, &corpus.cells[c].spec);
+      EXPECT_EQ(cell.tool.name, profiles[t].name);
+    }
+  }
+}
+
+TEST(ServiceCorpus, RequestJsonRoundTripCarriesCorpusFields) {
+  service::AnalysisRequest request;
+  request.corpus_cell = "gen_arr_02";
+  request.corpus_seed = 1234;
+  request.profile = "Angr";
+  auto parsed = service::RequestFromJson(service::RequestToJson(request));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed.value().corpus_cell, "gen_arr_02");
+  EXPECT_EQ(parsed.value().corpus_seed, 1234u);
+  EXPECT_EQ(parsed.value().profile, "Angr");
+}
+
+TEST(ServiceCorpus, RequestDigestDistinguishesCellsAndSeeds) {
+  service::AnalysisRequest a;
+  a.corpus_cell = "gen_arr_02";
+  service::AnalysisRequest b = a;
+  EXPECT_NE(service::RequestDigest(a), 0u);
+  EXPECT_EQ(service::RequestDigest(a), service::RequestDigest(b));
+  b.corpus_cell = "gen_jtab_04";
+  EXPECT_NE(service::RequestDigest(a), service::RequestDigest(b));
+  b = a;
+  b.corpus_seed = 99;
+  EXPECT_NE(service::RequestDigest(a), service::RequestDigest(b));
+}
+
+TEST(ServiceCorpus, AnalyzeRejectsUnknownCell) {
+  service::AnalysisRequest request;
+  request.corpus_cell = "gen_bogus_99";
+  const auto result = service::Analyze(request);
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.error.find("unknown corpus cell"), std::string::npos)
+      << result.error;
+}
+
+TEST(ServiceCorpus, AnalyzeSolvesPositiveCellUnderIdeal) {
+  service::AnalysisRequest request;
+  request.corpus_cell = "gen_arr_02";
+  request.profile = "Ideal";
+  const auto result = service::Analyze(request);
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(result.outcome, tools::Outcome::kOk);
+  EXPECT_TRUE(result.engine.validated);
+  // Same request twice: byte-identical deterministic result export.
+  const auto again = service::Analyze(request);
+  EXPECT_EQ(obs::Dump(service::ResultToJson(result, true)),
+            obs::Dump(service::ResultToJson(again, true)));
+}
+
+TEST(ServiceCorpus, AnalyzeNeverTripsNegativeCell) {
+  service::AnalysisRequest request;
+  request.corpus_cell = "gen_arr_02_neg";
+  request.profile = "Ideal";
+  const auto result = service::Analyze(request);
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_NE(result.outcome, tools::Outcome::kOk);
+  EXPECT_FALSE(result.engine.validated);
+}
+
+}  // namespace
+}  // namespace sbce

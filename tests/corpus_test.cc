@@ -1,0 +1,143 @@
+// Parametric corpus generator: determinism (same CorpusSpec ->
+// byte-identical images + ground truth), verify-before-admit, negative
+// variants never trigger, and two-stage compositions trigger only on the
+// joint input.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/bombs/bombs.h"
+#include "src/corpus/corpus.h"
+#include "src/vm/machine.h"
+
+namespace sbce::corpus {
+namespace {
+
+vm::RunResult RunConcrete(const bombs::BombSpec& spec,
+                          std::vector<std::string> argv) {
+  auto image = bombs::BuildBomb(spec);
+  vm::Machine machine(image, std::move(argv), spec.experiment_devices);
+  return machine.Run();
+}
+
+const Corpus& DefaultCorpus() {
+  static const auto* kCorpus = [] {
+    auto result = Generate(CorpusSpec{});
+    SBCE_CHECK_MSG(result.ok(), result.status().ToString());
+    return new Corpus(std::move(result).value());
+  }();
+  return *kCorpus;
+}
+
+TEST(CorpusGenerate, DefaultCorpusShape) {
+  const Corpus& corpus = DefaultCorpus();
+  // 5 families x 6/6/6/6/12 params, each with a negative variant.
+  EXPECT_EQ(corpus.cells.size(), 72u);
+  size_t negatives = 0;
+  std::set<std::string> ids;
+  for (const auto& cell : corpus.cells) {
+    negatives += cell.negative;
+    EXPECT_TRUE(ids.insert(cell.spec.id).second) << cell.spec.id;
+    // Generated ids must not shadow the hand-written dataset.
+    EXPECT_EQ(bombs::FindBomb(cell.spec.id), nullptr) << cell.spec.id;
+  }
+  EXPECT_EQ(negatives, 36u);
+  EXPECT_NE(corpus.digest, 0u);
+}
+
+TEST(CorpusGenerate, EveryFamilyPresent) {
+  const Corpus& corpus = DefaultCorpus();
+  std::set<Family> families;
+  for (const auto& cell : corpus.cells) families.insert(cell.family);
+  EXPECT_EQ(families.size(), 5u);
+}
+
+TEST(CorpusGenerate, DeterministicAcrossRuns) {
+  const Corpus& corpus = DefaultCorpus();
+  auto again = Generate(CorpusSpec{});
+  ASSERT_TRUE(again.ok()) << again.status().ToString();
+  ASSERT_EQ(again.value().cells.size(), corpus.cells.size());
+  EXPECT_EQ(again.value().digest, corpus.digest);
+  for (size_t i = 0; i < corpus.cells.size(); ++i) {
+    const auto& a = corpus.cells[i];
+    const auto& b = again.value().cells[i];
+    EXPECT_EQ(a.spec.id, b.spec.id);
+    EXPECT_EQ(a.spec.source, b.spec.source);
+    EXPECT_EQ(bombs::BuildBomb(a.spec).Serialize(),
+              bombs::BuildBomb(b.spec).Serialize())
+        << a.spec.id;
+    EXPECT_EQ(a.spec.witness_argv, b.spec.witness_argv) << a.spec.id;
+  }
+}
+
+TEST(CorpusGenerate, SeedChangesDigest) {
+  CorpusSpec other = SmokeSpec();
+  auto a = Generate(other);
+  other.seed ^= 0xdeadbeef;
+  auto b = Generate(other);
+  ASSERT_TRUE(a.ok()) << a.status().ToString();
+  ASSERT_TRUE(b.ok()) << b.status().ToString();
+  EXPECT_NE(a.value().digest, b.value().digest);
+}
+
+TEST(CorpusGenerate, SmokeSpecIsSmall) {
+  auto corpus = Generate(SmokeSpec());
+  ASSERT_TRUE(corpus.ok()) << corpus.status().ToString();
+  EXPECT_EQ(corpus.value().cells.size(), 10u);  // 5 cells + 5 negatives
+}
+
+TEST(CorpusGenerate, GroundTruthVerifiedOnAdmission) {
+  // Generate() already gates on VerifyGroundTruth; spot-check the
+  // contract holds for the admitted specs too.
+  for (const auto& cell : DefaultCorpus().cells) {
+    const Status st = bombs::VerifyGroundTruth(cell.spec);
+    EXPECT_TRUE(st.ok()) << cell.spec.id << ": " << st.ToString();
+  }
+}
+
+TEST(CorpusGenerate, NegativeVariantsNeverTrigger) {
+  for (const auto& cell : DefaultCorpus().cells) {
+    if (!cell.negative) continue;
+    EXPECT_FALSE(cell.spec.argv_can_trigger);
+    EXPECT_TRUE(cell.spec.witness_argv.empty());
+    // Sweep digits and a few lengths: the guard must be infeasible, not
+    // merely unhit by the seed.
+    for (char c = '0'; c <= '9'; ++c) {
+      for (size_t len : {size_t{1}, size_t{4}, size_t{12}}) {
+        auto run = RunConcrete(cell.spec,
+                               {"prog", std::string(len, c)});
+        EXPECT_FALSE(run.bomb_triggered)
+            << cell.spec.id << " input " << std::string(len, c);
+      }
+    }
+  }
+}
+
+TEST(CorpusGenerate, TwoStageTriggersOnlyOnJointInput) {
+  size_t two_stage = 0;
+  for (const auto& cell : DefaultCorpus().cells) {
+    if (cell.family != Family::kTwoStage || cell.negative) continue;
+    ++two_stage;
+    ASSERT_EQ(cell.partial_inputs.size(), 2u) << cell.spec.id;
+    auto joint = RunConcrete(cell.spec, cell.spec.witness_argv);
+    EXPECT_TRUE(joint.bomb_triggered) << cell.spec.id;
+    for (const auto& partial : cell.partial_inputs) {
+      auto run = RunConcrete(cell.spec, partial);
+      EXPECT_FALSE(run.faulted) << cell.spec.id;
+      EXPECT_FALSE(run.bomb_triggered)
+          << cell.spec.id << " partial " << partial.back();
+    }
+  }
+  EXPECT_EQ(two_stage, 12u);
+}
+
+TEST(CorpusGenerate, SharedCorpusCachesBySeed) {
+  auto a = SharedCorpus(kDefaultSeed);
+  auto b = SharedCorpus(kDefaultSeed);
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(a.get(), b.get());
+  EXPECT_EQ(a->cells.size(), 72u);
+}
+
+}  // namespace
+}  // namespace sbce::corpus

@@ -380,7 +380,7 @@ TEST(GridJson, RoundTripParsesBack) {
 
 // --- End-to-end: a real cell emits trace records and an attribution -------
 
-TEST(ObsIntegration, RunCellThreadsSinkThroughEveryLayer) {
+TEST(ObsIntegration, GridCellThreadsSinkThroughEveryLayer) {
   const auto* bomb = bombs::FindBomb("svd_time");
   ASSERT_NE(bomb, nullptr);
   auto profiles = tools::PaperTools();  // [0] = BAP: svd_time is Es0
@@ -388,7 +388,9 @@ TEST(ObsIntegration, RunCellThreadsSinkThroughEveryLayer) {
   RecordingSink sink;
   tools::RunOptions options;
   options.trace_sink = &sink;
-  auto cell = tools::RunCell(*bomb, profiles[0], options);
+  auto grid = tools::RunGrid({{bomb, profiles[0]}}, options, 1);
+  ASSERT_EQ(grid.cells.size(), 1u);
+  const tools::CellResult& cell = grid.cells[0];
 
   // The reporting surface: a non-✓ outcome must carry an attribution
   // whose stage matches the cell label.
@@ -417,8 +419,8 @@ TEST(ObsIntegration, BaselinePipelineOptionMatchesDefaultOutcome) {
   auto profiles = tools::PaperTools();
   tools::RunOptions baseline;
   baseline.baseline_pipeline = true;
-  auto fast = tools::RunCell(*bomb, profiles[0]);
-  auto slow = tools::RunCell(*bomb, profiles[0], baseline);
+  auto fast = tools::RunGrid({{bomb, profiles[0]}}).cells.at(0);
+  auto slow = tools::RunGrid({{bomb, profiles[0]}}, baseline).cells.at(0);
   EXPECT_EQ(fast.outcome, slow.outcome);
   EXPECT_EQ(fast.engine.claimed_argv, slow.engine.claimed_argv);
   EXPECT_EQ(fast.engine.metrics.rounds, slow.engine.metrics.rounds);

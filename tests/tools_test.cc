@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include "src/report/table.h"
+#include "src/service/api.h"
 #include "src/tools/runner.h"
 
 namespace sbce::tools {
@@ -118,7 +119,11 @@ TEST_P(FastGridCell, MatchesPaper) {
   const auto* bomb = bombs::FindBomb(bomb_id);
   ASSERT_NE(bomb, nullptr);
   auto tools = PaperTools();
-  auto cell = RunCell(*bomb, tools[static_cast<size_t>(tool_index)]);
+  service::AnalysisRequest request;
+  request.bomb = bomb_id;
+  request.profile = tools[static_cast<size_t>(tool_index)].name;
+  auto cell = service::Analyze(request);
+  ASSERT_TRUE(cell.ok) << cell.error;
   EXPECT_TRUE(cell.matches_paper)
       << bomb_id << "/" << tools[tool_index].name << ": got "
       << OutcomeLabel(cell.outcome) << ", paper says " << cell.expected;
