@@ -1,0 +1,334 @@
+// Abstract pre-solver micro/macro benchmark (known bits + intervals).
+//
+// Two workloads, both run with the pre-solver on and off:
+//
+//   1. A synthetic pipeline batch mixing abstractly-refutable queries
+//      (interval/known-bit contradictions the pre-solver kills without
+//      touching the SAT core), pinnable equalities (definitive kSat with
+//      a unique model) and genuinely solver-bound multiplication
+//      equations. Measures the per-batch wall-clock delta and the
+//      definitive rate on the misses.
+//
+//   2. The query_cache_micro prefix-reuse workload (kGroups disjoint
+//      prefix constraints, each query re-asserting the prefix plus one
+//      negated branch), measuring how the pre-solver interacts with
+//      slicing + caching on the concolic query shape.
+//
+//   3. The parametric corpus grid (sbce_corpus's 72 cells x 5 profiles =
+//      360 grid cells; --smoke shrinks it) through tools::RunGrid — the
+//      same workload bench/corpus_scaling drives — aggregating the
+//      engine-level presolve counters. This is the acceptance workload:
+//      >= 25% of cache-missing pipeline components must be decided
+//      definitively without the SAT core.
+//
+// Verdicts are cross-checked on/off before any timing is reported, and
+// the grid JSON export must be byte-identical on/off (the pre-solver is
+// perf-only). Emits BENCH_presolve.json.
+//
+// Flags:
+//   --smoke    one corpus parameter per family (fast CI variant)
+//   --seed N   corpus seed (default corpus::kDefaultSeed)
+//   --jobs N   grid worker count (0 = hardware; default 0)
+//   --json     machine-readable results on stdout too
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_env.h"
+#include "src/corpus/corpus.h"
+#include "src/obs/json.h"
+#include "src/solver/pipeline.h"
+#include "src/solver/solver.h"
+#include "src/support/status.h"
+#include "src/tools/profiles.h"
+#include "src/tools/runner.h"
+
+namespace {
+
+using namespace sbce;
+using namespace sbce::solver;
+
+constexpr int kMicroQueries = 96;
+
+double MillisSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+// The synthetic batch: index mod 3 picks the query shape.
+//   0: abstract refutation — zext(x8) compared above its range.
+//   1: pinnable — x + c == k under a tight bound (unique model).
+//   2: solver-bound — x*x == k (mod 2^16), opaque to the domain.
+std::vector<QueryPipeline::Query> MicroWorkload(ExprPool& pool) {
+  std::vector<QueryPipeline::Query> queries;
+  for (int i = 0; i < kMicroQueries; ++i) {
+    const std::string name = "m" + std::to_string(i);
+    QueryPipeline::Query q;
+    switch (i % 3) {
+      case 0: {
+        ExprRef x = pool.Var(name, 8);
+        q.push_back(pool.Ult(pool.Const(300 + i, 16),
+                             pool.ZExt(x, 16)));
+        break;
+      }
+      case 1: {
+        ExprRef x = pool.Var(name, 16);
+        q.push_back(pool.Ult(x, pool.Const(256, 16)));
+        q.push_back(pool.Eq(pool.Add(x, pool.Const(100, 16)),
+                            pool.Const(141 + (i % 50), 16)));
+        break;
+      }
+      default: {
+        ExprRef x = pool.Var(name, 16);
+        q.push_back(pool.Eq(pool.Mul(x, x), pool.Const(1521 + 17 * i, 16)));
+        q.push_back(pool.Ult(x, pool.Const(200, 16)));
+        break;
+      }
+    }
+    queries.push_back(std::move(q));
+  }
+  return queries;
+}
+
+// The bench/query_cache_micro workload: kGroups variable-disjoint prefix
+// constraints (x*x == k under a tight bound), each query re-asserting the
+// whole prefix plus one negated branch condition.
+constexpr int kPrefixGroups = 24;
+constexpr int kPrefixQueries = 48;
+
+std::vector<QueryPipeline::Query> PrefixWorkload(ExprPool& pool) {
+  std::vector<QueryPipeline::Query> queries;
+  std::vector<ExprRef> prefix;
+  for (int g = 0; g < kPrefixGroups; ++g) {
+    ExprRef x = pool.Var("p" + std::to_string(g), 16);
+    prefix.push_back(pool.Eq(pool.Mul(x, x), pool.Const(1521 + 17 * g, 16)));
+    prefix.push_back(pool.Ult(x, pool.Const(200, 16)));
+  }
+  for (int i = 0; i < kPrefixQueries; ++i) {
+    QueryPipeline::Query q = prefix;
+    ExprRef x = pool.Var("p" + std::to_string(i % kPrefixGroups), 16);
+    q.push_back(pool.Ne(x, pool.Const(1 + i / kPrefixGroups, 16)));
+    queries.push_back(std::move(q));
+  }
+  return queries;
+}
+
+struct MicroRun {
+  double ms = 0.0;
+  PipelineStats stats;
+  std::vector<SolveStatus> verdicts;
+};
+
+MicroRun RunMicro(const std::vector<QueryPipeline::Query>& queries,
+                  bool presolve) {
+  PipelineOptions opts;
+  opts.threads = 1;
+  opts.solver.presolve = presolve;
+  QueryPipeline pipeline(opts);
+  MicroRun run;
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto results = pipeline.SolveBatch(queries);
+  run.ms = MillisSince(t0);
+  for (const auto& r : results) run.verdicts.push_back(r.status);
+  run.stats = pipeline.stats();
+  return run;
+}
+
+struct GridRun {
+  double ms = 0.0;
+  std::string json;  // deterministic grid export (identity check)
+  uint64_t presolve_definitive = 0;
+  uint64_t presolve_unsat = 0;
+  uint64_t presolve_sat = 0;
+  uint64_t presolve_rewrites = 0;
+  uint64_t presolve_bits_pinned = 0;
+  uint64_t presolve_dropped = 0;
+  uint64_t cache_misses = 0;
+  uint64_t solver_queries = 0;
+};
+
+GridRun RunCorpusGrid(const corpus::Corpus& corpus,
+                      const std::vector<tools::ToolProfile>& profiles,
+                      unsigned jobs, bool presolve) {
+  tools::RunOptions options;
+  options.no_presolve = !presolve;
+  const auto cells = tools::CorpusCells(corpus, profiles);
+  GridRun run;
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto grid = tools::RunGrid(cells, options, jobs);
+  run.ms = MillisSince(t0);
+  run.json = obs::Dump(tools::GridToJson(grid));
+  for (const auto& cell : grid.cells) {
+    const core::EngineMetrics& m = cell.engine.metrics;
+    run.presolve_definitive += m.presolve_definitive;
+    run.presolve_unsat += m.presolve_unsat;
+    run.presolve_sat += m.presolve_sat;
+    run.presolve_rewrites += m.presolve_rewrites;
+    run.presolve_bits_pinned += m.presolve_bits_pinned;
+    run.presolve_dropped += m.presolve_dropped_negations;
+    run.cache_misses += m.solver_cache_misses;
+    run.solver_queries += m.solver_queries;
+  }
+  return run;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace sbce;
+  uint64_t seed = corpus::kDefaultSeed;
+  bool smoke = false;
+  bool json_out = false;
+  unsigned jobs = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      json_out = true;
+    } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+      seed = std::strtoull(argv[++i], nullptr, 0);
+    } else if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+      jobs = static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10));
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
+      return 2;
+    }
+  }
+
+  std::printf("=== abstract pre-solver benchmark ===\n");
+
+  // --- Workload 1: synthetic pipeline batch ----------------------------
+  ExprPool pool;
+  const auto queries = MicroWorkload(pool);
+  const MicroRun off = RunMicro(queries, /*presolve=*/false);
+  const MicroRun on = RunMicro(queries, /*presolve=*/true);
+  SBCE_CHECK_MSG(on.verdicts == off.verdicts,
+                 "pre-solver changed a micro-batch verdict");
+  const double micro_rate =
+      on.stats.cache_misses == 0
+          ? 0.0
+          : static_cast<double>(on.stats.presolve_definitive) /
+                static_cast<double>(on.stats.cache_misses);
+  std::printf("micro batch (%d queries, serial):\n", kMicroQueries);
+  std::printf("  presolve off : %8.1f ms\n", off.ms);
+  std::printf("  presolve on  : %8.1f ms  (%.2fx, definitive %llu/%llu = "
+              "%.1f%%)\n",
+              on.ms, off.ms / on.ms,
+              static_cast<unsigned long long>(on.stats.presolve_definitive),
+              static_cast<unsigned long long>(on.stats.cache_misses),
+              100.0 * micro_rate);
+
+  // --- Workload 2: query_cache_micro's prefix-reuse batch --------------
+  ExprPool prefix_pool;
+  const auto prefix_queries = PrefixWorkload(prefix_pool);
+  const MicroRun prefix_off = RunMicro(prefix_queries, /*presolve=*/false);
+  const MicroRun prefix_on = RunMicro(prefix_queries, /*presolve=*/true);
+  SBCE_CHECK_MSG(prefix_on.verdicts == prefix_off.verdicts,
+                 "pre-solver changed a prefix-batch verdict");
+  std::printf("prefix reuse (query_cache_micro workload, %d queries):\n",
+              kPrefixQueries);
+  std::printf("  presolve off : %8.1f ms\n", prefix_off.ms);
+  std::printf("  presolve on  : %8.1f ms  (%.2fx, definitive %llu/%llu)\n",
+              prefix_on.ms, prefix_off.ms / prefix_on.ms,
+              static_cast<unsigned long long>(
+                  prefix_on.stats.presolve_definitive),
+              static_cast<unsigned long long>(prefix_on.stats.cache_misses));
+
+  // --- Workload 3: the corpus grid (corpus_scaling workload) -----------
+  corpus::CorpusSpec spec = smoke ? corpus::SmokeSpec() : corpus::CorpusSpec{};
+  spec.seed = seed;
+  auto generated = corpus::Generate(spec);
+  if (!generated.ok()) {
+    std::fprintf(stderr, "corpus generation failed: %s\n",
+                 generated.status().ToString().c_str());
+    return 1;
+  }
+  const corpus::Corpus corpus = std::move(generated).value();
+  std::vector<tools::ToolProfile> profiles;
+  for (const char* name : {"BAP", "Triton", "Angr", "Angr-NoLib", "Ideal"}) {
+    auto profile = tools::ProfileByName(name);
+    SBCE_CHECK_MSG(profile.has_value(), "missing built-in profile");
+    profiles.push_back(std::move(*profile));
+  }
+  const size_t grid_cells = corpus.cells.size() * profiles.size();
+  std::printf("corpus grid (%zu cells x %zu profiles = %zu, --jobs %u):\n",
+              corpus.cells.size(), profiles.size(), grid_cells, jobs);
+
+  const GridRun grid_off = RunCorpusGrid(corpus, profiles, jobs, false);
+  const GridRun grid_on = RunCorpusGrid(corpus, profiles, jobs, true);
+  SBCE_CHECK_MSG(grid_on.json == grid_off.json,
+                 "grid export differs with the pre-solver on vs off");
+  const double grid_rate =
+      grid_on.cache_misses == 0
+          ? 0.0
+          : static_cast<double>(grid_on.presolve_definitive) /
+                static_cast<double>(grid_on.cache_misses);
+  std::printf("  presolve off : %8.1f ms\n", grid_off.ms);
+  std::printf("  presolve on  : %8.1f ms  (%.2fx)\n", grid_on.ms,
+              grid_off.ms / grid_on.ms);
+  std::printf("  definitive   : %llu of %llu missing components (%.1f%%), "
+              "unsat %llu / sat %llu\n",
+              static_cast<unsigned long long>(grid_on.presolve_definitive),
+              static_cast<unsigned long long>(grid_on.cache_misses),
+              100.0 * grid_rate,
+              static_cast<unsigned long long>(grid_on.presolve_unsat),
+              static_cast<unsigned long long>(grid_on.presolve_sat));
+  std::printf("  rewrites %llu, bits pinned %llu, negations dropped %llu\n",
+              static_cast<unsigned long long>(grid_on.presolve_rewrites),
+              static_cast<unsigned long long>(grid_on.presolve_bits_pinned),
+              static_cast<unsigned long long>(grid_on.presolve_dropped));
+  std::printf("  grid export byte-identical on/off: yes\n");
+
+  obs::JsonValue doc = obs::JsonValue::Object();
+  bench::StampEnv(doc);
+  doc.Set("micro_queries", obs::JsonValue::U64(kMicroQueries));
+  doc.Set("micro_off_ms", obs::JsonValue::Double(off.ms));
+  doc.Set("micro_on_ms", obs::JsonValue::Double(on.ms));
+  doc.Set("micro_definitive_rate", obs::JsonValue::Double(micro_rate));
+  doc.Set("prefix_queries", obs::JsonValue::U64(kPrefixQueries));
+  doc.Set("prefix_off_ms", obs::JsonValue::Double(prefix_off.ms));
+  doc.Set("prefix_on_ms", obs::JsonValue::Double(prefix_on.ms));
+  doc.Set("prefix_speedup",
+          obs::JsonValue::Double(prefix_on.ms == 0.0
+                                     ? 0.0
+                                     : prefix_off.ms / prefix_on.ms));
+  doc.Set("grid_cells", obs::JsonValue::U64(grid_cells));
+  doc.Set("grid_jobs", obs::JsonValue::U64(jobs));
+  doc.Set("grid_off_ms", obs::JsonValue::Double(grid_off.ms));
+  doc.Set("grid_on_ms", obs::JsonValue::Double(grid_on.ms));
+  doc.Set("grid_speedup", obs::JsonValue::Double(
+                              grid_on.ms == 0.0 ? 0.0
+                                                : grid_off.ms / grid_on.ms));
+  doc.Set("grid_definitive", obs::JsonValue::U64(grid_on.presolve_definitive));
+  doc.Set("grid_cache_misses", obs::JsonValue::U64(grid_on.cache_misses));
+  doc.Set("grid_definitive_rate", obs::JsonValue::Double(grid_rate));
+  doc.Set("grid_presolve_unsat", obs::JsonValue::U64(grid_on.presolve_unsat));
+  doc.Set("grid_presolve_sat", obs::JsonValue::U64(grid_on.presolve_sat));
+  doc.Set("grid_presolve_rewrites",
+          obs::JsonValue::U64(grid_on.presolve_rewrites));
+  doc.Set("grid_presolve_bits_pinned",
+          obs::JsonValue::U64(grid_on.presolve_bits_pinned));
+  doc.Set("grid_dropped_negations",
+          obs::JsonValue::U64(grid_on.presolve_dropped));
+  doc.Set("grid_identical_on_off", obs::JsonValue::Bool(true));
+  const std::string dumped = obs::Dump(doc);
+  std::FILE* f = std::fopen("BENCH_presolve.json", "w");
+  SBCE_CHECK_MSG(f != nullptr, "cannot write BENCH_presolve.json");
+  std::fprintf(f, "%s\n", dumped.c_str());
+  std::fclose(f);
+  std::printf("wrote BENCH_presolve.json\n");
+  if (json_out) std::printf("%s\n", dumped.c_str());
+
+  // Acceptance: >= 25% of cache-missing components decided without the
+  // SAT core on the full corpus grid (advisory under --smoke).
+  const bool ok = grid_rate >= 0.25;
+  if (!ok) {
+    std::fprintf(stderr, "definitive rate %.1f%% below the 25%% bar\n",
+                 100.0 * grid_rate);
+  }
+  return (ok || smoke) ? 0 : 1;
+}

@@ -24,6 +24,9 @@
 //   --no-checkpoints  disable checkpoint-based re-exploration (every
 //                   round runs from scratch). Output is identical either
 //                   way; only wall-clock moves.
+//   --no-presolve   disable the abstract pre-solver (known bits +
+//                   intervals). Output is identical either way; only
+//                   wall-clock and presolve_* perf counters move.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -50,6 +53,8 @@ int main(int argc, char** argv) {
       jobs = static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10));
     } else if (std::strcmp(argv[i], "--no-checkpoints") == 0) {
       options.no_checkpoints = true;
+    } else if (std::strcmp(argv[i], "--no-presolve") == 0) {
+      options.no_presolve = true;
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
       return 2;

@@ -40,6 +40,7 @@ void Usage(const char* argv0) {
       "  --cell ID         analyze one corpus cell via the service API\n"
       "  --baseline        disable query-pipeline optimizations\n"
       "  --no-checkpoints  disable checkpoint re-exploration\n"
+      "  --no-presolve     disable the abstract pre-solver\n"
       "  --max-rounds N    engine round budget override\n",
       argv0, static_cast<unsigned long long>(sbce::corpus::kDefaultSeed));
 }
@@ -84,6 +85,8 @@ int main(int argc, char** argv) {
       options.baseline_pipeline = true;
     } else if (std::strcmp(argv[i], "--no-checkpoints") == 0) {
       options.no_checkpoints = true;
+    } else if (std::strcmp(argv[i], "--no-presolve") == 0) {
+      options.no_presolve = true;
     } else if (std::strcmp(argv[i], "--max-rounds") == 0) {
       options.max_rounds = std::strtoull(value(), nullptr, 10);
     } else {
@@ -104,6 +107,7 @@ int main(int argc, char** argv) {
     request.budgets.max_rounds = options.max_rounds;
     request.baseline_pipeline = options.baseline_pipeline;
     request.no_checkpoints = options.no_checkpoints;
+    request.no_presolve = options.no_presolve;
     const service::AnalysisResult res = service::Analyze(request);
     std::printf("%s\n",
                 obs::Dump(service::ResultToJson(res, /*deterministic_only=*/

@@ -12,8 +12,9 @@
 #                     the outcomes against table2_tool_grid
 #   --corpus-smoke    after the tests, generate the smoke corpus, run it
 #                     through the grid at --jobs 1 and --jobs 8 (documents
-#                     must be byte-identical) and assert every positive
-#                     cell solves under Ideal with no negative ever OK
+#                     must be byte-identical, also with --no-presolve) and
+#                     assert every positive cell solves under Ideal with no
+#                     negative ever OK
 #   NAME              positional preset, kept for back-compat with CI and
 #                     muscle memory (check.sh tsan)
 set -euo pipefail
@@ -90,6 +91,12 @@ if [[ "$corpus_smoke" == 1 ]]; then
   "$bdir/cli/sbce_corpus" --smoke --json --jobs 8 > "$tmpdir/c8.json"
   cmp "$tmpdir/c1.json" "$tmpdir/c8.json" \
     || { echo "check.sh: corpus grid diverged across --jobs" >&2; exit 1; }
+  # The abstract pre-solver is perf-only: the grid document must not
+  # change when it is disabled.
+  "$bdir/cli/sbce_corpus" --smoke --json --jobs 1 --no-presolve \
+    > "$tmpdir/cnp.json"
+  cmp "$tmpdir/c1.json" "$tmpdir/cnp.json" \
+    || { echo "check.sh: corpus grid changed under --no-presolve" >&2; exit 1; }
   python3 - "$tmpdir/c1.json" <<'PY'
 import json, sys
 doc = json.load(open(sys.argv[1]))

@@ -8,6 +8,8 @@
 
 #include "src/obs/buffer_sink.h"
 
+#include "src/solver/absdomain.h"
+#include "src/solver/presolve.h"
 #include "src/support/str.h"
 
 namespace sbce::core {
@@ -57,6 +59,7 @@ ConcolicEngine::ConcolicEngine(const isa::BinaryImage& image,
       c_ckpt_misses_(metrics_.Get("checkpoint.misses")),
       c_ckpt_pages_(metrics_.Get("checkpoint.pages_copied")),
       c_ckpt_restore_micros_(metrics_.Get("checkpoint.restore_micros")),
+      c_presolve_dropped_(metrics_.Get("engine.presolve_dropped")),
       pipeline_(MakePipelineOptions(config_, tracer_)) {}
 
 uint64_t ConcolicEngine::QueriesThisExplore() const {
@@ -256,6 +259,7 @@ EngineResult ConcolicEngine::Explore(
   const uint64_t ckpt_misses_base = c_ckpt_misses_->value();
   const uint64_t ckpt_pages_base = c_ckpt_pages_->value();
   const uint64_t ckpt_restore_base = c_ckpt_restore_micros_->value();
+  const uint64_t presolve_dropped_base = c_presolve_dropped_->value();
   queries_base_ = c_queries_->value();
 
   obs::ScopedSpan span =
@@ -281,6 +285,14 @@ EngineResult ConcolicEngine::Explore(
   m.solver_micros = after.solver_micros - before.solver_micros;
   m.incremental_solves = after.incremental_solves - before.incremental_solves;
   m.portfolio_rescues = after.portfolio_rescues - before.portfolio_rescues;
+  m.presolve_definitive = after.presolve_definitive - before.presolve_definitive;
+  m.presolve_unsat = after.presolve_unsat - before.presolve_unsat;
+  m.presolve_sat = after.presolve_sat - before.presolve_sat;
+  m.presolve_rewrites = after.presolve_rewrites - before.presolve_rewrites;
+  m.presolve_bits_pinned =
+      after.presolve_bits_pinned - before.presolve_bits_pinned;
+  m.presolve_dropped_negations =
+      c_presolve_dropped_->value() - presolve_dropped_base;
   m.decode_cache_hits = c_decode_hits_->value() - decode_hits_base;
   m.decode_cache_misses = c_decode_misses_->value() - decode_misses_base;
   m.checkpoint_hits = c_ckpt_hits_->value() - ckpt_hits_base;
@@ -296,6 +308,11 @@ EngineResult ConcolicEngine::Explore(
   metrics_.Get("solver.micros")->Add(m.solver_micros);
   metrics_.Get("solver.incremental_solves")->Add(m.incremental_solves);
   metrics_.Get("solver.portfolio_rescues")->Add(m.portfolio_rescues);
+  metrics_.Get("solver.presolve_definitive")->Add(m.presolve_definitive);
+  metrics_.Get("solver.presolve_unsat")->Add(m.presolve_unsat);
+  metrics_.Get("solver.presolve_sat")->Add(m.presolve_sat);
+  metrics_.Get("solver.presolve_rewrites")->Add(m.presolve_rewrites);
+  metrics_.Get("solver.presolve_bits_pinned")->Add(m.presolve_bits_pinned);
 
   if (result.claimed) c_claims_->Increment();
   if (result.validated) c_validations_->Increment();
@@ -496,7 +513,8 @@ EngineResult ConcolicEngine::ExploreImpl(
       size_t path_index = 0;
       bool directed = false;
       bool fp_unsupported = false;
-      size_t query = 0;  // into `queries` unless fp_unsupported
+      bool presolve_infeasible = false;  // negated cond abstractly false
+      size_t query = 0;  // into `queries` unless fp_unsupported/infeasible
     };
     std::vector<NegationCandidate> batch;
     std::vector<solver::QueryPipeline::Query> queries;
@@ -517,9 +535,30 @@ EngineResult ConcolicEngine::ExploreImpl(
         cand.fp_unsupported = !config_.solver_supports_fp &&
                               solver::ContainsHardFp(assertions);
         if (!cand.fp_unsupported) {
+          // Layer-4 pre-solve: a negated condition that is abstractly
+          // always-false makes the whole conjunction unsat, so the query
+          // is never built or dispatched. FP-bearing queries are exempt —
+          // they route to the FP search, which never answers kUnsat, so
+          // dropping them would change observable outcomes. So are queries
+          // whose circuit could blow the profile's max_sat_vars budget:
+          // the full path would answer those RESOURCE_EXHAUSTED/kUnknown,
+          // not kUnsat (the gate walk only runs on the rare would-drop
+          // candidates, after the memoized abstract check). Accounting
+          // (planned/queries counters) mirrors a kUnsat verdict exactly.
+          if (config_.budgets.solver.presolve &&
+              !solver::ContainsFp(assertions)) {
+            const solver::AbsValue av = solver::AbsOf(assertions.back());
+            if ((av.bottom || av.umax == 0) &&
+                solver::PresolveCircuitFits(
+                    assertions, config_.budgets.solver.max_sat_vars)) {
+              cand.presolve_infeasible = true;
+            }
+          }
           ++planned;
-          cand.query = queries.size();
-          queries.push_back(std::move(assertions));
+          if (!cand.presolve_infeasible) {
+            cand.query = queries.size();
+            queries.push_back(std::move(assertions));
+          }
         }
         batch.push_back(cand);
       }
@@ -542,6 +581,13 @@ EngineResult ConcolicEngine::ExploreImpl(
             ErrorStage::kEs3,
             "constraint requires an unsupported floating-point theory",
             path[i].pc);
+        continue;
+      }
+      if (cand.presolve_infeasible) {
+        // Same engine-visible effect as a kUnsat verdict (query counted,
+        // zero conflicts, no new input) without the solve.
+        c_queries_->Increment();
+        c_presolve_dropped_->Increment();
         continue;
       }
       const std::vector<ExprRef>& assertions = queries[cand.query];

@@ -133,6 +133,17 @@ struct EngineMetrics {
   uint64_t incremental_solves = 0;   // components answered by warm sessions
   uint64_t portfolio_rescues = 0;    // budget-exhausted queries rescued
 
+  // Abstract pre-solver counters (solver::Presolve + absdomain-backed
+  // rewrites/known bits). Perf-only: excluded from deterministic exports.
+  uint64_t presolve_definitive = 0;   // components decided without SAT
+  uint64_t presolve_unsat = 0;
+  uint64_t presolve_sat = 0;
+  uint64_t presolve_rewrites = 0;     // range-rule rewrites applied
+  uint64_t presolve_bits_pinned = 0;  // blaster literals constant-folded
+  /// Candidate negations the planner dropped because the negated condition
+  /// is abstractly always-false (layer 4; never built or dispatched).
+  uint64_t presolve_dropped_negations = 0;
+
   // VM decode-cache counters, summed over every concrete run of the
   // exploration (see vm::RunResult).
   uint64_t decode_cache_hits = 0;
@@ -254,6 +265,7 @@ class ConcolicEngine {
   obs::Counter* c_ckpt_misses_;
   obs::Counter* c_ckpt_pages_;
   obs::Counter* c_ckpt_restore_micros_;
+  obs::Counter* c_presolve_dropped_;
   /// `c_queries_` value when the current Explore began (budget checks are
   /// per-exploration, the registry is per-engine).
   uint64_t queries_base_ = 0;

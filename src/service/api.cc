@@ -103,6 +103,7 @@ obs::JsonValue RequestJsonImpl(const AnalysisRequest& request, bool full) {
   if (request.no_checkpoints) {
     v.Set("no_checkpoints", obs::JsonValue::Bool(true));
   }
+  if (request.no_presolve) v.Set("no_presolve", obs::JsonValue::Bool(true));
   if (full) {
     if (request.want_path_condition) {
       v.Set("path_condition", obs::JsonValue::Bool(true));
@@ -121,8 +122,10 @@ void ApplyBudgets(const AnalysisRequest& request,
     config->budgets.solver.slice_independent = false;
     config->budgets.solver.incremental_batch = false;
     config->budgets.solver.portfolio = false;
+    config->budgets.solver.presolve = false;
     config->budgets.solver_threads = 1;
   }
+  if (request.no_presolve) config->budgets.solver.presolve = false;
   if (request.budgets.max_rounds) {
     config->budgets.max_rounds = *request.budgets.max_rounds;
   }
@@ -190,6 +193,9 @@ Result<AnalysisRequest> RequestFromJson(const obs::JsonValue& v) {
   }
   if (const obs::JsonValue* n = v.Find("no_checkpoints")) {
     req.no_checkpoints = n->AsBool();
+  }
+  if (const obs::JsonValue* np = v.Find("no_presolve")) {
+    req.no_presolve = np->AsBool();
   }
   if (const obs::JsonValue* pc = v.Find("path_condition")) {
     req.want_path_condition = pc->AsBool();
@@ -481,6 +487,14 @@ obs::JsonValue ResultToJson(const AnalysisResult& result,
   perf.Set("solver_micros", obs::JsonValue::U64(m.solver_micros));
   perf.Set("incremental_solves", obs::JsonValue::U64(m.incremental_solves));
   perf.Set("portfolio_rescues", obs::JsonValue::U64(m.portfolio_rescues));
+  perf.Set("presolve_definitive", obs::JsonValue::U64(m.presolve_definitive));
+  perf.Set("presolve_unsat", obs::JsonValue::U64(m.presolve_unsat));
+  perf.Set("presolve_sat", obs::JsonValue::U64(m.presolve_sat));
+  perf.Set("presolve_rewrites", obs::JsonValue::U64(m.presolve_rewrites));
+  perf.Set("presolve_bits_pinned",
+           obs::JsonValue::U64(m.presolve_bits_pinned));
+  perf.Set("presolve_dropped_negations",
+           obs::JsonValue::U64(m.presolve_dropped_negations));
   perf.Set("decode_cache_hits", obs::JsonValue::U64(m.decode_cache_hits));
   perf.Set("decode_cache_misses",
            obs::JsonValue::U64(m.decode_cache_misses));

@@ -83,9 +83,16 @@ struct AnalysisRequest {
 
   BudgetOverrides budgets;
   /// Disable the query pipeline's optimizations (the --baseline contract).
+  /// Implies no_presolve.
   bool baseline_pipeline = false;
   /// Disable checkpoint-based re-exploration (--no-checkpoints).
   bool no_checkpoints = false;
+  /// Disable the abstract pre-solver at all four layers (--no-presolve):
+  /// pipeline pre-solve, range-aware simplification, bit-blaster known
+  /// bits, and engine negation dropping. Deterministic results are
+  /// bit-identical either way; off exists for measurement and as an
+  /// escape hatch.
+  bool no_presolve = false;
 
   /// Return the seed round's extracted path condition (the
   /// trigger-signature use case). Served from the warm segment store on

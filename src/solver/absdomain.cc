@@ -1,0 +1,751 @@
+#include "src/solver/absdomain.h"
+
+#include <algorithm>
+#include <bit>
+#include <unordered_map>
+#include <utility>
+
+#include "src/support/bits.h"
+#include "src/support/status.h"
+
+namespace sbce::solver {
+
+namespace {
+
+uint64_t MaskOf(unsigned w) {
+  return w >= 64 ? ~uint64_t{0} : ((uint64_t{1} << w) - 1);
+}
+
+uint64_t LowMask(uint64_t n) {
+  return n >= 64 ? ~uint64_t{0} : ((uint64_t{1} << n) - 1);
+}
+
+int64_t MinS(unsigned w) { return AsSigned(uint64_t{1} << (w - 1), w); }
+int64_t MaxS(unsigned w) { return static_cast<int64_t>(MaskOf(w) >> 1); }
+
+/// |s| as unsigned, safe for INT64_MIN.
+uint64_t MagOf(int64_t s) {
+  return s < 0 ? static_cast<uint64_t>(-(s + 1)) + 1 : static_cast<uint64_t>(s);
+}
+
+/// Signed bounds implied by an unsigned interval at width w. A contiguous
+/// unsigned range maps to a contiguous signed range unless it straddles
+/// the sign boundary, in which case it covers both extremes.
+std::pair<int64_t, int64_t> SignedFromUnsigned(unsigned w, uint64_t umin,
+                                               uint64_t umax) {
+  const uint64_t half = uint64_t{1} << (w - 1);
+  if (umax < half) {
+    return {static_cast<int64_t>(umin), static_cast<int64_t>(umax)};
+  }
+  if (umin >= half) return {AsSigned(umin, w), AsSigned(umax, w)};
+  return {MinS(w), MaxS(w)};
+}
+
+/// Unsigned bounds implied by a signed interval at width w.
+std::pair<uint64_t, uint64_t> UnsignedFromSigned(unsigned w, int64_t smin,
+                                                 int64_t smax) {
+  if (smin >= 0) {
+    return {static_cast<uint64_t>(smin), static_cast<uint64_t>(smax)};
+  }
+  if (smax < 0) {
+    return {TruncToWidth(static_cast<uint64_t>(smin), w),
+            TruncToWidth(static_cast<uint64_t>(smax), w)};
+  }
+  return {0, MaskOf(w)};
+}
+
+}  // namespace
+
+bool AbsValue::Contains(uint64_t v) const {
+  if (bottom) return false;
+  if ((v & known0) != 0) return false;
+  if ((v & known1) != known1) return false;
+  if (v < umin || v > umax) return false;
+  const int64_t s = AsSigned(v, width);
+  return s >= smin && s <= smax;
+}
+
+AbsValue AbsTop(unsigned width) {
+  AbsValue v;
+  v.width = static_cast<uint8_t>(width);
+  v.umax = MaskOf(width);
+  v.smin = MinS(width);
+  v.smax = MaxS(width);
+  return v;
+}
+
+AbsValue AbsConst(uint64_t value, unsigned width) {
+  AbsValue v;
+  v.width = static_cast<uint8_t>(width);
+  value = TruncToWidth(value, width);
+  v.known1 = value;
+  v.known0 = MaskOf(width) & ~value;
+  v.umin = v.umax = value;
+  v.smin = v.smax = AsSigned(value, width);
+  return v;
+}
+
+AbsValue AbsBottom(unsigned width) {
+  AbsValue v;
+  v.width = static_cast<uint8_t>(width);
+  v.bottom = true;
+  v.umin = 1;  // inverted interval, for visibility in dumps
+  v.umax = 0;
+  return v;
+}
+
+AbsValue AbsURange(unsigned width, uint64_t lo, uint64_t hi) {
+  AbsValue v = AbsTop(width);
+  v.umin = lo;
+  v.umax = hi;
+  return Normalize(v);
+}
+
+AbsValue Normalize(AbsValue v) {
+  const unsigned w = v.width;
+  const uint64_t mask = MaskOf(w);
+  if (v.bottom) return AbsBottom(w);
+  v.known0 &= mask;
+  v.known1 &= mask;
+  v.umax = std::min(v.umax, mask);
+  v.smin = std::max(v.smin, MinS(w));
+  v.smax = std::min(v.smax, MaxS(w));
+  // Each pass is monotone-tightening; three passes reach the fixpoint for
+  // the chains that matter (bits -> unsigned -> signed and back).
+  for (int round = 0; round < 3; ++round) {
+    if ((v.known0 & v.known1) != 0 || v.umin > v.umax || v.smin > v.smax) {
+      return AbsBottom(w);
+    }
+    // Bits -> unsigned bounds.
+    v.umin = std::max(v.umin, v.known1);
+    v.umax = std::min(v.umax, v.known1 | (mask & ~v.known0));
+    if (v.umin > v.umax) return AbsBottom(w);
+    // Unsigned bounds -> common-prefix bits.
+    const uint64_t x = v.umin ^ v.umax;
+    uint64_t prefix = mask;
+    if (x != 0) {
+      const unsigned bw = static_cast<unsigned>(std::bit_width(x));
+      prefix = bw >= 64 ? 0 : (mask & ~LowMask(bw));
+    }
+    v.known1 |= v.umin & prefix;
+    v.known0 |= ~v.umin & prefix & mask;
+    // Unsigned <-> signed rotation.
+    const auto [slo, shi] = SignedFromUnsigned(w, v.umin, v.umax);
+    v.smin = std::max(v.smin, slo);
+    v.smax = std::min(v.smax, shi);
+    if (v.smin > v.smax) return AbsBottom(w);
+    const auto [ulo, uhi] = UnsignedFromSigned(w, v.smin, v.smax);
+    v.umin = std::max(v.umin, ulo);
+    v.umax = std::min(v.umax, uhi);
+  }
+  if ((v.known0 & v.known1) != 0 || v.umin > v.umax || v.smin > v.smax) {
+    return AbsBottom(w);
+  }
+  return v;
+}
+
+AbsValue AbsJoin(const AbsValue& a, const AbsValue& b) {
+  SBCE_CHECK(a.width == b.width);
+  if (a.bottom) return Normalize(b);
+  if (b.bottom) return Normalize(a);
+  AbsValue v;
+  v.width = a.width;
+  v.known0 = a.known0 & b.known0;
+  v.known1 = a.known1 & b.known1;
+  v.umin = std::min(a.umin, b.umin);
+  v.umax = std::max(a.umax, b.umax);
+  v.smin = std::min(a.smin, b.smin);
+  v.smax = std::max(a.smax, b.smax);
+  return Normalize(v);
+}
+
+AbsValue AbsMeet(const AbsValue& a, const AbsValue& b) {
+  SBCE_CHECK(a.width == b.width);
+  if (a.bottom || b.bottom) return AbsBottom(a.width);
+  AbsValue v;
+  v.width = a.width;
+  v.known0 = a.known0 | b.known0;
+  v.known1 = a.known1 | b.known1;
+  v.umin = std::max(a.umin, b.umin);
+  v.umax = std::min(a.umax, b.umax);
+  v.smin = std::max(a.smin, b.smin);
+  v.smax = std::min(a.smax, b.smax);
+  return Normalize(v);
+}
+
+namespace {
+
+AbsValue Abs1(bool known, bool value) {
+  return known ? AbsConst(value ? 1 : 0, 1) : AbsTop(1);
+}
+
+/// Known bits of a+b (+1 if `sub`, which models a + ~b + 1): ripple the
+/// carry from bit 0 upward while it stays determined. When a bit pair is
+/// known-equal the carry-out is determined even if the carry-in is not.
+void AddKnownBits(uint64_t a0, uint64_t a1, uint64_t b0, uint64_t b1,
+                  unsigned w, bool sub, uint64_t* r0, uint64_t* r1) {
+  if (sub) std::swap(b0, b1);  // ~b: known-0 and known-1 swap roles
+  *r0 = *r1 = 0;
+  bool carry_known = true;
+  int carry = sub ? 1 : 0;
+  for (unsigned i = 0; i < w; ++i) {
+    const bool a_known = GetBit(a0 | a1, i);
+    const bool b_known = GetBit(b0 | b1, i);
+    const uint64_t bit = uint64_t{1} << i;
+    if (carry_known && a_known && b_known) {
+      const int s = (GetBit(a1, i) ? 1 : 0) + (GetBit(b1, i) ? 1 : 0) + carry;
+      if (s & 1) {
+        *r1 |= bit;
+      } else {
+        *r0 |= bit;
+      }
+      carry = s >> 1;
+    } else {
+      carry_known = false;
+      if (a_known && b_known && GetBit(a1, i) == GetBit(b1, i)) {
+        carry = GetBit(a1, i) ? 1 : 0;
+        carry_known = true;
+      }
+    }
+  }
+}
+
+AbsValue AbsAddSub(bool sub, const AbsValue& a, const AbsValue& b) {
+  const unsigned w = a.width;
+  const uint64_t mask = MaskOf(w);
+  AbsValue r = AbsTop(w);
+  AddKnownBits(a.known0, a.known1, b.known0, b.known1, w, sub, &r.known0,
+               &r.known1);
+  if (!sub) {
+    const unsigned __int128 lo =
+        static_cast<unsigned __int128>(a.umin) + b.umin;
+    const unsigned __int128 hi =
+        static_cast<unsigned __int128>(a.umax) + b.umax;
+    if (hi <= mask) {
+      r.umin = static_cast<uint64_t>(lo);
+      r.umax = static_cast<uint64_t>(hi);
+    } else if (lo > mask) {  // every sum wraps exactly once
+      r.umin = static_cast<uint64_t>(lo - mask - 1);
+      r.umax = static_cast<uint64_t>(hi - mask - 1);
+    }
+  } else {
+    if (a.umin >= b.umax) {  // never wraps
+      r.umin = a.umin - b.umax;
+      r.umax = a.umax - b.umin;
+    } else if (a.umax < b.umin) {  // always wraps exactly once
+      r.umin = (a.umin - b.umax) & mask;
+      r.umax = (a.umax - b.umin) & mask;
+    }
+  }
+  const __int128 slo = static_cast<__int128>(a.smin) +
+                       (sub ? -static_cast<__int128>(b.smax) : b.smin);
+  const __int128 shi = static_cast<__int128>(a.smax) +
+                       (sub ? -static_cast<__int128>(b.smin) : b.smax);
+  if (slo >= MinS(w) && shi <= MaxS(w)) {
+    r.smin = static_cast<int64_t>(slo);
+    r.smax = static_cast<int64_t>(shi);
+  }
+  return Normalize(r);
+}
+
+AbsValue AbsMul(const AbsValue& a, const AbsValue& b) {
+  const unsigned w = a.width;
+  const uint64_t mask = MaskOf(w);
+  AbsValue r = AbsTop(w);
+  // Factors' provable trailing zeros add up in the product.
+  const unsigned tz = std::min<unsigned>(
+      w, static_cast<unsigned>(std::countr_one(a.known0)) +
+             static_cast<unsigned>(std::countr_one(b.known0)));
+  r.known0 = LowMask(tz);
+  const unsigned __int128 uhi =
+      static_cast<unsigned __int128>(a.umax) * b.umax;
+  if (uhi <= mask) {
+    r.umin = a.umin * b.umin;
+    r.umax = static_cast<uint64_t>(uhi);
+    // Products fit, so the bilinear corner bound is exact for signed too.
+  }
+  const __int128 c[4] = {
+      static_cast<__int128>(a.smin) * b.smin,
+      static_cast<__int128>(a.smin) * b.smax,
+      static_cast<__int128>(a.smax) * b.smin,
+      static_cast<__int128>(a.smax) * b.smax,
+  };
+  const __int128 slo = std::min({c[0], c[1], c[2], c[3]});
+  const __int128 shi = std::max({c[0], c[1], c[2], c[3]});
+  if (slo >= MinS(w) && shi <= MaxS(w)) {
+    r.smin = static_cast<int64_t>(slo);
+    r.smax = static_cast<int64_t>(shi);
+  }
+  return Normalize(r);
+}
+
+AbsValue AbsUDiv(const AbsValue& a, const AbsValue& b) {
+  const unsigned w = a.width;
+  const uint64_t mask = MaskOf(w);
+  if (b.umax == 0) return AbsConst(mask, w);  // SMT-LIB: x/0 = all-ones
+  AbsValue r = AbsTop(w);
+  r.umin = a.umin / b.umax;
+  r.umax = b.umin == 0 ? mask : a.umax / b.umin;  // join with the /0 case
+  return Normalize(r);
+}
+
+AbsValue AbsURem(const AbsValue& a, const AbsValue& b) {
+  const unsigned w = a.width;
+  const uint64_t mask = MaskOf(w);
+  if (b.umax == 0) return Normalize(a);            // x % 0 = x
+  if (b.umin > 0 && a.umax < b.umin) return Normalize(a);  // a < b: exact
+  AbsValue r = AbsTop(w);
+  const uint64_t hi_nz = std::min(a.umax, b.umax - 1);
+  if (b.umin == 0) {
+    r.umax = std::max(hi_nz, a.umax);  // join [0, hi_nz] with the %0 = a case
+  } else {
+    r.umax = hi_nz;
+    if (b.IsSingleton() && std::has_single_bit(b.umin)) {
+      // x % 2^k keeps exactly the low k bits of x.
+      const unsigned k = static_cast<unsigned>(std::countr_zero(b.umin));
+      r.known0 = (mask & ~LowMask(k)) | (a.known0 & LowMask(k));
+      r.known1 = a.known1 & LowMask(k);
+    }
+  }
+  return Normalize(r);
+}
+
+AbsValue AbsSDiv(const AbsValue& a, const AbsValue& b) {
+  const unsigned w = a.width;
+  const uint64_t mask = MaskOf(w);
+  if (b.umax == 0) {
+    // SMT-LIB bvsdiv by zero: 1 for negative dividends, all-ones otherwise.
+    if (a.smin >= 0) return AbsConst(mask, w);
+    if (a.smax < 0) return AbsConst(1, w);
+    return AbsURange(w, 1, mask);
+  }
+  if (b.umin == 0) return AbsTop(w);  // divisor may or may not be zero
+  const bool b_pos = b.smin > 0;
+  const bool b_neg = b.smax < 0;
+  if (!b_pos && !b_neg) return AbsTop(w);  // divisor sign not fixed
+  const bool b_may_neg1 = b.smin <= -1 && b.smax >= -1;
+  if (a.smin == MinS(w) && b_may_neg1) return AbsTop(w);  // overflow wraps
+  // Truncating division is monotone in each operand once the divisor sign
+  // is fixed and overflow is excluded, so the box extremes are at corners.
+  const uint64_t ac[2] = {TruncToWidth(static_cast<uint64_t>(a.smin), w),
+                          TruncToWidth(static_cast<uint64_t>(a.smax), w)};
+  const uint64_t bc[2] = {TruncToWidth(static_cast<uint64_t>(b.smin), w),
+                          TruncToWidth(static_cast<uint64_t>(b.smax), w)};
+  int64_t lo = INT64_MAX;
+  int64_t hi = INT64_MIN;
+  for (uint64_t av : ac) {
+    for (uint64_t bv : bc) {
+      const int64_t v = AsSigned(FoldBinaryConst(Kind::kSDiv, av, bv, w), w);
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+  }
+  AbsValue r = AbsTop(w);
+  r.smin = lo;
+  r.smax = hi;
+  return Normalize(r);
+}
+
+AbsValue AbsSRem(const AbsValue& a, const AbsValue& b) {
+  const unsigned w = a.width;
+  if (b.umax == 0) return Normalize(a);  // x srem 0 = x
+  // For nonzero divisors: |r| < |b|, |r| <= |a|, sign(r) in {sign(a), 0}.
+  const uint64_t maxmag = std::max(MagOf(b.smin), MagOf(b.smax));
+  const int64_t bound = static_cast<int64_t>(maxmag - 1);
+  AbsValue r = AbsTop(w);
+  r.smin = std::max(std::min(a.smin, int64_t{0}), -bound);
+  r.smax = std::min(std::max(a.smax, int64_t{0}), bound);
+  r = Normalize(r);
+  if (b.umin == 0) r = AbsJoin(r, a);  // divisor may be zero: join with a
+  return r;
+}
+
+AbsValue AbsShl(const AbsValue& a, const AbsValue& b) {
+  const unsigned w = a.width;
+  const uint64_t mask = MaskOf(w);
+  if (b.umin >= w) return AbsConst(0, w);  // every amount is oversized
+  AbsValue r = AbsTop(w);
+  if (b.IsSingleton()) {
+    const unsigned s = static_cast<unsigned>(b.umin);  // < w <= 64
+    r.known0 = TruncToWidth(a.known0 << s, w) | LowMask(s);
+    r.known1 = TruncToWidth(a.known1 << s, w);
+    if ((static_cast<unsigned __int128>(a.umax) << s) <= mask) {
+      r.umin = a.umin << s;
+      r.umax = a.umax << s;
+    }
+  } else {
+    // At least umin_b trailing zeros (oversized amounts give 0, which is
+    // consistent), plus whatever the operand already had.
+    const uint64_t tz = static_cast<uint64_t>(std::countr_one(a.known0)) +
+                        b.umin;
+    r.known0 = LowMask(std::min<uint64_t>(tz, w));
+  }
+  return Normalize(r);
+}
+
+AbsValue AbsLShr(const AbsValue& a, const AbsValue& b) {
+  const unsigned w = a.width;
+  const uint64_t mask = MaskOf(w);
+  if (b.umin >= w) return AbsConst(0, w);
+  AbsValue r = AbsTop(w);
+  const unsigned s_lo = static_cast<unsigned>(b.umin);  // < w
+  r.umax = a.umax >> s_lo;
+  r.umin = b.umax >= w ? 0 : (a.umin >> b.umax);
+  r.known0 = mask & ~(mask >> s_lo);  // top s_lo bits clear (0 if oversized)
+  if (b.IsSingleton()) {
+    r.known0 |= a.known0 >> s_lo;
+    r.known1 = a.known1 >> s_lo;
+  }
+  return Normalize(r);
+}
+
+AbsValue AbsAShr(const AbsValue& a, const AbsValue& b) {
+  const unsigned w = a.width;
+  const uint64_t mask = MaskOf(w);
+  AbsValue r = AbsTop(w);
+  // Oversized amounts behave like shifting by w-1 (all sign bits), so the
+  // effective amount is min(b, w-1) and stays monotone.
+  const unsigned s_lo = static_cast<unsigned>(
+      std::min<uint64_t>(b.umin, w - 1));
+  const unsigned s_hi = static_cast<unsigned>(
+      std::min<uint64_t>(b.umax, w - 1));
+  int64_t lo = INT64_MAX;
+  int64_t hi = INT64_MIN;
+  for (int64_t av : {a.smin, a.smax}) {
+    for (unsigned s : {s_lo, s_hi}) {
+      const int64_t v = av >> s;
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+  }
+  r.smin = lo;
+  r.smax = hi;
+  if (GetBit(a.known0, w - 1)) {
+    // Non-negative operand: behaves like a logical shift.
+    r.known0 = mask & ~(mask >> s_lo);
+    if (b.IsSingleton()) {
+      r.known0 |= a.known0 >> s_lo;
+      r.known1 = a.known1 >> s_lo;
+    }
+  } else if (GetBit(a.known1, w - 1)) {
+    // Negative operand: the top bits fill with ones.
+    r.known1 = mask & ~(mask >> s_lo);
+    if (b.IsSingleton()) {
+      r.known1 |= a.known1 >> s_lo;
+      r.known0 = (a.known0 >> s_lo) & (mask >> s_lo);
+    }
+  }
+  return Normalize(r);
+}
+
+AbsValue AbsBitwise(Kind kind, const AbsValue& a, const AbsValue& b) {
+  const unsigned w = a.width;
+  const uint64_t mask = MaskOf(w);
+  AbsValue r = AbsTop(w);
+  // Neither AND/OR/XOR can set a bit above the highest possibly-set bit.
+  const uint64_t m = std::max(a.umax, b.umax);
+  const uint64_t cap = m == 0 ? 0 : LowMask(std::bit_width(m));
+  switch (kind) {
+    case Kind::kAnd:
+      r.known1 = a.known1 & b.known1;
+      r.known0 = (a.known0 | b.known0) & mask;
+      r.umax = std::min(a.umax, b.umax);
+      break;
+    case Kind::kOr:
+      r.known1 = a.known1 | b.known1;
+      r.known0 = a.known0 & b.known0;
+      r.umin = std::max(a.umin, b.umin);
+      r.umax = cap;
+      break;
+    case Kind::kXor:
+      r.known1 = (a.known1 & b.known0) | (a.known0 & b.known1);
+      r.known0 = ((a.known0 & b.known0) | (a.known1 & b.known1)) & mask;
+      r.umax = cap;
+      break;
+    default:
+      SBCE_CHECK(false);
+  }
+  return Normalize(r);
+}
+
+AbsValue AbsCompare(Kind kind, const AbsValue& a, const AbsValue& b) {
+  switch (kind) {
+    case Kind::kEq: {
+      if (a.IsSingleton() && b.IsSingleton()) {
+        return AbsConst(a.umin == b.umin ? 1 : 0, 1);
+      }
+      const bool disjoint =
+          a.umax < b.umin || b.umax < a.umin || a.smax < b.smin ||
+          b.smax < a.smin ||
+          ((a.known1 & b.known0) | (a.known0 & b.known1)) != 0;
+      return Abs1(disjoint, false);
+    }
+    case Kind::kUlt:
+      if (a.umax < b.umin) return AbsConst(1, 1);
+      if (a.umin >= b.umax) return AbsConst(0, 1);
+      return AbsTop(1);
+    case Kind::kUle:
+      if (a.umax <= b.umin) return AbsConst(1, 1);
+      if (a.umin > b.umax) return AbsConst(0, 1);
+      return AbsTop(1);
+    case Kind::kSlt:
+      if (a.smax < b.smin) return AbsConst(1, 1);
+      if (a.smin >= b.smax) return AbsConst(0, 1);
+      return AbsTop(1);
+    case Kind::kSle:
+      if (a.smax <= b.smin) return AbsConst(1, 1);
+      if (a.smin > b.smax) return AbsConst(0, 1);
+      return AbsTop(1);
+    default:
+      SBCE_CHECK(false);
+      return AbsTop(1);
+  }
+}
+
+AbsValue AbsNot(const AbsValue& a) {
+  const unsigned w = a.width;
+  const uint64_t mask = MaskOf(w);
+  AbsValue r = AbsTop(w);
+  r.known0 = a.known1;
+  r.known1 = a.known0;
+  r.umin = mask - a.umax;
+  r.umax = mask - a.umin;
+  r.smin = ~a.smax;  // ~x = -x-1, overflow-free in two's complement
+  r.smax = ~a.smin;
+  return Normalize(r);
+}
+
+AbsValue AbsNeg(const AbsValue& a) {
+  const unsigned w = a.width;
+  if (a.IsZero()) return AbsConst(0, w);
+  AbsValue r = AbsTop(w);
+  if (a.umin > 0) {  // zero excluded: -[umin, umax] stays contiguous
+    r.umin = TruncToWidth(~a.umax + 1, w);
+    r.umax = TruncToWidth(~a.umin + 1, w);
+  }
+  if (a.smin > MinS(w)) {
+    r.smin = -a.smax;
+    r.smax = -a.smin;
+  }
+  // Negation preserves the trailing-zero count.
+  r.known0 |= LowMask(std::min<uint64_t>(std::countr_one(a.known0), w));
+  return Normalize(r);
+}
+
+AbsValue AbsConcatV(const AbsValue& hi, const AbsValue& lo, unsigned w) {
+  const unsigned wl = lo.width;
+  AbsValue r = AbsTop(w);
+  r.known0 = (hi.known0 << wl) | lo.known0;
+  r.known1 = (hi.known1 << wl) | lo.known1;
+  r.umin = (hi.umin << wl) + lo.umin;
+  r.umax = (hi.umax << wl) + lo.umax;
+  return Normalize(r);
+}
+
+AbsValue AbsExtractV(const AbsValue& a, unsigned hi, unsigned lo) {
+  const unsigned w = hi - lo + 1;
+  AbsValue r = AbsTop(w);
+  r.known0 = (a.known0 >> lo) & MaskOf(w);
+  r.known1 = (a.known1 >> lo) & MaskOf(w);
+  // The shifted interval is exact for >> lo; the low-w truncation is exact
+  // when both ends land in the same 2^w block.
+  const uint64_t slo = a.umin >> lo;
+  const uint64_t shi = a.umax >> lo;
+  if (w < 64 && (slo >> w) == (shi >> w)) {
+    r.umin = slo & MaskOf(w);
+    r.umax = shi & MaskOf(w);
+  }
+  return Normalize(r);
+}
+
+AbsValue AbsZExtV(const AbsValue& a, unsigned w) {
+  const unsigned wa = a.width;
+  AbsValue r = AbsTop(w);
+  r.known0 = a.known0 | (MaskOf(w) & ~MaskOf(wa));
+  r.known1 = a.known1;
+  r.umin = a.umin;
+  r.umax = a.umax;
+  return Normalize(r);
+}
+
+AbsValue AbsSExtV(const AbsValue& a, unsigned w) {
+  const unsigned wa = a.width;
+  AbsValue r = AbsTop(w);
+  r.smin = a.smin;
+  r.smax = a.smax;
+  // Bits below the sign position copy over; bits at and above it all equal
+  // the sign bit, so they are known only when the sign is.
+  const uint64_t low = MaskOf(wa) >> 1;
+  r.known0 = a.known0 & low;
+  r.known1 = a.known1 & low;
+  if (GetBit(a.known0, wa - 1)) {
+    r.known0 |= MaskOf(w) & ~low;
+  } else if (GetBit(a.known1, wa - 1)) {
+    r.known1 |= MaskOf(w) & ~low;
+  }
+  return Normalize(r);
+}
+
+}  // namespace
+
+AbsValue AbsUnaryOp(Kind kind, const AbsValue& a) {
+  if (a.bottom) return AbsBottom(a.width);
+  switch (kind) {
+    case Kind::kNot:
+      return AbsNot(a);
+    case Kind::kNeg:
+      return AbsNeg(a);
+    default:
+      SBCE_CHECK_MSG(false, "AbsUnaryOp: unsupported kind");
+      return AbsTop(a.width);
+  }
+}
+
+AbsValue AbsBinaryOp(Kind kind, const AbsValue& a, const AbsValue& b) {
+  switch (kind) {
+    case Kind::kEq:
+    case Kind::kUlt:
+    case Kind::kSlt:
+    case Kind::kUle:
+    case Kind::kSle:
+      if (a.bottom || b.bottom) return AbsBottom(1);
+      return AbsCompare(kind, a, b);
+    default:
+      break;
+  }
+  if (a.bottom || b.bottom) return AbsBottom(a.width);
+  switch (kind) {
+    case Kind::kAdd:
+      return AbsAddSub(false, a, b);
+    case Kind::kSub:
+      return AbsAddSub(true, a, b);
+    case Kind::kMul:
+      return AbsMul(a, b);
+    case Kind::kUDiv:
+      return AbsUDiv(a, b);
+    case Kind::kURem:
+      return AbsURem(a, b);
+    case Kind::kSDiv:
+      return AbsSDiv(a, b);
+    case Kind::kSRem:
+      return AbsSRem(a, b);
+    case Kind::kAnd:
+    case Kind::kOr:
+    case Kind::kXor:
+      return AbsBitwise(kind, a, b);
+    case Kind::kShl:
+      return AbsShl(a, b);
+    case Kind::kLShr:
+      return AbsLShr(a, b);
+    case Kind::kAShr:
+      return AbsAShr(a, b);
+    default:
+      SBCE_CHECK_MSG(false, "AbsBinaryOp: unsupported kind");
+      return AbsTop(a.width);
+  }
+}
+
+AbsValue AbsCompute(ExprRef e, std::span<const AbsValue> kids) {
+  const unsigned w = e->width;
+  for (const AbsValue& k : kids) {
+    if (k.bottom) return AbsBottom(w);
+  }
+  if (IsFpKind(e->kind)) return AbsTop(w);
+  switch (e->kind) {
+    case Kind::kConst:
+      return AbsConst(e->cval, w);
+    case Kind::kVar:
+      return AbsTop(w);
+    case Kind::kNot:
+    case Kind::kNeg:
+      return AbsUnaryOp(e->kind, kids[0]);
+    case Kind::kAdd:
+    case Kind::kSub:
+    case Kind::kMul:
+    case Kind::kUDiv:
+    case Kind::kURem:
+    case Kind::kSDiv:
+    case Kind::kSRem:
+    case Kind::kAnd:
+    case Kind::kOr:
+    case Kind::kXor:
+    case Kind::kShl:
+    case Kind::kLShr:
+    case Kind::kAShr:
+    case Kind::kEq:
+    case Kind::kUlt:
+    case Kind::kSlt:
+    case Kind::kUle:
+    case Kind::kSle:
+      return AbsBinaryOp(e->kind, kids[0], kids[1]);
+    case Kind::kIte:
+      if (kids[0].IsSingleton()) {
+        return kids[0].umin ? kids[1] : kids[2];
+      }
+      return AbsJoin(kids[1], kids[2]);
+    case Kind::kConcat:
+      return AbsConcatV(kids[0], kids[1], w);
+    case Kind::kExtract:
+      return AbsExtractV(kids[0], e->p0, e->p1);
+    case Kind::kZExt:
+      return AbsZExtV(kids[0], w);
+    case Kind::kSExt:
+      return AbsSExtV(kids[0], w);
+    default:
+      return AbsTop(w);
+  }
+}
+
+bool AbsMemo::TryGet(uint32_t id, AbsValue* out) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (id >= ready_.size() || !ready_[id]) return false;
+  *out = values_[id];
+  return true;
+}
+
+void AbsMemo::Put(uint32_t id, const AbsValue& v) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (id >= ready_.size()) {
+    ready_.resize(id + 1, false);
+    values_.resize(id + 1);
+  }
+  if (!ready_[id]) {
+    values_[id] = v;
+    ready_[id] = true;
+  }
+}
+
+AbsValue AbsOf(ExprRef root) {
+  AbsValue cached;
+  if (root->pool != nullptr &&
+      root->pool->abs_memo().TryGet(root->id, &cached)) {
+    return cached;
+  }
+  // Iterative post-order; results are published into each node's owning
+  // pool's memo so shared DAG structure is analyzed once across queries.
+  std::unordered_map<ExprRef, AbsValue> local;
+  std::vector<std::pair<ExprRef, bool>> stack{{root, false}};
+  while (!stack.empty()) {
+    auto [e, expanded] = stack.back();
+    stack.pop_back();
+    if (local.count(e)) continue;
+    if (!expanded) {
+      if (e->pool != nullptr && e->pool->abs_memo().TryGet(e->id, &cached)) {
+        local.emplace(e, cached);
+        continue;
+      }
+      stack.push_back({e, true});
+      for (int i = 0; i < e->nargs; ++i) stack.push_back({e->args[i], false});
+      continue;
+    }
+    AbsValue kids[3];
+    for (int i = 0; i < e->nargs; ++i) kids[i] = local.at(e->args[i]);
+    const AbsValue out =
+        AbsCompute(e, std::span<const AbsValue>(kids, e->nargs));
+    if (e->pool != nullptr) e->pool->abs_memo().Put(e->id, out);
+    local.emplace(e, out);
+  }
+  return local.at(root);
+}
+
+}  // namespace sbce::solver

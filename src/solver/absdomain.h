@@ -1,0 +1,104 @@
+// Abstract domain over fixed-width bitvectors: known bits + intervals.
+//
+// Each expression node is mapped to an AbsValue combining three reduced
+// constraints on the node's possible concrete values:
+//   - a known-bits mask (bits provably 0 / provably 1 for every model),
+//   - an unsigned interval [umin, umax],
+//   - a signed interval [smin, smax].
+// The concretization is the intersection: a width-w value v belongs to the
+// abstract value iff it is consistent with all three. Normalize()
+// cross-tightens the components (bits -> unsigned bounds, common interval
+// prefix -> bits, unsigned <-> signed rotation) so transfer functions can
+// read whichever component is convenient.
+//
+// All facts are context-free: they hold for every assignment to the
+// variables, so they can be reused wherever a hash-consed node appears —
+// which is what makes the per-pool memo (AbsMemo) sound. Floating-point
+// nodes get Top of their width.
+//
+// The forward analysis feeds four consumers (DESIGN.md §5i): the pipeline
+// pre-solver (presolve.h), the range-aware simplifier rules, the
+// bit-blaster's constant-literal substitution, and the engine's negation
+// planner.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "src/solver/expr.h"
+
+namespace sbce::solver {
+
+struct AbsValue {
+  uint8_t width = 1;
+  bool bottom = false;   // empty concretization (contradiction)
+  uint64_t known0 = 0;   // bits provably 0 (within width)
+  uint64_t known1 = 0;   // bits provably 1
+  uint64_t umin = 0;     // unsigned interval, inclusive
+  uint64_t umax = 0;
+  int64_t smin = 0;      // signed interval, inclusive
+  int64_t smax = 0;
+
+  /// Exactly one concrete value.
+  bool IsSingleton() const { return !bottom && umin == umax; }
+  /// The single value; only meaningful when IsSingleton().
+  uint64_t SingletonValue() const { return umin; }
+  /// True if `v` (already truncated to width) is in the concretization.
+  bool Contains(uint64_t v) const;
+  /// True if the node is provably nonzero / provably zero.
+  bool ExcludesZero() const { return !bottom && umin > 0; }
+  bool IsZero() const { return IsSingleton() && umin == 0; }
+};
+
+/// Top / constant / interval constructors (all normalized).
+AbsValue AbsTop(unsigned width);
+AbsValue AbsConst(uint64_t value, unsigned width);
+AbsValue AbsBottom(unsigned width);
+AbsValue AbsURange(unsigned width, uint64_t lo, uint64_t hi);
+
+/// Cross-tightens the three components until they agree; detects bottom.
+AbsValue Normalize(AbsValue v);
+
+/// Least upper bound (set union, then best abstraction).
+AbsValue AbsJoin(const AbsValue& a, const AbsValue& b);
+
+/// Greatest lower bound (intersection of the constraints).
+AbsValue AbsMeet(const AbsValue& a, const AbsValue& b);
+
+/// Transfer function for one node given its children's abstract values (in
+/// argument order; empty for leaves). kConst is exact, kVar is Top, every
+/// bitvector operator has a dedicated transfer, FP kinds return Top.
+AbsValue AbsCompute(ExprRef e, std::span<const AbsValue> kids);
+
+/// Transfer functions on bare values, for kinds that do not need node
+/// parameters. Used by the backward refiner (presolve.cc) to run inverse
+/// operations (e.g. the pre-image of x+c is computed with kSub). `kind`
+/// must be kNot/kNeg (unary) or a bitvector binary/comparison kind.
+AbsValue AbsUnaryOp(Kind kind, const AbsValue& a);
+AbsValue AbsBinaryOp(Kind kind, const AbsValue& a, const AbsValue& b);
+
+/// Abstract value of `e`, computed bottom-up over the DAG with results
+/// memoized on each node's owning pool (AbsMemo below). Because all facts
+/// are context-free, shared nodes are analyzed once across all queries
+/// that use the same pool. Thread-safe; handles mixed-pool DAGs.
+AbsValue AbsOf(ExprRef e);
+
+/// Per-pool memo table keyed by dense Expr::id. Owned by ExprPool; entries
+/// are only ever written for nodes the pool owns, and are immutable once
+/// published.
+class AbsMemo {
+ public:
+  /// Returns true and fills `out` if `id` has a published value.
+  bool TryGet(uint32_t id, AbsValue* out) const;
+  /// Publishes the value for `id` (first writer wins).
+  void Put(uint32_t id, const AbsValue& v);
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<AbsValue> values_;
+  std::vector<bool> ready_;
+};
+
+}  // namespace sbce::solver

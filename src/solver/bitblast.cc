@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/solver/absdomain.h"
 #include "src/support/bits.h"
 
 namespace sbce::solver {
@@ -385,6 +386,26 @@ Result<BitBlaster::Bits> BitBlaster::Blast(ExprRef e) {
     }
   }
   SBCE_CHECK_MSG(out.size() == e->width, "blast width mismatch");
+  // Pin literals the abstract analysis proves constant. Substitution (not
+  // subtree skipping) keeps every variable blasted, so models stay
+  // complete; the facts are context-free, so each concrete assignment
+  // still evaluates every gate to the same value.
+  if (options_.use_known_bits && e->kind != Kind::kConst &&
+      e->kind != Kind::kVar) {
+    const AbsValue av = AbsOf(e);
+    if (!av.bottom) {
+      for (unsigned i = 0; i < w; ++i) {
+        if (IsConstLit(out[i])) continue;
+        if (GetBit(av.known1, i)) {
+          out[i] = TrueLit();
+          ++known_bits_pinned_;
+        } else if (GetBit(av.known0, i)) {
+          out[i] = FalseLit();
+          ++known_bits_pinned_;
+        }
+      }
+    }
+  }
   cache_.emplace(e, out);
   return out;
 }

@@ -23,6 +23,12 @@ class BitBlaster {
     /// Hard cap on allocated SAT variables (circuit-size budget); blasting
     /// past it returns kResourceExhausted.
     size_t max_sat_vars = 2'000'000;
+    /// Substitute constant literals for bits the known-bits/interval
+    /// analysis (absdomain.h) proves, after each node is encoded. Known
+    /// bits are context-free facts (they hold for every assignment), so
+    /// the substitution preserves both satisfiability and models while
+    /// letting downstream gates constant-fold away.
+    bool use_known_bits = false;
   };
 
   BitBlaster(SatSolver* sat, Options options) : sat_(*sat), options_(options) {}
@@ -46,6 +52,8 @@ class BitBlaster {
   Assignment ExtractAssignment() const;
 
   size_t gate_count() const { return gates_; }
+  /// Literals replaced by constants via Options::use_known_bits.
+  uint64_t known_bits_pinned() const { return known_bits_pinned_; }
 
  private:
   using Bits = std::vector<Lit>;
@@ -86,6 +94,7 @@ class BitBlaster {
   Options options_;
   Lit true_lit_ = -1;
   size_t gates_ = 0;
+  uint64_t known_bits_pinned_ = 0;
   std::unordered_map<ExprRef, Bits> cache_;
   std::unordered_map<uint64_t, Lit> and_cache_;
   std::unordered_map<uint64_t, Lit> xor_cache_;

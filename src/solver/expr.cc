@@ -5,6 +5,7 @@
 #include <unordered_set>
 #include <utility>
 
+#include "src/solver/absdomain.h"
 #include "src/support/bits.h"
 #include "src/support/status.h"
 #include "src/support/str.h"
@@ -99,6 +100,10 @@ bool SameNode(const Expr& a, const Expr& b) {
 
 }  // namespace
 
+ExprPool::ExprPool() : abs_memo_(std::make_unique<AbsMemo>()) {}
+
+ExprPool::~ExprPool() = default;
+
 ExprRef ExprPool::Intern(Expr&& node) {
   node.hash = HashNode(node);
   auto& bucket = buckets_[node.hash];
@@ -106,9 +111,54 @@ ExprRef ExprPool::Intern(Expr&& node) {
     if (SameNode(*nodes_[id], node)) return nodes_[id].get();
   }
   node.id = static_cast<uint32_t>(nodes_.size());
+  node.pool = this;
   nodes_.push_back(std::make_unique<Expr>(std::move(node)));
   bucket.push_back(nodes_.back()->id);
   return nodes_.back().get();
+}
+
+const std::vector<ExprRef>* ExprPool::CachedVars(ExprRef root) const {
+  std::lock_guard<std::mutex> lock(vars_mu_);
+  auto it = vars_memo_.find(root->id);
+  return it == vars_memo_.end() ? nullptr : it->second.get();
+}
+
+const std::vector<ExprRef>& ExprPool::VarsOf(ExprRef root) const {
+  SBCE_CHECK_MSG(root->pool == this, "VarsOf: root owned by another pool");
+  {
+    std::lock_guard<std::mutex> lock(vars_mu_);
+    auto it = vars_memo_.find(root->id);
+    if (it != vars_memo_.end()) return *it->second;
+  }
+  // Walk outside the lock. Sub-roots whose sets are already memoized (on
+  // whichever pool owns them — session DAGs reference engine-pool leaves)
+  // are merged without descending, so shared prefixes cost one walk total.
+  std::vector<ExprRef> vars;
+  std::unordered_set<ExprRef> seen;
+  std::vector<ExprRef> stack{root};
+  while (!stack.empty()) {
+    ExprRef e = stack.back();
+    stack.pop_back();
+    if (!seen.insert(e).second) continue;
+    if (e != root && e->pool != nullptr) {
+      if (const std::vector<ExprRef>* cached = e->pool->CachedVars(e)) {
+        for (ExprRef v : *cached) {
+          if (seen.insert(v).second) vars.push_back(v);
+        }
+        continue;
+      }
+    }
+    if (e->IsVar()) vars.push_back(e);
+    for (int i = 0; i < e->nargs; ++i) stack.push_back(e->args[i]);
+  }
+  std::sort(vars.begin(), vars.end(),
+            [](ExprRef a, ExprRef b) { return a->id < b->id; });
+  std::lock_guard<std::mutex> lock(vars_mu_);
+  auto [it, inserted] = vars_memo_.try_emplace(root->id);
+  if (inserted) {
+    it->second = std::make_unique<std::vector<ExprRef>>(std::move(vars));
+  }
+  return *it->second;
 }
 
 ExprRef ExprPool::Const(uint64_t value, unsigned width) {
@@ -153,10 +203,7 @@ ExprRef ExprPool::NonZero(ExprRef a) {
   return Ne(a, Const(0, a->width));
 }
 
-namespace {
-
-/// Constant-folds a binary op; `w` is the operand width.
-uint64_t FoldBinary(Kind kind, uint64_t a, uint64_t b, unsigned w) {
+uint64_t FoldBinaryConst(Kind kind, uint64_t a, uint64_t b, unsigned w) {
   const uint64_t mask = w >= 64 ? ~uint64_t{0} : ((uint64_t{1} << w) - 1);
   const int64_t sa = AsSigned(a, w);
   const int64_t sb = AsSigned(b, w);
@@ -190,10 +237,12 @@ uint64_t FoldBinary(Kind kind, uint64_t a, uint64_t b, unsigned w) {
     case Kind::kUle: return a <= b;
     case Kind::kSle: return sa <= sb;
     default:
-      SBCE_CHECK_MSG(false, "FoldBinary: unsupported kind");
+      SBCE_CHECK_MSG(false, "FoldBinaryConst: unsupported kind");
       return 0;
   }
 }
+
+namespace {
 
 bool IsCompare(Kind kind) {
   return kind == Kind::kEq || kind == Kind::kUlt || kind == Kind::kSlt ||
@@ -207,7 +256,7 @@ ExprRef ExprPool::Binary(Kind kind, ExprRef a, ExprRef b) {
   const unsigned w = a->width;
   const bool fp = IsFpKind(kind);
   if (!fp && a->IsConst() && b->IsConst()) {
-    const uint64_t folded = FoldBinary(kind, a->cval, b->cval, w);
+    const uint64_t folded = FoldBinaryConst(kind, a->cval, b->cval, w);
     return Const(folded, IsCompare(kind) ? 1 : w);
   }
   // Cheap identities (keep the list small; the simplifier does the rest).
@@ -392,10 +441,29 @@ void Visit(std::span<const ExprRef> roots, Fn&& fn) {
 }  // namespace
 
 std::vector<ExprRef> CollectVars(std::span<const ExprRef> roots) {
+  if (roots.size() == 1 && roots[0]->pool != nullptr) {
+    return roots[0]->pool->VarsOf(roots[0]);
+  }
   std::vector<ExprRef> vars;
-  Visit(roots, [&](ExprRef e) {
-    if (e->IsVar()) vars.push_back(e);
-  });
+  std::unordered_set<ExprRef> seen;
+  bool all_pooled = true;
+  for (ExprRef root : roots) {
+    if (root->pool == nullptr) {
+      all_pooled = false;
+      break;
+    }
+  }
+  if (all_pooled) {
+    for (ExprRef root : roots) {
+      for (ExprRef v : root->pool->VarsOf(root)) {
+        if (seen.insert(v).second) vars.push_back(v);
+      }
+    }
+  } else {
+    Visit(roots, [&](ExprRef e) {
+      if (e->IsVar()) vars.push_back(e);
+    });
+  }
   std::sort(vars.begin(), vars.end(),
             [](ExprRef a, ExprRef b) { return a->id < b->id; });
   return vars;

@@ -14,6 +14,7 @@
 #include <array>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <span>
 #include <string>
 #include <unordered_map>
@@ -22,6 +23,9 @@
 #include "src/support/status.h"
 
 namespace sbce::solver {
+
+class AbsMemo;   // absdomain.h: per-pool abstract-value memo
+class ExprPool;
 
 enum class Kind : uint8_t {
   kConst,
@@ -69,6 +73,11 @@ struct Expr {
   std::array<ExprRef, 3> args{};
   std::string name;     // kVar only
   uint64_t hash = 0;
+  // Owning pool, set at intern time. Lets per-pool analyses (the
+  // abstract-value memo, the variable-set memo) find their table from a
+  // bare ExprRef even in mixed-pool DAGs, where a session pool's nodes
+  // reference leaves owned by the engine pool.
+  const ExprPool* pool = nullptr;
 
   bool IsConst() const { return kind == Kind::kConst; }
   bool IsConst(uint64_t v) const { return IsConst() && cval == v; }
@@ -85,7 +94,8 @@ std::string_view KindName(Kind kind);
 /// of) the pool that created them.
 class ExprPool {
  public:
-  ExprPool() = default;
+  ExprPool();
+  ~ExprPool();
   ExprPool(const ExprPool&) = delete;
   ExprPool& operator=(const ExprPool&) = delete;
 
@@ -125,11 +135,33 @@ class ExprPool {
 
   size_t size() const { return nodes_.size(); }
 
+  /// The pool's abstract-value memo (see absdomain.h). Entries are keyed
+  /// by dense node id and only ever hold values for nodes owned by this
+  /// pool. Thread-safe.
+  AbsMemo& abs_memo() const { return *abs_memo_; }
+
+  /// Distinct variables reachable from `root` (id order), memoized per
+  /// root id so repeated queries over shared DAGs cost one walk total.
+  /// `root` must be owned by this pool. The returned vector is immutable
+  /// and lives as long as the pool. Thread-safe.
+  const std::vector<ExprRef>& VarsOf(ExprRef root) const;
+
+  /// Memo lookup only: the cached variable set for `root`, or nullptr if
+  /// it has not been computed yet. Never walks the DAG. Thread-safe.
+  const std::vector<ExprRef>* CachedVars(ExprRef root) const;
+
  private:
   ExprRef Intern(Expr&& node);
 
   std::vector<std::unique_ptr<Expr>> nodes_;
   std::unordered_map<uint64_t, std::vector<uint32_t>> buckets_;
+
+  // Per-root variable sets (heap-stable so returned references survive
+  // rehash; entries are immutable once published).
+  mutable std::mutex vars_mu_;
+  mutable std::unordered_map<uint32_t, std::unique_ptr<std::vector<ExprRef>>>
+      vars_memo_;
+  std::unique_ptr<AbsMemo> abs_memo_;
 };
 
 /// Renders `e` as an SMT-LIB-flavoured s-expression (for logs and tests).
@@ -155,5 +187,12 @@ bool ContainsHardFp(std::span<const ExprRef> roots);
 
 /// Number of distinct nodes reachable from `roots`.
 size_t DagSize(std::span<const ExprRef> roots);
+
+/// Constant-folds one binary operation over `width`-bit operands with the
+/// exact semantics the combinators and the evaluator use (SMT-LIB division
+/// by zero, oversized shifts, wrapping overflow). Comparison kinds return
+/// 0/1. Exposed so the abstract-domain transfer functions and their oracle
+/// tests share the concrete semantics with the builders.
+uint64_t FoldBinaryConst(Kind kind, uint64_t a, uint64_t b, unsigned width);
 
 }  // namespace sbce::solver

@@ -43,8 +43,11 @@ SolveResult IncrementalSolver::Solve(std::span<const ExprRef> assertions) {
   std::vector<ExprRef> prepared;
   prepared.reserve(assertions.size());
   bool any_false = false;
+  SimplifyOptions simp_opts;
+  simp_opts.use_ranges = options_.presolve;
+  simp_opts.range_rewrites = &result.presolve_rewrites;
   for (ExprRef a : assertions) {
-    ExprRef p = options_.presimplify ? Simplify(&s.pool, a)
+    ExprRef p = options_.presimplify ? Simplify(&s.pool, a, simp_opts)
                                      : ImportInto(&s.pool, a);
     if (p->IsConst(0)) any_false = true;
     if (p->IsConst(1)) continue;  // tautology: nothing to encode
@@ -57,10 +60,12 @@ SolveResult IncrementalSolver::Solve(std::span<const ExprRef> assertions) {
   }
   if (prepared.empty()) {
     result.status = SolveStatus::kSat;
+    CanonicalizeModel(assertions, &result);
     return result;
   }
 
   const int vars_before = s.sat.NumVars();
+  const uint64_t pinned_before = s.blaster.known_bits_pinned();
   std::vector<Lit> assumptions;
   assumptions.reserve(prepared.size());
   for (ExprRef a : prepared) {
@@ -93,6 +98,7 @@ SolveResult IncrementalSolver::Solve(std::span<const ExprRef> assertions) {
   ++stats_.solves;
   result.conflicts = s.sat.last_solve_conflicts();
   result.sat_vars = static_cast<size_t>(s.sat.NumVars() - vars_before);
+  result.presolve_bits_pinned = s.blaster.known_bits_pinned() - pinned_before;
 
   switch (st) {
     case SatStatus::kSat: {
@@ -107,6 +113,9 @@ SolveResult IncrementalSolver::Solve(std::span<const ExprRef> assertions) {
       }
       SBCE_CHECK_MSG(AllSatisfied(prepared, result.model),
                      "incremental session returned an invalid model");
+      // Same canonical-model contract as CheckSat, applied to the original
+      // assertion vector so warm and cold paths agree byte-for-byte.
+      CanonicalizeModel(assertions, &result);
       break;
     }
     case SatStatus::kUnsat:

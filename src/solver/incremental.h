@@ -63,7 +63,9 @@ class IncrementalSolver {
   struct Session {
     explicit Session(const SolverOptions& options)
         : sat(ToSatOptions(options)),
-          blaster(&sat, BitBlaster::Options{options.max_sat_vars}) {}
+          blaster(&sat,
+                  BitBlaster::Options{options.max_sat_vars,
+                                      options.presolve}) {}
     ExprPool pool;
     SatSolver sat;
     BitBlaster blaster;

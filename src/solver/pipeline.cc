@@ -10,6 +10,7 @@
 #include <unordered_set>
 
 #include "src/solver/incremental.h"
+#include "src/solver/presolve.h"
 #include "src/solver/slice.h"
 
 namespace sbce::solver {
@@ -50,6 +51,29 @@ Assignment RestrictToVars(const Assignment& model,
   return out;
 }
 
+/// Debug-build safety net: re-decides a presolve verdict through the full
+/// SAT path (pre-solver off) and checks agreement. A kUnknown reference
+/// (budget exhausted) carries no verdict to compare against.
+void CrossCheckPresolve(std::span<const ExprRef> assertions,
+                        const SolveResult& abs, const SolverOptions& base) {
+  SolverOptions full = base;
+  full.presolve = false;
+  full.presolve_cross_check = false;
+  const SolveResult ref = CheckSat(assertions, full);
+  if (ref.status == SolveStatus::kUnknown) return;
+  SBCE_CHECK_MSG(ref.status == abs.status,
+                 "presolve verdict disagrees with the SAT path");
+  if (abs.status == SolveStatus::kSat) {
+    // The SAT path rewrites its CDCL model through the same canonical scan
+    // (CanonicalizeModel), so both sides must have selected one assignment.
+    for (const auto& [name, value] : abs.model) {
+      auto it = ref.model.find(name);
+      SBCE_CHECK_MSG(it == ref.model.end() || it->second == value,
+                     "presolve canonical model disagrees with the SAT path");
+    }
+  }
+}
+
 }  // namespace
 
 std::vector<SolverOptions> DefaultPortfolio(const SolverOptions& base) {
@@ -88,8 +112,9 @@ std::vector<SolveResult> QueryPipeline::SolveBatch(
   struct SubQuery {
     std::vector<ExprRef> assertions;
     QueryCache::Key key;
-    std::optional<SolveResult> resolved;  // answered by the cache
-    size_t task = 0;                      // into `tasks` when unresolved
+    std::optional<SolveResult> resolved;  // answered by cache or pre-solver
+    bool presolved = false;  // resolved by the abstract pre-solver
+    size_t task = 0;         // into `tasks` when unresolved
   };
   // A deduplicated unit of solve work (shared across the batch).
   struct Task {
@@ -101,6 +126,11 @@ std::vector<SolveResult> QueryPipeline::SolveBatch(
   std::vector<std::vector<SubQuery>> plan(queries.size());
   std::vector<Task> tasks;
   std::unordered_map<uint64_t, size_t> task_by_digest;
+  // Definitive pre-solver verdicts, memoized by component digest: a batch
+  // that restates the same component (the concolic prefix-reuse shape)
+  // must not re-run refinement + the range scan per repeat.
+  std::unordered_map<uint64_t, std::pair<QueryCache::Key, SolveResult>>
+      presolved_by_digest;
 
   // --- Phase 1: slice, consult cache, dedup (serial, input order) -------
   for (size_t qi = 0; qi < queries.size(); ++qi) {
@@ -117,6 +147,41 @@ std::vector<SolveResult> QueryPipeline::SolveBatch(
       sq.key = QueryCache::Canonicalize(sq.assertions);
       if (options_.solver.cache_queries) {
         sq.resolved = cache_->Lookup(sq.key, sq.assertions);
+      }
+      if (!sq.resolved && options_.solver.presolve) {
+        // Abstract pre-solve on the cache-missed component. A definitive
+        // verdict skips the SAT core entirely; anything else falls through
+        // to a normal task. Runs after slicing and the cache lookup, so
+        // sliced_queries / cache counters are identical with it disabled.
+        auto memo = presolved_by_digest.find(sq.key.digest);
+        if (memo != presolved_by_digest.end() &&
+            memo->second.first.hashes == sq.key.hashes) {
+          ++stats_.presolve_definitive;
+          if (memo->second.second.status == SolveStatus::kUnsat) {
+            ++stats_.presolve_unsat;
+          } else {
+            ++stats_.presolve_sat;
+          }
+          sq.resolved = memo->second.second;
+          sq.presolved = true;
+        } else {
+          PresolveVerdict pv = Presolve(sq.assertions, options_.solver);
+          if (pv.definitive) {
+            ++stats_.presolve_definitive;
+            if (pv.result.status == SolveStatus::kUnsat) {
+              ++stats_.presolve_unsat;
+            } else {
+              ++stats_.presolve_sat;
+            }
+            if (options_.solver.presolve_cross_check) {
+              CrossCheckPresolve(sq.assertions, pv.result, options_.solver);
+            }
+            presolved_by_digest.emplace(sq.key.digest,
+                                        std::make_pair(sq.key, pv.result));
+            sq.resolved = std::move(pv.result);
+            sq.presolved = true;
+          }
+        }
       }
       if (!sq.resolved) {
         auto [it, inserted] =
@@ -281,6 +346,11 @@ std::vector<SolveResult> QueryPipeline::SolveBatch(
     }
   }
 
+  for (const Task& task : tasks) {
+    stats_.presolve_rewrites += task.result.presolve_rewrites;
+    stats_.presolve_bits_pinned += task.result.presolve_bits_pinned;
+  }
+
   // --- Phase 3: merge, validate, commit to cache (serial, input order) --
   std::vector<SolveResult> results(queries.size());
   std::unordered_set<uint64_t> committed;
@@ -292,8 +362,10 @@ std::vector<SolveResult> QueryPipeline::SolveBatch(
     for (const SubQuery& sq : plan[qi]) {
       const SolveResult& r =
           sq.resolved ? *sq.resolved : tasks[sq.task].result;
-      if (!sq.resolved && options_.solver.cache_queries &&
+      if ((!sq.resolved || sq.presolved) && options_.solver.cache_queries &&
           committed.insert(sq.key.digest).second) {
+        // Pre-solver verdicts are cached like solved ones: a repeat of the
+        // component replays the verdict instead of re-deriving it.
         cache_->Insert(sq.key, r);
       }
       out.conflicts += r.conflicts;

@@ -92,6 +92,14 @@ struct PipelineStats {
   uint64_t incremental_sessions = 0;   // warm sessions stood up
   uint64_t portfolio_runs = 0;     // alternate runs charged (deterministic)
   uint64_t portfolio_rescues = 0;  // kUnknown flipped definitive by 2b
+  // Abstract pre-solver (presolve.h) counters. Perf-only: they never feed
+  // the deterministic result JSON, so runs with the pre-solver on and off
+  // stay byte-identical there.
+  uint64_t presolve_definitive = 0;   // components decided without SAT
+  uint64_t presolve_unsat = 0;        // ...of which abstract refutations
+  uint64_t presolve_sat = 0;          // ...of which pinned models
+  uint64_t presolve_rewrites = 0;     // range-rule rewrites applied
+  uint64_t presolve_bits_pinned = 0;  // literals constant-folded by blaster
 };
 
 /// The built-in alternates: (1) direct encoding, aggressive decay and fast

@@ -1,0 +1,636 @@
+#include "src/solver/presolve.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "src/solver/absdomain.h"
+#include "src/solver/eval.h"
+#include "src/support/bits.h"
+
+namespace sbce::solver {
+
+namespace {
+
+uint64_t MaskOf(unsigned w) {
+  return w >= 64 ? ~uint64_t{0} : ((uint64_t{1} << w) - 1);
+}
+
+int64_t MinS(unsigned w) { return AsSigned(uint64_t{1} << (w - 1), w); }
+int64_t MaxS(unsigned w) { return static_cast<int64_t>(MaskOf(w) >> 1); }
+
+bool SameAbs(const AbsValue& a, const AbsValue& b) {
+  return a.bottom == b.bottom && a.known0 == b.known0 &&
+         a.known1 == b.known1 && a.umin == b.umin && a.umax == b.umax &&
+         a.smin == b.smin && a.smax == b.smax;
+}
+
+/// Backward refiner: pushes "this node's value lies in this set" facts
+/// down the DAG, intersecting with the forward (context-free) values from
+/// AbsOf. Refined values are scoped to one query — they hold only under
+/// the assumption that every assertion is true — so they live in a local
+/// map, never in the pool memo. All rules compute sound pre-image
+/// over-approximations, so a derived empty set is a genuine refutation.
+class Refiner {
+ public:
+  bool contradiction = false;
+  bool changed = false;
+
+  AbsValue ValueOf(ExprRef e) {
+    auto it = refined_.find(e);
+    return it != refined_.end() ? it->second : AbsOf(e);
+  }
+
+  bool OutOfBudget() const { return budget_ == 0; }
+
+  void Refine(ExprRef e, const AbsValue& req, int depth) {
+    if (contradiction || depth > 64 || budget_ == 0) return;
+    --budget_;
+    const AbsValue cur = ValueOf(e);
+    const AbsValue met = AbsMeet(cur, req);
+    if (met.bottom) {
+      contradiction = true;
+      return;
+    }
+    if (!SameAbs(met, cur)) {
+      refined_[e] = met;
+      changed = true;
+    }
+    Push(e, met, depth);
+  }
+
+ private:
+  /// Requirement carrying only known-bit facts.
+  static AbsValue BitsReq(unsigned w, uint64_t k0, uint64_t k1) {
+    AbsValue r = AbsTop(w);
+    r.known0 = k0 & MaskOf(w);
+    r.known1 = k1 & MaskOf(w);
+    return Normalize(r);
+  }
+
+  /// Requirement carrying only an unsigned bound.
+  static AbsValue UBoundReq(unsigned w, uint64_t lo, uint64_t hi) {
+    AbsValue r = AbsTop(w);
+    r.umin = lo;
+    r.umax = hi;
+    return Normalize(r);
+  }
+
+  /// Requirement carrying only a signed bound.
+  static AbsValue SBoundReq(unsigned w, int64_t lo, int64_t hi) {
+    AbsValue r = AbsTop(w);
+    r.smin = lo;
+    r.smax = hi;
+    return Normalize(r);
+  }
+
+  /// a != c where c is known: trim c off an interval endpoint.
+  void ExcludeValue(ExprRef e, const AbsValue& v, uint64_t c, unsigned w,
+                    int depth) {
+    if (v.IsSingleton() && v.umin == c) {
+      contradiction = true;
+      return;
+    }
+    if (v.umin == c) {
+      Refine(e, UBoundReq(w, c + 1, MaskOf(w)), depth + 1);
+    } else if (v.umax == c) {
+      Refine(e, UBoundReq(w, 0, c - 1), depth + 1);
+    }
+  }
+
+  void Push(ExprRef e, const AbsValue& met, int depth) {
+    const int d = depth + 1;
+    switch (e->kind) {
+      case Kind::kNot:  // involution: the pre-image is the image
+        Refine(e->args[0], AbsUnaryOp(Kind::kNot, met), d);
+        break;
+      case Kind::kNeg:  // involution
+        Refine(e->args[0], AbsUnaryOp(Kind::kNeg, met), d);
+        break;
+      case Kind::kEq: {
+        const AbsValue va = ValueOf(e->args[0]);
+        const AbsValue vb = ValueOf(e->args[1]);
+        const unsigned w = e->args[0]->width;
+        if (met.IsSingleton() && met.umin == 1) {
+          const AbsValue m = AbsMeet(va, vb);
+          if (m.bottom) {
+            contradiction = true;
+            return;
+          }
+          Refine(e->args[0], m, d);
+          Refine(e->args[1], m, d);
+        } else if (met.IsSingleton() && met.umin == 0) {
+          if (vb.IsSingleton()) ExcludeValue(e->args[0], va, vb.umin, w, d);
+          if (contradiction) return;
+          if (va.IsSingleton()) ExcludeValue(e->args[1], vb, va.umin, w, d);
+        }
+        break;
+      }
+      case Kind::kUlt:
+      case Kind::kUle: {
+        if (!met.IsSingleton()) break;
+        const AbsValue va = ValueOf(e->args[0]);
+        const AbsValue vb = ValueOf(e->args[1]);
+        const unsigned w = e->args[0]->width;
+        const uint64_t mask = MaskOf(w);
+        const bool strict = e->kind == Kind::kUlt;
+        if (met.umin == 1) {  // a < b (or a <= b)
+          const uint64_t hi = strict ? vb.umax - 1 : vb.umax;
+          if (strict && vb.umax == 0) {
+            contradiction = true;
+            return;
+          }
+          Refine(e->args[0], UBoundReq(w, 0, hi), d);
+          if (contradiction) return;
+          const uint64_t lo = strict ? va.umin + 1 : va.umin;
+          if (strict && va.umin == mask) {
+            contradiction = true;
+            return;
+          }
+          Refine(e->args[1], UBoundReq(w, lo, mask), d);
+        } else {  // !(a < b): a >= b (or a > b for ule)
+          const bool gt = !strict;  // negated ule is strict >
+          if (gt && vb.umin == mask) {
+            contradiction = true;
+            return;
+          }
+          Refine(e->args[0], UBoundReq(w, vb.umin + (gt ? 1 : 0), mask), d);
+          if (contradiction) return;
+          if (gt && va.umax == 0) {
+            contradiction = true;
+            return;
+          }
+          Refine(e->args[1], UBoundReq(w, 0, va.umax - (gt ? 1 : 0)), d);
+        }
+        break;
+      }
+      case Kind::kSlt:
+      case Kind::kSle: {
+        if (!met.IsSingleton()) break;
+        const AbsValue va = ValueOf(e->args[0]);
+        const AbsValue vb = ValueOf(e->args[1]);
+        const unsigned w = e->args[0]->width;
+        const bool strict = e->kind == Kind::kSlt;
+        if (met.umin == 1) {
+          if (strict && vb.smax == MinS(w)) {
+            contradiction = true;
+            return;
+          }
+          Refine(e->args[0],
+                 SBoundReq(w, MinS(w), vb.smax - (strict ? 1 : 0)), d);
+          if (contradiction) return;
+          if (strict && va.smin == MaxS(w)) {
+            contradiction = true;
+            return;
+          }
+          Refine(e->args[1],
+                 SBoundReq(w, va.smin + (strict ? 1 : 0), MaxS(w)), d);
+        } else {
+          const bool gt = !strict;
+          if (gt && vb.smin == MaxS(w)) {
+            contradiction = true;
+            return;
+          }
+          Refine(e->args[0],
+                 SBoundReq(w, vb.smin + (gt ? 1 : 0), MaxS(w)), d);
+          if (contradiction) return;
+          if (gt && va.smax == MinS(w)) {
+            contradiction = true;
+            return;
+          }
+          Refine(e->args[1],
+                 SBoundReq(w, MinS(w), va.smax - (gt ? 1 : 0)), d);
+        }
+        break;
+      }
+      case Kind::kAnd: {
+        const unsigned w = e->width;
+        const AbsValue va = ValueOf(e->args[0]);
+        const AbsValue vb = ValueOf(e->args[1]);
+        // Result bits known 1 force both operands; result bits known 0
+        // where one operand is known 1 force the other to 0 there.
+        if (met.known1 != 0) {
+          Refine(e->args[0], BitsReq(w, 0, met.known1), d);
+          if (contradiction) return;
+          Refine(e->args[1], BitsReq(w, 0, met.known1), d);
+          if (contradiction) return;
+        }
+        if ((met.known0 & vb.known1) != 0) {
+          Refine(e->args[0], BitsReq(w, met.known0 & vb.known1, 0), d);
+          if (contradiction) return;
+        }
+        if ((met.known0 & va.known1) != 0) {
+          Refine(e->args[1], BitsReq(w, met.known0 & va.known1, 0), d);
+        }
+        break;
+      }
+      case Kind::kOr: {
+        const unsigned w = e->width;
+        const AbsValue va = ValueOf(e->args[0]);
+        const AbsValue vb = ValueOf(e->args[1]);
+        if (met.known0 != 0) {
+          Refine(e->args[0], BitsReq(w, met.known0, 0), d);
+          if (contradiction) return;
+          Refine(e->args[1], BitsReq(w, met.known0, 0), d);
+          if (contradiction) return;
+        }
+        if ((met.known1 & vb.known0) != 0) {
+          Refine(e->args[0], BitsReq(w, 0, met.known1 & vb.known0), d);
+          if (contradiction) return;
+        }
+        if ((met.known1 & va.known0) != 0) {
+          Refine(e->args[1], BitsReq(w, 0, met.known1 & va.known0), d);
+        }
+        break;
+      }
+      case Kind::kXor: {
+        const unsigned w = e->width;
+        const AbsValue va = ValueOf(e->args[0]);
+        const AbsValue vb = ValueOf(e->args[1]);
+        // Bits where the result and one operand are both known determine
+        // the other operand's bit.
+        const uint64_t both_b = (met.known0 | met.known1) &
+                                (vb.known0 | vb.known1);
+        if (both_b != 0) {
+          const uint64_t val = (met.known1 ^ vb.known1) & both_b;
+          Refine(e->args[0], BitsReq(w, both_b & ~val, val), d);
+          if (contradiction) return;
+        }
+        const uint64_t both_a = (met.known0 | met.known1) &
+                                (va.known0 | va.known1);
+        if (both_a != 0) {
+          const uint64_t val = (met.known1 ^ va.known1) & both_a;
+          Refine(e->args[1], BitsReq(w, both_a & ~val, val), d);
+        }
+        break;
+      }
+      case Kind::kAdd: {
+        const AbsValue va = ValueOf(e->args[0]);
+        const AbsValue vb = ValueOf(e->args[1]);
+        // a = r - b when b is pinned (exact modular inverse), and vice
+        // versa; the sub transfer over-approximates the pre-image soundly.
+        if (vb.IsSingleton()) {
+          Refine(e->args[0], AbsBinaryOp(Kind::kSub, met, vb), d);
+          if (contradiction) return;
+        }
+        if (va.IsSingleton()) {
+          Refine(e->args[1], AbsBinaryOp(Kind::kSub, met, va), d);
+        }
+        break;
+      }
+      case Kind::kSub: {
+        const AbsValue va = ValueOf(e->args[0]);
+        const AbsValue vb = ValueOf(e->args[1]);
+        if (vb.IsSingleton()) {  // a = r + b
+          Refine(e->args[0], AbsBinaryOp(Kind::kAdd, met, vb), d);
+          if (contradiction) return;
+        }
+        if (va.IsSingleton()) {  // b = a - r
+          Refine(e->args[1], AbsBinaryOp(Kind::kSub, va, met), d);
+        }
+        break;
+      }
+      case Kind::kIte: {
+        const AbsValue vc = ValueOf(e->args[0]);
+        if (vc.IsSingleton()) {
+          Refine(e->args[vc.umin ? 1 : 2], met, d);
+          break;
+        }
+        const bool then_dead = AbsMeet(met, ValueOf(e->args[1])).bottom;
+        const bool else_dead = AbsMeet(met, ValueOf(e->args[2])).bottom;
+        if (then_dead && else_dead) {
+          contradiction = true;
+          return;
+        }
+        if (then_dead) {  // the value can only come from the else arm
+          Refine(e->args[0], AbsConst(0, 1), d);
+          if (contradiction) return;
+          Refine(e->args[2], met, d);
+        } else if (else_dead) {
+          Refine(e->args[0], AbsConst(1, 1), d);
+          if (contradiction) return;
+          Refine(e->args[1], met, d);
+        }
+        break;
+      }
+      case Kind::kZExt: {
+        const unsigned wa = e->args[0]->width;
+        AbsValue req = AbsTop(wa);
+        req.known0 = met.known0 & MaskOf(wa);
+        req.known1 = met.known1 & MaskOf(wa);
+        req.umin = met.umin;  // <= MaskOf(wa): met meets the forward value
+        req.umax = std::min(met.umax, MaskOf(wa));
+        Refine(e->args[0], Normalize(req), d);
+        break;
+      }
+      case Kind::kSExt: {
+        const unsigned wa = e->args[0]->width;
+        AbsValue req = AbsTop(wa);
+        req.smin = std::max(met.smin, MinS(wa));
+        req.smax = std::min(met.smax, MaxS(wa));
+        const uint64_t low = MaskOf(wa) >> 1;
+        req.known0 = met.known0 & low;
+        req.known1 = met.known1 & low;
+        // The result bit at the old sign position equals the operand's
+        // sign bit.
+        if (GetBit(met.known0, wa - 1)) {
+          req.known0 |= uint64_t{1} << (wa - 1);
+        } else if (GetBit(met.known1, wa - 1)) {
+          req.known1 |= uint64_t{1} << (wa - 1);
+        }
+        Refine(e->args[0], Normalize(req), d);
+        break;
+      }
+      case Kind::kConcat: {
+        const unsigned wh = e->args[0]->width;
+        const unsigned wl = e->args[1]->width;
+        if (met.IsSingleton()) {
+          Refine(e->args[0], AbsConst(met.umin >> wl, wh), d);
+          if (contradiction) return;
+          Refine(e->args[1], AbsConst(met.umin & MaskOf(wl), wl), d);
+        } else {
+          Refine(e->args[0],
+                 BitsReq(wh, met.known0 >> wl, met.known1 >> wl), d);
+          if (contradiction) return;
+          Refine(e->args[1],
+                 BitsReq(wl, met.known0 & MaskOf(wl),
+                         met.known1 & MaskOf(wl)),
+                 d);
+        }
+        break;
+      }
+      case Kind::kExtract: {
+        const unsigned w = e->width;
+        const unsigned lo = e->p1;
+        Refine(e->args[0],
+               BitsReq(e->args[0]->width, (met.known0 & MaskOf(w)) << lo,
+                       (met.known1 & MaskOf(w)) << lo),
+               d);
+        break;
+      }
+      default:
+        break;
+    }
+  }
+
+  std::unordered_map<ExprRef, AbsValue> refined_;
+  // Caps total Refine() calls per query: refinement on heavily shared
+  // DAGs may revisit nodes through multiple parents, and soundness does
+  // not depend on reaching a fixpoint.
+  uint64_t budget_ = 20'000;
+};
+
+/// Bounded model scan over the refined variable ranges. The ranges
+/// over-approximate the feasible set (every model of the assertions lies
+/// inside them), so walking all assignments they span is exhaustive:
+///   no satisfying assignment   -> exact refutation (kUnsat),
+///   first satisfying assignment -> the canonical model (kSat). The scan
+///   order (variables in CollectVars order, values ascending, first
+///   variable fastest) defines the solver-wide canonical-model contract:
+///   CheckSat / IncrementalSolver rewrite their CDCL models to the same
+///   scan's first hit (CanonicalModel), so a pre-solver that answers from
+///   the scan is byte-identical to the full path.
+/// The cap scales with the query's DAG size so the scan stays cheaper
+/// than one bit-blast: small circuits may span up to kEnumAssignments
+/// assignments, big ones proportionally fewer (kEnumWork caps the product
+/// of assignments x DAG nodes). The common engine shape — a prefix that
+/// pins most input bytes plus a negated branch condition on one fresh
+/// byte — spans at most 256 assignments and lands squarely inside.
+constexpr uint64_t kEnumAssignments = 65'536;
+constexpr uint64_t kEnumWork = 2'000'000;
+
+/// One walk over the DAG reachable from `assertions`, feeding two gates:
+///   - nodes: distinct node count, which sizes the enumeration budget
+///     (kEnumWork / nodes assignments). Counted exactly up to node_cap;
+///     past the cap the query is not enumerable anyway, so the walk stops.
+///   - circuit: loose upper estimate of the SAT variables a bit-blast
+///     would allocate — ~4x width per node for output bits plus adder /
+///     comparator auxiliaries, ~4x width^2 for the multiplicative ops'
+///     partial-product arrays, nothing for constants (they fold to
+///     literals). Saturates once it exceeds circuit_cap.
+struct DagSurvey {
+  size_t nodes = 0;
+  uint64_t circuit = 0;
+};
+
+DagSurvey SurveyDag(std::span<const ExprRef> assertions, size_t node_cap,
+                    uint64_t circuit_cap) {
+  DagSurvey out;
+  std::vector<ExprRef> stack(assertions.begin(), assertions.end());
+  std::unordered_map<ExprRef, bool> seen;
+  while (!stack.empty()) {
+    if (seen.size() >= node_cap && out.circuit > circuit_cap) break;
+    ExprRef e = stack.back();
+    stack.pop_back();
+    if (!seen.emplace(e, true).second) continue;
+    const uint64_t w = e->width;
+    switch (e->kind) {
+      case Kind::kConst:
+        break;
+      case Kind::kMul:
+      case Kind::kUDiv:
+      case Kind::kURem:
+      case Kind::kSDiv:
+      case Kind::kSRem:
+        out.circuit += 4 * w * w;
+        break;
+      default:
+        out.circuit += 4 * w;
+        break;
+    }
+    for (uint8_t i = 0; i < e->nargs; ++i) stack.push_back(e->args[i]);
+  }
+  out.nodes = seen.size();
+  return out;
+}
+
+struct EnumDomain {
+  ExprRef var;
+  std::vector<uint64_t> values;  // ascending, all within the refined range
+};
+
+/// Fills one domain per variable; false when the combined assignment count
+/// exceeds `max_assignments` (or a range is too wide to enumerate an axis).
+bool CollectEnumDomains(std::span<const ExprRef> vars, Refiner& refiner,
+                        uint64_t max_assignments,
+                        std::vector<EnumDomain>* domains) {
+  uint64_t product = 1;
+  for (ExprRef v : vars) {
+    const AbsValue av = refiner.ValueOf(v);
+    if (av.bottom || av.umax - av.umin >= max_assignments) return false;
+    EnumDomain d{v, {}};
+    for (uint64_t val = av.umin;; ++val) {
+      if (av.Contains(val)) d.values.push_back(val);
+      if (val == av.umax) break;
+    }
+    if (d.values.empty()) return false;
+    product *= d.values.size();
+    if (product > max_assignments) return false;
+    domains->push_back(std::move(d));
+  }
+  return true;
+}
+
+/// Odometer walk over the domains, in the canonical scan order. Returns
+/// the first satisfying assignment, or nullopt after an exhaustive scan
+/// found none (an exact refutation).
+std::optional<Assignment> FirstModel(std::span<const ExprRef> assertions,
+                                     const std::vector<EnumDomain>& domains) {
+  std::vector<size_t> idx(domains.size(), 0);
+  Assignment probe;
+  for (;;) {
+    for (size_t i = 0; i < domains.size(); ++i) {
+      probe[domains[i].var->name] =
+          TruncToWidth(domains[i].values[idx[i]], domains[i].var->width);
+    }
+    if (AllSatisfied(assertions, probe)) return probe;
+    size_t i = 0;
+    while (i < domains.size() && ++idx[i] == domains[i].values.size()) {
+      idx[i] = 0;
+      ++i;
+    }
+    if (i == domains.size()) return std::nullopt;
+  }
+}
+
+/// Refinement + domain collection shared by Presolve and CanonicalModel.
+/// Returns false when the query is out of scope (non-1-bit assertion or a
+/// floating-point node). `refuted` reports a derived contradiction;
+/// `enumerable` is set when the refined ranges span few enough assignments
+/// to scan within the work budget (`domains` then holds one axis per
+/// variable — empty for a variable-free query, which is trivially
+/// enumerable).
+bool AnalyzeQuery(std::span<const ExprRef> assertions, Refiner& refiner,
+                  bool* refuted, bool* enumerable,
+                  std::vector<EnumDomain>* domains) {
+  *refuted = false;
+  *enumerable = false;
+  if (assertions.empty()) return false;
+  for (ExprRef a : assertions) {
+    if (a->width != 1) return false;
+  }
+  if (ContainsFp(assertions)) return false;
+
+  // Forward pass (memoized per pool; shared nodes are analyzed once).
+  for (ExprRef a : assertions) {
+    const AbsValue v = AbsOf(a);
+    if (v.bottom || v.umax == 0) {
+      *refuted = true;
+      return true;
+    }
+  }
+
+  // Backward refinement: assume every assertion evaluates to 1 and push
+  // the consequences down to the variables.
+  const AbsValue one = AbsConst(1, 1);
+  for (int round = 0; round < 4; ++round) {
+    refiner.changed = false;
+    for (ExprRef a : assertions) {
+      refiner.Refine(a, one, 0);
+      if (refiner.contradiction) {
+        *refuted = true;
+        return true;
+      }
+    }
+    if (!refiner.changed || refiner.OutOfBudget()) break;
+  }
+
+  const std::vector<ExprRef> vars = CollectVars(assertions);
+  // Exact node count up to kEnumWork (past that the budget below bottoms
+  // out at one assignment per scan anyway). An under-count here would let
+  // a huge DAG masquerade as cheap and blow the work cap, so no small cap.
+  const DagSurvey survey = SurveyDag(assertions, kEnumWork, 0);
+  const size_t nodes = std::max<size_t>(survey.nodes, 1);
+  const uint64_t max_assignments =
+      std::min(kEnumAssignments, kEnumWork / nodes);
+  if (CollectEnumDomains(vars, refiner, max_assignments, domains)) {
+    *enumerable = true;
+  } else {
+    domains->clear();
+  }
+  return true;
+}
+
+}  // namespace
+
+bool PresolveCircuitFits(std::span<const ExprRef> assertions,
+                         size_t max_sat_vars) {
+  return SurveyDag(assertions, 0, max_sat_vars).circuit <= max_sat_vars;
+}
+
+PresolveVerdict Presolve(std::span<const ExprRef> assertions,
+                         const SolverOptions& options) {
+  PresolveVerdict out;
+  // Out-of-scope queries (empty, non-1-bit, floating-point) are never
+  // judged: the FP search path can return kUnknown but never kUnsat, so
+  // an abstract refutation there would change its observable verdict.
+  //
+  // Neither are queries that could exhaust the caller's circuit budget:
+  // the full path aborts the bit-blast with RESOURCE_EXHAUSTED (kUnknown)
+  // BEFORE any unsat/sat answer, so even a sound refutation here would
+  // diverge from the budget-limited tool profile it stands in for. This
+  // gate must precede every definitive exit, refutation included.
+  if (!PresolveCircuitFits(assertions, options.max_sat_vars)) return out;
+  Refiner refiner;
+  bool refuted = false;
+  bool enumerable = false;
+  std::vector<EnumDomain> domains;
+  if (!AnalyzeQuery(assertions, refiner, &refuted, &enumerable, &domains)) {
+    return out;
+  }
+
+  if (refuted) {
+    out.definitive = true;
+    out.result.status = SolveStatus::kUnsat;
+    out.result.note = "presolve: abstract refutation";
+    return out;
+  }
+
+  // Enumerable: the scan is exhaustive over an over-approximation of the
+  // feasible set, so no model -> exact kUnsat, and the first model found
+  // is exactly the canonical model CheckSat would return (it rewrites its
+  // CDCL model through the same scan) -> definitive kSat.
+  if (enumerable) {
+    if (std::optional<Assignment> model = FirstModel(assertions, domains)) {
+      out.definitive = true;
+      out.result.status = SolveStatus::kSat;
+      out.result.model = std::move(*model);
+      out.result.note = "presolve: canonical model from range scan";
+    } else {
+      out.definitive = true;
+      out.result.status = SolveStatus::kUnsat;
+      out.result.note = "presolve: exhaustive range scan (no model)";
+    }
+    return out;
+  }
+
+  if (std::getenv("SBCE_PRESOLVE_DEBUG") != nullptr) {
+    std::string widths;
+    for (ExprRef v : CollectVars(assertions)) {
+      const AbsValue av = refiner.ValueOf(v);
+      widths += " " + std::to_string(v->width) + ":" +
+                std::to_string(av.umax - av.umin);
+    }
+    std::fprintf(stderr, "[presolve-miss] asserts=%zu widths:%s\n",
+                 assertions.size(), widths.c_str());
+  }
+  return out;
+}
+
+std::optional<Assignment> CanonicalModel(
+    std::span<const ExprRef> assertions) {
+  Refiner refiner;
+  bool refuted = false;
+  bool enumerable = false;
+  std::vector<EnumDomain> domains;
+  if (!AnalyzeQuery(assertions, refiner, &refuted, &enumerable, &domains)) {
+    return std::nullopt;
+  }
+  if (refuted || !enumerable) return std::nullopt;
+  return FirstModel(assertions, domains);
+}
+
+}  // namespace sbce::solver

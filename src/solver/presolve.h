@@ -1,0 +1,73 @@
+// Abstract pre-solver: decides queries without bit-blasting when the
+// known-bits/interval domain (absdomain.h) suffices.
+//
+// Two definitive verdicts, both exact:
+//   - kUnsat when a forward pass proves some assertion's abstract value
+//     excludes 1, when backward refinement (pushing the "must be true"
+//     requirement down through comparisons, boolean structure, casts and
+//     invertible arithmetic) derives an empty set for any node, or when
+//     an exhaustive scan of the refined variable ranges finds no model.
+//   - kSat when that scan finds a model: the scan runs in the canonical
+//     order (CanonicalModel below), and the full SAT path rewrites its
+//     CDCL models through the same scan, so the returned model is
+//     byte-identical to what CheckSat would produce.
+// Anything else is non-definitive and falls through to the normal path.
+//
+// Queries containing floating-point nodes are never judged: the FP search
+// solver can return kUnknown but never kUnsat, and a pre-solver kUnsat
+// there would change observable verdicts versus the full path.
+//
+// Queries whose estimated circuit size exceeds the caller's max_sat_vars
+// budget are never judged either: the full path would abort the bit-blast
+// with RESOURCE_EXHAUSTED (kUnknown), and modeled-tool resource failures
+// are load-bearing for the paper grids — a pre-solver that answered such
+// a query would erase the very outcome the profile exists to reproduce.
+#pragma once
+
+#include <optional>
+#include <span>
+
+#include "src/solver/eval.h"
+#include "src/solver/expr.h"
+#include "src/solver/solver.h"
+
+namespace sbce::solver {
+
+struct PresolveVerdict {
+  bool definitive = false;
+  SolveResult result;  // status kSat (with model) or kUnsat when definitive
+};
+
+/// Attempts to decide the conjunction of `assertions` (1-bit each) purely
+/// abstractly. Never returns kUnknown verdicts, and never returns ANY
+/// verdict for a query the budget-limited full path could refuse: when
+/// the circuit estimate exceeds `options.max_sat_vars` the pre-solver
+/// declines (PresolveCircuitFits below), so a profile's RESOURCE_EXHAUSTED
+/// outcome survives with the pre-solver on. Thread-safe.
+PresolveVerdict Presolve(std::span<const ExprRef> assertions,
+                         const SolverOptions& options = SolverOptions());
+
+/// Loose upper estimate of the SAT variables a bit-blast of `assertions`
+/// would allocate, compared against `max_sat_vars`. Deliberately coarse:
+/// it only has to separate the paper-grid failure shape (a ~200k-node
+/// crypto DAG under a 60k-150k profile budget) from the small per-branch
+/// queries the engine emits; the debug cross-check and the grid identity
+/// gates watch the remainder. False = the pre-solver must decline.
+bool PresolveCircuitFits(std::span<const ExprRef> assertions,
+                         size_t max_sat_vars);
+
+/// The canonical model of `assertions`: the first satisfying assignment in
+/// the canonical scan order — variables in CollectVars order, values
+/// ascending within each refined range, first variable fastest. nullopt
+/// when the query is out of scope (FP, non-1-bit), unsatisfiable, or the
+/// refined ranges span too many assignments to scan within budget.
+///
+/// This is the solver-wide model-selection contract, NOT part of the
+/// pre-solver feature gate: CheckSat and IncrementalSolver rewrite every
+/// SAT model through it even with SolverOptions::presolve off, which is
+/// what lets a pre-solver verdict (computed from the same scan) be
+/// byte-identical to the full path's answer. A pure function of the
+/// assertion vector. Thread-safe.
+std::optional<Assignment> CanonicalModel(std::span<const ExprRef> assertions);
+
+}  // namespace sbce::solver

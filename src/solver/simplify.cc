@@ -2,6 +2,7 @@
 
 #include <unordered_map>
 
+#include "src/solver/absdomain.h"
 #include "src/support/bits.h"
 
 namespace sbce::solver {
@@ -10,7 +11,8 @@ namespace {
 
 class Simplifier {
  public:
-  explicit Simplifier(ExprPool& pool) : pool_(pool) {}
+  Simplifier(ExprPool& pool, const SimplifyOptions& options)
+      : pool_(pool), options_(options) {}
 
   ExprRef Walk(ExprRef e) {
     if (auto it = cache_.find(e); it != cache_.end()) return it->second;
@@ -197,23 +199,89 @@ class Simplifier {
       default:
         break;
     }
+    if (options_.use_ranges) {
+      ExprRef next = RangeRules(e);
+      if (next != e) {
+        if (options_.range_rewrites != nullptr) ++*options_.range_rewrites;
+        return next;
+      }
+    }
+    return e;
+  }
+
+  /// Rules backed by the known-bits/interval analysis. All facts are
+  /// context-free, so rewrites hold wherever a shared node appears.
+  ExprRef RangeRules(ExprRef e) {
+    if (e->IsConst() || e->IsVar() || IsFpKind(e->kind)) return e;
+    const unsigned w = e->width;
+    const uint64_t mask = TruncToWidth(~uint64_t{0}, w);
+    // A node whose abstract value is a single concrete value is that
+    // constant. This subsumes comparison folding against disjoint
+    // intervals (the compare's abstract value becomes 0 or 1).
+    const AbsValue av = AbsOf(e);
+    if (av.IsSingleton()) return pool_.Const(av.SingletonValue(), w);
+    switch (e->kind) {
+      case Kind::kAnd: {
+        const AbsValue a = AbsOf(e->args[0]);
+        const AbsValue b = AbsOf(e->args[1]);
+        // and(a,b) = b when every bit of b is known 0 or a's is known 1.
+        if ((mask & ~b.known0 & ~a.known1) == 0) return e->args[1];
+        if ((mask & ~a.known0 & ~b.known1) == 0) return e->args[0];
+        break;
+      }
+      case Kind::kOr: {
+        const AbsValue a = AbsOf(e->args[0]);
+        const AbsValue b = AbsOf(e->args[1]);
+        // or(a,b) = b when every bit a could set is already known 1 in b.
+        if ((mask & ~b.known1 & ~a.known0) == 0) return e->args[1];
+        if ((mask & ~a.known1 & ~b.known0) == 0) return e->args[0];
+        break;
+      }
+      case Kind::kSExt: {
+        // Sign bit provably clear: narrow the cast chain to zext (which
+        // composes with the zext rules above).
+        const AbsValue a = AbsOf(e->args[0]);
+        if (GetBit(a.known0, e->args[0]->width - 1)) {
+          return pool_.ZExt(e->args[0], w);
+        }
+        break;
+      }
+      case Kind::kSlt:
+      case Kind::kSle: {
+        // Both operands provably non-negative: the signed compare is the
+        // unsigned one (which the zext narrowing rules understand).
+        const unsigned wa = e->args[0]->width;
+        const AbsValue a = AbsOf(e->args[0]);
+        const AbsValue b = AbsOf(e->args[1]);
+        if (GetBit(a.known0, wa - 1) && GetBit(b.known0, wa - 1)) {
+          return pool_.Binary(
+              e->kind == Kind::kSlt ? Kind::kUlt : Kind::kUle, e->args[0],
+              e->args[1]);
+        }
+        break;
+      }
+      default:
+        break;
+    }
     return e;
   }
 
   ExprPool& pool_;
+  const SimplifyOptions options_;
   std::unordered_map<ExprRef, ExprRef> cache_;
 };
 
 }  // namespace
 
-ExprRef Simplify(ExprPool* pool, ExprRef e) {
-  return Simplifier(*pool).Walk(e);
+ExprRef Simplify(ExprPool* pool, ExprRef e, const SimplifyOptions& options) {
+  return Simplifier(*pool, options).Walk(e);
 }
 
 std::vector<ExprRef> SimplifyAll(ExprPool* pool,
-                                 std::span<const ExprRef> assertions) {
+                                 std::span<const ExprRef> assertions,
+                                 const SimplifyOptions& options) {
   std::vector<ExprRef> out;
-  Simplifier simp(*pool);
+  Simplifier simp(*pool, options);
   for (ExprRef a : assertions) {
     ExprRef s = simp.Walk(a);
     if (s->IsConst(1)) continue;  // trivially true

@@ -16,13 +16,28 @@
 
 namespace sbce::solver {
 
+struct SimplifyOptions {
+  // Enable the absdomain-backed rules: folding any node whose abstract
+  // value is a single concrete value (which subsumes comparison folding
+  // against disjoint intervals), kAnd/kOr absorption via known bits, and
+  // cast-chain narrowing (sext -> zext / signed -> unsigned compares when
+  // the sign bit is provably clear). All facts used are context-free, so
+  // the rewrites are sound wherever a shared node appears.
+  bool use_ranges = false;
+  // When set, incremented once per range-rule rewrite applied.
+  uint64_t* range_rewrites = nullptr;
+};
+
 /// Returns a semantically equivalent (often smaller) expression built in
 /// the same pool. Idempotent.
-ExprRef Simplify(ExprPool* pool, ExprRef e);
+ExprRef Simplify(ExprPool* pool, ExprRef e,
+                 const SimplifyOptions& options = SimplifyOptions());
 
 /// Simplifies each assertion; drops literal-true entries. A literal-false
 /// input is preserved (callers detect unsatisfiability from it).
 std::vector<ExprRef> SimplifyAll(ExprPool* pool,
-                                 std::span<const ExprRef> assertions);
+                                 std::span<const ExprRef> assertions,
+                                 const SimplifyOptions& options =
+                                     SimplifyOptions());
 
 }  // namespace sbce::solver

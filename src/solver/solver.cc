@@ -2,10 +2,24 @@
 
 #include "src/solver/bitblast.h"
 #include "src/solver/fpsolver.h"
+#include "src/solver/presolve.h"
 #include "src/solver/sat.h"
 #include "src/solver/simplify.h"
 
 namespace sbce::solver {
+
+void CanonicalizeModel(std::span<const ExprRef> raw_assertions,
+                       SolveResult* result) {
+  if (result->status != SolveStatus::kSat) return;
+  // The canonical model is computed from the raw assertion vector — the
+  // same input the pipeline pre-solver sees — never the simplified one,
+  // whose variable set can differ (rewrites eliminate variables).
+  if (std::optional<Assignment> canon = CanonicalModel(raw_assertions)) {
+    SBCE_CHECK_MSG(AllSatisfied(raw_assertions, *canon),
+                   "canonical model does not satisfy the query");
+    result->model = std::move(*canon);
+  }
+}
 
 SatSolver::Options ToSatOptions(const SolverOptions& options) {
   SatSolver::Options sat_opts;
@@ -32,9 +46,12 @@ SolveResult CheckSat(std::span<const ExprRef> raw_assertions,
   // (a portfolio alternate) the raw assertions are encoded directly; the
   // constant-false/empty fast paths still apply either way.
   ExprPool local_pool;
+  SimplifyOptions simp_opts;
+  simp_opts.use_ranges = options.presolve;
+  simp_opts.range_rewrites = &result.presolve_rewrites;
   std::vector<ExprRef> assertions =
       options.presimplify
-          ? SimplifyAll(&local_pool, raw_assertions)
+          ? SimplifyAll(&local_pool, raw_assertions, simp_opts)
           : std::vector<ExprRef>(raw_assertions.begin(), raw_assertions.end());
   bool any_false = false;
   for (ExprRef a : assertions) {
@@ -47,6 +64,9 @@ SolveResult CheckSat(std::span<const ExprRef> raw_assertions,
   }
   if (assertions.empty()) {
     result.status = SolveStatus::kSat;
+    // Simplification can discharge assertions that still mention
+    // variables; the canonical model assigns them like any other path.
+    CanonicalizeModel(raw_assertions, &result);
     return result;
   }
 
@@ -60,6 +80,9 @@ SolveResult CheckSat(std::span<const ExprRef> raw_assertions,
                      "FP search returned an invalid model");
       result.status = SolveStatus::kSat;
       result.model = fp.model;
+      // No-op today (CanonicalModel skips FP queries) but keeps the
+      // contract uniform if mixed queries ever reach this arm.
+      CanonicalizeModel(raw_assertions, &result);
     } else {
       result.status = SolveStatus::kUnknown;
       result.note = "fp search budget exhausted";
@@ -70,6 +93,7 @@ SolveResult CheckSat(std::span<const ExprRef> raw_assertions,
   SatSolver sat(ToSatOptions(options));
   BitBlaster::Options bb_opts;
   bb_opts.max_sat_vars = options.max_sat_vars;
+  bb_opts.use_known_bits = options.presolve;
   BitBlaster blaster(&sat, bb_opts);
   for (ExprRef a : assertions) {
     const Status s = blaster.AssertTrue(a);
@@ -82,12 +106,14 @@ SolveResult CheckSat(std::span<const ExprRef> raw_assertions,
   const SatStatus st = sat.Solve();
   result.conflicts = sat.conflicts();
   result.sat_vars = static_cast<size_t>(sat.NumVars());
+  result.presolve_bits_pinned = blaster.known_bits_pinned();
   switch (st) {
     case SatStatus::kSat: {
       result.status = SolveStatus::kSat;
       result.model = blaster.ExtractAssignment();
       SBCE_CHECK_MSG(AllSatisfied(assertions, result.model),
                      "bit-blaster returned an invalid model");
+      CanonicalizeModel(raw_assertions, &result);
       break;
     }
     case SatStatus::kUnsat:

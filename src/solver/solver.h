@@ -44,6 +44,22 @@ struct SolverOptions {
   bool slice_independent = true;  // solve variable-disjoint parts apart
   bool incremental_batch = true;  // warm assumption-based solver sessions
   bool portfolio = true;          // race strategies on kUnknown queries
+
+  // Known-bits + interval pre-solver (absdomain.h / presolve.h). Gates all
+  // four integration layers: the pipeline's definitive pre-solve pass, the
+  // simplifier's range-aware rules, the bit-blaster's constant-literal
+  // substitution, and the engine's negation-planner drops. `--baseline`
+  // and `--no-presolve` turn it off (service::ApplyBudgets is the single
+  // source of truth for both).
+  bool presolve = true;
+  // Re-verify every definitive pre-solver verdict against the full
+  // bit-blast + CDCL path. Defaults on in debug builds only (it doubles
+  // the cost of pre-solved queries); tests may force it in any build.
+#ifdef NDEBUG
+  bool presolve_cross_check = false;
+#else
+  bool presolve_cross_check = true;
+#endif
 };
 
 /// Maps the facade options onto the CDCL core's knobs (shared by the cold
@@ -56,10 +72,21 @@ struct SolveResult {
   uint64_t conflicts = 0; // CDCL conflicts spent
   size_t sat_vars = 0;    // circuit size (0 for FP search)
   std::string note;       // budget / dispatch diagnostics
+  // Pre-solver work done while producing this result (perf counters).
+  uint64_t presolve_rewrites = 0;     // range-aware simplifier rewrites
+  uint64_t presolve_bits_pinned = 0;  // literals constant-folded by blaster
 };
 
 /// Decides the conjunction of `assertions` (each must be 1-bit wide).
 SolveResult CheckSat(std::span<const ExprRef> assertions,
                      const SolverOptions& options = SolverOptions());
+
+/// Rewrites a kSat result's model to the canonical model of `assertions`
+/// (presolve.h) when one is computable within budget; no-op otherwise.
+/// Unconditional in every solve path — NOT gated by SolverOptions::presolve
+/// — so model selection is a pure function of the assertion vector and the
+/// pre-solver's fast path stays observably invisible.
+void CanonicalizeModel(std::span<const ExprRef> assertions,
+                       SolveResult* result);
 
 }  // namespace sbce::solver

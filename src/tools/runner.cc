@@ -23,6 +23,7 @@ void FoldOptions(const RunOptions& options, service::AnalysisRequest* req) {
   req->budgets.solver_threads = options.solver_threads;
   req->baseline_pipeline = options.baseline_pipeline;
   req->no_checkpoints = options.no_checkpoints;
+  req->no_presolve = options.no_presolve;
 }
 
 /// One grid cell through the unified API, wrapped in the cell.begin /

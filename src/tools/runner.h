@@ -43,6 +43,11 @@ struct RunOptions {
   /// round runs from scratch. Grid/JSON/trace output must come out
   /// identical either way; only wall-clock and checkpoint.* counters move.
   bool no_checkpoints = false;
+  /// Disable the abstract pre-solver (`--no-presolve`): no pipeline
+  /// pre-solve, range-aware rewrites, known-bits constant literals or
+  /// engine negation dropping. Grid/JSON output must come out identical
+  /// either way; only wall-clock and presolve_* counters move.
+  bool no_presolve = false;
 };
 
 struct CellResult {

@@ -1,0 +1,400 @@
+// Pre-solver tests: direct Presolve() verdicts (abstract refutations,
+// pinned models, non-definitive fallthrough, the FP bail rule), the
+// pipeline integration (determinism across thread counts, status equality
+// and model validity with the pre-solver on vs off, cross-check forced
+// on), and the memoized variable-set satellite.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/solver/eval.h"
+#include "src/solver/pipeline.h"
+#include "src/solver/presolve.h"
+#include "src/solver/solver.h"
+#include "src/support/rng.h"
+
+namespace sbce::solver {
+namespace {
+
+// --- Direct Presolve verdicts ---------------------------------------------
+
+TEST(Presolve, ForwardPassRefutesImpossibleCompare) {
+  ExprPool pool;
+  ExprRef x = pool.Var("x", 8);
+  // zext(x,16) can never exceed 255.
+  std::vector<ExprRef> as = {
+      pool.Ult(pool.Const(300, 16), pool.ZExt(x, 16))};
+  const PresolveVerdict v = Presolve(as);
+  ASSERT_TRUE(v.definitive);
+  EXPECT_EQ(v.result.status, SolveStatus::kUnsat);
+}
+
+TEST(Presolve, RefinementRefutesContradictoryBounds) {
+  ExprPool pool;
+  ExprRef x = pool.Var("x", 8);
+  // x < 5 and 10 < x cannot both hold.
+  std::vector<ExprRef> as = {pool.Ult(x, pool.Const(5, 8)),
+                             pool.Ult(pool.Const(10, 8), x)};
+  const PresolveVerdict v = Presolve(as);
+  ASSERT_TRUE(v.definitive);
+  EXPECT_EQ(v.result.status, SolveStatus::kUnsat);
+}
+
+TEST(Presolve, RefinementRefutesKnownBitConflict) {
+  ExprPool pool;
+  ExprRef x = pool.Var("x", 8);
+  // (x | 1) == 0: bit 0 of the or is always 1.
+  std::vector<ExprRef> as = {
+      pool.Eq(pool.Or(x, pool.Const(1, 8)), pool.Const(0, 8))};
+  const PresolveVerdict v = Presolve(as);
+  ASSERT_TRUE(v.definitive);
+  EXPECT_EQ(v.result.status, SolveStatus::kUnsat);
+}
+
+TEST(Presolve, CircuitBudgetGateDeclinesEvenRefutableQueries) {
+  ExprPool pool;
+  ExprRef x = pool.Var("x", 8);
+  // Refutable by the forward pass alone — but under a profile whose
+  // max_sat_vars the circuit estimate exceeds, the full path would abort
+  // the bit-blast (RESOURCE_EXHAUSTED -> kUnknown) before ever deriving
+  // unsat, so the pre-solver must decline rather than answer. The modeled
+  // tools' budget failures are paper-grid outcomes; the pre-solver may
+  // never paper over them.
+  std::vector<ExprRef> as = {
+      pool.Ult(pool.Const(300, 16), pool.ZExt(x, 16))};
+  SolverOptions starved;
+  starved.max_sat_vars = 4;  // below the ~4-vars-per-bit estimate
+  EXPECT_FALSE(PresolveCircuitFits(as, starved.max_sat_vars));
+  EXPECT_FALSE(Presolve(as, starved).definitive);
+  // The identical query under the default budget stays definitive.
+  EXPECT_TRUE(Presolve(as).definitive);
+}
+
+TEST(Presolve, PinsSingleVariableEquality) {
+  ExprPool pool;
+  ExprRef x = pool.Var("x", 8);
+  std::vector<ExprRef> as = {pool.Eq(x, pool.Const(7, 8))};
+  const PresolveVerdict v = Presolve(as);
+  ASSERT_TRUE(v.definitive);
+  ASSERT_EQ(v.result.status, SolveStatus::kSat);
+  EXPECT_EQ(v.result.model.at("x"), 7u);
+  EXPECT_TRUE(AllSatisfied(as, v.result.model));
+}
+
+TEST(Presolve, PinsThroughInvertibleArithmetic) {
+  ExprPool pool;
+  ExprRef x = pool.Var("x", 16);
+  // x + 100 == 141  ⇒  x == 41 (via the inverse-add pre-image).
+  std::vector<ExprRef> as = {
+      pool.Eq(pool.Add(x, pool.Const(100, 16)), pool.Const(141, 16))};
+  const PresolveVerdict v = Presolve(as);
+  ASSERT_TRUE(v.definitive);
+  ASSERT_EQ(v.result.status, SolveStatus::kSat);
+  EXPECT_EQ(v.result.model.at("x"), 41u);
+}
+
+TEST(Presolve, EnumerableRangeYieldsCanonicalModel) {
+  ExprPool pool;
+  ExprRef x = pool.Var("x", 8);
+  // Many models, but the refined range {0..4} is enumerable: the verdict
+  // is the canonical (lexicographically-first) model, x = 0.
+  std::vector<ExprRef> as = {pool.Ult(x, pool.Const(5, 8))};
+  const PresolveVerdict v = Presolve(as);
+  ASSERT_TRUE(v.definitive);
+  ASSERT_EQ(v.result.status, SolveStatus::kSat);
+  EXPECT_EQ(v.result.model.at("x"), 0u);
+}
+
+TEST(Presolve, WideUnboundedVariableIsNotDefinitive) {
+  ExprPool pool;
+  ExprRef x = pool.Var("x", 64);
+  // Satisfiable, but the refined range spans ~2^64 values — far past the
+  // enumeration budget — and x*x is not invertible, so the pre-solver
+  // must fall through to the SAT core.
+  std::vector<ExprRef> as = {
+      pool.Eq(pool.Binary(Kind::kMul, x, x), pool.Const(1, 64))};
+  EXPECT_FALSE(Presolve(as).definitive);
+}
+
+TEST(Presolve, CanonicalModelMatchesCheckSatModel) {
+  ExprPool pool;
+  ExprRef x = pool.Var("x", 8);
+  ExprRef y = pool.Var("y", 8);
+  // Two variables, enumerable product: the pre-solver's scan model and
+  // the full CDCL path (which rewrites its model through the same scan)
+  // must agree byte-for-byte, with the pre-solver on or off.
+  std::vector<ExprRef> as = {
+      pool.Ult(pool.Const(2, 8), x),      // x in {3..255} → refined
+      pool.Ult(x, pool.Const(7, 8)),      // x in {3..6}
+      pool.Eq(pool.Add(x, y), pool.Const(9, 8)),
+  };
+  const PresolveVerdict v = Presolve(as);
+  ASSERT_TRUE(v.definitive);
+  ASSERT_EQ(v.result.status, SolveStatus::kSat);
+  // Scan order: x (first variable) cycles fastest, so the first hit is
+  // the largest x with the smallest y: y=3, x=6.
+  EXPECT_EQ(v.result.model.at("x"), 6u);
+  EXPECT_EQ(v.result.model.at("y"), 3u);
+  for (bool presolve : {true, false}) {
+    SolverOptions opts;
+    opts.presolve = presolve;
+    const SolveResult full = CheckSat(as, opts);
+    ASSERT_EQ(full.status, SolveStatus::kSat);
+    EXPECT_EQ(full.model, v.result.model) << "presolve=" << presolve;
+  }
+}
+
+TEST(Presolve, FpQueriesAlwaysFallThrough) {
+  ExprPool pool;
+  ExprRef x = pool.Var("x", 64);
+  // The integer part of this query is abstractly refutable (x < 3 and
+  // x == 5), but the FP conjunct routes the whole query to the FP search —
+  // which can answer kUnknown but never kUnsat — so the pre-solver must
+  // not judge it.
+  ExprRef fp = pool.Binary(Kind::kFAdd, x, x);
+  std::vector<ExprRef> as = {
+      pool.Ult(x, pool.Const(3, 64)),
+      pool.Eq(x, pool.Const(5, 64)),
+      pool.Eq(fp, pool.Const(0x400921fb54442d18ull, 64)),
+  };
+  ASSERT_TRUE(ContainsFp(as));
+  EXPECT_FALSE(Presolve(as).definitive);
+}
+
+TEST(Presolve, DivisionByZeroSemanticsAreRespected) {
+  ExprPool pool;
+  ExprRef x = pool.Var("x", 8);
+  // SMT-LIB: x udiv 0 = 0xff, so (x udiv 0) == 0 is a refutation and
+  // (x udiv 0) == 0xff is a tautology (every x works — not definitive,
+  // nothing pinned, but must not be refuted either).
+  ExprRef div = pool.Binary(Kind::kUDiv, x, pool.Const(0, 8));
+  std::vector<ExprRef> refuted = {pool.Eq(div, pool.Const(0, 8))};
+  const PresolveVerdict v1 = Presolve(refuted);
+  ASSERT_TRUE(v1.definitive);
+  EXPECT_EQ(v1.result.status, SolveStatus::kUnsat);
+  std::vector<ExprRef> tautology = {pool.Eq(div, pool.Const(0xff, 8))};
+  const PresolveVerdict v2 = Presolve(tautology);
+  if (v2.definitive) {
+    // The simplifier may fold the tautology before Presolve ever sees a
+    // variable; a kSat verdict must then carry a satisfying model.
+    EXPECT_EQ(v2.result.status, SolveStatus::kSat);
+    EXPECT_TRUE(AllSatisfied(tautology, v2.result.model));
+  }
+}
+
+TEST(Presolve, ConstantTrueQueryIsSatWithEmptyModel) {
+  ExprPool pool;
+  std::vector<ExprRef> as = {pool.True()};
+  const PresolveVerdict v = Presolve(as);
+  ASSERT_TRUE(v.definitive);
+  EXPECT_EQ(v.result.status, SolveStatus::kSat);
+  EXPECT_TRUE(v.result.model.empty());
+}
+
+// Every definitive verdict agrees with the full bit-blast + CDCL path.
+TEST(Presolve, VerdictsAgreeWithCheckSatOnRandomQueries) {
+  SplitMix64 rng(0x9e3779b9u);
+  ExprPool pool;
+  ExprRef vars[3] = {pool.Var("a", 8), pool.Var("b", 8), pool.Var("c", 8)};
+  SolverOptions no_presolve;
+  no_presolve.presolve = false;
+  int definitive = 0;
+  for (int round = 0; round < 200; ++round) {
+    std::vector<ExprRef> as;
+    const size_t len = 1 + rng.NextBelow(4);
+    for (size_t i = 0; i < len; ++i) {
+      ExprRef v = vars[rng.NextBelow(3)];
+      ExprRef k = pool.Const(rng.NextBelow(256), 8);
+      switch (rng.NextBelow(5)) {
+        case 0: as.push_back(pool.Ult(v, k)); break;
+        case 1: as.push_back(pool.Ult(k, v)); break;
+        case 2: as.push_back(pool.Eq(v, k)); break;
+        case 3: as.push_back(pool.Eq(pool.And(v, k), pool.Const(0, 8))); break;
+        default:
+          as.push_back(pool.Eq(pool.Add(v, vars[rng.NextBelow(3)]), k));
+      }
+    }
+    const PresolveVerdict v = Presolve(as);
+    if (!v.definitive) continue;
+    ++definitive;
+    const SolveResult full = CheckSat(as, no_presolve);
+    ASSERT_EQ(v.result.status, full.status);
+    if (v.result.status == SolveStatus::kSat) {
+      EXPECT_TRUE(AllSatisfied(as, v.result.model));
+      // Both paths select the canonical model (CheckSat rewrites its CDCL
+      // model through the same scan), so every shared variable agrees.
+      for (const auto& [name, value] : v.result.model) {
+        auto it = full.model.find(name);
+        if (it != full.model.end()) EXPECT_EQ(it->second, value) << name;
+      }
+    }
+  }
+  EXPECT_GT(definitive, 0);  // the sweep must actually exercise verdicts
+}
+
+// --- Pipeline integration -------------------------------------------------
+
+std::vector<QueryPipeline::Query> PresolveBatch(ExprPool& pool,
+                                                SplitMix64& rng,
+                                                size_t num_queries) {
+  ExprRef vars[4] = {pool.Var("a", 8), pool.Var("b", 8), pool.Var("c", 8),
+                     pool.Var("d", 8)};
+  auto atom = [&]() -> ExprRef {
+    ExprRef v = vars[rng.NextBelow(4)];
+    ExprRef k = pool.Const(rng.NextBelow(256), 8);
+    switch (rng.NextBelow(5)) {
+      case 0: return pool.Ult(v, k);
+      case 1: return pool.Ult(k, v);
+      case 2: return pool.Eq(v, k);
+      case 3:
+        // zext comparisons: the forward pass refutes the out-of-range ones.
+        return pool.Ult(pool.Const(200 + rng.NextBelow(120), 16),
+                        pool.ZExt(v, 16));
+      default:
+        return pool.Eq(pool.Add(v, vars[rng.NextBelow(4)]), k);
+    }
+  };
+  std::vector<QueryPipeline::Query> batch(num_queries);
+  for (auto& q : batch) {
+    const size_t len = 1 + rng.NextBelow(5);
+    for (size_t i = 0; i < len; ++i) q.push_back(atom());
+  }
+  return batch;
+}
+
+// On vs off: same statuses, valid models, and the pre-solver actually
+// fires. Cross-checking is forced on so every definitive verdict is
+// re-proved against the full SAT path inside the run itself.
+class PresolvePipeline : public ::testing::TestWithParam<int> {};
+
+TEST_P(PresolvePipeline, OnEqualsOffAndVerdictsCrossCheck) {
+  SplitMix64 rng(GetParam() * 6364136223846793005ull + 1442695040888963407ull);
+  ExprPool pool;
+  const auto batch = PresolveBatch(pool, rng, 24);
+
+  PipelineOptions on;
+  on.threads = 1;
+  on.solver.presolve = true;
+  on.solver.presolve_cross_check = true;  // force, even in release builds
+  PipelineOptions off;
+  off.threads = 1;
+  off.solver.presolve = false;
+  QueryPipeline p_on(on), p_off(off);
+  const auto r_on = p_on.SolveBatch(batch);
+  const auto r_off = p_off.SolveBatch(batch);
+  ASSERT_EQ(r_on.size(), r_off.size());
+  for (size_t i = 0; i < r_on.size(); ++i) {
+    EXPECT_EQ(r_on[i].status, r_off[i].status) << "query " << i;
+    if (r_on[i].status == SolveStatus::kSat) {
+      EXPECT_TRUE(AllSatisfied(batch[i], r_on[i].model)) << "query " << i;
+    }
+  }
+  // The batch is constructed to contain abstractly-refutable queries.
+  EXPECT_GT(p_on.stats().presolve_definitive, 0u);
+  EXPECT_EQ(p_on.stats().presolve_definitive,
+            p_on.stats().presolve_unsat + p_on.stats().presolve_sat);
+  EXPECT_EQ(p_off.stats().presolve_definitive, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PresolvePipeline, ::testing::Range(0, 8));
+
+// Determinism: 1 thread vs 8 threads with the pre-solver on.
+class PresolveThreadDeterminism : public ::testing::TestWithParam<int> {};
+
+TEST_P(PresolveThreadDeterminism, OneVsEightThreads) {
+  SplitMix64 rng(GetParam() * 2862933555777941757ull + 3037000493ull);
+  ExprPool pool;
+  const auto batch = PresolveBatch(pool, rng, 32);
+
+  PipelineOptions serial;
+  serial.threads = 1;
+  serial.solver.presolve = true;
+  PipelineOptions parallel = serial;
+  parallel.threads = 8;
+  QueryPipeline p1(serial), p8(parallel);
+  const auto r1 = p1.SolveBatch(batch);
+  const auto r8 = p8.SolveBatch(batch);
+  ASSERT_EQ(r1.size(), r8.size());
+  for (size_t i = 0; i < r1.size(); ++i) {
+    EXPECT_EQ(r1[i].status, r8[i].status) << "query " << i;
+    EXPECT_EQ(r1[i].model, r8[i].model) << "query " << i;
+    EXPECT_EQ(r1[i].note, r8[i].note) << "query " << i;
+  }
+  EXPECT_EQ(p1.stats().presolve_definitive, p8.stats().presolve_definitive);
+  EXPECT_EQ(p1.stats().presolve_unsat, p8.stats().presolve_unsat);
+  EXPECT_EQ(p1.stats().presolve_sat, p8.stats().presolve_sat);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PresolveThreadDeterminism,
+                         ::testing::Range(0, 6));
+
+// Pre-solved verdicts enter the query cache: a repeat of the same batch
+// is answered without any new pre-solve or solve work.
+TEST(PresolveCache, RepeatBatchHitsCache) {
+  ExprPool pool;
+  ExprRef x = pool.Var("x", 8);
+  std::vector<QueryPipeline::Query> batch = {
+      {pool.Ult(x, pool.Const(5, 8)), pool.Ult(pool.Const(10, 8), x)}};
+  PipelineOptions opts;
+  opts.threads = 1;
+  QueryPipeline p(opts);
+  const auto first = p.SolveBatch(batch);
+  ASSERT_EQ(first[0].status, SolveStatus::kUnsat);
+  const uint64_t definitive = p.stats().presolve_definitive;
+  EXPECT_EQ(definitive, 1u);
+  const auto again = p.SolveBatch(batch);
+  EXPECT_EQ(again[0].status, SolveStatus::kUnsat);
+  EXPECT_EQ(p.stats().presolve_definitive, definitive);  // served from cache
+  EXPECT_GT(p.stats().cache_hits, 0u);
+}
+
+// --- CheckSat-level counters ----------------------------------------------
+
+TEST(PresolveCounters, RewritesAndPinnedBitsFlowIntoSolveResult) {
+  ExprPool pool;
+  ExprRef x = pool.Var("x", 8);
+  // zext(x,16) & 0xff00 has all bits known-0: the range rules fold the
+  // node and the blaster pins whatever known bits survive rewriting.
+  ExprRef masked = pool.And(pool.ZExt(x, 16), pool.Const(0xff00, 16));
+  std::vector<ExprRef> as = {
+      pool.Eq(masked, pool.Const(0, 16)),
+      pool.Ult(x, pool.Const(200, 8)),
+  };
+  SolverOptions with;
+  with.presolve = true;
+  const SolveResult r = CheckSat(as, with);
+  EXPECT_EQ(r.status, SolveStatus::kSat);
+  EXPECT_GT(r.presolve_rewrites, 0u);
+
+  SolverOptions without;
+  without.presolve = false;
+  const SolveResult r_off = CheckSat(as, without);
+  EXPECT_EQ(r_off.status, SolveStatus::kSat);
+  EXPECT_EQ(r_off.presolve_rewrites, 0u);
+  EXPECT_EQ(r_off.presolve_bits_pinned, 0u);
+}
+
+// --- Memoized variable sets (satellite) -----------------------------------
+
+TEST(VarsMemo, CollectVarsMatchesAndMemoizes) {
+  ExprPool pool;
+  ExprRef x = pool.Var("x", 8);
+  ExprRef y = pool.Var("y", 8);
+  ExprRef e = pool.Eq(pool.Add(x, y), pool.Const(9, 8));
+  EXPECT_EQ(pool.CachedVars(e), nullptr);
+  const std::vector<ExprRef>& vars = pool.VarsOf(e);
+  ASSERT_EQ(vars.size(), 2u);
+  EXPECT_EQ(pool.CachedVars(e), &vars);  // published, stable address
+  // CollectVars routes through the same memo and agrees.
+  std::vector<ExprRef> roots = {e};
+  const std::vector<ExprRef> collected = CollectVars(roots);
+  EXPECT_EQ(collected, vars);
+  // Multi-root collection merges memoized per-root sets.
+  ExprRef e2 = pool.Ult(y, pool.Var("z", 8));
+  std::vector<ExprRef> both = {e, e2};
+  const std::vector<ExprRef> merged = CollectVars(both);
+  ASSERT_EQ(merged.size(), 3u);
+}
+
+}  // namespace
+}  // namespace sbce::solver

@@ -506,6 +506,9 @@ TEST(PortfolioTest, RescuesBudgetExhaustedQueries) {
   PipelineOptions opts;
   opts.threads = 1;
   opts.solver.cache_queries = false;
+  // Disable the pre-solve pass: HardSatQuery has an enumerable range, and a
+  // definitive verdict would keep the starved primary from ever running.
+  opts.solver.presolve = false;
   opts.solver.max_conflicts = 1;  // primary always exhausts its budget
   SolverOptions patient = opts.solver;
   patient.max_conflicts = 1'000'000;
@@ -529,6 +532,7 @@ TEST(PortfolioTest, NoRescueLeavesPrimaryAnswerUntouched) {
   PipelineOptions opts;
   opts.threads = 1;
   opts.solver.cache_queries = false;
+  opts.solver.presolve = false;  // see RescuesBudgetExhaustedQueries
   opts.solver.max_conflicts = 1;
   SolverOptions also_starved = opts.solver;
   opts.portfolio_configs = {also_starved};
@@ -546,6 +550,7 @@ TEST(PortfolioTest, DisabledGateNeverRuns) {
   PipelineOptions opts;
   opts.threads = 1;
   opts.solver.cache_queries = false;
+  opts.solver.presolve = false;  // see RescuesBudgetExhaustedQueries
   opts.solver.max_conflicts = 1;
   opts.solver.portfolio = false;
   QueryPipeline pipeline(opts);
@@ -568,6 +573,7 @@ TEST_P(PortfolioThreadDeterminism, OneVsEightThreads) {
   }
   PipelineOptions opts;
   opts.solver.cache_queries = false;
+  opts.solver.presolve = false;  // see RescuesBudgetExhaustedQueries
   opts.solver.slice_independent = (GetParam() % 2) == 0;
   opts.solver.max_conflicts = 1;
   SolverOptions still_starved = opts.solver;
